@@ -1,0 +1,224 @@
+//! ASAP — prefetched address translation (Margaritov et al., MICRO
+//! 2019; paper §2, Fig. 9/13).
+//!
+//! ASAP stores the lower page-table levels in flat, virtually indexed
+//! arrays so the L2/L1 entry addresses can be *computed* (not chased)
+//! as soon as a walk starts, and prefetched in parallel with the upper
+//! levels. The paper's observations, which this model reproduces:
+//!
+//! * modern PWCs already skip most upper-level accesses, so there is
+//!   little serial latency left to hide (ASAP gains only 1.7 %);
+//! * the prefetches go through the cache hierarchy and the entries are
+//!   then *re-accessed* by the walker, raising L1D traffic and energy
+//!   (Fig. 13);
+//! * prefetching requires physically contiguous table regions, which
+//!   the OS cannot guarantee — [`AsapScheme::with_contiguity`] models
+//!   partial availability (prefetching is disabled for the remainder).
+
+use flatwalk_mem::MemoryHierarchy;
+use flatwalk_pt::{resolve, NodeShape};
+use flatwalk_tlb::{Pwc, PwcConfig};
+use flatwalk_types::rng::SplitMix64;
+use flatwalk_types::{AccessKind, OwnerId, VirtAddr};
+
+use crate::{Scheme, SchemeWalk, WalkCtx};
+
+/// Behavioural model of ASAP's prefetched walks.
+#[derive(Debug, Clone)]
+pub struct AsapScheme {
+    pwc: Pwc,
+    /// Fraction of the address space whose flat table arrays were
+    /// successfully allocated contiguously (1.0 = ideal).
+    contiguity: f64,
+    rng: SplitMix64,
+}
+
+impl AsapScheme {
+    /// ASAP with ideal (fully contiguous) flat table arrays.
+    pub fn new(pwc: PwcConfig) -> Self {
+        AsapScheme {
+            pwc: Pwc::new(pwc),
+            contiguity: 1.0,
+            rng: SplitMix64::new(0xA5A9),
+        }
+    }
+
+    /// Limits the fraction of walks that can use prefetching (the
+    /// kernel could not allocate contiguous regions for the rest).
+    pub fn with_contiguity(mut self, fraction: f64) -> Self {
+        self.contiguity = fraction.clamp(0.0, 1.0);
+        self
+    }
+}
+
+impl Scheme for AsapScheme {
+    fn label(&self) -> &'static str {
+        "ASAP"
+    }
+
+    fn context_switch(&mut self) {
+        self.pwc.flush();
+    }
+
+    fn walk(
+        &mut self,
+        ctx: &WalkCtx<'_>,
+        va: VirtAddr,
+        hier: &mut MemoryHierarchy,
+        owner: OwnerId,
+    ) -> SchemeWalk {
+        let walk = resolve(ctx.store, ctx.table, va)
+            .unwrap_or_else(|e| panic!("ASAP walk of unmapped {va}: {e}"));
+        let cum: Vec<u32> = walk
+            .steps
+            .iter()
+            .scan(0u32, |acc, s| {
+                *acc += s.index_bits();
+                Some(*acc)
+            })
+            .collect();
+
+        let mut latency = self.pwc.latency();
+        let mut first_step = 0usize;
+        if let Some(hit) = self.pwc.lookup(va) {
+            if let Some(i) = cum.iter().position(|&c| c == hit.prefix_bits) {
+                if i + 1 < walk.steps.len() {
+                    first_step = i + 1;
+                }
+            }
+        }
+
+        let prefetchable = self.rng.chance(self.contiguity);
+        let mut accesses = 0u64;
+        if prefetchable {
+            // All remaining entry addresses are computed up front and
+            // fetched in parallel; the walker then re-reads each
+            // prefetched line from the L1 (extra traffic, hidden
+            // latency).
+            let mut max_latency = 0u64;
+            for step in &walk.steps[first_step..] {
+                let out = hier.access(step.entry_pa, AccessKind::PageTable, owner);
+                max_latency = max_latency.max(out.latency);
+                accesses += 1;
+            }
+            // Re-access of the prefetched entries (now L1-resident);
+            // pipelined behind the prefetch, so it adds traffic but no
+            // serial latency.
+            for step in &walk.steps[first_step..] {
+                let _ = hier.access(step.entry_pa, AccessKind::PageTable, owner);
+                accesses += 1;
+            }
+            latency += max_latency;
+        } else {
+            // No contiguous arrays: ordinary serial walk.
+            for step in &walk.steps[first_step..] {
+                let out = hier.access(step.entry_pa, AccessKind::PageTable, owner);
+                latency += out.latency;
+                accesses += 1;
+            }
+        }
+
+        // Train the PWC like a conventional walker.
+        for i in first_step..walk.steps.len().saturating_sub(1) {
+            let next = &walk.steps[i + 1];
+            self.pwc.insert(
+                va,
+                cum[i],
+                next.node_base,
+                NodeShape::from_depth(next.depth).expect("valid step"),
+            );
+        }
+
+        SchemeWalk {
+            pa: walk.pa,
+            size: walk.size,
+            latency,
+            accesses,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flatwalk_mem::HierarchyConfig;
+    use flatwalk_pt::{BumpAllocator, FlattenEverywhere, FrameStore, Layout, Mapper};
+    use flatwalk_types::{PageSize, PhysAddr};
+
+    fn oracle() -> (FrameStore, Mapper) {
+        let mut store = FrameStore::new();
+        let mut alloc = BumpAllocator::new(0x1_0000_0000);
+        let mut m = Mapper::new(
+            &mut store,
+            &mut alloc,
+            Layout::conventional4(),
+            &FlattenEverywhere,
+        )
+        .unwrap();
+        for p in 0..512u64 {
+            m.map(
+                &mut store,
+                &mut alloc,
+                &FlattenEverywhere,
+                VirtAddr::new(0x5000_0000 + p * 4096),
+                PhysAddr::new(0x9_0000_0000 + p * 4096),
+                PageSize::Size4K,
+            )
+            .unwrap();
+        }
+        (store, m)
+    }
+
+    #[test]
+    fn parallel_prefetch_bounds_cold_latency_by_one_round_trip() {
+        let (store, m) = oracle();
+        let ctx = WalkCtx {
+            store: &store,
+            table: m.table(),
+        };
+        let mut hier = MemoryHierarchy::new(HierarchyConfig::server());
+        let mut asap = AsapScheme::new(PwcConfig::server());
+        let w = asap.walk(&ctx, VirtAddr::new(0x5000_0000), &mut hier, OwnerId::SINGLE);
+        // A cold 4-level walk serially would cost ~4x DRAM; ASAP pays
+        // one DRAM latency (plus the PWC cycle).
+        assert!(w.latency <= 201 + 4, "got {}", w.latency);
+        // …but double the accesses (prefetch + re-access).
+        assert_eq!(w.accesses, 8);
+        assert_eq!(w.pa.raw(), 0x9_0000_0000);
+    }
+
+    #[test]
+    fn zero_contiguity_degenerates_to_serial_walks() {
+        let (store, m) = oracle();
+        let ctx = WalkCtx {
+            store: &store,
+            table: m.table(),
+        };
+        let mut hier = MemoryHierarchy::new(HierarchyConfig::server());
+        let mut asap = AsapScheme::new(PwcConfig::server()).with_contiguity(0.0);
+        let w = asap.walk(&ctx, VirtAddr::new(0x5000_0000), &mut hier, OwnerId::SINGLE);
+        assert_eq!(w.accesses, 4, "no prefetch duplication");
+        assert!(w.latency > 700, "serial cold walk pays every level");
+    }
+
+    #[test]
+    fn pwc_still_skips_upper_levels() {
+        let (store, m) = oracle();
+        let ctx = WalkCtx {
+            store: &store,
+            table: m.table(),
+        };
+        let mut hier = MemoryHierarchy::new(HierarchyConfig::server());
+        let mut asap = AsapScheme::new(PwcConfig::server());
+        asap.walk(&ctx, VirtAddr::new(0x5000_0000), &mut hier, OwnerId::SINGLE);
+        // Second page in the same 2 MB region: 27-bit hit → 1 entry,
+        // prefetched + re-accessed = 2 accesses.
+        let w = asap.walk(
+            &ctx,
+            VirtAddr::new(0x5000_0000 + 4096),
+            &mut hier,
+            OwnerId::SINGLE,
+        );
+        assert_eq!(w.accesses, 2);
+    }
+}

@@ -1,0 +1,21 @@
+//! Behavioural models of the translation schemes the paper compares
+//! against (§2, Fig. 9/13): Elastic Cuckoo Hashing, ASAP prefetched
+//! translation, POM_TLB, and CSALT.
+//!
+//! All schemes share the front-side TLBs, the cache hierarchy, the
+//! workloads, and the timing proxy with the main simulator
+//! ([`SchemeSimulation`]); only the post-TLB-miss translation machinery
+//! differs. See each module for the modelling notes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod asap;
+mod ech;
+mod pom;
+mod scheme;
+
+pub use asap::AsapScheme;
+pub use ech::EchScheme;
+pub use pom::PomTlbScheme;
+pub use scheme::{Scheme, SchemeSimulation, SchemeWalk, WalkCtx};

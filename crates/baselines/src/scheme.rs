@@ -1,0 +1,193 @@
+//! The common harness for comparison translation schemes (paper §2,
+//! Fig. 9/13): each scheme replaces the radix page walk with its own
+//! structure, but shares the TLBs, cache hierarchy, workloads, and
+//! timing proxy with the main simulator.
+//!
+//! Translation *results* come from a functional oracle walk of the real
+//! radix table (the address space is identical across schemes); each
+//! scheme charges the *timing and memory traffic* its own structure
+//! would generate. This keeps correctness orthogonal to cost modelling.
+
+use flatwalk_mem::{EnergyModel, MemoryHierarchy};
+use flatwalk_mmu::WalkerStats;
+use flatwalk_os::{AddressSpace, AddressSpaceSpec, BuddyAllocator};
+use flatwalk_pt::{FrameStore, PageTable};
+use flatwalk_sim::{SimOptions, SimReport};
+use flatwalk_tlb::{PhaseDetector, TlbSystem};
+use flatwalk_types::{OwnerId, PageSize, PhysAddr, VirtAddr};
+use flatwalk_workloads::{AccessStream, WorkloadSpec};
+
+/// Static context a scheme's walk may consult.
+#[derive(Debug, Clone, Copy)]
+pub struct WalkCtx<'a> {
+    /// Page-table contents of the oracle radix table.
+    pub store: &'a FrameStore,
+    /// The oracle radix table.
+    pub table: &'a PageTable,
+}
+
+/// Cost and result of one scheme-specific translation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SchemeWalk {
+    /// Translated physical address (offset included).
+    pub pa: PhysAddr,
+    /// Translation granularity (for the TLB fill).
+    pub size: PageSize,
+    /// Cycles the translation took.
+    pub latency: u64,
+    /// Memory-system accesses it performed.
+    pub accesses: u64,
+}
+
+/// A comparison translation scheme.
+pub trait Scheme {
+    /// Label used in reports ("ECH", "ASAP", "CSALT", "POM_TLB").
+    fn label(&self) -> &'static str;
+
+    /// Performs the translation after an L1/L2 TLB miss.
+    fn walk(
+        &mut self,
+        ctx: &WalkCtx<'_>,
+        va: VirtAddr,
+        hier: &mut MemoryHierarchy,
+        owner: OwnerId,
+    ) -> SchemeWalk;
+
+    /// Whether this scheme biases the cache replacement policy toward
+    /// its translation structures (CSALT does).
+    fn wants_priority(&self) -> bool {
+        false
+    }
+
+    /// Reacts to a context switch. The default flushes nothing — which
+    /// is correct for POM_TLB/CSALT (the in-DRAM TLB survives switches,
+    /// their core advantage); schemes with per-process on-chip state
+    /// override it.
+    fn context_switch(&mut self) {}
+}
+
+/// Runs a workload under a comparison scheme, with the same engine and
+/// timing proxy as [`flatwalk_sim::NativeSimulation`].
+pub struct SchemeSimulation<S: Scheme> {
+    spec: WorkloadSpec,
+    opts: SimOptions,
+    space: AddressSpace,
+    tlb: TlbSystem,
+    scheme: S,
+    hier: MemoryHierarchy,
+    stream: AccessStream,
+    phase: PhaseDetector,
+    walker_stats: WalkerStats,
+}
+
+impl<S: Scheme> SchemeSimulation<S> {
+    /// Builds the (conventional 4-level) address space and the scheme.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the address space cannot be built.
+    pub fn build(spec: WorkloadSpec, scheme: S, opts: &SimOptions) -> Self {
+        let spec = spec.clone().scaled_down(opts.footprint_divisor);
+        let mut buddy = BuddyAllocator::new(0, opts.phys_mem_bytes);
+        let space_spec =
+            AddressSpaceSpec::new(flatwalk_pt::Layout::conventional4(), spec.footprint)
+                .with_scenario(opts.scenario)
+                .with_nf_threshold(None);
+        let space = AddressSpace::build(space_spec, &mut buddy)
+            .unwrap_or_else(|e| panic!("failed to build address space: {e}"));
+        let tlb = TlbSystem::new(opts.tlb.clone());
+        // Honor the same prioritization knobs as the native engine so
+        // ablation sweeps compare like against like.
+        let hier = MemoryHierarchy::new(
+            opts.hierarchy.clone().with_priority_prob(opts.ptp_bias),
+        );
+        let stream = AccessStream::new(spec.clone(), space.spec().base_va);
+        SchemeSimulation {
+            spec,
+            opts: opts.clone(),
+            space,
+            tlb,
+            scheme,
+            hier,
+            stream,
+            phase: PhaseDetector::new(opts.phase_window, opts.phase_threshold),
+            walker_stats: WalkerStats::default(),
+        }
+    }
+
+    /// Runs warm-up then measurement; returns the report.
+    pub fn run(mut self) -> SimReport {
+        let work = self.spec.work_per_access;
+        let exposure = self.spec.data_exposure;
+        let l1_lat = self.opts.hierarchy.l1.latency;
+        let wants_priority = self.scheme.wants_priority();
+        let mut cycles_f = 0.0f64;
+        let mut instructions = 0u64;
+
+        for phase_idx in 0..2u32 {
+            let ops = if phase_idx == 0 {
+                self.opts.warmup_ops
+            } else {
+                self.opts.measure_ops
+            };
+            if phase_idx == 1 {
+                self.tlb.reset_stats();
+                self.hier.reset_stats();
+                self.walker_stats = WalkerStats::default();
+                cycles_f = 0.0;
+                instructions = 0;
+            }
+            for op in 0..ops {
+                if let Some(n) = self.opts.context_switch_interval {
+                    if op > 0 && op % n == 0 {
+                        self.tlb.flush();
+                        self.scheme.context_switch();
+                    }
+                }
+                let va = self.stream.next_va();
+                let lookup = self.tlb.lookup(va);
+                if wants_priority {
+                    let active = self.phase.record(lookup.translation.is_none());
+                    self.hier.set_priority_phase(active);
+                }
+                let (pa, translation_latency) = match lookup.translation {
+                    Some((frame, size)) => (frame.add(va.offset(size)), lookup.latency),
+                    None => {
+                        let ctx = WalkCtx {
+                            store: self.space.store(),
+                            table: self.space.table(),
+                        };
+                        let w = self.scheme.walk(&ctx, va, &mut self.hier, OwnerId::SINGLE);
+                        self.tlb.fill(va, w.pa.align_down(w.size), w.size);
+                        self.walker_stats.record(&flatwalk_mmu::WalkTiming {
+                            pa: w.pa,
+                            size: w.size,
+                            accesses: w.accesses,
+                            latency: w.latency,
+                        });
+                        (w.pa, lookup.latency + w.latency)
+                    }
+                };
+                let data = self
+                    .hier
+                    .access(pa, flatwalk_types::AccessKind::Data, OwnerId::SINGLE);
+                instructions += work + 1;
+                let translation_stall = translation_latency.saturating_sub(1);
+                let data_stall = data.latency.saturating_sub(l1_lat) as f64 * exposure;
+                cycles_f += work as f64 + translation_stall as f64 + data_stall;
+            }
+        }
+
+        SimReport {
+            workload: self.spec.name.to_string(),
+            config: self.scheme.label(),
+            instructions,
+            cycles: cycles_f.round() as u64,
+            walk: self.walker_stats,
+            tlb: self.tlb.stats(),
+            hier: self.hier.stats(),
+            energy: self.hier.energy(&EnergyModel::default()),
+            census: *self.space.census(),
+        }
+    }
+}

@@ -1,0 +1,159 @@
+//! Criterion micro-benchmarks of the simulator's hot paths, so that
+//! performance regressions in the substrate itself are visible. These
+//! measure *simulator* speed, not the modelled system.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use flatwalk_mem::{HierarchyConfig, MemoryHierarchy};
+use flatwalk_mmu::PageWalker;
+use flatwalk_pt::{resolve, BumpAllocator, FlattenEverywhere, FrameStore, Layout, Mapper};
+use flatwalk_sim::{NativeSimulation, SimOptions, TranslationConfig};
+use flatwalk_tlb::{PwcConfig, TlbSystem, TlbSystemConfig};
+use flatwalk_types::rng::SplitMix64;
+use flatwalk_types::{AccessKind, OwnerId, PageSize, PhysAddr, VirtAddr};
+use flatwalk_workloads::WorkloadSpec;
+
+fn build_table(layout: Layout, pages: u64) -> (FrameStore, Mapper) {
+    let mut store = FrameStore::new();
+    let mut alloc = BumpAllocator::new(0x10_0000_0000);
+    let mut mapper = Mapper::new(&mut store, &mut alloc, layout, &FlattenEverywhere).unwrap();
+    for p in 0..pages {
+        mapper
+            .map(
+                &mut store,
+                &mut alloc,
+                &FlattenEverywhere,
+                VirtAddr::new(0x4000_0000 + p * 4096),
+                PhysAddr::new(0x9_0000_0000 + p * 4096),
+                PageSize::Size4K,
+            )
+            .unwrap();
+    }
+    (store, mapper)
+}
+
+fn bench_functional_walk(c: &mut Criterion) {
+    let mut g = c.benchmark_group("functional_walk");
+    for (name, layout) in [
+        ("conventional4", Layout::conventional4()),
+        ("flat_l4l3_l2l1", Layout::flat_l4l3_l2l1()),
+    ] {
+        let (store, mapper) = build_table(layout, 4096);
+        let mut rng = SplitMix64::new(7);
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let va = VirtAddr::new(0x4000_0000 + rng.next_range(4096) * 4096);
+                std::hint::black_box(resolve(&store, mapper.table(), va).unwrap().pa)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_timed_walker(c: &mut Criterion) {
+    let mut g = c.benchmark_group("timed_walker");
+    for (name, layout) in [
+        ("conventional4", Layout::conventional4()),
+        ("flat_l4l3_l2l1", Layout::flat_l4l3_l2l1()),
+    ] {
+        let (store, mapper) = build_table(layout.clone(), 4096);
+        let mut hier = MemoryHierarchy::new(HierarchyConfig::server());
+        let mut walker = PageWalker::new(PwcConfig::server().for_layout(&layout));
+        let mut rng = SplitMix64::new(9);
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let va = VirtAddr::new(0x4000_0000 + rng.next_range(4096) * 4096);
+                std::hint::black_box(
+                    walker
+                        .walk(&store, mapper.table(), va, &mut hier, OwnerId::SINGLE)
+                        .unwrap()
+                        .latency,
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_tlb_lookup(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tlb");
+    let mut tlb = TlbSystem::new(TlbSystemConfig::server());
+    for p in 0..64u64 {
+        tlb.fill(
+            VirtAddr::new(0x4000_0000 + p * 4096),
+            PhysAddr::new(0x9_0000_0000 + p * 4096),
+            PageSize::Size4K,
+        );
+    }
+    let mut rng = SplitMix64::new(5);
+    g.bench_function("lookup_hit", |b| {
+        b.iter(|| {
+            let va = VirtAddr::new(0x4000_0000 + rng.next_range(64) * 4096);
+            std::hint::black_box(tlb.lookup(va).translation)
+        })
+    });
+    g.bench_function("lookup_miss", |b| {
+        b.iter(|| {
+            let va = VirtAddr::new(0x9000_0000 + rng.next_range(1 << 20) * 4096);
+            std::hint::black_box(tlb.lookup(va).translation)
+        })
+    });
+    g.finish();
+}
+
+fn bench_hierarchy_access(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hierarchy");
+    let mut hier = MemoryHierarchy::new(HierarchyConfig::server());
+    let mut rng = SplitMix64::new(3);
+    g.bench_function("access_l1_hit", |b| {
+        hier.access(PhysAddr::new(0x1000), AccessKind::Data, OwnerId::SINGLE);
+        b.iter(|| {
+            std::hint::black_box(hier.access(
+                PhysAddr::new(0x1000),
+                AccessKind::Data,
+                OwnerId::SINGLE,
+            ))
+        })
+    });
+    g.bench_function("access_streaming", |b| {
+        b.iter(|| {
+            let pa = PhysAddr::new(rng.next_range(1 << 30) & !63);
+            std::hint::black_box(hier.access(pa, AccessKind::Data, OwnerId::SINGLE))
+        })
+    });
+    g.finish();
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine");
+    g.sample_size(10);
+    let mut opts = SimOptions::small_test();
+    opts.warmup_ops = 500;
+    opts.measure_ops = 5_000;
+    for cfg in [TranslationConfig::baseline(), TranslationConfig::flattened_prioritized()] {
+        g.bench_function(format!("gups_64mib_{}", cfg.label), |b| {
+            b.iter_batched(
+                || {
+                    NativeSimulation::build(
+                        WorkloadSpec::gups().scaled_mib(64),
+                        cfg.clone(),
+                        &opts,
+                    )
+                },
+                |sim| std::hint::black_box(sim.run().cycles),
+                BatchSize::PerIteration,
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_functional_walk,
+    bench_timed_walker,
+    bench_tlb_lookup,
+    bench_hierarchy_access,
+    bench_engine
+);
+criterion_main!(benches);

@@ -1,0 +1,129 @@
+//! Figure 9 — native performance of FPT, PTP and FPT+PTP against the
+//! state of the art (ASAP, ECH, CSALT), across the three large-page
+//! fragmentation scenarios, normalized to the 0 % LP baseline.
+
+use flatwalk_baselines::{AsapScheme, EchScheme, PomTlbScheme, SchemeSimulation};
+use flatwalk_bench::{pct, print_table, run_native, scenarios, Mode};
+use flatwalk_sim::{SimOptions, SimReport, TranslationConfig};
+use flatwalk_types::stats::geometric_mean;
+use flatwalk_workloads::WorkloadSpec;
+
+fn run_scheme(
+    name: &str,
+    spec: &WorkloadSpec,
+    opts: &SimOptions,
+    scenario: flatwalk_os::FragmentationScenario,
+) -> SimReport {
+    let opts = opts.clone().with_scenario(scenario);
+    let scaled = spec.clone().scaled_down(opts.footprint_divisor);
+    let mixed = scenario.large_page_fraction > 0.0;
+    match name {
+        "ASAP" => SchemeSimulation::build(
+            spec.clone(),
+            AsapScheme::new(opts.pwc.clone()),
+            &opts,
+        )
+        .run(),
+        "ECH" => SchemeSimulation::build(
+            spec.clone(),
+            EchScheme::new(scaled.footprint, mixed),
+            &opts,
+        )
+        .run(),
+        "CSALT" => SchemeSimulation::build(
+            spec.clone(),
+            PomTlbScheme::new(16 << 20, opts.pwc.clone()).csalt(),
+            &opts,
+        )
+        .run(),
+        other => panic!("unknown scheme {other}"),
+    }
+}
+
+fn main() {
+    let mode = Mode::from_args();
+    let opts = mode.server_options();
+    println!("Figure 9 — native performance vs state of the art ({})", mode.banner());
+
+    let suite = if mode == Mode::Quick {
+        // A representative subset keeps quick mode quick.
+        vec![
+            WorkloadSpec::bfs(),
+            WorkloadSpec::dc(),
+            WorkloadSpec::hashjoin(),
+            WorkloadSpec::mcf(),
+            WorkloadSpec::xsbench(),
+            WorkloadSpec::gups(),
+            WorkloadSpec::random_access(),
+        ]
+    } else {
+        WorkloadSpec::suite()
+    };
+    let ours = TranslationConfig::fig9_set();
+    let schemes = ["ASAP", "ECH", "CSALT"];
+
+    for (scenario, label) in scenarios() {
+        // Normalization: this scenario's results are shown relative to
+        // the *0 % LP* baseline, as in the stacked bars of Fig. 9.
+        let base0: Vec<SimReport> = suite
+            .iter()
+            .map(|w| {
+                run_native(
+                    w,
+                    &TranslationConfig::baseline(),
+                    &opts,
+                    flatwalk_os::FragmentationScenario::NONE,
+                )
+            })
+            .collect();
+
+        let mut rows = Vec::new();
+        let mut geo: Vec<(String, f64)> = Vec::new();
+
+        let mut eval = |label: String, reports: Vec<SimReport>| {
+            let speedups: Vec<f64> = reports
+                .iter()
+                .map(|r| {
+                    let b = base0.iter().find(|b| b.workload == r.workload).unwrap();
+                    r.speedup_vs(b)
+                })
+                .collect();
+            let g = geometric_mean(&speedups).unwrap();
+            let mut row = vec![label.clone()];
+            row.extend(speedups.iter().map(|s| pct(*s)));
+            row.push(pct(g));
+            rows.push(row);
+            geo.push((label, g));
+        };
+
+        for cfg in &ours {
+            let reports: Vec<SimReport> = suite
+                .iter()
+                .map(|w| run_native(w, cfg, &opts, scenario))
+                .collect();
+            eval(cfg.label.to_string(), reports);
+        }
+        for scheme in schemes {
+            let reports: Vec<SimReport> = suite
+                .iter()
+                .map(|w| run_scheme(scheme, w, &opts, scenario))
+                .collect();
+            eval(scheme.to_string(), reports);
+        }
+
+        println!();
+        println!("=== {label} (normalized to 0% LP baseline) ===");
+        let mut headers: Vec<&str> = vec!["config"];
+        let names: Vec<String> = suite.iter().map(|w| w.name.to_string()).collect();
+        headers.extend(names.iter().map(|s| s.as_str()));
+        headers.push("GEOMEAN");
+        print_table(&headers, &rows);
+        println!();
+        for (l, g) in geo {
+            println!("  {l:<9} geomean {}", pct(g));
+        }
+    }
+    println!();
+    println!("Paper reference (0% LP geomeans): FPT +2.3%, PTP +6.8%, FPT+PTP +9.2%,");
+    println!("ASAP +1.7%, ECH -5.9%, CSALT +0.3%; improvements shrink as LP% grows.");
+}

@@ -1,0 +1,89 @@
+//! Figure 11 / Table 2 — multiprogrammed multicore evaluation: four
+//! cores, 32 MB shared LLC, normalized weighted speedup for the Table 2
+//! mixes and the geometric mean over all 20 mixes.
+
+use std::collections::HashMap;
+
+use flatwalk_bench::{pct, print_table, Mode};
+use flatwalk_sim::{
+    all_mixes, alone_ipcs, mean_weighted_speedup, multicore_options, table2_mixes,
+    MulticoreReport, MulticoreSimulation, TranslationConfig,
+};
+
+fn main() {
+    let mode = Mode::from_args();
+    let mut opts = multicore_options();
+    // Multicore runs are 4x the work; scale with the mode.
+    match mode {
+        Mode::Quick => {
+            opts.footprint_divisor = 16;
+            opts.phys_mem_bytes = 8 << 30;
+            opts.warmup_ops = 40_000;
+            opts.measure_ops = 100_000;
+        }
+        Mode::Std => {
+            opts.footprint_divisor = 4;
+            opts.phys_mem_bytes = 16 << 30;
+            opts.warmup_ops = 80_000;
+            opts.measure_ops = 200_000;
+        }
+        Mode::Paper => {
+            opts.footprint_divisor = 1;
+            opts.phys_mem_bytes = 64 << 30;
+            opts.warmup_ops = 200_000;
+            opts.measure_ops = 500_000;
+        }
+    }
+    println!("Figure 11 — multicore weighted speedup ({})", mode.banner());
+    println!("Table 2 mixes:");
+    for m in table2_mixes() {
+        println!("  mix {}: {}", m.id, m.describe());
+    }
+
+    let mixes = if mode == Mode::Quick {
+        table2_mixes()
+    } else {
+        all_mixes()
+    };
+    let configs = TranslationConfig::fig9_set();
+
+    // Alone-IPC denominators use the baseline system.
+    let alone: HashMap<&'static str, f64> =
+        alone_ipcs(&mixes, &TranslationConfig::baseline(), &opts);
+
+    let mut rows = Vec::new();
+    for cfg in &configs {
+        let reports: Vec<MulticoreReport> = mixes
+            .iter()
+            .map(|m| MulticoreSimulation::build(m, cfg.clone(), &opts).run())
+            .collect();
+        let mut row = vec![cfg.label.to_string()];
+        for r in reports.iter().filter(|r| r.mix.id <= 8) {
+            let alone_vec: Vec<f64> = r.mix.parts.iter().map(|n| alone[n]).collect();
+            row.push(format!("{:.3}", r.weighted_speedup(&alone_vec).unwrap()));
+        }
+        let g = mean_weighted_speedup(&reports, &alone).unwrap();
+        row.push(format!("{:.3}", g));
+        rows.push((cfg.label, row, g));
+    }
+
+    let mut headers: Vec<String> = vec!["config".into()];
+    headers.extend(
+        mixes
+            .iter()
+            .filter(|m| m.id <= 8)
+            .map(|m| format!("mix{}", m.id)),
+    );
+    headers.push(format!("GEOMEAN({})", mixes.len()));
+    let hrefs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    print_table(&hrefs, &rows.iter().map(|(_, r, _)| r.clone()).collect::<Vec<_>>());
+
+    println!();
+    let base_g = rows[0].2;
+    for (label, _, g) in &rows {
+        println!("  {label:<9} vs baseline: {}", pct(g / base_g));
+    }
+    println!();
+    println!("Paper reference (0% LP): FPT +2.2%, PTP +9.2%, FPT+PTP +11.5% mean");
+    println!("weighted speedup over 20 mixes.");
+}

@@ -1,0 +1,118 @@
+//! Figure 13 — dynamic energy of the cache hierarchy and DRAM for data
+//! plus page walks, native (left/center) and virtualized (right),
+//! normalized to the respective baselines. 0 % LP scenario.
+
+use flatwalk_baselines::{AsapScheme, EchScheme, PomTlbScheme, SchemeSimulation};
+use flatwalk_bench::{pct, print_table, run_native, Mode};
+use flatwalk_os::FragmentationScenario;
+use flatwalk_sim::{SimReport, TranslationConfig, VirtConfig, VirtualizedSimulation};
+use flatwalk_types::stats::geometric_mean;
+use flatwalk_workloads::WorkloadSpec;
+
+fn geo_energy(reports: &[SimReport], base: &[SimReport]) -> (f64, f64) {
+    let cache: Vec<f64> = reports
+        .iter()
+        .zip(base)
+        .map(|(r, b)| r.cache_energy_vs(b))
+        .collect();
+    let dram: Vec<f64> = reports
+        .iter()
+        .zip(base)
+        .map(|(r, b)| r.dram_energy_vs(b))
+        .collect();
+    (
+        geometric_mean(&cache).unwrap(),
+        geometric_mean(&dram).unwrap(),
+    )
+}
+
+fn main() {
+    let mode = Mode::from_args();
+    let opts = mode.server_options();
+    println!("Figure 13 — dynamic energy, 0% LP ({})", mode.banner());
+
+    let suite = if mode == Mode::Quick {
+        vec![
+            WorkloadSpec::bfs(),
+            WorkloadSpec::dc(),
+            WorkloadSpec::mcf(),
+            WorkloadSpec::xsbench(),
+            WorkloadSpec::gups(),
+        ]
+    } else {
+        WorkloadSpec::suite()
+    };
+    let scenario = FragmentationScenario::NONE;
+
+    // --- native ---
+    let base: Vec<SimReport> = suite
+        .iter()
+        .map(|w| run_native(w, &TranslationConfig::baseline(), &opts, scenario))
+        .collect();
+
+    let mut rows = Vec::new();
+    for cfg in [
+        TranslationConfig::flattened(),
+        TranslationConfig::prioritized(),
+        TranslationConfig::flattened_prioritized(),
+    ] {
+        let reports: Vec<SimReport> = suite
+            .iter()
+            .map(|w| run_native(w, &cfg, &opts, scenario))
+            .collect();
+        let (c, d) = geo_energy(&reports, &base);
+        rows.push(vec!["native".into(), cfg.label.to_string(), pct(c), pct(d)]);
+    }
+    for scheme in ["ASAP", "ECH", "CSALT"] {
+        let reports: Vec<SimReport> = suite
+            .iter()
+            .map(|w| {
+                let o = opts.clone().with_scenario(scenario);
+                let scaled = w.clone().scaled_down(o.footprint_divisor);
+                match scheme {
+                    "ASAP" => {
+                        SchemeSimulation::build(w.clone(), AsapScheme::new(o.pwc.clone()), &o)
+                            .run()
+                    }
+                    "ECH" => SchemeSimulation::build(
+                        w.clone(),
+                        EchScheme::new(scaled.footprint, false),
+                        &o,
+                    )
+                    .run(),
+                    _ => SchemeSimulation::build(
+                        w.clone(),
+                        PomTlbScheme::new(16 << 20, o.pwc.clone()).csalt(),
+                        &o,
+                    )
+                    .run(),
+                }
+            })
+            .collect();
+        let (c, d) = geo_energy(&reports, &base);
+        rows.push(vec!["native".into(), scheme.to_string(), pct(c), pct(d)]);
+    }
+
+    // --- virtualized ---
+    let vbase: Vec<SimReport> = suite
+        .iter()
+        .map(|w| {
+            VirtualizedSimulation::build(w.clone(), VirtConfig::fig12_set()[0], &opts).run()
+        })
+        .collect();
+    for cfg_idx in [3usize, 7] {
+        let cfg = VirtConfig::fig12_set()[cfg_idx];
+        let reports: Vec<SimReport> = suite
+            .iter()
+            .map(|w| VirtualizedSimulation::build(w.clone(), cfg, &opts).run())
+            .collect();
+        let (c, d) = geo_energy(&reports, &vbase);
+        rows.push(vec!["virtualized".into(), cfg.label.to_string(), pct(c), pct(d)]);
+    }
+
+    print_table(&["system", "config", "Δcache energy", "ΔDRAM accesses"], &rows);
+    println!();
+    println!("Paper reference (native): FPT -2.8% cache; PTP -2.5% cache / -4.6% DRAM;");
+    println!("FPT+PTP -5.1% / -4.7%. ASAP raises L1D traffic; ECH +32% cache / +14% DRAM.");
+    println!("Virtualized: GF+HF -6.7% cache; GF+HF+PTP -8.7% cache / -4.7% DRAM.");
+}

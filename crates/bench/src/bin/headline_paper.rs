@@ -1,0 +1,90 @@
+//! The paper's two headline comparisons at full paper scale
+//! (footprint divisor 1): native Fig. 9 geomeans for Base/FPT/PTP/
+//! FPT+PTP at 0 % LP, and virtualized Fig. 12 geomeans for
+//! Base-2D/GF+HF/GF+HF+PTP.
+
+use flatwalk_bench::{pct, print_table, run_native};
+use flatwalk_os::FragmentationScenario;
+use flatwalk_sim::{SimOptions, SimReport, TranslationConfig, VirtConfig, VirtualizedSimulation};
+use flatwalk_types::stats::{geometric_mean, mean};
+use flatwalk_workloads::WorkloadSpec;
+
+fn main() {
+    let mut opts = SimOptions::server();
+    opts.warmup_ops = 200_000;
+    opts.measure_ops = 600_000;
+    println!("Headline comparisons at paper scale (divisor 1, 0% LP)\n");
+
+    let suite = WorkloadSpec::suite();
+
+    // --- native ---
+    let base: Vec<SimReport> = suite
+        .iter()
+        .map(|w| run_native(w, &TranslationConfig::baseline(), &opts, FragmentationScenario::NONE))
+        .collect();
+    let mut rows = Vec::new();
+    for cfg in TranslationConfig::fig9_set() {
+        let reports: Vec<SimReport> = if cfg.label == "Base" {
+            base.clone()
+        } else {
+            suite
+                .iter()
+                .map(|w| run_native(w, &cfg, &opts, FragmentationScenario::NONE))
+                .collect()
+        };
+        let speedups: Vec<f64> = reports
+            .iter()
+            .zip(&base)
+            .map(|(r, b)| r.speedup_vs(b))
+            .collect();
+        let accs: Vec<f64> = reports.iter().map(|r| r.walk.accesses_per_walk()).collect();
+        let lats: Vec<f64> = reports.iter().map(|r| r.walk.latency_per_walk()).collect();
+        rows.push(vec![
+            cfg.label.to_string(),
+            pct(geometric_mean(&speedups).unwrap()),
+            format!("{:.2}", mean(&accs).unwrap()),
+            format!("{:.1}", mean(&lats).unwrap()),
+        ]);
+        eprintln!("native {} done", cfg.label);
+    }
+    println!("--- native (paper: FPT +2.3%, PTP +6.8%, FPT+PTP +9.2%;");
+    println!("    accesses 1.5→1.0; latency 50.9→33.0→29.1) ---");
+    print_table(&["config", "geomean speedup", "mean acc/walk", "mean walk-lat"], &rows);
+
+    // --- virtualized ---
+    let vconfigs: Vec<VirtConfig> = VirtConfig::fig12_set()
+        .into_iter()
+        .filter(|c| matches!(c.label, "Base-2D" | "GF+HF" | "GF+HF+PTP"))
+        .collect();
+    let vbase: Vec<SimReport> = suite
+        .iter()
+        .map(|w| VirtualizedSimulation::build(w.clone(), vconfigs[0], &opts).run())
+        .collect();
+    let mut rows = Vec::new();
+    for cfg in &vconfigs {
+        let reports: Vec<SimReport> = if cfg.label == "Base-2D" {
+            vbase.clone()
+        } else {
+            suite
+                .iter()
+                .map(|w| VirtualizedSimulation::build(w.clone(), *cfg, &opts).run())
+                .collect()
+        };
+        let speedups: Vec<f64> = reports
+            .iter()
+            .zip(&vbase)
+            .map(|(r, b)| r.speedup_vs(b))
+            .collect();
+        let accs: Vec<f64> = reports.iter().map(|r| r.walk.accesses_per_walk()).collect();
+        rows.push(vec![
+            cfg.label.to_string(),
+            pct(geometric_mean(&speedups).unwrap()),
+            format!("{:.2}", mean(&accs).unwrap()),
+        ]);
+        eprintln!("virt {} done", cfg.label);
+    }
+    println!();
+    println!("--- virtualized (paper: GF+HF +7.1%, GF+HF+PTP +14.0%;");
+    println!("    accesses 4.4→2.8) ---");
+    print_table(&["config", "geomean speedup", "mean acc/walk"], &rows);
+}

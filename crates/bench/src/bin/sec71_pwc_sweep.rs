@@ -1,0 +1,57 @@
+//! §7.1 — PWC sensitivity: sweeping the 18-bit ("L3") PSC from 1 to 16
+//! entries on GUPS, versus the benefit of flattening; plus the L2-PWC
+//! size that would be needed to match flattening's single-access walks.
+
+use flatwalk_bench::{pct, print_table, run_native, Mode};
+use flatwalk_os::FragmentationScenario;
+use flatwalk_sim::TranslationConfig;
+use flatwalk_tlb::PwcConfig;
+use flatwalk_workloads::WorkloadSpec;
+
+fn main() {
+    let mode = Mode::from_args();
+    let opts = mode.server_options();
+    println!("§7.1 — PWC sweep on GUPS ({})", mode.banner());
+
+    let spec = WorkloadSpec::gups();
+    let scenario = FragmentationScenario::NONE;
+
+    let mut base4_ipc = 0.0f64;
+    let mut rows = Vec::new();
+    for entries in [1usize, 2, 4, 8, 16] {
+        let mut o = opts.clone();
+        o.pwc = PwcConfig::server_with_l3_entries(entries);
+        let r = run_native(&spec, &TranslationConfig::baseline(), &o, scenario);
+        if entries == 4 {
+            base4_ipc = r.ipc();
+        }
+        rows.push((format!("base, L3-PSC={entries}"), r));
+    }
+    // Flattening reference on the stock PSC budget.
+    let flat = run_native(&spec, &TranslationConfig::flattened(), &opts, scenario);
+    rows.push(("FPT (stock PSC)".to_string(), flat));
+    // Large L2 ("27-bit") PWC equivalence point.
+    for entries in [256usize, 1024, 4096] {
+        let mut o = opts.clone();
+        o.pwc = PwcConfig::server_with_l2_entries(entries);
+        let r = run_native(&spec, &TranslationConfig::baseline(), &o, scenario);
+        rows.push((format!("base, L2-PSC={entries}"), r));
+    }
+
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|(label, r)| {
+            vec![
+                label.clone(),
+                format!("{:.2}", r.walk.accesses_per_walk()),
+                format!("{:.4}", r.ipc()),
+                pct(r.ipc() / base4_ipc),
+            ]
+        })
+        .collect();
+    print_table(&["config", "acc/walk", "ipc", "vs 4-entry base"], &table);
+    println!();
+    println!("Paper reference: sweeping the L3 PSC 1→16 entries moves GUPS by");
+    println!("-1.5%..+2.4%; flattening gives +8.9%; matching it needs a ~4096-entry");
+    println!("L2 PSC.");
+}

@@ -1,0 +1,55 @@
+//! §7.1 — page-table-to-LLC ratio sweep: the benefit of page-table
+//! prioritization as the leaf page table grows relative to the LLC
+//! (modelled, as in the paper, by shrinking the LLC 2x/4x/8x/16x).
+
+use flatwalk_bench::{geomean_speedup, pct, print_table, run_native, Mode};
+use flatwalk_os::FragmentationScenario;
+use flatwalk_sim::{SimReport, TranslationConfig};
+use flatwalk_workloads::WorkloadSpec;
+
+fn main() {
+    let mode = Mode::from_args();
+    let opts = mode.server_options();
+    println!("§7.1 — PT:LLC ratio sweep ({})", mode.banner());
+
+    let suite = if mode == Mode::Quick {
+        vec![WorkloadSpec::gups(), WorkloadSpec::xsbench(), WorkloadSpec::mcf()]
+    } else {
+        vec![
+            WorkloadSpec::gups(),
+            WorkloadSpec::random_access(),
+            WorkloadSpec::xsbench(),
+            WorkloadSpec::mcf(),
+            WorkloadSpec::graph500(),
+            WorkloadSpec::hashjoin(),
+            WorkloadSpec::liblinear_higgs(),
+        ]
+    };
+    let scenario = FragmentationScenario::NONE;
+    let llc_full = opts.hierarchy.l3.size_bytes;
+
+    let mut rows = Vec::new();
+    for shrink in [1u64, 2, 4, 8, 16] {
+        let mut o = opts.clone();
+        o.hierarchy = o.hierarchy.with_llc_bytes((llc_full / shrink).max(1 << 20));
+        let base: Vec<SimReport> = suite
+            .iter()
+            .map(|w| run_native(w, &TranslationConfig::baseline(), &o, scenario))
+            .collect();
+        let ptp: Vec<SimReport> = suite
+            .iter()
+            .map(|w| run_native(w, &TranslationConfig::prioritized(), &o, scenario))
+            .collect();
+        let g = geomean_speedup(&ptp, &base);
+        rows.push(vec![
+            format!("{shrink}x"),
+            format!("{} MB", o.hierarchy.l3.size_bytes >> 20),
+            pct(g),
+        ]);
+    }
+    print_table(&["PT:LLC ratio", "LLC size", "PTP benefit"], &rows);
+    println!();
+    println!("Paper reference: PTP holds up — +6.8% (1x), +5.9% (2x), +5.6% (4x),");
+    println!("+6.5% (8x), +7.0% (16x); even at 16x, caching 6.3% of the page table");
+    println!("still pays.");
+}

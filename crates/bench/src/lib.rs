@@ -1,0 +1,197 @@
+//! Shared harness for the experiment binaries that regenerate the
+//! paper's tables and figures.
+//!
+//! Each binary under `src/bin/` reproduces one table or figure; run
+//! them as `cargo run --release -p flatwalk-bench --bin fig09_native_perf
+//! -- [--quick|--std|--paper]`. See `DESIGN.md` §3 for the experiment
+//! index and `EXPERIMENTS.md` for recorded paper-vs-measured results.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use flatwalk_os::FragmentationScenario;
+use flatwalk_sim::{NativeSimulation, SimOptions, SimReport, TranslationConfig};
+use flatwalk_types::stats::geometric_mean;
+use flatwalk_workloads::WorkloadSpec;
+
+/// How much of the paper-scale work an experiment run performs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Footprints ÷ 8, short streams — seconds per figure; shapes hold
+    /// but absolute statistics are noisier.
+    Quick,
+    /// Footprints ÷ 2, medium streams — the default; minutes per
+    /// figure.
+    Std,
+    /// Paper-scale footprints, long streams — tens of minutes for the
+    /// big figures.
+    Paper,
+}
+
+impl Mode {
+    /// Parses the conventional CLI flags (`--quick`, `--std`,
+    /// `--paper`); defaults to [`Mode::Std`].
+    pub fn from_args() -> Mode {
+        for a in std::env::args() {
+            match a.as_str() {
+                "--quick" => return Mode::Quick,
+                "--paper" => return Mode::Paper,
+                "--std" => return Mode::Std,
+                _ => {}
+            }
+        }
+        Mode::Std
+    }
+
+    /// Simulation options for this mode on the server system.
+    pub fn server_options(self) -> SimOptions {
+        let mut opts = SimOptions::server();
+        match self {
+            Mode::Quick => {
+                opts.footprint_divisor = 8;
+                opts.phys_mem_bytes = 4 << 30;
+                opts.warmup_ops = 60_000;
+                opts.measure_ops = 150_000;
+            }
+            Mode::Std => {
+                opts.footprint_divisor = 2;
+                opts.phys_mem_bytes = 8 << 30;
+                opts.warmup_ops = 120_000;
+                opts.measure_ops = 300_000;
+            }
+            Mode::Paper => {
+                opts.footprint_divisor = 1;
+                opts.phys_mem_bytes = 16 << 30;
+                opts.warmup_ops = 300_000;
+                opts.measure_ops = 1_000_000;
+            }
+        }
+        opts
+    }
+
+    /// Mobile options (Table 3) for this mode.
+    pub fn mobile_options(self) -> SimOptions {
+        let mut opts = SimOptions::mobile();
+        if self == Mode::Quick {
+            opts.warmup_ops = 40_000;
+            opts.measure_ops = 120_000;
+        }
+        opts
+    }
+
+    /// Short banner line describing the mode.
+    pub fn banner(self) -> String {
+        format!(
+            "mode: {:?} (use --quick / --std / --paper to change)",
+            self
+        )
+    }
+}
+
+/// Runs one benchmark under one configuration and scenario.
+pub fn run_native(
+    spec: &WorkloadSpec,
+    config: &TranslationConfig,
+    opts: &SimOptions,
+    scenario: FragmentationScenario,
+) -> SimReport {
+    let opts = opts.clone().with_scenario(scenario);
+    NativeSimulation::build(spec.clone(), config.clone(), &opts).run()
+}
+
+/// Geometric-mean speedup of `reports` against `baselines`, matched by
+/// workload name.
+///
+/// # Panics
+///
+/// Panics if a report's workload has no baseline.
+pub fn geomean_speedup(reports: &[SimReport], baselines: &[SimReport]) -> f64 {
+    let speedups: Vec<f64> = reports
+        .iter()
+        .map(|r| {
+            let b = baselines
+                .iter()
+                .find(|b| b.workload == r.workload)
+                .unwrap_or_else(|| panic!("no baseline for {}", r.workload));
+            r.speedup_vs(b)
+        })
+        .collect();
+    geometric_mean(&speedups).expect("positive speedups")
+}
+
+/// Prints an aligned table: header row then data rows.
+pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line = |cells: Vec<String>| {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:<w$}", c, w = widths.get(i).copied().unwrap_or(8) + 2))
+            .collect::<String>()
+    };
+    println!("{}", line(headers.iter().map(|s| s.to_string()).collect()));
+    println!("{}", "-".repeat(widths.iter().map(|w| w + 2).sum()));
+    for row in rows {
+        println!("{}", line(row.clone()));
+    }
+}
+
+/// Formats a ratio as a signed percentage ("+9.2%").
+pub fn pct(ratio: f64) -> String {
+    format!("{:+.1}%", (ratio - 1.0) * 100.0)
+}
+
+/// The three scenarios with their paper labels.
+pub fn scenarios() -> [(FragmentationScenario, &'static str); 3] {
+    [
+        (FragmentationScenario::NONE, "0% LP"),
+        (FragmentationScenario::HALF, "50% LP"),
+        (FragmentationScenario::FULL, "100% LP"),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(1.092), "+9.2%");
+        assert_eq!(pct(0.941), "-5.9%");
+    }
+
+    #[test]
+    fn geomean_speedup_matches_by_name() {
+        let mk = |name: &str, cycles: u64| SimReport {
+            workload: name.into(),
+            config: "x",
+            instructions: 1000,
+            cycles,
+            walk: Default::default(),
+            tlb: Default::default(),
+            hier: Default::default(),
+            energy: Default::default(),
+            census: Default::default(),
+        };
+        let base = vec![mk("a", 2000), mk("b", 1000)];
+        let test = vec![mk("b", 500), mk("a", 1000)];
+        // a: 2x, b: 2x → geomean 2x.
+        assert!((geomean_speedup(&test, &base) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mode_options_scale() {
+        assert!(
+            Mode::Quick.server_options().footprint_divisor
+                > Mode::Std.server_options().footprint_divisor
+        );
+        assert_eq!(Mode::Paper.server_options().footprint_divisor, 1);
+    }
+}

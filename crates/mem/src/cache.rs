@@ -1,0 +1,458 @@
+//! A set-associative cache with LRU and page-table-prioritized replacement.
+
+use flatwalk_types::rng::SplitMix64;
+use flatwalk_types::stats::HitMiss;
+use flatwalk_types::{AccessKind, OwnerId, CACHE_LINE_BYTES};
+
+/// Configuration of one cache level.
+///
+/// # Examples
+///
+/// ```
+/// use flatwalk_mem::CacheConfig;
+///
+/// let l3 = CacheConfig::new("L3", 16 << 20, 8, 42).with_pt_priority(true);
+/// assert_eq!(l3.sets(), 16 * 1024 * 1024 / 64 / 8);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CacheConfig {
+    /// Human-readable name used in reports (e.g. `"L2"`).
+    pub name: &'static str,
+    /// Total capacity in bytes.
+    pub size_bytes: u64,
+    /// Associativity.
+    pub ways: usize,
+    /// Load-to-use latency in cycles for a hit at this level
+    /// (interpreted as the *total* latency to this level, per Table 1).
+    pub latency: u64,
+    /// Whether this level applies the page-table-priority replacement
+    /// bias when the prioritization phase is active (paper §6.1 enables
+    /// this for the L2 and the LLC).
+    pub pt_priority: bool,
+    /// Probability with which a priority-phase fill evicts a data line
+    /// in preference to a page-table line (§6.1: "99 % of the time";
+    /// "we empirically found that this ratio works well" — sweep it
+    /// with the `ablation_ptp` experiment).
+    pub priority_prob: f64,
+}
+
+impl CacheConfig {
+    /// Creates a config with `pt_priority` disabled.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is degenerate (zero ways, capacity not a
+    /// multiple of `ways * 64`, or a non-power-of-two set count).
+    pub fn new(name: &'static str, size_bytes: u64, ways: usize, latency: u64) -> Self {
+        let cfg = CacheConfig {
+            name,
+            size_bytes,
+            ways,
+            latency,
+            pt_priority: false,
+            priority_prob: Cache::PT_PRIORITY_PROB,
+        };
+        assert!(ways > 0, "cache must have at least one way");
+        assert_eq!(
+            size_bytes % (ways as u64 * CACHE_LINE_BYTES),
+            0,
+            "capacity must divide evenly into ways of 64 B lines"
+        );
+        assert!(
+            cfg.sets().is_power_of_two(),
+            "set count must be a power of two (got {})",
+            cfg.sets()
+        );
+        cfg
+    }
+
+    /// Enables or disables the page-table-priority replacement bias.
+    pub fn with_pt_priority(mut self, enabled: bool) -> Self {
+        self.pt_priority = enabled;
+        self
+    }
+
+    /// Overrides the data-over-page-table eviction bias (default 0.99).
+    pub fn with_priority_prob(mut self, prob: f64) -> Self {
+        self.priority_prob = prob.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Number of sets implied by the geometry.
+    pub fn sets(&self) -> usize {
+        (self.size_bytes / (self.ways as u64 * CACHE_LINE_BYTES)) as usize
+    }
+}
+
+/// One resident line's bookkeeping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct LineTag {
+    /// Full line address (address / 64); the set index is re-derived from
+    /// it, keeping tags unambiguous regardless of geometry.
+    line: u64,
+    kind: AccessKind,
+    owner: OwnerId,
+    /// LRU timestamp (larger = more recent).
+    stamp: u64,
+}
+
+/// A line evicted by a fill.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Eviction {
+    /// The evicted line address (address / 64).
+    pub line: u64,
+    /// What the evicted line held.
+    pub kind: AccessKind,
+    /// Which owner the evicted line belonged to.
+    pub owner: OwnerId,
+}
+
+/// Per-cache statistics, split by access kind.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Hit/miss tally for data accesses.
+    pub data: HitMiss,
+    /// Hit/miss tally for page-table accesses.
+    pub page_table: HitMiss,
+    /// Number of lines written by fills.
+    pub fills: u64,
+    /// Page-table lines evicted while the priority phase was active
+    /// (should stay near zero when prioritization works).
+    pub pt_evictions_during_priority: u64,
+}
+
+impl CacheStats {
+    /// Total probes (data + page-table).
+    pub fn probes(&self) -> u64 {
+        self.data.total() + self.page_table.total()
+    }
+
+    /// Total accesses that touch the array (probes + fills); the quantity
+    /// dynamic energy scales with.
+    pub fn array_accesses(&self) -> u64 {
+        self.probes() + self.fills
+    }
+
+    /// Merges another tally into this one.
+    pub fn merge(&mut self, other: &CacheStats) {
+        self.data.merge(other.data);
+        self.page_table.merge(other.page_table);
+        self.fills += other.fills;
+        self.pt_evictions_during_priority += other.pt_evictions_during_priority;
+    }
+}
+
+/// A set-associative, write-allocate cache model.
+///
+/// The model tracks tags only (no data payloads) and uses true-LRU
+/// replacement, optionally biased to retain page-table lines
+/// (see [`Cache::fill`]).
+#[derive(Debug, Clone)]
+pub struct Cache {
+    cfg: CacheConfig,
+    sets: Vec<Vec<Option<LineTag>>>,
+    set_mask: u64,
+    clock: u64,
+    rng: SplitMix64,
+    stats: CacheStats,
+}
+
+impl Cache {
+    /// Probability with which a priority-phase fill evicts a data line in
+    /// preference to a page-table line (paper §6.1: "99 % of the time we
+    /// choose to evict data over page table entries").
+    pub const PT_PRIORITY_PROB: f64 = 0.99;
+
+    /// Creates an empty cache.
+    pub fn new(cfg: CacheConfig) -> Self {
+        let sets = cfg.sets();
+        Cache {
+            sets: vec![vec![None; cfg.ways]; sets],
+            set_mask: sets as u64 - 1,
+            clock: 0,
+            rng: SplitMix64::new(0xCAC4E ^ cfg.size_bytes ^ (cfg.ways as u64) << 32),
+            cfg,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// This cache's configuration.
+    pub fn config(&self) -> &CacheConfig {
+        &self.cfg
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// Clears statistics (but not contents); used to discard warm-up.
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+
+    #[inline]
+    fn set_index(&self, line: u64) -> usize {
+        (line & self.set_mask) as usize
+    }
+
+    /// Looks up `line`; on a hit refreshes LRU state and returns `true`.
+    ///
+    /// Records a hit or miss in the statistics under `kind`.
+    pub fn probe(&mut self, line: u64, kind: AccessKind) -> bool {
+        self.clock += 1;
+        let clock = self.clock;
+        let set = self.set_index(line);
+        let hit = self.sets[set].iter_mut().find_map(|slot| match slot {
+            Some(tag) if tag.line == line => {
+                tag.stamp = clock;
+                Some(())
+            }
+            _ => None,
+        });
+        let stats = match kind {
+            AccessKind::Data => &mut self.stats.data,
+            AccessKind::PageTable => &mut self.stats.page_table,
+        };
+        stats.record(hit.is_some());
+        hit.is_some()
+    }
+
+    /// Returns whether `line` is resident, without touching LRU or stats.
+    pub fn contains(&self, line: u64) -> bool {
+        let set = self.set_index(line);
+        self.sets[set]
+            .iter()
+            .any(|slot| matches!(slot, Some(t) if t.line == line))
+    }
+
+    /// Inserts `line` after a miss, choosing a victim if the set is full.
+    ///
+    /// Victim selection:
+    ///
+    /// * If the set has a free way, no eviction happens.
+    /// * If `priority_active` and this level has `pt_priority` enabled:
+    ///   with probability 0.99 the victim is the LRU line among *data*
+    ///   lines — preferring data belonging to `owner` so that one
+    ///   process' fills cannot displace another process' page table
+    ///   (§6.1 multicore note) — falling back to the overall LRU line
+    ///   when the set holds no data lines or in the remaining 1 % of
+    ///   fills.
+    /// * Otherwise: plain LRU.
+    ///
+    /// Returns the eviction, if any. If the line is already resident the
+    /// call is a no-op returning `None`.
+    pub fn fill(
+        &mut self,
+        line: u64,
+        kind: AccessKind,
+        owner: OwnerId,
+        priority_active: bool,
+    ) -> Option<Eviction> {
+        if self.contains(line) {
+            return None;
+        }
+        self.clock += 1;
+        self.stats.fills += 1;
+        let new_tag = LineTag {
+            line,
+            kind,
+            owner,
+            stamp: self.clock,
+        };
+        let set_idx = self.set_index(line);
+
+        // Free way?
+        if let Some(slot) = self.sets[set_idx].iter_mut().find(|s| s.is_none()) {
+            *slot = Some(new_tag);
+            return None;
+        }
+
+        let biased = priority_active
+            && self.cfg.pt_priority
+            && self.rng.chance(self.cfg.priority_prob);
+        let set = &mut self.sets[set_idx];
+
+        let lru_of = |pred: &dyn Fn(&LineTag) -> bool| -> Option<usize> {
+            set.iter()
+                .enumerate()
+                .filter_map(|(i, s)| s.as_ref().map(|t| (i, t)))
+                .filter(|(_, t)| pred(t))
+                .min_by_key(|(_, t)| t.stamp)
+                .map(|(i, _)| i)
+        };
+
+        let victim_way = if biased {
+            // Prefer own data, then any data, then overall LRU.
+            lru_of(&|t: &LineTag| t.kind == AccessKind::Data && t.owner == owner)
+                .or_else(|| lru_of(&|t: &LineTag| t.kind == AccessKind::Data))
+                .or_else(|| lru_of(&|_| true))
+        } else {
+            lru_of(&|_| true)
+        }
+        .expect("full set must yield a victim");
+
+        let victim = set[victim_way].replace(new_tag).expect("victim existed");
+        if priority_active
+            && self.cfg.pt_priority
+            && victim.kind == AccessKind::PageTable
+        {
+            self.stats.pt_evictions_during_priority += 1;
+        }
+        Some(Eviction {
+            line: victim.line,
+            kind: victim.kind,
+            owner: victim.owner,
+        })
+    }
+
+    /// Number of resident lines matching `kind` (O(size); for tests and
+    /// reports).
+    pub fn resident_lines(&self, kind: AccessKind) -> usize {
+        self.sets
+            .iter()
+            .flatten()
+            .filter(|s| matches!(s, Some(t) if t.kind == kind))
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(ways: usize) -> Cache {
+        // 4 sets x `ways` ways.
+        Cache::new(CacheConfig::new(
+            "T",
+            4 * ways as u64 * CACHE_LINE_BYTES,
+            ways,
+            1,
+        ))
+    }
+
+    #[test]
+    fn probe_miss_then_hit_after_fill() {
+        let mut c = tiny(2);
+        assert!(!c.probe(100, AccessKind::Data));
+        c.fill(100, AccessKind::Data, OwnerId::SINGLE, false);
+        assert!(c.probe(100, AccessKind::Data));
+        assert_eq!(c.stats().data.hits, 1);
+        assert_eq!(c.stats().data.misses, 1);
+    }
+
+    #[test]
+    fn lru_evicts_oldest() {
+        let mut c = tiny(2);
+        // Lines 0, 4, 8 all map to set 0 (4 sets).
+        c.fill(0, AccessKind::Data, OwnerId::SINGLE, false);
+        c.fill(4, AccessKind::Data, OwnerId::SINGLE, false);
+        // Touch line 0 so line 4 becomes LRU.
+        assert!(c.probe(0, AccessKind::Data));
+        let ev = c.fill(8, AccessKind::Data, OwnerId::SINGLE, false).unwrap();
+        assert_eq!(ev.line, 4);
+        assert!(c.contains(0));
+        assert!(c.contains(8));
+    }
+
+    #[test]
+    fn duplicate_fill_is_noop() {
+        let mut c = tiny(2);
+        c.fill(0, AccessKind::Data, OwnerId::SINGLE, false);
+        assert_eq!(c.fill(0, AccessKind::Data, OwnerId::SINGLE, false), None);
+        assert_eq!(c.stats().fills, 1);
+    }
+
+    #[test]
+    fn pt_priority_spares_page_table_lines() {
+        let cfg = CacheConfig::new("T", 4 * 4 * CACHE_LINE_BYTES, 4, 1).with_pt_priority(true);
+        let mut c = Cache::new(cfg);
+        // Fill set 0 with 3 PT lines and 1 data line.
+        c.fill(0, AccessKind::PageTable, OwnerId::SINGLE, true);
+        c.fill(4, AccessKind::PageTable, OwnerId::SINGLE, true);
+        c.fill(8, AccessKind::PageTable, OwnerId::SINGLE, true);
+        c.fill(12, AccessKind::Data, OwnerId::SINGLE, true);
+        // Now repeatedly fill new data lines; the PT lines should survive
+        // (the data way keeps being recycled ~99% of the time).
+        let mut pt_evicted = 0;
+        for i in 1..=200u64 {
+            if let Some(ev) = c.fill(12 + 4 * i, AccessKind::Data, OwnerId::SINGLE, true) {
+                if ev.kind == AccessKind::PageTable {
+                    pt_evicted += 1;
+                }
+            }
+        }
+        // Only the ~1% LRU escapes can touch PT lines, and once the three
+        // PT lines are gone no more PT evictions are possible.
+        assert!(
+            pt_evicted <= 3,
+            "PT lines should rarely be evicted under priority (got {pt_evicted}/200)"
+        );
+        assert_eq!(
+            c.stats().pt_evictions_during_priority,
+            pt_evicted,
+            "priority-phase PT evictions must be tallied"
+        );
+    }
+
+    #[test]
+    fn without_priority_pt_lines_get_evicted_normally() {
+        let cfg = CacheConfig::new("T", 4 * 2 * CACHE_LINE_BYTES, 2, 1).with_pt_priority(true);
+        let mut c = Cache::new(cfg);
+        c.fill(0, AccessKind::PageTable, OwnerId::SINGLE, false);
+        c.fill(4, AccessKind::PageTable, OwnerId::SINGLE, false);
+        // LRU (line 0) is evicted even though it is a PT line.
+        let ev = c.fill(8, AccessKind::Data, OwnerId::SINGLE, false).unwrap();
+        assert_eq!(ev.kind, AccessKind::PageTable);
+        assert_eq!(ev.line, 0);
+    }
+
+    #[test]
+    fn priority_prefers_same_owner_data() {
+        let cfg = CacheConfig::new("T", 4 * 3 * CACHE_LINE_BYTES, 3, 1).with_pt_priority(true);
+        let mut c = Cache::new(cfg);
+        let me = OwnerId(1);
+        let other = OwnerId(2);
+        c.fill(0, AccessKind::Data, other, true); // oldest overall
+        c.fill(4, AccessKind::Data, me, true);
+        c.fill(8, AccessKind::PageTable, other, true);
+        // Almost always the victim should be *my* data (line 4), not the
+        // other owner's older data, and never the PT line (modulo the 1%).
+        let mut evicted_mine = 0;
+        for i in 1..=100u64 {
+            // Refill my data each round so a same-owner candidate exists.
+            if let Some(ev) = c.fill(4 + 12 * i, AccessKind::Data, me, true) {
+                if ev.owner == me {
+                    evicted_mine += 1;
+                }
+            }
+        }
+        assert!(
+            evicted_mine >= 90,
+            "same-owner data should be the preferred victim ({evicted_mine}/100)"
+        );
+        assert!(c.contains(8), "foreign PT line must survive");
+    }
+
+    #[test]
+    fn sets_power_of_two_enforced() {
+        let r = std::panic::catch_unwind(|| CacheConfig::new("bad", 3 * 64, 1, 1));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn stats_merge_and_reset() {
+        let mut c = tiny(2);
+        c.probe(0, AccessKind::PageTable);
+        c.fill(0, AccessKind::PageTable, OwnerId::SINGLE, false);
+        let mut agg = CacheStats::default();
+        agg.merge(c.stats());
+        assert_eq!(agg.page_table.misses, 1);
+        assert_eq!(agg.fills, 1);
+        assert_eq!(agg.array_accesses(), 2);
+        c.reset_stats();
+        assert_eq!(c.stats().probes(), 0);
+        // Contents survive the stats reset.
+        assert!(c.contains(0));
+    }
+}

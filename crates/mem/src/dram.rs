@@ -1,0 +1,106 @@
+//! A fixed-latency main-memory model.
+
+use flatwalk_types::AccessKind;
+
+/// Statistics for off-chip accesses, split by access kind.
+///
+/// The paper's energy evaluation (§7.3) reports *relative off-chip
+/// accesses* for DRAM, so counting accesses is exactly what is needed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DramStats {
+    /// Off-chip accesses made on behalf of data.
+    pub data_accesses: u64,
+    /// Off-chip accesses made on behalf of page walks.
+    pub page_table_accesses: u64,
+}
+
+impl DramStats {
+    /// Total off-chip accesses.
+    pub fn total(&self) -> u64 {
+        self.data_accesses + self.page_table_accesses
+    }
+
+    /// Merges another tally into this one.
+    pub fn merge(&mut self, other: &DramStats) {
+        self.data_accesses += other.data_accesses;
+        self.page_table_accesses += other.page_table_accesses;
+    }
+}
+
+/// Fixed-latency DRAM.
+///
+/// `latency` is the *total* load-to-use latency of an access that misses
+/// the entire cache hierarchy (Table 1 models DDR4-2400; at 2 GHz this is
+/// on the order of 200 cycles, Table 3's mobile part uses 90 ns ≈ 270
+/// cycles at 3 GHz).
+#[derive(Debug, Clone)]
+pub struct DramModel {
+    latency: u64,
+    stats: DramStats,
+}
+
+impl DramModel {
+    /// Creates a DRAM model with the given total access latency in cycles.
+    pub fn new(latency: u64) -> Self {
+        DramModel {
+            latency,
+            stats: DramStats::default(),
+        }
+    }
+
+    /// Total access latency in cycles.
+    pub fn latency(&self) -> u64 {
+        self.latency
+    }
+
+    /// Records one access and returns its latency.
+    pub fn access(&mut self, kind: AccessKind) -> u64 {
+        match kind {
+            AccessKind::Data => self.stats.data_accesses += 1,
+            AccessKind::PageTable => self.stats.page_table_accesses += 1,
+        }
+        self.latency
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &DramStats {
+        &self.stats
+    }
+
+    /// Clears statistics.
+    pub fn reset_stats(&mut self) {
+        self.stats = DramStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_by_kind() {
+        let mut d = DramModel::new(200);
+        assert_eq!(d.access(AccessKind::Data), 200);
+        assert_eq!(d.access(AccessKind::PageTable), 200);
+        assert_eq!(d.access(AccessKind::PageTable), 200);
+        assert_eq!(d.stats().data_accesses, 1);
+        assert_eq!(d.stats().page_table_accesses, 2);
+        assert_eq!(d.stats().total(), 3);
+        d.reset_stats();
+        assert_eq!(d.stats().total(), 0);
+    }
+
+    #[test]
+    fn merge() {
+        let mut a = DramStats {
+            data_accesses: 1,
+            page_table_accesses: 2,
+        };
+        a.merge(&DramStats {
+            data_accesses: 10,
+            page_table_accesses: 20,
+        });
+        assert_eq!(a.data_accesses, 11);
+        assert_eq!(a.page_table_accesses, 22);
+    }
+}

@@ -1,0 +1,194 @@
+//! Dynamic-energy accounting for the cache hierarchy and DRAM.
+//!
+//! The paper (§7.3) models cache energy with CACTI at 22 nm and reports
+//! dynamic energy *normalized to the baseline*; for DRAM it reports
+//! relative off-chip access counts. Only the ratios between per-access
+//! energies matter for normalized results, so we use fixed per-access
+//! constants in nanojoules of roughly CACTI-22nm magnitude.
+
+use crate::{CacheStats, DramStats};
+
+/// Per-access dynamic-energy constants (nJ) for each level.
+///
+/// # Examples
+///
+/// ```
+/// use flatwalk_mem::EnergyModel;
+///
+/// let m = EnergyModel::cacti_22nm();
+/// assert!(m.l3_nj > m.l1_nj); // bigger arrays cost more per access
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyModel {
+    /// Energy per L1 array access.
+    pub l1_nj: f64,
+    /// Energy per L2 array access.
+    pub l2_nj: f64,
+    /// Energy per L3 array access.
+    pub l3_nj: f64,
+    /// Energy per 64 B DRAM access.
+    pub dram_nj: f64,
+}
+
+impl EnergyModel {
+    /// Constants of roughly CACTI-22nm magnitude for the Table 1 geometry
+    /// (32 KB L1, 256 KB L2, 16 MB L3, DDR4).
+    pub fn cacti_22nm() -> Self {
+        EnergyModel {
+            l1_nj: 0.04,
+            l2_nj: 0.12,
+            l3_nj: 0.85,
+            dram_nj: 15.0,
+        }
+    }
+
+    /// Computes the dynamic-energy breakdown from access statistics.
+    pub fn breakdown(
+        &self,
+        l1: &CacheStats,
+        l2: &CacheStats,
+        l3: &CacheStats,
+        dram: &DramStats,
+    ) -> EnergyBreakdown {
+        EnergyBreakdown {
+            l1_nj: l1.array_accesses() as f64 * self.l1_nj,
+            l2_nj: l2.array_accesses() as f64 * self.l2_nj,
+            l3_nj: l3.array_accesses() as f64 * self.l3_nj,
+            dram_nj: dram.total() as f64 * self.dram_nj,
+            dram_accesses: dram.total(),
+        }
+    }
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        Self::cacti_22nm()
+    }
+}
+
+/// The dynamic energy consumed by a simulation, per level.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct EnergyBreakdown {
+    /// L1 dynamic energy (nJ).
+    pub l1_nj: f64,
+    /// L2 dynamic energy (nJ).
+    pub l2_nj: f64,
+    /// L3 dynamic energy (nJ).
+    pub l3_nj: f64,
+    /// DRAM dynamic energy (nJ).
+    pub dram_nj: f64,
+    /// Raw off-chip access count (the paper reports DRAM as relative
+    /// accesses).
+    pub dram_accesses: u64,
+}
+
+impl EnergyBreakdown {
+    /// Total cache-hierarchy dynamic energy (L1 + L2 + L3).
+    pub fn cache_nj(&self) -> f64 {
+        self.l1_nj + self.l2_nj + self.l3_nj
+    }
+
+    /// Cache energy relative to a baseline (1.0 = equal; also 1.0 when
+    /// the baseline consumed nothing, so ratios stay finite).
+    pub fn cache_vs(&self, baseline: &EnergyBreakdown) -> f64 {
+        if baseline.cache_nj() == 0.0 {
+            1.0
+        } else {
+            self.cache_nj() / baseline.cache_nj()
+        }
+    }
+
+    /// DRAM accesses relative to a baseline (1.0 = equal; also 1.0 when
+    /// the baseline made no off-chip accesses).
+    pub fn dram_vs(&self, baseline: &EnergyBreakdown) -> f64 {
+        if baseline.dram_accesses == 0 {
+            1.0
+        } else {
+            self.dram_accesses as f64 / baseline.dram_accesses as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flatwalk_types::stats::HitMiss;
+
+    fn stats(hits: u64, misses: u64, fills: u64) -> CacheStats {
+        CacheStats {
+            data: HitMiss { hits, misses },
+            page_table: HitMiss::default(),
+            fills,
+            pt_evictions_during_priority: 0,
+        }
+    }
+
+    #[test]
+    fn breakdown_scales_with_accesses() {
+        let m = EnergyModel::cacti_22nm();
+        let b = m.breakdown(
+            &stats(10, 0, 0),
+            &stats(0, 0, 0),
+            &stats(0, 0, 0),
+            &DramStats::default(),
+        );
+        assert!((b.l1_nj - 10.0 * m.l1_nj).abs() < 1e-12);
+        assert_eq!(b.cache_nj(), b.l1_nj);
+        assert_eq!(b.dram_accesses, 0);
+    }
+
+    #[test]
+    fn relative_comparisons() {
+        let m = EnergyModel::default();
+        let base = m.breakdown(
+            &stats(100, 0, 0),
+            &stats(0, 0, 0),
+            &stats(0, 0, 0),
+            &DramStats {
+                data_accesses: 50,
+                page_table_accesses: 0,
+            },
+        );
+        let better = m.breakdown(
+            &stats(50, 0, 0),
+            &stats(0, 0, 0),
+            &stats(0, 0, 0),
+            &DramStats {
+                data_accesses: 25,
+                page_table_accesses: 0,
+            },
+        );
+        assert!((better.cache_vs(&base) - 0.5).abs() < 1e-12);
+        assert!((better.dram_vs(&base) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_baselines_stay_finite() {
+        let zero = EnergyBreakdown::default();
+        let some = EnergyBreakdown {
+            l1_nj: 1.0,
+            dram_accesses: 5,
+            ..EnergyBreakdown::default()
+        };
+        assert_eq!(some.cache_vs(&zero), 1.0);
+        assert_eq!(some.dram_vs(&zero), 1.0);
+    }
+
+    #[test]
+    fn fills_count_toward_energy() {
+        let m = EnergyModel::default();
+        let with_fills = m.breakdown(
+            &stats(0, 10, 10),
+            &stats(0, 0, 0),
+            &stats(0, 0, 0),
+            &DramStats::default(),
+        );
+        let without = m.breakdown(
+            &stats(0, 10, 0),
+            &stats(0, 0, 0),
+            &stats(0, 0, 0),
+            &DramStats::default(),
+        );
+        assert!(with_fills.l1_nj > without.l1_nj);
+    }
+}

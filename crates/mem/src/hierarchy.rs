@@ -1,0 +1,363 @@
+//! The three-level cache hierarchy plus DRAM.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use flatwalk_types::{AccessKind, OwnerId, PhysAddr};
+
+use crate::{Cache, CacheConfig, CacheStats, DramModel, DramStats, EnergyBreakdown, EnergyModel};
+
+/// A last-level cache that may be shared between cores.
+pub type SharedL3 = Rc<RefCell<Cache>>;
+
+/// Geometry and latencies of the full hierarchy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HierarchyConfig {
+    /// L1 data cache.
+    pub l1: CacheConfig,
+    /// Private L2.
+    pub l2: CacheConfig,
+    /// Last-level cache.
+    pub l3: CacheConfig,
+    /// Total latency of an access served by DRAM, in cycles.
+    pub dram_latency: u64,
+}
+
+impl HierarchyConfig {
+    /// The paper's server configuration (Table 1): 32 KB 8-way 4-cycle L1,
+    /// 256 KB 8-way 12-cycle L2, 16 MB 8-way 42-cycle L3, DDR4-2400
+    /// (≈200 cycles at 2 GHz). Page-table prioritization is wired to the
+    /// L2 and the LLC as in §6.1 (it only takes effect while the
+    /// high-TLB-miss phase flag is raised).
+    pub fn server() -> Self {
+        HierarchyConfig {
+            l1: CacheConfig::new("L1D", 32 << 10, 8, 4),
+            l2: CacheConfig::new("L2", 256 << 10, 8, 12).with_pt_priority(true),
+            l3: CacheConfig::new("L3", 16 << 20, 8, 42).with_pt_priority(true),
+            dram_latency: 200,
+        }
+    }
+
+    /// The paper's mobile configuration (Table 3): 32 KB 4-way L1,
+    /// 512 KB 8-way L2, 2 MB 16-way L3, 90 ns memory (≈270 cycles at
+    /// 3 GHz).
+    pub fn mobile() -> Self {
+        HierarchyConfig {
+            l1: CacheConfig::new("L1D", 32 << 10, 4, 4),
+            l2: CacheConfig::new("L2", 512 << 10, 8, 10).with_pt_priority(true),
+            l3: CacheConfig::new("L3", 2 << 20, 16, 30).with_pt_priority(true),
+            dram_latency: 270,
+        }
+    }
+
+    /// Server configuration with a multicore-sized shared LLC
+    /// (§7.1 multicore evaluation: 32 MB shared L3).
+    pub fn server_multicore() -> Self {
+        let mut cfg = Self::server();
+        cfg.l3 = CacheConfig::new("L3", 32 << 20, 8, 42).with_pt_priority(true);
+        cfg
+    }
+
+    /// Replaces the LLC capacity, keeping associativity/latency
+    /// (used by the §7.1 page-table-to-LLC ratio sweep).
+    pub fn with_llc_bytes(mut self, bytes: u64) -> Self {
+        self.l3 = CacheConfig::new(self.l3.name, bytes, self.l3.ways, self.l3.latency)
+            .with_pt_priority(self.l3.pt_priority)
+            .with_priority_prob(self.l3.priority_prob);
+        self
+    }
+
+    /// Overrides the §6.1 eviction bias on every prioritizing level
+    /// (the `ablation_ptp` sweep).
+    pub fn with_priority_prob(mut self, prob: f64) -> Self {
+        self.l2.priority_prob = prob.clamp(0.0, 1.0);
+        self.l3.priority_prob = prob.clamp(0.0, 1.0);
+        self
+    }
+}
+
+/// Which level served an access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum HitLevel {
+    /// Served by the L1 data cache.
+    L1,
+    /// Served by the private L2.
+    L2,
+    /// Served by the last-level cache.
+    L3,
+    /// Served by main memory.
+    Dram,
+}
+
+/// The result of one hierarchy access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessOutcome {
+    /// Which level ultimately supplied the line.
+    pub level: HitLevel,
+    /// Total load-to-use latency in cycles.
+    pub latency: u64,
+}
+
+/// Aggregated per-level statistics snapshot.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HierarchyStats {
+    /// L1 statistics.
+    pub l1: CacheStats,
+    /// L2 statistics.
+    pub l2: CacheStats,
+    /// LLC statistics (the *whole* shared cache when shared).
+    pub l3: CacheStats,
+    /// DRAM statistics.
+    pub dram: DramStats,
+}
+
+/// A core's view of the memory system: private L1/L2, possibly-shared L3,
+/// and DRAM.
+///
+/// All page-walk and data traffic of the simulator flows through
+/// [`MemoryHierarchy::access`]. Latencies are *total* (the Table 1 values
+/// are load-to-use at each level), and lower levels are filled on the way
+/// back (write-allocate, no writeback traffic is modelled — the paper's
+/// energy metric counts array accesses and off-chip accesses, which this
+/// captures).
+#[derive(Debug)]
+pub struct MemoryHierarchy {
+    cfg: HierarchyConfig,
+    l1: Cache,
+    l2: Cache,
+    l3: SharedL3,
+    dram: Rc<RefCell<DramModel>>,
+    priority_active: bool,
+}
+
+impl MemoryHierarchy {
+    /// Builds a hierarchy with a private (unshared) LLC.
+    pub fn new(cfg: HierarchyConfig) -> Self {
+        let l3 = Rc::new(RefCell::new(Cache::new(cfg.l3.clone())));
+        let dram = Rc::new(RefCell::new(DramModel::new(cfg.dram_latency)));
+        Self::with_shared_l3(cfg, l3, dram)
+    }
+
+    /// Builds a hierarchy around an existing shared LLC and DRAM
+    /// (multicore configurations share one `SharedL3` among cores).
+    pub fn with_shared_l3(
+        cfg: HierarchyConfig,
+        l3: SharedL3,
+        dram: Rc<RefCell<DramModel>>,
+    ) -> Self {
+        MemoryHierarchy {
+            l1: Cache::new(cfg.l1.clone()),
+            l2: Cache::new(cfg.l2.clone()),
+            l3,
+            dram,
+            cfg,
+            priority_active: false,
+        }
+    }
+
+    /// The configuration this hierarchy was built with.
+    pub fn config(&self) -> &HierarchyConfig {
+        &self.cfg
+    }
+
+    /// Handle to the (possibly shared) LLC.
+    pub fn shared_l3(&self) -> SharedL3 {
+        Rc::clone(&self.l3)
+    }
+
+    /// Handle to the (possibly shared) DRAM model.
+    pub fn shared_dram(&self) -> Rc<RefCell<DramModel>> {
+        Rc::clone(&self.dram)
+    }
+
+    /// Raises or lowers the high-TLB-miss phase flag that activates
+    /// page-table-priority replacement in the L2/LLC (paper §5: phases are
+    /// detected with existing hardware counters; the simulator's MMU layer
+    /// drives this flag from a windowed TLB miss rate).
+    pub fn set_priority_phase(&mut self, active: bool) {
+        self.priority_active = active;
+    }
+
+    /// Whether the prioritization phase is currently active.
+    pub fn priority_phase(&self) -> bool {
+        self.priority_active
+    }
+
+    /// Performs one 64 B access and returns where it hit and its latency.
+    pub fn access(&mut self, pa: PhysAddr, kind: AccessKind, owner: OwnerId) -> AccessOutcome {
+        let line = pa.line();
+        let pr = self.priority_active;
+
+        if self.l1.probe(line, kind) {
+            return AccessOutcome {
+                level: HitLevel::L1,
+                latency: self.cfg.l1.latency,
+            };
+        }
+        if self.l2.probe(line, kind) {
+            self.l1.fill(line, kind, owner, pr);
+            return AccessOutcome {
+                level: HitLevel::L2,
+                latency: self.cfg.l2.latency,
+            };
+        }
+        let l3_hit = self.l3.borrow_mut().probe(line, kind);
+        if l3_hit {
+            self.l2.fill(line, kind, owner, pr);
+            self.l1.fill(line, kind, owner, pr);
+            return AccessOutcome {
+                level: HitLevel::L3,
+                latency: self.cfg.l3.latency,
+            };
+        }
+        let latency = self.dram.borrow_mut().access(kind);
+        self.l3.borrow_mut().fill(line, kind, owner, pr);
+        self.l2.fill(line, kind, owner, pr);
+        self.l1.fill(line, kind, owner, pr);
+        AccessOutcome {
+            level: HitLevel::Dram,
+            latency,
+        }
+    }
+
+    /// Returns whether the line holding `pa` is resident at any level,
+    /// without disturbing state (for tests).
+    pub fn is_resident(&self, pa: PhysAddr) -> bool {
+        let line = pa.line();
+        self.l1.contains(line) || self.l2.contains(line) || self.l3.borrow().contains(line)
+    }
+
+    /// Snapshot of all statistics.
+    pub fn stats(&self) -> HierarchyStats {
+        HierarchyStats {
+            l1: *self.l1.stats(),
+            l2: *self.l2.stats(),
+            l3: *self.l3.borrow().stats(),
+            dram: *self.dram.borrow().stats(),
+        }
+    }
+
+    /// Computes the dynamic-energy breakdown under `model`.
+    pub fn energy(&self, model: &EnergyModel) -> EnergyBreakdown {
+        let s = self.stats();
+        model.breakdown(&s.l1, &s.l2, &s.l3, &s.dram)
+    }
+
+    /// Clears statistics at every level (warm-up discard). Note that for a
+    /// shared LLC this clears the *shared* stats too.
+    pub fn reset_stats(&mut self) {
+        self.l1.reset_stats();
+        self.l2.reset_stats();
+        self.l3.borrow_mut().reset_stats();
+        self.dram.borrow_mut().reset_stats();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cfg() -> HierarchyConfig {
+        HierarchyConfig {
+            l1: CacheConfig::new("L1D", 1 << 10, 2, 4),
+            l2: CacheConfig::new("L2", 4 << 10, 4, 12).with_pt_priority(true),
+            l3: CacheConfig::new("L3", 16 << 10, 8, 42).with_pt_priority(true),
+            dram_latency: 200,
+        }
+    }
+
+    #[test]
+    fn miss_then_hit_ladder() {
+        let mut h = MemoryHierarchy::new(small_cfg());
+        let pa = PhysAddr::new(0x1_0000);
+        let first = h.access(pa, AccessKind::Data, OwnerId::SINGLE);
+        assert_eq!(first.level, HitLevel::Dram);
+        assert_eq!(first.latency, 200);
+        let second = h.access(pa, AccessKind::Data, OwnerId::SINGLE);
+        assert_eq!(second.level, HitLevel::L1);
+        assert_eq!(second.latency, 4);
+    }
+
+    #[test]
+    fn l2_hit_after_l1_eviction() {
+        let mut h = MemoryHierarchy::new(small_cfg());
+        let target = PhysAddr::new(0);
+        h.access(target, AccessKind::Data, OwnerId::SINGLE);
+        // Evict `target` from tiny L1 (8 sets x 2 ways = 16 lines) by
+        // touching 32 distinct lines mapping across all sets.
+        for i in 1..=32u64 {
+            h.access(PhysAddr::new(i * 64), AccessKind::Data, OwnerId::SINGLE);
+        }
+        let out = h.access(target, AccessKind::Data, OwnerId::SINGLE);
+        assert!(
+            matches!(out.level, HitLevel::L2 | HitLevel::L3),
+            "expected an on-chip hit below L1, got {:?}",
+            out.level
+        );
+    }
+
+    #[test]
+    fn stats_track_levels() {
+        let mut h = MemoryHierarchy::new(small_cfg());
+        h.access(PhysAddr::new(0), AccessKind::PageTable, OwnerId::SINGLE);
+        h.access(PhysAddr::new(0), AccessKind::PageTable, OwnerId::SINGLE);
+        let s = h.stats();
+        assert_eq!(s.l1.page_table.misses, 1);
+        assert_eq!(s.l1.page_table.hits, 1);
+        assert_eq!(s.dram.page_table_accesses, 1);
+        assert_eq!(s.dram.data_accesses, 0);
+    }
+
+    #[test]
+    fn shared_l3_is_visible_across_cores() {
+        let cfg = small_cfg();
+        let core0 = MemoryHierarchy::new(cfg.clone());
+        let l3 = core0.shared_l3();
+        let dram = core0.shared_dram();
+        let mut core0 = core0;
+        let mut core1 = MemoryHierarchy::with_shared_l3(cfg, l3, dram);
+
+        let pa = PhysAddr::new(0x8000);
+        core0.access(pa, AccessKind::Data, OwnerId(0));
+        // core1 misses its private L1/L2 but hits the shared L3.
+        let out = core1.access(pa, AccessKind::Data, OwnerId(1));
+        assert_eq!(out.level, HitLevel::L3);
+        // Only one DRAM access happened in total.
+        assert_eq!(core1.stats().dram.total(), 1);
+    }
+
+    #[test]
+    fn priority_phase_flag_roundtrip() {
+        let mut h = MemoryHierarchy::new(small_cfg());
+        assert!(!h.priority_phase());
+        h.set_priority_phase(true);
+        assert!(h.priority_phase());
+    }
+
+    #[test]
+    fn resident_after_access() {
+        let mut h = MemoryHierarchy::new(small_cfg());
+        let pa = PhysAddr::new(0x2040);
+        assert!(!h.is_resident(pa));
+        h.access(pa, AccessKind::Data, OwnerId::SINGLE);
+        assert!(h.is_resident(pa));
+    }
+
+    #[test]
+    fn reset_stats_clears_all_levels() {
+        let mut h = MemoryHierarchy::new(small_cfg());
+        h.access(PhysAddr::new(0), AccessKind::Data, OwnerId::SINGLE);
+        h.reset_stats();
+        let s = h.stats();
+        assert_eq!(s.l1.probes(), 0);
+        assert_eq!(s.l3.probes(), 0);
+        assert_eq!(s.dram.total(), 0);
+    }
+
+    #[test]
+    fn llc_resize_helper() {
+        let cfg = HierarchyConfig::server().with_llc_bytes(1 << 20);
+        assert_eq!(cfg.l3.size_bytes, 1 << 20);
+        assert!(cfg.l3.pt_priority);
+    }
+}

@@ -1,0 +1,44 @@
+//! The simulated memory hierarchy: set-associative caches, a DRAM model,
+//! and dynamic-energy accounting.
+//!
+//! This crate is the substrate on which both data accesses and page-walk
+//! accesses travel (paper Table 1/3). It implements the paper's **cache
+//! prioritization** mechanism (§5, §6.1): during phases of high TLB miss
+//! rate the L2 and LLC replacement policies are biased so that, 99 % of
+//! the time, a victim is chosen among *data* lines in preference to
+//! *page-table* lines; the remaining 1 % (or when a set holds no data
+//! lines) falls back to plain LRU. Per-line owner identifiers (MPAM-style
+//! partition IDs) additionally prevent one process' data from evicting
+//! another process' page-table lines in shared caches.
+//!
+//! # Examples
+//!
+//! ```
+//! use flatwalk_mem::{HierarchyConfig, MemoryHierarchy};
+//! use flatwalk_types::{AccessKind, OwnerId, PhysAddr};
+//!
+//! let mut hier = MemoryHierarchy::new(HierarchyConfig::server());
+//! let pa = PhysAddr::new(0x4000);
+//!
+//! // Cold access misses everywhere and pays the DRAM round trip.
+//! let cold = hier.access(pa, AccessKind::Data, OwnerId::SINGLE);
+//! // The line is now resident in L1, so a re-access is an L1 hit.
+//! let warm = hier.access(pa, AccessKind::Data, OwnerId::SINGLE);
+//! assert!(warm.latency < cold.latency);
+//! assert_eq!(warm.latency, hier.config().l1.latency);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cache;
+mod dram;
+mod energy;
+mod hierarchy;
+
+pub use cache::{Cache, CacheConfig, CacheStats, Eviction};
+pub use dram::{DramModel, DramStats};
+pub use energy::{EnergyBreakdown, EnergyModel};
+pub use hierarchy::{
+    AccessOutcome, HierarchyConfig, HierarchyStats, HitLevel, MemoryHierarchy, SharedL3,
+};

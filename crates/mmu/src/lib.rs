@@ -1,0 +1,26 @@
+//! Timed page-table walking and the MMU facade.
+//!
+//! This crate replays functional walks (from `flatwalk-pt`) through the
+//! translation caches (`flatwalk-tlb`) and the memory hierarchy
+//! (`flatwalk-mem`):
+//!
+//! * [`PageWalker`] — the native walker with paging-structure caches
+//!   (§3.3): a PSC hit skips upper levels; remaining entry reads go
+//!   through the caches as [`flatwalk_types::AccessKind::PageTable`]
+//!   accesses.
+//! * [`NestedWalker`] — the 2-D walker for virtualized systems (§4):
+//!   guest PSC + vPWC + nested TLB.
+//! * [`Mmu`] — TLB lookup, walk on miss, TLB fill, the data access, and
+//!   the high-TLB-miss phase detection that drives cache prioritization
+//!   (§5).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod mmu;
+mod nested;
+mod walker;
+
+pub use mmu::{AccessTiming, AddressSpace, Mmu, MmuStats, TranslationBackend};
+pub use nested::{NestedTables, NestedWalker, NestedWalkerStats};
+pub use walker::{PageWalker, WalkTiming, WalkerStats};

@@ -1,0 +1,336 @@
+//! The MMU facade: TLB lookup, page walk on miss, phase-driven cache
+//! prioritization, and the data access itself.
+
+use flatwalk_mem::MemoryHierarchy;
+use flatwalk_pt::{FrameStore, PageTable, WalkError};
+use flatwalk_tlb::{PhaseDetector, PwcConfig, TlbSystem, TlbSystemConfig, TlbSystemStats};
+use flatwalk_types::{AccessKind, OwnerId, PhysAddr, VirtAddr};
+
+use crate::{NestedTables, NestedWalker, PageWalker, WalkTiming, WalkerStats};
+
+/// The address-translation structures an access travels through.
+#[derive(Debug)]
+pub enum TranslationBackend {
+    /// Native execution: one page table.
+    Native(PageWalker),
+    /// Virtualized execution: guest + host tables walked in 2-D.
+    Nested(NestedWalker),
+}
+
+/// The page tables an MMU instance translates against.
+#[derive(Debug)]
+pub enum AddressSpace<'a> {
+    /// A native address space.
+    Native {
+        /// Page-table contents.
+        store: &'a FrameStore,
+        /// The table.
+        table: &'a PageTable,
+    },
+    /// A virtualized address space (guest + host tables).
+    Nested(NestedTables<'a>),
+}
+
+/// Timing of one memory access through the MMU.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessTiming {
+    /// Cycles spent translating (TLB arrays + page walk if any).
+    pub translation_latency: u64,
+    /// Cycles of the data access through the cache hierarchy.
+    pub data_latency: u64,
+    /// Whether a page walk was needed.
+    pub walked: bool,
+    /// The translated physical address.
+    pub pa: PhysAddr,
+}
+
+impl AccessTiming {
+    /// Total load-to-use latency of the access.
+    pub fn total_latency(&self) -> u64 {
+        self.translation_latency + self.data_latency
+    }
+}
+
+/// MMU-level statistics.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MmuStats {
+    /// TLB statistics.
+    pub tlb: TlbSystemStats,
+    /// Walker statistics (native or guest-walk totals for nested).
+    pub walker: WalkerStats,
+}
+
+/// A per-core MMU: TLB complex + page-table walker + the phase detector
+/// that gates cache prioritization (paper §5/§6.1).
+#[derive(Debug)]
+pub struct Mmu {
+    tlb: TlbSystem,
+    backend: TranslationBackend,
+    phase: PhaseDetector,
+    ptp_enabled: bool,
+}
+
+impl Mmu {
+    /// Builds a native MMU.
+    pub fn native(tlb: TlbSystemConfig, pwc: PwcConfig, ptp_enabled: bool) -> Self {
+        Mmu {
+            tlb: TlbSystem::new(tlb),
+            backend: TranslationBackend::Native(PageWalker::new(pwc)),
+            phase: PhaseDetector::default_config(),
+            ptp_enabled,
+        }
+    }
+
+    /// Builds a virtualized MMU (guest PSC + vPWC + nested TLB).
+    pub fn nested(
+        tlb: TlbSystemConfig,
+        guest_pwc: PwcConfig,
+        host_pwc: PwcConfig,
+        nested_entries: usize,
+        ptp_enabled: bool,
+    ) -> Self {
+        Mmu {
+            tlb: TlbSystem::new(tlb),
+            backend: TranslationBackend::Nested(NestedWalker::new(
+                guest_pwc,
+                host_pwc,
+                nested_entries,
+            )),
+            phase: PhaseDetector::default_config(),
+            ptp_enabled,
+        }
+    }
+
+    /// Whether page-table prioritization is enabled on this MMU.
+    pub fn ptp_enabled(&self) -> bool {
+        self.ptp_enabled
+    }
+
+    /// Replaces the phase detector (window/threshold tuning).
+    pub fn set_phase_detector(&mut self, phase: PhaseDetector) {
+        self.phase = phase;
+    }
+
+    /// Translates `va`, walking on a TLB miss, and performs the 64 B
+    /// data access at the translated address.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`WalkError`] if the address is unmapped.
+    pub fn access(
+        &mut self,
+        aspace: &AddressSpace<'_>,
+        hier: &mut MemoryHierarchy,
+        va: VirtAddr,
+        owner: OwnerId,
+    ) -> Result<AccessTiming, WalkError> {
+        let (pa, translation_latency, walked) = self.translate(aspace, hier, va, owner)?;
+        let data = hier.access(pa, AccessKind::Data, owner);
+        Ok(AccessTiming {
+            translation_latency,
+            data_latency: data.latency,
+            walked,
+            pa,
+        })
+    }
+
+    /// Translates `va` without performing the data access.
+    ///
+    /// Returns `(pa, latency, walked)`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`WalkError`] if the address is unmapped.
+    pub fn translate(
+        &mut self,
+        aspace: &AddressSpace<'_>,
+        hier: &mut MemoryHierarchy,
+        va: VirtAddr,
+        owner: OwnerId,
+    ) -> Result<(PhysAddr, u64, bool), WalkError> {
+        let lookup = self.tlb.lookup(va);
+        let miss = lookup.translation.is_none();
+        if self.ptp_enabled {
+            let active = self.phase.record(miss);
+            hier.set_priority_phase(active);
+        }
+        if let Some((frame, size)) = lookup.translation {
+            let pa = frame.add(va.offset(size));
+            return Ok((pa, lookup.latency, false));
+        }
+
+        let timing: WalkTiming = match (&mut self.backend, aspace) {
+            (TranslationBackend::Native(w), AddressSpace::Native { store, table }) => {
+                w.walk(store, table, va, hier, owner)?
+            }
+            (TranslationBackend::Nested(w), AddressSpace::Nested(tables)) => {
+                w.walk(tables, va, hier, owner)?
+            }
+            _ => panic!("address-space kind does not match the MMU backend"),
+        };
+        self.tlb
+            .fill(va, timing.pa.align_down(timing.size), timing.size);
+        Ok((timing.pa, lookup.latency + timing.latency, true))
+    }
+
+    /// Statistics snapshot (TLBs + walker).
+    pub fn stats(&self) -> MmuStats {
+        let walker = match &self.backend {
+            TranslationBackend::Native(w) => w.stats(),
+            TranslationBackend::Nested(w) => w.stats().walks,
+        };
+        MmuStats {
+            tlb: self.tlb.stats(),
+            walker,
+        }
+    }
+
+    /// The nested walker's extra statistics (virtualized MMUs only).
+    pub fn nested_stats(&self) -> Option<crate::NestedWalkerStats> {
+        match &self.backend {
+            TranslationBackend::Nested(w) => Some(w.stats()),
+            TranslationBackend::Native(_) => None,
+        }
+    }
+
+    /// Per-depth PSC statistics of a native walker.
+    pub fn pwc_stats(&self) -> Option<Vec<(u32, flatwalk_types::stats::HitMiss)>> {
+        match &self.backend {
+            TranslationBackend::Native(w) => Some(w.pwc_stats()),
+            TranslationBackend::Nested(_) => None,
+        }
+    }
+
+    /// Simulates a context switch: flushes the TLB complex and the
+    /// walker's translation caches (no PCID/ASID tagging is modelled).
+    /// Page-table lines in the ordinary caches survive — which is what
+    /// makes both PTP and the in-DRAM TLB of CSALT matter under
+    /// frequent switches.
+    pub fn context_switch(&mut self) {
+        self.tlb.flush();
+        match &mut self.backend {
+            TranslationBackend::Native(w) => w.flush(),
+            TranslationBackend::Nested(w) => w.flush(),
+        }
+    }
+
+    /// Clears all statistics (contents are kept warm).
+    pub fn reset_stats(&mut self) {
+        self.tlb.reset_stats();
+        match &mut self.backend {
+            TranslationBackend::Native(w) => w.reset_stats(),
+            TranslationBackend::Nested(w) => w.reset_stats(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flatwalk_mem::HierarchyConfig;
+    use flatwalk_pt::{BumpAllocator, FlattenEverywhere, Layout, Mapper};
+    use flatwalk_types::PageSize;
+
+    fn build(layout: Layout, pages: u64) -> (FrameStore, PageTable) {
+        let mut store = FrameStore::new();
+        let mut alloc = BumpAllocator::new(0x1_0000_0000);
+        let mut m = Mapper::new(&mut store, &mut alloc, layout, &FlattenEverywhere).unwrap();
+        for p in 0..pages {
+            m.map(
+                &mut store,
+                &mut alloc,
+                &FlattenEverywhere,
+                VirtAddr::new(0x4000_0000 + p * 4096),
+                PhysAddr::new(0x9_0000_0000 + p * 4096),
+                PageSize::Size4K,
+            )
+            .unwrap();
+        }
+        (store, *m.table())
+    }
+
+    #[test]
+    fn tlb_hit_avoids_walk() {
+        let (store, table) = build(Layout::conventional4(), 4);
+        let aspace = AddressSpace::Native {
+            store: &store,
+            table: &table,
+        };
+        let mut hier = MemoryHierarchy::new(HierarchyConfig::server());
+        let mut mmu = Mmu::native(TlbSystemConfig::server(), PwcConfig::server(), false);
+
+        let va = VirtAddr::new(0x4000_0000);
+        let first = mmu.access(&aspace, &mut hier, va, OwnerId::SINGLE).unwrap();
+        assert!(first.walked);
+        let second = mmu.access(&aspace, &mut hier, va, OwnerId::SINGLE).unwrap();
+        assert!(!second.walked);
+        assert_eq!(second.translation_latency, 1, "L1 TLB hit");
+        assert_eq!(second.pa, first.pa);
+        assert_eq!(mmu.stats().walker.walks, 1);
+        assert_eq!(mmu.stats().tlb.walks, 1);
+    }
+
+    #[test]
+    fn phase_detector_raises_priority_flag_under_miss_storm() {
+        let (store, table) = build(Layout::conventional4(), 4096);
+        let aspace = AddressSpace::Native {
+            store: &store,
+            table: &table,
+        };
+        let mut hier = MemoryHierarchy::new(HierarchyConfig::server());
+        let mut mmu = Mmu::native(TlbSystemConfig::server(), PwcConfig::server(), true);
+        mmu.set_phase_detector(PhaseDetector::new(64, 0.02));
+
+        // Touch thousands of distinct pages: every access misses the TLB.
+        for p in 0..4096u64 {
+            mmu.access(
+                &aspace,
+                &mut hier,
+                VirtAddr::new(0x4000_0000 + p * 4096),
+                OwnerId::SINGLE,
+            )
+            .unwrap();
+        }
+        assert!(hier.priority_phase(), "miss storm must raise the PTP flag");
+    }
+
+    #[test]
+    fn ptp_disabled_never_touches_the_flag() {
+        let (store, table) = build(Layout::conventional4(), 512);
+        let aspace = AddressSpace::Native {
+            store: &store,
+            table: &table,
+        };
+        let mut hier = MemoryHierarchy::new(HierarchyConfig::server());
+        let mut mmu = Mmu::native(TlbSystemConfig::server(), PwcConfig::server(), false);
+        for p in 0..512u64 {
+            mmu.access(
+                &aspace,
+                &mut hier,
+                VirtAddr::new(0x4000_0000 + p * 4096),
+                OwnerId::SINGLE,
+            )
+            .unwrap();
+        }
+        assert!(!hier.priority_phase());
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match")]
+    fn mismatched_backend_panics() {
+        let (store, table) = build(Layout::conventional4(), 1);
+        let aspace = AddressSpace::Native {
+            store: &store,
+            table: &table,
+        };
+        let mut hier = MemoryHierarchy::new(HierarchyConfig::server());
+        let mut mmu = Mmu::nested(
+            TlbSystemConfig::server(),
+            PwcConfig::server(),
+            PwcConfig::server(),
+            16,
+            false,
+        );
+        let _ = mmu.access(&aspace, &mut hier, VirtAddr::new(0x4000_0000), OwnerId::SINGLE);
+    }
+}

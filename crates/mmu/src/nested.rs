@@ -1,0 +1,421 @@
+//! The timed two-dimensional (virtualized) page walker (paper §4).
+//!
+//! A guest translation walks the guest page table (gVA→gPA), but every
+//! guest-table access itself needs a host translation (gPA→hPA), and the
+//! final guest-physical data address needs one more. Naively that is
+//! (4+1)×4 + 4 = 24 memory accesses; the nested TLB caches gPA→hPA page
+//! translations, the guest PSC skips guest levels, and the vPWC skips
+//! host levels (Fig. 8).
+
+use flatwalk_mem::MemoryHierarchy;
+use flatwalk_pt::{resolve, FrameStore, NodeShape, PageTable, WalkError};
+use flatwalk_tlb::{NestedTlb, Pwc, PwcConfig};
+use flatwalk_types::{AccessKind, OwnerId, PageSize, PhysAddr, VirtAddr};
+
+use crate::{WalkTiming, WalkerStats};
+
+/// The two page tables of a virtualized address space.
+///
+/// The guest table translates gVA→gPA and its contents live in the guest
+/// frame store (addressed by gPA); the host table translates gPA→hPA and
+/// lives in the host store (addressed by hPA, i.e. system physical
+/// memory, which is what the cache hierarchy is indexed by).
+#[derive(Debug)]
+pub struct NestedTables<'a> {
+    /// Guest page-table contents, addressed by guest-physical address.
+    pub guest_store: &'a FrameStore,
+    /// The guest table (gVA→gPA).
+    pub guest_table: &'a PageTable,
+    /// Host page-table contents, addressed by host-physical address.
+    pub host_store: &'a FrameStore,
+    /// The host table (gPA→hPA).
+    pub host_table: &'a PageTable,
+}
+
+/// Statistics of the nested walker.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NestedWalkerStats {
+    /// Walk-level statistics (accesses include guest and host entry
+    /// reads).
+    pub walks: WalkerStats,
+    /// Host translations requested (guest-entry accesses + final data).
+    pub nested_translations: u64,
+    /// Host translations that missed the nested TLB and walked the host
+    /// table.
+    pub host_walks: u64,
+}
+
+/// The 2-D walker: guest PSC + vPWC + nested TLB.
+#[derive(Debug, Clone)]
+pub struct NestedWalker {
+    guest_pwc: Pwc,
+    host_pwc: Pwc,
+    nested_tlb: NestedTlb,
+    stats: NestedWalkerStats,
+}
+
+impl NestedWalker {
+    /// Creates a nested walker.
+    ///
+    /// `guest_pwc` caches guest-walk prefixes (keyed by gVA), `host_pwc`
+    /// is the vPWC (keyed by gPA), and the nested TLB holds gPA→hPA page
+    /// translations (Table 1: 16-entry fully associative, 1 cycle).
+    pub fn new(guest_pwc: PwcConfig, host_pwc: PwcConfig, nested_entries: usize) -> Self {
+        NestedWalker {
+            guest_pwc: Pwc::new(guest_pwc),
+            host_pwc: Pwc::new(host_pwc),
+            nested_tlb: NestedTlb::new(nested_entries, 1),
+            stats: NestedWalkerStats::default(),
+        }
+    }
+
+    /// Cumulative statistics.
+    pub fn stats(&self) -> NestedWalkerStats {
+        self.stats
+    }
+
+    /// Clears statistics.
+    pub fn reset_stats(&mut self) {
+        self.stats = NestedWalkerStats::default();
+        self.guest_pwc.reset_stats();
+        self.host_pwc.reset_stats();
+        self.nested_tlb.reset_stats();
+    }
+
+    /// Empties the PSCs and the nested TLB (world switch).
+    pub fn flush(&mut self) {
+        self.guest_pwc.flush();
+        self.host_pwc.flush();
+        self.nested_tlb.flush();
+    }
+
+    /// Performs a full 2-D walk of `gva`.
+    ///
+    /// Returns the *host-physical* translation; `size` is the effective
+    /// TLB-insertable granularity (the smaller of the guest and host
+    /// mapping sizes, since the combined translation is only linear
+    /// within both).
+    ///
+    /// # Errors
+    ///
+    /// Propagates guest or host [`WalkError`]s.
+    pub fn walk(
+        &mut self,
+        tables: &NestedTables<'_>,
+        gva: VirtAddr,
+        hier: &mut MemoryHierarchy,
+        owner: OwnerId,
+    ) -> Result<WalkTiming, WalkError> {
+        let guest_walk = resolve(tables.guest_store, tables.guest_table, gva)?;
+        let cum: Vec<u32> = guest_walk
+            .steps
+            .iter()
+            .scan(0u32, |acc, s| {
+                *acc += s.index_bits();
+                Some(*acc)
+            })
+            .collect();
+
+        let mut latency = self.guest_pwc.latency();
+        let mut accesses = 0u64;
+        let mut first_step = 0usize;
+        if let Some(hit) = self.guest_pwc.lookup(gva) {
+            if let Some(i) = cum.iter().position(|&c| c == hit.prefix_bits) {
+                if i + 1 < guest_walk.steps.len() {
+                    first_step = i + 1;
+                }
+            }
+        }
+
+        // Guest levels: translate each entry's gPA, then read the entry.
+        for step in &guest_walk.steps[first_step..] {
+            let entry_gpa = PhysAddr::new(step.entry_pa.raw());
+            let (entry_hpa, lat, acc, _) =
+                self.host_translate(tables, entry_gpa, hier, owner)?;
+            latency += lat;
+            accesses += acc;
+            let out = hier.access(entry_hpa, AccessKind::PageTable, owner);
+            latency += out.latency;
+            accesses += 1;
+        }
+
+        // Train the guest PSC.
+        for i in first_step..guest_walk.steps.len().saturating_sub(1) {
+            let next = &guest_walk.steps[i + 1];
+            self.guest_pwc.insert(
+                gva,
+                cum[i],
+                next.node_base,
+                NodeShape::from_depth(next.depth).expect("valid step depth"),
+            );
+        }
+
+        // Final host translation of the data's guest-physical address.
+        let data_gpa = PhysAddr::new(guest_walk.pa.raw());
+        let (data_hpa, lat, acc, host_size) =
+            self.host_translate(tables, data_gpa, hier, owner)?;
+        latency += lat;
+        accesses += acc;
+
+        // Effective granularity: both mappings must be linear across the
+        // page for the TLB entry to be valid.
+        let size = guest_walk.size.min(host_size);
+
+        let timing = WalkTiming {
+            pa: data_hpa,
+            size,
+            accesses,
+            latency,
+        };
+        self.stats.walks.record(&timing);
+        Ok(timing)
+    }
+
+    /// Translates a guest-physical address via nested TLB, falling back
+    /// to a host walk accelerated by the vPWC.
+    fn host_translate(
+        &mut self,
+        tables: &NestedTables<'_>,
+        gpa: PhysAddr,
+        hier: &mut MemoryHierarchy,
+        owner: OwnerId,
+    ) -> Result<(PhysAddr, u64, u64, PageSize), WalkError> {
+        self.stats.nested_translations += 1;
+        let mut latency = self.nested_tlb.latency();
+        if let Some((hpa, size)) = self.nested_tlb.lookup(gpa) {
+            return Ok((hpa, latency, 0, size));
+        }
+        self.stats.host_walks += 1;
+
+        let host_va = gpa.as_nested_input();
+        let walk = resolve(tables.host_store, tables.host_table, host_va)?;
+        let cum: Vec<u32> = walk
+            .steps
+            .iter()
+            .scan(0u32, |acc, s| {
+                *acc += s.index_bits();
+                Some(*acc)
+            })
+            .collect();
+        latency += self.host_pwc.latency();
+        let mut first_step = 0usize;
+        if let Some(hit) = self.host_pwc.lookup(host_va) {
+            if let Some(i) = cum.iter().position(|&c| c == hit.prefix_bits) {
+                if i + 1 < walk.steps.len() {
+                    first_step = i + 1;
+                }
+            }
+        }
+        let mut accesses = 0u64;
+        for step in &walk.steps[first_step..] {
+            let out = hier.access(step.entry_pa, AccessKind::PageTable, owner);
+            latency += out.latency;
+            accesses += 1;
+        }
+        for i in first_step..walk.steps.len().saturating_sub(1) {
+            let next = &walk.steps[i + 1];
+            self.host_pwc.insert(
+                host_va,
+                cum[i],
+                next.node_base,
+                NodeShape::from_depth(next.depth).expect("valid step depth"),
+            );
+        }
+        self.nested_tlb.insert(gpa, walk.frame_base(), walk.size);
+        Ok((walk.pa, latency, accesses, walk.size))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flatwalk_mem::HierarchyConfig;
+    use flatwalk_pt::{BumpAllocator, FlattenEverywhere, Layout, Mapper};
+
+    /// Builds a virtualized setup: the guest maps gVA→gPA, the host maps
+    /// every guest-physical page (data *and* guest page-table frames).
+    fn build(
+        guest_layout: Layout,
+        host_layout: Layout,
+        pages: u64,
+    ) -> (FrameStore, PageTable, FrameStore, PageTable) {
+        let mut gstore = FrameStore::new();
+        let mut galloc = BumpAllocator::new(0x1000_0000);
+        let mut gmap =
+            Mapper::new(&mut gstore, &mut galloc, guest_layout, &FlattenEverywhere).unwrap();
+        for p in 0..pages {
+            gmap.map(
+                &mut gstore,
+                &mut galloc,
+                &FlattenEverywhere,
+                VirtAddr::new(0x4000_0000 + p * 4096),
+                PhysAddr::new(0x2000_0000 + p * 4096),
+                PageSize::Size4K,
+            )
+            .unwrap();
+        }
+
+        let mut hstore = FrameStore::new();
+        let mut halloc = BumpAllocator::new(0x40_0000_0000);
+        let mut hmap =
+            Mapper::new(&mut hstore, &mut halloc, host_layout, &FlattenEverywhere).unwrap();
+        // Identity-plus-offset host mapping covering all guest-physical
+        // space the guest uses (PT frames near 256 MB, data near 512 MB),
+        // 4 KB granularity.
+        for gfn in 0..0x2_1000u64 {
+            hmap.map(
+                &mut hstore,
+                &mut halloc,
+                &FlattenEverywhere,
+                VirtAddr::new(gfn * 4096),
+                PhysAddr::new(0x10_0000_0000 + gfn * 4096),
+                PageSize::Size4K,
+            )
+            .unwrap();
+        }
+        (gstore, *gmap.table(), hstore, *hmap.table())
+    }
+
+    #[test]
+    fn cold_2d_walk_costs_many_accesses_and_warms_down() {
+        let (gstore, gtable, hstore, htable) =
+            build(Layout::conventional4(), Layout::conventional4(), 64);
+        let tables = NestedTables {
+            guest_store: &gstore,
+            guest_table: &gtable,
+            host_store: &hstore,
+            host_table: &htable,
+        };
+        let mut hier = MemoryHierarchy::new(HierarchyConfig::server());
+        let mut w = NestedWalker::new(PwcConfig::server(), PwcConfig::server(), 16);
+
+        let cold = w
+            .walk(&tables, VirtAddr::new(0x4000_0000), &mut hier, OwnerId::SINGLE)
+            .unwrap();
+        assert!(
+            cold.accesses > 10,
+            "cold 2-D walk should approach the naive 24 accesses (got {})",
+            cold.accesses
+        );
+        assert_eq!(cold.pa.raw(), 0x10_0000_0000 + 0x2000_0000);
+
+        let warm = w
+            .walk(&tables, VirtAddr::new(0x4000_1000), &mut hier, OwnerId::SINGLE)
+            .unwrap();
+        assert!(
+            warm.accesses <= 3,
+            "PWCs + nested TLB should cut the warm walk to a few accesses (got {})",
+            warm.accesses
+        );
+    }
+
+    #[test]
+    fn flattening_guest_and_host_reduces_accesses() {
+        let (gstore, gtable, hstore, htable) =
+            build(Layout::flat_l4l3_l2l1(), Layout::flat_l4l3_l2l1(), 64);
+        let tables = NestedTables {
+            guest_store: &gstore,
+            guest_table: &gtable,
+            host_store: &hstore,
+            host_table: &htable,
+        };
+        let mut hier = MemoryHierarchy::new(HierarchyConfig::server());
+        let mut w = NestedWalker::new(PwcConfig::server(), PwcConfig::server(), 16);
+
+        let cold = w
+            .walk(&tables, VirtAddr::new(0x4000_0000), &mut hier, OwnerId::SINGLE)
+            .unwrap();
+        assert!(
+            cold.accesses <= 8,
+            "flattening both tables bounds the naive walk at 8 (got {})",
+            cold.accesses
+        );
+        // Warm: guest PSC hit (1 guest access) + final host translation.
+        let warm = w
+            .walk(&tables, VirtAddr::new(0x4000_1000), &mut hier, OwnerId::SINGLE)
+            .unwrap();
+        assert!(
+            warm.accesses <= 3,
+            "flattened warm 2-D walk should be ~2-3 accesses (got {})",
+            warm.accesses
+        );
+    }
+
+    #[test]
+    fn effective_size_is_min_of_guest_and_host() {
+        // Guest maps a 2 MB page; host backs it with 4 KB pages → the
+        // combined translation is only linear at 4 KB granularity.
+        let mut gstore = FrameStore::new();
+        let mut galloc = BumpAllocator::new(0x1000_0000);
+        let mut gmap = Mapper::new(
+            &mut gstore,
+            &mut galloc,
+            Layout::conventional4(),
+            &FlattenEverywhere,
+        )
+        .unwrap();
+        gmap.map(
+            &mut gstore,
+            &mut galloc,
+            &FlattenEverywhere,
+            VirtAddr::new(0x4000_0000),
+            PhysAddr::new(0x20_0000),
+            PageSize::Size2M,
+        )
+        .unwrap();
+
+        let mut hstore = FrameStore::new();
+        let mut halloc = BumpAllocator::new(0x40_0000_0000);
+        let mut hmap = Mapper::new(
+            &mut hstore,
+            &mut halloc,
+            Layout::conventional4(),
+            &FlattenEverywhere,
+        )
+        .unwrap();
+        for gfn in 0..0x1_1000u64 {
+            hmap.map(
+                &mut hstore,
+                &mut halloc,
+                &FlattenEverywhere,
+                VirtAddr::new(gfn * 4096),
+                PhysAddr::new(0x10_0000_0000 + gfn * 4096),
+                PageSize::Size4K,
+            )
+            .unwrap();
+        }
+        let tables = NestedTables {
+            guest_store: &gstore,
+            guest_table: gmap.table(),
+            host_store: &hstore,
+            host_table: hmap.table(),
+        };
+        let mut hier = MemoryHierarchy::new(HierarchyConfig::server());
+        let mut w = NestedWalker::new(PwcConfig::server(), PwcConfig::server(), 16);
+        let t = w
+            .walk(&tables, VirtAddr::new(0x4000_0000), &mut hier, OwnerId::SINGLE)
+            .unwrap();
+        assert_eq!(t.size, PageSize::Size4K);
+        assert_eq!(t.pa.raw(), 0x10_0000_0000 + 0x20_0000);
+    }
+
+    #[test]
+    fn nested_stats_track_host_walks() {
+        let (gstore, gtable, hstore, htable) =
+            build(Layout::conventional4(), Layout::conventional4(), 4);
+        let tables = NestedTables {
+            guest_store: &gstore,
+            guest_table: &gtable,
+            host_store: &hstore,
+            host_table: &htable,
+        };
+        let mut hier = MemoryHierarchy::new(HierarchyConfig::server());
+        let mut w = NestedWalker::new(PwcConfig::server(), PwcConfig::server(), 16);
+        w.walk(&tables, VirtAddr::new(0x4000_0000), &mut hier, OwnerId::SINGLE)
+            .unwrap();
+        let s = w.stats();
+        assert_eq!(s.walks.walks, 1);
+        assert_eq!(s.nested_translations, 5, "4 guest entries + final data");
+        assert!(s.host_walks >= 1);
+    }
+}

@@ -1,0 +1,30 @@
+//! The miniature kernel memory manager: physical allocation,
+//! address-space construction, virtualized spaces, and the §6.2
+//! allocation-failure stress model.
+//!
+//! The paper's OS story is that flattening needs only small kernel
+//! changes *because* it degrades gracefully: if the kernel cannot find
+//! a free 2 MB block for a flattened node, it falls back to two levels
+//! of conventional 4 KB nodes (§3.2, §6.2). This crate supplies the
+//! pieces that make that story testable:
+//!
+//! * [`BuddyAllocator`] — power-of-two physical allocator with
+//!   fragmentation injection.
+//! * [`AddressSpace`] / [`AddressSpaceSpec`] — builds process address
+//!   spaces under the paper's 0 %/50 %/100 % large-page scenarios with
+//!   the §3.4 no-flatten heuristic.
+//! * [`VirtualizedSpace`] — guest + host table construction (§4).
+//! * [`kernel_build_stress`] — the §6.2 oversubscription experiment.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod buddy;
+mod space;
+mod stress;
+mod virt;
+
+pub use buddy::{BuddyAllocator, BuddyStats, ORDER_1G, ORDER_2M, ORDER_4K};
+pub use space::{AddressSpace, AddressSpaceSpec, BuildStats, FragmentationScenario};
+pub use stress::{kernel_build_stress, StressConfig, StressOutcome};
+pub use virt::{VirtSpec, VirtualizedSpace};

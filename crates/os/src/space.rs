@@ -1,0 +1,392 @@
+//! Construction of process address spaces under the paper's
+//! fragmentation scenarios.
+//!
+//! The evaluation (§7) maps each benchmark's footprint under three
+//! large-page scenarios — 0 % (all 4 KB), 50 % ("realistic": the lower
+//! half of the address space in 2 MB pages), and 100 % — and applies the
+//! §3.4 no-flatten heuristic: a 1 GB virtual region with ≥ 32 2 MB
+//! mappings keeps its `L2`/`L1` levels conventional.
+
+use flatwalk_pt::{
+    FrameStore, Layout, MapError, Mapper, NfRegions, NodeCensus, PageTable, PhysAllocator,
+};
+use flatwalk_types::{PageSize, PhysAddr, VirtAddr};
+
+/// How a footprint is carved into page sizes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FragmentationScenario {
+    /// Fraction of the footprint (from the bottom of the range) backed
+    /// by 2 MB pages; the remainder uses 4 KB pages.
+    pub large_page_fraction: f64,
+}
+
+impl FragmentationScenario {
+    /// All 4 KB pages — the page-walk worst case.
+    pub const NONE: FragmentationScenario = FragmentationScenario {
+        large_page_fraction: 0.0,
+    };
+    /// Half the footprint in 2 MB pages — the paper's "realistic"
+    /// scenario (lower half of the address space, after [42, 54]).
+    pub const HALF: FragmentationScenario = FragmentationScenario {
+        large_page_fraction: 0.5,
+    };
+    /// Everything in 2 MB pages — the best case, "unrealistic".
+    pub const FULL: FragmentationScenario = FragmentationScenario {
+        large_page_fraction: 1.0,
+    };
+
+    /// The three paper scenarios in presentation order.
+    pub const ALL: [FragmentationScenario; 3] =
+        [Self::NONE, Self::HALF, Self::FULL];
+
+    /// Short label ("0% LP", "50% LP", "100% LP").
+    pub fn label(&self) -> String {
+        format!("{:.0}% LP", self.large_page_fraction * 100.0)
+    }
+}
+
+/// Specification of an address space to build.
+#[derive(Debug, Clone)]
+pub struct AddressSpaceSpec {
+    /// Target page-table organization.
+    pub layout: Layout,
+    /// Lowest mapped virtual address (2 MB aligned).
+    pub base_va: u64,
+    /// Bytes of memory to map (rounded up to 2 MB).
+    pub footprint: u64,
+    /// Page-size mix.
+    pub scenario: FragmentationScenario,
+    /// §3.4 heuristic: mark a 1 GB region no-flatten when it holds at
+    /// least this many 2 MB mappings (`None` disables NF regions — the
+    /// plain "FPT" configuration of Fig. 4).
+    pub nf_threshold: Option<u32>,
+}
+
+impl AddressSpaceSpec {
+    /// A spec with the paper's defaults (NF heuristic enabled at 32).
+    pub fn new(layout: Layout, footprint: u64) -> Self {
+        AddressSpaceSpec {
+            layout,
+            base_va: 0x1000_0000_0000,
+            footprint,
+            scenario: FragmentationScenario::NONE,
+            nf_threshold: Some(32),
+        }
+    }
+
+    /// Sets the fragmentation scenario.
+    pub fn with_scenario(mut self, scenario: FragmentationScenario) -> Self {
+        self.scenario = scenario;
+        self
+    }
+
+    /// Sets (or disables) the no-flatten threshold.
+    pub fn with_nf_threshold(mut self, threshold: Option<u32>) -> Self {
+        self.nf_threshold = threshold;
+        self
+    }
+
+    /// Sets the base virtual address.
+    pub fn with_base_va(mut self, base_va: u64) -> Self {
+        self.base_va = base_va;
+        self
+    }
+}
+
+/// Outcome counters of an address-space build.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BuildStats {
+    /// 2 MB data pages successfully allocated.
+    pub huge_data_pages: u64,
+    /// 2 MB data-page requests that fell back to 512 × 4 KB (THP
+    /// fallback under physical fragmentation).
+    pub huge_data_fallbacks: u64,
+    /// 4 KB data pages allocated.
+    pub small_data_pages: u64,
+}
+
+/// A fully built process address space: the page table, its backing
+/// store, and the policies used.
+#[derive(Debug)]
+pub struct AddressSpace {
+    spec: AddressSpaceSpec,
+    store: FrameStore,
+    mapper: Mapper,
+    nf: NfRegions,
+    build_stats: BuildStats,
+}
+
+impl AddressSpace {
+    /// Builds the address space, allocating data pages and table nodes
+    /// from `alloc`.
+    ///
+    /// The lower `large_page_fraction` of the footprint is mapped with
+    /// 2 MB pages (falling back to 4 KB pages when the allocator cannot
+    /// produce a 2 MB block), the rest with 4 KB pages. When the NF
+    /// threshold is set, 1 GB regions holding at least that many 2 MB
+    /// mappings are excluded from `L2`/`L1` flattening *before* mapping
+    /// begins, mirroring an OS that tracks promotion statistics.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MapError`] if the table cannot be built at all (e.g.
+    /// out of physical memory).
+    pub fn build(
+        spec: AddressSpaceSpec,
+        alloc: &mut dyn PhysAllocator,
+    ) -> Result<AddressSpace, MapError> {
+        assert_eq!(
+            spec.base_va % PageSize::Size2M.bytes(),
+            0,
+            "base VA must be 2 MB aligned"
+        );
+        let footprint = PageSize::Size2M.align_up(spec.footprint.max(1));
+        let huge_bytes = PageSize::Size2M.align_down(
+            (footprint as f64 * spec.scenario.large_page_fraction) as u64,
+        );
+
+        // Plan: [base, base+huge_bytes) in 2 MB pages, rest in 4 KB.
+        // Pre-compute NF regions from the plan (§3.4).
+        let mut nf = NfRegions::new();
+        if let Some(threshold) = spec.nf_threshold {
+            let mut count_per_region: std::collections::HashMap<u64, u32> =
+                std::collections::HashMap::new();
+            let mut off = 0;
+            while off < huge_bytes {
+                let va = spec.base_va + off;
+                *count_per_region.entry(va >> 30).or_default() += 1;
+                off += PageSize::Size2M.bytes();
+            }
+            for (region, count) in count_per_region {
+                if count >= threshold {
+                    nf.mark(VirtAddr::new(region << 30));
+                }
+            }
+        }
+
+        let mut store = FrameStore::new();
+        let mut mapper = Mapper::new(&mut store, alloc, spec.layout.clone(), &nf)?;
+        let mut build_stats = BuildStats::default();
+
+        let mut off = 0u64;
+        while off < footprint {
+            let va = VirtAddr::new(spec.base_va + off);
+            if off < huge_bytes {
+                // 2 MB data page, with THP-style fallback.
+                if let Some(pa) = alloc.alloc(PageSize::Size2M) {
+                    mapper.map(&mut store, alloc, &nf, va, pa, PageSize::Size2M)?;
+                    build_stats.huge_data_pages += 1;
+                } else {
+                    build_stats.huge_data_fallbacks += 1;
+                    for i in 0..512u64 {
+                        let pa = alloc.alloc(PageSize::Size4K).ok_or(MapError::AllocFailed)?;
+                        mapper.map(
+                            &mut store,
+                            alloc,
+                            &nf,
+                            va.add(i * 4096),
+                            pa,
+                            PageSize::Size4K,
+                        )?;
+                        build_stats.small_data_pages += 1;
+                    }
+                }
+                off += PageSize::Size2M.bytes();
+            } else {
+                let pa = alloc.alloc(PageSize::Size4K).ok_or(MapError::AllocFailed)?;
+                mapper.map(&mut store, alloc, &nf, va, pa, PageSize::Size4K)?;
+                build_stats.small_data_pages += 1;
+                off += PageSize::Size4K.bytes();
+            }
+        }
+
+        Ok(AddressSpace {
+            spec,
+            store,
+            mapper,
+            nf,
+            build_stats,
+        })
+    }
+
+    /// The build specification.
+    pub fn spec(&self) -> &AddressSpaceSpec {
+        &self.spec
+    }
+
+    /// Page-table contents (for walkers).
+    pub fn store(&self) -> &FrameStore {
+        &self.store
+    }
+
+    /// The realized page table.
+    pub fn table(&self) -> &PageTable {
+        self.mapper.table()
+    }
+
+    /// Node census of the table.
+    pub fn census(&self) -> &NodeCensus {
+        self.mapper.census()
+    }
+
+    /// The no-flatten regions that were applied.
+    pub fn nf_regions(&self) -> &NfRegions {
+        &self.nf
+    }
+
+    /// Data-page allocation outcome.
+    pub fn build_stats(&self) -> BuildStats {
+        self.build_stats
+    }
+
+    /// Maps one additional page (for tests and incremental scenarios).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MapError`] on conflicts or allocation failure.
+    pub fn map_extra(
+        &mut self,
+        alloc: &mut dyn PhysAllocator,
+        va: VirtAddr,
+        pa: PhysAddr,
+        size: PageSize,
+    ) -> Result<(), MapError> {
+        let nf = self.nf.clone();
+        self.mapper.map(&mut self.store, alloc, &nf, va, pa, size)
+    }
+
+    /// Highest mapped virtual address + 1.
+    pub fn end_va(&self) -> u64 {
+        self.spec.base_va + PageSize::Size2M.align_up(self.spec.footprint.max(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BuddyAllocator;
+    use flatwalk_pt::resolve;
+    use flatwalk_types::rng::SplitMix64;
+
+    fn build(scenario: FragmentationScenario, layout: Layout) -> (AddressSpace, BuddyAllocator) {
+        let mut buddy = BuddyAllocator::new(0, 1 << 30);
+        let spec = AddressSpaceSpec::new(layout, 64 << 20).with_scenario(scenario);
+        let space = AddressSpace::build(spec, &mut buddy).unwrap();
+        (space, buddy)
+    }
+
+    #[test]
+    fn zero_lp_scenario_maps_everything_4k() {
+        let (space, _) = build(FragmentationScenario::NONE, Layout::conventional4());
+        assert_eq!(space.build_stats().huge_data_pages, 0);
+        assert_eq!(space.build_stats().small_data_pages, (64 << 20) / 4096);
+        let w = resolve(
+            space.store(),
+            space.table(),
+            VirtAddr::new(space.spec().base_va + 12345),
+        )
+        .unwrap();
+        assert_eq!(w.size, PageSize::Size4K);
+    }
+
+    #[test]
+    fn half_lp_scenario_splits_the_footprint() {
+        let (space, _) = build(FragmentationScenario::HALF, Layout::conventional4());
+        assert_eq!(space.build_stats().huge_data_pages, (32 << 20) / (2 << 20));
+        assert_eq!(space.build_stats().small_data_pages, (32 << 20) / 4096);
+        // Low half → 2 MB translation; high half → 4 KB.
+        let low = resolve(
+            space.store(),
+            space.table(),
+            VirtAddr::new(space.spec().base_va),
+        )
+        .unwrap();
+        assert_eq!(low.size, PageSize::Size2M);
+        let high = resolve(
+            space.store(),
+            space.table(),
+            VirtAddr::new(space.spec().base_va + (48 << 20)),
+        )
+        .unwrap();
+        assert_eq!(high.size, PageSize::Size4K);
+    }
+
+    #[test]
+    fn nf_heuristic_marks_2mb_heavy_regions() {
+        // 64 MB footprint at 100% LP = 32 x 2MB pages in one 1 GB region:
+        // exactly at the threshold → marked.
+        let (space, _) = build(FragmentationScenario::FULL, Layout::flat_l4l3_l2l1());
+        assert_eq!(space.nf_regions().len(), 1);
+        // Consequently no replicated entries were needed.
+        assert_eq!(space.census().replicated_entries, 0);
+        let w = resolve(
+            space.store(),
+            space.table(),
+            VirtAddr::new(space.spec().base_va + (2 << 20) + 7),
+        )
+        .unwrap();
+        assert_eq!(w.size, PageSize::Size2M);
+    }
+
+    #[test]
+    fn without_nf_flattened_tables_replicate() {
+        let mut buddy = BuddyAllocator::new(0, 1 << 30);
+        let spec = AddressSpaceSpec::new(Layout::flat_l4l3_l2l1(), 64 << 20)
+            .with_scenario(FragmentationScenario::FULL)
+            .with_nf_threshold(None);
+        let space = AddressSpace::build(spec, &mut buddy).unwrap();
+        assert_eq!(space.nf_regions().len(), 0);
+        assert_eq!(
+            space.census().replicated_entries,
+            32 * 512,
+            "each 2 MB page replicated into 512 L1 entries (§3.4)"
+        );
+    }
+
+    #[test]
+    fn thp_fallback_under_physical_fragmentation() {
+        let mut buddy = BuddyAllocator::new(0, 256 << 20);
+        let mut rng = SplitMix64::new(7);
+        let _held = buddy.fragment(&mut rng, 0.03);
+        let spec = AddressSpaceSpec::new(Layout::conventional4(), 8 << 20)
+            .with_scenario(FragmentationScenario::FULL);
+        let space = AddressSpace::build(spec, &mut buddy).unwrap();
+        assert!(
+            space.build_stats().huge_data_fallbacks > 0,
+            "fragmented memory must force 4 KB fallbacks"
+        );
+        // Every page still resolves.
+        let w = resolve(
+            space.store(),
+            space.table(),
+            VirtAddr::new(space.spec().base_va + (3 << 20)),
+        )
+        .unwrap();
+        assert_eq!(w.pa.offset(PageSize::Size4K), 0);
+    }
+
+    #[test]
+    fn flattened_space_walks_in_two_steps() {
+        let (space, _) = build(FragmentationScenario::NONE, Layout::flat_l4l3_l2l1());
+        let w = resolve(
+            space.store(),
+            space.table(),
+            VirtAddr::new(space.spec().base_va + (10 << 20)),
+        )
+        .unwrap();
+        assert_eq!(w.steps.len(), 2);
+        assert_eq!(space.census().flat2_nodes, 2);
+    }
+
+    #[test]
+    fn table_size_ratio_matches_paper_claim() {
+        // §1: flattening turns ~N 4 KB nodes into a few 2 MB nodes.
+        let (conv, _) = build(FragmentationScenario::NONE, Layout::conventional4());
+        let (flat, _) = build(FragmentationScenario::NONE, Layout::flat_l4l3_l2l1());
+        let conv_nodes = conv.census().nodes();
+        let flat_nodes = flat.census().nodes();
+        assert!(conv_nodes > 30, "64 MB of 4K pages needs >30 nodes");
+        assert_eq!(flat_nodes, 2);
+        assert!(flat.census().table_bytes() > conv.census().table_bytes());
+    }
+}

@@ -1,0 +1,558 @@
+//! The §6.2 kernel stress experiment: how often do the two 2 MB
+//! allocations needed for a flattened page table fail on a loaded,
+//! oversubscribed system?
+//!
+//! The paper stress-tested its Linux prototype by building a kernel with
+//! 100 concurrent processes on a 128-thread server: with 6 % memory
+//! oversubscription (500 MB swap on 8 GB RAM), 0.5 % of 3464 compiler
+//! invocations failed at least one of the two 2 MB allocations; with
+//! 50 % oversubscription the failure rate rose to 12 %, and every
+//! failure was absorbed by the graceful 4 KB fallback.
+//!
+//! The model reproduces the kernel *mechanisms* that produce those
+//! numbers:
+//!
+//! * short-lived compiler processes fault 4 KB working sets in and out
+//!   of a buddy allocator sized to RAM;
+//! * the commit level implied by the oversubscription forces **reclaim**
+//!   (swap-out of randomly chosen single pages) whenever RAM runs out,
+//!   scattering holes;
+//! * a 2 MB request that cannot be satisfied directly performs
+//!   **direct reclaim** to a watermark and then **compaction**: find a
+//!   2 MB-aligned block containing only *movable* pages and migrate its
+//!   occupants into free frames elsewhere (what Linux's direct
+//!   compaction does for THP and our flattened-table allocations);
+//! * pages faulted in while the system is swapping heavily are
+//!   *unmovable* with a pressure-dependent probability (dirty or
+//!   under-writeback pages cannot be migrated), so compaction — and
+//!   therefore the 2 MB allocation — fails more often the harder the
+//!   system swaps.
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+
+use flatwalk_pt::PhysAllocator;
+use flatwalk_types::rng::SplitMix64;
+use flatwalk_types::{PageSize, PhysAddr};
+
+use crate::BuddyAllocator;
+
+/// Parameters of the stress run.
+#[derive(Debug, Clone)]
+pub struct StressConfig {
+    /// Physical memory size (power of two). The paper used 8 GB; the
+    /// default scales down to keep the experiment fast while preserving
+    /// the RAM : working-set ratio.
+    pub ram_bytes: u64,
+    /// Memory oversubscription: committed / RAM − 1 (0.06 and 0.5 in
+    /// the paper).
+    pub oversubscription: f64,
+    /// Compiler invocations to simulate (paper: 3464).
+    pub invocations: u64,
+    /// Concurrent processes (paper: 100).
+    pub concurrency: usize,
+    /// Baseline probability that a freshly faulted page is unmovable
+    /// (kernel/slab/pinned allocations exist even without pressure).
+    pub unmovable_base: f64,
+    /// Additional unmovable probability per unit of swap rate
+    /// (reclaimed pages per faulted page, smoothed) — under heavy
+    /// swapping more pages are dirty or under writeback and cannot be
+    /// migrated.
+    pub unmovable_per_swap: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for StressConfig {
+    fn default() -> Self {
+        StressConfig {
+            ram_bytes: 1 << 30,
+            oversubscription: 0.06,
+            invocations: 3464,
+            concurrency: 48,
+            unmovable_base: 0.0062,
+            unmovable_per_swap: 0.0004,
+            seed: 0x57E55,
+        }
+    }
+}
+
+/// Outcome of the stress run.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct StressOutcome {
+    /// Invocations simulated.
+    pub invocations: u64,
+    /// Individual 2 MB allocation attempts (2 per invocation).
+    pub attempts: u64,
+    /// 2 MB attempts that needed compaction (direct allocation failed).
+    pub compactions: u64,
+    /// Failed 2 MB allocation attempts (fallback taken).
+    pub failures: u64,
+    /// Invocations where at least one of the two allocations failed —
+    /// the paper's headline metric.
+    pub invocations_with_failure: u64,
+    /// Pages swapped out over the run (reclaim intensity).
+    pub reclaimed_pages: u64,
+    /// Mean smoothed swap rate over the run.
+    pub mean_swap_rate: f64,
+}
+
+impl StressOutcome {
+    /// Fraction of invocations that hit the fallback path.
+    pub fn invocation_failure_rate(&self) -> f64 {
+        if self.invocations == 0 {
+            0.0
+        } else {
+            self.invocations_with_failure as f64 / self.invocations as f64
+        }
+    }
+}
+
+#[derive(Default, Clone, Copy)]
+struct BlockOcc {
+    live: u32,
+    unmovable: u32,
+}
+
+#[derive(Default)]
+struct Process {
+    pages: Vec<u64>,
+    tables: Vec<PhysAddr>,
+}
+
+struct PageInfo {
+    owner: u64,
+    unmovable: bool,
+    /// Index of this page in its owner's `pages` vector.
+    owner_pos: usize,
+    /// Index of this page in the global registry.
+    global_pos: usize,
+}
+
+/// Deterministic page registry with O(1) random selection.
+struct Registry {
+    all: Vec<u64>,
+    info: HashMap<u64, PageInfo>,
+    /// Per-2 MB-block occupancy, deterministic iteration order.
+    blocks: BTreeMap<u64, BlockOcc>,
+}
+
+impl Registry {
+    fn add(&mut self, procs: &mut HashMap<u64, Process>, addr: u64, owner: u64, unmovable: bool) {
+        let proc_pages = &mut procs.get_mut(&owner).expect("live owner").pages;
+        let owner_pos = proc_pages.len();
+        proc_pages.push(addr);
+        let global_pos = self.all.len();
+        self.all.push(addr);
+        let prev = self.info.insert(
+            addr,
+            PageInfo {
+                owner,
+                unmovable,
+                owner_pos,
+                global_pos,
+            },
+        );
+        assert!(prev.is_none(), "double-add of page {addr:#x}");
+        let occ = self.blocks.entry(addr >> 21).or_default();
+        occ.live += 1;
+        if unmovable {
+            occ.unmovable += 1;
+        }
+    }
+
+    /// Removes a page from all indexes; returns (owner, unmovable).
+    fn remove(&mut self, procs: &mut HashMap<u64, Process>, addr: u64) -> (u64, bool) {
+        let info = self.info.remove(&addr).expect("page tracked");
+        // Fix the global registry: swap_remove moves the *last* element
+        // into the vacated slot, so that element's index must be patched.
+        let last = *self.all.last().expect("registry non-empty");
+        self.all.swap_remove(info.global_pos);
+        if last != addr {
+            self.info
+                .get_mut(&last)
+                .expect("moved page tracked")
+                .global_pos = info.global_pos;
+        }
+        // Fix the owner's page list (the owner may already be retired).
+        if let Some(p) = procs.get_mut(&info.owner) {
+            debug_assert_eq!(p.pages.get(info.owner_pos).copied(), Some(addr));
+            let last = *p.pages.last().expect("owner list non-empty");
+            p.pages.swap_remove(info.owner_pos);
+            if last != addr {
+                self.info
+                    .get_mut(&last)
+                    .expect("moved page tracked")
+                    .owner_pos = info.owner_pos;
+            }
+        }
+        let occ = self.blocks.get_mut(&(addr >> 21)).expect("block tracked");
+        occ.live -= 1;
+        if info.unmovable {
+            occ.unmovable -= 1;
+        }
+        if occ.live == 0 {
+            self.blocks.remove(&(addr >> 21));
+        }
+        (info.owner, info.unmovable)
+    }
+
+    #[cfg(test)]
+    fn verify(&self, procs: &HashMap<u64, Process>, where_: &str) {
+        for (pid, p) in procs {
+            for (i, &addr) in p.pages.iter().enumerate() {
+                let info = self.info.get(&addr).unwrap_or_else(|| {
+                    panic!("{where_}: page {addr:#x} of pid {pid} untracked")
+                });
+                assert_eq!(info.owner, *pid, "{where_}: owner mismatch {addr:#x}");
+                assert_eq!(info.owner_pos, i, "{where_}: owner_pos mismatch {addr:#x}");
+            }
+        }
+        for (g, &addr) in self.all.iter().enumerate() {
+            let info = self.info.get(&addr).expect("global page tracked");
+            assert_eq!(info.global_pos, g, "{where_}: global_pos mismatch {addr:#x}");
+        }
+        assert_eq!(self.all.len(), self.info.len(), "{where_}: registry size skew");
+    }
+
+    fn random_page(&self, rng: &mut SplitMix64) -> Option<u64> {
+        if self.all.is_empty() {
+            None
+        } else {
+            Some(self.all[rng.next_range(self.all.len() as u64) as usize])
+        }
+    }
+}
+
+struct Kernel {
+    buddy: BuddyAllocator,
+    rng: SplitMix64,
+    reg: Registry,
+    faults: u64,
+    reclaims: u64,
+    swap_rate: f64,
+    cfg_unmovable_base: f64,
+    cfg_unmovable_per_swap: f64,
+}
+
+impl Kernel {
+    /// Swaps out one random page; returns false if nothing is left.
+    fn reclaim_one(&mut self, procs: &mut HashMap<u64, Process>) -> bool {
+        let Some(victim) = self.reg.random_page(&mut self.rng) else {
+            return false;
+        };
+        self.reg.remove(procs, victim);
+        self.buddy.free(PhysAddr::new(victim));
+        self.reclaims += 1;
+        true
+    }
+
+    /// Faults one 4 KB page for `owner`, reclaiming under pressure.
+    fn fault_page(&mut self, procs: &mut HashMap<u64, Process>, owner: u64) {
+        self.faults += 1;
+        let addr = loop {
+            if let Some(pa) = self.buddy.alloc(PageSize::Size4K) {
+                break pa.raw();
+            }
+            assert!(self.reclaim_one(procs), "stress model wedged");
+        };
+        let unmovable_p = self.unmovable_probability();
+        let unmovable = self.rng.chance(unmovable_p);
+        self.reg.add(procs, addr, owner, unmovable);
+    }
+
+    fn unmovable_probability(&self) -> f64 {
+        self.cfg_unmovable_base + self.cfg_unmovable_per_swap * self.swap_rate
+    }
+}
+
+/// Runs the kernel-build stress model.
+///
+/// # Examples
+///
+/// ```
+/// use flatwalk_os::{kernel_build_stress, StressConfig};
+///
+/// let light = StressConfig {
+///     ram_bytes: 64 << 20,
+///     invocations: 100,
+///     concurrency: 8,
+///     ..StressConfig::default()
+/// };
+/// let out = kernel_build_stress(&light);
+/// assert_eq!(out.invocations, 100);
+/// ```
+pub fn kernel_build_stress(cfg: &StressConfig) -> StressOutcome {
+    let ram_pages = cfg.ram_bytes / 4096;
+    let committed_pages = (ram_pages as f64 * (1.0 + cfg.oversubscription)) as u64;
+    let table_pages_per_proc = 2 * 512u64;
+    let ws_pages = (committed_pages / cfg.concurrency as u64)
+        .saturating_sub(table_pages_per_proc)
+        .max(64);
+
+    let mut k = Kernel {
+        buddy: BuddyAllocator::new(0, cfg.ram_bytes),
+        rng: SplitMix64::new(cfg.seed),
+        reg: Registry {
+            all: Vec::new(),
+            info: HashMap::new(),
+            blocks: BTreeMap::new(),
+        },
+        faults: 0,
+        reclaims: 0,
+        swap_rate: 0.0,
+        cfg_unmovable_base: cfg.unmovable_base,
+        cfg_unmovable_per_swap: cfg.unmovable_per_swap,
+    };
+    let mut procs: HashMap<u64, Process> = HashMap::new();
+    let mut order: VecDeque<u64> = VecDeque::new();
+    let mut out = StressOutcome::default();
+    let mut rate_sum = 0.0;
+
+    for pid in 0..cfg.invocations {
+        if order.len() >= cfg.concurrency {
+            let dead_id = order.pop_front().expect("non-empty");
+            // Remove pages via the registry (which edits procs), then
+            // drop the process record.
+            let pages: Vec<u64> = procs.get(&dead_id).expect("tracked").pages.clone();
+            for p in pages {
+                k.reg.remove(&mut procs, p);
+                k.buddy.free(PhysAddr::new(p));
+            }
+            let dead = procs.remove(&dead_id).expect("tracked");
+            for t in dead.tables {
+                k.buddy.free(t);
+            }
+        }
+
+        procs.insert(pid, Process::default());
+        order.push_back(pid);
+
+        // The new compiler process faults in its working set.
+        let spread = ws_pages / 4;
+        let want = ws_pages - spread + k.rng.next_range(2 * spread + 1);
+        let faults_before = k.faults;
+        let reclaims_before = k.reclaims;
+        for _ in 0..want {
+            k.fault_page(&mut procs, pid);
+        }
+        // Smoothed swap rate (reclaims per fault, EWMA per invocation).
+        let df = (k.faults - faults_before).max(1) as f64;
+        let dr = (k.reclaims - reclaims_before) as f64;
+        k.swap_rate = 0.7 * k.swap_rate + 0.3 * (dr / df);
+        rate_sum += k.swap_rate;
+
+        // The two 2 MB allocations for its flattened page table (§6.2).
+        out.invocations += 1;
+        let mut failed = false;
+        for _ in 0..2 {
+            out.attempts += 1;
+            let block = alloc_huge(&mut k, &mut procs, &mut out);
+            match block {
+                Some(pa) => procs.get_mut(&pid).expect("live").tables.push(pa),
+                None => {
+                    out.failures += 1;
+                    failed = true;
+                    // Graceful fallback: conventional 4 KB nodes. Table
+                    // nodes are kernel allocations — unmovable.
+                    for _ in 0..2 {
+                        k.faults += 1;
+                        let addr = loop {
+                            if let Some(pa) = k.buddy.alloc(PageSize::Size4K) {
+                                break pa.raw();
+                            }
+                            assert!(k.reclaim_one(&mut procs), "wedged");
+                        };
+                        k.reg.add(&mut procs, addr, pid, true);
+                    }
+                }
+            }
+        }
+        if failed {
+            out.invocations_with_failure += 1;
+        }
+    }
+
+    out.reclaimed_pages = k.reclaims;
+    out.mean_swap_rate = if cfg.invocations == 0 {
+        0.0
+    } else {
+        rate_sum / cfg.invocations as f64
+    };
+    out
+}
+
+/// 2 MB allocation with the kernel's slow path: direct allocation, then
+/// direct reclaim to a watermark, then compaction.
+fn alloc_huge(
+    k: &mut Kernel,
+    procs: &mut HashMap<u64, Process>,
+    out: &mut StressOutcome,
+) -> Option<PhysAddr> {
+    if let Some(pa) = k.buddy.alloc(PageSize::Size2M) {
+        return Some(pa);
+    }
+    out.compactions += 1;
+    // Direct reclaim: free frames up to a watermark of 3 x 512 so
+    // compaction has somewhere to migrate to (scattered frees rarely
+    // produce a whole 2 MB block by themselves).
+    let watermark = 3 * 512 * 4096u64;
+    while k.buddy.free_bytes() < watermark {
+        if !k.reclaim_one(procs) {
+            break;
+        }
+    }
+    if let Some(pa) = k.buddy.alloc(PageSize::Size2M) {
+        return Some(pa);
+    }
+    try_compaction(k, procs)
+}
+
+/// Direct compaction: pick the fully movable 2 MB block with the fewest
+/// occupants and migrate them into free frames elsewhere.
+fn try_compaction(k: &mut Kernel, procs: &mut HashMap<u64, Process>) -> Option<PhysAddr> {
+    let free_frames = k.buddy.free_bytes() / 4096;
+    let (block, live) = k
+        .reg
+        .blocks
+        .iter()
+        .filter(|(_, occ)| occ.unmovable == 0)
+        .min_by_key(|(_, occ)| occ.live)
+        .map(|(&b, occ)| (b, occ.live))?;
+    if live as u64 + 8 > free_frames {
+        return None;
+    }
+    let base = block << 21;
+    let residents: Vec<u64> = (0..512u64)
+        .map(|i| base + i * 4096)
+        .filter(|a| k.reg.info.contains_key(a))
+        .collect();
+    debug_assert_eq!(residents.len() as u32, live);
+
+    // Migrate each resident out of the block. Replacement frames that
+    // happen to land back inside the block are stashed and released
+    // afterwards.
+    let mut stash: Vec<PhysAddr> = Vec::new();
+    let mut give_up = false;
+    for addr in residents {
+        let (owner, unmovable) = k.reg.remove(procs, addr);
+        k.buddy.free(PhysAddr::new(addr));
+        let mut dest = None;
+        for _ in 0..32 {
+            match k.buddy.alloc(PageSize::Size4K) {
+                Some(pa) if pa.raw() >> 21 == block => stash.push(pa),
+                Some(pa) => {
+                    dest = Some(pa.raw());
+                    break;
+                }
+                None => break,
+            }
+        }
+        match dest {
+            Some(new) => {
+                if procs.contains_key(&owner) {
+                    k.reg.add(procs, new, owner, unmovable);
+                } else {
+                    // Owner raced away (cannot happen today; defensive).
+                    k.buddy.free(PhysAddr::new(new));
+                }
+            }
+            None => {
+                give_up = true;
+                break;
+            }
+        }
+    }
+    for s in stash {
+        k.buddy.free(s);
+    }
+    if give_up {
+        return None;
+    }
+    k.buddy.alloc(PageSize::Size2M)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_fuzz() {
+        let mut reg = Registry {
+            all: Vec::new(),
+            info: HashMap::new(),
+            blocks: BTreeMap::new(),
+        };
+        let mut procs: HashMap<u64, Process> = HashMap::new();
+        for pid in 0..4 {
+            procs.insert(pid, Process::default());
+        }
+        let mut rng = SplitMix64::new(99);
+        let mut next_addr: u64 = 0;
+        let mut live: Vec<u64> = Vec::new();
+        for step in 0..200_000 {
+            if live.is_empty() || rng.chance(0.55) {
+                let addr = next_addr;
+                next_addr += 4096;
+                let pid = rng.next_range(4);
+                reg.add(&mut procs, addr, pid, rng.chance(0.1));
+                live.push(addr);
+            } else {
+                let i = rng.next_range(live.len() as u64) as usize;
+                let addr = live.swap_remove(i);
+                reg.remove(&mut procs, addr);
+            }
+            if step % 10_000 == 0 {
+                reg.verify(&procs, "fuzz");
+            }
+        }
+        reg.verify(&procs, "fuzz-end");
+    }
+
+    fn quick(ovs: f64) -> StressOutcome {
+        kernel_build_stress(&StressConfig {
+            ram_bytes: 128 << 20,
+            oversubscription: ovs,
+            invocations: 150,
+            concurrency: 16,
+            seed: 11,
+            ..StressConfig::default()
+        })
+    }
+
+    #[test]
+    fn runs_to_completion_and_counts() {
+        let out = quick(0.06);
+        assert_eq!(out.invocations, 150);
+        assert!(out.attempts >= 300);
+        assert!(out.failures <= out.attempts);
+        assert!(out.invocations_with_failure <= out.invocations);
+    }
+
+    #[test]
+    fn oversubscription_increases_reclaim_and_failures() {
+        let light = quick(0.04);
+        let heavy = quick(0.6);
+        assert!(
+            heavy.reclaimed_pages > light.reclaimed_pages,
+            "heavier oversubscription must swap more (heavy {}, light {})",
+            heavy.reclaimed_pages,
+            light.reclaimed_pages
+        );
+        assert!(
+            heavy.invocation_failure_rate() >= light.invocation_failure_rate(),
+            "heavy ovs {} should fail at least as often as light {}",
+            heavy.invocation_failure_rate(),
+            light.invocation_failure_rate()
+        );
+        assert!(
+            light.invocation_failure_rate() < 0.15,
+            "reclaim + compaction should absorb most light-load failures (got {})",
+            light.invocation_failure_rate()
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        assert_eq!(quick(0.3), quick(0.3));
+    }
+}

@@ -1,0 +1,244 @@
+//! Construction of virtualized (guest + host) address spaces (paper §4).
+
+use flatwalk_pt::{
+    FrameStore, Layout, MapError, Mapper, NfRegions, NodeCensus, PageTable, PhysAllocator,
+};
+use flatwalk_types::{PageSize, PhysAddr, VirtAddr};
+
+use crate::{AddressSpace, AddressSpaceSpec, BuddyAllocator, FragmentationScenario};
+
+/// Specification of a virtualized address space.
+#[derive(Debug, Clone)]
+pub struct VirtSpec {
+    /// The guest's own address space (layout = guest-table organization;
+    /// its scenario controls *guest* data page sizes).
+    pub guest: AddressSpaceSpec,
+    /// Guest physical memory size (power of two). Guest data and guest
+    /// page-table frames are allocated inside it.
+    pub guest_mem_bytes: u64,
+    /// Host page-table organization (flattened for "HF" configurations).
+    pub host_layout: Layout,
+    /// Fraction of guest-physical memory the hypervisor backs with 2 MB
+    /// host pages (hypervisors prefer large mappings, §4.1 ➋).
+    pub host_scenario: FragmentationScenario,
+}
+
+impl VirtSpec {
+    /// A spec with a guest memory size derived from the footprint
+    /// (next power of two with ≥ 25 % headroom for guest page tables).
+    pub fn new(guest: AddressSpaceSpec, host_layout: Layout) -> Self {
+        let needed = guest.footprint + guest.footprint / 4 + (64 << 20);
+        VirtSpec {
+            guest,
+            guest_mem_bytes: needed.next_power_of_two(),
+            host_layout,
+            host_scenario: FragmentationScenario::HALF,
+        }
+    }
+
+    /// Sets the host large-page mix.
+    pub fn with_host_scenario(mut self, scenario: FragmentationScenario) -> Self {
+        self.host_scenario = scenario;
+        self
+    }
+}
+
+/// A built virtualized space: guest table (gVA→gPA, stored in guest
+/// "physical" memory) and host table (gPA→hPA, stored in system
+/// memory).
+#[derive(Debug)]
+pub struct VirtualizedSpace {
+    guest: AddressSpace,
+    host_store: FrameStore,
+    host_table: PageTable,
+    host_census: NodeCensus,
+    host_huge_pages: u64,
+}
+
+impl VirtualizedSpace {
+    /// Builds the guest space inside its own guest-physical buddy
+    /// allocator, then maps all of guest-physical memory through a host
+    /// table whose nodes and data frames come from `host_alloc`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MapError`] if either table cannot be built.
+    pub fn build(
+        spec: VirtSpec,
+        host_alloc: &mut dyn PhysAllocator,
+    ) -> Result<VirtualizedSpace, MapError> {
+        // 1. Guest: data + guest PT inside guest-physical memory.
+        let mut guest_phys = BuddyAllocator::new(0, spec.guest_mem_bytes);
+        let guest = AddressSpace::build(spec.guest.clone(), &mut guest_phys)?;
+
+        // 2. Host: back every guest-physical page. The lower
+        //    `host_scenario` fraction uses 2 MB host pages. The
+        //    hypervisor applies the same §3.4 no-flatten heuristic as
+        //    the guest OS: 1 GB guest-physical regions that will hold
+        //    2 MB host mappings keep conventional L2/L1 so those
+        //    mappings terminate at real L2 entries instead of being
+        //    replicated.
+        let mut host_store = FrameStore::new();
+        let huge_bytes = PageSize::Size2M.align_down(
+            (spec.guest_mem_bytes as f64 * spec.host_scenario.large_page_fraction) as u64,
+        );
+        let mut host_nf = NfRegions::new();
+        let mut region = 0u64;
+        while region << 30 < huge_bytes {
+            host_nf.mark(VirtAddr::new(region << 30));
+            region += 1;
+        }
+        if huge_bytes > 0 && huge_bytes.min(1 << 30) / (2 << 20) >= 32 {
+            // (the loop above already marked every region containing
+            // 2 MB mappings; the threshold check matters only for tiny
+            // guests, where it always passes at ≥ 64 MB of large pages)
+        }
+        let mut host_mapper = Mapper::new(
+            &mut host_store,
+            host_alloc,
+            spec.host_layout.clone(),
+            &host_nf,
+        )?;
+        let mut host_huge_pages = 0u64;
+        let mut off = 0u64;
+        while off < spec.guest_mem_bytes {
+            let gpa_as_va = VirtAddr::new(off);
+            if off < huge_bytes {
+                let hpa = host_alloc
+                    .alloc(PageSize::Size2M)
+                    .ok_or(MapError::AllocFailed)?;
+                host_mapper.map(
+                    &mut host_store,
+                    host_alloc,
+                    &host_nf,
+                    gpa_as_va,
+                    hpa,
+                    PageSize::Size2M,
+                )?;
+                host_huge_pages += 1;
+                off += PageSize::Size2M.bytes();
+            } else {
+                let hpa = host_alloc
+                    .alloc(PageSize::Size4K)
+                    .ok_or(MapError::AllocFailed)?;
+                host_mapper.map(
+                    &mut host_store,
+                    host_alloc,
+                    &host_nf,
+                    gpa_as_va,
+                    hpa,
+                    PageSize::Size4K,
+                )?;
+                off += PageSize::Size4K.bytes();
+            }
+        }
+
+        let host_census = *host_mapper.census();
+        let host_table = *host_mapper.table();
+        Ok(VirtualizedSpace {
+            guest,
+            host_store,
+            host_table,
+            host_census,
+            host_huge_pages,
+        })
+    }
+
+    /// The guest address space (guest store is addressed by gPA).
+    pub fn guest(&self) -> &AddressSpace {
+        &self.guest
+    }
+
+    /// Host page-table contents (addressed by hPA / system PA).
+    pub fn host_store(&self) -> &FrameStore {
+        &self.host_store
+    }
+
+    /// The host table (gPA→hPA).
+    pub fn host_table(&self) -> &PageTable {
+        &self.host_table
+    }
+
+    /// Host table node census.
+    pub fn host_census(&self) -> &NodeCensus {
+        &self.host_census
+    }
+
+    /// How many 2 MB host pages back guest-physical memory.
+    pub fn host_huge_pages(&self) -> u64 {
+        self.host_huge_pages
+    }
+
+    /// Translates a gPA through the host table (untimed reference).
+    ///
+    /// # Errors
+    ///
+    /// Returns the walk error if the gPA is not backed.
+    pub fn host_translate(&self, gpa: PhysAddr) -> Result<PhysAddr, flatwalk_pt::WalkError> {
+        flatwalk_pt::resolve(&self.host_store, &self.host_table, gpa.as_nested_input())
+            .map(|w| w.pa)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flatwalk_pt::resolve;
+
+    fn spec(guest_layout: Layout, host_layout: Layout) -> VirtSpec {
+        let guest = AddressSpaceSpec::new(guest_layout, 16 << 20)
+            .with_scenario(FragmentationScenario::NONE)
+            .with_base_va(0x4000_0000);
+        VirtSpec::new(guest, host_layout).with_host_scenario(FragmentationScenario::HALF)
+    }
+
+    #[test]
+    fn guest_walk_then_host_walk_reaches_system_memory() {
+        let mut host_alloc = BuddyAllocator::new(0x1_0000_0000, 0x1_0000_0000);
+        let v = VirtualizedSpace::build(
+            spec(Layout::conventional4(), Layout::conventional4()),
+            &mut host_alloc,
+        )
+        .unwrap();
+
+        // Guest walk: gVA → gPA.
+        let gva = VirtAddr::new(0x4000_0000 + 0x5000);
+        let gwalk = resolve(v.guest().store(), v.guest().table(), gva).unwrap();
+        // Host walk: gPA → hPA, landing in host_alloc's range.
+        let hpa = v.host_translate(PhysAddr::new(gwalk.pa.raw())).unwrap();
+        assert!(hpa.raw() >= 0x1_0000_0000);
+    }
+
+    #[test]
+    fn guest_page_table_frames_are_host_backed() {
+        let mut host_alloc = BuddyAllocator::new(0x1_0000_0000, 0x1_0000_0000);
+        let v = VirtualizedSpace::build(
+            spec(Layout::flat_l4l3_l2l1(), Layout::flat_l4l3_l2l1()),
+            &mut host_alloc,
+        )
+        .unwrap();
+        // The guest root node itself must translate through the host.
+        let groot = v.guest().table().root;
+        let hpa = v.host_translate(PhysAddr::new(groot.raw())).unwrap();
+        assert!(hpa.raw() >= 0x1_0000_0000);
+        assert!(v.host_huge_pages() > 0);
+    }
+
+    #[test]
+    fn host_scenario_controls_host_page_mix() {
+        let mut host_alloc = BuddyAllocator::new(0x1_0000_0000, 0x1_0000_0000);
+        let s = spec(Layout::conventional4(), Layout::conventional4())
+            .with_host_scenario(FragmentationScenario::NONE);
+        let v = VirtualizedSpace::build(s, &mut host_alloc).unwrap();
+        assert_eq!(v.host_huge_pages(), 0);
+        let gva = VirtAddr::new(0x4000_0000);
+        let gwalk = resolve(v.guest().store(), v.guest().table(), gva).unwrap();
+        let w = resolve(
+            v.host_store(),
+            v.host_table(),
+            PhysAddr::new(gwalk.pa.raw()).as_nested_input(),
+        )
+        .unwrap();
+        assert_eq!(w.size, PageSize::Size4K);
+    }
+}

@@ -1,0 +1,108 @@
+//! Allocation interface for page-table nodes and data pages.
+
+use flatwalk_types::{PageSize, PhysAddr};
+
+/// Source of physical memory for page-table nodes (and, in the OS layer,
+/// data pages).
+///
+/// The mapper asks for 2 MB (or 1 GB) blocks when it wants to flatten;
+/// an implementation is free to *fail* such requests — that is exactly
+/// the situation the paper's graceful-fallback path handles (§3.2, §6.2),
+/// and the OS crate's buddy allocator fails them under fragmentation.
+pub trait PhysAllocator {
+    /// Allocates one naturally aligned, zeroed block of the given size.
+    ///
+    /// Returns `None` if no suitable block is available.
+    fn alloc(&mut self, size: PageSize) -> Option<PhysAddr>;
+
+    /// Returns a previously allocated block to the pool.
+    ///
+    /// The default implementation leaks (bump-style allocators cannot
+    /// reuse memory); real allocators like the OS buddy override it.
+    /// Used by dynamic flattening (§6.2) to release the 4 KB nodes a
+    /// promotion replaced.
+    fn release(&mut self, addr: PhysAddr, size: PageSize) {
+        let _ = (addr, size);
+    }
+}
+
+/// An infallible bump allocator over a private physical range.
+///
+/// Useful for tests and for standalone page-table construction where
+/// fragmentation is not being modelled.
+///
+/// # Examples
+///
+/// ```
+/// use flatwalk_pt::{BumpAllocator, PhysAllocator};
+/// use flatwalk_types::PageSize;
+///
+/// let mut alloc = BumpAllocator::new(0x10_0000);
+/// let a = alloc.alloc(PageSize::Size4K).unwrap();
+/// let b = alloc.alloc(PageSize::Size2M).unwrap();
+/// assert_eq!(a.raw() % 4096, 0);
+/// assert_eq!(b.raw() % (2 * 1024 * 1024), 0);
+/// assert!(b.raw() >= a.raw() + 4096);
+/// ```
+#[derive(Debug, Clone)]
+pub struct BumpAllocator {
+    next: u64,
+}
+
+impl BumpAllocator {
+    /// Creates an allocator handing out addresses starting at `base`.
+    pub fn new(base: u64) -> Self {
+        BumpAllocator { next: base }
+    }
+
+    /// Total bytes handed out so far (including alignment padding).
+    pub fn high_water(&self) -> u64 {
+        self.next
+    }
+}
+
+impl PhysAllocator for BumpAllocator {
+    fn alloc(&mut self, size: PageSize) -> Option<PhysAddr> {
+        let base = size.align_up(self.next);
+        self.next = base + size.bytes();
+        Some(PhysAddr::new(base))
+    }
+}
+
+/// A test helper that refuses large allocations, forcing the mapper down
+/// the graceful-fallback path.
+#[derive(Debug, Clone)]
+pub struct No2MbAllocator(pub BumpAllocator);
+
+impl PhysAllocator for No2MbAllocator {
+    fn alloc(&mut self, size: PageSize) -> Option<PhysAddr> {
+        if size > PageSize::Size4K {
+            None
+        } else {
+            self.0.alloc(size)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bump_alignment_and_progress() {
+        let mut a = BumpAllocator::new(0x1234);
+        let p1 = a.alloc(PageSize::Size4K).unwrap();
+        assert_eq!(p1.raw(), 0x2000);
+        let p2 = a.alloc(PageSize::Size1G).unwrap();
+        assert_eq!(p2.raw() % PageSize::Size1G.bytes(), 0);
+        assert!(a.high_water() > p2.raw());
+    }
+
+    #[test]
+    fn failing_allocator_rejects_large_only() {
+        let mut a = No2MbAllocator(BumpAllocator::new(0));
+        assert!(a.alloc(PageSize::Size2M).is_none());
+        assert!(a.alloc(PageSize::Size1G).is_none());
+        assert!(a.alloc(PageSize::Size4K).is_some());
+    }
+}

@@ -1,0 +1,236 @@
+//! Page-table entry encoding, including the flattening shape bits.
+
+use flatwalk_types::PhysAddr;
+
+/// The shape of a page-table node: how many radix levels it merges.
+///
+/// Paper §6.1: the hardware needs "two additional bits (for 4 KB, 2 MB,
+/// and 1 GB pages…) in the CR3/TTBR register (for the root node) and at
+/// each entry in the page table" to record the size of the node the
+/// entry points to. This enum is those two bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum NodeShape {
+    /// A conventional 4 KB node: 512 entries, 9 index bits.
+    #[default]
+    Conventional,
+    /// A flattened 2 MB node merging two levels: 262 144 entries,
+    /// 18 index bits (paper §3.2).
+    Flat2,
+    /// A flattened 1 GB node merging three levels: 2²⁷ entries,
+    /// 27 index bits (paper §3.2 mentions L4+L3+L2 as an option).
+    Flat3,
+}
+
+impl NodeShape {
+    /// Number of radix levels this node merges (1, 2, or 3).
+    #[inline]
+    pub fn depth(self) -> u8 {
+        match self {
+            NodeShape::Conventional => 1,
+            NodeShape::Flat2 => 2,
+            NodeShape::Flat3 => 3,
+        }
+    }
+
+    /// Number of virtual-address index bits one lookup in this node
+    /// consumes (9, 18, or 27).
+    #[inline]
+    pub fn index_bits(self) -> u32 {
+        self.depth() as u32 * 9
+    }
+
+    /// The node's size in bytes (4 KB, 2 MB, or 1 GB).
+    #[inline]
+    pub fn node_bytes(self) -> u64 {
+        (1u64 << self.index_bits()) * 8
+    }
+
+    /// Builds a shape from a merge depth.
+    ///
+    /// Returns `None` unless `1 <= depth <= 3`.
+    #[inline]
+    pub fn from_depth(depth: u8) -> Option<NodeShape> {
+        match depth {
+            1 => Some(NodeShape::Conventional),
+            2 => Some(NodeShape::Flat2),
+            3 => Some(NodeShape::Flat3),
+            _ => None,
+        }
+    }
+}
+
+/// A modelled page-table entry.
+///
+/// Bit layout (a simulation encoding in the spirit of x86-64, using the
+/// architecturally "currently unused bits" the paper points at for the
+/// shape field):
+///
+/// | bits  | meaning                                     |
+/// |-------|---------------------------------------------|
+/// | 0     | present                                     |
+/// | 1     | large terminal translation (2 MB at an L2 position, 1 GB at L3) |
+/// | 2–3   | shape of the pointed-to node (0 conventional, 1 flat2, 2 flat3) |
+/// | 12–55 | physical address bits of the target page/node |
+///
+/// # Examples
+///
+/// ```
+/// use flatwalk_pt::{NodeShape, Pte};
+/// use flatwalk_types::PhysAddr;
+///
+/// let pte = Pte::pointer(PhysAddr::new(0x20_0000), NodeShape::Flat2);
+/// assert!(pte.is_present());
+/// assert!(!pte.is_large());
+/// assert_eq!(pte.child_shape(), NodeShape::Flat2);
+/// assert_eq!(pte.addr(), PhysAddr::new(0x20_0000));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Pte(u64);
+
+const PRESENT: u64 = 1 << 0;
+const LARGE: u64 = 1 << 1;
+const SHAPE_SHIFT: u32 = 2;
+const SHAPE_MASK: u64 = 0b11 << SHAPE_SHIFT;
+const ADDR_MASK: u64 = 0x00FF_FFFF_FFFF_F000;
+
+impl Pte {
+    /// The absent (all-zero) entry.
+    pub const NOT_PRESENT: Pte = Pte(0);
+
+    /// Reconstructs an entry from its raw 64-bit representation.
+    #[inline]
+    pub const fn from_raw(raw: u64) -> Pte {
+        Pte(raw)
+    }
+
+    /// The raw 64-bit representation.
+    #[inline]
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// A present leaf entry translating one 4 KB page at an L1 position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target` is not 4 KB aligned.
+    pub fn leaf(target: PhysAddr) -> Pte {
+        assert_eq!(target.raw() & 0xfff, 0, "leaf target must be 4 KB aligned");
+        Pte(PRESENT | (target.raw() & ADDR_MASK))
+    }
+
+    /// A present large-translation entry (2 MB at an L2 position,
+    /// 1 GB at an L3 position).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target` is not 4 KB aligned (finer alignment is the
+    /// mapper's responsibility since the level is positional).
+    pub fn large(target: PhysAddr) -> Pte {
+        assert_eq!(target.raw() & 0xfff, 0, "large target must be 4 KB aligned");
+        Pte(PRESENT | LARGE | (target.raw() & ADDR_MASK))
+    }
+
+    /// A present pointer to a child node of the given shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target` is not aligned to the child node's size.
+    pub fn pointer(target: PhysAddr, shape: NodeShape) -> Pte {
+        assert_eq!(
+            target.raw() % shape.node_bytes(),
+            0,
+            "node pointer must be aligned to the node size"
+        );
+        Pte(PRESENT | ((shape as u64) << SHAPE_SHIFT) | (target.raw() & ADDR_MASK))
+    }
+
+    /// Whether the entry is present.
+    #[inline]
+    pub fn is_present(self) -> bool {
+        self.0 & PRESENT != 0
+    }
+
+    /// Whether the entry is a terminal large translation.
+    #[inline]
+    pub fn is_large(self) -> bool {
+        self.0 & LARGE != 0
+    }
+
+    /// The shape of the node this (pointer) entry references.
+    #[inline]
+    pub fn child_shape(self) -> NodeShape {
+        match (self.0 & SHAPE_MASK) >> SHAPE_SHIFT {
+            0 => NodeShape::Conventional,
+            1 => NodeShape::Flat2,
+            _ => NodeShape::Flat3,
+        }
+    }
+
+    /// The physical address this entry points at.
+    #[inline]
+    pub fn addr(self) -> PhysAddr {
+        PhysAddr::new(self.0 & ADDR_MASK)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_depths_and_sizes() {
+        assert_eq!(NodeShape::Conventional.depth(), 1);
+        assert_eq!(NodeShape::Flat2.depth(), 2);
+        assert_eq!(NodeShape::Flat3.depth(), 3);
+        assert_eq!(NodeShape::Conventional.node_bytes(), 4 << 10);
+        assert_eq!(NodeShape::Flat2.node_bytes(), 2 << 20);
+        assert_eq!(NodeShape::Flat3.node_bytes(), 1 << 30);
+        for d in 1..=3 {
+            assert_eq!(NodeShape::from_depth(d).unwrap().depth(), d);
+        }
+        assert_eq!(NodeShape::from_depth(0), None);
+        assert_eq!(NodeShape::from_depth(4), None);
+    }
+
+    #[test]
+    fn leaf_roundtrip() {
+        let pte = Pte::leaf(PhysAddr::new(0xabc000));
+        assert!(pte.is_present());
+        assert!(!pte.is_large());
+        assert_eq!(pte.addr().raw(), 0xabc000);
+        assert_eq!(Pte::from_raw(pte.raw()), pte);
+    }
+
+    #[test]
+    fn large_roundtrip() {
+        let pte = Pte::large(PhysAddr::new(0x4000_0000));
+        assert!(pte.is_present());
+        assert!(pte.is_large());
+        assert_eq!(pte.addr().raw(), 0x4000_0000);
+    }
+
+    #[test]
+    fn pointer_shapes_roundtrip() {
+        for shape in [NodeShape::Conventional, NodeShape::Flat2, NodeShape::Flat3] {
+            let base = PhysAddr::new(shape.node_bytes() * 3);
+            let pte = Pte::pointer(base, shape);
+            assert_eq!(pte.child_shape(), shape);
+            assert_eq!(pte.addr(), base);
+            assert!(!pte.is_large());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "aligned")]
+    fn flat2_pointer_requires_2mb_alignment() {
+        let _ = Pte::pointer(PhysAddr::new(0x1000), NodeShape::Flat2);
+    }
+
+    #[test]
+    fn not_present_is_zero() {
+        assert_eq!(Pte::NOT_PRESENT.raw(), 0);
+        assert!(!Pte::NOT_PRESENT.is_present());
+        assert!(!Pte::default().is_present());
+    }
+}

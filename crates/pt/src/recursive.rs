@@ -1,0 +1,362 @@
+//! Recursive (self-referencing) page tables and the glue sub-table
+//! (paper §3.5).
+//!
+//! Windows-style kernels access page-table nodes through the page table
+//! itself: a *recursion entry* in the root points back to the root, so a
+//! walk that passes through it one or more times terminates early on a
+//! page-table node instead of a data page.
+//!
+//! Flattened tables break naive recursion — recursing through a
+//! flattened L4+L3 root consumes 18 VA bits per pass and overshoots
+//! (Fig. 6). The paper's fix is a **glue sub-table** (`L4*`): one 4 KB
+//! sub-table *inside* the 2 MB flattened root whose 512 entries point to
+//! the root's own 4 KB sub-tables (`L3*`), including the glue itself
+//! (Fig. 7). Walks then recurse in conventional 9-bit steps through the
+//! glue.
+//!
+//! [`RecursiveScheme`] installs either form and synthesizes the virtual
+//! addresses that reach a given node; correctness is checked by running
+//! the ordinary [`resolve`](crate::resolve) walker over those addresses.
+
+use flatwalk_types::VirtAddr;
+
+use crate::{FrameStore, NodeShape, PageTable, Pte};
+
+/// Errors installing or using a recursion scheme.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecursionError {
+    /// The chosen slot index is out of range (must be < 512).
+    SlotOutOfRange,
+    /// Recursion on a 1 GB (triple-flattened) root is not defined by the
+    /// paper and is not supported.
+    UnsupportedRootShape,
+}
+
+impl std::fmt::Display for RecursionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecursionError::SlotOutOfRange => write!(f, "recursion slot must be < 512"),
+            RecursionError::UnsupportedRootShape => {
+                write!(f, "recursion is not supported on 1 GB roots")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RecursionError {}
+
+/// An installed recursive-access scheme for one page table.
+///
+/// # Examples
+///
+/// ```
+/// use flatwalk_pt::{
+///     BumpAllocator, FlattenEverywhere, FrameStore, Layout, Mapper,
+///     RecursiveScheme, resolve,
+/// };
+/// use flatwalk_types::{PageSize, PhysAddr, VirtAddr};
+///
+/// let mut store = FrameStore::new();
+/// let mut alloc = BumpAllocator::new(0x4000_0000);
+/// let mut m = Mapper::new(&mut store, &mut alloc, Layout::conventional4(),
+///                         &FlattenEverywhere).unwrap();
+/// m.map(&mut store, &mut alloc, &FlattenEverywhere,
+///       VirtAddr::new(0x1000_0000), PhysAddr::new(0x7000_0000),
+///       PageSize::Size4K).unwrap();
+///
+/// // Install recursion in slot 511 and read back the root's own bytes.
+/// let rec = RecursiveScheme::install(&mut store, m.table(), 511).unwrap();
+/// let root_va = rec.node_va(&[]);
+/// let walk = resolve(&store, m.table(), root_va).unwrap();
+/// assert_eq!(walk.frame_base(), m.table().root);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecursiveScheme {
+    slot: usize,
+    table: PageTable,
+}
+
+impl RecursiveScheme {
+    /// Installs recursion into `table` using root index `slot` and
+    /// returns the scheme.
+    ///
+    /// * Conventional root: writes the classic self-pointing recursion
+    ///   entry at `root[slot]`.
+    /// * Flattened (2 MB) root: embeds the glue sub-table `L4*` as
+    ///   sub-table `slot`, with its 512 entries pointing at the root's
+    ///   512 `L3*` sub-tables (the `slot`-th of which is the glue
+    ///   itself).
+    ///
+    /// # Errors
+    ///
+    /// See [`RecursionError`]. Installing consumes the 512 GB VA region
+    /// under root index `slot`, exactly like real recursive page tables.
+    pub fn install(
+        store: &mut FrameStore,
+        table: &PageTable,
+        slot: usize,
+    ) -> Result<RecursiveScheme, RecursionError> {
+        if slot >= 512 {
+            return Err(RecursionError::SlotOutOfRange);
+        }
+        match table.root_shape {
+            NodeShape::Conventional => {
+                let entry_pa = table.root.add(slot as u64 * 8);
+                store.write_pte(entry_pa, Pte::pointer(table.root, NodeShape::Conventional));
+            }
+            NodeShape::Flat2 => {
+                // The glue occupies entries [slot*512, slot*512+512) of
+                // the flattened root, i.e. the `slot`-th 4 KB sub-table.
+                for i in 0..512usize {
+                    let sub_table = table.root.add(i as u64 * 4096);
+                    let entry_pa = table.root.add((slot * 512 + i) as u64 * 8);
+                    store.write_pte(entry_pa, Pte::pointer(sub_table, NodeShape::Conventional));
+                }
+            }
+            NodeShape::Flat3 => return Err(RecursionError::UnsupportedRootShape),
+        }
+        Ok(RecursiveScheme {
+            slot,
+            table: *table,
+        })
+    }
+
+    /// The root index reserved for recursion.
+    pub fn slot(&self) -> usize {
+        self.slot
+    }
+
+    /// Synthesizes the VA whose translation is the 4 KB node (or 4 KB
+    /// sub-table of a flattened node) identified by `path`.
+    ///
+    /// `path` lists the 9-bit indices from the root toward the target:
+    /// an empty path addresses the root node itself (its first 4 KB, or
+    /// for a flattened root its `path[0]`-th sub-table when given one
+    /// index), `&[l4]` the node referenced by root index `l4`, and so
+    /// on. The remaining upper VA fields are filled with the recursion
+    /// slot. Accessing byte `b` of the node means adding `b` (< 4096)
+    /// to the returned address.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `path` has more indices than walk fields, or any index
+    /// is ≥ 512.
+    pub fn node_va(&self, path: &[usize]) -> VirtAddr {
+        let fields = self.table.top_level.rank() as usize; // 4 or 5
+        assert!(path.len() <= fields, "path longer than the walk");
+        let mut va: u64 = 0;
+        let mut level = self.table.top_level;
+        for i in 0..fields {
+            let idx = if i < fields - path.len() {
+                self.slot
+            } else {
+                path[i - (fields - path.len())]
+            };
+            assert!(idx < 512, "index {idx} out of range");
+            va |= (idx as u64) << level.index_shift();
+            level = match level.child() {
+                Some(l) => l,
+                None => break,
+            };
+        }
+        VirtAddr::new(va)
+    }
+
+    /// Synthesizes the VA that maps an entire *flattened* node as one
+    /// 2 MB translation via the §3.5 rule (a flat pointer read at the L2
+    /// decode position terminates the walk as a 2 MB page).
+    ///
+    /// `path` identifies the entry that *points to* the flattened node,
+    /// as 9-bit indices from the root; `path` must be such that the
+    /// pointer lands at the L2 decode position, which means
+    /// `path.len() == top_level.rank() - 3` recursion fields precede it…
+    /// in practice: for a 4-level table pass the indices of the pointer
+    /// (e.g. `&[l4]` for a table whose L4 entries point at flattened
+    /// L3+L2 nodes). Byte `b` (< 2 MB) of the node is reached by adding
+    /// `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the path cannot place the pointer at the L2 position.
+    pub fn flat_node_va(&self, path: &[usize]) -> VirtAddr {
+        let fields = self.table.top_level.rank() as usize;
+        // The pointer must be consumed at the L2 decode position, i.e. it
+        // is the (fields-1)-th 9-bit field; everything before it that is
+        // not path is recursion slots, and the last field plus the page
+        // offset address within the 2 MB node.
+        assert!(
+            path.len() + 2 <= fields,
+            "path too long to leave room for the L2 position"
+        );
+        let recursions = fields - 1 - path.len();
+        let mut full: Vec<usize> = Vec::with_capacity(fields - 1);
+        full.extend(std::iter::repeat_n(self.slot, recursions));
+        full.extend_from_slice(path);
+        // Compose the leading fields; the final 9-bit field + 12-bit
+        // offset remain zero (they select bytes within the 2 MB node).
+        let mut va: u64 = 0;
+        let mut level = self.table.top_level;
+        for &idx in &full {
+            assert!(idx < 512);
+            va |= (idx as u64) << level.index_shift();
+            level = level.child().expect("fields fit above L1");
+        }
+        VirtAddr::new(va)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{resolve, BumpAllocator, FlattenEverywhere, FrameStore, Layout, Mapper};
+    use flatwalk_types::{Level, PageSize, PhysAddr};
+
+    const SLOT: usize = 510;
+
+    fn build(layout: Layout) -> (FrameStore, Mapper) {
+        let mut store = FrameStore::new();
+        let mut alloc = BumpAllocator::new(0x1_0000_0000);
+        let mut m =
+            Mapper::new(&mut store, &mut alloc, layout, &FlattenEverywhere).unwrap();
+        // A data mapping far away from the recursion slot.
+        m.map(
+            &mut store,
+            &mut alloc,
+            &FlattenEverywhere,
+            VirtAddr::new(0x12_3456_7000),
+            PhysAddr::new(0x77_0000_0000),
+            PageSize::Size4K,
+        )
+        .unwrap();
+        (store, m)
+    }
+
+    #[test]
+    fn conventional_recursion_reaches_every_node_level() {
+        let (mut store, m) = build(Layout::conventional4());
+        let rec = RecursiveScheme::install(&mut store, m.table(), SLOT).unwrap();
+        let va = VirtAddr::new(0x12_3456_7000);
+        let (l4, l3, l2) = (va.index(Level::L4), va.index(Level::L3), va.index(Level::L2));
+
+        // Root node via 4 recursions.
+        let w = resolve(&store, m.table(), rec.node_va(&[])).unwrap();
+        assert_eq!(w.frame_base(), m.table().root);
+        assert_eq!(w.size, PageSize::Size4K);
+
+        // L3 node (3 recursions), L2 node (2), L1 node (1).
+        let root_walk = resolve(&store, m.table(), va).unwrap();
+        let node_bases: Vec<PhysAddr> = root_walk.steps.iter().map(|s| s.node_base).collect();
+        assert_eq!(node_bases.len(), 4);
+        let l3_va = rec.node_va(&[l4]);
+        assert_eq!(
+            resolve(&store, m.table(), l3_va).unwrap().frame_base(),
+            node_bases[1]
+        );
+        let l2_va = rec.node_va(&[l4, l3]);
+        assert_eq!(
+            resolve(&store, m.table(), l2_va).unwrap().frame_base(),
+            node_bases[2]
+        );
+        let l1_va = rec.node_va(&[l4, l3, l2]);
+        assert_eq!(
+            resolve(&store, m.table(), l1_va).unwrap().frame_base(),
+            node_bases[3]
+        );
+
+        // Reading the actual PTE through the recursive mapping: the walk
+        // translated VA→(PA of L1 node); add the entry offset and read.
+        let l1_walk = resolve(&store, m.table(), l1_va).unwrap();
+        let pte_pa = l1_walk
+            .frame_base()
+            .add(va.index(Level::L1) as u64 * 8);
+        let pte = store.read_pte(pte_pa);
+        assert_eq!(pte.addr(), PhysAddr::new(0x77_0000_0000));
+    }
+
+    #[test]
+    fn recursion_on_mixed_flat_l3l2_table() {
+        // Paper Fig. 5: layout (L4, flat L3+L2, L1).
+        let (mut store, m) = build(Layout::flat_l3l2());
+        let rec = RecursiveScheme::install(&mut store, m.table(), SLOT).unwrap();
+        let va = VirtAddr::new(0x12_3456_7000);
+        let data_walk = resolve(&store, m.table(), va).unwrap();
+        assert_eq!(data_walk.steps.len(), 3);
+        let flat_node = data_walk.steps[1].node_base;
+        let l1_node = data_walk.steps[2].node_base;
+
+        // One recursion → the L1 node (Fig. 5 middle).
+        let l4 = va.index(Level::L4);
+        let l3 = va.index(Level::L3);
+        let l2 = va.index(Level::L2);
+        let l1_va = rec.node_va(&[l4, l3, l2]);
+        let w = resolve(&store, m.table(), l1_va).unwrap();
+        assert_eq!(w.frame_base(), l1_node);
+
+        // Two recursions → the flat L3+L2 node as a 2 MB mapping
+        // (Fig. 5 right; needs the flat-pointer-at-L2 rule).
+        let flat_va = rec.flat_node_va(&[l4]);
+        let w = resolve(&store, m.table(), flat_va).unwrap();
+        assert_eq!(w.size, PageSize::Size2M);
+        assert_eq!(w.frame_base(), flat_node);
+        // The full 2 MB node is addressable: read the PTE for (l3, l2).
+        let pte_pa = w
+            .frame_base()
+            .add(((l3 << 9) | l2) as u64 * 8);
+        assert_eq!(store.read_pte(pte_pa).addr(), l1_node);
+    }
+
+    #[test]
+    fn glue_table_enables_recursion_on_flattened_root() {
+        // Paper Fig. 6/7: flat L4+L3 root with an embedded L4* glue.
+        let (mut store, m) = build(Layout::flat_l4l3());
+        let rec = RecursiveScheme::install(&mut store, m.table(), SLOT).unwrap();
+        let va = VirtAddr::new(0x12_3456_7000);
+        let data_walk = resolve(&store, m.table(), va).unwrap();
+        assert_eq!(data_walk.steps.len(), 3); // flat root, L2, L1
+        let l2_node = data_walk.steps[1].node_base;
+        let l1_node = data_walk.steps[2].node_base;
+        let (l4, l3, l2) = (va.index(Level::L4), va.index(Level::L3), va.index(Level::L2));
+
+        // Single recursion through the glue → L1 node (Fig. 6 bottom
+        // right: fields [g, l4, l3, l2]).
+        let l1_va = rec.node_va(&[l4, l3, l2]);
+        let w = resolve(&store, m.table(), l1_va).unwrap();
+        assert_eq!(w.frame_base(), l1_node);
+
+        // Two recursions → L2 node (fields [g, g, l4, l3]).
+        let l2_va = rec.node_va(&[l4, l3]);
+        let w = resolve(&store, m.table(), l2_va).unwrap();
+        assert_eq!(w.frame_base(), l2_node);
+
+        // Three recursions → an arbitrary sub-table of the flat root
+        // (Fig. 6 top right: fields [g, g, g, i] reach L3*-sub-table i).
+        let sub_va = rec.node_va(&[l4]); // wait: path [l4] has 3 recursions
+        let w = resolve(&store, m.table(), sub_va).unwrap();
+        assert_eq!(
+            w.frame_base(),
+            m.table().root.add(l4 as u64 * 4096),
+            "reaches the l4-th L3* sub-table of the flattened root"
+        );
+        // Read the real L3 entry for (l4, l3) through it.
+        let pte = store.read_pte(w.frame_base().add(l3 as u64 * 8));
+        assert_eq!(pte.addr(), l2_node);
+    }
+
+    #[test]
+    fn rejects_bad_slot_and_flat3_root() {
+        let (mut store, m) = build(Layout::conventional4());
+        assert_eq!(
+            RecursiveScheme::install(&mut store, m.table(), 512).unwrap_err(),
+            RecursionError::SlotOutOfRange
+        );
+        let bad = PageTable {
+            root: PhysAddr::new(0x4000_0000),
+            root_shape: NodeShape::Flat3,
+            top_level: Level::L4,
+        };
+        assert_eq!(
+            RecursiveScheme::install(&mut store, &bad, 0).unwrap_err(),
+            RecursionError::UnsupportedRootShape
+        );
+    }
+}

@@ -1,0 +1,108 @@
+//! Sparse simulated physical memory holding page-table contents.
+
+use std::collections::HashMap;
+
+use flatwalk_types::{PhysAddr, PTE_BYTES};
+
+use crate::Pte;
+
+/// Sparse, frame-granular backing store for page-table nodes.
+///
+/// Only the page-*table* contents are materialized (data pages carry no
+/// simulated payload — the simulator traffics in addresses). Unwritten
+/// memory reads as zero, matching freshly allocated, zeroed table nodes.
+///
+/// # Examples
+///
+/// ```
+/// use flatwalk_pt::{FrameStore, Pte};
+/// use flatwalk_types::PhysAddr;
+///
+/// let mut store = FrameStore::new();
+/// let slot = PhysAddr::new(0x1000);
+/// assert!(!store.read_pte(slot).is_present());
+/// store.write_pte(slot, Pte::leaf(PhysAddr::new(0x5000)));
+/// assert!(store.read_pte(slot).is_present());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct FrameStore {
+    frames: HashMap<u64, Box<[u64; 512]>>,
+}
+
+impl FrameStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Reads the 8-byte entry at `pa`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pa` is not 8-byte aligned.
+    pub fn read_u64(&self, pa: PhysAddr) -> u64 {
+        assert_eq!(pa.raw() % PTE_BYTES, 0, "unaligned PTE read at {pa}");
+        let frame = pa.raw() >> 12;
+        let slot = ((pa.raw() >> 3) & 0x1ff) as usize;
+        self.frames.get(&frame).map_or(0, |f| f[slot])
+    }
+
+    /// Writes the 8-byte entry at `pa`, materializing the frame if needed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pa` is not 8-byte aligned.
+    pub fn write_u64(&mut self, pa: PhysAddr, value: u64) {
+        assert_eq!(pa.raw() % PTE_BYTES, 0, "unaligned PTE write at {pa}");
+        let frame = pa.raw() >> 12;
+        let slot = ((pa.raw() >> 3) & 0x1ff) as usize;
+        self.frames
+            .entry(frame)
+            .or_insert_with(|| Box::new([0u64; 512]))[slot] = value;
+    }
+
+    /// Reads the page-table entry at `pa`.
+    pub fn read_pte(&self, pa: PhysAddr) -> Pte {
+        Pte::from_raw(self.read_u64(pa))
+    }
+
+    /// Writes a page-table entry at `pa`.
+    pub fn write_pte(&mut self, pa: PhysAddr, pte: Pte) {
+        self.write_u64(pa, pte.raw());
+    }
+
+    /// Number of 4 KB frames that have been materialized (written to).
+    pub fn materialized_frames(&self) -> usize {
+        self.frames.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flatwalk_types::PhysAddr;
+
+    #[test]
+    fn zero_until_written() {
+        let store = FrameStore::new();
+        assert_eq!(store.read_u64(PhysAddr::new(0x1_2348)), 0);
+    }
+
+    #[test]
+    fn read_back_what_was_written() {
+        let mut store = FrameStore::new();
+        store.write_u64(PhysAddr::new(0x2000), 0xdead);
+        store.write_u64(PhysAddr::new(0x2008), 0xbeef);
+        assert_eq!(store.read_u64(PhysAddr::new(0x2000)), 0xdead);
+        assert_eq!(store.read_u64(PhysAddr::new(0x2008)), 0xbeef);
+        // Same slot in a different frame is independent.
+        assert_eq!(store.read_u64(PhysAddr::new(0x3000)), 0);
+        assert_eq!(store.materialized_frames(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "unaligned")]
+    fn unaligned_read_panics() {
+        FrameStore::new().read_u64(PhysAddr::new(0x2004 | 1));
+    }
+}

@@ -1,0 +1,283 @@
+//! The functional (untimed) reference page-table walker.
+//!
+//! This walker follows entries exactly the way the modelled hardware
+//! does — including recursive self-references (§3.5) — and returns the
+//! full list of entry accesses. The timed walker in `flatwalk-mmu`
+//! replays these steps through the PWCs and the cache hierarchy.
+
+use flatwalk_types::{Level, PageSize, PhysAddr, VirtAddr};
+
+use crate::{FrameStore, NodeShape, PageTable};
+
+/// One page-table entry access during a walk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WalkStep {
+    /// The VA-decode level at which this node was consulted (which may
+    /// differ from the node's "natural" level during recursive walks).
+    pub pos_top: Level,
+    /// How many levels this node merged (1–3), i.e. how many 9-bit index
+    /// fields the lookup consumed.
+    pub depth: u8,
+    /// Physical address of the entry that was read.
+    pub entry_pa: PhysAddr,
+    /// Base address of the node.
+    pub node_base: PhysAddr,
+    /// The index used within the node.
+    pub index: usize,
+}
+
+impl WalkStep {
+    /// Number of virtual-address bits this step translated.
+    pub fn index_bits(&self) -> u32 {
+        self.depth as u32 * 9
+    }
+}
+
+/// A successful walk: the steps taken and the final translation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Walk {
+    /// Entry accesses, root first.
+    pub steps: Vec<WalkStep>,
+    /// The translated physical address (the full address, offset
+    /// included).
+    pub pa: PhysAddr,
+    /// Granularity of the translation that terminated the walk.
+    pub size: PageSize,
+}
+
+impl Walk {
+    /// The physical page frame base of the final translation.
+    pub fn frame_base(&self) -> PhysAddr {
+        self.pa.align_down(self.size)
+    }
+}
+
+/// Why a walk failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WalkError {
+    /// An entry on the path was not present.
+    NotMapped {
+        /// The VA-decode level at which the absent entry was found.
+        at: Level,
+    },
+    /// A large bit was set at a position where no large translation is
+    /// architecturally defined.
+    Malformed,
+    /// The walk exceeded the step budget (cyclic recursion misuse).
+    TooDeep,
+}
+
+impl std::fmt::Display for WalkError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WalkError::NotMapped { at } => write!(f, "entry not present at {at}"),
+            WalkError::Malformed => write!(f, "malformed page-table entry"),
+            WalkError::TooDeep => write!(f, "walk exceeded the step budget"),
+        }
+    }
+}
+
+impl std::error::Error for WalkError {}
+
+/// Upper bound on entry accesses in one walk; generous enough for every
+/// legal recursion pattern on a 5-level table.
+const MAX_STEPS: usize = 8;
+
+/// Walks `table` for `va`, returning the steps and final translation.
+///
+/// Semantics (paper §3, §3.5):
+///
+/// * Each node consumes `depth × 9` VA bits at the current decode
+///   position; the pointed-to node's shape comes from the pointer's
+///   shape bits (the root's from CR3).
+/// * A present entry at the `L1` decode position always terminates the
+///   walk as a 4 KB translation.
+/// * An entry with the large bit terminates at the `L2` (2 MB) or `L3`
+///   (1 GB) decode positions.
+/// * A *pointer to a flattened node* encountered at the `L2` decode
+///   position is treated as a 2 MB translation — the §3.5 rule that
+///   makes recursive access to flattened tables work.
+///
+/// # Errors
+///
+/// See [`WalkError`].
+pub fn resolve(store: &FrameStore, table: &PageTable, va: VirtAddr) -> Result<Walk, WalkError> {
+    let mut steps = Vec::with_capacity(4);
+    let mut node_base = table.root;
+    let mut node_shape = table.root_shape;
+    let mut pos_top = table.top_level;
+
+    loop {
+        if steps.len() >= MAX_STEPS {
+            return Err(WalkError::TooDeep);
+        }
+        let depth = node_shape.depth();
+        let pos_bottom = Level::from_rank(pos_top.rank().wrapping_sub(depth - 1))
+            .ok_or(WalkError::Malformed)?;
+        let width = 9 * depth as u32;
+        let index =
+            ((va.raw() >> pos_bottom.index_shift()) & ((1u64 << width) - 1)) as usize;
+        let entry_pa = node_base.add(index as u64 * 8);
+        steps.push(WalkStep {
+            pos_top,
+            depth,
+            entry_pa,
+            node_base,
+            index,
+        });
+
+        let pte = store.read_pte(entry_pa);
+        if !pte.is_present() {
+            return Err(WalkError::NotMapped { at: pos_bottom });
+        }
+
+        // Terminal cases.
+        if pos_bottom == Level::L1 {
+            return Ok(Walk {
+                steps,
+                pa: pte.addr().add(va.offset(PageSize::Size4K)),
+                size: PageSize::Size4K,
+            });
+        }
+        if pte.is_large() {
+            let size = match pos_bottom {
+                Level::L2 => PageSize::Size2M,
+                Level::L3 => PageSize::Size1G,
+                _ => return Err(WalkError::Malformed),
+            };
+            return Ok(Walk {
+                steps,
+                pa: pte.addr().add(va.offset(size)),
+                size,
+            });
+        }
+        // §3.5: at the L2 position, a pointer to a flattened (2 MB) node
+        // is recognized as a 2 MB mapping so recursive walks can return
+        // the addresses of flattened nodes.
+        if pos_bottom == Level::L2 && pte.child_shape() == NodeShape::Flat2 {
+            return Ok(Walk {
+                steps,
+                pa: pte.addr().add(va.offset(PageSize::Size2M)),
+                size: PageSize::Size2M,
+            });
+        }
+
+        node_base = pte.addr();
+        node_shape = pte.child_shape();
+        pos_top = pos_bottom.child().expect("checked pos_bottom != L1");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BumpAllocator, FlattenEverywhere, Layout, Mapper, Pte};
+
+    #[test]
+    fn unmapped_va_reports_level() {
+        let mut store = FrameStore::new();
+        let mut alloc = BumpAllocator::new(0x1000_0000);
+        let m = Mapper::new(
+            &mut store,
+            &mut alloc,
+            Layout::conventional4(),
+            &FlattenEverywhere,
+        )
+        .unwrap();
+        let err = resolve(&store, m.table(), VirtAddr::new(0x1234_5000)).unwrap_err();
+        assert_eq!(err, WalkError::NotMapped { at: Level::L4 });
+    }
+
+    #[test]
+    fn steps_record_decreasing_positions() {
+        let mut store = FrameStore::new();
+        let mut alloc = BumpAllocator::new(0x1000_0000);
+        let mut m = Mapper::new(
+            &mut store,
+            &mut alloc,
+            Layout::conventional4(),
+            &FlattenEverywhere,
+        )
+        .unwrap();
+        let va = VirtAddr::new(0x7f00_0000_1000);
+        m.map(
+            &mut store,
+            &mut alloc,
+            &FlattenEverywhere,
+            va,
+            PhysAddr::new(0x5_0000_0000),
+            PageSize::Size4K,
+        )
+        .unwrap();
+        let w = resolve(&store, m.table(), va).unwrap();
+        let tops: Vec<Level> = w.steps.iter().map(|s| s.pos_top).collect();
+        assert_eq!(tops, vec![Level::L4, Level::L3, Level::L2, Level::L1]);
+        assert!(w.steps.iter().all(|s| s.depth == 1));
+    }
+
+    #[test]
+    fn self_loop_detected_as_too_deep() {
+        // A root whose entry 0 points back to the root forever (without a
+        // terminating rule firing) must hit the step budget:
+        // build a 5-level conventional table where L5..L3 point in a cycle.
+        let mut store = FrameStore::new();
+        let root = PhysAddr::new(0x1000);
+        // Entry 0 of the root points to itself, conventional shape.
+        store.write_pte(root, Pte::pointer(root, NodeShape::Conventional));
+        let table = PageTable {
+            root,
+            root_shape: NodeShape::Conventional,
+            top_level: Level::L5,
+        };
+        // VA 0 loops L5→L4→L3→L2 ... but at the L2 position the pointer is
+        // conventional-shaped, so it descends once more and terminates at
+        // the L1 position as a 4 KB leaf (self-referencing semantics!).
+        let w = resolve(&store, &table, VirtAddr::new(0)).unwrap();
+        assert_eq!(w.steps.len(), 5);
+        assert_eq!(w.pa, root, "recursive walk returns the node itself");
+
+        // A flat2 self-loop at an L5 root terminates by the §3.5 rule:
+        // the second lookup lands at the L2 decode position holding a
+        // flat pointer, which reads as a 2 MB translation of the node.
+        let flat_root = PhysAddr::new(0x20_0000);
+        store.write_pte(flat_root, Pte::pointer(flat_root, NodeShape::Flat2));
+        let t2 = PageTable {
+            root: flat_root,
+            root_shape: NodeShape::Flat2,
+            top_level: Level::L5,
+        };
+        let w2 = resolve(&store, &t2, VirtAddr::new(0)).unwrap();
+        assert_eq!(w2.size, PageSize::Size2M);
+        assert_eq!(w2.frame_base(), flat_root);
+
+        // A flat3 self-loop would decode below L1 — reported as malformed,
+        // not a panic.
+        let f3 = PhysAddr::new(0x4000_0000);
+        store.write_pte(f3, Pte::pointer(f3, NodeShape::Flat3));
+        let t3 = PageTable {
+            root: f3,
+            root_shape: NodeShape::Flat3,
+            top_level: Level::L5,
+        };
+        assert_eq!(
+            resolve(&store, &t3, VirtAddr::new(0)).unwrap_err(),
+            WalkError::Malformed
+        );
+    }
+
+    #[test]
+    fn malformed_large_bit_at_l4() {
+        let mut store = FrameStore::new();
+        let root = PhysAddr::new(0x1000);
+        store.write_pte(root, Pte::large(PhysAddr::new(0x2000)));
+        let table = PageTable {
+            root,
+            root_shape: NodeShape::Conventional,
+            top_level: Level::L4,
+        };
+        assert_eq!(
+            resolve(&store, &table, VirtAddr::new(0)).unwrap_err(),
+            WalkError::Malformed
+        );
+    }
+}

@@ -1,0 +1,251 @@
+//! Simulation configuration: system presets and technique selection.
+
+use flatwalk_mem::HierarchyConfig;
+use flatwalk_os::FragmentationScenario;
+use flatwalk_pt::Layout;
+use flatwalk_tlb::{PwcConfig, TlbSystemConfig};
+
+/// Which of the paper's techniques a run enables — the columns of
+/// Fig. 9/12.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TranslationConfig {
+    /// Short label used in reports ("Base", "FPT", "PTP", "FPT+PTP", …).
+    pub label: &'static str,
+    /// Page-table organization (the guest's, under virtualization).
+    pub layout: Layout,
+    /// Page-table prioritization in the L2/LLC (§5).
+    pub ptp: bool,
+    /// §3.4 no-flatten threshold (2 MB mappings per 1 GB region).
+    pub nf_threshold: Option<u32>,
+}
+
+impl TranslationConfig {
+    /// Conventional 4-level table, plain LRU caches.
+    pub fn baseline() -> Self {
+        TranslationConfig {
+            label: "Base",
+            layout: Layout::conventional4(),
+            ptp: false,
+            nf_threshold: None,
+        }
+    }
+
+    /// Flattened page table (L4+L3 and L2+L1), with NF regions.
+    pub fn flattened() -> Self {
+        TranslationConfig {
+            label: "FPT",
+            layout: Layout::flat_l4l3_l2l1(),
+            ptp: false,
+            nf_threshold: Some(32),
+        }
+    }
+
+    /// Flattened *without* the §3.4 no-flatten optimization (the "FPT"
+    /// bars of Fig. 4, which suffer replicated entries for 2 MB pages).
+    pub fn flattened_no_nf() -> Self {
+        TranslationConfig {
+            label: "FPT-NF",
+            layout: Layout::flat_l4l3_l2l1(),
+            ptp: false,
+            nf_threshold: None,
+        }
+    }
+
+    /// Conventional table + page-table prioritization.
+    pub fn prioritized() -> Self {
+        TranslationConfig {
+            label: "PTP",
+            layout: Layout::conventional4(),
+            ptp: true,
+            nf_threshold: None,
+        }
+    }
+
+    /// The paper's headline combination.
+    pub fn flattened_prioritized() -> Self {
+        TranslationConfig {
+            label: "FPT+PTP",
+            layout: Layout::flat_l4l3_l2l1(),
+            ptp: true,
+            nf_threshold: Some(32),
+        }
+    }
+
+    /// L3+L2 flattening (the kernel prototype's target, §7.5).
+    pub fn flattened_l3l2() -> Self {
+        TranslationConfig {
+            label: "FPT(L3+L2)",
+            layout: Layout::flat_l3l2(),
+            ptp: false,
+            nf_threshold: None,
+        }
+    }
+
+    /// The Fig. 9 configuration set, in presentation order.
+    pub fn fig9_set() -> Vec<TranslationConfig> {
+        vec![
+            Self::baseline(),
+            Self::flattened(),
+            Self::prioritized(),
+            Self::flattened_prioritized(),
+        ]
+    }
+
+    /// Relabels this configuration (for sweeps).
+    pub fn with_label(mut self, label: &'static str) -> Self {
+        self.label = label;
+        self
+    }
+}
+
+/// Engine parameters shared by all simulation kinds.
+#[derive(Debug, Clone)]
+pub struct SimOptions {
+    /// Accesses executed before statistics are reset.
+    pub warmup_ops: u64,
+    /// Accesses measured after warm-up.
+    pub measure_ops: u64,
+    /// Physical memory backing native address spaces (buddy-allocated).
+    /// Virtualized runs size host memory from the guest footprint and
+    /// use this value only as a lower bound.
+    pub phys_mem_bytes: u64,
+    /// Cache hierarchy configuration.
+    pub hierarchy: HierarchyConfig,
+    /// TLB complex configuration.
+    pub tlb: TlbSystemConfig,
+    /// Paging-structure-cache configuration.
+    pub pwc: PwcConfig,
+    /// Nested-TLB entries (virtualized runs; Table 1: 16).
+    pub nested_tlb_entries: usize,
+    /// Divide every workload footprint by this factor (1 = paper scale).
+    pub footprint_divisor: u64,
+    /// Large-page mix of the (guest) address space.
+    pub scenario: FragmentationScenario,
+    /// Large-page mix of the *host* (stage-2) mapping in virtualized
+    /// runs. `None` = hypervisor THP behaviour (at least 50 % 2 MB);
+    /// `Some(NONE)` models systems without THP, like the paper's AOSP
+    /// mobile stack (§7.4).
+    pub host_scenario: Option<FragmentationScenario>,
+    /// §6.1 eviction bias for PTP configurations (the "99 %").
+    pub ptp_bias: f64,
+    /// Phase-detector window in translations (§5 detection).
+    pub phase_window: u64,
+    /// Phase-detector TLB-miss-rate threshold.
+    pub phase_threshold: f64,
+    /// Simulate a context switch (TLB + PSC flush, caches kept) every
+    /// this many accesses; `None` = uninterrupted execution, the
+    /// paper's default. CSALT's design point assumes very frequent
+    /// switches (§7.1) — the `ablation_context_switch` experiment
+    /// recreates it.
+    pub context_switch_interval: Option<u64>,
+}
+
+impl SimOptions {
+    /// Paper-scale server settings (Table 1): full footprints; warm-up
+    /// plus measurement sized for stable statistics.
+    pub fn server() -> Self {
+        SimOptions {
+            warmup_ops: 300_000,
+            measure_ops: 1_000_000,
+            phys_mem_bytes: 16 << 30,
+            hierarchy: HierarchyConfig::server(),
+            tlb: TlbSystemConfig::server(),
+            pwc: PwcConfig::server(),
+            nested_tlb_entries: 16,
+            footprint_divisor: 1,
+            scenario: FragmentationScenario::NONE,
+            host_scenario: None,
+            ptp_bias: 0.99,
+            phase_window: 4096,
+            phase_threshold: 0.02,
+            context_switch_interval: None,
+        }
+    }
+
+    /// Faster server settings for exploratory runs: footprints ÷ 4.
+    pub fn server_quick() -> Self {
+        SimOptions {
+            warmup_ops: 100_000,
+            measure_ops: 300_000,
+            phys_mem_bytes: 4 << 30,
+            footprint_divisor: 4,
+            ..Self::server()
+        }
+    }
+
+    /// Mobile settings (Table 3).
+    pub fn mobile() -> Self {
+        SimOptions {
+            warmup_ops: 100_000,
+            measure_ops: 400_000,
+            phys_mem_bytes: 2 << 30,
+            hierarchy: HierarchyConfig::mobile(),
+            tlb: TlbSystemConfig::mobile(),
+            pwc: PwcConfig::mobile(),
+            nested_tlb_entries: 16,
+            footprint_divisor: 1,
+            scenario: FragmentationScenario::NONE,
+            // AOSP does not use transparent huge pages (§7.4): the
+            // stage-2 mapping is 4 KB-grained.
+            host_scenario: Some(FragmentationScenario::NONE),
+            ptp_bias: 0.99,
+            phase_window: 4096,
+            phase_threshold: 0.02,
+            context_switch_interval: None,
+        }
+    }
+
+    /// Tiny settings for unit tests and doctests.
+    pub fn small_test() -> Self {
+        SimOptions {
+            warmup_ops: 2_000,
+            measure_ops: 10_000,
+            phys_mem_bytes: 1 << 30,
+            hierarchy: HierarchyConfig::server(),
+            tlb: TlbSystemConfig::server(),
+            pwc: PwcConfig::server(),
+            nested_tlb_entries: 16,
+            footprint_divisor: 1,
+            scenario: FragmentationScenario::NONE,
+            host_scenario: None,
+            ptp_bias: 0.99,
+            phase_window: 4096,
+            phase_threshold: 0.02,
+            context_switch_interval: None,
+        }
+    }
+
+    /// Sets the large-page scenario.
+    pub fn with_scenario(mut self, scenario: FragmentationScenario) -> Self {
+        self.scenario = scenario;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig9_set_order_and_flags() {
+        let set = TranslationConfig::fig9_set();
+        assert_eq!(
+            set.iter().map(|c| c.label).collect::<Vec<_>>(),
+            vec!["Base", "FPT", "PTP", "FPT+PTP"]
+        );
+        assert!(!set[0].ptp && !set[1].ptp && set[2].ptp && set[3].ptp);
+        assert_eq!(set[1].layout, Layout::flat_l4l3_l2l1());
+        assert_eq!(set[2].layout, Layout::conventional4());
+    }
+
+    #[test]
+    fn presets_are_consistent() {
+        let s = SimOptions::server();
+        assert_eq!(s.footprint_divisor, 1);
+        assert!(s.phys_mem_bytes >= 16 << 30);
+        let q = SimOptions::server_quick();
+        assert_eq!(q.footprint_divisor, 4);
+        let m = SimOptions::mobile();
+        assert!(m.hierarchy.l3.size_bytes < s.hierarchy.l3.size_bytes);
+    }
+}

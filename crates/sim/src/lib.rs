@@ -1,0 +1,39 @@
+//! The simulation engine: system configurations, single-core native and
+//! virtualized runs, and the four-core multiprogrammed configuration.
+//!
+//! This crate composes the substrates — page tables (`flatwalk-pt`),
+//! the kernel layer (`flatwalk-os`), TLBs/PWCs (`flatwalk-tlb`), the
+//! walkers (`flatwalk-mmu`), the cache hierarchy (`flatwalk-mem`) and
+//! the workload generators (`flatwalk-workloads`) — into the paper's
+//! experimental setups:
+//!
+//! * [`NativeSimulation`] — Fig. 9/10 (native execution).
+//! * [`VirtualizedSimulation`] — Fig. 12 (2-D walks; HF/GF/GF+HF).
+//! * [`MulticoreSimulation`] — Fig. 11/Table 2 (shared-LLC mixes).
+//!
+//! Timing proxy: each access contributes its workload's non-memory
+//! `work` (CPI 1), the translation stall (TLB latency beyond a 1-cycle
+//! hit plus the full serial page-walk latency), and the data stall
+//! beyond an L1 hit scaled by the workload's memory-level-parallelism
+//! exposure factor. Absolute IPCs are therefore a proxy, but relative
+//! changes track the translation/memory behaviour the paper measures —
+//! see `DESIGN.md` for the argument and `EXPERIMENTS.md` for
+//! paper-vs-measured results.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod multicore;
+mod native;
+mod report;
+mod virt;
+
+pub use config::{SimOptions, TranslationConfig};
+pub use multicore::{
+    all_mixes, alone_ipcs, mean_weighted_speedup, multicore_options, table2_mixes, Mix,
+    MulticoreReport, MulticoreSimulation,
+};
+pub use native::NativeSimulation;
+pub use report::SimReport;
+pub use virt::{VirtConfig, VirtualizedSimulation};

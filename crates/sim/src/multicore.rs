@@ -1,0 +1,428 @@
+//! The multiprogrammed multicore simulation (paper §7.1 "Multicore",
+//! Fig. 11, Table 2): four cores with private L1/L2, a 32 MB shared
+//! LLC, and per-owner cache partitioning so one process' data cannot
+//! evict another process' page table (§6.1).
+
+use std::collections::HashMap;
+
+use flatwalk_mem::{EnergyModel, HierarchyConfig, MemoryHierarchy};
+use flatwalk_mmu::{AddressSpace as MmuSpace, Mmu};
+use flatwalk_os::{AddressSpace, AddressSpaceSpec, BuddyAllocator};
+use flatwalk_types::stats::geometric_mean;
+use flatwalk_types::OwnerId;
+use flatwalk_workloads::{AccessStream, WorkloadSpec};
+
+use crate::{SimOptions, SimReport, TranslationConfig};
+
+/// A multiprogrammed mix of four benchmarks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Mix {
+    /// Mix number as in Table 2 (or an extension id).
+    pub id: u32,
+    /// The four benchmark names.
+    pub parts: [&'static str; 4],
+}
+
+impl Mix {
+    /// Whether all four slots run the same benchmark.
+    pub fn is_homogeneous(&self) -> bool {
+        self.parts.iter().all(|p| *p == self.parts[0])
+    }
+
+    /// Human-readable description ("rand×2, dc×2").
+    pub fn describe(&self) -> String {
+        let mut counts: Vec<(&str, u32)> = Vec::new();
+        for p in self.parts {
+            match counts.iter_mut().find(|(n, _)| *n == p) {
+                Some((_, c)) => *c += 1,
+                None => counts.push((p, 1)),
+            }
+        }
+        counts
+            .iter()
+            .map(|(n, c)| {
+                if *c > 1 {
+                    format!("{n}×{c}")
+                } else {
+                    (*n).to_string()
+                }
+            })
+            .collect::<Vec<_>>()
+            .join(", ")
+    }
+}
+
+/// The eight mixes of Table 2.
+pub fn table2_mixes() -> Vec<Mix> {
+    vec![
+        Mix { id: 1, parts: ["dc", "dc", "dc", "dc"] },
+        Mix { id: 2, parts: ["liblinear_H"; 4] },
+        Mix { id: 3, parts: ["rand.", "rand.", "dc", "dc"] },
+        Mix { id: 4, parts: ["rand.", "rand.", "hashjoin", "hashjoin"] },
+        Mix { id: 5, parts: ["hashjoin", "hashjoin", "mummer", "mummer"] },
+        Mix { id: 6, parts: ["liblinear", "liblinear", "xsbench", "xsbench"] },
+        Mix { id: 7, parts: ["tiger", "tiger", "dfs", "bfs"] },
+        Mix { id: 8, parts: ["rand.", "liblinear", "dc", "cc"] },
+    ]
+}
+
+/// The full 20-mix set of §7.1: 11 homogeneous plus 9 heterogeneous
+/// (the six heterogeneous Table 2 mixes and three further ones).
+pub fn all_mixes() -> Vec<Mix> {
+    let homo = [
+        "dc", "liblinear_H", "rand.", "hashjoin", "mummer", "liblinear",
+        "xsbench", "tiger", "dfs", "bfs", "cc",
+    ];
+    let mut mixes: Vec<Mix> = homo
+        .iter()
+        .enumerate()
+        .map(|(i, n)| Mix {
+            id: 100 + i as u32,
+            parts: [n; 4],
+        })
+        .collect();
+    mixes.extend(table2_mixes().into_iter().filter(|m| !m.is_homogeneous()));
+    mixes.push(Mix { id: 200, parts: ["gups", "mcf", "omnetpp", "pr"] });
+    mixes.push(Mix { id: 201, parts: ["graph500", "tc", "kcore", "sssp"] });
+    mixes.push(Mix { id: 202, parts: ["gr.color.", "mummer", "xsbench", "gups"] });
+    mixes
+}
+
+/// Result of one multicore run.
+#[derive(Debug, Clone)]
+pub struct MulticoreReport {
+    /// The mix that ran.
+    pub mix: Mix,
+    /// Configuration label.
+    pub config: &'static str,
+    /// Per-core reports (index = core = mix slot).
+    pub cores: Vec<SimReport>,
+}
+
+impl MulticoreReport {
+    /// Per-core IPCs.
+    pub fn ipcs(&self) -> Vec<f64> {
+        self.cores.iter().map(|r| r.ipc()).collect()
+    }
+
+    /// Weighted speedup against per-benchmark alone-IPCs
+    /// (`alone[i]` = IPC of slot `i`'s benchmark running alone on the
+    /// same system).
+    ///
+    /// Returns `None` on length mismatch or zero alone-IPCs.
+    pub fn weighted_speedup(&self, alone: &[f64]) -> Option<f64> {
+        flatwalk_types::stats::weighted_speedup(&self.ipcs(), alone)
+    }
+}
+
+struct Core {
+    spec: WorkloadSpec,
+    space: AddressSpace,
+    mmu: Mmu,
+    hier: MemoryHierarchy,
+    stream: AccessStream,
+    cycles_f: f64,
+    instructions: u64,
+}
+
+/// A four-core multiprogrammed simulation over a shared LLC.
+///
+/// # Examples
+///
+/// ```
+/// use flatwalk_sim::{table2_mixes, MulticoreSimulation, SimOptions, TranslationConfig};
+///
+/// let mut opts = SimOptions::small_test();
+/// opts.footprint_divisor = 64;
+/// opts.phys_mem_bytes = 2 << 30;
+/// let report = MulticoreSimulation::build(
+///     &table2_mixes()[0], // dc×4
+///     TranslationConfig::baseline(),
+///     &opts,
+/// ).run();
+/// assert_eq!(report.cores.len(), 4);
+/// ```
+pub struct MulticoreSimulation {
+    mix: Mix,
+    config: TranslationConfig,
+    opts: SimOptions,
+    cores: Vec<Core>,
+}
+
+impl MulticoreSimulation {
+    /// Builds four cores with private L1/L2, a shared L3/DRAM, and
+    /// per-core address spaces carved from one physical memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics on unknown benchmark names or if physical memory cannot
+    /// hold all four footprints.
+    pub fn build(mix: &Mix, config: TranslationConfig, opts: &SimOptions) -> Self {
+        let mut buddy = BuddyAllocator::new(0, opts.phys_mem_bytes);
+        let hier_cfg = opts.hierarchy.clone().with_priority_prob(opts.ptp_bias);
+        let shared = MemoryHierarchy::new(hier_cfg.clone());
+        let l3 = shared.shared_l3();
+        let dram = shared.shared_dram();
+        drop(shared);
+
+        let cores = mix
+            .parts
+            .iter()
+            .enumerate()
+            .map(|(i, name)| {
+                let spec = WorkloadSpec::by_name(name)
+                    .unwrap_or_else(|| panic!("unknown benchmark {name:?}"))
+                    .scaled_down(opts.footprint_divisor);
+                let base_va = 0x1000_0000_0000 + (i as u64) * 0x100_0000_0000;
+                let space_spec =
+                    AddressSpaceSpec::new(config.layout.clone(), spec.footprint)
+                        .with_scenario(opts.scenario)
+                        .with_nf_threshold(config.nf_threshold)
+                        .with_base_va(base_va);
+                let space = AddressSpace::build(space_spec, &mut buddy)
+                    .unwrap_or_else(|e| panic!("core {i} address space: {e}"));
+                let mut mmu = Mmu::native(
+                    opts.tlb.clone(),
+                    opts.pwc.for_layout(&config.layout),
+                    config.ptp,
+                );
+                mmu.set_phase_detector(flatwalk_tlb::PhaseDetector::new(
+                    opts.phase_window,
+                    opts.phase_threshold,
+                ));
+                let hier = MemoryHierarchy::with_shared_l3(
+                    hier_cfg.clone(),
+                    std::rc::Rc::clone(&l3),
+                    std::rc::Rc::clone(&dram),
+                );
+                let stream = AccessStream::new(spec.clone(), base_va);
+                Core {
+                    spec,
+                    space,
+                    mmu,
+                    hier,
+                    stream,
+                    cycles_f: 0.0,
+                    instructions: 0,
+                }
+            })
+            .collect();
+
+        MulticoreSimulation {
+            mix: mix.clone(),
+            config,
+            opts: opts.clone(),
+            cores,
+        }
+    }
+
+    /// Runs all cores round-robin (one access per core per round) and
+    /// reports per-core results.
+    pub fn run(mut self) -> MulticoreReport {
+        let l1_lat = self.opts.hierarchy.l1.latency;
+        for phase in 0..2u32 {
+            let ops = if phase == 0 {
+                self.opts.warmup_ops
+            } else {
+                self.opts.measure_ops
+            };
+            if phase == 1 {
+                for c in &mut self.cores {
+                    c.mmu.reset_stats();
+                    c.hier.reset_stats();
+                    c.cycles_f = 0.0;
+                    c.instructions = 0;
+                }
+            }
+            for _ in 0..ops {
+                for (i, core) in self.cores.iter_mut().enumerate() {
+                    let va = core.stream.next_va();
+                    let aspace = MmuSpace::Native {
+                        store: core.space.store(),
+                        table: core.space.table(),
+                    };
+                    let t = core
+                        .mmu
+                        .access(&aspace, &mut core.hier, va, OwnerId(i as u8))
+                        .unwrap_or_else(|e| panic!("core {i} unmapped {va}: {e}"));
+                    core.instructions += core.spec.work_per_access + 1;
+                    let translation_stall = t.translation_latency.saturating_sub(1);
+                    let data_stall =
+                        t.data_latency.saturating_sub(l1_lat) as f64 * core.spec.data_exposure;
+                    core.cycles_f +=
+                        core.spec.work_per_access as f64 + translation_stall as f64 + data_stall;
+                }
+            }
+        }
+
+        let config = self.config.label;
+        let cores = self
+            .cores
+            .into_iter()
+            .map(|c| SimReport {
+                workload: c.spec.name.to_string(),
+                config,
+                instructions: c.instructions,
+                cycles: c.cycles_f.round() as u64,
+                walk: c.mmu.stats().walker,
+                tlb: c.mmu.stats().tlb,
+                hier: c.hier.stats(),
+                energy: c.hier.energy(&EnergyModel::default()),
+                census: *c.space.census(),
+            })
+            .collect();
+        MulticoreReport {
+            mix: self.mix,
+            config,
+            cores,
+        }
+    }
+}
+
+/// Computes alone-run IPCs for every distinct benchmark in `mixes`,
+/// using the same (multicore-sized) system configuration — the
+/// denominator of the weighted speedup.
+pub fn alone_ipcs(
+    mixes: &[Mix],
+    config: &TranslationConfig,
+    opts: &SimOptions,
+) -> HashMap<&'static str, f64> {
+    let mut out = HashMap::new();
+    for mix in mixes {
+        for name in mix.parts {
+            if out.contains_key(name) {
+                continue;
+            }
+            let spec = WorkloadSpec::by_name(name)
+                .unwrap_or_else(|| panic!("unknown benchmark {name:?}"));
+            let r = crate::NativeSimulation::build(spec, config.clone(), opts).run();
+            out.insert(name, r.ipc());
+        }
+    }
+    out
+}
+
+/// Geometric-mean weighted speedup across mixes, each normalized to the
+/// supplied alone-IPC table.
+pub fn mean_weighted_speedup(
+    reports: &[MulticoreReport],
+    alone: &HashMap<&'static str, f64>,
+) -> Option<f64> {
+    let per_mix: Vec<f64> = reports
+        .iter()
+        .map(|r| {
+            let alone_vec: Vec<f64> = r
+                .mix
+                .parts
+                .iter()
+                .map(|n| *alone.get(n).expect("alone IPC computed"))
+                .collect();
+            r.weighted_speedup(&alone_vec).expect("valid speedup")
+        })
+        .collect();
+    geometric_mean(&per_mix)
+}
+
+/// Multicore preset: Table 1 cores with the §7.1 32 MB shared LLC.
+pub fn multicore_options() -> SimOptions {
+    let mut opts = SimOptions::server();
+    opts.hierarchy = HierarchyConfig::server_multicore();
+    opts.phys_mem_bytes = 64 << 30;
+    opts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_matches_paper() {
+        let mixes = table2_mixes();
+        assert_eq!(mixes.len(), 8);
+        assert!(mixes[0].is_homogeneous());
+        assert_eq!(mixes[2].parts, ["rand.", "rand.", "dc", "dc"]);
+        assert_eq!(mixes[2].describe(), "rand.×2, dc×2");
+        // Every referenced benchmark exists in the suite.
+        for m in &mixes {
+            for p in m.parts {
+                assert!(
+                    WorkloadSpec::by_name(p).is_some(),
+                    "unknown benchmark {p} in mix {}",
+                    m.id
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn twenty_mixes_with_eleven_homogeneous() {
+        let mixes = all_mixes();
+        assert_eq!(mixes.len(), 20);
+        let homo = mixes.iter().filter(|m| m.is_homogeneous()).count();
+        assert_eq!(homo, 11);
+        for m in &mixes {
+            for p in m.parts {
+                assert!(WorkloadSpec::by_name(p).is_some(), "unknown {p}");
+            }
+        }
+    }
+
+    fn tiny_opts() -> SimOptions {
+        let mut opts = SimOptions::small_test();
+        opts.footprint_divisor = 64;
+        opts.phys_mem_bytes = 2 << 30;
+        opts
+    }
+
+    #[test]
+    fn multicore_run_produces_four_reports() {
+        let r = MulticoreSimulation::build(
+            &table2_mixes()[7], // rand, liblinear, dc, cc
+            TranslationConfig::baseline(),
+            &tiny_opts(),
+        )
+        .run();
+        assert_eq!(r.cores.len(), 4);
+        assert!(r.cores.iter().all(|c| c.ipc() > 0.0));
+        // The random-access core should walk far more than the dc core.
+        assert!(r.cores[0].tlb.walk_rate() > r.cores[2].tlb.walk_rate());
+    }
+
+    #[test]
+    fn weighted_speedup_identity() {
+        let r = MulticoreSimulation::build(
+            &table2_mixes()[0],
+            TranslationConfig::baseline(),
+            &tiny_opts(),
+        )
+        .run();
+        let ipcs = r.ipcs();
+        let ws = r.weighted_speedup(&ipcs).unwrap();
+        assert!((ws - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shared_llc_interference_is_visible() {
+        // dc alone vs dc sharing with three random-access hogs.
+        let opts = tiny_opts();
+        let alone = crate::NativeSimulation::build(
+            WorkloadSpec::dc().scaled_down(opts.footprint_divisor),
+            TranslationConfig::baseline(),
+            &opts,
+        )
+        .run();
+        let mixed = MulticoreSimulation::build(
+            &Mix { id: 999, parts: ["rand.", "rand.", "rand.", "dc"] },
+            TranslationConfig::baseline(),
+            &opts,
+        )
+        .run();
+        let dc_shared = &mixed.cores[3];
+        assert!(
+            dc_shared.ipc() <= alone.ipc() * 1.02,
+            "sharing cannot speed dc up ({} vs {})",
+            dc_shared.ipc(),
+            alone.ipc()
+        );
+    }
+}

@@ -1,0 +1,265 @@
+//! The single-core, native-execution simulation.
+
+use flatwalk_mem::{EnergyModel, MemoryHierarchy};
+use flatwalk_mmu::{AddressSpace as MmuSpace, Mmu};
+use flatwalk_os::{AddressSpace, AddressSpaceSpec, BuddyAllocator};
+use flatwalk_types::OwnerId;
+use flatwalk_workloads::{AccessStream, WorkloadSpec};
+
+use crate::{SimOptions, SimReport, TranslationConfig};
+
+/// A fully constructed native simulation: one core, one address space,
+/// one workload.
+///
+/// # Examples
+///
+/// ```
+/// use flatwalk_sim::{NativeSimulation, SimOptions, TranslationConfig};
+/// use flatwalk_workloads::WorkloadSpec;
+///
+/// let opts = SimOptions::small_test();
+/// let report = NativeSimulation::build(
+///     WorkloadSpec::gups().scaled_mib(32),
+///     TranslationConfig::flattened(),
+///     &opts,
+/// ).run();
+/// assert!(report.ipc() > 0.0);
+/// assert!(report.walk.accesses_per_walk() <= 2.0);
+/// ```
+#[derive(Debug)]
+pub struct NativeSimulation {
+    spec: WorkloadSpec,
+    config: TranslationConfig,
+    opts: SimOptions,
+    space: AddressSpace,
+    mmu: Mmu,
+    hier: MemoryHierarchy,
+    stream: AccessStream,
+}
+
+impl NativeSimulation {
+    /// Builds the address space (under the configured fragmentation
+    /// scenario), the MMU, and the memory hierarchy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the address space cannot be built (physical memory in
+    /// `opts` too small for the scaled footprint).
+    pub fn build(spec: WorkloadSpec, config: TranslationConfig, opts: &SimOptions) -> Self {
+        let spec = spec.clone().scaled_down(opts.footprint_divisor);
+        let mut buddy = BuddyAllocator::new(0, opts.phys_mem_bytes);
+        let space_spec = AddressSpaceSpec::new(config.layout.clone(), spec.footprint)
+            .with_scenario(opts.scenario)
+            .with_nf_threshold(config.nf_threshold);
+        let space = AddressSpace::build(space_spec, &mut buddy)
+            .unwrap_or_else(|e| panic!("failed to build address space: {e}"));
+        let pwc = opts.pwc.for_layout(&config.layout);
+        let mut mmu = Mmu::native(opts.tlb.clone(), pwc, config.ptp);
+        mmu.set_phase_detector(flatwalk_tlb::PhaseDetector::new(
+            opts.phase_window,
+            opts.phase_threshold,
+        ));
+        let hier = MemoryHierarchy::new(
+            opts.hierarchy.clone().with_priority_prob(opts.ptp_bias),
+        );
+        let stream = AccessStream::new(spec.clone(), space.spec().base_va);
+        NativeSimulation {
+            spec,
+            config,
+            opts: opts.clone(),
+            space,
+            mmu,
+            hier,
+            stream,
+        }
+    }
+
+    /// Builds a simulation around a pre-existing stream — typically a
+    /// replayed trace (`flatwalk_workloads::trace::load`). The stream's
+    /// spec provides the footprint and timing parameters; no footprint
+    /// scaling is applied (traces run at their recorded scale), and the
+    /// stream is rebased onto the freshly built address space.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the address space cannot be built.
+    pub fn build_with_stream(
+        mut stream: AccessStream,
+        config: TranslationConfig,
+        opts: &SimOptions,
+    ) -> Self {
+        let spec = stream.spec().clone();
+        let mut buddy = BuddyAllocator::new(0, opts.phys_mem_bytes);
+        let space_spec = AddressSpaceSpec::new(config.layout.clone(), spec.footprint)
+            .with_scenario(opts.scenario)
+            .with_nf_threshold(config.nf_threshold);
+        let space = AddressSpace::build(space_spec, &mut buddy)
+            .unwrap_or_else(|e| panic!("failed to build address space: {e}"));
+        stream.rebase(space.spec().base_va);
+        let pwc = opts.pwc.for_layout(&config.layout);
+        let mut mmu = Mmu::native(opts.tlb.clone(), pwc, config.ptp);
+        mmu.set_phase_detector(flatwalk_tlb::PhaseDetector::new(
+            opts.phase_window,
+            opts.phase_threshold,
+        ));
+        let hier = MemoryHierarchy::new(
+            opts.hierarchy.clone().with_priority_prob(opts.ptp_bias),
+        );
+        NativeSimulation {
+            spec,
+            config,
+            opts: opts.clone(),
+            space,
+            mmu,
+            hier,
+            stream,
+        }
+    }
+
+    /// Runs warm-up then measurement; returns the report.
+    pub fn run(mut self) -> SimReport {
+        let work = self.spec.work_per_access;
+        let exposure = self.spec.data_exposure;
+        let l1_lat = self.opts.hierarchy.l1.latency;
+        let mut cycles_f = 0.0f64;
+        let mut instructions = 0u64;
+
+        for phase in 0..2u32 {
+            let ops = if phase == 0 {
+                self.opts.warmup_ops
+            } else {
+                self.opts.measure_ops
+            };
+            if phase == 1 {
+                self.mmu.reset_stats();
+                self.hier.reset_stats();
+                cycles_f = 0.0;
+                instructions = 0;
+            }
+            for op in 0..ops {
+                if let Some(n) = self.opts.context_switch_interval {
+                    if op > 0 && op % n == 0 {
+                        self.mmu.context_switch();
+                    }
+                }
+                let va = self.stream.next_va();
+                let aspace = MmuSpace::Native {
+                    store: self.space.store(),
+                    table: self.space.table(),
+                };
+                let t = self
+                    .mmu
+                    .access(&aspace, &mut self.hier, va, OwnerId::SINGLE)
+                    .unwrap_or_else(|e| panic!("unmapped access {va}: {e}"));
+                instructions += work + 1;
+                // Timing proxy: non-memory work at CPI 1; TLB-hit
+                // latency is pipelined away; walk latency is exposed
+                // (serial pointer chase); data latency beyond an L1 hit
+                // is exposed according to the workload's MLP profile.
+                let translation_stall = t.translation_latency.saturating_sub(1);
+                let data_stall = t.data_latency.saturating_sub(l1_lat) as f64 * exposure;
+                cycles_f += work as f64 + translation_stall as f64 + data_stall;
+            }
+        }
+
+        SimReport {
+            workload: self.spec.name.to_string(),
+            config: self.config.label,
+            instructions,
+            cycles: cycles_f.round() as u64,
+            walk: self.mmu.stats().walker,
+            tlb: self.mmu.stats().tlb,
+            hier: self.hier.stats(),
+            energy: self.hier.energy(&EnergyModel::default()),
+            census: *self.space.census(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flatwalk_os::FragmentationScenario;
+
+    fn run(spec: WorkloadSpec, cfg: TranslationConfig) -> SimReport {
+        let opts = SimOptions::small_test();
+        NativeSimulation::build(spec, cfg, &opts).run()
+    }
+
+    #[test]
+    fn flattening_reduces_walk_accesses() {
+        let spec = WorkloadSpec::gups().scaled_mib(128);
+        let base = run(spec.clone(), TranslationConfig::baseline());
+        let flat = run(spec, TranslationConfig::flattened());
+        assert!(
+            base.walk.accesses_per_walk() > 1.1,
+            "baseline gups should need >1 access/walk (got {})",
+            base.walk.accesses_per_walk()
+        );
+        assert!(
+            flat.walk.accesses_per_walk() <= 1.05,
+            "flattened walks must be ~single access (got {})",
+            flat.walk.accesses_per_walk()
+        );
+        assert!(flat.speedup_vs(&base) > 1.0, "flattening should help gups");
+    }
+
+    #[test]
+    fn ptp_reduces_walk_latency_for_tlb_hostile_workloads() {
+        let spec = WorkloadSpec::gups().scaled_mib(256);
+        let base = run(spec.clone(), TranslationConfig::baseline());
+        let ptp = run(spec, TranslationConfig::prioritized());
+        assert!(
+            ptp.walk.latency_per_walk() < base.walk.latency_per_walk(),
+            "PTP should cut walk latency ({} vs {})",
+            ptp.walk.latency_per_walk(),
+            base.walk.latency_per_walk()
+        );
+        assert!(ptp.speedup_vs(&base) > 1.0);
+    }
+
+    #[test]
+    fn dc_is_translation_friendly() {
+        let spec = WorkloadSpec::dc().scaled_mib(128);
+        let r = run(spec, TranslationConfig::baseline());
+        assert!(
+            r.tlb.walk_rate() < 0.05,
+            "dc should rarely walk (rate {})",
+            r.tlb.walk_rate()
+        );
+    }
+
+    #[test]
+    fn large_pages_reduce_walks() {
+        let spec = WorkloadSpec::gups().scaled_mib(128);
+        let opts = SimOptions::small_test();
+        let r0 = NativeSimulation::build(
+            spec.clone(),
+            TranslationConfig::baseline(),
+            &opts.clone().with_scenario(FragmentationScenario::NONE),
+        )
+        .run();
+        let r100 = NativeSimulation::build(
+            spec,
+            TranslationConfig::baseline(),
+            &opts.with_scenario(FragmentationScenario::FULL),
+        )
+        .run();
+        assert!(
+            r100.tlb.walks < r0.tlb.walks / 2,
+            "2 MB pages must slash walk counts ({} vs {})",
+            r100.tlb.walks,
+            r0.tlb.walks
+        );
+        assert!(r100.speedup_vs(&r0) > 1.0);
+    }
+
+    #[test]
+    fn deterministic_reports() {
+        let spec = WorkloadSpec::mcf().scaled_mib(64);
+        let a = run(spec.clone(), TranslationConfig::flattened_prioritized());
+        let b = run(spec, TranslationConfig::flattened_prioritized());
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.tlb.walks, b.tlb.walks);
+    }
+}

@@ -1,0 +1,109 @@
+//! Simulation result reporting.
+
+use flatwalk_mem::{EnergyBreakdown, HierarchyStats};
+use flatwalk_mmu::WalkerStats;
+use flatwalk_pt::NodeCensus;
+use flatwalk_tlb::TlbSystemStats;
+
+/// The measured outcome of one simulation run.
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    /// Benchmark name.
+    pub workload: String,
+    /// Configuration label ("Base", "FPT+PTP", …).
+    pub config: &'static str,
+    /// Instructions retired during measurement (memory ops + work).
+    pub instructions: u64,
+    /// Cycles accumulated during measurement.
+    pub cycles: u64,
+    /// Page-walk statistics ("memory requests per page walk" and walk
+    /// latency — Fig. 1/10).
+    pub walk: WalkerStats,
+    /// TLB statistics.
+    pub tlb: TlbSystemStats,
+    /// Cache and DRAM statistics.
+    pub hier: HierarchyStats,
+    /// Dynamic energy breakdown (Fig. 13).
+    pub energy: EnergyBreakdown,
+    /// Page-table node census (table size, replication, fallbacks).
+    pub census: NodeCensus,
+}
+
+impl SimReport {
+    /// Instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.cycles as f64
+        }
+    }
+
+    /// This run's IPC relative to a baseline run (1.05 = +5 %).
+    pub fn speedup_vs(&self, baseline: &SimReport) -> f64 {
+        let b = baseline.ipc();
+        if b == 0.0 {
+            0.0
+        } else {
+            self.ipc() / b
+        }
+    }
+
+    /// Cache dynamic energy relative to a baseline (Fig. 13).
+    pub fn cache_energy_vs(&self, baseline: &SimReport) -> f64 {
+        self.energy.cache_vs(&baseline.energy)
+    }
+
+    /// DRAM accesses relative to a baseline (Fig. 13).
+    pub fn dram_energy_vs(&self, baseline: &SimReport) -> f64 {
+        self.energy.dram_vs(&baseline.energy)
+    }
+
+    /// One-line human-readable summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "{:<14} {:<9} ipc={:.4} walks/1k={:.1} acc/walk={:.2} walk_lat={:.1}",
+            self.workload,
+            self.config,
+            self.ipc(),
+            1000.0 * self.tlb.walks as f64 / self.tlb.translations.max(1) as f64,
+            self.walk.accesses_per_walk(),
+            self.walk.latency_per_walk(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(instructions: u64, cycles: u64) -> SimReport {
+        SimReport {
+            workload: "t".into(),
+            config: "Base",
+            instructions,
+            cycles,
+            walk: WalkerStats::default(),
+            tlb: TlbSystemStats::default(),
+            hier: HierarchyStats::default(),
+            energy: EnergyBreakdown::default(),
+            census: NodeCensus::default(),
+        }
+    }
+
+    #[test]
+    fn ipc_and_speedup() {
+        let base = report(1000, 2000);
+        let fast = report(1000, 1000);
+        assert!((base.ipc() - 0.5).abs() < 1e-12);
+        assert!((fast.speedup_vs(&base) - 2.0).abs() < 1e-12);
+        assert_eq!(report(10, 0).ipc(), 0.0);
+    }
+
+    #[test]
+    fn summary_contains_key_fields() {
+        let s = report(10, 10).summary();
+        assert!(s.contains("ipc="));
+        assert!(s.contains("acc/walk="));
+    }
+}

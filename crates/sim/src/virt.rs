@@ -1,0 +1,296 @@
+//! The virtualized (2-D page walk) simulation (paper §4, Fig. 12).
+
+use flatwalk_mem::{EnergyModel, MemoryHierarchy};
+use flatwalk_mmu::{AddressSpace as MmuSpace, Mmu, NestedTables};
+use flatwalk_os::{AddressSpaceSpec, BuddyAllocator, FragmentationScenario, VirtSpec, VirtualizedSpace};
+use flatwalk_pt::Layout;
+use flatwalk_types::OwnerId;
+use flatwalk_workloads::{AccessStream, WorkloadSpec};
+
+use crate::{SimOptions, SimReport, TranslationConfig};
+
+/// Which tables are flattened in a virtualized run — the Fig. 12
+/// configurations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VirtConfig {
+    /// Label ("Base-2D", "HF", "GF", "GF+HF", optionally "+PTP").
+    pub label: &'static str,
+    /// Flatten the guest page table.
+    pub guest_flat: bool,
+    /// Flatten the host page table.
+    pub host_flat: bool,
+    /// Enable page-table prioritization.
+    pub ptp: bool,
+}
+
+impl VirtConfig {
+    /// The eight Fig. 12 configurations in presentation order.
+    pub fn fig12_set() -> Vec<VirtConfig> {
+        vec![
+            VirtConfig { label: "Base-2D", guest_flat: false, host_flat: false, ptp: false },
+            VirtConfig { label: "HF", guest_flat: false, host_flat: true, ptp: false },
+            VirtConfig { label: "GF", guest_flat: true, host_flat: false, ptp: false },
+            VirtConfig { label: "GF+HF", guest_flat: true, host_flat: true, ptp: false },
+            VirtConfig { label: "Base+PTP", guest_flat: false, host_flat: false, ptp: true },
+            VirtConfig { label: "HF+PTP", guest_flat: false, host_flat: true, ptp: true },
+            VirtConfig { label: "GF+PTP", guest_flat: true, host_flat: false, ptp: true },
+            VirtConfig { label: "GF+HF+PTP", guest_flat: true, host_flat: true, ptp: true },
+        ]
+    }
+
+    /// The guest page-table layout this configuration implies.
+    pub fn guest_layout(&self) -> Layout {
+        if self.guest_flat {
+            Layout::flat_l4l3_l2l1()
+        } else {
+            Layout::conventional4()
+        }
+    }
+
+    /// The host page-table layout this configuration implies.
+    pub fn host_layout(&self) -> Layout {
+        if self.host_flat {
+            Layout::flat_l4l3_l2l1()
+        } else {
+            Layout::conventional4()
+        }
+    }
+
+    /// The equivalent single-dimension translation config (for report
+    /// labelling).
+    pub fn as_translation_config(&self) -> TranslationConfig {
+        let mut t = if self.guest_flat {
+            TranslationConfig::flattened()
+        } else {
+            TranslationConfig::baseline()
+        };
+        t.ptp = self.ptp;
+        t.label = self.label;
+        t
+    }
+}
+
+/// A fully constructed virtualized simulation.
+///
+/// # Examples
+///
+/// ```
+/// use flatwalk_sim::{SimOptions, VirtConfig, VirtualizedSimulation};
+/// use flatwalk_workloads::WorkloadSpec;
+///
+/// let opts = SimOptions::small_test();
+/// let cfg = VirtConfig { label: "GF+HF", guest_flat: true, host_flat: true, ptp: false };
+/// let report = VirtualizedSimulation::build(
+///     WorkloadSpec::gups().scaled_mib(32),
+///     cfg,
+///     &opts,
+/// ).run();
+/// assert!(report.walk.accesses_per_walk() < 8.0);
+/// ```
+#[derive(Debug)]
+pub struct VirtualizedSimulation {
+    spec: WorkloadSpec,
+    config: VirtConfig,
+    opts: SimOptions,
+    vspace: VirtualizedSpace,
+    mmu: Mmu,
+    hier: MemoryHierarchy,
+    stream: AccessStream,
+}
+
+impl VirtualizedSimulation {
+    /// Builds guest + host tables and the nested MMU.
+    ///
+    /// The guest's data pages follow `opts.scenario`; the host backs
+    /// guest-physical memory with the same scenario's large-page mix
+    /// (hypervisors map guest memory with 2 MB pages where available,
+    /// §4.1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spaces cannot be built within `opts.phys_mem_bytes`.
+    pub fn build(spec: WorkloadSpec, config: VirtConfig, opts: &SimOptions) -> Self {
+        Self::build_custom(
+            spec,
+            config,
+            config.guest_layout(),
+            config.host_layout(),
+            opts,
+        )
+    }
+
+    /// Builds with explicit guest/host layouts (the Fig. 14 mobile case
+    /// study sweeps flattening choices beyond the Fig. 12 set); the
+    /// `config`'s flags still control PTP and the report label.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spaces cannot be built within `opts.phys_mem_bytes`.
+    pub fn build_custom(
+        spec: WorkloadSpec,
+        config: VirtConfig,
+        guest_layout: Layout,
+        host_layout: Layout,
+        opts: &SimOptions,
+    ) -> Self {
+        let spec = spec.clone().scaled_down(opts.footprint_divisor);
+        let guest_flat = guest_layout != Layout::conventional4();
+        let guest_spec = AddressSpaceSpec::new(guest_layout.clone(), spec.footprint)
+            .with_scenario(opts.scenario)
+            .with_nf_threshold(if guest_flat { Some(32) } else { None });
+        // Hypervisors back guest memory with large pages where possible:
+        // use at least the guest's large-page fraction, and a 50 % mix
+        // even for 0 % guest scenarios (THP on the host side) — unless
+        // the options pin the host mix (no-THP systems, §7.4).
+        let host_scenario = opts.host_scenario.unwrap_or(
+            if opts.scenario.large_page_fraction < 0.5 {
+                FragmentationScenario::HALF
+            } else {
+                opts.scenario
+            },
+        );
+        let vspec = VirtSpec::new(guest_spec, host_layout.clone())
+            .with_host_scenario(host_scenario);
+        // The host must back all of guest-physical memory plus its own
+        // page-table nodes; size system memory accordingly (2x the
+        // guest, power of two, placed above guest-physical addresses).
+        let host_bytes = (vspec.guest_mem_bytes * 2).max(opts.phys_mem_bytes.next_power_of_two());
+        let mut host_alloc = BuddyAllocator::new(host_bytes, host_bytes);
+        let vspace = VirtualizedSpace::build(vspec, &mut host_alloc)
+            .unwrap_or_else(|e| panic!("failed to build virtualized space: {e}"));
+        let guest_pwc = opts.pwc.for_layout(&guest_layout);
+        let host_pwc = opts.pwc.for_layout(&host_layout);
+        let mut mmu = Mmu::nested(
+            opts.tlb.clone(),
+            guest_pwc,
+            host_pwc,
+            opts.nested_tlb_entries,
+            config.ptp,
+        );
+        mmu.set_phase_detector(flatwalk_tlb::PhaseDetector::new(
+            opts.phase_window,
+            opts.phase_threshold,
+        ));
+        let hier = MemoryHierarchy::new(
+            opts.hierarchy.clone().with_priority_prob(opts.ptp_bias),
+        );
+        let stream = AccessStream::new(spec.clone(), vspace.guest().spec().base_va);
+        VirtualizedSimulation {
+            spec,
+            config,
+            opts: opts.clone(),
+            vspace,
+            mmu,
+            hier,
+            stream,
+        }
+    }
+
+    /// Runs warm-up then measurement; returns the report.
+    pub fn run(mut self) -> SimReport {
+        let work = self.spec.work_per_access;
+        let exposure = self.spec.data_exposure;
+        let l1_lat = self.opts.hierarchy.l1.latency;
+        let mut cycles_f = 0.0f64;
+        let mut instructions = 0u64;
+
+        for phase in 0..2u32 {
+            let ops = if phase == 0 {
+                self.opts.warmup_ops
+            } else {
+                self.opts.measure_ops
+            };
+            if phase == 1 {
+                self.mmu.reset_stats();
+                self.hier.reset_stats();
+                cycles_f = 0.0;
+                instructions = 0;
+            }
+            for op in 0..ops {
+                if let Some(n) = self.opts.context_switch_interval {
+                    if op > 0 && op % n == 0 {
+                        self.mmu.context_switch();
+                    }
+                }
+                let va = self.stream.next_va();
+                let aspace = MmuSpace::Nested(NestedTables {
+                    guest_store: self.vspace.guest().store(),
+                    guest_table: self.vspace.guest().table(),
+                    host_store: self.vspace.host_store(),
+                    host_table: self.vspace.host_table(),
+                });
+                let t = self
+                    .mmu
+                    .access(&aspace, &mut self.hier, va, OwnerId::SINGLE)
+                    .unwrap_or_else(|e| panic!("unmapped guest access {va}: {e}"));
+                instructions += work + 1;
+                let translation_stall = t.translation_latency.saturating_sub(1);
+                let data_stall = t.data_latency.saturating_sub(l1_lat) as f64 * exposure;
+                cycles_f += work as f64 + translation_stall as f64 + data_stall;
+            }
+        }
+
+        SimReport {
+            workload: self.spec.name.to_string(),
+            config: self.config.label,
+            instructions,
+            cycles: cycles_f.round() as u64,
+            walk: self.mmu.stats().walker,
+            tlb: self.mmu.stats().tlb,
+            hier: self.hier.stats(),
+            energy: self.hier.energy(&EnergyModel::default()),
+            census: *self.vspace.guest().census(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(cfg: VirtConfig, mib: u64) -> SimReport {
+        let opts = SimOptions::small_test();
+        VirtualizedSimulation::build(WorkloadSpec::gups().scaled_mib(mib), cfg, &opts).run()
+    }
+
+    #[test]
+    fn fig12_set_is_complete() {
+        let set = VirtConfig::fig12_set();
+        assert_eq!(set.len(), 8);
+        assert_eq!(set[0].label, "Base-2D");
+        assert_eq!(set[7].label, "GF+HF+PTP");
+        assert!(set[4..].iter().all(|c| c.ptp));
+    }
+
+    #[test]
+    fn flattening_both_tables_cuts_walk_accesses() {
+        let base = run(VirtConfig::fig12_set()[0], 64);
+        let both = run(VirtConfig::fig12_set()[3], 64);
+        assert!(
+            base.walk.accesses_per_walk() > both.walk.accesses_per_walk(),
+            "GF+HF must reduce accesses ({} vs {})",
+            base.walk.accesses_per_walk(),
+            both.walk.accesses_per_walk()
+        );
+        assert!(both.speedup_vs(&base) > 1.0);
+    }
+
+    #[test]
+    fn virtualized_walks_cost_more_than_native() {
+        let opts = SimOptions::small_test();
+        let spec = WorkloadSpec::gups().scaled_mib(64);
+        let native = crate::NativeSimulation::build(
+            spec.clone(),
+            TranslationConfig::baseline(),
+            &opts,
+        )
+        .run();
+        let virt = run(VirtConfig::fig12_set()[0], 64);
+        assert!(
+            virt.walk.accesses_per_walk() > native.walk.accesses_per_walk(),
+            "2-D walks must be costlier ({} vs {})",
+            virt.walk.accesses_per_walk(),
+            native.walk.accesses_per_walk()
+        );
+    }
+}

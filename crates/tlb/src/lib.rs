@@ -1,0 +1,29 @@
+//! Translation caching: TLBs, page-walk caches (paging-structure
+//! caches), the nested TLB for virtualized walks, and high-TLB-miss
+//! phase detection.
+//!
+//! These are the structures of paper Table 1/3 that sit between the
+//! core and the page-table walker:
+//!
+//! * [`Tlb`] / [`UnifiedTlb`] / [`TlbSystem`] — split L1 TLB arrays per
+//!   page size plus the unified L2 TLB.
+//! * [`Pwc`] — Intel-style paging-structure caches, keyed on top VA
+//!   index-bit prefixes (§3.3), flattened-aware.
+//! * [`NestedTlb`] — gPA→hPA translations for 2-D walks (§4.1).
+//! * [`PhaseDetector`] — the performance-counter logic that gates cache
+//!   prioritization (§5, §6.1).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod nested;
+mod phase;
+mod pwc;
+mod system;
+mod tlb;
+
+pub use nested::NestedTlb;
+pub use phase::PhaseDetector;
+pub use pwc::{Pwc, PwcConfig, PwcDepthConfig, PwcHit};
+pub use system::{TlbLookup, TlbSystem, TlbSystemConfig, TlbSystemStats, UnifiedTlb};
+pub use tlb::{Tlb, TlbConfig, TlbEntry};

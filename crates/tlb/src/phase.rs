@@ -1,0 +1,128 @@
+//! Detection of high-TLB-miss phases.
+//!
+//! Paper §5/§6.1: prioritization of page-table lines in the caches is
+//! only applied "during phases of high TLB miss rates", detected with
+//! existing hardware performance counters. This module is that counter
+//! logic: a windowed TLB miss rate compared against a threshold.
+
+/// Windowed TLB-miss-rate phase detector.
+///
+/// # Examples
+///
+/// ```
+/// use flatwalk_tlb::PhaseDetector;
+///
+/// let mut d = PhaseDetector::new(100, 0.02);
+/// // A miss-heavy window switches the phase on…
+/// for _ in 0..100 { d.record(true); }
+/// assert!(d.active());
+/// // …and a hit-only window switches it back off.
+/// for _ in 0..100 { d.record(false); }
+/// assert!(!d.active());
+/// ```
+#[derive(Debug, Clone)]
+pub struct PhaseDetector {
+    window: u64,
+    threshold: f64,
+    seen: u64,
+    misses: u64,
+    active: bool,
+}
+
+impl PhaseDetector {
+    /// Default window length (translations per evaluation).
+    pub const DEFAULT_WINDOW: u64 = 4096;
+    /// Default miss-rate threshold for declaring a high-miss phase.
+    pub const DEFAULT_THRESHOLD: f64 = 0.02;
+
+    /// Creates a detector evaluating every `window` translations against
+    /// `threshold`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    pub fn new(window: u64, threshold: f64) -> Self {
+        assert!(window > 0, "window must be positive");
+        PhaseDetector {
+            window,
+            threshold,
+            seen: 0,
+            misses: 0,
+            active: false,
+        }
+    }
+
+    /// Detector with the paper-calibrated defaults.
+    pub fn default_config() -> Self {
+        Self::new(Self::DEFAULT_WINDOW, Self::DEFAULT_THRESHOLD)
+    }
+
+    /// Records one translation; returns the (possibly updated) phase.
+    pub fn record(&mut self, was_miss: bool) -> bool {
+        self.seen += 1;
+        if was_miss {
+            self.misses += 1;
+        }
+        if self.seen >= self.window {
+            let rate = self.misses as f64 / self.seen as f64;
+            self.active = rate >= self.threshold;
+            self.seen = 0;
+            self.misses = 0;
+        }
+        self.active
+    }
+
+    /// Whether the current phase is a high-TLB-miss phase.
+    pub fn active(&self) -> bool {
+        self.active
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_inactive() {
+        let d = PhaseDetector::default_config();
+        assert!(!d.active());
+    }
+
+    #[test]
+    fn activates_above_threshold_only() {
+        let mut d = PhaseDetector::new(100, 0.05);
+        // 4 misses in 100 → below 5 % threshold.
+        for i in 0..100 {
+            d.record(i < 4);
+        }
+        assert!(!d.active());
+        // 6 misses in 100 → above.
+        for i in 0..100 {
+            d.record(i < 6);
+        }
+        assert!(d.active());
+    }
+
+    #[test]
+    fn phase_holds_until_window_boundary() {
+        let mut d = PhaseDetector::new(10, 0.5);
+        for _ in 0..10 {
+            d.record(true);
+        }
+        assert!(d.active());
+        // Mid-window hits do not flip the phase yet.
+        for _ in 0..5 {
+            assert!(d.record(false));
+        }
+        for _ in 0..5 {
+            d.record(false);
+        }
+        assert!(!d.active());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_window_rejected() {
+        PhaseDetector::new(0, 0.5);
+    }
+}

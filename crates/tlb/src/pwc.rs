@@ -1,0 +1,456 @@
+//! Page-walk caches (Intel-style paging-structure caches, paper §3.3).
+//!
+//! A PSC of prefix width *w* maps the top *w* virtual-address index bits
+//! to the physical address (and shape) of the page-table node the walk
+//! would reach after translating those bits, letting the walker skip the
+//! corresponding upper levels. Intel's organization has three depths —
+//! "L4" (9 bits), "L3" (18 bits), and "L2" (27 bits) for a 4-level
+//! table — all looked up in parallel in one cycle.
+//!
+//! Flattening composes naturally: after the walker reads the root entry
+//! of a flattened L4+L3 table it has consumed 18 bits, so it inserts
+//! into the 18-bit PSC; a later hit there jumps straight to the
+//! flattened L2+L1 node, making the whole walk a single access (§3.3).
+
+use flatwalk_pt::NodeShape;
+use flatwalk_types::stats::HitMiss;
+use flatwalk_types::{PhysAddr, VirtAddr};
+
+/// Geometry of one paging-structure cache depth.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PwcDepthConfig {
+    /// How many top VA index bits this depth matches (9, 18, 27, or 36).
+    pub prefix_bits: u32,
+    /// Number of (fully associative) entries.
+    pub entries: usize,
+}
+
+/// Configuration of the whole PSC: one array per depth, parallel lookup.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PwcConfig {
+    /// The depths, in any order.
+    pub depths: Vec<PwcDepthConfig>,
+    /// Lookup latency (Table 1: 1 cycle, parallel).
+    pub latency: u64,
+    /// One past the highest index bit of the table (48 for a 4-level
+    /// table whose L4 field is VA bits `[47:39]`, 57 for 5-level): a
+    /// prefix of width `w` is matched against `va >> (top_bit - w)`.
+    pub top_bit: u32,
+}
+
+impl PwcConfig {
+    /// The paper's server PSC (Table 1): 4-entry "L4" (9-bit), 4-entry
+    /// "L3" (18-bit), 24-entry "L2" (27-bit); 1-cycle parallel lookup.
+    /// `top_bit` 48 suits 4-level tables.
+    pub fn server() -> Self {
+        PwcConfig {
+            depths: vec![
+                PwcDepthConfig {
+                    prefix_bits: 9,
+                    entries: 4,
+                },
+                PwcDepthConfig {
+                    prefix_bits: 18,
+                    entries: 4,
+                },
+                PwcDepthConfig {
+                    prefix_bits: 27,
+                    entries: 24,
+                },
+            ],
+            latency: 1,
+            top_bit: 48,
+        }
+    }
+
+    /// Server PSC with a resized 18-bit ("L3") depth — the §7.1 PWC
+    /// sensitivity sweep varies this from 1 to 16 entries.
+    pub fn server_with_l3_entries(entries: usize) -> Self {
+        let mut cfg = Self::server();
+        for d in &mut cfg.depths {
+            if d.prefix_bits == 18 {
+                d.entries = entries;
+            }
+        }
+        cfg
+    }
+
+    /// Server PSC with a resized 27-bit ("L2") depth (§7.1 notes ≈4096
+    /// entries would be needed to match flattening).
+    pub fn server_with_l2_entries(entries: usize) -> Self {
+        let mut cfg = Self::server();
+        for d in &mut cfg.depths {
+            if d.prefix_bits == 27 {
+                d.entries = entries;
+            }
+        }
+        cfg
+    }
+
+    /// An approximation of the Table 3 mobile walk-cache. The Arm part
+    /// holds 1 GB/2 MB *and* partial *and* full large-page translations
+    /// in one 256-entry 4-way structure; only a fraction of it acts as
+    /// the deepest walk cache at any time, so the model gives the
+    /// walk-cache roles a modest slice per depth.
+    pub fn mobile() -> Self {
+        PwcConfig {
+            depths: vec![
+                PwcDepthConfig {
+                    prefix_bits: 9,
+                    entries: 8,
+                },
+                PwcDepthConfig {
+                    prefix_bits: 18,
+                    entries: 8,
+                },
+                PwcDepthConfig {
+                    prefix_bits: 27,
+                    entries: 32,
+                },
+            ],
+            latency: 1,
+            top_bit: 48,
+        }
+    }
+}
+
+impl PwcConfig {
+    /// Redistributes this configuration's total entry budget across the
+    /// step boundaries of `layout` (paper §3.3/§6.1: with fewer levels,
+    /// "fewer PWCs are required... enabling each one to cache more
+    /// entries").
+    ///
+    /// Every non-terminal walk boundary gets a depth; all boundaries
+    /// except the deepest receive the base config's smallest array,
+    /// and the deepest receives the remaining budget (mirroring Intel's
+    /// skew toward the deepest cache).
+    pub fn for_layout(&self, layout: &flatwalk_pt::Layout) -> PwcConfig {
+        let total: usize = self.depths.iter().map(|d| d.entries).sum();
+        let small = self.depths.iter().map(|d| d.entries).min().unwrap_or(4);
+        // Boundaries: cumulative index bits after each group except the
+        // last (a completed walk has no next node to cache).
+        let mut boundaries: Vec<u32> = Vec::new();
+        let mut cum = 0u32;
+        for g in &layout.groups()[..layout.groups().len() - 1] {
+            cum += g.depth as u32 * 9;
+            boundaries.push(cum);
+        }
+        if boundaries.is_empty() {
+            // Degenerate single-node table: keep one tiny depth so the
+            // struct stays valid; it will simply never hit.
+            boundaries.push(9);
+        }
+        let deepest = *boundaries.last().expect("non-empty");
+        let shallow_total = small * (boundaries.len() - 1);
+        let depths = boundaries
+            .iter()
+            .map(|&b| PwcDepthConfig {
+                prefix_bits: b,
+                entries: if b == deepest {
+                    total.saturating_sub(shallow_total).max(small)
+                } else {
+                    small
+                },
+            })
+            .collect();
+        PwcConfig {
+            depths,
+            latency: self.latency,
+            top_bit: 12 + layout.root_level().rank() as u32 * 9,
+        }
+    }
+}
+
+/// What a PSC hit provides: the node to continue the walk from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PwcHit {
+    /// How many top index bits were matched.
+    pub prefix_bits: u32,
+    /// Base of the node to continue from.
+    pub node_base: PhysAddr,
+    /// Shape of that node.
+    pub node_shape: NodeShape,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct PwcSlot {
+    prefix: u64,
+    node_base: PhysAddr,
+    node_shape: NodeShape,
+    stamp: u64,
+}
+
+#[derive(Debug, Clone)]
+struct PwcDepth {
+    cfg: PwcDepthConfig,
+    slots: Vec<Option<PwcSlot>>,
+    stats: HitMiss,
+}
+
+/// The multi-depth paging-structure cache.
+#[derive(Debug, Clone)]
+pub struct Pwc {
+    depths: Vec<PwcDepth>,
+    latency: u64,
+    top_bit: u32,
+    clock: u64,
+}
+
+impl Pwc {
+    /// Creates an empty PSC.
+    pub fn new(cfg: PwcConfig) -> Self {
+        let mut depths: Vec<PwcDepth> = cfg
+            .depths
+            .iter()
+            .map(|d| PwcDepth {
+                cfg: *d,
+                slots: vec![None; d.entries],
+                stats: HitMiss::default(),
+            })
+            .collect();
+        // Deepest (widest prefix) first so `lookup` returns the best hit.
+        depths.sort_by(|a, b| b.cfg.prefix_bits.cmp(&a.cfg.prefix_bits));
+        Pwc {
+            depths,
+            latency: cfg.latency,
+            top_bit: cfg.top_bit,
+            clock: 0,
+        }
+    }
+
+    /// Lookup latency in cycles.
+    pub fn latency(&self) -> u64 {
+        self.latency
+    }
+
+    #[inline]
+    fn prefix_of(&self, va: VirtAddr, bits: u32) -> u64 {
+        (va.raw() >> (self.top_bit - bits)) & ((1u64 << bits) - 1)
+    }
+
+    /// Parallel lookup of all depths; returns the deepest hit.
+    ///
+    /// Statistics: the *walk-level* hit/miss is recorded on the deepest
+    /// depth that hit (misses are recorded on every depth, matching
+    /// per-array behaviour).
+    pub fn lookup(&mut self, va: VirtAddr) -> Option<PwcHit> {
+        self.clock += 1;
+        let clock = self.clock;
+        let mut result = None;
+        for di in 0..self.depths.len() {
+            let bits = self.depths[di].cfg.prefix_bits;
+            let prefix = self.prefix_of(va, bits);
+            let depth = &mut self.depths[di];
+            let hit = depth
+                .slots
+                .iter_mut()
+                .flatten()
+                .find(|s| s.prefix == prefix);
+            match hit {
+                Some(slot) if result.is_none() => {
+                    slot.stamp = clock;
+                    depth.stats.hit();
+                    result = Some(PwcHit {
+                        prefix_bits: bits,
+                        node_base: slot.node_base,
+                        node_shape: slot.node_shape,
+                    });
+                }
+                Some(_) => { /* shallower hit shadowed by a deeper one */ }
+                None => depth.stats.miss(),
+            }
+        }
+        result
+    }
+
+    /// Records that, after translating the top `prefix_bits` of `va`,
+    /// the walk continues at `node_base` (of `node_shape`). No-op if no
+    /// depth of that width exists.
+    pub fn insert(
+        &mut self,
+        va: VirtAddr,
+        prefix_bits: u32,
+        node_base: PhysAddr,
+        node_shape: NodeShape,
+    ) {
+        self.clock += 1;
+        let clock = self.clock;
+        let top_bit = self.top_bit;
+        let Some(depth) = self
+            .depths
+            .iter_mut()
+            .find(|d| d.cfg.prefix_bits == prefix_bits)
+        else {
+            return;
+        };
+        let prefix = (va.raw() >> (top_bit - prefix_bits)) & ((1u64 << prefix_bits) - 1);
+        let slot = PwcSlot {
+            prefix,
+            node_base,
+            node_shape,
+            stamp: clock,
+        };
+        if let Some(existing) = depth.slots.iter_mut().flatten().find(|s| s.prefix == prefix) {
+            *existing = slot;
+            return;
+        }
+        if let Some(empty) = depth.slots.iter_mut().find(|s| s.is_none()) {
+            *empty = Some(slot);
+            return;
+        }
+        let victim = depth
+            .slots
+            .iter_mut()
+            .min_by_key(|s| s.as_ref().expect("full").stamp)
+            .expect("entries > 0");
+        *victim = Some(slot);
+    }
+
+    /// Per-depth statistics, widest prefix first: `(prefix_bits, tally)`.
+    pub fn stats(&self) -> Vec<(u32, HitMiss)> {
+        self.depths
+            .iter()
+            .map(|d| (d.cfg.prefix_bits, d.stats))
+            .collect()
+    }
+
+    /// Clears statistics, keeping contents.
+    pub fn reset_stats(&mut self) {
+        for d in &mut self.depths {
+            d.stats = HitMiss::default();
+        }
+    }
+
+    /// Empties the cache.
+    pub fn flush(&mut self) {
+        for d in &mut self.depths {
+            d.slots.fill(None);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pwc() -> Pwc {
+        Pwc::new(PwcConfig::server())
+    }
+
+    #[test]
+    fn deepest_hit_wins() {
+        let mut p = pwc();
+        let va = VirtAddr::new(0x7f12_3456_7000);
+        p.insert(va, 9, PhysAddr::new(0x1000), NodeShape::Conventional);
+        p.insert(va, 27, PhysAddr::new(0x3000), NodeShape::Conventional);
+        let hit = p.lookup(va).unwrap();
+        assert_eq!(hit.prefix_bits, 27);
+        assert_eq!(hit.node_base.raw(), 0x3000);
+    }
+
+    #[test]
+    fn prefix_match_requires_all_bits() {
+        let mut p = pwc();
+        let va = VirtAddr::new(0x7f12_3456_7000);
+        p.insert(va, 27, PhysAddr::new(0x3000), NodeShape::Conventional);
+        // Same top 18 bits, different L2 index → 27-bit depth misses.
+        let near = VirtAddr::new(va.raw() ^ (1 << 21));
+        assert!(p.lookup(near).is_none());
+        // Same 27 bits, different L1 index → hits.
+        let same_region = VirtAddr::new(va.raw() ^ (1 << 12));
+        assert!(p.lookup(same_region).is_some());
+    }
+
+    #[test]
+    fn eighteen_bit_depth_caches_flattened_roots() {
+        let mut p = pwc();
+        let va = VirtAddr::new(0x55_4000_0000);
+        p.insert(va, 18, PhysAddr::new(0x20_0000), NodeShape::Flat2);
+        let hit = p.lookup(va).unwrap();
+        assert_eq!(hit.prefix_bits, 18);
+        assert_eq!(hit.node_shape, NodeShape::Flat2);
+        // Anywhere within the same 1 GB region (same 18 top bits) hits.
+        let hit2 = p.lookup(VirtAddr::new(0x55_7fff_f000)).unwrap();
+        assert_eq!(hit2.node_base.raw(), 0x20_0000);
+    }
+
+    #[test]
+    fn lru_among_fa_entries() {
+        let mut p = Pwc::new(PwcConfig {
+            depths: vec![PwcDepthConfig {
+                prefix_bits: 9,
+                entries: 2,
+            }],
+            latency: 1,
+            top_bit: 48,
+        });
+        let region = |i: u64| VirtAddr::new(i << 39);
+        p.insert(region(1), 9, PhysAddr::new(0x1000), NodeShape::Conventional);
+        p.insert(region(2), 9, PhysAddr::new(0x2000), NodeShape::Conventional);
+        p.lookup(region(1)); // refresh 1
+        p.insert(region(3), 9, PhysAddr::new(0x3000), NodeShape::Conventional);
+        assert!(p.lookup(region(1)).is_some());
+        assert!(p.lookup(region(2)).is_none());
+        assert!(p.lookup(region(3)).is_some());
+    }
+
+    #[test]
+    fn unknown_width_insert_is_noop() {
+        let mut p = pwc();
+        p.insert(VirtAddr::new(0), 36, PhysAddr::new(0x1000), NodeShape::Conventional);
+        assert!(p.lookup(VirtAddr::new(0)).is_none());
+    }
+
+    #[test]
+    fn for_layout_redistributes_budget() {
+        use flatwalk_pt::Layout;
+        let base = PwcConfig::server(); // 4 + 4 + 24 = 32 entries
+
+        // Conventional 4-level: boundaries 9/18/27, deepest gets bulk.
+        let conv = base.for_layout(&Layout::conventional4());
+        let mut widths: Vec<(u32, usize)> =
+            conv.depths.iter().map(|d| (d.prefix_bits, d.entries)).collect();
+        widths.sort_unstable();
+        assert_eq!(widths, vec![(9, 4), (18, 4), (27, 24)]);
+        assert_eq!(conv.top_bit, 48);
+
+        // Fully flattened: a single 18-bit boundary holding everything.
+        let flat = base.for_layout(&Layout::flat_l4l3_l2l1());
+        assert_eq!(flat.depths.len(), 1);
+        assert_eq!(flat.depths[0].prefix_bits, 18);
+        assert_eq!(flat.depths[0].entries, 32);
+
+        // L3+L2 flattened: boundaries at 9 and 27.
+        let mid = base.for_layout(&Layout::flat_l3l2());
+        let mut w: Vec<(u32, usize)> =
+            mid.depths.iter().map(|d| (d.prefix_bits, d.entries)).collect();
+        w.sort_unstable();
+        assert_eq!(w, vec![(9, 4), (27, 28)]);
+
+        // Five-level flattened: 57-bit top, boundaries at 18 and 36.
+        let five = base.for_layout(&Layout::flat5_l5l4_l3l2());
+        assert_eq!(five.top_bit, 57);
+        let mut w5: Vec<u32> = five.depths.iter().map(|d| d.prefix_bits).collect();
+        w5.sort_unstable();
+        assert_eq!(w5, vec![18, 36]);
+
+        // Budget is conserved in every case.
+        for cfg in [&conv, &flat, &mid, &five] {
+            assert_eq!(cfg.depths.iter().map(|d| d.entries).sum::<usize>(), 32);
+        }
+    }
+
+    #[test]
+    fn stats_order_and_flush() {
+        let mut p = pwc();
+        let va = VirtAddr::new(0x1000_0000);
+        p.insert(va, 9, PhysAddr::new(0x1000), NodeShape::Conventional);
+        p.lookup(va);
+        let stats = p.stats();
+        assert_eq!(stats[0].0, 27);
+        assert_eq!(stats[2].0, 9);
+        assert_eq!(stats[2].1.hits, 1);
+        p.flush();
+        assert!(p.lookup(va).is_none());
+    }
+}

@@ -1,0 +1,429 @@
+//! The per-core TLB complex: split L1 arrays plus a unified L2.
+
+use flatwalk_types::stats::HitMiss;
+use flatwalk_types::{PageSize, PhysAddr, VirtAddr};
+
+use crate::{Tlb, TlbConfig};
+
+/// A unified set-associative TLB holding 4 KB and 2 MB translations in
+/// the same array (Skylake-style L2 STLB; Table 1: 1536 entries,
+/// 12-way, 9 cycles, "4 KB/2 MB").
+#[derive(Debug, Clone)]
+pub struct UnifiedTlb {
+    name: &'static str,
+    sets: Vec<Vec<Option<USlot>>>,
+    latency: u64,
+    clock: u64,
+    stats: HitMiss,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct USlot {
+    vpn: u64,
+    size: PageSize,
+    frame: PhysAddr,
+    stamp: u64,
+}
+
+impl UnifiedTlb {
+    /// Creates an empty unified TLB.
+    ///
+    /// # Panics
+    ///
+    /// Panics on degenerate geometry (see [`TlbConfig::new`] rules).
+    pub fn new(name: &'static str, entries: usize, ways: usize, latency: u64) -> Self {
+        assert!(ways > 0 && entries % ways == 0, "degenerate TLB geometry");
+        let sets = entries / ways;
+        assert!(sets.is_power_of_two(), "set count must be a power of two");
+        UnifiedTlb {
+            name,
+            sets: vec![vec![None; ways]; sets],
+            latency,
+            clock: 0,
+            stats: HitMiss::default(),
+        }
+    }
+
+    /// Reporting name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Lookup latency in cycles.
+    pub fn latency(&self) -> u64 {
+        self.latency
+    }
+
+    /// Hit/miss statistics.
+    pub fn stats(&self) -> HitMiss {
+        self.stats
+    }
+
+    /// Clears statistics.
+    pub fn reset_stats(&mut self) {
+        self.stats = HitMiss::default();
+    }
+
+    #[inline]
+    fn set_of(&self, vpn: u64) -> usize {
+        (vpn as usize) & (self.sets.len() - 1)
+    }
+
+    /// Looks `va` up under both size interpretations.
+    pub fn lookup(&mut self, va: VirtAddr) -> Option<(PhysAddr, PageSize)> {
+        self.clock += 1;
+        let clock = self.clock;
+        let mut found = None;
+        for size in [PageSize::Size4K, PageSize::Size2M] {
+            let vpn = va.page_number(size);
+            let set = self.set_of(vpn);
+            if let Some(slot) = self.sets[set]
+                .iter_mut()
+                .flatten()
+                .find(|s| s.size == size && s.vpn == vpn)
+            {
+                slot.stamp = clock;
+                found = Some((slot.frame, size));
+                break;
+            }
+        }
+        self.stats.record(found.is_some());
+        found
+    }
+
+    /// Installs a translation (1 GB translations are not held in the L2
+    /// TLB, mirroring the modelled hardware — the call is a no-op).
+    pub fn insert(&mut self, va: VirtAddr, frame: PhysAddr, size: PageSize) {
+        if size == PageSize::Size1G {
+            return;
+        }
+        self.clock += 1;
+        let vpn = va.page_number(size);
+        let set = self.set_of(vpn);
+        let slot = USlot {
+            vpn,
+            size,
+            frame,
+            stamp: self.clock,
+        };
+        let ways = &mut self.sets[set];
+        if let Some(existing) = ways
+            .iter_mut()
+            .flatten()
+            .find(|s| s.size == size && s.vpn == vpn)
+        {
+            *existing = slot;
+            return;
+        }
+        if let Some(empty) = ways.iter_mut().find(|s| s.is_none()) {
+            *empty = Some(slot);
+            return;
+        }
+        let victim = ways
+            .iter_mut()
+            .min_by_key(|s| s.as_ref().expect("full").stamp)
+            .expect("ways > 0");
+        *victim = Some(slot);
+    }
+
+    /// Empties the TLB.
+    pub fn flush(&mut self) {
+        for set in &mut self.sets {
+            set.fill(None);
+        }
+    }
+}
+
+/// Outcome of a TLB-system lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TlbLookup {
+    /// The translation, if any level hit: (page frame, size).
+    pub translation: Option<(PhysAddr, PageSize)>,
+    /// Cycles spent in the TLB arrays (L1; plus L2 when L1 missed).
+    pub latency: u64,
+}
+
+/// Configuration of the whole per-core TLB complex.
+#[derive(Debug, Clone)]
+pub struct TlbSystemConfig {
+    /// L1 array for 4 KB translations.
+    pub l1_4k: TlbConfig,
+    /// L1 array for 2 MB translations.
+    pub l1_2m: TlbConfig,
+    /// L1 array for 1 GB translations.
+    pub l1_1g: TlbConfig,
+    /// Unified L2 entries.
+    pub l2_entries: usize,
+    /// Unified L2 associativity.
+    pub l2_ways: usize,
+    /// Unified L2 latency.
+    pub l2_latency: u64,
+}
+
+impl TlbSystemConfig {
+    /// Table 1 server TLBs: L1 4 KB 64-entry 4-way + 2 MB 32-entry 4-way
+    /// (1-cycle, parallel), unified L2 1536-entry 12-way 9-cycle, plus a
+    /// small fully associative 1 GB array.
+    pub fn server() -> Self {
+        TlbSystemConfig {
+            l1_4k: TlbConfig::new("L1TLB-4K", 64, 4, 1, PageSize::Size4K),
+            l1_2m: TlbConfig::new("L1TLB-2M", 32, 4, 1, PageSize::Size2M),
+            l1_1g: TlbConfig::new("L1TLB-1G", 4, 4, 1, PageSize::Size1G),
+            l2_entries: 1536,
+            l2_ways: 12,
+            l2_latency: 9,
+        }
+    }
+
+    /// Table 3 mobile TLBs: 48-entry fully associative L1 data TLB and a
+    /// 1536-entry 6-way L2.
+    pub fn mobile() -> Self {
+        TlbSystemConfig {
+            l1_4k: TlbConfig::new("L1TLB-4K", 48, 48, 1, PageSize::Size4K),
+            l1_2m: TlbConfig::new("L1TLB-2M", 16, 16, 1, PageSize::Size2M),
+            l1_1g: TlbConfig::new("L1TLB-1G", 4, 4, 1, PageSize::Size1G),
+            l2_entries: 1536,
+            l2_ways: 6,
+            l2_latency: 8,
+        }
+    }
+}
+
+/// Per-TLB statistics snapshot.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TlbSystemStats {
+    /// L1 4 KB array.
+    pub l1_4k: HitMiss,
+    /// L1 2 MB array.
+    pub l1_2m: HitMiss,
+    /// L1 1 GB array.
+    pub l1_1g: HitMiss,
+    /// Unified L2.
+    pub l2: HitMiss,
+    /// Translation requests that missed every level (page walks).
+    pub walks: u64,
+    /// Total translation requests.
+    pub translations: u64,
+}
+
+impl TlbSystemStats {
+    /// Overall miss (walk) rate per translation.
+    pub fn walk_rate(&self) -> f64 {
+        if self.translations == 0 {
+            0.0
+        } else {
+            self.walks as f64 / self.translations as f64
+        }
+    }
+}
+
+/// The per-core TLB complex: parallel split L1 arrays backed by a
+/// unified L2.
+#[derive(Debug, Clone)]
+pub struct TlbSystem {
+    l1_4k: Tlb,
+    l1_2m: Tlb,
+    l1_1g: Tlb,
+    l2: UnifiedTlb,
+    walks: u64,
+    translations: u64,
+}
+
+impl TlbSystem {
+    /// Builds the complex from a configuration.
+    pub fn new(cfg: TlbSystemConfig) -> Self {
+        TlbSystem {
+            l1_4k: Tlb::new(cfg.l1_4k),
+            l1_2m: Tlb::new(cfg.l1_2m),
+            l1_1g: Tlb::new(cfg.l1_1g),
+            l2: UnifiedTlb::new("L2TLB", cfg.l2_entries, cfg.l2_ways, cfg.l2_latency),
+            walks: 0,
+            translations: 0,
+        }
+    }
+
+    /// Looks up `va`: L1 arrays in parallel (1 cycle), then the unified
+    /// L2. An L2 hit refills the appropriate L1 array. A full miss means
+    /// the caller must walk and then call [`TlbSystem::fill`].
+    pub fn lookup(&mut self, va: VirtAddr) -> TlbLookup {
+        self.translations += 1;
+        let l1_latency = self.l1_4k.config().latency;
+        // Parallel L1 probes (record stats in each array, as hardware
+        // probes all size classes).
+        let hit = [
+            self.l1_4k.lookup(va),
+            self.l1_2m.lookup(va),
+            self.l1_1g.lookup(va),
+        ]
+        .into_iter()
+        .flatten()
+        .next();
+        if let Some(e) = hit {
+            return TlbLookup {
+                translation: Some((e.frame, e.size)),
+                latency: l1_latency,
+            };
+        }
+        let l2_latency = self.l2.latency();
+        if let Some((frame, size)) = self.l2.lookup(va) {
+            self.fill_l1(va, frame, size);
+            return TlbLookup {
+                translation: Some((frame, size)),
+                latency: l1_latency + l2_latency,
+            };
+        }
+        self.walks += 1;
+        TlbLookup {
+            translation: None,
+            latency: l1_latency + l2_latency,
+        }
+    }
+
+    fn fill_l1(&mut self, va: VirtAddr, frame: PhysAddr, size: PageSize) {
+        match size {
+            PageSize::Size4K => self.l1_4k.insert(va, frame, size),
+            PageSize::Size2M => self.l1_2m.insert(va, frame, size),
+            PageSize::Size1G => self.l1_1g.insert(va, frame, size),
+        }
+    }
+
+    /// Installs a walked translation into L1 and L2.
+    pub fn fill(&mut self, va: VirtAddr, frame: PhysAddr, size: PageSize) {
+        self.fill_l1(va, frame, size);
+        self.l2.insert(va, frame, size);
+    }
+
+    /// Statistics snapshot.
+    pub fn stats(&self) -> TlbSystemStats {
+        TlbSystemStats {
+            l1_4k: self.l1_4k.stats(),
+            l1_2m: self.l1_2m.stats(),
+            l1_1g: self.l1_1g.stats(),
+            l2: self.l2.stats(),
+            walks: self.walks,
+            translations: self.translations,
+        }
+    }
+
+    /// Clears statistics, keeping contents.
+    pub fn reset_stats(&mut self) {
+        self.l1_4k.reset_stats();
+        self.l1_2m.reset_stats();
+        self.l1_1g.reset_stats();
+        self.l2.reset_stats();
+        self.walks = 0;
+        self.translations = 0;
+    }
+
+    /// Empties every array.
+    pub fn flush(&mut self) {
+        self.l1_4k.flush();
+        self.l1_2m.flush();
+        self.l1_1g.flush();
+        self.l2.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn system() -> TlbSystem {
+        TlbSystem::new(TlbSystemConfig::server())
+    }
+
+    #[test]
+    fn full_miss_then_fill_then_l1_hit() {
+        let mut s = system();
+        let va = VirtAddr::new(0x1234_5000);
+        let miss = s.lookup(va);
+        assert!(miss.translation.is_none());
+        assert_eq!(miss.latency, 1 + 9);
+        s.fill(va, PhysAddr::new(0x9_0000_0000), PageSize::Size4K);
+        let hit = s.lookup(va);
+        assert_eq!(hit.latency, 1);
+        assert_eq!(
+            hit.translation,
+            Some((PhysAddr::new(0x9_0000_0000), PageSize::Size4K))
+        );
+        let st = s.stats();
+        assert_eq!(st.walks, 1);
+        assert_eq!(st.translations, 2);
+        assert!((st.walk_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn l2_hit_refills_l1() {
+        let mut s = system();
+        let target = VirtAddr::new(0x1000_0000);
+        s.fill(target, PhysAddr::new(0x2000_0000), PageSize::Size4K);
+        // Evict `target` from the small L1 by filling many other pages.
+        for i in 1..=256u64 {
+            s.fill(
+                VirtAddr::new(0x1000_0000 + i * 4096),
+                PhysAddr::new(0x2000_0000 + i * 4096),
+                PageSize::Size4K,
+            );
+        }
+        let r = s.lookup(target);
+        assert!(r.translation.is_some());
+        assert_eq!(r.latency, 10, "should have needed the L2");
+        // Second access is an L1 hit again (refilled).
+        let r2 = s.lookup(target);
+        assert_eq!(r2.latency, 1);
+    }
+
+    #[test]
+    fn two_meg_translations_use_their_own_l1() {
+        let mut s = system();
+        let va = VirtAddr::new(0x4000_0000);
+        s.fill(va, PhysAddr::new(0x8000_0000), PageSize::Size2M);
+        let r = s.lookup(VirtAddr::new(0x401A_BCDE));
+        let (frame, size) = r.translation.unwrap();
+        assert_eq!(size, PageSize::Size2M);
+        assert_eq!(frame.raw(), 0x8000_0000);
+        assert_eq!(s.stats().l1_2m.hits, 1);
+    }
+
+    #[test]
+    fn one_gig_not_cached_in_l2() {
+        let mut s = system();
+        let va = VirtAddr::new(0x40_0000_0000);
+        s.fill(va, PhysAddr::new(0x80_0000_0000), PageSize::Size1G);
+        assert!(s.lookup(va).translation.is_some()); // L1-1G hit
+        // Force the 4-entry L1-1G to evict it.
+        for i in 1..=8u64 {
+            s.fill(
+                VirtAddr::new(0x40_0000_0000 + (i << 30)),
+                PhysAddr::new(0x80_0000_0000 + (i << 30)),
+                PageSize::Size1G,
+            );
+        }
+        let r = s.lookup(va);
+        assert!(r.translation.is_none(), "1 GB entries bypass the L2 TLB");
+    }
+
+    #[test]
+    fn unified_tlb_distinguishes_sizes() {
+        let mut u = UnifiedTlb::new("u", 16, 4, 9);
+        // A 2 MB entry must not answer a 4 KB-page probe of an unrelated
+        // region whose 4K VPN happens to collide numerically.
+        let va2m = VirtAddr::new(0x4000_0000);
+        u.insert(va2m, PhysAddr::new(0x8000_0000), PageSize::Size2M);
+        assert_eq!(
+            u.lookup(VirtAddr::new(0x4000_0000)),
+            Some((PhysAddr::new(0x8000_0000), PageSize::Size2M))
+        );
+        let other = VirtAddr::new(0x123_4567_8000);
+        assert_eq!(u.lookup(other), None);
+    }
+
+    #[test]
+    fn flush_clears_everything() {
+        let mut s = system();
+        let va = VirtAddr::new(0x7000);
+        s.fill(va, PhysAddr::new(0x1000), PageSize::Size4K);
+        s.flush();
+        assert!(s.lookup(va).translation.is_none());
+    }
+}

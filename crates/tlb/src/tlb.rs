@@ -1,0 +1,269 @@
+//! Set-associative translation lookaside buffers.
+
+use flatwalk_types::stats::HitMiss;
+use flatwalk_types::{PageSize, PhysAddr, VirtAddr};
+
+/// Geometry and latency of one TLB array.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TlbConfig {
+    /// Name used in reports (e.g. `"L1D-4K"`).
+    pub name: &'static str,
+    /// Total entries.
+    pub entries: usize,
+    /// Associativity (`entries` for fully associative).
+    pub ways: usize,
+    /// Lookup latency in cycles.
+    pub latency: u64,
+    /// The page size this array holds translations for.
+    pub page_size: PageSize,
+}
+
+impl TlbConfig {
+    /// Creates a TLB configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is not a positive multiple of `ways` or the
+    /// set count is not a power of two.
+    pub fn new(
+        name: &'static str,
+        entries: usize,
+        ways: usize,
+        latency: u64,
+        page_size: PageSize,
+    ) -> Self {
+        assert!(ways > 0 && entries > 0, "degenerate TLB geometry");
+        assert_eq!(entries % ways, 0, "entries must divide into ways");
+        let sets = entries / ways;
+        assert!(sets.is_power_of_two(), "set count must be a power of two");
+        TlbConfig {
+            name,
+            entries,
+            ways,
+            latency,
+            page_size,
+        }
+    }
+
+    fn sets(&self) -> usize {
+        self.entries / self.ways
+    }
+}
+
+/// A cached translation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TlbEntry {
+    /// Virtual page number (VA >> page-size shift).
+    pub vpn: u64,
+    /// Physical base address of the page.
+    pub frame: PhysAddr,
+    /// The translation granularity.
+    pub size: PageSize,
+}
+
+impl TlbEntry {
+    /// Translates `va`, assuming it falls in this entry's page.
+    pub fn translate(&self, va: VirtAddr) -> PhysAddr {
+        self.frame.add(va.offset(self.size))
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    vpn: u64,
+    frame: PhysAddr,
+    stamp: u64,
+}
+
+/// One set-associative TLB array holding translations of a single page
+/// size (hardware looks the size classes up in parallel;
+/// [`TlbSystem`](crate::TlbSystem) models that).
+#[derive(Debug, Clone)]
+pub struct Tlb {
+    cfg: TlbConfig,
+    sets: Vec<Vec<Option<Slot>>>,
+    clock: u64,
+    stats: HitMiss,
+}
+
+impl Tlb {
+    /// Creates an empty TLB.
+    pub fn new(cfg: TlbConfig) -> Self {
+        let sets = cfg.sets();
+        Tlb {
+            sets: vec![vec![None; cfg.ways]; sets],
+            clock: 0,
+            cfg,
+            stats: HitMiss::default(),
+        }
+    }
+
+    /// This TLB's configuration.
+    pub fn config(&self) -> &TlbConfig {
+        &self.cfg
+    }
+
+    /// Hit/miss statistics.
+    pub fn stats(&self) -> HitMiss {
+        self.stats
+    }
+
+    /// Clears statistics, keeping contents.
+    pub fn reset_stats(&mut self) {
+        self.stats = HitMiss::default();
+    }
+
+    #[inline]
+    fn set_of(&self, vpn: u64) -> usize {
+        (vpn as usize) & (self.sets.len() - 1)
+    }
+
+    /// Looks up the translation for `va`; updates LRU and statistics.
+    pub fn lookup(&mut self, va: VirtAddr) -> Option<TlbEntry> {
+        self.clock += 1;
+        let clock = self.clock;
+        let vpn = va.page_number(self.cfg.page_size);
+        let set = self.set_of(vpn);
+        let size = self.cfg.page_size;
+        let found = self.sets[set].iter_mut().find_map(|slot| match slot {
+            Some(s) if s.vpn == vpn => {
+                s.stamp = clock;
+                Some(TlbEntry {
+                    vpn,
+                    frame: s.frame,
+                    size,
+                })
+            }
+            _ => None,
+        });
+        self.stats.record(found.is_some());
+        found
+    }
+
+    /// Looks up without touching LRU or statistics (for tests).
+    pub fn peek(&self, va: VirtAddr) -> Option<TlbEntry> {
+        let vpn = va.page_number(self.cfg.page_size);
+        let set = self.set_of(vpn);
+        self.sets[set].iter().flatten().find_map(|s| {
+            (s.vpn == vpn).then_some(TlbEntry {
+                vpn,
+                frame: s.frame,
+                size: self.cfg.page_size,
+            })
+        })
+    }
+
+    /// Installs a translation (LRU replacement within the set).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` differs from this array's page size, or `frame`
+    /// is not size-aligned.
+    pub fn insert(&mut self, va: VirtAddr, frame: PhysAddr, size: PageSize) {
+        assert_eq!(size, self.cfg.page_size, "wrong size class for this TLB");
+        assert_eq!(frame.offset(size), 0, "frame must be page-aligned");
+        self.clock += 1;
+        let vpn = va.page_number(size);
+        let set = self.set_of(vpn);
+        let slot = Slot {
+            vpn,
+            frame,
+            stamp: self.clock,
+        };
+        let ways = &mut self.sets[set];
+        // Update in place if present.
+        if let Some(existing) = ways
+            .iter_mut()
+            .flatten()
+            .find(|s| s.vpn == vpn)
+        {
+            *existing = slot;
+            return;
+        }
+        if let Some(empty) = ways.iter_mut().find(|s| s.is_none()) {
+            *empty = Some(slot);
+            return;
+        }
+        let victim = ways
+            .iter_mut()
+            .min_by_key(|s| s.as_ref().expect("full set").stamp)
+            .expect("non-empty ways");
+        *victim = Some(slot);
+    }
+
+    /// Empties the TLB (used between multiprogrammed schedule slices).
+    pub fn flush(&mut self) {
+        for set in &mut self.sets {
+            set.fill(None);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tlb4k(entries: usize, ways: usize) -> Tlb {
+        Tlb::new(TlbConfig::new("t", entries, ways, 1, PageSize::Size4K))
+    }
+
+    #[test]
+    fn miss_insert_hit() {
+        let mut t = tlb4k(8, 2);
+        let va = VirtAddr::new(0x1234_5000);
+        assert!(t.lookup(va).is_none());
+        t.insert(va, PhysAddr::new(0x9000_0000), PageSize::Size4K);
+        let e = t.lookup(va.add(0xabc)).expect("same page hits");
+        assert_eq!(e.translate(va.add(0xabc)).raw(), 0x9000_0abc);
+        assert_eq!(t.stats().hits, 1);
+        assert_eq!(t.stats().misses, 1);
+    }
+
+    #[test]
+    fn lru_within_set() {
+        let mut t = tlb4k(4, 2); // 2 sets x 2 ways
+        // VPNs 0, 2, 4 all map to set 0.
+        let page = |n: u64| VirtAddr::new(n * 4096);
+        t.insert(page(0), PhysAddr::new(0x1000), PageSize::Size4K);
+        t.insert(page(2), PhysAddr::new(0x2000), PageSize::Size4K);
+        t.lookup(page(0)); // refresh 0 → vpn 2 is LRU
+        t.insert(page(4), PhysAddr::new(0x3000), PageSize::Size4K);
+        assert!(t.peek(page(0)).is_some());
+        assert!(t.peek(page(2)).is_none());
+        assert!(t.peek(page(4)).is_some());
+    }
+
+    #[test]
+    fn two_meg_entries_translate_with_21_bit_offset() {
+        let mut t = Tlb::new(TlbConfig::new("t2m", 4, 4, 1, PageSize::Size2M));
+        let va = VirtAddr::new(0x4000_0000);
+        t.insert(va, PhysAddr::new(0x8000_0000), PageSize::Size2M);
+        let probe = VirtAddr::new(0x4012_3456);
+        let e = t.lookup(probe).unwrap();
+        assert_eq!(e.translate(probe).raw(), 0x8012_3456);
+    }
+
+    #[test]
+    fn reinsert_updates_frame() {
+        let mut t = tlb4k(4, 4);
+        let va = VirtAddr::new(0x5000);
+        t.insert(va, PhysAddr::new(0x1000), PageSize::Size4K);
+        t.insert(va, PhysAddr::new(0x2000), PageSize::Size4K);
+        assert_eq!(t.peek(va).unwrap().frame.raw(), 0x2000);
+    }
+
+    #[test]
+    fn flush_empties() {
+        let mut t = tlb4k(4, 4);
+        t.insert(VirtAddr::new(0x5000), PhysAddr::new(0x1000), PageSize::Size4K);
+        t.flush();
+        assert!(t.peek(VirtAddr::new(0x5000)).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong size class")]
+    fn size_class_enforced() {
+        let mut t = tlb4k(4, 4);
+        t.insert(VirtAddr::new(0), PhysAddr::new(0), PageSize::Size2M);
+    }
+}

@@ -1,0 +1,268 @@
+//! Virtual and physical address newtypes.
+
+use crate::{Level, PageSize, CACHE_LINE_BYTES};
+
+/// A virtual address.
+///
+/// Provides the index-field decompositions a hardware page-table walker
+/// performs: conventional 9-bit per-level indices, and the 18-bit indices
+/// used when two levels have been flattened into one 2 MB node
+/// (paper §3.2), or 27-bit indices for a 1 GB triple-flattened node.
+///
+/// # Examples
+///
+/// ```
+/// use flatwalk_types::{VirtAddr, Level, PageSize};
+///
+/// let va = VirtAddr::new((3 << 39) | (5 << 30) | (7 << 21) | (9 << 12) | 0xabc);
+/// assert_eq!(va.index(Level::L4), 3);
+/// assert_eq!(va.index(Level::L3), 5);
+/// assert_eq!(va.index(Level::L2), 7);
+/// assert_eq!(va.index(Level::L1), 9);
+/// assert_eq!(va.offset(PageSize::Size4K), 0xabc);
+///
+/// // Flattened L4+L3 node: 18 bits starting at the L4 position.
+/// assert_eq!(va.flat_index(Level::L4), (3 << 9) | 5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct VirtAddr(u64);
+
+/// A physical address.
+///
+/// In virtualized configurations the *guest-physical* address produced by
+/// the guest page table is re-interpreted as the input of the host page
+/// table; use [`PhysAddr::as_nested_input`] for that conversion so intent
+/// is visible at the call site (paper §4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct PhysAddr(u64);
+
+macro_rules! common_addr_impls {
+    ($ty:ident) => {
+        impl $ty {
+            /// Wraps a raw 64-bit address.
+            #[inline]
+            pub const fn new(raw: u64) -> Self {
+                Self(raw)
+            }
+
+            /// The raw 64-bit address value.
+            #[inline]
+            pub const fn raw(self) -> u64 {
+                self.0
+            }
+
+            /// The cache-line number of this address (address / 64).
+            #[inline]
+            pub fn line(self) -> u64 {
+                self.0 / CACHE_LINE_BYTES
+            }
+
+            /// The page offset under the given page size.
+            #[inline]
+            pub fn offset(self, size: PageSize) -> u64 {
+                self.0 & size.offset_mask()
+            }
+
+            /// Shorthand for the 12-bit 4 KB offset.
+            #[inline]
+            pub fn offset_4k(self) -> u64 {
+                self.offset(PageSize::Size4K)
+            }
+
+            /// Rounds down to the containing page boundary.
+            #[inline]
+            pub fn align_down(self, size: PageSize) -> Self {
+                Self(size.align_down(self.0))
+            }
+
+            /// This address plus `delta` bytes.
+            ///
+            /// # Panics
+            ///
+            /// Panics on 64-bit overflow.
+            #[inline]
+            pub fn add(self, delta: u64) -> Self {
+                Self(self.0.checked_add(delta).expect("address overflow"))
+            }
+
+            /// The page frame number under the given page size.
+            #[inline]
+            pub fn frame(self, size: PageSize) -> u64 {
+                self.0 >> size.shift()
+            }
+        }
+
+        impl From<u64> for $ty {
+            fn from(raw: u64) -> Self {
+                Self(raw)
+            }
+        }
+
+        impl From<$ty> for u64 {
+            fn from(addr: $ty) -> u64 {
+                addr.0
+            }
+        }
+
+        impl std::fmt::Display for $ty {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                write!(f, "{:#x}", self.0)
+            }
+        }
+
+        impl std::fmt::LowerHex for $ty {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                std::fmt::LowerHex::fmt(&self.0, f)
+            }
+        }
+    };
+}
+
+common_addr_impls!(VirtAddr);
+common_addr_impls!(PhysAddr);
+
+impl VirtAddr {
+    /// The conventional 9-bit page-table index for `level`.
+    #[inline]
+    pub fn index(self, level: Level) -> usize {
+        ((self.0 >> level.index_shift()) & 0x1ff) as usize
+    }
+
+    /// The 18-bit index used when `top` and its child level are flattened
+    /// into a single 2 MB node (paper §3.2).
+    ///
+    /// `top` is the *upper* of the two merged levels; e.g. for a flattened
+    /// L4+L3 node pass [`Level::L4`], and the index spans VA bits
+    /// `[47:30]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `top` is `L1` (it has no child to merge with).
+    #[inline]
+    pub fn flat_index(self, top: Level) -> usize {
+        let child = top.child().expect("L1 cannot head a flattened node");
+        ((self.0 >> child.index_shift()) & 0x3ffff) as usize
+    }
+
+    /// The 27-bit index used when three levels starting at `top` are
+    /// flattened into a single 1 GB node (paper §3.2 mentions L4+L3+L2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two levels exist below `top`.
+    #[inline]
+    pub fn flat3_index(self, top: Level) -> usize {
+        let grandchild = top
+            .child()
+            .and_then(Level::child)
+            .expect("need two levels below the top of a 1 GB flattened node");
+        ((self.0 >> grandchild.index_shift()) & 0x7ff_ffff) as usize
+    }
+
+    /// The virtual page number under the given page size.
+    #[inline]
+    pub fn page_number(self, size: PageSize) -> u64 {
+        self.0 >> size.shift()
+    }
+
+    /// Replaces the top 9-bit index field at `level` with `index`
+    /// (used to synthesize recursive page-table access addresses, §3.5).
+    #[inline]
+    pub fn with_index(self, level: Level, index: usize) -> VirtAddr {
+        debug_assert!(index < 512);
+        let shift = level.index_shift();
+        let mask = 0x1ffu64 << shift;
+        VirtAddr((self.0 & !mask) | ((index as u64) << shift))
+    }
+}
+
+impl PhysAddr {
+    /// Re-interprets this (guest-)physical address as the virtual-address
+    /// input of the *host* page table for a nested (2-D) walk.
+    #[inline]
+    pub fn as_nested_input(self) -> VirtAddr {
+        VirtAddr(self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn compose(l4: u64, l3: u64, l2: u64, l1: u64, off: u64) -> VirtAddr {
+        VirtAddr::new((l4 << 39) | (l3 << 30) | (l2 << 21) | (l1 << 12) | off)
+    }
+
+    #[test]
+    fn nine_bit_indices() {
+        let va = compose(511, 0, 256, 1, 42);
+        assert_eq!(va.index(Level::L4), 511);
+        assert_eq!(va.index(Level::L3), 0);
+        assert_eq!(va.index(Level::L2), 256);
+        assert_eq!(va.index(Level::L1), 1);
+        assert_eq!(va.offset_4k(), 42);
+    }
+
+    #[test]
+    fn flat_indices_concatenate_two_levels() {
+        let va = compose(3, 5, 7, 9, 0);
+        assert_eq!(va.flat_index(Level::L4), (3 << 9) | 5);
+        assert_eq!(va.flat_index(Level::L3), (5 << 9) | 7);
+        assert_eq!(va.flat_index(Level::L2), (7 << 9) | 9);
+    }
+
+    #[test]
+    fn flat3_index_concatenates_three_levels() {
+        let va = compose(3, 5, 7, 9, 0);
+        assert_eq!(va.flat3_index(Level::L4), (3 << 18) | (5 << 9) | 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "L1 cannot head")]
+    fn flat_index_rejects_l1() {
+        let _ = VirtAddr::new(0).flat_index(Level::L1);
+    }
+
+    #[test]
+    fn with_index_replaces_field() {
+        let va = compose(1, 2, 3, 4, 5);
+        let modified = va.with_index(Level::L3, 77);
+        assert_eq!(modified.index(Level::L3), 77);
+        assert_eq!(modified.index(Level::L4), 1);
+        assert_eq!(modified.index(Level::L2), 3);
+        assert_eq!(modified.offset_4k(), 5);
+    }
+
+    #[test]
+    fn line_and_frame() {
+        let pa = PhysAddr::new(0x1_0040);
+        assert_eq!(pa.line(), 0x1_0040 / 64);
+        assert_eq!(pa.frame(PageSize::Size4K), 0x10);
+        assert_eq!(pa.offset(PageSize::Size4K), 0x40);
+    }
+
+    #[test]
+    fn nested_input_preserves_bits() {
+        let gpa = PhysAddr::new(0xdead_b000);
+        assert_eq!(gpa.as_nested_input().raw(), 0xdead_b000);
+    }
+
+    #[test]
+    fn conversions_and_display() {
+        let va: VirtAddr = 0x1234u64.into();
+        let raw: u64 = va.into();
+        assert_eq!(raw, 0x1234);
+        assert_eq!(va.to_string(), "0x1234");
+        assert_eq!(format!("{va:x}"), "1234");
+    }
+
+    #[test]
+    fn page_number_by_size() {
+        let va = VirtAddr::new(5 * PageSize::Size2M.bytes() + 123);
+        assert_eq!(va.page_number(PageSize::Size2M), 5);
+        assert_eq!(
+            va.page_number(PageSize::Size4K),
+            5 * 512
+        );
+    }
+}

@@ -1,0 +1,157 @@
+//! Page-table level labels.
+
+/// A level of the radix page table, labelled **root-to-leaf** exactly as in
+/// the paper: a conventional x86-64 4-level table is `L4 → L3 → L2 → L1`,
+/// and 5-level paging adds `L5` above `L4`.
+///
+/// `L1` entries translate 4 KB pages; an `L2` entry may directly translate a
+/// 2 MB page and an `L3` entry a 1 GB page.
+///
+/// # Examples
+///
+/// ```
+/// use flatwalk_types::Level;
+///
+/// assert_eq!(Level::L1.index_shift(), 12);
+/// assert_eq!(Level::L4.index_shift(), 39);
+/// assert_eq!(Level::L3.child(), Some(Level::L2));
+/// assert_eq!(Level::L1.child(), None);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Level {
+    /// Leaf level; each entry translates one 4 KB page.
+    L1,
+    /// Second level; entries point to L1 nodes or translate 2 MB pages.
+    L2,
+    /// Third level; entries point to L2 nodes or translate 1 GB pages.
+    L3,
+    /// Fourth level (the root of a 4-level table).
+    L4,
+    /// Fifth level (the root of a 5-level table, paper §3.6).
+    L5,
+}
+
+impl Level {
+    /// All levels of a 4-level table in *walk order* (root first).
+    pub const WALK_4: [Level; 4] = [Level::L4, Level::L3, Level::L2, Level::L1];
+
+    /// All levels of a 5-level table in *walk order* (root first).
+    pub const WALK_5: [Level; 5] =
+        [Level::L5, Level::L4, Level::L3, Level::L2, Level::L1];
+
+    /// Numeric rank of this level (`L1` → 1, …, `L5` → 5).
+    #[inline]
+    pub fn rank(self) -> u8 {
+        match self {
+            Level::L1 => 1,
+            Level::L2 => 2,
+            Level::L3 => 3,
+            Level::L4 => 4,
+            Level::L5 => 5,
+        }
+    }
+
+    /// Builds a level from its numeric rank.
+    ///
+    /// Returns `None` unless `1 <= rank <= 5`.
+    #[inline]
+    pub fn from_rank(rank: u8) -> Option<Level> {
+        match rank {
+            1 => Some(Level::L1),
+            2 => Some(Level::L2),
+            3 => Some(Level::L3),
+            4 => Some(Level::L4),
+            5 => Some(Level::L5),
+            _ => None,
+        }
+    }
+
+    /// Bit position within a virtual address where this level's 9-bit index
+    /// field starts: 12 for `L1`, 21 for `L2`, …, 48 for `L5`.
+    #[inline]
+    pub fn index_shift(self) -> u32 {
+        12 + 9 * (self.rank() as u32 - 1)
+    }
+
+    /// The next level *down* (towards the leaf), or `None` for `L1`.
+    #[inline]
+    pub fn child(self) -> Option<Level> {
+        Level::from_rank(self.rank() - 1)
+    }
+
+    /// The next level *up* (towards the root), or `None` for `L5`.
+    #[inline]
+    pub fn parent(self) -> Option<Level> {
+        Level::from_rank(self.rank() + 1)
+    }
+
+    /// Bytes of virtual address space covered by **one entry** at this
+    /// level: 4 KB at `L1`, 2 MB at `L2`, 1 GB at `L3`, 512 GB at `L4`,
+    /// 256 TB at `L5`.
+    #[inline]
+    pub fn entry_coverage(self) -> u64 {
+        1u64 << self.index_shift()
+    }
+
+    /// Bytes of virtual address space covered by one **node** at this level
+    /// (512 entries).
+    #[inline]
+    pub fn node_coverage(self) -> u64 {
+        self.entry_coverage() << 9
+    }
+}
+
+impl std::fmt::Display for Level {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "L{}", self.rank())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shifts_match_x86_layout() {
+        assert_eq!(Level::L1.index_shift(), 12);
+        assert_eq!(Level::L2.index_shift(), 21);
+        assert_eq!(Level::L3.index_shift(), 30);
+        assert_eq!(Level::L4.index_shift(), 39);
+        assert_eq!(Level::L5.index_shift(), 48);
+    }
+
+    #[test]
+    fn child_parent_roundtrip() {
+        for l in Level::WALK_5 {
+            if let Some(c) = l.child() {
+                assert_eq!(c.parent(), Some(l));
+            }
+            if let Some(p) = l.parent() {
+                assert_eq!(p.child(), Some(l));
+            }
+        }
+        assert_eq!(Level::L1.child(), None);
+        assert_eq!(Level::L5.parent(), None);
+    }
+
+    #[test]
+    fn coverage_values() {
+        assert_eq!(Level::L1.entry_coverage(), 4096);
+        assert_eq!(Level::L2.entry_coverage(), 2 * 1024 * 1024);
+        assert_eq!(Level::L3.entry_coverage(), 1024 * 1024 * 1024);
+        assert_eq!(Level::L1.node_coverage(), Level::L2.entry_coverage());
+        assert_eq!(Level::L2.node_coverage(), Level::L3.entry_coverage());
+    }
+
+    #[test]
+    fn walk_orders_are_root_first() {
+        assert_eq!(Level::WALK_4.first(), Some(&Level::L4));
+        assert_eq!(Level::WALK_4.last(), Some(&Level::L1));
+        assert_eq!(Level::WALK_5.first(), Some(&Level::L5));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Level::L3.to_string(), "L3");
+    }
+}

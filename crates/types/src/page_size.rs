@@ -1,0 +1,132 @@
+//! Translation granularities.
+
+use crate::Level;
+
+/// The three translation granularities of the x86-64/Armv8 page tables.
+///
+/// # Examples
+///
+/// ```
+/// use flatwalk_types::PageSize;
+///
+/// assert_eq!(PageSize::Size2M.bytes(), 2 * 1024 * 1024);
+/// assert_eq!(PageSize::Size4K.shift(), 12);
+/// assert!(PageSize::Size1G > PageSize::Size2M);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum PageSize {
+    /// A standard 4 KB page (translated at `L1`).
+    Size4K,
+    /// A 2 MB large page (translated at `L2`); also the size of a
+    /// flattened page-table node (paper §3.2).
+    Size2M,
+    /// A 1 GB large page (translated at `L3`).
+    Size1G,
+}
+
+impl PageSize {
+    /// log2 of the page size in bytes.
+    #[inline]
+    pub fn shift(self) -> u32 {
+        match self {
+            PageSize::Size4K => 12,
+            PageSize::Size2M => 21,
+            PageSize::Size1G => 30,
+        }
+    }
+
+    /// The page size in bytes.
+    #[inline]
+    pub fn bytes(self) -> u64 {
+        1u64 << self.shift()
+    }
+
+    /// Mask selecting the page-offset bits of an address.
+    #[inline]
+    pub fn offset_mask(self) -> u64 {
+        self.bytes() - 1
+    }
+
+    /// The page-table level whose entries translate pages of this size.
+    #[inline]
+    pub fn translating_level(self) -> Level {
+        match self {
+            PageSize::Size4K => Level::L1,
+            PageSize::Size2M => Level::L2,
+            PageSize::Size1G => Level::L3,
+        }
+    }
+
+    /// The page size translated by entries at `level`, if any.
+    #[inline]
+    pub fn of_level(level: Level) -> Option<PageSize> {
+        match level {
+            Level::L1 => Some(PageSize::Size4K),
+            Level::L2 => Some(PageSize::Size2M),
+            Level::L3 => Some(PageSize::Size1G),
+            _ => None,
+        }
+    }
+
+    /// Rounds `addr` down to the start of its page.
+    #[inline]
+    pub fn align_down(self, addr: u64) -> u64 {
+        addr & !self.offset_mask()
+    }
+
+    /// Rounds `addr` up to the next page boundary.
+    ///
+    /// # Panics
+    ///
+    /// Panics on overflow (address beyond `u64::MAX - page size`).
+    #[inline]
+    pub fn align_up(self, addr: u64) -> u64 {
+        self.align_down(addr.checked_add(self.offset_mask()).expect("align_up overflow"))
+    }
+}
+
+impl std::fmt::Display for PageSize {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PageSize::Size4K => write!(f, "4KB"),
+            PageSize::Size2M => write!(f, "2MB"),
+            PageSize::Size1G => write!(f, "1GB"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes() {
+        assert_eq!(PageSize::Size4K.bytes(), 4096);
+        assert_eq!(PageSize::Size2M.bytes(), 1 << 21);
+        assert_eq!(PageSize::Size1G.bytes(), 1 << 30);
+    }
+
+    #[test]
+    fn level_mapping_roundtrip() {
+        for ps in [PageSize::Size4K, PageSize::Size2M, PageSize::Size1G] {
+            assert_eq!(PageSize::of_level(ps.translating_level()), Some(ps));
+        }
+        assert_eq!(PageSize::of_level(Level::L4), None);
+        assert_eq!(PageSize::of_level(Level::L5), None);
+    }
+
+    #[test]
+    fn alignment() {
+        let ps = PageSize::Size2M;
+        assert_eq!(ps.align_down(ps.bytes() + 5), ps.bytes());
+        assert_eq!(ps.align_up(ps.bytes() + 5), 2 * ps.bytes());
+        assert_eq!(ps.align_up(ps.bytes()), ps.bytes());
+        assert_eq!(ps.align_down(0), 0);
+    }
+
+    #[test]
+    fn ordering_by_size() {
+        assert!(PageSize::Size4K < PageSize::Size2M);
+        assert!(PageSize::Size2M < PageSize::Size1G);
+    }
+}

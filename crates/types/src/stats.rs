@@ -1,0 +1,357 @@
+//! Numeric summaries used in experiment reports.
+
+/// Geometric mean of a set of (positive) values.
+///
+/// The paper reports geometric-mean performance across benchmarks
+/// (e.g. Fig. 9/12 "Geomean" bars). Returns `None` for an empty input or
+/// any non-positive element.
+///
+/// # Examples
+///
+/// ```
+/// use flatwalk_types::stats::geometric_mean;
+///
+/// let g = geometric_mean(&[1.0, 4.0]).unwrap();
+/// assert!((g - 2.0).abs() < 1e-12);
+/// assert_eq!(geometric_mean(&[]), None);
+/// ```
+pub fn geometric_mean(values: &[f64]) -> Option<f64> {
+    if values.is_empty() || values.iter().any(|&v| v <= 0.0) {
+        return None;
+    }
+    let log_sum: f64 = values.iter().map(|v| v.ln()).sum();
+    Some((log_sum / values.len() as f64).exp())
+}
+
+/// Arithmetic mean. Returns `None` for an empty input.
+pub fn mean(values: &[f64]) -> Option<f64> {
+    if values.is_empty() {
+        return None;
+    }
+    Some(values.iter().sum::<f64>() / values.len() as f64)
+}
+
+/// Weighted speedup of a multiprogrammed mix (paper §7.1 multicore):
+/// `sum_i (IPC_shared_i / IPC_alone_i) / n`, normalized so 1.0 means
+/// "same as each program running alone on the baseline".
+///
+/// Returns `None` if the slices differ in length, are empty, or any
+/// `alone` entry is non-positive.
+pub fn weighted_speedup(shared_ipc: &[f64], alone_ipc: &[f64]) -> Option<f64> {
+    if shared_ipc.len() != alone_ipc.len() || shared_ipc.is_empty() {
+        return None;
+    }
+    if alone_ipc.iter().any(|&v| v <= 0.0) {
+        return None;
+    }
+    let total: f64 = shared_ipc
+        .iter()
+        .zip(alone_ipc)
+        .map(|(&s, &a)| s / a)
+        .sum();
+    Some(total / shared_ipc.len() as f64)
+}
+
+/// A running tally of hit/miss style events.
+///
+/// # Examples
+///
+/// ```
+/// use flatwalk_types::stats::HitMiss;
+///
+/// let mut hm = HitMiss::default();
+/// hm.hit();
+/// hm.miss();
+/// hm.miss();
+/// assert_eq!(hm.total(), 3);
+/// assert!((hm.miss_ratio() - 2.0 / 3.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HitMiss {
+    /// Number of hits recorded.
+    pub hits: u64,
+    /// Number of misses recorded.
+    pub misses: u64,
+}
+
+impl HitMiss {
+    /// Records one hit.
+    #[inline]
+    pub fn hit(&mut self) {
+        self.hits += 1;
+    }
+
+    /// Records one miss.
+    #[inline]
+    pub fn miss(&mut self) {
+        self.misses += 1;
+    }
+
+    /// Records a hit if `was_hit`, otherwise a miss.
+    #[inline]
+    pub fn record(&mut self, was_hit: bool) {
+        if was_hit {
+            self.hit();
+        } else {
+            self.miss();
+        }
+    }
+
+    /// Total events recorded.
+    #[inline]
+    pub fn total(self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Fraction of events that missed; 0.0 when empty.
+    #[inline]
+    pub fn miss_ratio(self) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.total() as f64
+        }
+    }
+
+    /// Fraction of events that hit; 0.0 when empty.
+    #[inline]
+    pub fn hit_ratio(self) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.total() as f64
+        }
+    }
+
+    /// Adds another tally into this one.
+    #[inline]
+    pub fn merge(&mut self, other: HitMiss) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+    }
+}
+
+/// Accumulates a mean over streamed samples without storing them.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RunningMean {
+    sum: f64,
+    count: u64,
+}
+
+impl RunningMean {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one sample.
+    #[inline]
+    pub fn push(&mut self, sample: f64) {
+        self.sum += sample;
+        self.count += 1;
+    }
+
+    /// Number of samples pushed.
+    #[inline]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Current mean, or `None` if no samples were pushed.
+    #[inline]
+    pub fn mean(&self) -> Option<f64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.sum / self.count as f64)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geometric_mean(&[2.0, 8.0]).unwrap() - 4.0).abs() < 1e-12);
+        assert_eq!(geometric_mean(&[1.0, 0.0]), None);
+        assert_eq!(geometric_mean(&[1.0, -2.0]), None);
+    }
+
+    #[test]
+    fn mean_basics() {
+        assert_eq!(mean(&[]), None);
+        assert!((mean(&[1.0, 2.0, 3.0]).unwrap() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_speedup_identity() {
+        let ipc = [1.5, 0.8, 2.0];
+        assert!((weighted_speedup(&ipc, &ipc).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_speedup_rejects_bad_input() {
+        assert_eq!(weighted_speedup(&[1.0], &[1.0, 2.0]), None);
+        assert_eq!(weighted_speedup(&[], &[]), None);
+        assert_eq!(weighted_speedup(&[1.0], &[0.0]), None);
+    }
+
+    #[test]
+    fn hit_miss_ratios() {
+        let mut hm = HitMiss::default();
+        assert_eq!(hm.miss_ratio(), 0.0);
+        hm.record(true);
+        hm.record(false);
+        hm.record(false);
+        hm.record(false);
+        assert_eq!(hm.hits, 1);
+        assert_eq!(hm.misses, 3);
+        assert!((hm.miss_ratio() - 0.75).abs() < 1e-12);
+        assert!((hm.hit_ratio() - 0.25).abs() < 1e-12);
+
+        let mut other = HitMiss::default();
+        other.hit();
+        other.merge(hm);
+        assert_eq!(other.total(), 5);
+    }
+
+    #[test]
+    fn running_mean() {
+        let mut rm = RunningMean::new();
+        assert_eq!(rm.mean(), None);
+        rm.push(10.0);
+        rm.push(20.0);
+        assert_eq!(rm.count(), 2);
+        assert!((rm.mean().unwrap() - 15.0).abs() < 1e-12);
+    }
+}
+
+/// A fixed-size power-of-two latency histogram (buckets by `log2`,
+/// saturating at 2¹⁵ cycles), `Copy`-able so statistics structs can
+/// embed it.
+///
+/// The paper reports *mean* walk latencies; distributions are what show
+/// the headline claim directly — under FPT+PTP the *median* walk is a
+/// single cache hit.
+///
+/// # Examples
+///
+/// ```
+/// use flatwalk_types::stats::LatencyHistogram;
+///
+/// let mut h = LatencyHistogram::default();
+/// for v in [4, 4, 4, 200] {
+///     h.record(v);
+/// }
+/// assert!(h.percentile(0.50) <= 7);   // median bucket covers 4..8
+/// assert!(h.percentile(0.99) >= 128); // tail sees the DRAM access
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    buckets: [u64; 16],
+    count: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            buckets: [0; 16],
+            count: 0,
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// Records one latency sample (cycles).
+    #[inline]
+    pub fn record(&mut self, cycles: u64) {
+        let bucket = (64 - cycles.max(1).leading_zeros() as usize - 1).min(15);
+        self.buckets[bucket] += 1;
+        self.count += 1;
+    }
+
+    /// Number of samples recorded.
+    #[inline]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Upper bound (cycles) of the bucket containing the `p`-quantile
+    /// (`0.0 < p <= 1.0`); 0 when empty. Bucket `i` covers
+    /// `[2^i, 2^(i+1))`.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((self.count as f64) * p.clamp(0.0, 1.0)).ceil() as u64;
+        let mut seen = 0;
+        for (i, &b) in self.buckets.iter().enumerate() {
+            seen += b;
+            if seen >= target.max(1) {
+                return (1u64 << (i + 1)) - 1;
+            }
+        }
+        (1u64 << 16) - 1
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+    }
+}
+
+#[cfg(test)]
+mod histogram_tests {
+    use super::*;
+
+    #[test]
+    fn empty_is_zero() {
+        let h = LatencyHistogram::default();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.percentile(0.5), 0);
+    }
+
+    #[test]
+    fn median_and_tail_separate() {
+        let mut h = LatencyHistogram::default();
+        for _ in 0..99 {
+            h.record(5); // bucket [4,8)
+        }
+        h.record(200); // bucket [128,256)
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.percentile(0.5), 7);
+        assert_eq!(h.percentile(1.0), 255);
+    }
+
+    #[test]
+    fn saturates_large_values() {
+        let mut h = LatencyHistogram::default();
+        h.record(1_000_000);
+        assert_eq!(h.percentile(1.0), (1 << 16) - 1);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = LatencyHistogram::default();
+        let mut b = LatencyHistogram::default();
+        a.record(4);
+        b.record(4);
+        b.record(300);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.percentile(0.5), 7);
+    }
+
+    #[test]
+    fn zero_latency_goes_to_first_bucket() {
+        let mut h = LatencyHistogram::default();
+        h.record(0);
+        h.record(1);
+        assert_eq!(h.percentile(1.0), 1);
+    }
+}

@@ -1,0 +1,18 @@
+//! Synthetic workload generators standing in for the paper's benchmark
+//! suite (§7).
+//!
+//! Each generator reproduces the *translation-relevant* profile of one
+//! benchmark — footprint, locality structure, compute density — as a
+//! deterministic, seeded virtual-address stream. See
+//! [`WorkloadSpec::suite`] for the full 20-benchmark set and `DESIGN.md`
+//! for the substitution rationale.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod pattern;
+mod spec;
+pub mod trace;
+
+pub use pattern::Pattern;
+pub use spec::{AccessStream, WorkloadSpec};

@@ -1,0 +1,690 @@
+//! The paper's benchmark suite, as synthetic access-pattern
+//! specifications.
+//!
+//! Paper §7 evaluates: GraphBIG (LDBC-1000k, 6.6 GB — bfs, cc, dc, dfs,
+//! graph coloring, kcore, pr, sssp, tc), graph500 (scale 24, 5.4 GB),
+//! GUPS (N=30, 8 GB), biobench (mummer, tiger), SPEC CPU2006 (mcf,
+//! omnetpp), liblinear (url_combined and HIGGS), a hashjoin
+//! microbenchmark, XSBench, and a random-access microbenchmark; plus
+//! Speedometer 2.0 for the mobile case study.
+//!
+//! We cannot ship those programs, so each is modelled by a deterministic
+//! generator with the same *translation-relevant* profile: footprint,
+//! locality structure, compute density, and memory-level parallelism.
+//! The generators are calibrated so the baseline system reproduces the
+//! paper's reported ranges (e.g. GUPS/random ≈ 2.5 memory accesses per
+//! walk against the PWC, dc nearly none).
+
+use flatwalk_types::rng::SplitMix64;
+use flatwalk_types::VirtAddr;
+
+use crate::pattern::{Pattern, PatternState};
+
+const GIB: u64 = 1 << 30;
+const MIB: u64 = 1 << 20;
+
+/// A benchmark specification: footprint + locality + compute density.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadSpec {
+    /// Benchmark name as it appears in the paper's figures.
+    pub name: &'static str,
+    /// Bytes of virtual memory the benchmark touches.
+    pub footprint: u64,
+    /// Locality structure.
+    pub pattern: Pattern,
+    /// Non-memory instructions executed per memory access.
+    pub work_per_access: u64,
+    /// Fraction of the data-access latency exposed on the critical path
+    /// (pointer chases ≈ 1.0; streaming code with deep MLP ≈ 0.3).
+    pub data_exposure: f64,
+    /// Seed for the access stream.
+    pub seed: u64,
+}
+
+impl WorkloadSpec {
+    fn new(
+        name: &'static str,
+        footprint: u64,
+        pattern: Pattern,
+        work_per_access: u64,
+        data_exposure: f64,
+    ) -> Self {
+        WorkloadSpec {
+            name,
+            footprint,
+            pattern,
+            work_per_access,
+            data_exposure,
+            // Note: this seed can collide for same-length names with
+            // equal footprints (e.g. cc/dc/pr); their differing
+            // patterns keep the streams distinct, and the seeds are
+            // kept stable so every recorded experiment reproduces
+            // bit-for-bit.
+            seed: 0xF00D ^ name.len() as u64 ^ (footprint >> 10),
+        }
+    }
+
+    // ----- the paper's benchmarks -------------------------------------
+
+    /// GUPS (N=30, 8 GB): random read-modify-writes across the table.
+    pub fn gups() -> Self {
+        Self::new("gups", 8 * GIB, Pattern::Uniform, 4, 0.85)
+    }
+
+    /// The random-access microbenchmark (in-memory-DB-like).
+    pub fn random_access() -> Self {
+        Self::new("rand.", 8 * GIB, Pattern::Uniform, 2, 1.0)
+    }
+
+    /// graph500 (scale 24, 5.4 GB): BFS over a scale-free graph.
+    pub fn graph500() -> Self {
+        Self::new(
+            "graph500",
+            (5.4 * GIB as f64) as u64,
+            Pattern::Mix(vec![
+                (0.55, Pattern::Chase {
+                    cluster_bytes: 2 * MIB,
+                    switch_prob: 0.05,
+                }),
+                (0.45, Pattern::Uniform),
+            ]),
+            8,
+            0.9,
+        )
+    }
+
+    fn graphbig(name: &'static str, pattern: Pattern, work: u64, exposure: f64) -> Self {
+        Self::new(name, (6.6 * GIB as f64) as u64, pattern, work, exposure)
+    }
+
+    /// GraphBIG breadth-first search.
+    pub fn bfs() -> Self {
+        Self::graphbig(
+            "bfs",
+            Pattern::Mix(vec![
+                (0.5, Pattern::Chase {
+                    cluster_bytes: 4 * MIB,
+                    switch_prob: 0.02,
+                }),
+                (0.3, Pattern::Uniform),
+                (0.2, Pattern::Stream { stride: 8 }),
+            ]),
+            10,
+            0.8,
+        )
+    }
+
+    /// GraphBIG connected components.
+    pub fn cc() -> Self {
+        Self::graphbig(
+            "cc",
+            Pattern::Mix(vec![
+                (0.45, Pattern::Chase {
+                    cluster_bytes: 4 * MIB,
+                    switch_prob: 0.03,
+                }),
+                (0.35, Pattern::Uniform),
+                (0.2, Pattern::Stream { stride: 8 }),
+            ]),
+            12,
+            0.75,
+        )
+    }
+
+    /// GraphBIG degree centrality — the paper's low-TLB-miss example.
+    pub fn dc() -> Self {
+        Self::graphbig(
+            "dc",
+            Pattern::Mix(vec![
+                (0.78, Pattern::Stream { stride: 8 }),
+                (0.22, Pattern::Hot {
+                    hot_bytes: 4 * MIB,
+                    hot_prob: 0.97,
+                }),
+            ]),
+            14,
+            0.35,
+        )
+    }
+
+    /// GraphBIG depth-first search.
+    pub fn dfs() -> Self {
+        Self::graphbig(
+            "dfs",
+            Pattern::Mix(vec![
+                (0.6, Pattern::Chase {
+                    cluster_bytes: MIB,
+                    switch_prob: 0.03,
+                }),
+                (0.4, Pattern::Uniform),
+            ]),
+            10,
+            0.9,
+        )
+    }
+
+    /// GraphBIG graph coloring.
+    pub fn graph_coloring() -> Self {
+        Self::graphbig(
+            "gr.color.",
+            Pattern::Mix(vec![
+                (0.5, Pattern::Stream { stride: 8 }),
+                (0.5, Pattern::Chase {
+                    cluster_bytes: 2 * MIB,
+                    switch_prob: 0.05,
+                }),
+            ]),
+            12,
+            0.6,
+        )
+    }
+
+    /// GraphBIG k-core decomposition.
+    pub fn kcore() -> Self {
+        Self::graphbig(
+            "kcore",
+            Pattern::Mix(vec![
+                (0.6, Pattern::Stream { stride: 8 }),
+                (0.4, Pattern::Chase {
+                    cluster_bytes: 2 * MIB,
+                    switch_prob: 0.06,
+                }),
+            ]),
+            12,
+            0.6,
+        )
+    }
+
+    /// GraphBIG PageRank.
+    pub fn pr() -> Self {
+        Self::graphbig(
+            "pr",
+            Pattern::Mix(vec![
+                (0.4, Pattern::Stream { stride: 8 }),
+                (0.6, Pattern::Chase {
+                    cluster_bytes: 4 * MIB,
+                    switch_prob: 0.08,
+                }),
+            ]),
+            8,
+            0.65,
+        )
+    }
+
+    /// GraphBIG single-source shortest paths.
+    pub fn sssp() -> Self {
+        Self::graphbig(
+            "sssp",
+            Pattern::Mix(vec![
+                (0.5, Pattern::Chase {
+                    cluster_bytes: 2 * MIB,
+                    switch_prob: 0.04,
+                }),
+                (0.5, Pattern::Uniform),
+            ]),
+            10,
+            0.8,
+        )
+    }
+
+    /// GraphBIG triangle counting.
+    pub fn tc() -> Self {
+        Self::graphbig(
+            "tc",
+            Pattern::Mix(vec![
+                (0.3, Pattern::Stream { stride: 8 }),
+                (0.7, Pattern::Zipf {
+                    regions: 2048,
+                    exponent: 1.1,
+                }),
+            ]),
+            9,
+            0.7,
+        )
+    }
+
+    /// The hashjoin microbenchmark (after the Mitosis paper).
+    pub fn hashjoin() -> Self {
+        Self::new(
+            "hashjoin",
+            2 * GIB,
+            Pattern::Mix(vec![
+                (0.7, Pattern::Uniform),
+                (0.3, Pattern::Stream { stride: 16 }),
+            ]),
+            6,
+            0.7,
+        )
+    }
+
+    /// liblinear on url_combined (sparse features).
+    pub fn liblinear() -> Self {
+        Self::new(
+            "liblinear",
+            4 * GIB,
+            Pattern::Mix(vec![
+                (0.5, Pattern::Stream { stride: 64 }),
+                (0.5, Pattern::Zipf {
+                    regions: 2048,
+                    exponent: 0.6,
+                }),
+            ]),
+            6,
+            0.5,
+        )
+    }
+
+    /// liblinear on HIGGS (dense features, larger footprint).
+    pub fn liblinear_higgs() -> Self {
+        Self::new(
+            "liblinear_H",
+            8 * GIB,
+            Pattern::Mix(vec![
+                (0.55, Pattern::Stream { stride: 32 }),
+                (0.45, Pattern::Uniform),
+            ]),
+            5,
+            0.6,
+        )
+    }
+
+    /// SPEC CPU2006 mcf (network simplex; pointer-heavy).
+    pub fn mcf() -> Self {
+        Self::new(
+            "mcf",
+            (1.7 * GIB as f64) as u64,
+            Pattern::Mix(vec![
+                (0.85, Pattern::Chase {
+                    cluster_bytes: 128 << 10,
+                    switch_prob: 0.01,
+                }),
+                (0.15, Pattern::Uniform),
+            ]),
+            7,
+            0.95,
+        )
+    }
+
+    /// biobench mummer (suffix-tree matching).
+    pub fn mummer() -> Self {
+        Self::new(
+            "mummer",
+            3 * GIB,
+            Pattern::Chase {
+                cluster_bytes: 128 << 10,
+                switch_prob: 0.03,
+            },
+            8,
+            0.95,
+        )
+    }
+
+    /// SPEC CPU2006 omnetpp (discrete-event simulation).
+    pub fn omnetpp() -> Self {
+        Self::new(
+            "omnetpp",
+            512 * MIB,
+            Pattern::Mix(vec![
+                (0.85, Pattern::Hot {
+                    hot_bytes: 4 * MIB,
+                    hot_prob: 0.9,
+                }),
+                (0.15, Pattern::Uniform),
+            ]),
+            12,
+            0.8,
+        )
+    }
+
+    /// biobench tiger (genome assembly).
+    pub fn tiger() -> Self {
+        Self::new(
+            "tiger",
+            GIB,
+            Pattern::Mix(vec![
+                (0.5, Pattern::Stream { stride: 8 }),
+                (0.5, Pattern::Chase {
+                    cluster_bytes: MIB,
+                    switch_prob: 0.05,
+                }),
+            ]),
+            9,
+            0.7,
+        )
+    }
+
+    /// XSBench (Monte Carlo neutronics macro-XS lookups).
+    pub fn xsbench() -> Self {
+        Self::new(
+            "xsbench",
+            (5.6 * GIB as f64) as u64,
+            Pattern::Mix(vec![
+                (0.75, Pattern::Zipf {
+                    regions: 4096,
+                    exponent: 1.05,
+                }),
+                (0.25, Pattern::Stream { stride: 256 }),
+            ]),
+            7,
+            0.75,
+        )
+    }
+
+    /// Speedometer-2.0-like browser mix for the mobile case study
+    /// (§7.4). `iteration` 1 models the cold, JIT-churning first
+    /// iteration (the paper notes it executes ~9.5 % more instructions
+    /// than iteration 5); higher iterations are warmer.
+    pub fn browser_mix(iteration: u32) -> Self {
+        let cold = iteration <= 1;
+        let mut spec = Self::new(
+            if cold { "speedometer-iter1" } else { "speedometer-iter5" },
+            384 * MIB,
+            Pattern::Mix(vec![
+                (if cold { 0.5 } else { 0.62 }, Pattern::Hot {
+                    hot_bytes: 48 * MIB,
+                    hot_prob: 0.85,
+                }),
+                (0.25, Pattern::Chase {
+                    cluster_bytes: 256 << 10,
+                    switch_prob: 0.1,
+                }),
+                (if cold { 0.25 } else { 0.13 }, Pattern::Uniform),
+            ]),
+            if cold { 14 } else { 13 },
+            0.7,
+        );
+        spec.seed ^= iteration as u64;
+        spec
+    }
+
+    // ----- suites -------------------------------------------------------
+
+    /// The 15 benchmarks of the figures' main panel, in paper order.
+    pub fn main_suite() -> Vec<WorkloadSpec> {
+        vec![
+            Self::bfs(),
+            Self::cc(),
+            Self::dc(),
+            Self::dfs(),
+            Self::graph_coloring(),
+            Self::hashjoin(),
+            Self::kcore(),
+            Self::liblinear(),
+            Self::mcf(),
+            Self::mummer(),
+            Self::omnetpp(),
+            Self::pr(),
+            Self::sssp(),
+            Self::tc(),
+            Self::xsbench(),
+        ]
+    }
+
+    /// The high-TLB-miss panel (plotted on its own scale in the paper).
+    pub fn high_miss_suite() -> Vec<WorkloadSpec> {
+        vec![
+            Self::graph500(),
+            Self::gups(),
+            Self::liblinear_higgs(),
+            Self::random_access(),
+            Self::tiger(),
+        ]
+    }
+
+    /// The full 20-benchmark suite.
+    pub fn suite() -> Vec<WorkloadSpec> {
+        let mut v = Self::main_suite();
+        v.extend(Self::high_miss_suite());
+        v
+    }
+
+    /// Looks a benchmark up by its figure label.
+    pub fn by_name(name: &str) -> Option<WorkloadSpec> {
+        Self::suite().into_iter().find(|w| w.name == name)
+    }
+
+    // ----- scaling ------------------------------------------------------
+
+    /// Scales the footprint by `1/divisor` (hot regions scale with it),
+    /// keeping locality granules fixed. Used to keep tests and quick
+    /// runs fast; paper-scale experiments use the specs as-is.
+    pub fn scaled_down(mut self, divisor: u64) -> Self {
+        assert!(divisor >= 1);
+        self.footprint = (self.footprint / divisor).max(4 * MIB);
+        self.pattern = scale_pattern(self.pattern, divisor);
+        self
+    }
+
+    /// Convenience: replaces the footprint with `mib` mebibytes.
+    pub fn scaled_mib(self, mib: u64) -> Self {
+        let div = (self.footprint / (mib * MIB)).max(1);
+        self.scaled_down(div)
+    }
+}
+
+fn scale_pattern(p: Pattern, divisor: u64) -> Pattern {
+    match p {
+        Pattern::Hot {
+            hot_bytes,
+            hot_prob,
+        } => Pattern::Hot {
+            hot_bytes: (hot_bytes / divisor).max(64 << 10),
+            hot_prob,
+        },
+        Pattern::Mix(parts) => Pattern::Mix(
+            parts
+                .into_iter()
+                .map(|(w, p)| (w, scale_pattern(p, divisor)))
+                .collect(),
+        ),
+        other => other,
+    }
+}
+
+/// A running, seeded instance of a workload: an infinite virtual-address
+/// stream.
+///
+/// # Examples
+///
+/// ```
+/// use flatwalk_workloads::{AccessStream, WorkloadSpec};
+///
+/// let spec = WorkloadSpec::gups().scaled_mib(64);
+/// let mut stream = AccessStream::new(spec, 0x1000_0000_0000);
+/// let va = stream.next_va();
+/// assert!(va.raw() >= 0x1000_0000_0000);
+/// ```
+#[derive(Debug, Clone)]
+pub struct AccessStream {
+    spec: WorkloadSpec,
+    base_va: u64,
+    source: Source,
+}
+
+#[derive(Debug, Clone)]
+enum Source {
+    /// Generated from the spec's pattern.
+    Synthetic {
+        rng: SplitMix64,
+        state: PatternState,
+    },
+    /// Replayed from a recorded trace of footprint-relative offsets
+    /// (looping at the end).
+    Replay { offsets: std::sync::Arc<Vec<u64>>, index: usize },
+}
+
+impl AccessStream {
+    /// Creates the stream; addresses are offsets into
+    /// `[base_va, base_va + footprint)`.
+    pub fn new(spec: WorkloadSpec, base_va: u64) -> Self {
+        let rng = SplitMix64::new(spec.seed);
+        let state = spec.pattern.state(spec.footprint);
+        AccessStream {
+            spec,
+            base_va,
+            source: Source::Synthetic { rng, state },
+        }
+    }
+
+    /// Creates a stream that replays recorded footprint-relative
+    /// offsets in order, looping when exhausted (see
+    /// [`crate::trace`] for recording and file I/O). `spec.pattern`
+    /// is ignored; `spec.footprint` must bound every offset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offsets` is empty or any offset falls outside the
+    /// spec's footprint.
+    pub fn replay(
+        spec: WorkloadSpec,
+        base_va: u64,
+        offsets: std::sync::Arc<Vec<u64>>,
+    ) -> Self {
+        assert!(!offsets.is_empty(), "a trace needs at least one access");
+        assert!(
+            offsets.iter().all(|&o| o + 8 <= spec.footprint),
+            "trace offset outside the declared footprint"
+        );
+        AccessStream {
+            spec,
+            base_va,
+            source: Source::Replay { offsets, index: 0 },
+        }
+    }
+
+    /// The workload's specification.
+    pub fn spec(&self) -> &WorkloadSpec {
+        &self.spec
+    }
+
+    /// Moves the stream's window to a different base virtual address
+    /// (simulation engines place the address space, then rebase the
+    /// stream onto it).
+    pub fn rebase(&mut self, base_va: u64) {
+        self.base_va = base_va;
+    }
+
+    /// Produces the next virtual address.
+    pub fn next_va(&mut self) -> VirtAddr {
+        let off = match &mut self.source {
+            Source::Synthetic { rng, state } => {
+                self.spec.pattern.next_offset(self.spec.footprint, rng, state)
+            }
+            Source::Replay { offsets, index } => {
+                let off = offsets[*index];
+                *index = (*index + 1) % offsets.len();
+                off
+            }
+        };
+        VirtAddr::new(self.base_va + off)
+    }
+}
+
+impl Iterator for AccessStream {
+    type Item = VirtAddr;
+
+    /// Infinite stream of accesses (`next` never returns `None`).
+    fn next(&mut self) -> Option<VirtAddr> {
+        Some(self.next_va())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_twenty_unique_benchmarks() {
+        let suite = WorkloadSpec::suite();
+        assert_eq!(suite.len(), 20);
+        let mut names: Vec<&str> = suite.iter().map(|w| w.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 20, "duplicate benchmark names");
+    }
+
+    #[test]
+    fn footprints_match_paper_scale() {
+        assert_eq!(WorkloadSpec::gups().footprint, 8 << 30);
+        let g5 = WorkloadSpec::graph500().footprint;
+        assert!((5 << 30..6 << 30).contains(&g5));
+        assert!(WorkloadSpec::bfs().footprint > 6 << 30);
+    }
+
+    #[test]
+    fn by_name_round_trips() {
+        for w in WorkloadSpec::suite() {
+            assert_eq!(WorkloadSpec::by_name(w.name).unwrap().name, w.name);
+        }
+        assert!(WorkloadSpec::by_name("nope").is_none());
+    }
+
+    #[test]
+    fn scaling_shrinks_footprint_and_hot_regions() {
+        let s = WorkloadSpec::dc().scaled_down(16);
+        assert_eq!(s.footprint, WorkloadSpec::dc().footprint / 16);
+        // dc's hot region must have shrunk with it.
+        match &s.pattern {
+            Pattern::Mix(parts) => {
+                let hot = parts.iter().find_map(|(_, p)| match p {
+                    Pattern::Hot { hot_bytes, .. } => Some(*hot_bytes),
+                    _ => None,
+                });
+                assert_eq!(hot, Some((4 * MIB) / 16));
+            }
+            other => panic!("unexpected pattern {other:?}"),
+        }
+    }
+
+    #[test]
+    fn scaled_mib_hits_target() {
+        let s = WorkloadSpec::gups().scaled_mib(64);
+        assert_eq!(s.footprint, 64 * MIB);
+    }
+
+    #[test]
+    fn stream_stays_in_window_and_is_deterministic() {
+        let spec = WorkloadSpec::mcf().scaled_mib(32);
+        let base = 0x2000_0000_0000;
+        let mut a = AccessStream::new(spec.clone(), base);
+        let mut b = AccessStream::new(spec.clone(), base);
+        for _ in 0..10_000 {
+            let va = a.next_va();
+            assert_eq!(va, b.next_va());
+            assert!(va.raw() >= base);
+            assert!(va.raw() < base + spec.footprint);
+        }
+    }
+
+    #[test]
+    fn gups_touches_many_distinct_pages() {
+        let mut s = AccessStream::new(WorkloadSpec::gups().scaled_mib(256), 0);
+        let mut pages = std::collections::HashSet::new();
+        for _ in 0..10_000 {
+            pages.insert(s.next_va().raw() >> 12);
+        }
+        assert!(pages.len() > 8_000, "gups must be translation-hostile");
+    }
+
+    #[test]
+    fn dc_touches_few_distinct_pages() {
+        let mut s = AccessStream::new(WorkloadSpec::dc().scaled_mib(256), 0);
+        let mut pages = std::collections::HashSet::new();
+        for _ in 0..10_000 {
+            pages.insert(s.next_va().raw() >> 12);
+        }
+        assert!(
+            pages.len() < 4_000,
+            "dc must be translation-friendly (got {})",
+            pages.len()
+        );
+    }
+
+    #[test]
+    fn browser_iterations_differ() {
+        let i1 = WorkloadSpec::browser_mix(1);
+        let i5 = WorkloadSpec::browser_mix(5);
+        assert_ne!(i1.name, i5.name);
+        assert_ne!(i1.pattern, i5.pattern);
+    }
+}

@@ -1,0 +1,72 @@
+//! Dynamic flattening (paper §6.2, future work): promote a running
+//! process' conventional page-table levels into flattened nodes without
+//! remapping anything — allocate a 2 MB node, copy the entries of the
+//! node pair into it, swing the parent pointer.
+//!
+//! ```sh
+//! cargo run --release --example dynamic_promotion
+//! ```
+
+use flatwalk::os::BuddyAllocator;
+use flatwalk::pt::{resolve, FlattenEverywhere, FrameStore, Layout, Mapper};
+use flatwalk::types::{Level, PageSize, PhysAddr, VirtAddr};
+
+fn main() {
+    // A process that started life with a conventional 4-level table.
+    let mut store = FrameStore::new();
+    let mut alloc = BuddyAllocator::new(0, 1 << 30);
+    let mut mapper = Mapper::new(
+        &mut store,
+        &mut alloc,
+        Layout::conventional4(),
+        &FlattenEverywhere,
+    )
+    .unwrap();
+
+    let base = 0x40_0000_0000u64;
+    let pages = 512u64;
+    for p in 0..pages {
+        mapper
+            .map(
+                &mut store,
+                &mut alloc,
+                &FlattenEverywhere,
+                VirtAddr::new(base + p * 4096),
+                PhysAddr::new(0x1000_0000 + p * 4096),
+                PageSize::Size4K,
+            )
+            .unwrap();
+    }
+
+    let probe = VirtAddr::new(base + 200 * 4096 + 0x2a8);
+    let show = |store: &FrameStore, mapper: &Mapper, stage: &str| {
+        let w = resolve(store, mapper.table(), probe).unwrap();
+        println!(
+            "{stage:<28} walk = {} steps → {}   ({} flat / {} conventional nodes)",
+            w.steps.len(),
+            w.pa,
+            mapper.census().flat2_nodes,
+            mapper.census().conventional_nodes,
+        );
+        w.pa
+    };
+
+    println!("Promoting a live conventional table, one pair of levels at a time:\n");
+    let pa0 = show(&store, &mapper, "conventional (L4,L3,L2,L1)");
+
+    // The kernel decides the upper levels are worth merging…
+    mapper.promote(&mut store, &mut alloc, probe, Level::L4).unwrap();
+    let pa1 = show(&store, &mapper, "after promote(L4+L3)");
+
+    // …and later merges the leaf pair too.
+    mapper.promote(&mut store, &mut alloc, probe, Level::L2).unwrap();
+    let pa2 = show(&store, &mapper, "after promote(L2+L1)");
+
+    assert_eq!(pa0, pa1);
+    assert_eq!(pa0, pa2);
+    println!();
+    println!("Two promotions took the walk from 4 indirections to 2 — with zero");
+    println!("change to any translation. This is the §6.2 \"straight-forward to");
+    println!("implement\" path: copy the child entries, update the parent pointer,");
+    println!("release the old 4 KB nodes.");
+}

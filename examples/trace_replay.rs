@@ -1,0 +1,52 @@
+//! Record a workload's address trace to a file and replay it through
+//! the simulator — the bridge for using *real* program traces
+//! (converted to `FWTRACE1`) instead of the synthetic generators.
+//!
+//! ```sh
+//! cargo run --release --example trace_replay
+//! ```
+
+use flatwalk::sim::{NativeSimulation, SimOptions, TranslationConfig};
+use flatwalk::workloads::{trace, AccessStream, WorkloadSpec};
+
+fn main() -> std::io::Result<()> {
+    let dir = std::env::temp_dir().join("flatwalk-trace-example");
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join("xsbench.fwtrace");
+
+    let mut opts = SimOptions::small_test();
+    opts.warmup_ops = 5_000;
+    opts.measure_ops = 30_000;
+
+    // 1. Record the exact accesses the synthetic run will make.
+    let spec = WorkloadSpec::xsbench().scaled_mib(128);
+    let total = (opts.warmup_ops + opts.measure_ops) as usize;
+    let n = trace::record(AccessStream::new(spec.clone(), 0), total, &path)?;
+    println!("recorded {n} accesses to {}", path.display());
+
+    // 2. Run both: generator vs. replayed file.
+    let synthetic =
+        NativeSimulation::build(spec, TranslationConfig::flattened_prioritized(), &opts).run();
+    let replayed = NativeSimulation::build_with_stream(
+        trace::load(&path, "xsbench-trace", 7, 0.75)?,
+        TranslationConfig::flattened_prioritized(),
+        &opts,
+    )
+    .run();
+
+    println!("\n{:<12} {:>8} {:>10} {:>10}", "source", "walks", "acc/walk", "p50 lat");
+    for r in [&synthetic, &replayed] {
+        println!(
+            "{:<12} {:>8} {:>10.2} {:>10}",
+            r.workload,
+            r.tlb.walks,
+            r.walk.accesses_per_walk(),
+            r.walk.latency_p50(),
+        );
+    }
+    assert_eq!(synthetic.tlb.walks, replayed.tlb.walks);
+    println!("\nreplay reproduces the generator exactly — swap in your own");
+    println!("FWTRACE1 files to drive the simulator with real traces.");
+    std::fs::remove_file(&path)?;
+    Ok(())
+}

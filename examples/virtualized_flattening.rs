@@ -1,0 +1,48 @@
+//! Virtualized two-dimensional page walks (paper §4): how the nested
+//! TLB, the guest PSC and the vPWC tame the naive 24-access walk, and
+//! what flattening each dimension adds.
+//!
+//! ```sh
+//! cargo run --release --example virtualized_flattening
+//! ```
+
+use flatwalk::sim::{SimOptions, VirtConfig, VirtualizedSimulation};
+use flatwalk::workloads::WorkloadSpec;
+
+fn main() {
+    let spec = WorkloadSpec::gups().scaled_mib(512);
+    let mut opts = SimOptions::server();
+    opts.warmup_ops = 80_000;
+    opts.measure_ops = 250_000;
+    opts.phys_mem_bytes = 4 << 30;
+
+    println!("A guest translation must walk the guest table (gVA→gPA), and every");
+    println!("guest-table access plus the final data address needs its own host");
+    println!("walk (gPA→hPA): naively (4+1)x4 + 4 = 24 memory accesses.\n");
+
+    println!(
+        "{:<12} {:>9} {:>10} {:>10} {:>9}",
+        "config", "acc/walk", "walk-lat", "ipc", "speedup"
+    );
+    let mut base_ipc = 0.0;
+    for cfg in VirtConfig::fig12_set() {
+        let report = VirtualizedSimulation::build(spec.clone(), cfg, &opts).run();
+        if report.config == "Base-2D" {
+            base_ipc = report.ipc();
+        }
+        println!(
+            "{:<12} {:>9.2} {:>10.1} {:>10.4} {:>+8.1}%",
+            report.config,
+            report.walk.accesses_per_walk(),
+            report.walk.latency_per_walk(),
+            report.ipc(),
+            (report.ipc() / base_ipc - 1.0) * 100.0,
+        );
+    }
+
+    println!();
+    println!("GF (guest flattening) shortens every guest row of the 2-D walk; HF");
+    println!("(host flattening) shortens the host columns; PTP turns the remaining");
+    println!("accesses into cache hits. The paper reports 4.4 → 2.8 accesses/walk");
+    println!("for GF+HF and +14.0% IPC for GF+HF+PTP.");
+}

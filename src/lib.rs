@@ -1,0 +1,60 @@
+//! # flatwalk
+//!
+//! A from-scratch Rust reproduction of **"Every Walk's a Hit: Making Page
+//! Walks Single-Access Cache Hits"** (Park, Vougioukas, Sandberg,
+//! Black-Schaffer — ASPLOS 2022).
+//!
+//! The paper combines two techniques to make the common-case page walk a
+//! single access that hits in the on-chip caches:
+//!
+//! 1. **Page-table flattening (FPT):** merging two adjacent levels of the
+//!    512-ary radix page table into one 2 MB node, halving walk depth.
+//! 2. **Page-table cache prioritization (PTP):** biasing the L2/LLC
+//!    replacement policy to retain page-table lines during phases of high
+//!    TLB miss rate.
+//!
+//! This facade crate re-exports the whole workspace; see [`DESIGN.md`] in
+//! the repository for the crate inventory and the per-figure experiment
+//! index, and `EXPERIMENTS.md` for paper-vs-measured results.
+//!
+//! [`DESIGN.md`]: https://example.com/flatwalk
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use flatwalk::sim::{NativeSimulation, SimOptions, TranslationConfig};
+//! use flatwalk::workloads::WorkloadSpec;
+//!
+//! # fn main() {
+//! // Simulate a small GUPS-like workload on the paper's server system,
+//! // first with a conventional 4-level page table...
+//! let opts = SimOptions::small_test();
+//! let base = NativeSimulation::build(
+//!     WorkloadSpec::gups().scaled_mib(32),
+//!     TranslationConfig::baseline(),
+//!     &opts,
+//! ).run();
+//!
+//! // ...then with a flattened (L4+L3, L2+L1) table + cache prioritization.
+//! let fpt_ptp = NativeSimulation::build(
+//!     WorkloadSpec::gups().scaled_mib(32),
+//!     TranslationConfig::flattened_prioritized(),
+//!     &opts,
+//! ).run();
+//!
+//! // Flattening caps the walk at one access once PWCs warm up.
+//! assert!(fpt_ptp.walk.accesses_per_walk() <= base.walk.accesses_per_walk());
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use flatwalk_baselines as baselines;
+pub use flatwalk_mem as mem;
+pub use flatwalk_mmu as mmu;
+pub use flatwalk_os as os;
+pub use flatwalk_pt as pt;
+pub use flatwalk_sim as sim;
+pub use flatwalk_tlb as tlb;
+pub use flatwalk_types as types;
+pub use flatwalk_workloads as workloads;

@@ -1,0 +1,248 @@
+//! Dynamic flattening (the §6.2 extension): promoting an existing pair
+//! of conventional levels into a 2 MB flattened node at runtime must
+//! preserve every translation, shorten walks, and release the replaced
+//! nodes.
+
+use flatwalk::os::BuddyAllocator;
+use flatwalk::pt::{
+    resolve, FlattenEverywhere, FrameStore, Layout, Mapper, No2MbAllocator, PhysAllocator,
+    PromoteError,
+};
+use flatwalk::types::{Level, PageSize, PhysAddr, VirtAddr};
+
+fn build_conventional(
+    pages: u64,
+) -> (FrameStore, BuddyAllocator, Mapper, Vec<(VirtAddr, PhysAddr)>) {
+    let mut store = FrameStore::new();
+    let mut alloc = BuddyAllocator::new(0, 1 << 30);
+    let mut mapper = Mapper::new(
+        &mut store,
+        &mut alloc,
+        Layout::conventional4(),
+        &FlattenEverywhere,
+    )
+    .unwrap();
+    let mut mappings = Vec::new();
+    for p in 0..pages {
+        // Spread across several L2 nodes (one page per 2 MB region).
+        let va = VirtAddr::new(0x40_0000_0000 + p * (2 << 20));
+        let pa = PhysAddr::new(0x1000_0000 + p * 4096);
+        mapper
+            .map(&mut store, &mut alloc, &FlattenEverywhere, va, pa, PageSize::Size4K)
+            .unwrap();
+        mappings.push((va, pa));
+    }
+    (store, alloc, mapper, mappings)
+}
+
+#[test]
+fn promote_l3_l2_shortens_walks_and_preserves_translations() {
+    let (mut store, mut alloc, mut mapper, mappings) = build_conventional(64);
+    let free_before = alloc.free_bytes();
+    let before: Vec<_> = mappings
+        .iter()
+        .map(|(va, _)| resolve(&store, mapper.table(), *va).unwrap())
+        .collect();
+    assert!(before.iter().all(|w| w.steps.len() == 4));
+
+    mapper
+        .promote(&mut store, &mut alloc, mappings[0].0, Level::L3)
+        .unwrap();
+
+    for ((va, pa), old) in mappings.iter().zip(&before) {
+        let w = resolve(&store, mapper.table(), *va).unwrap();
+        assert_eq!(w.pa, old.pa, "translation changed for {va}");
+        assert_eq!(w.pa.align_down(PageSize::Size4K), *pa);
+        assert_eq!(w.steps.len(), 3, "L4 → flat L3+L2 → L1");
+    }
+    // The 64 mappings share one L3 node and one L2 node; both are
+    // replaced by the 2 MB flat node: net usage grows by 2 MB − 2×4 KB.
+    let expected = free_before + 2 * 4096 - (2 << 20);
+    assert_eq!(alloc.free_bytes(), expected);
+    assert_eq!(mapper.census().flat2_nodes, 1);
+}
+
+#[test]
+fn promote_root_pair() {
+    let (mut store, mut alloc, mut mapper, mappings) = build_conventional(8);
+    mapper
+        .promote(&mut store, &mut alloc, mappings[0].0, Level::L4)
+        .unwrap();
+    for (va, pa) in &mappings {
+        let w = resolve(&store, mapper.table(), *va).unwrap();
+        assert_eq!(w.pa.align_down(PageSize::Size4K), *pa);
+        assert_eq!(w.steps.len(), 3, "flat L4+L3 → L2 → L1");
+    }
+    // Promoting again is a no-op error.
+    assert_eq!(
+        mapper.promote(&mut store, &mut alloc, mappings[0].0, Level::L4),
+        Err(PromoteError::AlreadyFlat)
+    );
+}
+
+#[test]
+fn promote_both_pairs_reaches_fully_flattened_walks() {
+    // Map pages densely within one 2 MB region so L2+L1 promotion has a
+    // well-populated L1 child.
+    let mut store = FrameStore::new();
+    let mut alloc = BuddyAllocator::new(0, 1 << 30);
+    let mut mapper = Mapper::new(
+        &mut store,
+        &mut alloc,
+        Layout::conventional4(),
+        &FlattenEverywhere,
+    )
+    .unwrap();
+    let mut mappings = Vec::new();
+    for p in 0..256u64 {
+        let va = VirtAddr::new(0x40_0000_0000 + p * 4096);
+        let pa = PhysAddr::new(0x1000_0000 + p * 4096);
+        mapper
+            .map(&mut store, &mut alloc, &FlattenEverywhere, va, pa, PageSize::Size4K)
+            .unwrap();
+        mappings.push((va, pa));
+    }
+    let va0 = mappings[0].0;
+    mapper.promote(&mut store, &mut alloc, va0, Level::L4).unwrap();
+    mapper.promote(&mut store, &mut alloc, va0, Level::L2).unwrap();
+    for (va, pa) in &mappings {
+        let w = resolve(&store, mapper.table(), *va).unwrap();
+        assert_eq!(w.pa.align_down(PageSize::Size4K), *pa);
+        assert_eq!(w.steps.len(), 2, "flat L4+L3 → flat L2+L1");
+    }
+}
+
+#[test]
+fn promote_replicates_large_mappings() {
+    let mut store = FrameStore::new();
+    let mut alloc = BuddyAllocator::new(0, 1 << 30);
+    let mut mapper = Mapper::new(
+        &mut store,
+        &mut alloc,
+        Layout::conventional4(),
+        &FlattenEverywhere,
+    )
+    .unwrap();
+    let va = VirtAddr::new(0x40_0000_0000);
+    let pa = PhysAddr::new(0x2000_0000);
+    mapper
+        .map(&mut store, &mut alloc, &FlattenEverywhere, va, pa, PageSize::Size2M)
+        .unwrap();
+    // Merge L2+L1: the 2 MB terminal entry becomes 512 replicated 4 KB
+    // leaves (§3.4), preserving every offset.
+    mapper.promote(&mut store, &mut alloc, va, Level::L2).unwrap();
+    assert_eq!(mapper.census().replicated_entries, 512);
+    let probe = VirtAddr::new(va.raw() + 0x12_3000 + 0x40);
+    let w = resolve(&store, mapper.table(), probe).unwrap();
+    assert_eq!(w.pa.raw(), pa.raw() + 0x12_3000 + 0x40);
+    assert_eq!(w.size, PageSize::Size4K);
+}
+
+#[test]
+fn promote_fails_cleanly_without_2mb_blocks() {
+    let mut store = FrameStore::new();
+    let mut alloc = No2MbAllocator(flatwalk::pt::BumpAllocator::new(0x1000_0000));
+    let mut mapper = Mapper::new(
+        &mut store,
+        &mut alloc,
+        Layout::conventional4(),
+        &FlattenEverywhere,
+    )
+    .unwrap();
+    let va = VirtAddr::new(0x40_0000_0000);
+    mapper
+        .map(
+            &mut store,
+            &mut alloc,
+            &FlattenEverywhere,
+            va,
+            PhysAddr::new(0x9000_0000),
+            PageSize::Size4K,
+        )
+        .unwrap();
+    let before = resolve(&store, mapper.table(), va).unwrap();
+    assert_eq!(
+        mapper.promote(&mut store, &mut alloc, va, Level::L3),
+        Err(PromoteError::AllocFailed)
+    );
+    // Table untouched.
+    let after = resolve(&store, mapper.table(), va).unwrap();
+    assert_eq!(before, after);
+}
+
+#[test]
+fn promote_rejects_bad_targets() {
+    let (mut store, mut alloc, mut mapper, mappings) = build_conventional(2);
+    let va = mappings[0].0;
+    assert_eq!(
+        mapper.promote(&mut store, &mut alloc, va, Level::L1),
+        Err(PromoteError::BadLevel)
+    );
+    assert_eq!(
+        mapper.promote(&mut store, &mut alloc, va, Level::L5),
+        Err(PromoteError::BadLevel)
+    );
+    assert_eq!(
+        mapper.promote(
+            &mut store,
+            &mut alloc,
+            VirtAddr::new(0x7777_0000_0000),
+            Level::L2
+        ),
+        Err(PromoteError::NotPresent)
+    );
+}
+
+mod promotion_props {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// Any sequence of promotions at random levels preserves every
+        /// translation (failed promotions are ignored).
+        #[test]
+        fn random_promotions_preserve_translations(
+            slots in proptest::collection::vec(0u64..2048, 4..32),
+            promos in proptest::collection::vec((0u8..3, 0usize..32), 1..6),
+        ) {
+            let mut store = FrameStore::new();
+            let mut alloc = BuddyAllocator::new(0, 1 << 30);
+            let mut mapper = Mapper::new(
+                &mut store,
+                &mut alloc,
+                Layout::conventional4(),
+                &FlattenEverywhere,
+            )
+            .unwrap();
+            let mut seen = std::collections::HashSet::new();
+            let mut mappings = Vec::new();
+            for &s in &slots {
+                if !seen.insert(s) {
+                    continue;
+                }
+                let va = VirtAddr::new(0x40_0000_0000 + s * 4096 * 7919);
+                let pa = PhysAddr::new(0x1000_0000 + s * 4096);
+                mapper
+                    .map(&mut store, &mut alloc, &FlattenEverywhere, va, pa, PageSize::Size4K)
+                    .unwrap();
+                mappings.push((va, pa));
+            }
+            for (lvl, which) in promos {
+                let level = match lvl {
+                    0 => Level::L2,
+                    1 => Level::L3,
+                    _ => Level::L4,
+                };
+                let va = mappings[which % mappings.len()].0;
+                // May fail (AlreadyFlat etc.) — that must be harmless.
+                let _ = mapper.promote(&mut store, &mut alloc, va, level);
+            }
+            for (va, pa) in &mappings {
+                let w = resolve(&store, mapper.table(), *va).unwrap();
+                prop_assert_eq!(w.pa.align_down(PageSize::Size4K), *pa);
+            }
+        }
+    }
+}

@@ -1,0 +1,224 @@
+//! End-to-end integration tests across the whole stack: workloads →
+//! TLBs → walkers → page tables → caches → reports.
+
+use flatwalk::os::FragmentationScenario;
+use flatwalk::sim::{
+    NativeSimulation, SimOptions, SimReport, TranslationConfig, VirtConfig,
+    VirtualizedSimulation,
+};
+use flatwalk::workloads::WorkloadSpec;
+
+fn opts() -> SimOptions {
+    let mut o = SimOptions::small_test();
+    o.warmup_ops = 4_000;
+    o.measure_ops = 20_000;
+    o
+}
+
+fn run(spec: WorkloadSpec, cfg: TranslationConfig) -> SimReport {
+    NativeSimulation::build(spec, cfg, &opts()).run()
+}
+
+#[test]
+fn paper_ordering_holds_for_tlb_hostile_workloads() {
+    // FPT+PTP ≥ PTP ≥ base and FPT+PTP ≥ FPT ≥ base for gups (paper
+    // Fig. 9 ordering at 0% LP).
+    let spec = WorkloadSpec::gups().scaled_mib(512);
+    let base = run(spec.clone(), TranslationConfig::baseline());
+    let fpt = run(spec.clone(), TranslationConfig::flattened());
+    let ptp = run(spec.clone(), TranslationConfig::prioritized());
+    let both = run(spec, TranslationConfig::flattened_prioritized());
+
+    assert!(fpt.speedup_vs(&base) >= 1.0, "FPT {}", fpt.speedup_vs(&base));
+    assert!(ptp.speedup_vs(&base) >= 1.0, "PTP {}", ptp.speedup_vs(&base));
+    assert!(
+        both.speedup_vs(&base) >= fpt.speedup_vs(&base) * 0.995,
+        "combo {} vs FPT {}",
+        both.speedup_vs(&base),
+        fpt.speedup_vs(&base)
+    );
+    assert!(
+        both.speedup_vs(&base) >= ptp.speedup_vs(&base) * 0.995,
+        "combo {} vs PTP {}",
+        both.speedup_vs(&base),
+        ptp.speedup_vs(&base)
+    );
+}
+
+#[test]
+fn walk_counts_are_consistent_across_subsystems() {
+    let r = run(WorkloadSpec::mcf().scaled_mib(128), TranslationConfig::baseline());
+    // Every TLB full miss is exactly one walker invocation.
+    assert_eq!(r.tlb.walks, r.walk.walks);
+    // Walk memory accesses appear in the hierarchy's page-table stats.
+    let pt_probes = r.hier.l1.page_table.total();
+    assert_eq!(pt_probes, r.walk.accesses, "L1 sees every walk access");
+    // Translations = one per measured op.
+    assert_eq!(r.tlb.translations, 20_000);
+}
+
+#[test]
+fn flattening_beats_baseline_on_walk_accesses_everywhere() {
+    for spec in [
+        WorkloadSpec::gups().scaled_mib(256),
+        WorkloadSpec::bfs().scaled_mib(256),
+        WorkloadSpec::xsbench().scaled_mib(256),
+    ] {
+        let base = run(spec.clone(), TranslationConfig::baseline());
+        let flat = run(spec, TranslationConfig::flattened());
+        assert!(
+            flat.walk.accesses_per_walk() <= base.walk.accesses_per_walk() + 1e-9,
+            "{}: flat {} > base {}",
+            base.workload,
+            flat.walk.accesses_per_walk(),
+            base.walk.accesses_per_walk()
+        );
+        assert!(flat.walk.accesses_per_walk() <= 1.0 + 1e-9);
+    }
+}
+
+#[test]
+fn scenarios_monotonically_reduce_walks() {
+    let spec = WorkloadSpec::gups().scaled_mib(256);
+    let mut walks = Vec::new();
+    for scenario in [
+        FragmentationScenario::NONE,
+        FragmentationScenario::HALF,
+        FragmentationScenario::FULL,
+    ] {
+        let o = opts().with_scenario(scenario);
+        let r = NativeSimulation::build(spec.clone(), TranslationConfig::baseline(), &o).run();
+        walks.push(r.tlb.walks);
+    }
+    assert!(walks[0] > walks[1], "50% LP must cut walks: {walks:?}");
+    assert!(walks[1] > walks[2], "100% LP must cut walks further: {walks:?}");
+}
+
+#[test]
+fn virtualized_baseline_walks_cost_more_and_flattening_recovers() {
+    let spec = WorkloadSpec::gups().scaled_mib(256);
+    let native = run(spec.clone(), TranslationConfig::baseline());
+    let virt_base =
+        VirtualizedSimulation::build(spec.clone(), VirtConfig::fig12_set()[0], &opts()).run();
+    let virt_flat =
+        VirtualizedSimulation::build(spec, VirtConfig::fig12_set()[3], &opts()).run();
+
+    assert!(
+        virt_base.walk.accesses_per_walk() > native.walk.accesses_per_walk(),
+        "2-D walks must cost more ({} vs {})",
+        virt_base.walk.accesses_per_walk(),
+        native.walk.accesses_per_walk()
+    );
+    assert!(
+        virt_flat.walk.accesses_per_walk() < virt_base.walk.accesses_per_walk(),
+        "GF+HF must reduce accesses"
+    );
+    assert!(virt_flat.speedup_vs(&virt_base) >= 1.0);
+}
+
+#[test]
+fn reports_are_bitwise_deterministic() {
+    let spec = WorkloadSpec::xsbench().scaled_mib(128);
+    let a = run(spec.clone(), TranslationConfig::flattened_prioritized());
+    let b = run(spec, TranslationConfig::flattened_prioritized());
+    assert_eq!(a.cycles, b.cycles);
+    assert_eq!(a.instructions, b.instructions);
+    assert_eq!(a.tlb.walks, b.tlb.walks);
+    assert_eq!(a.walk.accesses, b.walk.accesses);
+    assert_eq!(a.hier.dram.total(), b.hier.dram.total());
+}
+
+#[test]
+fn energy_tracks_memory_traffic() {
+    let spec = WorkloadSpec::gups().scaled_mib(512);
+    let base = run(spec.clone(), TranslationConfig::baseline());
+    let both = run(spec, TranslationConfig::flattened_prioritized());
+    // Fewer walk accesses + more cache hits must not increase dynamic
+    // energy.
+    assert!(
+        both.cache_energy_vs(&base) <= 1.005,
+        "cache energy went up: {}",
+        both.cache_energy_vs(&base)
+    );
+    assert!(
+        both.dram_energy_vs(&base) <= 1.005,
+        "DRAM accesses went up: {}",
+        both.dram_energy_vs(&base)
+    );
+}
+
+#[test]
+fn context_switches_force_retranslation_but_not_cache_cold() {
+    let spec = WorkloadSpec::omnetpp().scaled_mib(64);
+    let base = NativeSimulation::build(spec.clone(), TranslationConfig::baseline(), &opts()).run();
+    let mut o = opts();
+    o.context_switch_interval = Some(1_000);
+    let switched = NativeSimulation::build(spec, TranslationConfig::baseline(), &o).run();
+    assert!(
+        switched.tlb.walks > base.tlb.walks,
+        "flushing TLBs must add walks ({} vs {})",
+        switched.tlb.walks,
+        base.tlb.walks
+    );
+    assert!(switched.ipc() <= base.ipc());
+    // The refill walks hit warm caches: per-walk latency must not blow
+    // up to DRAM levels.
+    assert!(
+        switched.walk.latency_per_walk() < 150.0,
+        "refill walks should be cache-served ({})",
+        switched.walk.latency_per_walk()
+    );
+}
+
+#[test]
+fn replayed_trace_reproduces_the_synthetic_run() {
+    use flatwalk::workloads::{trace, AccessStream};
+    let dir = std::env::temp_dir().join("flatwalk-e2e-trace");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("xsbench.fwtrace");
+
+    let spec = WorkloadSpec::xsbench().scaled_mib(64);
+    let mut o = opts();
+    o.footprint_divisor = 1; // traces run at recorded scale
+
+    // Record exactly the accesses the synthetic run will perform.
+    let total = (o.warmup_ops + o.measure_ops) as usize;
+    trace::record(AccessStream::new(spec.clone(), 0), total, &path).unwrap();
+
+    let synthetic = NativeSimulation::build(spec, TranslationConfig::flattened(), &o).run();
+    let replayed = NativeSimulation::build_with_stream(
+        trace::load(&path, "xsbench", 7, 0.75).unwrap(),
+        TranslationConfig::flattened(),
+        &o,
+    )
+    .run();
+
+    // Same addresses → identical translation behaviour (PAs differ only
+    // by the normalization base, which cancels page-granularity stats).
+    assert_eq!(replayed.tlb.walks, synthetic.tlb.walks);
+    assert_eq!(replayed.walk.accesses, synthetic.walk.accesses);
+    assert_eq!(replayed.tlb.translations, synthetic.tlb.translations);
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn median_walk_under_fpt_ptp_is_a_cache_hit() {
+    // The paper's title claim, read off the latency distribution: with
+    // flattening + prioritization the *median* walk is one access that
+    // hits on-chip (well under the 200-cycle DRAM round trip).
+    let spec = WorkloadSpec::gups().scaled_mib(512);
+    let base = run(spec.clone(), TranslationConfig::baseline());
+    let both = run(spec, TranslationConfig::flattened_prioritized());
+    assert!(
+        both.walk.latency_p50() < 64,
+        "median FPT+PTP walk should be an on-chip hit (p50 {})",
+        both.walk.latency_p50()
+    );
+    assert!(
+        both.walk.latency_p50() <= base.walk.latency_p50(),
+        "combo median {} vs base median {}",
+        both.walk.latency_p50(),
+        base.walk.latency_p50()
+    );
+    assert!(both.walk.latency_p99() >= both.walk.latency_p50());
+}

@@ -1,0 +1,100 @@
+//! Five-level paging (paper §3.6): conventional 5-level tables behave
+//! like 4-level ones with one more top level, and the L5+L4 / L3+L2
+//! flattening variant cuts the walk from five steps to three.
+
+use flatwalk::mem::{HierarchyConfig, MemoryHierarchy};
+use flatwalk::mmu::PageWalker;
+use flatwalk::pt::{
+    resolve, BumpAllocator, FlattenEverywhere, FrameStore, Layout, Mapper,
+};
+use flatwalk::tlb::PwcConfig;
+use flatwalk::types::{OwnerId, PageSize, PhysAddr, VirtAddr};
+
+fn build(layout: Layout, vas: &[u64]) -> (FrameStore, Mapper) {
+    let mut store = FrameStore::new();
+    let mut alloc = BumpAllocator::new(0x100_0000_0000);
+    let mut mapper = Mapper::new(&mut store, &mut alloc, layout, &FlattenEverywhere).unwrap();
+    for (i, &va) in vas.iter().enumerate() {
+        mapper
+            .map(
+                &mut store,
+                &mut alloc,
+                &FlattenEverywhere,
+                VirtAddr::new(va),
+                PhysAddr::new(0x200_0000_0000 + i as u64 * 4096),
+                PageSize::Size4K,
+            )
+            .unwrap();
+    }
+    (store, mapper)
+}
+
+/// VAs that actually exercise the 57-bit space (distinct L5 indices).
+fn wide_vas() -> Vec<u64> {
+    (0..6u64)
+        .map(|i| (i << 48) | (i << 39) | ((i * 7) << 30) | ((i * 3) << 21) | (i << 12))
+        .collect()
+}
+
+#[test]
+fn five_level_walk_is_five_steps_and_correct() {
+    let vas = wide_vas();
+    let (store, mapper) = build(Layout::conventional5(), &vas);
+    for (i, &va) in vas.iter().enumerate() {
+        let w = resolve(&store, mapper.table(), VirtAddr::new(va)).unwrap();
+        assert_eq!(w.steps.len(), 5);
+        assert_eq!(w.pa.raw(), 0x200_0000_0000 + i as u64 * 4096);
+    }
+}
+
+#[test]
+fn five_level_flattening_cuts_walk_to_three_steps() {
+    let vas = wide_vas();
+    let (store, mapper) = build(Layout::flat5_l5l4_l3l2(), &vas);
+    for (i, &va) in vas.iter().enumerate() {
+        let w = resolve(&store, mapper.table(), VirtAddr::new(va)).unwrap();
+        assert_eq!(w.steps.len(), 3, "L5+L4, L3+L2, L1");
+        assert_eq!(w.pa.raw(), 0x200_0000_0000 + i as u64 * 4096);
+    }
+}
+
+#[test]
+fn five_level_timed_walker_uses_wider_psc_prefixes() {
+    let mut vas = wide_vas();
+    // A second page under the same L3+L2 node as vas[0].
+    vas.push(vas[0] ^ (1 << 12));
+    let layout = Layout::flat5_l5l4_l3l2();
+    let (store, mapper) = build(layout.clone(), &vas);
+    let mut hier = MemoryHierarchy::new(HierarchyConfig::server());
+    // Redistribute the Table 1 PSC budget over the 5-level boundaries
+    // (18 and 36 bits below a 57-bit top).
+    let pwc = PwcConfig::server().for_layout(&layout);
+    let mut walker = PageWalker::new(pwc);
+
+    let va = VirtAddr::new(vas[0]);
+    let cold = walker
+        .walk(&store, mapper.table(), va, &mut hier, OwnerId::SINGLE)
+        .unwrap();
+    assert_eq!(cold.accesses, 3);
+
+    // A second page under the same L3+L2 node (same top 36 bits).
+    let near = VirtAddr::new(vas[0] ^ (1 << 12));
+    let warm = walker
+        .walk(&store, mapper.table(), near, &mut hier, OwnerId::SINGLE)
+        .unwrap();
+    assert_eq!(warm.accesses, 1, "36-bit PSC hit → single access");
+}
+
+#[test]
+fn four_and_five_level_tables_translate_identically_in_low_space() {
+    // For VAs below 2^47 the two organizations must agree exactly.
+    let vas: Vec<u64> = (0..8u64).map(|i| 0x7000_0000 + i * 4096).collect();
+    let (store4, mapper4) = build(Layout::conventional4(), &vas);
+    let (store5, mapper5) = build(Layout::conventional5(), &vas);
+    for &va in &vas {
+        let a = resolve(&store4, mapper4.table(), VirtAddr::new(va)).unwrap();
+        let b = resolve(&store5, mapper5.table(), VirtAddr::new(va)).unwrap();
+        assert_eq!(a.pa, b.pa);
+        assert_eq!(b.steps.len(), a.steps.len() + 1);
+    }
+}

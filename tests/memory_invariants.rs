@@ -1,0 +1,130 @@
+//! Property tests on the memory substrates: the cache model and the
+//! buddy allocator.
+
+use proptest::prelude::*;
+
+use flatwalk::mem::{Cache, CacheConfig};
+use flatwalk::os::BuddyAllocator;
+use flatwalk::pt::PhysAllocator;
+use flatwalk::types::{AccessKind, OwnerId, PageSize, PhysAddr};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// A cache never over-fills, never loses the line it just filled,
+    /// and probe/contains agree.
+    #[test]
+    fn cache_fill_and_probe_agree(lines in prop::collection::vec(0u64..4096, 1..400),
+                                  ways in 1usize..8) {
+        let sets = 16usize;
+        let cfg = CacheConfig::new("t", (sets * ways) as u64 * 64, ways, 1);
+        let mut cache = Cache::new(cfg);
+        for &line in &lines {
+            cache.fill(line, AccessKind::Data, OwnerId::SINGLE, false);
+            prop_assert!(cache.contains(line), "line {line} lost right after fill");
+            prop_assert!(cache.probe(line, AccessKind::Data));
+        }
+        let resident = cache.resident_lines(AccessKind::Data)
+            + cache.resident_lines(AccessKind::PageTable);
+        prop_assert!(resident <= sets * ways, "cache over-filled: {resident}");
+    }
+
+    /// Under the priority phase, filling data lines never evicts a
+    /// page-table line while data candidates exist in the set.
+    #[test]
+    fn priority_never_picks_pt_over_available_data(seed in 0u64..1000) {
+        let cfg = CacheConfig::new("t", 8 * 64, 8, 1).with_pt_priority(true);
+        let mut cache = Cache::new(cfg);
+        // One set (8 ways): 4 PT lines + 4 data lines, all set 0.
+        for i in 0..4u64 {
+            cache.fill(i * 1, AccessKind::PageTable, OwnerId::SINGLE, true);
+        }
+        // All lines map to set 0 in a 1-set cache.
+        for i in 4..8u64 {
+            cache.fill(i, AccessKind::Data, OwnerId::SINGLE, true);
+        }
+        // Fill more data; evictions in the 99% path must pick data.
+        let mut pt_evicted = 0;
+        for i in 0..64u64 {
+            if let Some(ev) = cache.fill(100 + seed + i, AccessKind::Data, OwnerId::SINGLE, true) {
+                if ev.kind == AccessKind::PageTable {
+                    pt_evicted += 1;
+                }
+            }
+        }
+        // Only the 1% LRU escape may ever touch PT lines, and once the
+        // four PT lines are gone nothing more can be evicted from them.
+        prop_assert!(pt_evicted <= 4, "PT evictions {pt_evicted} exceed the escape budget");
+    }
+
+    /// Buddy allocations never overlap and never exceed the region.
+    #[test]
+    fn buddy_blocks_are_disjoint(ops in prop::collection::vec((0u8..3, 0u8..2), 1..200)) {
+        let total: u64 = 64 << 20;
+        let mut buddy = BuddyAllocator::new(0, total);
+        let mut live: Vec<(u64, u64)> = Vec::new(); // (addr, bytes)
+        for (kind, action) in ops {
+            let size = match kind {
+                0 => PageSize::Size4K,
+                1 => PageSize::Size2M,
+                _ => PageSize::Size1G,
+            };
+            if action == 0 || live.is_empty() {
+                if let Some(pa) = buddy.alloc(size) {
+                    let bytes = size.bytes();
+                    prop_assert_eq!(pa.raw() % bytes, 0, "natural alignment violated");
+                    prop_assert!(pa.raw() + bytes <= total, "block exceeds region");
+                    for &(a, b) in &live {
+                        prop_assert!(
+                            pa.raw() + bytes <= a || a + b <= pa.raw(),
+                            "overlap: new [{:#x},+{:#x}) with [{:#x},+{:#x})",
+                            pa.raw(), bytes, a, b
+                        );
+                    }
+                    live.push((pa.raw(), bytes));
+                }
+            } else {
+                let (a, _) = live.swap_remove(0);
+                buddy.free(PhysAddr::new(a));
+            }
+        }
+        // Free everything: the allocator must coalesce back to one block.
+        for (a, _) in live {
+            buddy.free(PhysAddr::new(a));
+        }
+        prop_assert_eq!(buddy.free_bytes(), total);
+        prop_assert!(buddy.alloc(PageSize::Size1G).is_none() || total >= 1 << 30);
+        let mut b2 = BuddyAllocator::new(0, total);
+        prop_assert_eq!(buddy.largest_free_order(), b2.largest_free_order());
+        let _ = b2.alloc(PageSize::Size4K);
+    }
+
+    /// Accounting: free_bytes always equals total minus live bytes.
+    #[test]
+    fn buddy_accounting_is_exact(ops in prop::collection::vec(0u8..4, 1..150)) {
+        let total: u64 = 16 << 20;
+        let mut buddy = BuddyAllocator::new(0, total);
+        let mut live: Vec<(u64, u64)> = Vec::new();
+        for op in ops {
+            match op {
+                0 | 1 => {
+                    if let Some(pa) = buddy.alloc(PageSize::Size4K) {
+                        live.push((pa.raw(), 4096));
+                    }
+                }
+                2 => {
+                    if let Some(pa) = buddy.alloc(PageSize::Size2M) {
+                        live.push((pa.raw(), 2 << 20));
+                    }
+                }
+                _ => {
+                    if let Some((a, _)) = live.pop() {
+                        buddy.free(PhysAddr::new(a));
+                    }
+                }
+            }
+            let live_bytes: u64 = live.iter().map(|(_, b)| b).sum();
+            prop_assert_eq!(buddy.free_bytes(), total - live_bytes);
+        }
+    }
+}

@@ -1,0 +1,103 @@
+//! Property tests for recursive (self-referencing) page tables: for
+//! random mappings and every supported layout, the synthesized
+//! recursive VAs must land exactly on the right table nodes, and
+//! reading PTEs through them must agree with the table contents.
+
+use proptest::prelude::*;
+
+use flatwalk::pt::{
+    resolve, BumpAllocator, FlattenEverywhere, FrameStore, Layout, Mapper, RecursiveScheme,
+};
+use flatwalk::types::{Level, PageSize, PhysAddr, VirtAddr};
+
+const SLOT: usize = 509;
+
+fn build(
+    layout: Layout,
+    slots: &[u64],
+) -> (FrameStore, Mapper, Vec<(VirtAddr, PhysAddr)>) {
+    let mut store = FrameStore::new();
+    let mut alloc = BumpAllocator::new(0x10_0000_0000);
+    let mut mapper = Mapper::new(&mut store, &mut alloc, layout, &FlattenEverywhere).unwrap();
+    let mut seen = std::collections::HashSet::new();
+    let mut mappings = Vec::new();
+    for &s in slots {
+        if !seen.insert(s) {
+            continue;
+        }
+        // Keep away from the recursion slot's 512 GB region (L4 index
+        // 509): spread slots over L4 indices 0..64.
+        let va = VirtAddr::new((s % 64) << 39 | (s * 0x1003 % 512) << 30 | (s % 512) << 21 | (s % 512) << 12);
+        if !seen.insert(va.raw()) {
+            continue;
+        }
+        let pa = PhysAddr::new(0x100_0000_0000 + s * 4096);
+        if mapper
+            .map(&mut store, &mut alloc, &FlattenEverywhere, va, pa, PageSize::Size4K)
+            .is_ok()
+        {
+            mappings.push((va, pa));
+        }
+    }
+    (store, mapper, mappings)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// For conventional and mixed-flat layouts: the recursive VA of the
+    /// leaf node resolves to the node that the ordinary walk uses, and
+    /// the PTE read through it translates to the right frame.
+    #[test]
+    fn recursive_leaf_access_matches_walk(slots in prop::collection::vec(0u64..100_000, 1..12)) {
+        for layout in [Layout::conventional4(), Layout::flat_l3l2(), Layout::flat_l4l3()] {
+            let (mut store, mapper, mappings) = build(layout.clone(), &slots);
+            prop_assert!(!mappings.is_empty());
+            let rec = RecursiveScheme::install(&mut store, mapper.table(), SLOT).unwrap();
+            for (va, pa) in &mappings {
+                let data_walk = resolve(&store, mapper.table(), *va).unwrap();
+                let leaf_node = data_walk.steps.last().unwrap().node_base;
+
+                let path = [
+                    va.index(Level::L4),
+                    va.index(Level::L3),
+                    va.index(Level::L2),
+                ];
+                let rva = rec.node_va(&path);
+                let nwalk = resolve(&store, mapper.table(), rva)
+                    .unwrap_or_else(|e| panic!("{layout:?}: recursive walk failed: {e}"));
+                prop_assert_eq!(
+                    nwalk.frame_base(), leaf_node,
+                    "layout {:?}: wrong node for {:?}", layout, va
+                );
+                let pte = store.read_pte(nwalk.frame_base().add(va.index(Level::L1) as u64 * 8));
+                prop_assert_eq!(pte.addr(), *pa);
+            }
+        }
+    }
+
+    /// Glue-table recursion on a flattened L4+L3 root reaches every
+    /// L3* sub-table, and the entries read through it match the real
+    /// walk's next nodes.
+    #[test]
+    fn glue_table_reaches_all_subtables(slots in prop::collection::vec(0u64..100_000, 1..10)) {
+        let (mut store, mapper, mappings) = build(Layout::flat_l4l3(), &slots);
+        prop_assert!(!mappings.is_empty());
+        let rec = RecursiveScheme::install(&mut store, mapper.table(), SLOT).unwrap();
+        for (va, _) in &mappings {
+            let l4 = va.index(Level::L4);
+            let l3 = va.index(Level::L3);
+            // Fig. 6 top-right: three recursions reach the l4-th L3*
+            // sub-table of the flat root.
+            let sub_va = rec.node_va(&[l4]);
+            let w = resolve(&store, mapper.table(), sub_va).unwrap();
+            prop_assert_eq!(w.frame_base(), mapper.table().root.add(l4 as u64 * 4096));
+            // The L3 entry read through the glue equals the data walk's
+            // second node.
+            let data_walk = resolve(&store, mapper.table(), *va).unwrap();
+            let l2_node = data_walk.steps[1].node_base;
+            let pte = store.read_pte(w.frame_base().add(l3 as u64 * 8));
+            prop_assert_eq!(pte.addr(), l2_node);
+        }
+    }
+}

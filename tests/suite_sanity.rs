@@ -1,0 +1,180 @@
+//! Suite-wide sanity checks: every benchmark spec, every layout, every
+//! configuration preset obeys the structural invariants the experiments
+//! rely on.
+
+use flatwalk::pt::{Layout, NodeShape, Pte};
+use flatwalk::sim::{SimOptions, TranslationConfig, VirtConfig};
+use flatwalk::tlb::PwcConfig;
+use flatwalk::types::{PageSize, PhysAddr};
+use flatwalk::workloads::{AccessStream, WorkloadSpec};
+
+#[test]
+fn every_benchmark_stream_stays_in_its_footprint() {
+    for spec in WorkloadSpec::suite() {
+        let scaled = spec.scaled_down(64);
+        let footprint = scaled.footprint;
+        let name = scaled.name;
+        let mut s = AccessStream::new(scaled, 0x1000_0000_0000);
+        for _ in 0..5_000 {
+            let va = s.next_va().raw();
+            assert!(
+                (0x1000_0000_0000..0x1000_0000_0000 + footprint).contains(&va),
+                "{name}: {va:#x} outside footprint"
+            );
+            assert_eq!(va % 8, 0, "{name}: unaligned access");
+        }
+    }
+}
+
+#[test]
+fn every_benchmark_has_sane_parameters() {
+    for spec in WorkloadSpec::suite() {
+        assert!(spec.footprint >= 1 << 29, "{}: footprint too small", spec.name);
+        assert!(spec.footprint <= 16 << 30, "{}: footprint too large", spec.name);
+        assert!(spec.work_per_access >= 1 && spec.work_per_access <= 32, "{}", spec.name);
+        assert!(
+            (0.1..=1.0).contains(&spec.data_exposure),
+            "{}: exposure {}",
+            spec.name,
+            spec.data_exposure
+        );
+    }
+}
+
+#[test]
+fn high_miss_panel_is_actually_higher_miss() {
+    // The high-miss panel's specs must touch more distinct pages per
+    // access than the main panel's median — this is the property the
+    // paper's figure split encodes.
+    let distinct_pages = |spec: WorkloadSpec| {
+        let mut s = AccessStream::new(spec.scaled_down(32), 0);
+        let mut pages = std::collections::HashSet::new();
+        for _ in 0..20_000 {
+            pages.insert(s.next_va().raw() >> 12);
+        }
+        pages.len()
+    };
+    let mut main: Vec<usize> = WorkloadSpec::main_suite()
+        .into_iter()
+        .map(distinct_pages)
+        .collect();
+    main.sort_unstable();
+    let main_median = main[main.len() / 2];
+    let high_min = WorkloadSpec::high_miss_suite()
+        .into_iter()
+        .map(distinct_pages)
+        .min()
+        .unwrap();
+    // tiger is the mildest member of the high panel; it should still be
+    // in the same league as the main panel's median.
+    assert!(
+        high_min * 2 > main_median,
+        "high-miss panel member below main median ({high_min} vs {main_median})"
+    );
+}
+
+#[test]
+fn pte_encoding_is_stable_golden_values() {
+    // The simulated architectural encoding (documented in flatwalk-pt)
+    // must not drift: bit0 present, bit1 large, bits2-3 shape.
+    assert_eq!(Pte::leaf(PhysAddr::new(0xABC000)).raw(), 0xABC000 | 0b1);
+    assert_eq!(
+        Pte::large(PhysAddr::new(0x4000_0000)).raw(),
+        0x4000_0000 | 0b11
+    );
+    assert_eq!(
+        Pte::pointer(PhysAddr::new(0x20_0000), NodeShape::Flat2).raw(),
+        0x20_0000 | (1 << 2) | 0b1
+    );
+    assert_eq!(
+        Pte::pointer(PhysAddr::new(0x4000_0000), NodeShape::Flat3).raw(),
+        0x4000_0000 | (2 << 2) | 0b1
+    );
+    assert_eq!(Pte::NOT_PRESENT.raw(), 0);
+}
+
+#[test]
+fn layouts_tile_the_address_bits_exactly() {
+    for layout in [
+        Layout::conventional4(),
+        Layout::conventional5(),
+        Layout::flat_l4l3_l2l1(),
+        Layout::flat_l4l3(),
+        Layout::flat_l3l2(),
+        Layout::flat_l2l1(),
+        Layout::flat_l4l3l2(),
+        Layout::flat5_l5l4_l3l2(),
+    ] {
+        let total_bits: u32 = layout.groups().iter().map(|g| g.depth as u32 * 9).sum();
+        assert_eq!(
+            total_bits,
+            layout.root_level().rank() as u32 * 9,
+            "{layout:?} does not cover the index bits exactly"
+        );
+    }
+}
+
+#[test]
+fn pwc_budget_is_conserved_for_every_layout() {
+    let base = PwcConfig::server();
+    let budget: usize = base.depths.iter().map(|d| d.entries).sum();
+    for layout in [
+        Layout::conventional4(),
+        Layout::conventional5(),
+        Layout::flat_l4l3_l2l1(),
+        Layout::flat_l4l3(),
+        Layout::flat_l3l2(),
+        Layout::flat_l2l1(),
+        Layout::flat_l4l3l2(),
+        Layout::flat5_l5l4_l3l2(),
+    ] {
+        let cfg = base.for_layout(&layout);
+        let total: usize = cfg.depths.iter().map(|d| d.entries).sum();
+        assert_eq!(total, budget, "budget changed for {layout:?}");
+        // All depths must sit at walk boundaries (multiples of 9 bits).
+        assert!(cfg.depths.iter().all(|d| d.prefix_bits % 9 == 0));
+    }
+}
+
+#[test]
+fn fig12_configs_cover_all_combinations() {
+    let set = VirtConfig::fig12_set();
+    for ptp in [false, true] {
+        for gf in [false, true] {
+            for hf in [false, true] {
+                assert!(
+                    set.iter()
+                        .any(|c| c.ptp == ptp && c.guest_flat == gf && c.host_flat == hf),
+                    "missing combination ptp={ptp} gf={gf} hf={hf}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn options_presets_have_paper_table_values() {
+    let s = SimOptions::server();
+    assert_eq!(s.hierarchy.l1.size_bytes, 32 << 10);
+    assert_eq!(s.hierarchy.l2.size_bytes, 256 << 10);
+    assert_eq!(s.hierarchy.l3.size_bytes, 16 << 20);
+    assert_eq!(s.tlb.l2_entries, 1536);
+    assert_eq!(s.tlb.l2_ways, 12);
+    assert_eq!(s.nested_tlb_entries, 16);
+    assert!((s.ptp_bias - 0.99).abs() < 1e-12);
+
+    let m = SimOptions::mobile();
+    assert_eq!(m.hierarchy.l3.size_bytes, 2 << 20);
+    assert_eq!(m.hierarchy.dram_latency, 270);
+    assert_eq!(m.tlb.l2_ways, 6);
+}
+
+#[test]
+fn translation_configs_relabel_without_behaviour_change() {
+    let a = TranslationConfig::flattened();
+    let b = TranslationConfig::flattened().with_label("X");
+    assert_eq!(a.layout, b.layout);
+    assert_eq!(a.ptp, b.ptp);
+    assert_eq!(a.nf_threshold, b.nf_threshold);
+    assert_eq!(b.label, "X");
+}

@@ -1,0 +1,189 @@
+//! Property tests: every page-table organization translates exactly the
+//! same way — flattening, fallback, NF regions and large pages are
+//! purely structural choices that must never change *what* an address
+//! maps to.
+
+use proptest::prelude::*;
+
+use flatwalk::pt::{
+    resolve, BumpAllocator, FlattenEverywhere, FrameStore, Layout, Mapper, NfRegions,
+    No2MbAllocator,
+};
+use flatwalk::types::{PageSize, PhysAddr, VirtAddr};
+
+/// A randomized mapping request.
+#[derive(Debug, Clone)]
+struct Req {
+    slot: u64,
+    size: PageSize,
+}
+
+fn req_strategy() -> impl Strategy<Value = Req> {
+    (0u64..4096, 0u8..8).prop_map(|(slot, sz)| Req {
+        slot,
+        // 4 KB dominates; sprinkle 2 MB and the occasional 1 GB.
+        size: match sz {
+            0..=5 => PageSize::Size4K,
+            6 => PageSize::Size2M,
+            _ => PageSize::Size1G,
+        },
+    })
+}
+
+/// Converts slot-based requests into non-overlapping, aligned mappings.
+///
+/// Each size class gets its own VA window so randomly drawn requests
+/// cannot overlap across classes; duplicate slots are deduplicated.
+fn materialize(reqs: &[Req]) -> Vec<(VirtAddr, PhysAddr, PageSize)> {
+    let mut seen = std::collections::HashSet::new();
+    let mut out = Vec::new();
+    for r in reqs {
+        if !seen.insert((r.slot, r.size)) {
+            continue;
+        }
+        let (va_base, pa_base) = match r.size {
+            PageSize::Size4K => (0x0100_0000_0000u64, 0x10_0000_0000u64),
+            PageSize::Size2M => (0x0200_0000_0000, 0x20_0000_0000),
+            PageSize::Size1G => (0x0400_0000_0000, 0x40_0000_0000),
+        };
+        let va = va_base + r.slot * r.size.bytes();
+        let pa = pa_base + r.slot * r.size.bytes();
+        out.push((VirtAddr::new(va), PhysAddr::new(pa), r.size));
+    }
+    out
+}
+
+fn layouts() -> Vec<Layout> {
+    vec![
+        Layout::conventional4(),
+        Layout::flat_l4l3_l2l1(),
+        Layout::flat_l4l3(),
+        Layout::flat_l3l2(),
+        Layout::flat_l2l1(),
+        Layout::flat_l4l3l2(),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every layout resolves every mapped address to the same PA the
+    /// conventional table produces, at every offset within the page.
+    #[test]
+    fn all_layouts_translate_identically(reqs in prop::collection::vec(req_strategy(), 1..24),
+                                         probe_off in 0u64..4096) {
+        let mappings = materialize(&reqs);
+        let mut reference: Option<Vec<PhysAddr>> = None;
+        for layout in layouts() {
+            let mut store = FrameStore::new();
+            let mut alloc = BumpAllocator::new(0x100_0000_0000);
+            let mut mapper =
+                Mapper::new(&mut store, &mut alloc, layout.clone(), &FlattenEverywhere).unwrap();
+            for (va, pa, size) in &mappings {
+                mapper
+                    .map(&mut store, &mut alloc, &FlattenEverywhere, *va, *pa, *size)
+                    .unwrap_or_else(|e| panic!("{layout:?}: map failed: {e}"));
+            }
+            let pas: Vec<PhysAddr> = mappings
+                .iter()
+                .map(|(va, _, size)| {
+                    let probe = VirtAddr::new(va.raw() + (probe_off % size.bytes()) & !7);
+                    resolve(&store, mapper.table(), probe)
+                        .unwrap_or_else(|e| panic!("{layout:?}: resolve failed: {e}"))
+                        .pa
+                })
+                .collect();
+            match &reference {
+                None => reference = Some(pas),
+                Some(r) => prop_assert_eq!(r, &pas, "layout {:?} disagrees", layout),
+            }
+        }
+    }
+
+    /// Graceful fallback (no 2 MB allocations available) never changes
+    /// translations, only the node shapes.
+    #[test]
+    fn fallback_preserves_translations(reqs in prop::collection::vec(req_strategy(), 1..16)) {
+        // 1 GB mappings need 1 GB-aligned data, which is fine, but the
+        // *table* fallback is what we are testing, so data allocations
+        // are independent of the node allocator here.
+        let mappings = materialize(&reqs);
+        let layout = Layout::flat_l4l3_l2l1();
+
+        let mut store_a = FrameStore::new();
+        let mut alloc_a = BumpAllocator::new(0x100_0000_0000);
+        let mut mapper_a =
+            Mapper::new(&mut store_a, &mut alloc_a, layout.clone(), &FlattenEverywhere).unwrap();
+
+        let mut store_b = FrameStore::new();
+        let mut alloc_b = No2MbAllocator(BumpAllocator::new(0x100_0000_0000));
+        let mut mapper_b =
+            Mapper::new(&mut store_b, &mut alloc_b, layout, &FlattenEverywhere).unwrap();
+
+        for (va, pa, size) in &mappings {
+            mapper_a
+                .map(&mut store_a, &mut alloc_a, &FlattenEverywhere, *va, *pa, *size)
+                .unwrap();
+            mapper_b
+                .map(&mut store_b, &mut alloc_b, &FlattenEverywhere, *va, *pa, *size)
+                .unwrap();
+        }
+        prop_assert_eq!(mapper_b.census().flat2_nodes, 0);
+        prop_assert!(mapper_b.census().fallback_nodes > 0);
+        for (va, _, _) in &mappings {
+            let a = resolve(&store_a, mapper_a.table(), *va).unwrap();
+            let b = resolve(&store_b, mapper_b.table(), *va).unwrap();
+            prop_assert_eq!(a.pa, b.pa);
+            prop_assert!(b.steps.len() >= a.steps.len());
+        }
+    }
+
+    /// NF regions change walk shape for 2 MB pages but never the PA.
+    #[test]
+    fn nf_regions_preserve_translations(slots in prop::collection::vec(0u64..256, 1..16)) {
+        let layout = Layout::flat_l4l3_l2l1();
+        let mut seen = std::collections::HashSet::new();
+        let mappings: Vec<(VirtAddr, PhysAddr)> = slots
+            .iter()
+            .filter(|s| seen.insert(**s))
+            .map(|s| {
+                (
+                    VirtAddr::new(0x0200_0000_0000 + s * (2 << 20)),
+                    PhysAddr::new(0x20_0000_0000 + s * (2 << 20)),
+                )
+            })
+            .collect();
+
+        let build = |nf: bool| {
+            let mut store = FrameStore::new();
+            let mut alloc = BumpAllocator::new(0x100_0000_0000);
+            let mut regions = NfRegions::new();
+            if nf {
+                for (va, _) in &mappings {
+                    regions.mark(*va);
+                }
+            }
+            let mut mapper = Mapper::new(&mut store, &mut alloc, layout.clone(), &regions).unwrap();
+            for (va, pa) in &mappings {
+                mapper
+                    .map(&mut store, &mut alloc, &regions, *va, *pa, PageSize::Size2M)
+                    .unwrap();
+            }
+            (store, *mapper.table(), *mapper.census())
+        };
+
+        let (store_nf, table_nf, census_nf) = build(true);
+        let (store_rep, table_rep, census_rep) = build(false);
+        prop_assert_eq!(census_nf.replicated_entries, 0);
+        prop_assert_eq!(census_rep.replicated_entries, 512 * mappings.len() as u64);
+        for (va, pa) in &mappings {
+            let probe = VirtAddr::new(va.raw() + 0x12_3000);
+            let a = resolve(&store_nf, &table_nf, probe).unwrap();
+            let b = resolve(&store_rep, &table_rep, probe).unwrap();
+            prop_assert_eq!(a.pa, b.pa);
+            prop_assert_eq!(a.pa.raw(), pa.raw() + 0x12_3000);
+            prop_assert_eq!(a.size, PageSize::Size2M);
+            prop_assert_eq!(b.size, PageSize::Size4K, "replicas are 4 KB leaves");
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! The central soundness property of the timing model: the *timed*
+//! walker (PSC skipping, cache traffic) must return exactly the same
+//! translation as the *functional* reference walker, for any table
+//! organization, any mapping mix, and any warm/cold PSC state. Timing
+//! must never change semantics.
+
+use proptest::prelude::*;
+
+use flatwalk::mem::{HierarchyConfig, MemoryHierarchy};
+use flatwalk::mmu::PageWalker;
+use flatwalk::pt::{resolve, BumpAllocator, FlattenEverywhere, FrameStore, Layout, Mapper};
+use flatwalk::tlb::PwcConfig;
+use flatwalk::types::{OwnerId, PageSize, PhysAddr, VirtAddr};
+
+fn layouts() -> Vec<Layout> {
+    vec![
+        Layout::conventional4(),
+        Layout::flat_l4l3_l2l1(),
+        Layout::flat_l4l3(),
+        Layout::flat_l3l2(),
+        Layout::flat_l2l1(),
+        Layout::flat_l4l3l2(),
+    ]
+}
+
+fn build(layout: Layout, slots: &[(u64, u8)]) -> (FrameStore, Mapper, Vec<VirtAddr>) {
+    let mut store = FrameStore::new();
+    let mut alloc = BumpAllocator::new(0x100_0000_0000);
+    let mut mapper = Mapper::new(&mut store, &mut alloc, layout, &FlattenEverywhere).unwrap();
+    let mut seen = std::collections::HashSet::new();
+    let mut vas = Vec::new();
+    for &(slot, sz) in slots {
+        let size = match sz % 3 {
+            0 => PageSize::Size4K,
+            1 => PageSize::Size2M,
+            _ => PageSize::Size1G,
+        };
+        let (va_base, pa_base) = match size {
+            PageSize::Size4K => (0x0100_0000_0000u64, 0x10_0000_0000u64),
+            PageSize::Size2M => (0x0200_0000_0000, 0x20_0000_0000),
+            PageSize::Size1G => (0x0400_0000_0000, 0x40_0000_0000),
+        };
+        if !seen.insert((slot % 512, size)) {
+            continue;
+        }
+        let va = VirtAddr::new(va_base + (slot % 512) * size.bytes());
+        let pa = PhysAddr::new(pa_base + (slot % 512) * size.bytes());
+        if mapper
+            .map(&mut store, &mut alloc, &FlattenEverywhere, va, pa, size)
+            .is_ok()
+        {
+            vas.push(va);
+        }
+    }
+    (store, mapper, vas)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// For every layout, the timed walker's PA and size equal the
+    /// functional walker's, on cold and warm PSCs, at random offsets.
+    #[test]
+    fn timed_walker_matches_functional_walker(
+        slots in proptest::collection::vec((0u64..512, 0u8..8), 1..16),
+        offsets in proptest::collection::vec(0u64..(1 << 30), 4..12),
+    ) {
+        for layout in layouts() {
+            let (store, mapper, vas) = build(layout.clone(), &slots);
+            prop_assume!(!vas.is_empty());
+            let mut hier = MemoryHierarchy::new(HierarchyConfig::server());
+            let mut walker = PageWalker::new(PwcConfig::server().for_layout(&layout));
+
+            // Two passes: cold PSCs, then warm (state must not change
+            // the translation, only the access count).
+            for pass in 0..2 {
+                for (i, va) in vas.iter().enumerate() {
+                    let reference = resolve(&store, mapper.table(), *va).unwrap();
+                    let probe = VirtAddr::new(
+                        va.raw() + offsets[i % offsets.len()] % reference.size.bytes(),
+                    );
+                    let expected = resolve(&store, mapper.table(), probe).unwrap();
+                    let timed = walker
+                        .walk(&store, mapper.table(), probe, &mut hier, OwnerId::SINGLE)
+                        .unwrap();
+                    prop_assert_eq!(
+                        timed.pa, expected.pa,
+                        "layout {:?} pass {} va {}", layout, pass, probe
+                    );
+                    prop_assert_eq!(timed.size, expected.size);
+                    prop_assert!(timed.accesses >= 1);
+                    prop_assert!(
+                        timed.accesses <= expected.steps.len() as u64,
+                        "timed walker may only skip steps, never add them"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Warm PSCs monotonically reduce (never increase) walk accesses
+    /// for repeated walks of the same address.
+    #[test]
+    fn psc_warming_is_monotone(slots in proptest::collection::vec((0u64..512, 0u8..8), 1..10)) {
+        for layout in [Layout::conventional4(), Layout::flat_l4l3_l2l1()] {
+            let (store, mapper, vas) = build(layout.clone(), &slots);
+            prop_assume!(!vas.is_empty());
+            let mut hier = MemoryHierarchy::new(HierarchyConfig::server());
+            let mut walker = PageWalker::new(PwcConfig::server().for_layout(&layout));
+            for va in &vas {
+                let first = walker
+                    .walk(&store, mapper.table(), *va, &mut hier, OwnerId::SINGLE)
+                    .unwrap();
+                let second = walker
+                    .walk(&store, mapper.table(), *va, &mut hier, OwnerId::SINGLE)
+                    .unwrap();
+                prop_assert!(second.accesses <= first.accesses);
+                prop_assert!(second.latency <= first.latency);
+            }
+        }
+    }
+}
