@@ -69,14 +69,7 @@ impl Scheme for AsapScheme {
     ) -> SchemeWalk {
         let walk = resolve(ctx.store, ctx.table, va)
             .unwrap_or_else(|e| panic!("ASAP walk of unmapped {va}: {e}"));
-        let cum: Vec<u32> = walk
-            .steps
-            .iter()
-            .scan(0u32, |acc, s| {
-                *acc += s.index_bits();
-                Some(*acc)
-            })
-            .collect();
+        let cum = walk.steps.cum_index_bits();
 
         let mut latency = self.pwc.latency();
         let mut first_step = 0usize;

@@ -54,7 +54,9 @@ impl EchScheme {
             probe_2m,
             way_bases: (0..ways as u64).map(|i| base + i * way_stride).collect(),
             buckets,
-            hash_seeds: (0..ways as u64 + 1).map(|i| 0x9E37 ^ (i * 0xABCD_EF01)).collect(),
+            hash_seeds: (0..ways as u64 + 1)
+                .map(|i| 0x9E37 ^ (i * 0xABCD_EF01))
+                .collect(),
         }
     }
 

@@ -136,14 +136,7 @@ impl Scheme for PomTlbScheme {
         } else {
             self.dram_tlb_misses += 1;
             // Conventional radix walk, PWC-accelerated.
-            let cum: Vec<u32> = oracle
-                .steps
-                .iter()
-                .scan(0u32, |acc, s| {
-                    *acc += s.index_bits();
-                    Some(*acc)
-                })
-                .collect();
+            let cum = oracle.steps.cum_index_bits();
             latency += self.pwc.latency();
             let mut first_step = 0usize;
             if let Some(hit) = self.pwc.lookup(va) {

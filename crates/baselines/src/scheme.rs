@@ -98,9 +98,7 @@ impl<S: Scheme> SchemeSimulation<S> {
         let tlb = TlbSystem::new(opts.tlb.clone());
         // Honor the same prioritization knobs as the native engine so
         // ablation sweeps compare like against like.
-        let hier = MemoryHierarchy::new(
-            opts.hierarchy.clone().with_priority_prob(opts.ptp_bias),
-        );
+        let hier = MemoryHierarchy::new(opts.hierarchy.clone().with_priority_prob(opts.ptp_bias));
         let stream = AccessStream::new(spec.clone(), space.spec().base_va);
         SchemeSimulation {
             spec,

@@ -4,9 +4,11 @@
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 
-use flatwalk_mem::{HierarchyConfig, MemoryHierarchy};
+use flatwalk_mem::{Cache, CacheConfig, HierarchyConfig, MemoryHierarchy};
 use flatwalk_mmu::PageWalker;
+use flatwalk_os::FragmentationScenario;
 use flatwalk_pt::{resolve, BumpAllocator, FlattenEverywhere, FrameStore, Layout, Mapper};
+use flatwalk_sim::runner::{run_cells, Cell};
 use flatwalk_sim::{NativeSimulation, SimOptions, TranslationConfig};
 use flatwalk_tlb::{PwcConfig, TlbSystem, TlbSystemConfig};
 use flatwalk_types::rng::SplitMix64;
@@ -130,17 +132,95 @@ fn bench_engine(c: &mut Criterion) {
     let mut opts = SimOptions::small_test();
     opts.warmup_ops = 500;
     opts.measure_ops = 5_000;
-    for cfg in [TranslationConfig::baseline(), TranslationConfig::flattened_prioritized()] {
+    for cfg in [
+        TranslationConfig::baseline(),
+        TranslationConfig::flattened_prioritized(),
+    ] {
         g.bench_function(format!("gups_64mib_{}", cfg.label), |b| {
             b.iter_batched(
-                || {
-                    NativeSimulation::build(
-                        WorkloadSpec::gups().scaled_mib(64),
-                        cfg.clone(),
-                        &opts,
-                    )
-                },
+                || NativeSimulation::build(WorkloadSpec::gups().scaled_mib(64), cfg.clone(), &opts),
                 |sim| std::hint::black_box(sim.run().cycles),
+                BatchSize::PerIteration,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_cache_probe_flat(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cache_probe_flat");
+    // A 2 MB, 16-way L2-like cache: the flattened tag array's probe and
+    // fill paths, under a hit-heavy and a streaming (miss/evict) mix.
+    let mut cache = Cache::new(CacheConfig::new("bench-l2", 2 << 20, 16, 14));
+    for line in 0..(1u64 << 15) {
+        cache.fill(line, AccessKind::Data, OwnerId::SINGLE, false);
+    }
+    let mut rng = SplitMix64::new(11);
+    g.bench_function("probe_hit", |b| {
+        b.iter(|| {
+            let line = rng.next_range(1 << 15);
+            std::hint::black_box(cache.probe(line, AccessKind::Data))
+        })
+    });
+    g.bench_function("probe_miss_fill", |b| {
+        b.iter(|| {
+            let line = (1 << 20) + rng.next_range(1 << 24);
+            if !cache.probe(line, AccessKind::Data) {
+                std::hint::black_box(cache.fill(line, AccessKind::Data, OwnerId::SINGLE, false));
+            }
+        })
+    });
+    g.finish();
+}
+
+fn bench_pt_store_lookup(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pt_store_lookup");
+    // The FrameStore's frame map is keyed by frame number through the
+    // SplitMix hasher; a large mapped region exercises it exactly the
+    // way a functional walk does.
+    let (store, mapper) = build_table(Layout::conventional4(), 16 << 10);
+    let mut rng = SplitMix64::new(13);
+    g.bench_function("read_pte_warm", |b| {
+        b.iter(|| {
+            let va = VirtAddr::new(0x4000_0000 + rng.next_range(16 << 10) * 4096);
+            std::hint::black_box(resolve(&store, mapper.table(), va).unwrap().steps.len())
+        })
+    });
+    g.bench_function("read_u64_random", |b| {
+        let frames = store.materialized_frames() as u64;
+        b.iter(|| {
+            // Walk the root frame region: pure store lookups, no walk
+            // logic around them.
+            let pa = PhysAddr::new(0x10_0000_0000 + (rng.next_range(frames) << 12));
+            std::hint::black_box(store.read_u64(pa))
+        })
+    });
+    g.finish();
+}
+
+fn bench_runner_grid(c: &mut Criterion) {
+    let mut g = c.benchmark_group("runner_grid");
+    g.sample_size(10);
+    let mut opts = SimOptions::small_test();
+    opts.warmup_ops = 200;
+    opts.measure_ops = 2_000;
+    let cells = |n: usize| -> Vec<Cell> {
+        (0..n)
+            .map(|i| {
+                Cell::new(
+                    WorkloadSpec::gups().scaled_mib(16 + (i as u64 % 4) * 16),
+                    TranslationConfig::baseline(),
+                    FragmentationScenario::NONE,
+                    opts.clone(),
+                )
+            })
+            .collect()
+    };
+    for threads in [1usize, 4] {
+        g.bench_function(format!("8cells_t{threads}"), |b| {
+            b.iter_batched(
+                || cells(8),
+                |batch| std::hint::black_box(run_cells("bench", batch, threads).len()),
                 BatchSize::PerIteration,
             )
         });
@@ -154,6 +234,9 @@ criterion_group!(
     bench_timed_walker,
     bench_tlb_lookup,
     bench_hierarchy_access,
-    bench_engine
+    bench_engine,
+    bench_cache_probe_flat,
+    bench_pt_store_lookup,
+    bench_runner_grid
 );
 criterion_main!(benches);

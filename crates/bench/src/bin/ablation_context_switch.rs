@@ -10,7 +10,7 @@
 //! table itself* also survives switches in the caches.
 
 use flatwalk_baselines::{PomTlbScheme, SchemeSimulation};
-use flatwalk_bench::{pct, print_table, run_native, Mode};
+use flatwalk_bench::{pct, print_table, run_cells, run_jobs, GridCell, Mode};
 use flatwalk_os::FragmentationScenario;
 use flatwalk_sim::{SimReport, TranslationConfig};
 use flatwalk_types::stats::geometric_mean;
@@ -33,37 +33,60 @@ fn main() {
         ]
     };
     let scenario = FragmentationScenario::NONE;
+    let intervals = [
+        None,
+        Some(100_000u64),
+        Some(20_000),
+        Some(5_000),
+        Some(1_000),
+    ];
 
-    let mut rows = Vec::new();
-    for interval in [None, Some(100_000u64), Some(20_000), Some(5_000), Some(1_000)] {
+    // Native cells: per interval, the baseline suite then the PTP suite.
+    let mut native_cells: Vec<GridCell> = Vec::new();
+    for &interval in &intervals {
         let mut o = opts.clone();
         o.context_switch_interval = interval;
+        for cfg in [
+            TranslationConfig::baseline(),
+            TranslationConfig::prioritized(),
+        ] {
+            native_cells.extend(
+                suite
+                    .iter()
+                    .map(|w| GridCell::new(w.clone(), cfg.clone(), scenario, o.clone())),
+            );
+        }
+    }
+    let native = run_cells("ablation_cs:native", native_cells);
 
-        let base: Vec<SimReport> = suite
-            .iter()
-            .map(|w| run_native(w, &TranslationConfig::baseline(), &o, scenario))
-            .collect();
-        let ptp: Vec<SimReport> = suite
-            .iter()
-            .map(|w| run_native(w, &TranslationConfig::prioritized(), &o, scenario))
-            .collect();
-        let csalt: Vec<SimReport> = suite
-            .iter()
-            .map(|w| {
-                let oo = o.clone().with_scenario(scenario);
-                SchemeSimulation::build(
-                    w.clone(),
-                    PomTlbScheme::new(16 << 20, oo.pwc.clone()).csalt(),
-                    &oo,
-                )
+    // CSALT jobs: per interval, the suite under the POM_TLB scheme.
+    let csalt_jobs: Vec<(Option<u64>, WorkloadSpec)> = intervals
+        .iter()
+        .flat_map(|&interval| suite.iter().map(move |w| (interval, w.clone())))
+        .collect();
+    let csalt_all: Vec<SimReport> = run_jobs(
+        "ablation_cs:csalt",
+        csalt_jobs,
+        opts.warmup_ops + opts.measure_ops,
+        |(interval, w)| {
+            let mut oo = opts.clone().with_scenario(scenario);
+            oo.context_switch_interval = interval;
+            SchemeSimulation::build(w, PomTlbScheme::new(16 << 20, oo.pwc.clone()).csalt(), &oo)
                 .run()
-            })
-            .collect();
+        },
+    );
 
+    let mut rows = Vec::new();
+    for ((interval, group), csalt) in intervals
+        .iter()
+        .zip(native.chunks(2 * suite.len()))
+        .zip(csalt_all.chunks(suite.len()))
+    {
+        let (base, ptp) = group.split_at(suite.len());
         let geo = |r: &[SimReport]| {
             geometric_mean(
                 &r.iter()
-                    .zip(&base)
+                    .zip(base)
                     .map(|(x, b)| x.speedup_vs(b))
                     .collect::<Vec<_>>(),
             )
@@ -74,13 +97,21 @@ fn main() {
             .unwrap_or_else(|| "never".into());
         rows.push(vec![
             label,
-            format!("{:.4}", base.iter().map(|r| r.ipc()).sum::<f64>() / base.len() as f64),
-            pct(geo(&ptp)),
-            pct(geo(&csalt)),
+            format!(
+                "{:.4}",
+                base.iter().map(|r| r.ipc()).sum::<f64>() / base.len() as f64
+            ),
+            pct(geo(ptp)),
+            pct(geo(csalt)),
         ]);
     }
     print_table(
-        &["context switch", "base mean ipc", "PTP vs base", "CSALT vs base"],
+        &[
+            "context switch",
+            "base mean ipc",
+            "PTP vs base",
+            "CSALT vs base",
+        ],
         &rows,
     );
     println!();

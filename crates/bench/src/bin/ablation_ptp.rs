@@ -3,15 +3,18 @@
 //! this ratio works well") and the high-TLB-miss phase threshold that
 //! gates prioritization.
 
-use flatwalk_bench::{geomean_speedup, pct, print_table, run_native, Mode};
+use flatwalk_bench::{geomean_speedup, pct, print_table, run_cells, GridCell, Mode};
 use flatwalk_os::FragmentationScenario;
-use flatwalk_sim::{SimReport, TranslationConfig};
+use flatwalk_sim::TranslationConfig;
 use flatwalk_workloads::WorkloadSpec;
 
 fn main() {
     let mode = Mode::from_args();
     let opts = mode.server_options();
-    println!("Ablation — PTP eviction bias and phase threshold ({})", mode.banner());
+    println!(
+        "Ablation — PTP eviction bias and phase threshold ({})",
+        mode.banner()
+    );
 
     let suite = if mode == Mode::Quick {
         vec![WorkloadSpec::gups(), WorkloadSpec::xsbench()]
@@ -26,40 +29,67 @@ fn main() {
         ]
     };
     let scenario = FragmentationScenario::NONE;
+    let biases = [0.0, 0.5, 0.9, 0.99, 1.0];
+    let thresholds = [0.0, 0.005, 0.02, 0.1, 0.5];
 
-    let base: Vec<SimReport> = suite
+    // One batch: the shared baseline suite, then both sweeps.
+    let mut cells: Vec<GridCell> = suite
         .iter()
-        .map(|w| run_native(w, &TranslationConfig::baseline(), &opts, scenario))
+        .map(|w| {
+            GridCell::new(
+                w.clone(),
+                TranslationConfig::baseline(),
+                scenario,
+                opts.clone(),
+            )
+        })
         .collect();
+    for bias in biases {
+        let mut o = opts.clone();
+        o.ptp_bias = bias;
+        cells.extend(suite.iter().map(|w| {
+            GridCell::new(
+                w.clone(),
+                TranslationConfig::prioritized(),
+                scenario,
+                o.clone(),
+            )
+        }));
+    }
+    for threshold in thresholds {
+        let mut o = opts.clone();
+        o.phase_threshold = threshold;
+        cells.extend(suite.iter().map(|w| {
+            GridCell::new(
+                w.clone(),
+                TranslationConfig::prioritized(),
+                scenario,
+                o.clone(),
+            )
+        }));
+    }
+    let all = run_cells("ablation_ptp", cells);
+    let base = &all[..suite.len()];
+    let mut sweep_chunks = all[suite.len()..].chunks(suite.len());
 
     let mut rows = Vec::new();
     println!("\n--- eviction bias sweep (phase threshold fixed at 0.02) ---");
-    for bias in [0.0, 0.5, 0.9, 0.99, 1.0] {
-        let mut o = opts.clone();
-        o.ptp_bias = bias;
-        let ptp: Vec<SimReport> = suite
-            .iter()
-            .map(|w| run_native(w, &TranslationConfig::prioritized(), &o, scenario))
-            .collect();
+    for bias in biases {
+        let ptp = sweep_chunks.next().unwrap();
         rows.push(vec![
             format!("bias {bias:.2}"),
-            pct(geomean_speedup(&ptp, &base)),
+            pct(geomean_speedup(ptp, base)),
         ]);
     }
     print_table(&["config", "PTP geomean speedup"], &rows);
 
     let mut rows = Vec::new();
     println!("\n--- phase-threshold sweep (bias fixed at 0.99) ---");
-    for threshold in [0.0, 0.005, 0.02, 0.1, 0.5] {
-        let mut o = opts.clone();
-        o.phase_threshold = threshold;
-        let ptp: Vec<SimReport> = suite
-            .iter()
-            .map(|w| run_native(w, &TranslationConfig::prioritized(), &o, scenario))
-            .collect();
+    for threshold in thresholds {
+        let ptp = sweep_chunks.next().unwrap();
         rows.push(vec![
             format!("threshold {threshold:.3}"),
-            pct(geomean_speedup(&ptp, &base)),
+            pct(geomean_speedup(ptp, base)),
         ]);
     }
     print_table(&["config", "PTP geomean speedup"], &rows);

@@ -4,7 +4,7 @@
 //! prioritization, and (right) dynamic cache/DRAM energy of the
 //! combination.
 
-use flatwalk_bench::{pct, print_table, run_native, Mode};
+use flatwalk_bench::{pct, print_table, run_cells, GridCell, Mode};
 use flatwalk_os::FragmentationScenario;
 use flatwalk_sim::TranslationConfig;
 use flatwalk_workloads::WorkloadSpec;
@@ -20,14 +20,26 @@ fn main() {
         TranslationConfig::prioritized(),
         TranslationConfig::flattened_prioritized(),
     ];
+    let specs = [WorkloadSpec::gups(), WorkloadSpec::dc()];
+    let cells: Vec<GridCell> = specs
+        .iter()
+        .flat_map(|spec| {
+            configs.iter().map(|c| {
+                GridCell::new(
+                    spec.clone(),
+                    c.clone(),
+                    FragmentationScenario::NONE,
+                    opts.clone(),
+                )
+            })
+        })
+        .collect();
+    let all = run_cells("fig01", cells);
+
     let mut rows = Vec::new();
-    for spec in [WorkloadSpec::gups(), WorkloadSpec::dc()] {
-        let reports: Vec<_> = configs
-            .iter()
-            .map(|c| run_native(&spec, c, &opts, FragmentationScenario::NONE))
-            .collect();
+    for reports in all.chunks(configs.len()) {
         let base = &reports[0];
-        for r in &reports {
+        for r in reports {
             rows.push(vec![
                 r.workload.clone(),
                 r.config.to_string(),
@@ -41,7 +53,13 @@ fn main() {
     }
     print_table(
         &[
-            "bench", "config", "acc/walk", "walk-lat", "Δcache-E", "ΔDRAM-acc", "speedup",
+            "bench",
+            "config",
+            "acc/walk",
+            "walk-lat",
+            "Δcache-E",
+            "ΔDRAM-acc",
+            "speedup",
         ],
         &rows,
     );

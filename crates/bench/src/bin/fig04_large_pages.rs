@@ -4,7 +4,7 @@
 //! Evaluated at 50 % and 100 % large pages, normalized to the 0 % LP
 //! baseline (THP = conventional table with large pages).
 
-use flatwalk_bench::{pct, print_table, run_native, Mode};
+use flatwalk_bench::{pct, print_table, run_cells, GridCell, Mode};
 use flatwalk_os::FragmentationScenario;
 use flatwalk_sim::TranslationConfig;
 use flatwalk_workloads::WorkloadSpec;
@@ -12,7 +12,10 @@ use flatwalk_workloads::WorkloadSpec;
 fn main() {
     let mode = Mode::from_args();
     let opts = mode.server_options();
-    println!("Figure 4 — replicated entries vs NF regions ({})", mode.banner());
+    println!(
+        "Figure 4 — replicated entries vs NF regions ({})",
+        mode.banner()
+    );
 
     let suite = [
         WorkloadSpec::gups(),
@@ -25,26 +28,43 @@ fn main() {
         ("FPT (no NF)", TranslationConfig::flattened_no_nf()),
         ("FPT+NF", TranslationConfig::flattened()),
     ];
+    let scenarios = [
+        (FragmentationScenario::HALF, "50% LP"),
+        (FragmentationScenario::FULL, "100% LP"),
+    ];
+
+    // Per workload: its 0 % LP baseline followed by the scenario grid.
+    let cells: Vec<GridCell> = suite
+        .iter()
+        .flat_map(|spec| {
+            std::iter::once(GridCell::new(
+                spec.clone(),
+                TranslationConfig::baseline(),
+                FragmentationScenario::NONE,
+                opts.clone(),
+            ))
+            .chain(scenarios.iter().flat_map(|(scenario, _)| {
+                configs.iter().map(|(_, cfg)| {
+                    GridCell::new(spec.clone(), cfg.clone(), *scenario, opts.clone())
+                })
+            }))
+        })
+        .collect();
+    let per_spec = 1 + scenarios.len() * configs.len();
+    let all = run_cells("fig04", cells);
 
     let mut rows = Vec::new();
-    for spec in &suite {
-        let base0 = run_native(
-            spec,
-            &TranslationConfig::baseline(),
-            &opts,
-            FragmentationScenario::NONE,
-        );
-        for (scenario, slabel) in [
-            (FragmentationScenario::HALF, "50% LP"),
-            (FragmentationScenario::FULL, "100% LP"),
-        ] {
-            for (label, cfg) in &configs {
-                let r = run_native(spec, cfg, &opts, scenario);
+    for (spec, group) in suite.iter().zip(all.chunks(per_spec)) {
+        let base0 = &group[0];
+        let mut rest = group[1..].iter();
+        for (_, slabel) in scenarios {
+            for (label, _) in &configs {
+                let r = rest.next().unwrap();
                 rows.push(vec![
                     spec.name.to_string(),
                     slabel.to_string(),
                     label.to_string(),
-                    pct(r.speedup_vs(&base0)),
+                    pct(r.speedup_vs(base0)),
                     format!("{}", r.census.replicated_entries),
                     format!("{:.2}", r.walk.accesses_per_walk()),
                 ]);
@@ -52,7 +72,14 @@ fn main() {
         }
     }
     print_table(
-        &["bench", "scenario", "config", "vs 0%LP base", "replicated", "acc/walk"],
+        &[
+            "bench",
+            "scenario",
+            "config",
+            "vs 0%LP base",
+            "replicated",
+            "acc/walk",
+        ],
         &rows,
     );
     println!();

@@ -3,7 +3,8 @@
 //! fragmentation scenarios, normalized to the 0 % LP baseline.
 
 use flatwalk_baselines::{AsapScheme, EchScheme, PomTlbScheme, SchemeSimulation};
-use flatwalk_bench::{pct, print_table, run_native, scenarios, Mode};
+use flatwalk_bench::{pct, print_table, run_cells, run_jobs, scenarios, GridCell, Mode};
+use flatwalk_os::FragmentationScenario;
 use flatwalk_sim::{SimOptions, SimReport, TranslationConfig};
 use flatwalk_types::stats::geometric_mean;
 use flatwalk_workloads::WorkloadSpec;
@@ -12,24 +13,19 @@ fn run_scheme(
     name: &str,
     spec: &WorkloadSpec,
     opts: &SimOptions,
-    scenario: flatwalk_os::FragmentationScenario,
+    scenario: FragmentationScenario,
 ) -> SimReport {
     let opts = opts.clone().with_scenario(scenario);
     let scaled = spec.clone().scaled_down(opts.footprint_divisor);
     let mixed = scenario.large_page_fraction > 0.0;
     match name {
-        "ASAP" => SchemeSimulation::build(
-            spec.clone(),
-            AsapScheme::new(opts.pwc.clone()),
-            &opts,
-        )
-        .run(),
-        "ECH" => SchemeSimulation::build(
-            spec.clone(),
-            EchScheme::new(scaled.footprint, mixed),
-            &opts,
-        )
-        .run(),
+        "ASAP" => {
+            SchemeSimulation::build(spec.clone(), AsapScheme::new(opts.pwc.clone()), &opts).run()
+        }
+        "ECH" => {
+            SchemeSimulation::build(spec.clone(), EchScheme::new(scaled.footprint, mixed), &opts)
+                .run()
+        }
         "CSALT" => SchemeSimulation::build(
             spec.clone(),
             PomTlbScheme::new(16 << 20, opts.pwc.clone()).csalt(),
@@ -43,7 +39,10 @@ fn run_scheme(
 fn main() {
     let mode = Mode::from_args();
     let opts = mode.server_options();
-    println!("Figure 9 — native performance vs state of the art ({})", mode.banner());
+    println!(
+        "Figure 9 — native performance vs state of the art ({})",
+        mode.banner()
+    );
 
     let suite = if mode == Mode::Quick {
         // A representative subset keeps quick mode quick.
@@ -62,25 +61,61 @@ fn main() {
     let ours = TranslationConfig::fig9_set();
     let schemes = ["ASAP", "ECH", "CSALT"];
 
-    for (scenario, label) in scenarios() {
-        // Normalization: this scenario's results are shown relative to
-        // the *0 % LP* baseline, as in the stacked bars of Fig. 9.
-        let base0: Vec<SimReport> = suite
+    // Normalization: every scenario's results are shown relative to the
+    // *0 % LP* baseline, as in the stacked bars of Fig. 9 — computed
+    // once and shared across scenarios (cells are deterministic).
+    let base0 = run_cells(
+        "fig09:base",
+        suite
             .iter()
             .map(|w| {
-                run_native(
-                    w,
-                    &TranslationConfig::baseline(),
-                    &opts,
-                    flatwalk_os::FragmentationScenario::NONE,
+                GridCell::new(
+                    w.clone(),
+                    TranslationConfig::baseline(),
+                    FragmentationScenario::NONE,
+                    opts.clone(),
                 )
             })
-            .collect();
+            .collect(),
+    );
 
+    // The full (scenario × config × workload) grid for our configs, and
+    // the (scenario × scheme × workload) grid for the prior schemes.
+    let native_cells: Vec<GridCell> = scenarios()
+        .iter()
+        .flat_map(|(scenario, _)| {
+            ours.iter().flat_map(|cfg| {
+                suite
+                    .iter()
+                    .map(|w| GridCell::new(w.clone(), cfg.clone(), *scenario, opts.clone()))
+            })
+        })
+        .collect();
+    let native_reports = run_cells("fig09:native", native_cells);
+
+    let scheme_jobs: Vec<(&str, WorkloadSpec, FragmentationScenario)> = scenarios()
+        .iter()
+        .flat_map(|(scenario, _)| {
+            schemes
+                .iter()
+                .flat_map(|s| suite.iter().map(|w| (*s, w.clone(), *scenario)))
+        })
+        .collect();
+    let scheme_reports = run_jobs(
+        "fig09:schemes",
+        scheme_jobs,
+        opts.warmup_ops + opts.measure_ops,
+        |(scheme, spec, scenario)| run_scheme(scheme, &spec, &opts, scenario),
+    );
+
+    let mut native_chunks = native_reports.chunks(suite.len());
+    let mut scheme_chunks = scheme_reports.chunks(suite.len());
+
+    for (_, label) in scenarios() {
         let mut rows = Vec::new();
         let mut geo: Vec<(String, f64)> = Vec::new();
 
-        let mut eval = |label: String, reports: Vec<SimReport>| {
+        let mut eval = |label: String, reports: &[SimReport]| {
             let speedups: Vec<f64> = reports
                 .iter()
                 .map(|r| {
@@ -97,18 +132,10 @@ fn main() {
         };
 
         for cfg in &ours {
-            let reports: Vec<SimReport> = suite
-                .iter()
-                .map(|w| run_native(w, cfg, &opts, scenario))
-                .collect();
-            eval(cfg.label.to_string(), reports);
+            eval(cfg.label.to_string(), native_chunks.next().unwrap());
         }
         for scheme in schemes {
-            let reports: Vec<SimReport> = suite
-                .iter()
-                .map(|w| run_scheme(scheme, w, &opts, scenario))
-                .collect();
-            eval(scheme.to_string(), reports);
+            eval(scheme.to_string(), scheme_chunks.next().unwrap());
         }
 
         println!();

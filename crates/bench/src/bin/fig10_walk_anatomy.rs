@@ -2,7 +2,7 @@
 //! memory accesses per walk (top) and walk latency in cycles (bottom),
 //! for the baseline, FPT, PTP and FPT+PTP.
 
-use flatwalk_bench::{print_table, run_native, Mode};
+use flatwalk_bench::{print_table, run_cells, GridCell, Mode};
 use flatwalk_os::FragmentationScenario;
 use flatwalk_sim::TranslationConfig;
 use flatwalk_types::stats::mean;
@@ -11,10 +11,28 @@ use flatwalk_workloads::WorkloadSpec;
 fn main() {
     let mode = Mode::from_args();
     let opts = mode.server_options();
-    println!("Figure 10 — accesses per walk and walk latency ({})", mode.banner());
+    println!(
+        "Figure 10 — accesses per walk and walk latency ({})",
+        mode.banner()
+    );
 
     let suite = WorkloadSpec::suite();
     let configs = TranslationConfig::fig9_set();
+
+    let cells: Vec<GridCell> = configs
+        .iter()
+        .flat_map(|cfg| {
+            suite.iter().map(|w| {
+                GridCell::new(
+                    w.clone(),
+                    cfg.clone(),
+                    FragmentationScenario::NONE,
+                    opts.clone(),
+                )
+            })
+        })
+        .collect();
+    let all = run_cells("fig10", cells);
 
     let mut acc_rows = Vec::new();
     let mut lat_rows = Vec::new();
@@ -22,13 +40,9 @@ fn main() {
     let mut lat_means: Vec<(String, f64)> = Vec::new();
     let mut histograms: Vec<(String, flatwalk_types::stats::LatencyHistogram)> = Vec::new();
 
-    for cfg in &configs {
-        let reports: Vec<_> = suite
-            .iter()
-            .map(|w| run_native(w, cfg, &opts, FragmentationScenario::NONE))
-            .collect();
+    for (cfg, reports) in configs.iter().zip(all.chunks(suite.len())) {
         let mut merged = flatwalk_types::stats::LatencyHistogram::default();
-        for r in &reports {
+        for r in reports {
             merged.merge(&r.walk.latency_histogram);
         }
         histograms.push((cfg.label.to_string(), merged));

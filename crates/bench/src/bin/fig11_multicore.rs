@@ -4,11 +4,12 @@
 
 use std::collections::HashMap;
 
-use flatwalk_bench::{pct, print_table, Mode};
+use flatwalk_bench::{pct, print_table, run_cells, run_jobs, GridCell, Mode};
 use flatwalk_sim::{
-    all_mixes, alone_ipcs, mean_weighted_speedup, multicore_options, table2_mixes,
-    MulticoreReport, MulticoreSimulation, TranslationConfig,
+    all_mixes, mean_weighted_speedup, multicore_options, table2_mixes, MulticoreReport,
+    MulticoreSimulation, TranslationConfig,
 };
+use flatwalk_workloads::WorkloadSpec;
 
 fn main() {
     let mode = Mode::from_args();
@@ -47,22 +48,55 @@ fn main() {
     };
     let configs = TranslationConfig::fig9_set();
 
-    // Alone-IPC denominators use the baseline system.
-    let alone: HashMap<&'static str, f64> =
-        alone_ipcs(&mixes, &TranslationConfig::baseline(), &opts);
+    // Alone-IPC denominators use the baseline system: one native run
+    // per distinct benchmark, fanned across the pool.
+    let mut names: Vec<&'static str> = Vec::new();
+    for mix in &mixes {
+        for name in mix.parts {
+            if !names.contains(&name) {
+                names.push(name);
+            }
+        }
+    }
+    let alone_cells: Vec<GridCell> = names
+        .iter()
+        .map(|name| {
+            let spec =
+                WorkloadSpec::by_name(name).unwrap_or_else(|| panic!("unknown benchmark {name:?}"));
+            GridCell::new(
+                spec,
+                TranslationConfig::baseline(),
+                opts.scenario,
+                opts.clone(),
+            )
+        })
+        .collect();
+    let alone: HashMap<&'static str, f64> = names
+        .iter()
+        .zip(run_cells("fig11:alone", alone_cells))
+        .map(|(name, r)| (*name, r.ipc()))
+        .collect();
+
+    // The (config × mix) grid of four-core simulations.
+    let jobs: Vec<(TranslationConfig, usize)> = configs
+        .iter()
+        .flat_map(|cfg| (0..mixes.len()).map(|i| (cfg.clone(), i)))
+        .collect();
+    let grid: Vec<MulticoreReport> = run_jobs(
+        "fig11:mixes",
+        jobs,
+        4 * (opts.warmup_ops + opts.measure_ops),
+        |(cfg, i)| MulticoreSimulation::build(&mixes[i], cfg, &opts).run(),
+    );
 
     let mut rows = Vec::new();
-    for cfg in &configs {
-        let reports: Vec<MulticoreReport> = mixes
-            .iter()
-            .map(|m| MulticoreSimulation::build(m, cfg.clone(), &opts).run())
-            .collect();
+    for (cfg, reports) in configs.iter().zip(grid.chunks(mixes.len())) {
         let mut row = vec![cfg.label.to_string()];
         for r in reports.iter().filter(|r| r.mix.id <= 8) {
             let alone_vec: Vec<f64> = r.mix.parts.iter().map(|n| alone[n]).collect();
             row.push(format!("{:.3}", r.weighted_speedup(&alone_vec).unwrap()));
         }
-        let g = mean_weighted_speedup(&reports, &alone).unwrap();
+        let g = mean_weighted_speedup(reports, &alone).unwrap();
         row.push(format!("{:.3}", g));
         rows.push((cfg.label, row, g));
     }
@@ -76,7 +110,10 @@ fn main() {
     );
     headers.push(format!("GEOMEAN({})", mixes.len()));
     let hrefs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
-    print_table(&hrefs, &rows.iter().map(|(_, r, _)| r.clone()).collect::<Vec<_>>());
+    print_table(
+        &hrefs,
+        &rows.iter().map(|(_, r, _)| r.clone()).collect::<Vec<_>>(),
+    );
 
     println!();
     let base_g = rows[0].2;

@@ -4,7 +4,7 @@
 //! memory-accesses-per-walk table (naive 24 → baseline ≈4.4 → GF+HF
 //! ≈2.8).
 
-use flatwalk_bench::{pct, print_table, Mode};
+use flatwalk_bench::{pct, print_table, run_jobs, Mode};
 use flatwalk_sim::{SimReport, VirtConfig, VirtualizedSimulation};
 use flatwalk_types::stats::geometric_mean;
 use flatwalk_workloads::WorkloadSpec;
@@ -28,26 +28,26 @@ fn main() {
     };
     let configs = VirtConfig::fig12_set();
 
-    // Baselines first.
-    let base: Vec<SimReport> = suite
+    // One batch over the whole (config × workload) grid; the first
+    // config is the 2-D baseline.
+    let jobs: Vec<(VirtConfig, WorkloadSpec)> = configs
         .iter()
-        .map(|w| VirtualizedSimulation::build(w.clone(), configs[0], &opts).run())
+        .flat_map(|cfg| suite.iter().map(|w| (*cfg, w.clone())))
         .collect();
+    let all: Vec<SimReport> = run_jobs(
+        "fig12",
+        jobs,
+        opts.warmup_ops + opts.measure_ops,
+        |(cfg, w)| VirtualizedSimulation::build(w, cfg, &opts).run(),
+    );
+    let base = &all[..suite.len()];
 
     let mut rows = Vec::new();
     let mut acc_rows = Vec::new();
-    for cfg in &configs {
-        let reports: Vec<SimReport> = if cfg.label == "Base-2D" {
-            base.clone()
-        } else {
-            suite
-                .iter()
-                .map(|w| VirtualizedSimulation::build(w.clone(), *cfg, &opts).run())
-                .collect()
-        };
+    for (cfg, reports) in configs.iter().zip(all.chunks(suite.len())) {
         let speedups: Vec<f64> = reports
             .iter()
-            .zip(&base)
+            .zip(base)
             .map(|(r, b)| r.speedup_vs(b))
             .collect();
         let g = geometric_mean(&speedups).unwrap();

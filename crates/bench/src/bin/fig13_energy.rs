@@ -3,7 +3,7 @@
 //! normalized to the respective baselines. 0 % LP scenario.
 
 use flatwalk_baselines::{AsapScheme, EchScheme, PomTlbScheme, SchemeSimulation};
-use flatwalk_bench::{pct, print_table, run_native, Mode};
+use flatwalk_bench::{pct, print_table, run_cells, run_jobs, GridCell, Mode};
 use flatwalk_os::FragmentationScenario;
 use flatwalk_sim::{SimReport, TranslationConfig, VirtConfig, VirtualizedSimulation};
 use flatwalk_types::stats::geometric_mean;
@@ -44,73 +44,103 @@ fn main() {
     };
     let scenario = FragmentationScenario::NONE;
 
-    // --- native ---
-    let base: Vec<SimReport> = suite
-        .iter()
-        .map(|w| run_native(w, &TranslationConfig::baseline(), &opts, scenario))
-        .collect();
-
-    let mut rows = Vec::new();
-    for cfg in [
+    // --- native: baseline plus our three configs, one batch ---
+    let native_configs = [
+        TranslationConfig::baseline(),
         TranslationConfig::flattened(),
         TranslationConfig::prioritized(),
         TranslationConfig::flattened_prioritized(),
-    ] {
-        let reports: Vec<SimReport> = suite
-            .iter()
-            .map(|w| run_native(w, &cfg, &opts, scenario))
-            .collect();
-        let (c, d) = geo_energy(&reports, &base);
+    ];
+    let native_cells: Vec<GridCell> = native_configs
+        .iter()
+        .flat_map(|cfg| {
+            suite
+                .iter()
+                .map(|w| GridCell::new(w.clone(), cfg.clone(), scenario, opts.clone()))
+        })
+        .collect();
+    let native = run_cells("fig13:native", native_cells);
+    let base = &native[..suite.len()];
+
+    let mut rows = Vec::new();
+    for (cfg, reports) in native_configs[1..]
+        .iter()
+        .zip(native[suite.len()..].chunks(suite.len()))
+    {
+        let (c, d) = geo_energy(reports, base);
         rows.push(vec!["native".into(), cfg.label.to_string(), pct(c), pct(d)]);
     }
-    for scheme in ["ASAP", "ECH", "CSALT"] {
-        let reports: Vec<SimReport> = suite
-            .iter()
-            .map(|w| {
-                let o = opts.clone().with_scenario(scenario);
-                let scaled = w.clone().scaled_down(o.footprint_divisor);
-                match scheme {
-                    "ASAP" => {
-                        SchemeSimulation::build(w.clone(), AsapScheme::new(o.pwc.clone()), &o)
-                            .run()
-                    }
-                    "ECH" => SchemeSimulation::build(
-                        w.clone(),
-                        EchScheme::new(scaled.footprint, false),
-                        &o,
-                    )
-                    .run(),
-                    _ => SchemeSimulation::build(
-                        w.clone(),
-                        PomTlbScheme::new(16 << 20, o.pwc.clone()).csalt(),
-                        &o,
-                    )
-                    .run(),
+
+    // --- prior schemes ---
+    let scheme_jobs: Vec<(&str, WorkloadSpec)> = ["ASAP", "ECH", "CSALT"]
+        .iter()
+        .flat_map(|s| suite.iter().map(|w| (*s, w.clone())))
+        .collect();
+    let scheme_reports = run_jobs(
+        "fig13:schemes",
+        scheme_jobs,
+        opts.warmup_ops + opts.measure_ops,
+        |(scheme, w)| {
+            let o = opts.clone().with_scenario(scenario);
+            let scaled = w.clone().scaled_down(o.footprint_divisor);
+            match scheme {
+                "ASAP" => {
+                    SchemeSimulation::build(w.clone(), AsapScheme::new(o.pwc.clone()), &o).run()
                 }
-            })
-            .collect();
-        let (c, d) = geo_energy(&reports, &base);
+                "ECH" => {
+                    SchemeSimulation::build(w.clone(), EchScheme::new(scaled.footprint, false), &o)
+                        .run()
+                }
+                _ => SchemeSimulation::build(
+                    w.clone(),
+                    PomTlbScheme::new(16 << 20, o.pwc.clone()).csalt(),
+                    &o,
+                )
+                .run(),
+            }
+        },
+    );
+    for (scheme, reports) in ["ASAP", "ECH", "CSALT"]
+        .iter()
+        .zip(scheme_reports.chunks(suite.len()))
+    {
+        let (c, d) = geo_energy(reports, base);
         rows.push(vec!["native".into(), scheme.to_string(), pct(c), pct(d)]);
     }
 
-    // --- virtualized ---
-    let vbase: Vec<SimReport> = suite
+    // --- virtualized: baseline plus the two GF+HF variants ---
+    let vconfigs: Vec<VirtConfig> = [0usize, 3, 7]
         .iter()
-        .map(|w| {
-            VirtualizedSimulation::build(w.clone(), VirtConfig::fig12_set()[0], &opts).run()
-        })
+        .map(|&i| VirtConfig::fig12_set()[i])
         .collect();
-    for cfg_idx in [3usize, 7] {
-        let cfg = VirtConfig::fig12_set()[cfg_idx];
-        let reports: Vec<SimReport> = suite
-            .iter()
-            .map(|w| VirtualizedSimulation::build(w.clone(), cfg, &opts).run())
-            .collect();
-        let (c, d) = geo_energy(&reports, &vbase);
-        rows.push(vec!["virtualized".into(), cfg.label.to_string(), pct(c), pct(d)]);
+    let vjobs: Vec<(VirtConfig, WorkloadSpec)> = vconfigs
+        .iter()
+        .flat_map(|cfg| suite.iter().map(|w| (*cfg, w.clone())))
+        .collect();
+    let virt = run_jobs(
+        "fig13:virt",
+        vjobs,
+        opts.warmup_ops + opts.measure_ops,
+        |(cfg, w)| VirtualizedSimulation::build(w, cfg, &opts).run(),
+    );
+    let vbase = &virt[..suite.len()];
+    for (cfg, reports) in vconfigs[1..]
+        .iter()
+        .zip(virt[suite.len()..].chunks(suite.len()))
+    {
+        let (c, d) = geo_energy(reports, vbase);
+        rows.push(vec![
+            "virtualized".into(),
+            cfg.label.to_string(),
+            pct(c),
+            pct(d),
+        ]);
     }
 
-    print_table(&["system", "config", "Δcache energy", "ΔDRAM accesses"], &rows);
+    print_table(
+        &["system", "config", "Δcache energy", "ΔDRAM accesses"],
+        &rows,
+    );
     println!();
     println!("Paper reference (native): FPT -2.8% cache; PTP -2.5% cache / -4.6% DRAM;");
     println!("FPT+PTP -5.1% / -4.7%. ASAP raises L1D traffic; ECH +32% cache / +14% DRAM.");

@@ -3,15 +3,18 @@
 //! virtualization (pKVM-style), sweeping which levels of the guest (and
 //! host) tables are flattened. Normalized to the 2-D baseline.
 
-use flatwalk_bench::{pct, print_table, Mode};
+use flatwalk_bench::{pct, print_table, run_jobs, Mode};
 use flatwalk_pt::Layout;
-use flatwalk_sim::{VirtConfig, VirtualizedSimulation};
+use flatwalk_sim::{SimReport, VirtConfig, VirtualizedSimulation};
 use flatwalk_workloads::WorkloadSpec;
 
 fn main() {
     let mode = Mode::from_args();
     let opts = mode.mobile_options();
-    println!("Figure 14 — mobile (Table 3) virtualized flattening ({})", mode.banner());
+    println!(
+        "Figure 14 — mobile (Table 3) virtualized flattening ({})",
+        mode.banner()
+    );
     println!(
         "Table 3 config: L1D {} KB, L2 {} KB, L3 {} MB, DRAM {} cycles",
         opts.hierarchy.l1.size_bytes >> 10,
@@ -26,7 +29,11 @@ fn main() {
         ("g:L4+L3", Layout::flat_l4l3(), Layout::conventional4()),
         ("g:L3+L2", Layout::flat_l3l2(), Layout::conventional4()),
         ("g:L2+L1", Layout::flat_l2l1(), Layout::conventional4()),
-        ("g:L4+L3,L2+L1", Layout::flat_l4l3_l2l1(), Layout::conventional4()),
+        (
+            "g:L4+L3,L2+L1",
+            Layout::flat_l4l3_l2l1(),
+            Layout::conventional4(),
+        ),
         (
             "g+h:L4+L3,L2+L1",
             Layout::flat_l4l3_l2l1(),
@@ -34,25 +41,40 @@ fn main() {
         ),
     ];
 
-    let mut rows = Vec::new();
-    for iteration in [1u32, 5] {
-        let spec = WorkloadSpec::browser_mix(iteration);
-        let mut base_ipc = 0.0f64;
-        for (label, guest, host) in &variants {
+    let jobs: Vec<(u32, &'static str, Layout, Layout)> = [1u32, 5]
+        .iter()
+        .flat_map(|&iteration| {
+            variants
+                .iter()
+                .map(move |(label, guest, host)| (iteration, *label, guest.clone(), host.clone()))
+        })
+        .collect();
+    let all: Vec<SimReport> = run_jobs(
+        "fig14",
+        jobs,
+        opts.warmup_ops + opts.measure_ops,
+        |(iteration, label, guest, host)| {
             let cfg = VirtConfig {
                 label,
-                guest_flat: *guest != Layout::conventional4(),
-                host_flat: *host != Layout::conventional4(),
+                guest_flat: guest != Layout::conventional4(),
+                host_flat: host != Layout::conventional4(),
                 ptp: false,
             };
-            let r = VirtualizedSimulation::build_custom(
-                spec.clone(),
+            VirtualizedSimulation::build_custom(
+                WorkloadSpec::browser_mix(iteration),
                 cfg,
-                guest.clone(),
-                host.clone(),
+                guest,
+                host,
                 &opts,
             )
-            .run();
+            .run()
+        },
+    );
+
+    let mut rows = Vec::new();
+    for (&iteration, group) in [1u32, 5].iter().zip(all.chunks(variants.len())) {
+        let mut base_ipc = 0.0f64;
+        for ((label, _, _), r) in variants.iter().zip(group) {
             if *label == "Base-2D" {
                 base_ipc = r.ipc();
             }
@@ -65,7 +87,10 @@ fn main() {
             ]);
         }
     }
-    print_table(&["iteration", "flattening", "ipc", "vs Base-2D", "acc/walk"], &rows);
+    print_table(
+        &["iteration", "flattening", "ipc", "vs Base-2D", "acc/walk"],
+        &rows,
+    );
     println!();
     println!("Paper reference: flattening closer to the leaves helps most; both");
     println!("L4+L3 and L2+L1 flattened gives +3.8% (iter1) / +4.3% (iter5).");

@@ -3,7 +3,7 @@
 //! FPT+PTP at 0 % LP, and virtualized Fig. 12 geomeans for
 //! Base-2D/GF+HF/GF+HF+PTP.
 
-use flatwalk_bench::{pct, print_table, run_native};
+use flatwalk_bench::{pct, print_table, run_cells, run_jobs, GridCell};
 use flatwalk_os::FragmentationScenario;
 use flatwalk_sim::{SimOptions, SimReport, TranslationConfig, VirtConfig, VirtualizedSimulation};
 use flatwalk_types::stats::{geometric_mean, mean};
@@ -17,24 +17,29 @@ fn main() {
 
     let suite = WorkloadSpec::suite();
 
-    // --- native ---
-    let base: Vec<SimReport> = suite
+    // --- native: one batch over the Fig. 9 configs (Base first) ---
+    let configs = TranslationConfig::fig9_set();
+    let cells: Vec<GridCell> = configs
         .iter()
-        .map(|w| run_native(w, &TranslationConfig::baseline(), &opts, FragmentationScenario::NONE))
+        .flat_map(|cfg| {
+            suite.iter().map(|w| {
+                GridCell::new(
+                    w.clone(),
+                    cfg.clone(),
+                    FragmentationScenario::NONE,
+                    opts.clone(),
+                )
+            })
+        })
         .collect();
+    let native = run_cells("headline:native", cells);
+    let base = &native[..suite.len()];
+
     let mut rows = Vec::new();
-    for cfg in TranslationConfig::fig9_set() {
-        let reports: Vec<SimReport> = if cfg.label == "Base" {
-            base.clone()
-        } else {
-            suite
-                .iter()
-                .map(|w| run_native(w, &cfg, &opts, FragmentationScenario::NONE))
-                .collect()
-        };
+    for (cfg, reports) in configs.iter().zip(native.chunks(suite.len())) {
         let speedups: Vec<f64> = reports
             .iter()
-            .zip(&base)
+            .zip(base)
             .map(|(r, b)| r.speedup_vs(b))
             .collect();
         let accs: Vec<f64> = reports.iter().map(|r| r.walk.accesses_per_walk()).collect();
@@ -49,30 +54,37 @@ fn main() {
     }
     println!("--- native (paper: FPT +2.3%, PTP +6.8%, FPT+PTP +9.2%;");
     println!("    accesses 1.5→1.0; latency 50.9→33.0→29.1) ---");
-    print_table(&["config", "geomean speedup", "mean acc/walk", "mean walk-lat"], &rows);
+    print_table(
+        &[
+            "config",
+            "geomean speedup",
+            "mean acc/walk",
+            "mean walk-lat",
+        ],
+        &rows,
+    );
 
     // --- virtualized ---
     let vconfigs: Vec<VirtConfig> = VirtConfig::fig12_set()
         .into_iter()
         .filter(|c| matches!(c.label, "Base-2D" | "GF+HF" | "GF+HF+PTP"))
         .collect();
-    let vbase: Vec<SimReport> = suite
+    let vjobs: Vec<(VirtConfig, WorkloadSpec)> = vconfigs
         .iter()
-        .map(|w| VirtualizedSimulation::build(w.clone(), vconfigs[0], &opts).run())
+        .flat_map(|cfg| suite.iter().map(|w| (*cfg, w.clone())))
         .collect();
+    let virt: Vec<SimReport> = run_jobs(
+        "headline:virt",
+        vjobs,
+        opts.warmup_ops + opts.measure_ops,
+        |(cfg, w)| VirtualizedSimulation::build(w, cfg, &opts).run(),
+    );
+    let vbase = &virt[..suite.len()];
     let mut rows = Vec::new();
-    for cfg in &vconfigs {
-        let reports: Vec<SimReport> = if cfg.label == "Base-2D" {
-            vbase.clone()
-        } else {
-            suite
-                .iter()
-                .map(|w| VirtualizedSimulation::build(w.clone(), *cfg, &opts).run())
-                .collect()
-        };
+    for (cfg, reports) in vconfigs.iter().zip(virt.chunks(suite.len())) {
         let speedups: Vec<f64> = reports
             .iter()
-            .zip(&vbase)
+            .zip(vbase)
             .map(|(r, b)| r.speedup_vs(b))
             .collect();
         let accs: Vec<f64> = reports.iter().map(|r| r.walk.accesses_per_walk()).collect();

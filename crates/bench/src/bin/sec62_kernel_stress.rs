@@ -2,12 +2,15 @@
 //! failures (fallbacks to conventional 4 KB table nodes) for a
 //! 100-process kernel build under 6 % and 50 % memory oversubscription.
 
-use flatwalk_bench::{print_table, Mode};
+use flatwalk_bench::{print_table, run_jobs, Mode};
 use flatwalk_os::{kernel_build_stress, StressConfig};
 
 fn main() {
     let mode = Mode::from_args();
-    println!("§6.2 — flattened-table allocation failures under load ({})", mode.banner());
+    println!(
+        "§6.2 — flattened-table allocation failures under load ({})",
+        mode.banner()
+    );
 
     let invocations = match mode {
         Mode::Quick => 600,
@@ -16,13 +19,16 @@ fn main() {
     };
     let paper = [(0.06, 0.005), (0.50, 0.12)];
 
-    let mut rows = Vec::new();
-    for (ovs, paper_rate) in paper {
-        let out = kernel_build_stress(&StressConfig {
+    let outs = run_jobs("sec62", paper.to_vec(), invocations as u64, |(ovs, _)| {
+        kernel_build_stress(&StressConfig {
             oversubscription: ovs,
             invocations,
             ..StressConfig::default()
-        });
+        })
+    });
+
+    let mut rows = Vec::new();
+    for ((ovs, paper_rate), out) in paper.iter().zip(&outs) {
         rows.push(vec![
             format!("{:.0}%", ovs * 100.0),
             format!("{}", out.invocations),

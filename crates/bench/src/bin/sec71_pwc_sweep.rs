@@ -2,7 +2,7 @@
 //! entries on GUPS, versus the benefit of flattening; plus the L2-PWC
 //! size that would be needed to match flattening's single-access walks.
 
-use flatwalk_bench::{pct, print_table, run_native, Mode};
+use flatwalk_bench::{pct, print_table, run_cells, GridCell, Mode};
 use flatwalk_os::FragmentationScenario;
 use flatwalk_sim::TranslationConfig;
 use flatwalk_tlb::PwcConfig;
@@ -16,30 +16,47 @@ fn main() {
     let spec = WorkloadSpec::gups();
     let scenario = FragmentationScenario::NONE;
 
-    let mut base4_ipc = 0.0f64;
-    let mut rows = Vec::new();
+    // The whole sweep is one batch: every point varies only its
+    // SimOptions (PWC geometry) or config, which ride in the cell.
+    let mut labels: Vec<String> = Vec::new();
+    let mut cells: Vec<GridCell> = Vec::new();
     for entries in [1usize, 2, 4, 8, 16] {
         let mut o = opts.clone();
         o.pwc = PwcConfig::server_with_l3_entries(entries);
-        let r = run_native(&spec, &TranslationConfig::baseline(), &o, scenario);
-        if entries == 4 {
-            base4_ipc = r.ipc();
-        }
-        rows.push((format!("base, L3-PSC={entries}"), r));
+        labels.push(format!("base, L3-PSC={entries}"));
+        cells.push(GridCell::new(
+            spec.clone(),
+            TranslationConfig::baseline(),
+            scenario,
+            o,
+        ));
     }
     // Flattening reference on the stock PSC budget.
-    let flat = run_native(&spec, &TranslationConfig::flattened(), &opts, scenario);
-    rows.push(("FPT (stock PSC)".to_string(), flat));
+    labels.push("FPT (stock PSC)".to_string());
+    cells.push(GridCell::new(
+        spec.clone(),
+        TranslationConfig::flattened(),
+        scenario,
+        opts.clone(),
+    ));
     // Large L2 ("27-bit") PWC equivalence point.
     for entries in [256usize, 1024, 4096] {
         let mut o = opts.clone();
         o.pwc = PwcConfig::server_with_l2_entries(entries);
-        let r = run_native(&spec, &TranslationConfig::baseline(), &o, scenario);
-        rows.push((format!("base, L2-PSC={entries}"), r));
+        labels.push(format!("base, L2-PSC={entries}"));
+        cells.push(GridCell::new(
+            spec.clone(),
+            TranslationConfig::baseline(),
+            scenario,
+            o,
+        ));
     }
+    let reports = run_cells("sec71_pwc", cells);
+    let base4_ipc = reports[2].ipc();
 
-    let table: Vec<Vec<String>> = rows
+    let table: Vec<Vec<String>> = labels
         .iter()
+        .zip(&reports)
         .map(|(label, r)| {
             vec![
                 label.clone(),

@@ -2,9 +2,9 @@
 //! prioritization as the leaf page table grows relative to the LLC
 //! (modelled, as in the paper, by shrinking the LLC 2x/4x/8x/16x).
 
-use flatwalk_bench::{geomean_speedup, pct, print_table, run_native, Mode};
+use flatwalk_bench::{geomean_speedup, pct, print_table, run_cells, GridCell, Mode};
 use flatwalk_os::FragmentationScenario;
-use flatwalk_sim::{SimReport, TranslationConfig};
+use flatwalk_sim::TranslationConfig;
 use flatwalk_workloads::WorkloadSpec;
 
 fn main() {
@@ -13,7 +13,11 @@ fn main() {
     println!("§7.1 — PT:LLC ratio sweep ({})", mode.banner());
 
     let suite = if mode == Mode::Quick {
-        vec![WorkloadSpec::gups(), WorkloadSpec::xsbench(), WorkloadSpec::mcf()]
+        vec![
+            WorkloadSpec::gups(),
+            WorkloadSpec::xsbench(),
+            WorkloadSpec::mcf(),
+        ]
     } else {
         vec![
             WorkloadSpec::gups(),
@@ -27,23 +31,34 @@ fn main() {
     };
     let scenario = FragmentationScenario::NONE;
     let llc_full = opts.hierarchy.l3.size_bytes;
+    let shrinks = [1u64, 2, 4, 8, 16];
 
-    let mut rows = Vec::new();
-    for shrink in [1u64, 2, 4, 8, 16] {
+    // Per shrink factor: the baseline suite then the PTP suite, all in
+    // one batch across the pool.
+    let mut cells: Vec<GridCell> = Vec::new();
+    for &shrink in &shrinks {
         let mut o = opts.clone();
         o.hierarchy = o.hierarchy.with_llc_bytes((llc_full / shrink).max(1 << 20));
-        let base: Vec<SimReport> = suite
-            .iter()
-            .map(|w| run_native(w, &TranslationConfig::baseline(), &o, scenario))
-            .collect();
-        let ptp: Vec<SimReport> = suite
-            .iter()
-            .map(|w| run_native(w, &TranslationConfig::prioritized(), &o, scenario))
-            .collect();
-        let g = geomean_speedup(&ptp, &base);
+        for cfg in [
+            TranslationConfig::baseline(),
+            TranslationConfig::prioritized(),
+        ] {
+            cells.extend(
+                suite
+                    .iter()
+                    .map(|w| GridCell::new(w.clone(), cfg.clone(), scenario, o.clone())),
+            );
+        }
+    }
+    let all = run_cells("sec71_ratio", cells);
+
+    let mut rows = Vec::new();
+    for (&shrink, group) in shrinks.iter().zip(all.chunks(2 * suite.len())) {
+        let (base, ptp) = group.split_at(suite.len());
+        let g = geomean_speedup(ptp, base);
         rows.push(vec![
             format!("{shrink}x"),
-            format!("{} MB", o.hierarchy.l3.size_bytes >> 20),
+            format!("{} MB", (llc_full / shrink).max(1 << 20) >> 20),
             pct(g),
         ]);
     }

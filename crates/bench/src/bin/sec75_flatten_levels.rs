@@ -3,7 +3,10 @@
 //! across the large-page scenarios. L3+L2 is designed to win when 2 MB
 //! data pages dominate (single-access large-page walks, Fig. 3 right).
 
-use flatwalk_bench::{geomean_speedup, pct, print_table, run_native, scenarios, Mode};
+use flatwalk_bench::{
+    geomean_speedup, pct, print_table, run_cells, run_jobs, scenarios, GridCell, Mode,
+};
+use flatwalk_os::FragmentationScenario;
 use flatwalk_pt::Layout;
 use flatwalk_sim::{SimReport, TranslationConfig, VirtConfig, VirtualizedSimulation};
 use flatwalk_types::stats::geometric_mean;
@@ -34,71 +37,97 @@ fn main() {
         ]
     };
 
+    let flat3 = TranslationConfig {
+        label: "FPT(1GB L4+L3+L2)",
+        layout: Layout::flat_l4l3l2(),
+        ptp: false,
+        nf_threshold: None,
+    };
+    let native_configs = [
+        TranslationConfig::baseline(),
+        TranslationConfig::flattened_l3l2(),
+        flat3,
+        TranslationConfig::flattened(),
+    ];
+
+    // Native: per scenario, the baseline suite then each flattening.
+    let native_cells: Vec<GridCell> = scenarios()
+        .iter()
+        .flat_map(|(scenario, _)| {
+            native_configs.iter().flat_map(|cfg| {
+                suite
+                    .iter()
+                    .map(|w| GridCell::new(w.clone(), cfg.clone(), *scenario, opts.clone()))
+            })
+        })
+        .collect();
+    let native = run_cells("sec75:native", native_cells);
+
+    // Virtualized: per scenario, the 2-D baseline then both-dimension
+    // flattening with each layout choice.
+    let vchoices: [(&'static str, Option<Layout>); 3] = [
+        ("Base-2D", None),
+        ("GF+HF (L3+L2)", Some(Layout::flat_l3l2())),
+        ("GF+HF (L4+L3,L2+L1)", Some(Layout::flat_l4l3_l2l1())),
+    ];
+    let vjobs: Vec<(
+        FragmentationScenario,
+        &'static str,
+        Option<Layout>,
+        WorkloadSpec,
+    )> = scenarios()
+        .iter()
+        .flat_map(|(scenario, _)| {
+            vchoices.iter().flat_map(|(vlabel, layout)| {
+                suite
+                    .iter()
+                    .map(|w| (*scenario, *vlabel, layout.clone(), w.clone()))
+            })
+        })
+        .collect();
+    let virt: Vec<SimReport> = run_jobs(
+        "sec75:virt",
+        vjobs,
+        opts.warmup_ops + opts.measure_ops,
+        |(scenario, vlabel, layout, w)| {
+            let o = opts.clone().with_scenario(scenario);
+            match layout {
+                None => VirtualizedSimulation::build(w, VirtConfig::fig12_set()[0], &o).run(),
+                Some(layout) => {
+                    let cfg = VirtConfig {
+                        label: vlabel,
+                        guest_flat: true,
+                        host_flat: true,
+                        ptp: false,
+                    };
+                    VirtualizedSimulation::build_custom(w, cfg, layout.clone(), layout, &o).run()
+                }
+            }
+        },
+    );
+
     let mut rows = Vec::new();
-    // Native.
-    for (scenario, label) in scenarios() {
-        let base: Vec<SimReport> = suite
-            .iter()
-            .map(|w| run_native(w, &TranslationConfig::baseline(), &opts, scenario))
-            .collect();
-        let flat3 = TranslationConfig {
-            label: "FPT(1GB L4+L3+L2)",
-            layout: Layout::flat_l4l3l2(),
-            ptp: false,
-            nf_threshold: None,
-        };
-        for cfg in [
-            TranslationConfig::flattened_l3l2(),
-            flat3,
-            TranslationConfig::flattened(),
-        ] {
-            let reports: Vec<SimReport> = suite
-                .iter()
-                .map(|w| run_native(w, &cfg, &opts, scenario))
-                .collect();
+    let mut native_chunks = native.chunks(suite.len());
+    for (_, label) in scenarios() {
+        let base = native_chunks.next().unwrap();
+        for cfg in &native_configs[1..] {
+            let reports = native_chunks.next().unwrap();
             rows.push(vec![
                 "native".to_string(),
                 label.to_string(),
                 cfg.label.to_string(),
-                pct(geomean_speedup(&reports, &base)),
+                pct(geomean_speedup(reports, base)),
             ]);
         }
     }
-    // Virtualized: flatten both dimensions with each choice.
-    for (scenario, label) in scenarios() {
-        let o = opts.clone().with_scenario(scenario);
-        let base: Vec<SimReport> = suite
-            .iter()
-            .map(|w| {
-                VirtualizedSimulation::build(w.clone(), VirtConfig::fig12_set()[0], &o).run()
-            })
-            .collect();
-        for (vlabel, layout) in [
-            ("GF+HF (L3+L2)", Layout::flat_l3l2()),
-            ("GF+HF (L4+L3,L2+L1)", Layout::flat_l4l3_l2l1()),
-        ] {
-            let cfg = VirtConfig {
-                label: vlabel,
-                guest_flat: true,
-                host_flat: true,
-                ptp: false,
-            };
-            let reports: Vec<SimReport> = suite
-                .iter()
-                .map(|w| {
-                    VirtualizedSimulation::build_custom(
-                        w.clone(),
-                        cfg,
-                        layout.clone(),
-                        layout.clone(),
-                        &o,
-                    )
-                    .run()
-                })
-                .collect();
+    let mut virt_chunks = virt.chunks(suite.len());
+    for (_, label) in scenarios() {
+        let base = virt_chunks.next().unwrap();
+        for (vlabel, _) in &vchoices[1..] {
+            let reports = virt_chunks.next().unwrap();
             let speedups: Vec<f64> = reports
                 .iter()
-                .zip(&base)
+                .zip(base)
                 .map(|(r, b)| r.speedup_vs(b))
                 .collect();
             rows.push(vec![
@@ -109,7 +138,10 @@ fn main() {
             ]);
         }
     }
-    print_table(&["system", "scenario", "flattening", "geomean speedup"], &rows);
+    print_table(
+        &["system", "scenario", "flattening", "geomean speedup"],
+        &rows,
+    );
     println!();
     println!("Paper reference: L3+L2 gives +0.2/+0.3/+0.1 pp native and +0.7/+1.0/");
     println!("+1.2 pp virtualized at 0/50/100% LP; at 100% LP it beats L4+L3,L2+L1");

@@ -46,14 +46,20 @@ fn print_options(title: &str, opts: &SimOptions) {
         print!("{}-bit: {} entries  ", d.prefix_bits, d.entries);
     }
     println!("({} cycle, parallel)", opts.pwc.latency);
-    println!("  Nested TLB   {}-entry fully associative, 1 cycle", opts.nested_tlb_entries);
+    println!(
+        "  Nested TLB   {}-entry fully associative, 1 cycle",
+        opts.nested_tlb_entries
+    );
     println!();
 }
 
 fn main() {
     println!("Simulated system configurations (paper Tables 1 and 3)\n");
     print_options("Table 1 — server (gem5-equivalent)", &SimOptions::server());
-    print_options("Table 3 — mobile (industrial-simulator-equivalent)", &SimOptions::mobile());
+    print_options(
+        "Table 3 — mobile (industrial-simulator-equivalent)",
+        &SimOptions::mobile(),
+    );
     println!("Multicore (§7.1): four Table 1 cores, 32 MB shared L3, per-owner");
     println!("partition IDs in cache tags (§6.1).");
 }

@@ -9,10 +9,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use std::collections::HashMap;
+
 use flatwalk_os::FragmentationScenario;
+use flatwalk_sim::runner::{self, Cell, Progress};
 use flatwalk_sim::{NativeSimulation, SimOptions, SimReport, TranslationConfig};
 use flatwalk_types::stats::geometric_mean;
 use flatwalk_workloads::WorkloadSpec;
+
+pub use flatwalk_sim::runner::Cell as GridCell;
 
 /// How much of the paper-scale work an experiment run performs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -81,11 +86,43 @@ impl Mode {
 
     /// Short banner line describing the mode.
     pub fn banner(self) -> String {
-        format!(
-            "mode: {:?} (use --quick / --std / --paper to change)",
-            self
-        )
+        format!("mode: {:?} (use --quick / --std / --paper to change)", self)
     }
+}
+
+/// Worker-thread count for this invocation: `--threads N` from the
+/// command line, else `FLATWALK_THREADS`, else the machine's available
+/// parallelism. Grid results are byte-identical at any value.
+pub fn threads() -> usize {
+    let mut args = std::env::args();
+    let mut explicit = None;
+    while let Some(arg) = args.next() {
+        if arg == "--threads" {
+            explicit = args.next().and_then(|v| v.parse().ok());
+        } else if let Some(v) = arg.strip_prefix("--threads=") {
+            explicit = v.parse().ok();
+        }
+    }
+    runner::resolve_threads(explicit)
+}
+
+/// Runs a batch of native-simulation cells across the worker pool
+/// (see [`threads`]), returning reports in cell order.
+pub fn run_cells(label: &'static str, cells: Vec<Cell>) -> Vec<SimReport> {
+    runner::run_cells(label, cells, threads())
+}
+
+/// Fans arbitrary simulation jobs across the worker pool, returning
+/// results in job order. `sim_ops` is the per-job operation count shown
+/// by the progress meter.
+pub fn run_jobs<J, R, F>(label: &'static str, jobs: Vec<J>, sim_ops: u64, f: F) -> Vec<R>
+where
+    J: Send,
+    R: Send,
+    F: Fn(J) -> R + Sync,
+{
+    let progress = Progress::new(label, jobs.len());
+    runner::run_ordered(jobs, threads(), &progress, |_| sim_ops, f)
 }
 
 /// Runs one benchmark under one configuration and scenario.
@@ -100,19 +137,28 @@ pub fn run_native(
 }
 
 /// Geometric-mean speedup of `reports` against `baselines`, matched by
-/// workload name.
+/// workload name. Baselines are indexed by name once, so the cost is
+/// O(reports + baselines) rather than a quadratic scan.
 ///
 /// # Panics
 ///
-/// Panics if a report's workload has no baseline.
+/// Panics if a report's workload has no baseline; the message lists
+/// the baseline names that are available.
 pub fn geomean_speedup(reports: &[SimReport], baselines: &[SimReport]) -> f64 {
+    let by_name: HashMap<&str, &SimReport> =
+        baselines.iter().map(|b| (b.workload.as_str(), b)).collect();
     let speedups: Vec<f64> = reports
         .iter()
         .map(|r| {
-            let b = baselines
-                .iter()
-                .find(|b| b.workload == r.workload)
-                .unwrap_or_else(|| panic!("no baseline for {}", r.workload));
+            let b = by_name.get(r.workload.as_str()).unwrap_or_else(|| {
+                let mut available: Vec<&str> = by_name.keys().copied().collect();
+                available.sort_unstable();
+                panic!(
+                    "no baseline for {} (available baselines: {})",
+                    r.workload,
+                    available.join(", ")
+                )
+            });
             r.speedup_vs(b)
         })
         .collect();
@@ -184,6 +230,23 @@ mod tests {
         let test = vec![mk("b", 500), mk("a", 1000)];
         // a: 2x, b: 2x → geomean 2x.
         assert!((geomean_speedup(&test, &base) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "available baselines: a, b")]
+    fn geomean_speedup_names_available_baselines() {
+        let mk = |name: &str| SimReport {
+            workload: name.into(),
+            config: "x",
+            instructions: 1000,
+            cycles: 1000,
+            walk: Default::default(),
+            tlb: Default::default(),
+            hier: Default::default(),
+            energy: Default::default(),
+            census: Default::default(),
+        };
+        geomean_speedup(&[mk("missing")], &[mk("a"), mk("b")]);
     }
 
     #[test]

@@ -63,6 +63,10 @@ impl CacheConfig {
             "set count must be a power of two (got {})",
             cfg.sets()
         );
+        assert!(
+            ways <= 64,
+            "at most 64 ways (validity is a per-set u64 bitmask)"
+        );
         cfg
     }
 
@@ -94,6 +98,16 @@ struct LineTag {
     owner: OwnerId,
     /// LRU timestamp (larger = more recent).
     stamp: u64,
+}
+
+impl LineTag {
+    /// Placeholder occupying ways whose validity bit is clear.
+    const EMPTY: LineTag = LineTag {
+        line: 0,
+        kind: AccessKind::Data,
+        owner: OwnerId::SINGLE,
+        stamp: 0,
+    };
 }
 
 /// A line evicted by a fill.
@@ -150,7 +164,13 @@ impl CacheStats {
 #[derive(Debug, Clone)]
 pub struct Cache {
     cfg: CacheConfig,
-    sets: Vec<Vec<Option<LineTag>>>,
+    /// All tags in one contiguous slab, set-major: way `w` of set `s`
+    /// lives at `s * ways + w`. Flat storage keeps a probe to one
+    /// pointer chase instead of two (`Vec<Vec<..>>`), which is the
+    /// simulator's single hottest loop.
+    tags: Box<[LineTag]>,
+    /// Per-set validity bitmask; bit `w` set ⇔ way `w` holds a line.
+    valid: Box<[u64]>,
     set_mask: u64,
     clock: u64,
     rng: SplitMix64,
@@ -167,7 +187,8 @@ impl Cache {
     pub fn new(cfg: CacheConfig) -> Self {
         let sets = cfg.sets();
         Cache {
-            sets: vec![vec![None; cfg.ways]; sets],
+            tags: vec![LineTag::EMPTY; sets * cfg.ways].into_boxed_slice(),
+            valid: vec![0u64; sets].into_boxed_slice(),
             set_mask: sets as u64 - 1,
             clock: 0,
             rng: SplitMix64::new(0xCAC4E ^ cfg.size_bytes ^ (cfg.ways as u64) << 32),
@@ -196,20 +217,31 @@ impl Cache {
         (line & self.set_mask) as usize
     }
 
+    /// Finds `line`'s way within `set`, if resident.
+    #[inline]
+    fn find_way(&self, set: usize, line: u64) -> Option<usize> {
+        let base = set * self.cfg.ways;
+        let mut mask = self.valid[set];
+        while mask != 0 {
+            let way = mask.trailing_zeros() as usize;
+            mask &= mask - 1;
+            if self.tags[base + way].line == line {
+                return Some(way);
+            }
+        }
+        None
+    }
+
     /// Looks up `line`; on a hit refreshes LRU state and returns `true`.
     ///
     /// Records a hit or miss in the statistics under `kind`.
     pub fn probe(&mut self, line: u64, kind: AccessKind) -> bool {
         self.clock += 1;
-        let clock = self.clock;
         let set = self.set_index(line);
-        let hit = self.sets[set].iter_mut().find_map(|slot| match slot {
-            Some(tag) if tag.line == line => {
-                tag.stamp = clock;
-                Some(())
-            }
-            _ => None,
-        });
+        let hit = self.find_way(set, line);
+        if let Some(way) = hit {
+            self.tags[set * self.cfg.ways + way].stamp = self.clock;
+        }
         let stats = match kind {
             AccessKind::Data => &mut self.stats.data,
             AccessKind::PageTable => &mut self.stats.page_table,
@@ -221,9 +253,7 @@ impl Cache {
     /// Returns whether `line` is resident, without touching LRU or stats.
     pub fn contains(&self, line: u64) -> bool {
         let set = self.set_index(line);
-        self.sets[set]
-            .iter()
-            .any(|slot| matches!(slot, Some(t) if t.line == line))
+        self.find_way(set, line).is_some()
     }
 
     /// Inserts `line` after a miss, choosing a victim if the set is full.
@@ -260,43 +290,34 @@ impl Cache {
             owner,
             stamp: self.clock,
         };
-        let set_idx = self.set_index(line);
+        let set = self.set_index(line);
+        let base = set * self.cfg.ways;
 
-        // Free way?
-        if let Some(slot) = self.sets[set_idx].iter_mut().find(|s| s.is_none()) {
-            *slot = Some(new_tag);
+        // Free way? (lowest clear bit, matching the old first-empty-slot
+        // scan).
+        let free = !self.valid[set] & Self::ways_mask(self.cfg.ways);
+        if free != 0 {
+            let way = free.trailing_zeros() as usize;
+            self.valid[set] |= 1 << way;
+            self.tags[base + way] = new_tag;
             return None;
         }
 
-        let biased = priority_active
-            && self.cfg.pt_priority
-            && self.rng.chance(self.cfg.priority_prob);
-        let set = &mut self.sets[set_idx];
-
-        let lru_of = |pred: &dyn Fn(&LineTag) -> bool| -> Option<usize> {
-            set.iter()
-                .enumerate()
-                .filter_map(|(i, s)| s.as_ref().map(|t| (i, t)))
-                .filter(|(_, t)| pred(t))
-                .min_by_key(|(_, t)| t.stamp)
-                .map(|(i, _)| i)
-        };
+        let biased =
+            priority_active && self.cfg.pt_priority && self.rng.chance(self.cfg.priority_prob);
 
         let victim_way = if biased {
             // Prefer own data, then any data, then overall LRU.
-            lru_of(&|t: &LineTag| t.kind == AccessKind::Data && t.owner == owner)
-                .or_else(|| lru_of(&|t: &LineTag| t.kind == AccessKind::Data))
-                .or_else(|| lru_of(&|_| true))
+            self.lru_where(set, |t| t.kind == AccessKind::Data && t.owner == owner)
+                .or_else(|| self.lru_where(set, |t| t.kind == AccessKind::Data))
+                .or_else(|| self.lru_where(set, |_| true))
         } else {
-            lru_of(&|_| true)
+            self.lru_where(set, |_| true)
         }
         .expect("full set must yield a victim");
 
-        let victim = set[victim_way].replace(new_tag).expect("victim existed");
-        if priority_active
-            && self.cfg.pt_priority
-            && victim.kind == AccessKind::PageTable
-        {
+        let victim = std::mem::replace(&mut self.tags[base + victim_way], new_tag);
+        if priority_active && self.cfg.pt_priority && victim.kind == AccessKind::PageTable {
             self.stats.pt_evictions_during_priority += 1;
         }
         Some(Eviction {
@@ -306,14 +327,54 @@ impl Cache {
         })
     }
 
+    /// All-ways bitmask for an associativity of `ways`.
+    #[inline]
+    fn ways_mask(ways: usize) -> u64 {
+        if ways == 64 {
+            u64::MAX
+        } else {
+            (1u64 << ways) - 1
+        }
+    }
+
+    /// Way index of the least-recently-used valid line in `set` matching
+    /// `pred` (first such way on stamp ties, like the old per-set scan).
+    #[inline]
+    fn lru_where(&self, set: usize, pred: impl Fn(&LineTag) -> bool) -> Option<usize> {
+        let base = set * self.cfg.ways;
+        let mut mask = self.valid[set];
+        let mut best: Option<(usize, u64)> = None;
+        while mask != 0 {
+            let way = mask.trailing_zeros() as usize;
+            mask &= mask - 1;
+            let tag = &self.tags[base + way];
+            if pred(tag) && best.is_none_or(|(_, stamp)| tag.stamp < stamp) {
+                best = Some((way, tag.stamp));
+            }
+        }
+        best.map(|(way, _)| way)
+    }
+
     /// Number of resident lines matching `kind` (O(size); for tests and
     /// reports).
     pub fn resident_lines(&self, kind: AccessKind) -> usize {
-        self.sets
+        let ways = self.cfg.ways;
+        self.valid
             .iter()
-            .flatten()
-            .filter(|s| matches!(s, Some(t) if t.kind == kind))
-            .count()
+            .enumerate()
+            .map(|(set, &mask)| {
+                let mut mask = mask;
+                let mut count = 0;
+                while mask != 0 {
+                    let way = mask.trailing_zeros() as usize;
+                    mask &= mask - 1;
+                    if self.tags[set * ways + way].kind == kind {
+                        count += 1;
+                    }
+                }
+                count
+            })
+            .sum()
     }
 }
 

@@ -331,6 +331,11 @@ mod tests {
             16,
             false,
         );
-        let _ = mmu.access(&aspace, &mut hier, VirtAddr::new(0x4000_0000), OwnerId::SINGLE);
+        let _ = mmu.access(
+            &aspace,
+            &mut hier,
+            VirtAddr::new(0x4000_0000),
+            OwnerId::SINGLE,
+        );
     }
 }

@@ -107,14 +107,7 @@ impl NestedWalker {
         owner: OwnerId,
     ) -> Result<WalkTiming, WalkError> {
         let guest_walk = resolve(tables.guest_store, tables.guest_table, gva)?;
-        let cum: Vec<u32> = guest_walk
-            .steps
-            .iter()
-            .scan(0u32, |acc, s| {
-                *acc += s.index_bits();
-                Some(*acc)
-            })
-            .collect();
+        let cum = guest_walk.steps.cum_index_bits();
 
         let mut latency = self.guest_pwc.latency();
         let mut accesses = 0u64;
@@ -130,8 +123,7 @@ impl NestedWalker {
         // Guest levels: translate each entry's gPA, then read the entry.
         for step in &guest_walk.steps[first_step..] {
             let entry_gpa = PhysAddr::new(step.entry_pa.raw());
-            let (entry_hpa, lat, acc, _) =
-                self.host_translate(tables, entry_gpa, hier, owner)?;
+            let (entry_hpa, lat, acc, _) = self.host_translate(tables, entry_gpa, hier, owner)?;
             latency += lat;
             accesses += acc;
             let out = hier.access(entry_hpa, AccessKind::PageTable, owner);
@@ -152,8 +144,7 @@ impl NestedWalker {
 
         // Final host translation of the data's guest-physical address.
         let data_gpa = PhysAddr::new(guest_walk.pa.raw());
-        let (data_hpa, lat, acc, host_size) =
-            self.host_translate(tables, data_gpa, hier, owner)?;
+        let (data_hpa, lat, acc, host_size) = self.host_translate(tables, data_gpa, hier, owner)?;
         latency += lat;
         accesses += acc;
 
@@ -189,14 +180,7 @@ impl NestedWalker {
 
         let host_va = gpa.as_nested_input();
         let walk = resolve(tables.host_store, tables.host_table, host_va)?;
-        let cum: Vec<u32> = walk
-            .steps
-            .iter()
-            .scan(0u32, |acc, s| {
-                *acc += s.index_bits();
-                Some(*acc)
-            })
-            .collect();
+        let cum = walk.steps.cum_index_bits();
         latency += self.host_pwc.latency();
         let mut first_step = 0usize;
         if let Some(hit) = self.host_pwc.lookup(host_va) {
@@ -290,7 +274,12 @@ mod tests {
         let mut w = NestedWalker::new(PwcConfig::server(), PwcConfig::server(), 16);
 
         let cold = w
-            .walk(&tables, VirtAddr::new(0x4000_0000), &mut hier, OwnerId::SINGLE)
+            .walk(
+                &tables,
+                VirtAddr::new(0x4000_0000),
+                &mut hier,
+                OwnerId::SINGLE,
+            )
             .unwrap();
         assert!(
             cold.accesses > 10,
@@ -300,7 +289,12 @@ mod tests {
         assert_eq!(cold.pa.raw(), 0x10_0000_0000 + 0x2000_0000);
 
         let warm = w
-            .walk(&tables, VirtAddr::new(0x4000_1000), &mut hier, OwnerId::SINGLE)
+            .walk(
+                &tables,
+                VirtAddr::new(0x4000_1000),
+                &mut hier,
+                OwnerId::SINGLE,
+            )
             .unwrap();
         assert!(
             warm.accesses <= 3,
@@ -323,7 +317,12 @@ mod tests {
         let mut w = NestedWalker::new(PwcConfig::server(), PwcConfig::server(), 16);
 
         let cold = w
-            .walk(&tables, VirtAddr::new(0x4000_0000), &mut hier, OwnerId::SINGLE)
+            .walk(
+                &tables,
+                VirtAddr::new(0x4000_0000),
+                &mut hier,
+                OwnerId::SINGLE,
+            )
             .unwrap();
         assert!(
             cold.accesses <= 8,
@@ -332,7 +331,12 @@ mod tests {
         );
         // Warm: guest PSC hit (1 guest access) + final host translation.
         let warm = w
-            .walk(&tables, VirtAddr::new(0x4000_1000), &mut hier, OwnerId::SINGLE)
+            .walk(
+                &tables,
+                VirtAddr::new(0x4000_1000),
+                &mut hier,
+                OwnerId::SINGLE,
+            )
             .unwrap();
         assert!(
             warm.accesses <= 3,
@@ -393,7 +397,12 @@ mod tests {
         let mut hier = MemoryHierarchy::new(HierarchyConfig::server());
         let mut w = NestedWalker::new(PwcConfig::server(), PwcConfig::server(), 16);
         let t = w
-            .walk(&tables, VirtAddr::new(0x4000_0000), &mut hier, OwnerId::SINGLE)
+            .walk(
+                &tables,
+                VirtAddr::new(0x4000_0000),
+                &mut hier,
+                OwnerId::SINGLE,
+            )
             .unwrap();
         assert_eq!(t.size, PageSize::Size4K);
         assert_eq!(t.pa.raw(), 0x10_0000_0000 + 0x20_0000);
@@ -411,8 +420,13 @@ mod tests {
         };
         let mut hier = MemoryHierarchy::new(HierarchyConfig::server());
         let mut w = NestedWalker::new(PwcConfig::server(), PwcConfig::server(), 16);
-        w.walk(&tables, VirtAddr::new(0x4000_0000), &mut hier, OwnerId::SINGLE)
-            .unwrap();
+        w.walk(
+            &tables,
+            VirtAddr::new(0x4000_0000),
+            &mut hier,
+            OwnerId::SINGLE,
+        )
+        .unwrap();
         let s = w.stats();
         assert_eq!(s.walks.walks, 1);
         assert_eq!(s.nested_translations, 5, "4 guest entries + final data");

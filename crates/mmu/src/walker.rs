@@ -142,15 +142,9 @@ impl PageWalker {
         hier: &mut MemoryHierarchy,
         owner: OwnerId,
     ) -> WalkTiming {
-        // Cumulative index bits consumed after each step.
-        let cum: Vec<u32> = walk
-            .steps
-            .iter()
-            .scan(0u32, |acc, s| {
-                *acc += s.index_bits();
-                Some(*acc)
-            })
-            .collect();
+        // Cumulative index bits consumed after each step (inline, no
+        // per-walk allocation).
+        let cum = walk.steps.cum_index_bits();
 
         let mut latency = self.pwc.latency();
         let mut first_step = 0usize;
@@ -161,7 +155,8 @@ impl PageWalker {
             if let Some(i) = cum.iter().position(|&c| c == hit.prefix_bits) {
                 if i + 1 < walk.steps.len() {
                     debug_assert_eq!(
-                        walk.steps[i + 1].node_base, hit.node_base,
+                        walk.steps[i + 1].node_base,
+                        hit.node_base,
                         "PSC must agree with the table"
                     );
                     first_step = i + 1;
@@ -228,7 +223,13 @@ mod tests {
         let mut w = PageWalker::new(PwcConfig::server());
 
         let cold = w
-            .walk(&store, m.table(), VirtAddr::new(0x5000_0000), &mut hier, OwnerId::SINGLE)
+            .walk(
+                &store,
+                m.table(),
+                VirtAddr::new(0x5000_0000),
+                &mut hier,
+                OwnerId::SINGLE,
+            )
             .unwrap();
         assert_eq!(cold.accesses, 4, "cold walk reads all four levels");
         assert_eq!(cold.pa.raw(), 0x9_0000_0000);
@@ -236,7 +237,13 @@ mod tests {
         // A different page in the same 2 MB region: the 27-bit PSC entry
         // skips L4/L3/L2 → single access.
         let warm = w
-            .walk(&store, m.table(), VirtAddr::new(0x5000_1000), &mut hier, OwnerId::SINGLE)
+            .walk(
+                &store,
+                m.table(),
+                VirtAddr::new(0x5000_1000),
+                &mut hier,
+                OwnerId::SINGLE,
+            )
             .unwrap();
         assert_eq!(warm.accesses, 1);
         assert!(warm.latency < cold.latency);
@@ -249,14 +256,26 @@ mod tests {
         let mut w = PageWalker::new(PwcConfig::server());
 
         let cold = w
-            .walk(&store, m.table(), VirtAddr::new(0x5000_0000), &mut hier, OwnerId::SINGLE)
+            .walk(
+                &store,
+                m.table(),
+                VirtAddr::new(0x5000_0000),
+                &mut hier,
+                OwnerId::SINGLE,
+            )
             .unwrap();
         assert_eq!(cold.accesses, 2, "flattened cold walk is two accesses");
 
         // Any VA within the same 1 GB region (18-bit prefix) now takes a
         // single access — the paper's headline mechanism (§3.3).
         let warm = w
-            .walk(&store, m.table(), VirtAddr::new(0x5000_3000), &mut hier, OwnerId::SINGLE)
+            .walk(
+                &store,
+                m.table(),
+                VirtAddr::new(0x5000_3000),
+                &mut hier,
+                OwnerId::SINGLE,
+            )
             .unwrap();
         assert_eq!(warm.accesses, 1);
     }
@@ -267,9 +286,13 @@ mod tests {
         let mut hier = MemoryHierarchy::new(HierarchyConfig::server());
         let mut w = PageWalker::new(PwcConfig::server());
         let va = VirtAddr::new(0x5000_0000);
-        let cold = w.walk(&store, m.table(), va, &mut hier, OwnerId::SINGLE).unwrap();
+        let cold = w
+            .walk(&store, m.table(), va, &mut hier, OwnerId::SINGLE)
+            .unwrap();
         // Second walk of the *same* VA: single access AND an L1 cache hit.
-        let hot = w.walk(&store, m.table(), va, &mut hier, OwnerId::SINGLE).unwrap();
+        let hot = w
+            .walk(&store, m.table(), va, &mut hier, OwnerId::SINGLE)
+            .unwrap();
         assert_eq!(hot.accesses, 1);
         assert_eq!(hot.latency, 1 + 4, "PSC lookup + L1 hit");
         assert!(cold.latency >= 2 * 200, "cold walk paid DRAM twice");
@@ -304,7 +327,13 @@ mod tests {
         let mut hier = MemoryHierarchy::new(HierarchyConfig::server());
         let mut w = PageWalker::new(PwcConfig::server());
         assert!(w
-            .walk(&store, m.table(), VirtAddr::new(0x9999_0000_0000), &mut hier, OwnerId::SINGLE)
+            .walk(
+                &store,
+                m.table(),
+                VirtAddr::new(0x9999_0000_0000),
+                &mut hier,
+                OwnerId::SINGLE
+            )
             .is_err());
     }
 }

@@ -88,7 +88,10 @@ impl BuddyAllocator {
     /// Panics unless `total` is a power-of-two multiple of 4 KB of at
     /// least one page and `base` is aligned to `total`'s largest block.
     pub fn new(base: u64, total: u64) -> Self {
-        assert!(total >= 4096 && total.is_power_of_two(), "total must be a power of two ≥ 4 KB");
+        assert!(
+            total >= 4096 && total.is_power_of_two(),
+            "total must be a power of two ≥ 4 KB"
+        );
         assert_eq!(base % total, 0, "base must be aligned to the region size");
         let max_order = (total / 4096).trailing_zeros();
         let mut free = vec![BTreeSet::new(); max_order as usize + 1];
@@ -115,7 +118,9 @@ impl BuddyAllocator {
 
     /// The largest order with a free block, if any.
     pub fn largest_free_order(&self) -> Option<u32> {
-        (0..self.free.len() as u32).rev().find(|&o| !self.free[o as usize].is_empty())
+        (0..self.free.len() as u32)
+            .rev()
+            .find(|&o| !self.free[o as usize].is_empty())
     }
 
     /// Request statistics.

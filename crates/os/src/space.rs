@@ -36,8 +36,7 @@ impl FragmentationScenario {
     };
 
     /// The three paper scenarios in presentation order.
-    pub const ALL: [FragmentationScenario; 3] =
-        [Self::NONE, Self::HALF, Self::FULL];
+    pub const ALL: [FragmentationScenario; 3] = [Self::NONE, Self::HALF, Self::FULL];
 
     /// Short label ("0% LP", "50% LP", "100% LP").
     pub fn label(&self) -> String {
@@ -141,9 +140,8 @@ impl AddressSpace {
             "base VA must be 2 MB aligned"
         );
         let footprint = PageSize::Size2M.align_up(spec.footprint.max(1));
-        let huge_bytes = PageSize::Size2M.align_down(
-            (footprint as f64 * spec.scenario.large_page_fraction) as u64,
-        );
+        let huge_bytes = PageSize::Size2M
+            .align_down((footprint as f64 * spec.scenario.large_page_fraction) as u64);
 
         // Plan: [base, base+huge_bytes) in 2 MB pages, rest in 4 KB.
         // Pre-compute NF regions from the plan (§3.4).

@@ -200,18 +200,26 @@ impl Registry {
     fn verify(&self, procs: &HashMap<u64, Process>, where_: &str) {
         for (pid, p) in procs {
             for (i, &addr) in p.pages.iter().enumerate() {
-                let info = self.info.get(&addr).unwrap_or_else(|| {
-                    panic!("{where_}: page {addr:#x} of pid {pid} untracked")
-                });
+                let info = self
+                    .info
+                    .get(&addr)
+                    .unwrap_or_else(|| panic!("{where_}: page {addr:#x} of pid {pid} untracked"));
                 assert_eq!(info.owner, *pid, "{where_}: owner mismatch {addr:#x}");
                 assert_eq!(info.owner_pos, i, "{where_}: owner_pos mismatch {addr:#x}");
             }
         }
         for (g, &addr) in self.all.iter().enumerate() {
             let info = self.info.get(&addr).expect("global page tracked");
-            assert_eq!(info.global_pos, g, "{where_}: global_pos mismatch {addr:#x}");
+            assert_eq!(
+                info.global_pos, g,
+                "{where_}: global_pos mismatch {addr:#x}"
+            );
         }
-        assert_eq!(self.all.len(), self.info.len(), "{where_}: registry size skew");
+        assert_eq!(
+            self.all.len(),
+            self.info.len(),
+            "{where_}: registry size skew"
+        );
     }
 
     fn random_page(&self, rng: &mut SplitMix64) -> Option<u64> {

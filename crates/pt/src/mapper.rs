@@ -233,8 +233,7 @@ impl Mapper {
         let group = layout.group_of(top);
         let desired = group.depth.min(policy.max_depth(top, VirtAddr::new(0)));
         let mut census = NodeCensus::default();
-        let (root, root_shape) =
-            alloc_node_with_fallback(store, alloc, desired, &mut census)?;
+        let (root, root_shape) = alloc_node_with_fallback(store, alloc, desired, &mut census)?;
         Ok(Mapper {
             layout,
             table: PageTable {
@@ -392,8 +391,8 @@ impl Mapper {
             let mut pos_top = self.table.top_level;
             loop {
                 let depth = node_shape.depth();
-                let pos_bottom = Level::from_rank(pos_top.rank() - (depth - 1))
-                    .ok_or(PromoteError::BadLevel)?;
+                let pos_bottom =
+                    Level::from_rank(pos_top.rank() - (depth - 1)).ok_or(PromoteError::BadLevel)?;
                 if pos_bottom.rank() <= top.rank() {
                     // The target level is inside this (already merged)
                     // node.
@@ -475,9 +474,7 @@ impl Mapper {
 
         // Swing the parent pointer (or the root).
         match parent_entry {
-            Some(entry_pa) => {
-                store.write_pte(entry_pa, Pte::pointer(flat_base, NodeShape::Flat2))
-            }
+            Some(entry_pa) => store.write_pte(entry_pa, Pte::pointer(flat_base, NodeShape::Flat2)),
             None => {
                 self.table.root = flat_base;
                 self.table.root_shape = NodeShape::Flat2;
@@ -555,8 +552,15 @@ mod tests {
         let (mut store, mut alloc, mut m) = setup(Layout::conventional4());
         let va = VirtAddr::new(0x7fff_1234_5000);
         let pa = PhysAddr::new(0x1_2345_6000);
-        m.map(&mut store, &mut alloc, &FlattenEverywhere, va, pa, PageSize::Size4K)
-            .unwrap();
+        m.map(
+            &mut store,
+            &mut alloc,
+            &FlattenEverywhere,
+            va,
+            pa,
+            PageSize::Size4K,
+        )
+        .unwrap();
         let w = resolve(&store, m.table(), va).unwrap();
         assert_eq!(w.pa, pa);
         assert_eq!(w.size, PageSize::Size4K);
@@ -571,8 +575,15 @@ mod tests {
         let (mut store, mut alloc, mut m) = setup(Layout::conventional4());
         let va = VirtAddr::new(0x1000_0000);
         let pa = PhysAddr::new(0x2000_0000);
-        m.map(&mut store, &mut alloc, &FlattenEverywhere, va, pa, PageSize::Size4K)
-            .unwrap();
+        m.map(
+            &mut store,
+            &mut alloc,
+            &FlattenEverywhere,
+            va,
+            pa,
+            PageSize::Size4K,
+        )
+        .unwrap();
         let w = resolve(&store, m.table(), VirtAddr::new(0x1000_0abc)).unwrap();
         assert_eq!(w.pa.raw(), 0x2000_0abc);
     }
@@ -582,8 +593,15 @@ mod tests {
         let (mut store, mut alloc, mut m) = setup(Layout::flat_l4l3_l2l1());
         let va = VirtAddr::new(0x55_5000_3000);
         let pa = PhysAddr::new(0x8000_4000);
-        m.map(&mut store, &mut alloc, &FlattenEverywhere, va, pa, PageSize::Size4K)
-            .unwrap();
+        m.map(
+            &mut store,
+            &mut alloc,
+            &FlattenEverywhere,
+            va,
+            pa,
+            PageSize::Size4K,
+        )
+        .unwrap();
         let w = resolve(&store, m.table(), va).unwrap();
         assert_eq!(w.pa, pa);
         assert_eq!(w.steps.len(), 2);
@@ -596,8 +614,15 @@ mod tests {
         let (mut store, mut alloc, mut m) = setup(Layout::conventional4());
         let va = VirtAddr::new(0x4000_0000);
         let pa = PhysAddr::new(0x8000_0000);
-        m.map(&mut store, &mut alloc, &FlattenEverywhere, va, pa, PageSize::Size2M)
-            .unwrap();
+        m.map(
+            &mut store,
+            &mut alloc,
+            &FlattenEverywhere,
+            va,
+            pa,
+            PageSize::Size2M,
+        )
+        .unwrap();
         let probe = VirtAddr::new(0x4000_0000 + 0x12_3456);
         let w = resolve(&store, m.table(), probe).unwrap();
         assert_eq!(w.size, PageSize::Size2M);
@@ -610,8 +635,15 @@ mod tests {
         let (mut store, mut alloc, mut m) = setup(Layout::flat_l4l3_l2l1());
         let va = VirtAddr::new(0x4000_0000);
         let pa = PhysAddr::new(0x8000_0000);
-        m.map(&mut store, &mut alloc, &FlattenEverywhere, va, pa, PageSize::Size2M)
-            .unwrap();
+        m.map(
+            &mut store,
+            &mut alloc,
+            &FlattenEverywhere,
+            va,
+            pa,
+            PageSize::Size2M,
+        )
+        .unwrap();
         assert_eq!(m.census().replicated_entries, 512);
         // Every 4 KB chunk resolves individually to the right place.
         for chunk in [0u64, 1, 255, 511] {
@@ -661,8 +693,15 @@ mod tests {
         .unwrap();
         let va = VirtAddr::new(0x1234_5000);
         let pa = PhysAddr::new(0x9_8765_4000);
-        m.map(&mut store, &mut alloc, &FlattenEverywhere, va, pa, PageSize::Size4K)
-            .unwrap();
+        m.map(
+            &mut store,
+            &mut alloc,
+            &FlattenEverywhere,
+            va,
+            pa,
+            PageSize::Size4K,
+        )
+        .unwrap();
         // Everything fell back: 4 conventional nodes, 0 flat.
         assert_eq!(m.census().flat2_nodes, 0);
         assert_eq!(m.census().conventional_nodes, 4);
@@ -708,8 +747,15 @@ mod tests {
         .unwrap();
         let va = VirtAddr::new(0x7700_0000);
         let pa = PhysAddr::new(0x12_0000_1000);
-        m.map(&mut store, &mut alloc, &FlattenEverywhere, va, pa, PageSize::Size4K)
-            .unwrap();
+        m.map(
+            &mut store,
+            &mut alloc,
+            &FlattenEverywhere,
+            va,
+            pa,
+            PageSize::Size4K,
+        )
+        .unwrap();
         assert_eq!(m.census().flat2_nodes, 1);
         assert_eq!(m.census().conventional_nodes, 2, "L2 and L1 fell back");
         let w = resolve(&store, m.table(), va).unwrap();
@@ -722,10 +768,24 @@ mod tests {
         let (mut store, mut alloc, mut m) = setup(Layout::conventional4());
         let va = VirtAddr::new(0x1000_0000);
         let pa = PhysAddr::new(0x2000_0000);
-        m.map(&mut store, &mut alloc, &FlattenEverywhere, va, pa, PageSize::Size4K)
-            .unwrap();
+        m.map(
+            &mut store,
+            &mut alloc,
+            &FlattenEverywhere,
+            va,
+            pa,
+            PageSize::Size4K,
+        )
+        .unwrap();
         assert_eq!(
-            m.map(&mut store, &mut alloc, &FlattenEverywhere, va, pa, PageSize::Size4K),
+            m.map(
+                &mut store,
+                &mut alloc,
+                &FlattenEverywhere,
+                va,
+                pa,
+                PageSize::Size4K
+            ),
             Err(MapError::Conflict)
         );
         assert_eq!(
@@ -746,8 +806,15 @@ mod tests {
         let (mut store, mut alloc, mut m) = setup(Layout::conventional4());
         let va = VirtAddr::new(0x40_0000_0000);
         let pa = PhysAddr::new(0x80_0000_0000);
-        m.map(&mut store, &mut alloc, &FlattenEverywhere, va, pa, PageSize::Size1G)
-            .unwrap();
+        m.map(
+            &mut store,
+            &mut alloc,
+            &FlattenEverywhere,
+            va,
+            pa,
+            PageSize::Size1G,
+        )
+        .unwrap();
         let w = resolve(&store, m.table(), VirtAddr::new(0x40_3FFF_FFFF)).unwrap();
         assert_eq!(w.size, PageSize::Size1G);
         assert_eq!(w.pa.raw(), 0x80_3FFF_FFFF);
@@ -759,11 +826,22 @@ mod tests {
         let (mut store, mut alloc, mut m) = setup(Layout::flat_l4l3());
         let va = VirtAddr::new(0x40_0000_0000);
         let pa = PhysAddr::new(0x80_0000_0000);
-        m.map(&mut store, &mut alloc, &FlattenEverywhere, va, pa, PageSize::Size1G)
-            .unwrap();
+        m.map(
+            &mut store,
+            &mut alloc,
+            &FlattenEverywhere,
+            va,
+            pa,
+            PageSize::Size1G,
+        )
+        .unwrap();
         let w = resolve(&store, m.table(), va.add(0x1000)).unwrap();
         assert_eq!(w.size, PageSize::Size1G);
-        assert_eq!(w.steps.len(), 1, "single access: terminal inside the flat root");
+        assert_eq!(
+            w.steps.len(),
+            1,
+            "single access: terminal inside the flat root"
+        );
         assert_eq!(m.census().replicated_entries, 0);
     }
 

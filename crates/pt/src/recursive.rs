@@ -216,8 +216,7 @@ mod tests {
     fn build(layout: Layout) -> (FrameStore, Mapper) {
         let mut store = FrameStore::new();
         let mut alloc = BumpAllocator::new(0x1_0000_0000);
-        let mut m =
-            Mapper::new(&mut store, &mut alloc, layout, &FlattenEverywhere).unwrap();
+        let mut m = Mapper::new(&mut store, &mut alloc, layout, &FlattenEverywhere).unwrap();
         // A data mapping far away from the recursion slot.
         m.map(
             &mut store,
@@ -236,7 +235,11 @@ mod tests {
         let (mut store, m) = build(Layout::conventional4());
         let rec = RecursiveScheme::install(&mut store, m.table(), SLOT).unwrap();
         let va = VirtAddr::new(0x12_3456_7000);
-        let (l4, l3, l2) = (va.index(Level::L4), va.index(Level::L3), va.index(Level::L2));
+        let (l4, l3, l2) = (
+            va.index(Level::L4),
+            va.index(Level::L3),
+            va.index(Level::L2),
+        );
 
         // Root node via 4 recursions.
         let w = resolve(&store, m.table(), rec.node_va(&[])).unwrap();
@@ -266,9 +269,7 @@ mod tests {
         // Reading the actual PTE through the recursive mapping: the walk
         // translated VA→(PA of L1 node); add the entry offset and read.
         let l1_walk = resolve(&store, m.table(), l1_va).unwrap();
-        let pte_pa = l1_walk
-            .frame_base()
-            .add(va.index(Level::L1) as u64 * 8);
+        let pte_pa = l1_walk.frame_base().add(va.index(Level::L1) as u64 * 8);
         let pte = store.read_pte(pte_pa);
         assert_eq!(pte.addr(), PhysAddr::new(0x77_0000_0000));
     }
@@ -299,9 +300,7 @@ mod tests {
         assert_eq!(w.size, PageSize::Size2M);
         assert_eq!(w.frame_base(), flat_node);
         // The full 2 MB node is addressable: read the PTE for (l3, l2).
-        let pte_pa = w
-            .frame_base()
-            .add(((l3 << 9) | l2) as u64 * 8);
+        let pte_pa = w.frame_base().add(((l3 << 9) | l2) as u64 * 8);
         assert_eq!(store.read_pte(pte_pa).addr(), l1_node);
     }
 
@@ -315,7 +314,11 @@ mod tests {
         assert_eq!(data_walk.steps.len(), 3); // flat root, L2, L1
         let l2_node = data_walk.steps[1].node_base;
         let l1_node = data_walk.steps[2].node_base;
-        let (l4, l3, l2) = (va.index(Level::L4), va.index(Level::L3), va.index(Level::L2));
+        let (l4, l3, l2) = (
+            va.index(Level::L4),
+            va.index(Level::L3),
+            va.index(Level::L2),
+        );
 
         // Single recursion through the glue → L1 node (Fig. 6 bottom
         // right: fields [g, l4, l3, l2]).

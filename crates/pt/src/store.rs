@@ -2,6 +2,7 @@
 
 use std::collections::HashMap;
 
+use flatwalk_types::rng::SplitMixBuildHasher;
 use flatwalk_types::{PhysAddr, PTE_BYTES};
 
 use crate::Pte;
@@ -26,7 +27,11 @@ use crate::Pte;
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct FrameStore {
-    frames: HashMap<u64, Box<[u64; 512]>>,
+    /// Frame-number → node contents. Keyed by a seeded SplitMix hasher:
+    /// the default SipHash dominates `read_u64` (hit on every walk step
+    /// of every page walk), and its DoS resistance buys nothing for
+    /// self-generated frame numbers.
+    frames: HashMap<u64, Box<[u64; 512]>, SplitMixBuildHasher>,
 }
 
 impl FrameStore {

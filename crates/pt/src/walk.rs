@@ -33,11 +33,119 @@ impl WalkStep {
     }
 }
 
+/// Inline, allocation-free list of the steps of one walk.
+///
+/// `resolve` runs on every simulated page walk, so its step list lives
+/// on the stack (bounded by [`MAX_STEPS`]) instead of in a fresh `Vec`.
+/// Dereferences to `[WalkStep]`, so all slice operations (`iter`,
+/// `len`, indexing, slicing) work unchanged.
+#[derive(Clone, Copy)]
+pub struct StepVec {
+    steps: [WalkStep; MAX_STEPS],
+    len: u8,
+}
+
+impl StepVec {
+    /// An empty step list.
+    pub const fn new() -> Self {
+        const DUMMY: WalkStep = WalkStep {
+            pos_top: Level::L1,
+            depth: 0,
+            entry_pa: PhysAddr::new(0),
+            node_base: PhysAddr::new(0),
+            index: 0,
+        };
+        StepVec {
+            steps: [DUMMY; MAX_STEPS],
+            len: 0,
+        }
+    }
+
+    /// Appends a step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the list already holds [`MAX_STEPS`] steps.
+    pub fn push(&mut self, step: WalkStep) {
+        self.steps[self.len as usize] = step;
+        self.len += 1;
+    }
+
+    /// Cumulative VA bits consumed after each step (the prefix lengths
+    /// that paging-structure caches are indexed by), computed inline —
+    /// walk replay runs on every TLB miss and must not allocate.
+    pub fn cum_index_bits(&self) -> CumBits {
+        let mut bits = [0u32; MAX_STEPS];
+        let mut acc = 0u32;
+        for (i, step) in self.iter().enumerate() {
+            acc += step.index_bits();
+            bits[i] = acc;
+        }
+        CumBits {
+            bits,
+            len: self.len,
+        }
+    }
+}
+
+/// Inline result of [`StepVec::cum_index_bits`]; dereferences to
+/// `[u32]`, one entry per step.
+#[derive(Debug, Clone, Copy)]
+pub struct CumBits {
+    bits: [u32; MAX_STEPS],
+    len: u8,
+}
+
+impl std::ops::Deref for CumBits {
+    type Target = [u32];
+
+    fn deref(&self) -> &[u32] {
+        &self.bits[..self.len as usize]
+    }
+}
+
+impl Default for StepVec {
+    fn default() -> Self {
+        StepVec::new()
+    }
+}
+
+impl std::ops::Deref for StepVec {
+    type Target = [WalkStep];
+
+    fn deref(&self) -> &[WalkStep] {
+        &self.steps[..self.len as usize]
+    }
+}
+
+impl std::fmt::Debug for StepVec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_list().entries(self.iter()).finish()
+    }
+}
+
+impl PartialEq for StepVec {
+    fn eq(&self, other: &Self) -> bool {
+        **self == **other
+    }
+}
+
+impl Eq for StepVec {}
+
+impl<'a> IntoIterator for &'a StepVec {
+    type Item = &'a WalkStep;
+    type IntoIter = std::slice::Iter<'a, WalkStep>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
 /// A successful walk: the steps taken and the final translation.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Walk {
     /// Entry accesses, root first.
-    pub steps: Vec<WalkStep>,
+    pub steps: StepVec,
     /// The translated physical address (the full address, offset
     /// included).
     pub pa: PhysAddr,
@@ -102,7 +210,7 @@ const MAX_STEPS: usize = 8;
 ///
 /// See [`WalkError`].
 pub fn resolve(store: &FrameStore, table: &PageTable, va: VirtAddr) -> Result<Walk, WalkError> {
-    let mut steps = Vec::with_capacity(4);
+    let mut steps = StepVec::new();
     let mut node_base = table.root;
     let mut node_shape = table.root_shape;
     let mut pos_top = table.top_level;
@@ -112,11 +220,10 @@ pub fn resolve(store: &FrameStore, table: &PageTable, va: VirtAddr) -> Result<Wa
             return Err(WalkError::TooDeep);
         }
         let depth = node_shape.depth();
-        let pos_bottom = Level::from_rank(pos_top.rank().wrapping_sub(depth - 1))
-            .ok_or(WalkError::Malformed)?;
+        let pos_bottom =
+            Level::from_rank(pos_top.rank().wrapping_sub(depth - 1)).ok_or(WalkError::Malformed)?;
         let width = 9 * depth as u32;
-        let index =
-            ((va.raw() >> pos_bottom.index_shift()) & ((1u64 << width) - 1)) as usize;
+        let index = ((va.raw() >> pos_bottom.index_shift()) & ((1u64 << width) - 1)) as usize;
         let entry_pa = node_base.add(index as u64 * 8);
         steps.push(WalkStep {
             pos_top,

@@ -27,6 +27,7 @@ mod config;
 mod multicore;
 mod native;
 mod report;
+pub mod runner;
 mod virt;
 
 pub use config::{SimOptions, TranslationConfig};

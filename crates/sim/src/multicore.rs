@@ -55,14 +55,38 @@ impl Mix {
 /// The eight mixes of Table 2.
 pub fn table2_mixes() -> Vec<Mix> {
     vec![
-        Mix { id: 1, parts: ["dc", "dc", "dc", "dc"] },
-        Mix { id: 2, parts: ["liblinear_H"; 4] },
-        Mix { id: 3, parts: ["rand.", "rand.", "dc", "dc"] },
-        Mix { id: 4, parts: ["rand.", "rand.", "hashjoin", "hashjoin"] },
-        Mix { id: 5, parts: ["hashjoin", "hashjoin", "mummer", "mummer"] },
-        Mix { id: 6, parts: ["liblinear", "liblinear", "xsbench", "xsbench"] },
-        Mix { id: 7, parts: ["tiger", "tiger", "dfs", "bfs"] },
-        Mix { id: 8, parts: ["rand.", "liblinear", "dc", "cc"] },
+        Mix {
+            id: 1,
+            parts: ["dc", "dc", "dc", "dc"],
+        },
+        Mix {
+            id: 2,
+            parts: ["liblinear_H"; 4],
+        },
+        Mix {
+            id: 3,
+            parts: ["rand.", "rand.", "dc", "dc"],
+        },
+        Mix {
+            id: 4,
+            parts: ["rand.", "rand.", "hashjoin", "hashjoin"],
+        },
+        Mix {
+            id: 5,
+            parts: ["hashjoin", "hashjoin", "mummer", "mummer"],
+        },
+        Mix {
+            id: 6,
+            parts: ["liblinear", "liblinear", "xsbench", "xsbench"],
+        },
+        Mix {
+            id: 7,
+            parts: ["tiger", "tiger", "dfs", "bfs"],
+        },
+        Mix {
+            id: 8,
+            parts: ["rand.", "liblinear", "dc", "cc"],
+        },
     ]
 }
 
@@ -70,8 +94,17 @@ pub fn table2_mixes() -> Vec<Mix> {
 /// (the six heterogeneous Table 2 mixes and three further ones).
 pub fn all_mixes() -> Vec<Mix> {
     let homo = [
-        "dc", "liblinear_H", "rand.", "hashjoin", "mummer", "liblinear",
-        "xsbench", "tiger", "dfs", "bfs", "cc",
+        "dc",
+        "liblinear_H",
+        "rand.",
+        "hashjoin",
+        "mummer",
+        "liblinear",
+        "xsbench",
+        "tiger",
+        "dfs",
+        "bfs",
+        "cc",
     ];
     let mut mixes: Vec<Mix> = homo
         .iter()
@@ -82,9 +115,18 @@ pub fn all_mixes() -> Vec<Mix> {
         })
         .collect();
     mixes.extend(table2_mixes().into_iter().filter(|m| !m.is_homogeneous()));
-    mixes.push(Mix { id: 200, parts: ["gups", "mcf", "omnetpp", "pr"] });
-    mixes.push(Mix { id: 201, parts: ["graph500", "tc", "kcore", "sssp"] });
-    mixes.push(Mix { id: 202, parts: ["gr.color.", "mummer", "xsbench", "gups"] });
+    mixes.push(Mix {
+        id: 200,
+        parts: ["gups", "mcf", "omnetpp", "pr"],
+    });
+    mixes.push(Mix {
+        id: 201,
+        parts: ["graph500", "tc", "kcore", "sssp"],
+    });
+    mixes.push(Mix {
+        id: 202,
+        parts: ["gr.color.", "mummer", "xsbench", "gups"],
+    });
     mixes
 }
 
@@ -174,11 +216,10 @@ impl MulticoreSimulation {
                     .unwrap_or_else(|| panic!("unknown benchmark {name:?}"))
                     .scaled_down(opts.footprint_divisor);
                 let base_va = 0x1000_0000_0000 + (i as u64) * 0x100_0000_0000;
-                let space_spec =
-                    AddressSpaceSpec::new(config.layout.clone(), spec.footprint)
-                        .with_scenario(opts.scenario)
-                        .with_nf_threshold(config.nf_threshold)
-                        .with_base_va(base_va);
+                let space_spec = AddressSpaceSpec::new(config.layout.clone(), spec.footprint)
+                    .with_scenario(opts.scenario)
+                    .with_nf_threshold(config.nf_threshold)
+                    .with_base_va(base_va);
                 let space = AddressSpace::build(space_spec, &mut buddy)
                     .unwrap_or_else(|e| panic!("core {i} address space: {e}"));
                 let mut mmu = Mmu::native(
@@ -293,8 +334,8 @@ pub fn alone_ipcs(
             if out.contains_key(name) {
                 continue;
             }
-            let spec = WorkloadSpec::by_name(name)
-                .unwrap_or_else(|| panic!("unknown benchmark {name:?}"));
+            let spec =
+                WorkloadSpec::by_name(name).unwrap_or_else(|| panic!("unknown benchmark {name:?}"));
             let r = crate::NativeSimulation::build(spec, config.clone(), opts).run();
             out.insert(name, r.ipc());
         }
@@ -412,7 +453,10 @@ mod tests {
         )
         .run();
         let mixed = MulticoreSimulation::build(
-            &Mix { id: 999, parts: ["rand.", "rand.", "rand.", "dc"] },
+            &Mix {
+                id: 999,
+                parts: ["rand.", "rand.", "rand.", "dc"],
+            },
             TranslationConfig::baseline(),
             &opts,
         )

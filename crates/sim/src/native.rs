@@ -59,9 +59,7 @@ impl NativeSimulation {
             opts.phase_window,
             opts.phase_threshold,
         ));
-        let hier = MemoryHierarchy::new(
-            opts.hierarchy.clone().with_priority_prob(opts.ptp_bias),
-        );
+        let hier = MemoryHierarchy::new(opts.hierarchy.clone().with_priority_prob(opts.ptp_bias));
         let stream = AccessStream::new(spec.clone(), space.spec().base_va);
         NativeSimulation {
             spec,
@@ -102,9 +100,7 @@ impl NativeSimulation {
             opts.phase_window,
             opts.phase_threshold,
         ));
-        let hier = MemoryHierarchy::new(
-            opts.hierarchy.clone().with_priority_prob(opts.ptp_bias),
-        );
+        let hier = MemoryHierarchy::new(opts.hierarchy.clone().with_priority_prob(opts.ptp_bias));
         NativeSimulation {
             spec,
             config,

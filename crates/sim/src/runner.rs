@@ -1,0 +1,315 @@
+//! Deterministic parallel experiment runner.
+//!
+//! Every figure in the paper is a grid of independent simulations —
+//! (workload × translation config × fragmentation scenario) cells —
+//! and each cell owns all of its state (address space, hierarchy,
+//! TLBs, seeded RNGs), so cells can run on any thread in any order
+//! without perturbing results. This module fans a job list across a
+//! bounded pool of scoped worker threads and reassembles the results
+//! **in declaration order**, making the output of every experiment
+//! byte-identical to the serial run regardless of thread count.
+//!
+//! Thread count resolution (first match wins):
+//!
+//! 1. an explicit `--threads N` argument (parsed by the caller, passed
+//!    in via [`resolve_threads`]),
+//! 2. the `FLATWALK_THREADS` environment variable,
+//! 3. [`std::thread::available_parallelism`].
+//!
+//! Progress (cells done, simulated ops/s, ETA) is reported on stderr
+//! only — stdout carries nothing but the experiment's own output — and
+//! only when stderr is a terminal or `FLATWALK_PROGRESS=1` forces it.
+
+use std::io::{IsTerminal, Write};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use flatwalk_os::FragmentationScenario;
+use flatwalk_workloads::WorkloadSpec;
+
+use crate::{NativeSimulation, SimOptions, SimReport, TranslationConfig};
+
+/// One independent experiment cell: a single native simulation.
+#[derive(Debug, Clone)]
+pub struct Cell {
+    /// The workload to simulate.
+    pub workload: WorkloadSpec,
+    /// The translation mechanism under test.
+    pub config: TranslationConfig,
+    /// Memory fragmentation scenario (overrides `opts.scenario`).
+    pub scenario: FragmentationScenario,
+    /// Remaining simulation options.
+    pub opts: SimOptions,
+}
+
+impl Cell {
+    /// Creates a cell; `scenario` overrides whatever `opts` carries.
+    pub fn new(
+        workload: WorkloadSpec,
+        config: TranslationConfig,
+        scenario: FragmentationScenario,
+        opts: SimOptions,
+    ) -> Self {
+        Cell {
+            workload,
+            config,
+            scenario,
+            opts,
+        }
+    }
+
+    /// Simulated operations this cell executes (warm-up + measured).
+    pub fn sim_ops(&self) -> u64 {
+        self.opts.warmup_ops + self.opts.measure_ops
+    }
+
+    /// Builds and runs the simulation. Everything is constructed locally
+    /// from the cell's plain-data description, so this is safe to call
+    /// from any worker thread.
+    pub fn run(&self) -> SimReport {
+        let opts = self.opts.clone().with_scenario(self.scenario);
+        NativeSimulation::build(self.workload.clone(), self.config.clone(), &opts).run()
+    }
+}
+
+/// Resolves the worker-thread count: `explicit` (e.g. from `--threads`)
+/// if given, else `FLATWALK_THREADS`, else the machine's available
+/// parallelism. Always at least 1.
+pub fn resolve_threads(explicit: Option<usize>) -> usize {
+    explicit
+        .or_else(|| {
+            std::env::var("FLATWALK_THREADS")
+                .ok()
+                .and_then(|v| v.trim().parse().ok())
+        })
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+        .max(1)
+}
+
+/// Live progress/throughput meter for one job batch (stderr only).
+#[derive(Debug)]
+pub struct Progress {
+    label: &'static str,
+    total: usize,
+    done: AtomicUsize,
+    ops_done: AtomicU64,
+    /// Milliseconds (since `start`) before which no further progress
+    /// line is printed; claimed via compare-exchange so that exactly
+    /// one thread prints per interval.
+    next_print_ms: AtomicU64,
+    start: Instant,
+    enabled: bool,
+}
+
+impl Progress {
+    const PRINT_EVERY_MS: u64 = 200;
+
+    /// Creates a meter for `total` jobs under the given display label.
+    ///
+    /// Reporting is enabled when stderr is a terminal, forced on by
+    /// `FLATWALK_PROGRESS=1` and off by `FLATWALK_PROGRESS=0`.
+    pub fn new(label: &'static str, total: usize) -> Self {
+        let enabled = match std::env::var("FLATWALK_PROGRESS") {
+            Ok(v) if v == "0" => false,
+            Ok(v) if !v.is_empty() => true,
+            _ => std::io::stderr().is_terminal(),
+        };
+        Progress {
+            label,
+            total,
+            done: AtomicUsize::new(0),
+            ops_done: AtomicU64::new(0),
+            next_print_ms: AtomicU64::new(0),
+            start: Instant::now(),
+            enabled,
+        }
+    }
+
+    /// Records one finished job that simulated `ops` operations.
+    pub fn tick(&self, ops: u64) {
+        let done = self.done.fetch_add(1, Ordering::Relaxed) + 1;
+        let ops_done = self.ops_done.fetch_add(ops, Ordering::Relaxed) + ops;
+        if !self.enabled {
+            return;
+        }
+        let elapsed_ms = self.start.elapsed().as_millis() as u64;
+        let due = self.next_print_ms.load(Ordering::Relaxed);
+        let finished = done == self.total;
+        if !finished
+            && (elapsed_ms < due
+                || self
+                    .next_print_ms
+                    .compare_exchange(
+                        due,
+                        elapsed_ms + Self::PRINT_EVERY_MS,
+                        Ordering::Relaxed,
+                        Ordering::Relaxed,
+                    )
+                    .is_err())
+        {
+            return;
+        }
+        let secs = (elapsed_ms as f64 / 1e3).max(1e-9);
+        let rate = ops_done as f64 / secs;
+        let eta = if done > 0 {
+            secs * (self.total - done) as f64 / done as f64
+        } else {
+            0.0
+        };
+        let mut err = std::io::stderr().lock();
+        let _ = write!(
+            err,
+            "\r[{}] {}/{} cells · {:.1} M sim-ops/s · ETA {:.0}s ",
+            self.label,
+            done,
+            self.total,
+            rate / 1e6,
+            eta
+        );
+        if finished {
+            let _ = writeln!(err, "· done in {secs:.1}s");
+        }
+        let _ = err.flush();
+    }
+}
+
+/// Runs `jobs` across `threads` workers, returning results in job
+/// order. `weight(job)` feeds the progress meter (simulated ops).
+///
+/// With `threads <= 1` (or one job) this degenerates to a plain serial
+/// loop on the calling thread — no pool, identical evaluation order.
+/// With more threads, workers claim jobs from a shared counter
+/// (dynamic load balancing: cells of a grid can differ in cost by
+/// orders of magnitude) and deposit each result into its job's slot.
+///
+/// # Panics
+///
+/// A panicking job propagates: the scope joins every worker and the
+/// panic is re-raised on the caller, so a failed grid never yields a
+/// partial result vector.
+pub fn run_ordered<J, R, F, W>(
+    jobs: Vec<J>,
+    threads: usize,
+    progress: &Progress,
+    weight: W,
+    f: F,
+) -> Vec<R>
+where
+    J: Send,
+    R: Send,
+    F: Fn(J) -> R + Sync,
+    W: Fn(&J) -> u64 + Sync,
+{
+    let total = jobs.len();
+    if threads <= 1 || total <= 1 {
+        return jobs
+            .into_iter()
+            .map(|job| {
+                let ops = weight(&job);
+                let result = f(job);
+                progress.tick(ops);
+                result
+            })
+            .collect();
+    }
+
+    let job_slots: Vec<Mutex<Option<J>>> = jobs.into_iter().map(|j| Mutex::new(Some(j))).collect();
+    let result_slots: Vec<Mutex<Option<R>>> = (0..total).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(total) {
+            scope.spawn(|| loop {
+                let index = next.fetch_add(1, Ordering::Relaxed);
+                if index >= total {
+                    break;
+                }
+                let job = job_slots[index]
+                    .lock()
+                    .expect("job slot poisoned")
+                    .take()
+                    .expect("each job is claimed exactly once");
+                let ops = weight(&job);
+                let result = f(job);
+                *result_slots[index].lock().expect("result slot poisoned") = Some(result);
+                progress.tick(ops);
+            });
+        }
+    });
+
+    result_slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("every slot filled by the pool")
+        })
+        .collect()
+}
+
+/// Expands and runs a batch of [`Cell`]s on `threads` workers,
+/// returning `SimReport`s in cell order (byte-identical to a serial
+/// run — each cell owns its seeded RNGs and shares no state).
+pub fn run_cells(label: &'static str, cells: Vec<Cell>, threads: usize) -> Vec<SimReport> {
+    let progress = Progress::new(label, cells.len());
+    run_ordered(cells, threads, &progress, Cell::sim_ops, |cell| cell.run())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordered_results_regardless_of_threads() {
+        let jobs: Vec<u64> = (0..67).collect();
+        let progress = Progress::new("t", jobs.len());
+        let serial = run_ordered(jobs.clone(), 1, &progress, |_| 1, |j| j * j);
+        let progress = Progress::new("t", jobs.len());
+        let parallel = run_ordered(jobs, 5, &progress, |_| 1, |j| j * j);
+        assert_eq!(serial, parallel);
+        assert_eq!(serial[10], 100);
+    }
+
+    #[test]
+    fn pool_larger_than_job_list() {
+        let progress = Progress::new("t", 2);
+        let out = run_ordered(vec![1u64, 2], 16, &progress, |_| 1, |j| j + 1);
+        assert_eq!(out, vec![2, 3]);
+    }
+
+    #[test]
+    fn empty_batch() {
+        let progress = Progress::new("t", 0);
+        let out: Vec<u64> = run_ordered(Vec::new(), 4, &progress, |_| 1, |j: u64| j);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn explicit_thread_count_wins() {
+        assert_eq!(resolve_threads(Some(3)), 3);
+        assert_eq!(resolve_threads(Some(0)), 1, "clamped to at least one");
+    }
+
+    #[test]
+    fn panic_in_job_propagates() {
+        let result = std::panic::catch_unwind(|| {
+            let progress = Progress::new("t", 3);
+            run_ordered(
+                vec![1u64, 2, 3],
+                2,
+                &progress,
+                |_| 1,
+                |j| {
+                    assert!(j != 2, "boom");
+                    j
+                },
+            )
+        });
+        assert!(result.is_err());
+    }
+}

@@ -2,7 +2,9 @@
 
 use flatwalk_mem::{EnergyModel, MemoryHierarchy};
 use flatwalk_mmu::{AddressSpace as MmuSpace, Mmu, NestedTables};
-use flatwalk_os::{AddressSpaceSpec, BuddyAllocator, FragmentationScenario, VirtSpec, VirtualizedSpace};
+use flatwalk_os::{
+    AddressSpaceSpec, BuddyAllocator, FragmentationScenario, VirtSpec, VirtualizedSpace,
+};
 use flatwalk_pt::Layout;
 use flatwalk_types::OwnerId;
 use flatwalk_workloads::{AccessStream, WorkloadSpec};
@@ -27,14 +29,54 @@ impl VirtConfig {
     /// The eight Fig. 12 configurations in presentation order.
     pub fn fig12_set() -> Vec<VirtConfig> {
         vec![
-            VirtConfig { label: "Base-2D", guest_flat: false, host_flat: false, ptp: false },
-            VirtConfig { label: "HF", guest_flat: false, host_flat: true, ptp: false },
-            VirtConfig { label: "GF", guest_flat: true, host_flat: false, ptp: false },
-            VirtConfig { label: "GF+HF", guest_flat: true, host_flat: true, ptp: false },
-            VirtConfig { label: "Base+PTP", guest_flat: false, host_flat: false, ptp: true },
-            VirtConfig { label: "HF+PTP", guest_flat: false, host_flat: true, ptp: true },
-            VirtConfig { label: "GF+PTP", guest_flat: true, host_flat: false, ptp: true },
-            VirtConfig { label: "GF+HF+PTP", guest_flat: true, host_flat: true, ptp: true },
+            VirtConfig {
+                label: "Base-2D",
+                guest_flat: false,
+                host_flat: false,
+                ptp: false,
+            },
+            VirtConfig {
+                label: "HF",
+                guest_flat: false,
+                host_flat: true,
+                ptp: false,
+            },
+            VirtConfig {
+                label: "GF",
+                guest_flat: true,
+                host_flat: false,
+                ptp: false,
+            },
+            VirtConfig {
+                label: "GF+HF",
+                guest_flat: true,
+                host_flat: true,
+                ptp: false,
+            },
+            VirtConfig {
+                label: "Base+PTP",
+                guest_flat: false,
+                host_flat: false,
+                ptp: true,
+            },
+            VirtConfig {
+                label: "HF+PTP",
+                guest_flat: false,
+                host_flat: true,
+                ptp: true,
+            },
+            VirtConfig {
+                label: "GF+PTP",
+                guest_flat: true,
+                host_flat: false,
+                ptp: true,
+            },
+            VirtConfig {
+                label: "GF+HF+PTP",
+                guest_flat: true,
+                host_flat: true,
+                ptp: true,
+            },
         ]
     }
 
@@ -142,15 +184,15 @@ impl VirtualizedSimulation {
         // use at least the guest's large-page fraction, and a 50 % mix
         // even for 0 % guest scenarios (THP on the host side) — unless
         // the options pin the host mix (no-THP systems, §7.4).
-        let host_scenario = opts.host_scenario.unwrap_or(
-            if opts.scenario.large_page_fraction < 0.5 {
-                FragmentationScenario::HALF
-            } else {
-                opts.scenario
-            },
-        );
-        let vspec = VirtSpec::new(guest_spec, host_layout.clone())
-            .with_host_scenario(host_scenario);
+        let host_scenario =
+            opts.host_scenario
+                .unwrap_or(if opts.scenario.large_page_fraction < 0.5 {
+                    FragmentationScenario::HALF
+                } else {
+                    opts.scenario
+                });
+        let vspec =
+            VirtSpec::new(guest_spec, host_layout.clone()).with_host_scenario(host_scenario);
         // The host must back all of guest-physical memory plus its own
         // page-table nodes; size system memory accordingly (2x the
         // guest, power of two, placed above guest-physical addresses).
@@ -171,9 +213,7 @@ impl VirtualizedSimulation {
             opts.phase_window,
             opts.phase_threshold,
         ));
-        let hier = MemoryHierarchy::new(
-            opts.hierarchy.clone().with_priority_prob(opts.ptp_bias),
-        );
+        let hier = MemoryHierarchy::new(opts.hierarchy.clone().with_priority_prob(opts.ptp_bias));
         let stream = AccessStream::new(spec.clone(), vspace.guest().spec().base_va);
         VirtualizedSimulation {
             spec,
@@ -279,12 +319,9 @@ mod tests {
     fn virtualized_walks_cost_more_than_native() {
         let opts = SimOptions::small_test();
         let spec = WorkloadSpec::gups().scaled_mib(64);
-        let native = crate::NativeSimulation::build(
-            spec.clone(),
-            TranslationConfig::baseline(),
-            &opts,
-        )
-        .run();
+        let native =
+            crate::NativeSimulation::build(spec.clone(), TranslationConfig::baseline(), &opts)
+                .run();
         let virt = run(VirtConfig::fig12_set()[0], 64);
         assert!(
             virt.walk.accesses_per_walk() > native.walk.accesses_per_walk(),

@@ -135,8 +135,16 @@ mod tests {
     #[test]
     fn mixed_sizes_coexist() {
         let mut nt = NestedTlb::new(4, 1);
-        nt.insert(PhysAddr::new(0x20_0000), PhysAddr::new(0x40_0000), PageSize::Size2M);
-        nt.insert(PhysAddr::new(0x1000), PhysAddr::new(0x9000), PageSize::Size4K);
+        nt.insert(
+            PhysAddr::new(0x20_0000),
+            PhysAddr::new(0x40_0000),
+            PageSize::Size2M,
+        );
+        nt.insert(
+            PhysAddr::new(0x1000),
+            PhysAddr::new(0x9000),
+            PageSize::Size4K,
+        );
         assert_eq!(
             nt.lookup(PhysAddr::new(0x21_2345)).unwrap().0.raw(),
             0x41_2345
@@ -148,10 +156,22 @@ mod tests {
     #[test]
     fn lru_eviction() {
         let mut nt = NestedTlb::new(2, 1);
-        nt.insert(PhysAddr::new(0x1000), PhysAddr::new(0xa000), PageSize::Size4K);
-        nt.insert(PhysAddr::new(0x2000), PhysAddr::new(0xb000), PageSize::Size4K);
+        nt.insert(
+            PhysAddr::new(0x1000),
+            PhysAddr::new(0xa000),
+            PageSize::Size4K,
+        );
+        nt.insert(
+            PhysAddr::new(0x2000),
+            PhysAddr::new(0xb000),
+            PageSize::Size4K,
+        );
         nt.lookup(PhysAddr::new(0x1000)); // refresh
-        nt.insert(PhysAddr::new(0x3000), PhysAddr::new(0xc000), PageSize::Size4K);
+        nt.insert(
+            PhysAddr::new(0x3000),
+            PhysAddr::new(0xc000),
+            PageSize::Size4K,
+        );
         assert!(nt.lookup(PhysAddr::new(0x1000)).is_some());
         assert!(nt.lookup(PhysAddr::new(0x2000)).is_none());
     }
@@ -159,7 +179,11 @@ mod tests {
     #[test]
     fn flush_and_reset() {
         let mut nt = NestedTlb::new(2, 1);
-        nt.insert(PhysAddr::new(0x1000), PhysAddr::new(0xa000), PageSize::Size4K);
+        nt.insert(
+            PhysAddr::new(0x1000),
+            PhysAddr::new(0xa000),
+            PageSize::Size4K,
+        );
         nt.flush();
         assert!(nt.lookup(PhysAddr::new(0x1000)).is_none());
         nt.reset_stats();

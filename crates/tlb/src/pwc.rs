@@ -209,7 +209,7 @@ impl Pwc {
             })
             .collect();
         // Deepest (widest prefix) first so `lookup` returns the best hit.
-        depths.sort_by(|a, b| b.cfg.prefix_bits.cmp(&a.cfg.prefix_bits));
+        depths.sort_by_key(|d| std::cmp::Reverse(d.cfg.prefix_bits));
         Pwc {
             depths,
             latency: cfg.latency,
@@ -290,7 +290,12 @@ impl Pwc {
             node_shape,
             stamp: clock,
         };
-        if let Some(existing) = depth.slots.iter_mut().flatten().find(|s| s.prefix == prefix) {
+        if let Some(existing) = depth
+            .slots
+            .iter_mut()
+            .flatten()
+            .find(|s| s.prefix == prefix)
+        {
             *existing = slot;
             return;
         }
@@ -397,7 +402,12 @@ mod tests {
     #[test]
     fn unknown_width_insert_is_noop() {
         let mut p = pwc();
-        p.insert(VirtAddr::new(0), 36, PhysAddr::new(0x1000), NodeShape::Conventional);
+        p.insert(
+            VirtAddr::new(0),
+            36,
+            PhysAddr::new(0x1000),
+            NodeShape::Conventional,
+        );
         assert!(p.lookup(VirtAddr::new(0)).is_none());
     }
 
@@ -408,8 +418,11 @@ mod tests {
 
         // Conventional 4-level: boundaries 9/18/27, deepest gets bulk.
         let conv = base.for_layout(&Layout::conventional4());
-        let mut widths: Vec<(u32, usize)> =
-            conv.depths.iter().map(|d| (d.prefix_bits, d.entries)).collect();
+        let mut widths: Vec<(u32, usize)> = conv
+            .depths
+            .iter()
+            .map(|d| (d.prefix_bits, d.entries))
+            .collect();
         widths.sort_unstable();
         assert_eq!(widths, vec![(9, 4), (18, 4), (27, 24)]);
         assert_eq!(conv.top_bit, 48);
@@ -422,8 +435,11 @@ mod tests {
 
         // L3+L2 flattened: boundaries at 9 and 27.
         let mid = base.for_layout(&Layout::flat_l3l2());
-        let mut w: Vec<(u32, usize)> =
-            mid.depths.iter().map(|d| (d.prefix_bits, d.entries)).collect();
+        let mut w: Vec<(u32, usize)> = mid
+            .depths
+            .iter()
+            .map(|d| (d.prefix_bits, d.entries))
+            .collect();
         w.sort_unstable();
         assert_eq!(w, vec![(9, 4), (27, 28)]);
 

@@ -11,7 +11,12 @@ use crate::{Tlb, TlbConfig};
 #[derive(Debug, Clone)]
 pub struct UnifiedTlb {
     name: &'static str,
-    sets: Vec<Vec<Option<USlot>>>,
+    /// Slots in one contiguous slab, set-major (way-stride 1), with a
+    /// per-set validity bitmask — same flat layout as [`Tlb`].
+    slots: Box<[USlot]>,
+    valid: Box<[u64]>,
+    ways: usize,
+    set_mask: usize,
     latency: u64,
     clock: u64,
     stats: HitMiss,
@@ -25,6 +30,16 @@ struct USlot {
     stamp: u64,
 }
 
+impl USlot {
+    /// Placeholder occupying ways whose validity bit is clear.
+    const EMPTY: USlot = USlot {
+        vpn: 0,
+        size: PageSize::Size4K,
+        frame: PhysAddr::new(0),
+        stamp: 0,
+    };
+}
+
 impl UnifiedTlb {
     /// Creates an empty unified TLB.
     ///
@@ -32,12 +47,22 @@ impl UnifiedTlb {
     ///
     /// Panics on degenerate geometry (see [`TlbConfig::new`] rules).
     pub fn new(name: &'static str, entries: usize, ways: usize, latency: u64) -> Self {
-        assert!(ways > 0 && entries % ways == 0, "degenerate TLB geometry");
+        assert!(
+            ways > 0 && entries.is_multiple_of(ways),
+            "degenerate TLB geometry"
+        );
+        assert!(
+            ways <= 64,
+            "at most 64 ways (validity is a per-set u64 bitmask)"
+        );
         let sets = entries / ways;
         assert!(sets.is_power_of_two(), "set count must be a power of two");
         UnifiedTlb {
             name,
-            sets: vec![vec![None; ways]; sets],
+            slots: vec![USlot::EMPTY; sets * ways].into_boxed_slice(),
+            valid: vec![0u64; sets].into_boxed_slice(),
+            ways,
+            set_mask: sets - 1,
             latency,
             clock: 0,
             stats: HitMiss::default(),
@@ -66,23 +91,35 @@ impl UnifiedTlb {
 
     #[inline]
     fn set_of(&self, vpn: u64) -> usize {
-        (vpn as usize) & (self.sets.len() - 1)
+        (vpn as usize) & self.set_mask
+    }
+
+    /// Finds the way of (`vpn`, `size`) within `set`, if resident.
+    #[inline]
+    fn find_way(&self, set: usize, vpn: u64, size: PageSize) -> Option<usize> {
+        let base = set * self.ways;
+        let mut mask = self.valid[set];
+        while mask != 0 {
+            let way = mask.trailing_zeros() as usize;
+            mask &= mask - 1;
+            let slot = &self.slots[base + way];
+            if slot.size == size && slot.vpn == vpn {
+                return Some(way);
+            }
+        }
+        None
     }
 
     /// Looks `va` up under both size interpretations.
     pub fn lookup(&mut self, va: VirtAddr) -> Option<(PhysAddr, PageSize)> {
         self.clock += 1;
-        let clock = self.clock;
         let mut found = None;
         for size in [PageSize::Size4K, PageSize::Size2M] {
             let vpn = va.page_number(size);
             let set = self.set_of(vpn);
-            if let Some(slot) = self.sets[set]
-                .iter_mut()
-                .flatten()
-                .find(|s| s.size == size && s.vpn == vpn)
-            {
-                slot.stamp = clock;
+            if let Some(way) = self.find_way(set, vpn, size) {
+                let slot = &mut self.slots[set * self.ways + way];
+                slot.stamp = self.clock;
                 found = Some((slot.frame, size));
                 break;
             }
@@ -100,37 +137,38 @@ impl UnifiedTlb {
         self.clock += 1;
         let vpn = va.page_number(size);
         let set = self.set_of(vpn);
+        let base = set * self.ways;
         let slot = USlot {
             vpn,
             size,
             frame,
             stamp: self.clock,
         };
-        let ways = &mut self.sets[set];
-        if let Some(existing) = ways
-            .iter_mut()
-            .flatten()
-            .find(|s| s.size == size && s.vpn == vpn)
-        {
-            *existing = slot;
+        if let Some(way) = self.find_way(set, vpn, size) {
+            self.slots[base + way] = slot;
             return;
         }
-        if let Some(empty) = ways.iter_mut().find(|s| s.is_none()) {
-            *empty = Some(slot);
+        let ways_mask = if self.ways == 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.ways) - 1
+        };
+        let free = !self.valid[set] & ways_mask;
+        if free != 0 {
+            let way = free.trailing_zeros() as usize;
+            self.valid[set] |= 1 << way;
+            self.slots[base + way] = slot;
             return;
         }
-        let victim = ways
-            .iter_mut()
-            .min_by_key(|s| s.as_ref().expect("full").stamp)
+        let victim = (0..self.ways)
+            .min_by_key(|&way| self.slots[base + way].stamp)
             .expect("ways > 0");
-        *victim = Some(slot);
+        self.slots[base + victim] = slot;
     }
 
     /// Empties the TLB.
     pub fn flush(&mut self) {
-        for set in &mut self.sets {
-            set.fill(None);
-        }
+        self.valid.fill(0);
     }
 }
 
@@ -391,7 +429,7 @@ mod tests {
         let va = VirtAddr::new(0x40_0000_0000);
         s.fill(va, PhysAddr::new(0x80_0000_0000), PageSize::Size1G);
         assert!(s.lookup(va).translation.is_some()); // L1-1G hit
-        // Force the 4-entry L1-1G to evict it.
+                                                     // Force the 4-entry L1-1G to evict it.
         for i in 1..=8u64 {
             s.fill(
                 VirtAddr::new(0x40_0000_0000 + (i << 30)),

@@ -34,6 +34,10 @@ impl TlbConfig {
     ) -> Self {
         assert!(ways > 0 && entries > 0, "degenerate TLB geometry");
         assert_eq!(entries % ways, 0, "entries must divide into ways");
+        assert!(
+            ways <= 64,
+            "at most 64 ways (validity is a per-set u64 bitmask)"
+        );
         let sets = entries / ways;
         assert!(sets.is_power_of_two(), "set count must be a power of two");
         TlbConfig {
@@ -75,13 +79,28 @@ struct Slot {
     stamp: u64,
 }
 
+impl Slot {
+    /// Placeholder occupying ways whose validity bit is clear.
+    const EMPTY: Slot = Slot {
+        vpn: 0,
+        frame: PhysAddr::new(0),
+        stamp: 0,
+    };
+}
+
 /// One set-associative TLB array holding translations of a single page
 /// size (hardware looks the size classes up in parallel;
 /// [`TlbSystem`](crate::TlbSystem) models that).
+///
+/// Slots live in one contiguous slab (set-major, way-stride 1) with a
+/// per-set validity bitmask, so a lookup is a single indexed scan with
+/// no nested-`Vec` pointer chasing.
 #[derive(Debug, Clone)]
 pub struct Tlb {
     cfg: TlbConfig,
-    sets: Vec<Vec<Option<Slot>>>,
+    slots: Box<[Slot]>,
+    valid: Box<[u64]>,
+    set_mask: usize,
     clock: u64,
     stats: HitMiss,
 }
@@ -91,7 +110,9 @@ impl Tlb {
     pub fn new(cfg: TlbConfig) -> Self {
         let sets = cfg.sets();
         Tlb {
-            sets: vec![vec![None; cfg.ways]; sets],
+            slots: vec![Slot::EMPTY; sets * cfg.ways].into_boxed_slice(),
+            valid: vec![0u64; sets].into_boxed_slice(),
+            set_mask: sets - 1,
             clock: 0,
             cfg,
             stats: HitMiss::default(),
@@ -115,26 +136,37 @@ impl Tlb {
 
     #[inline]
     fn set_of(&self, vpn: u64) -> usize {
-        (vpn as usize) & (self.sets.len() - 1)
+        (vpn as usize) & self.set_mask
+    }
+
+    /// Finds `vpn`'s way within `set`, if resident.
+    #[inline]
+    fn find_way(&self, set: usize, vpn: u64) -> Option<usize> {
+        let base = set * self.cfg.ways;
+        let mut mask = self.valid[set];
+        while mask != 0 {
+            let way = mask.trailing_zeros() as usize;
+            mask &= mask - 1;
+            if self.slots[base + way].vpn == vpn {
+                return Some(way);
+            }
+        }
+        None
     }
 
     /// Looks up the translation for `va`; updates LRU and statistics.
     pub fn lookup(&mut self, va: VirtAddr) -> Option<TlbEntry> {
         self.clock += 1;
-        let clock = self.clock;
         let vpn = va.page_number(self.cfg.page_size);
         let set = self.set_of(vpn);
-        let size = self.cfg.page_size;
-        let found = self.sets[set].iter_mut().find_map(|slot| match slot {
-            Some(s) if s.vpn == vpn => {
-                s.stamp = clock;
-                Some(TlbEntry {
-                    vpn,
-                    frame: s.frame,
-                    size,
-                })
+        let found = self.find_way(set, vpn).map(|way| {
+            let slot = &mut self.slots[set * self.cfg.ways + way];
+            slot.stamp = self.clock;
+            TlbEntry {
+                vpn,
+                frame: slot.frame,
+                size: self.cfg.page_size,
             }
-            _ => None,
         });
         self.stats.record(found.is_some());
         found
@@ -144,12 +176,13 @@ impl Tlb {
     pub fn peek(&self, va: VirtAddr) -> Option<TlbEntry> {
         let vpn = va.page_number(self.cfg.page_size);
         let set = self.set_of(vpn);
-        self.sets[set].iter().flatten().find_map(|s| {
-            (s.vpn == vpn).then_some(TlbEntry {
+        self.find_way(set, vpn).map(|way| {
+            let slot = &self.slots[set * self.cfg.ways + way];
+            TlbEntry {
                 vpn,
-                frame: s.frame,
+                frame: slot.frame,
                 size: self.cfg.page_size,
-            })
+            }
         })
     }
 
@@ -165,37 +198,40 @@ impl Tlb {
         self.clock += 1;
         let vpn = va.page_number(size);
         let set = self.set_of(vpn);
+        let base = set * self.cfg.ways;
         let slot = Slot {
             vpn,
             frame,
             stamp: self.clock,
         };
-        let ways = &mut self.sets[set];
         // Update in place if present.
-        if let Some(existing) = ways
-            .iter_mut()
-            .flatten()
-            .find(|s| s.vpn == vpn)
-        {
-            *existing = slot;
+        if let Some(way) = self.find_way(set, vpn) {
+            self.slots[base + way] = slot;
             return;
         }
-        if let Some(empty) = ways.iter_mut().find(|s| s.is_none()) {
-            *empty = Some(slot);
+        // Free way? (lowest clear bit, matching the old first-empty scan).
+        let ways_mask = if self.cfg.ways == 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.cfg.ways) - 1
+        };
+        let free = !self.valid[set] & ways_mask;
+        if free != 0 {
+            let way = free.trailing_zeros() as usize;
+            self.valid[set] |= 1 << way;
+            self.slots[base + way] = slot;
             return;
         }
-        let victim = ways
-            .iter_mut()
-            .min_by_key(|s| s.as_ref().expect("full set").stamp)
+        // LRU victim (first minimum stamp, like the old per-set scan).
+        let victim = (0..self.cfg.ways)
+            .min_by_key(|&way| self.slots[base + way].stamp)
             .expect("non-empty ways");
-        *victim = Some(slot);
+        self.slots[base + victim] = slot;
     }
 
     /// Empties the TLB (used between multiprogrammed schedule slices).
     pub fn flush(&mut self) {
-        for set in &mut self.sets {
-            set.fill(None);
-        }
+        self.valid.fill(0);
     }
 }
 
@@ -222,7 +258,7 @@ mod tests {
     #[test]
     fn lru_within_set() {
         let mut t = tlb4k(4, 2); // 2 sets x 2 ways
-        // VPNs 0, 2, 4 all map to set 0.
+                                 // VPNs 0, 2, 4 all map to set 0.
         let page = |n: u64| VirtAddr::new(n * 4096);
         t.insert(page(0), PhysAddr::new(0x1000), PageSize::Size4K);
         t.insert(page(2), PhysAddr::new(0x2000), PageSize::Size4K);
@@ -255,7 +291,11 @@ mod tests {
     #[test]
     fn flush_empties() {
         let mut t = tlb4k(4, 4);
-        t.insert(VirtAddr::new(0x5000), PhysAddr::new(0x1000), PageSize::Size4K);
+        t.insert(
+            VirtAddr::new(0x5000),
+            PhysAddr::new(0x1000),
+            PageSize::Size4K,
+        );
         t.flush();
         assert!(t.peek(VirtAddr::new(0x5000)).is_none());
     }

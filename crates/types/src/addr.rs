@@ -81,6 +81,7 @@ macro_rules! common_addr_impls {
             ///
             /// Panics on 64-bit overflow.
             #[inline]
+            #[allow(clippy::should_implement_trait)] // deliberate: panics, unlike `+`
             pub fn add(self, delta: u64) -> Self {
                 Self(self.0.checked_add(delta).expect("address overflow"))
             }
@@ -260,9 +261,6 @@ mod tests {
     fn page_number_by_size() {
         let va = VirtAddr::new(5 * PageSize::Size2M.bytes() + 123);
         assert_eq!(va.page_number(PageSize::Size2M), 5);
-        assert_eq!(
-            va.page_number(PageSize::Size4K),
-            5 * 512
-        );
+        assert_eq!(va.page_number(PageSize::Size4K), 5 * 512);
     }
 }

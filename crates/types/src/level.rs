@@ -36,8 +36,7 @@ impl Level {
     pub const WALK_4: [Level; 4] = [Level::L4, Level::L3, Level::L2, Level::L1];
 
     /// All levels of a 5-level table in *walk order* (root first).
-    pub const WALK_5: [Level; 5] =
-        [Level::L5, Level::L4, Level::L3, Level::L2, Level::L1];
+    pub const WALK_5: [Level; 5] = [Level::L5, Level::L4, Level::L3, Level::L2, Level::L1];
 
     /// Numeric rank of this level (`L1` → 1, …, `L5` → 5).
     #[inline]

@@ -81,7 +81,10 @@ impl PageSize {
     /// Panics on overflow (address beyond `u64::MAX - page size`).
     #[inline]
     pub fn align_up(self, addr: u64) -> u64 {
-        self.align_down(addr.checked_add(self.offset_mask()).expect("align_up overflow"))
+        self.align_down(
+            addr.checked_add(self.offset_mask())
+                .expect("align_up overflow"),
+        )
     }
 }
 

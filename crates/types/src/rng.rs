@@ -85,9 +85,121 @@ impl SplitMix64 {
     }
 }
 
+/// One round of the SplitMix64 finalizer: a cheap, well-mixing 64-bit
+/// permutation (Stafford's "Mix13" variant).
+#[inline]
+pub const fn splitmix_mix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A [`std::hash::Hasher`] built on [`splitmix_mix`].
+///
+/// SipHash (the `HashMap` default) burns most of a small-key lookup on
+/// DoS-resistant mixing the simulator does not need: its map keys are
+/// frame numbers it generated itself. One finalizer round per written
+/// word is plenty, and the fixed seed keeps behaviour identical across
+/// runs and processes.
+#[derive(Debug, Clone)]
+pub struct SplitMixHasher {
+    state: u64,
+}
+
+impl std::hash::Hasher for SplitMixHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.state
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in chunks.by_ref() {
+            let word = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+            self.write_u64(word);
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut word = [0u8; 8];
+            word[..rest.len()].copy_from_slice(rest);
+            self.write_u64(u64::from_le_bytes(word) | (rest.len() as u64) << 56);
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, value: u64) {
+        self.state = splitmix_mix(
+            self.state
+                .wrapping_add(value)
+                .wrapping_add(0x9E37_79B9_7F4A_7C15),
+        );
+    }
+
+    #[inline]
+    fn write_usize(&mut self, value: usize) {
+        self.write_u64(value as u64);
+    }
+}
+
+/// [`std::hash::BuildHasher`] producing seeded [`SplitMixHasher`]s.
+#[derive(Debug, Clone, Copy)]
+pub struct SplitMixBuildHasher {
+    seed: u64,
+}
+
+impl SplitMixBuildHasher {
+    /// A build-hasher whose hashers start from `seed`.
+    pub const fn new(seed: u64) -> Self {
+        SplitMixBuildHasher { seed }
+    }
+}
+
+impl Default for SplitMixBuildHasher {
+    fn default() -> Self {
+        SplitMixBuildHasher::new(0x5EED_F1A7_3A17_A5E5)
+    }
+}
+
+impl std::hash::BuildHasher for SplitMixBuildHasher {
+    type Hasher = SplitMixHasher;
+
+    #[inline]
+    fn build_hasher(&self) -> SplitMixHasher {
+        SplitMixHasher { state: self.seed }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::hash::{BuildHasher, Hash, Hasher};
+
+    #[test]
+    fn hasher_is_deterministic_and_sensitive() {
+        let bh = SplitMixBuildHasher::default();
+        let hash_of = |v: u64| {
+            let mut h = bh.build_hasher();
+            v.hash(&mut h);
+            h.finish()
+        };
+        assert_eq!(hash_of(42), hash_of(42));
+        assert_ne!(hash_of(42), hash_of(43));
+        assert_ne!(hash_of(0), hash_of(1 << 32));
+    }
+
+    #[test]
+    fn hasher_handles_unaligned_byte_tails() {
+        let bh = SplitMixBuildHasher::new(7);
+        let hash_bytes = |b: &[u8]| {
+            let mut h = bh.build_hasher();
+            h.write(b);
+            h.finish()
+        };
+        assert_ne!(hash_bytes(b"abc"), hash_bytes(b"abd"));
+        assert_ne!(hash_bytes(b"abc"), hash_bytes(b"abc\0"));
+        assert_eq!(hash_bytes(b"12345678"), hash_bytes(b"12345678"));
+    }
 
     #[test]
     fn deterministic_stream() {

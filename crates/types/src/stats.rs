@@ -44,11 +44,7 @@ pub fn weighted_speedup(shared_ipc: &[f64], alone_ipc: &[f64]) -> Option<f64> {
     if alone_ipc.iter().any(|&v| v <= 0.0) {
         return None;
     }
-    let total: f64 = shared_ipc
-        .iter()
-        .zip(alone_ipc)
-        .map(|(&s, &a)| s / a)
-        .sum();
+    let total: f64 = shared_ipc.iter().zip(alone_ipc).map(|(&s, &a)| s / a).sum();
     Some(total / shared_ipc.len() as f64)
 }
 
@@ -248,19 +244,10 @@ mod tests {
 /// assert!(h.percentile(0.50) <= 7);   // median bucket covers 4..8
 /// assert!(h.percentile(0.99) >= 128); // tail sees the DRAM access
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct LatencyHistogram {
     buckets: [u64; 16],
     count: u64,
-}
-
-impl Default for LatencyHistogram {
-    fn default() -> Self {
-        LatencyHistogram {
-            buckets: [0; 16],
-            count: 0,
-        }
-    }
 }
 
 impl LatencyHistogram {

@@ -59,6 +59,7 @@ pub struct PatternState {
 
 impl Pattern {
     /// Builds the mutable state needed to generate this pattern.
+    #[allow(clippy::only_used_in_recursion)] // footprint is for future variants
     pub(crate) fn state(&self, footprint: u64) -> PatternState {
         match self {
             Pattern::Zipf { regions, exponent } => {
@@ -142,10 +143,7 @@ impl Pattern {
             }
             Pattern::Zipf { regions, .. } => {
                 let u = rng.next_f64();
-                let idx = st
-                    .zipf_cdf
-                    .partition_point(|&c| c < u)
-                    .min(regions - 1);
+                let idx = st.zipf_cdf.partition_point(|&c| c < u).min(regions - 1);
                 let region_bytes = (footprint / *regions as u64).max(8);
                 idx as u64 * region_bytes + rng.next_range(region_bytes)
             }
@@ -168,7 +166,9 @@ mod tests {
     fn offsets(p: &Pattern, footprint: u64, n: usize) -> Vec<u64> {
         let mut rng = SplitMix64::new(1);
         let mut st = p.state(footprint);
-        (0..n).map(|_| p.next_offset(footprint, &mut rng, &mut st)).collect()
+        (0..n)
+            .map(|_| p.next_offset(footprint, &mut rng, &mut st))
+            .collect()
     }
 
     #[test]
@@ -254,10 +254,13 @@ mod tests {
     fn deterministic() {
         let p = Pattern::Mix(vec![
             (0.3, Pattern::Uniform),
-            (0.7, Pattern::Zipf {
-                regions: 32,
-                exponent: 0.9,
-            }),
+            (
+                0.7,
+                Pattern::Zipf {
+                    regions: 32,
+                    exponent: 0.9,
+                },
+            ),
         ]);
         assert_eq!(offsets(&p, 1 << 24, 100), offsets(&p, 1 << 24, 100));
     }

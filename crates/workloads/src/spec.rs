@@ -82,10 +82,13 @@ impl WorkloadSpec {
             "graph500",
             (5.4 * GIB as f64) as u64,
             Pattern::Mix(vec![
-                (0.55, Pattern::Chase {
-                    cluster_bytes: 2 * MIB,
-                    switch_prob: 0.05,
-                }),
+                (
+                    0.55,
+                    Pattern::Chase {
+                        cluster_bytes: 2 * MIB,
+                        switch_prob: 0.05,
+                    },
+                ),
                 (0.45, Pattern::Uniform),
             ]),
             8,
@@ -102,10 +105,13 @@ impl WorkloadSpec {
         Self::graphbig(
             "bfs",
             Pattern::Mix(vec![
-                (0.5, Pattern::Chase {
-                    cluster_bytes: 4 * MIB,
-                    switch_prob: 0.02,
-                }),
+                (
+                    0.5,
+                    Pattern::Chase {
+                        cluster_bytes: 4 * MIB,
+                        switch_prob: 0.02,
+                    },
+                ),
                 (0.3, Pattern::Uniform),
                 (0.2, Pattern::Stream { stride: 8 }),
             ]),
@@ -119,10 +125,13 @@ impl WorkloadSpec {
         Self::graphbig(
             "cc",
             Pattern::Mix(vec![
-                (0.45, Pattern::Chase {
-                    cluster_bytes: 4 * MIB,
-                    switch_prob: 0.03,
-                }),
+                (
+                    0.45,
+                    Pattern::Chase {
+                        cluster_bytes: 4 * MIB,
+                        switch_prob: 0.03,
+                    },
+                ),
                 (0.35, Pattern::Uniform),
                 (0.2, Pattern::Stream { stride: 8 }),
             ]),
@@ -137,10 +146,13 @@ impl WorkloadSpec {
             "dc",
             Pattern::Mix(vec![
                 (0.78, Pattern::Stream { stride: 8 }),
-                (0.22, Pattern::Hot {
-                    hot_bytes: 4 * MIB,
-                    hot_prob: 0.97,
-                }),
+                (
+                    0.22,
+                    Pattern::Hot {
+                        hot_bytes: 4 * MIB,
+                        hot_prob: 0.97,
+                    },
+                ),
             ]),
             14,
             0.35,
@@ -152,10 +164,13 @@ impl WorkloadSpec {
         Self::graphbig(
             "dfs",
             Pattern::Mix(vec![
-                (0.6, Pattern::Chase {
-                    cluster_bytes: MIB,
-                    switch_prob: 0.03,
-                }),
+                (
+                    0.6,
+                    Pattern::Chase {
+                        cluster_bytes: MIB,
+                        switch_prob: 0.03,
+                    },
+                ),
                 (0.4, Pattern::Uniform),
             ]),
             10,
@@ -169,10 +184,13 @@ impl WorkloadSpec {
             "gr.color.",
             Pattern::Mix(vec![
                 (0.5, Pattern::Stream { stride: 8 }),
-                (0.5, Pattern::Chase {
-                    cluster_bytes: 2 * MIB,
-                    switch_prob: 0.05,
-                }),
+                (
+                    0.5,
+                    Pattern::Chase {
+                        cluster_bytes: 2 * MIB,
+                        switch_prob: 0.05,
+                    },
+                ),
             ]),
             12,
             0.6,
@@ -185,10 +203,13 @@ impl WorkloadSpec {
             "kcore",
             Pattern::Mix(vec![
                 (0.6, Pattern::Stream { stride: 8 }),
-                (0.4, Pattern::Chase {
-                    cluster_bytes: 2 * MIB,
-                    switch_prob: 0.06,
-                }),
+                (
+                    0.4,
+                    Pattern::Chase {
+                        cluster_bytes: 2 * MIB,
+                        switch_prob: 0.06,
+                    },
+                ),
             ]),
             12,
             0.6,
@@ -201,10 +222,13 @@ impl WorkloadSpec {
             "pr",
             Pattern::Mix(vec![
                 (0.4, Pattern::Stream { stride: 8 }),
-                (0.6, Pattern::Chase {
-                    cluster_bytes: 4 * MIB,
-                    switch_prob: 0.08,
-                }),
+                (
+                    0.6,
+                    Pattern::Chase {
+                        cluster_bytes: 4 * MIB,
+                        switch_prob: 0.08,
+                    },
+                ),
             ]),
             8,
             0.65,
@@ -216,10 +240,13 @@ impl WorkloadSpec {
         Self::graphbig(
             "sssp",
             Pattern::Mix(vec![
-                (0.5, Pattern::Chase {
-                    cluster_bytes: 2 * MIB,
-                    switch_prob: 0.04,
-                }),
+                (
+                    0.5,
+                    Pattern::Chase {
+                        cluster_bytes: 2 * MIB,
+                        switch_prob: 0.04,
+                    },
+                ),
                 (0.5, Pattern::Uniform),
             ]),
             10,
@@ -233,10 +260,13 @@ impl WorkloadSpec {
             "tc",
             Pattern::Mix(vec![
                 (0.3, Pattern::Stream { stride: 8 }),
-                (0.7, Pattern::Zipf {
-                    regions: 2048,
-                    exponent: 1.1,
-                }),
+                (
+                    0.7,
+                    Pattern::Zipf {
+                        regions: 2048,
+                        exponent: 1.1,
+                    },
+                ),
             ]),
             9,
             0.7,
@@ -264,10 +294,13 @@ impl WorkloadSpec {
             4 * GIB,
             Pattern::Mix(vec![
                 (0.5, Pattern::Stream { stride: 64 }),
-                (0.5, Pattern::Zipf {
-                    regions: 2048,
-                    exponent: 0.6,
-                }),
+                (
+                    0.5,
+                    Pattern::Zipf {
+                        regions: 2048,
+                        exponent: 0.6,
+                    },
+                ),
             ]),
             6,
             0.5,
@@ -294,10 +327,13 @@ impl WorkloadSpec {
             "mcf",
             (1.7 * GIB as f64) as u64,
             Pattern::Mix(vec![
-                (0.85, Pattern::Chase {
-                    cluster_bytes: 128 << 10,
-                    switch_prob: 0.01,
-                }),
+                (
+                    0.85,
+                    Pattern::Chase {
+                        cluster_bytes: 128 << 10,
+                        switch_prob: 0.01,
+                    },
+                ),
                 (0.15, Pattern::Uniform),
             ]),
             7,
@@ -325,10 +361,13 @@ impl WorkloadSpec {
             "omnetpp",
             512 * MIB,
             Pattern::Mix(vec![
-                (0.85, Pattern::Hot {
-                    hot_bytes: 4 * MIB,
-                    hot_prob: 0.9,
-                }),
+                (
+                    0.85,
+                    Pattern::Hot {
+                        hot_bytes: 4 * MIB,
+                        hot_prob: 0.9,
+                    },
+                ),
                 (0.15, Pattern::Uniform),
             ]),
             12,
@@ -343,10 +382,13 @@ impl WorkloadSpec {
             GIB,
             Pattern::Mix(vec![
                 (0.5, Pattern::Stream { stride: 8 }),
-                (0.5, Pattern::Chase {
-                    cluster_bytes: MIB,
-                    switch_prob: 0.05,
-                }),
+                (
+                    0.5,
+                    Pattern::Chase {
+                        cluster_bytes: MIB,
+                        switch_prob: 0.05,
+                    },
+                ),
             ]),
             9,
             0.7,
@@ -359,10 +401,13 @@ impl WorkloadSpec {
             "xsbench",
             (5.6 * GIB as f64) as u64,
             Pattern::Mix(vec![
-                (0.75, Pattern::Zipf {
-                    regions: 4096,
-                    exponent: 1.05,
-                }),
+                (
+                    0.75,
+                    Pattern::Zipf {
+                        regions: 4096,
+                        exponent: 1.05,
+                    },
+                ),
                 (0.25, Pattern::Stream { stride: 256 }),
             ]),
             7,
@@ -377,17 +422,27 @@ impl WorkloadSpec {
     pub fn browser_mix(iteration: u32) -> Self {
         let cold = iteration <= 1;
         let mut spec = Self::new(
-            if cold { "speedometer-iter1" } else { "speedometer-iter5" },
+            if cold {
+                "speedometer-iter1"
+            } else {
+                "speedometer-iter5"
+            },
             384 * MIB,
             Pattern::Mix(vec![
-                (if cold { 0.5 } else { 0.62 }, Pattern::Hot {
-                    hot_bytes: 48 * MIB,
-                    hot_prob: 0.85,
-                }),
-                (0.25, Pattern::Chase {
-                    cluster_bytes: 256 << 10,
-                    switch_prob: 0.1,
-                }),
+                (
+                    if cold { 0.5 } else { 0.62 },
+                    Pattern::Hot {
+                        hot_bytes: 48 * MIB,
+                        hot_prob: 0.85,
+                    },
+                ),
+                (
+                    0.25,
+                    Pattern::Chase {
+                        cluster_bytes: 256 << 10,
+                        switch_prob: 0.1,
+                    },
+                ),
                 (if cold { 0.25 } else { 0.13 }, Pattern::Uniform),
             ]),
             if cold { 14 } else { 13 },
@@ -510,7 +565,10 @@ enum Source {
     },
     /// Replayed from a recorded trace of footprint-relative offsets
     /// (looping at the end).
-    Replay { offsets: std::sync::Arc<Vec<u64>>, index: usize },
+    Replay {
+        offsets: std::sync::Arc<Vec<u64>>,
+        index: usize,
+    },
 }
 
 impl AccessStream {
@@ -535,11 +593,7 @@ impl AccessStream {
     ///
     /// Panics if `offsets` is empty or any offset falls outside the
     /// spec's footprint.
-    pub fn replay(
-        spec: WorkloadSpec,
-        base_va: u64,
-        offsets: std::sync::Arc<Vec<u64>>,
-    ) -> Self {
+    pub fn replay(spec: WorkloadSpec, base_va: u64, offsets: std::sync::Arc<Vec<u64>>) -> Self {
         assert!(!offsets.is_empty(), "a trace needs at least one access");
         assert!(
             offsets.iter().all(|&o| o + 8 <= spec.footprint),
@@ -568,7 +622,9 @@ impl AccessStream {
     pub fn next_va(&mut self) -> VirtAddr {
         let off = match &mut self.source {
             Source::Synthetic { rng, state } => {
-                self.spec.pattern.next_offset(self.spec.footprint, rng, state)
+                self.spec
+                    .pattern
+                    .next_offset(self.spec.footprint, rng, state)
             }
             Source::Replay { offsets, index } => {
                 let off = offsets[*index];

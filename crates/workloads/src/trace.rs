@@ -208,9 +208,13 @@ mod tests {
             io::ErrorKind::InvalidInput
         );
         assert_eq!(
-            record(AccessStream::new(WorkloadSpec::gups().scaled_mib(8), 0), 0, &path)
-                .unwrap_err()
-                .kind(),
+            record(
+                AccessStream::new(WorkloadSpec::gups().scaled_mib(8), 0),
+                0,
+                &path
+            )
+            .unwrap_err()
+            .kind(),
             io::ErrorKind::InvalidInput
         );
         std::fs::remove_file(&path).unwrap();

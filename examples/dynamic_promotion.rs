@@ -55,11 +55,15 @@ fn main() {
     let pa0 = show(&store, &mapper, "conventional (L4,L3,L2,L1)");
 
     // The kernel decides the upper levels are worth merging…
-    mapper.promote(&mut store, &mut alloc, probe, Level::L4).unwrap();
+    mapper
+        .promote(&mut store, &mut alloc, probe, Level::L4)
+        .unwrap();
     let pa1 = show(&store, &mapper, "after promote(L4+L3)");
 
     // …and later merges the leaf pair too.
-    mapper.promote(&mut store, &mut alloc, probe, Level::L2).unwrap();
+    mapper
+        .promote(&mut store, &mut alloc, probe, Level::L2)
+        .unwrap();
     let pa2 = show(&store, &mapper, "after promote(L2+L1)");
 
     assert_eq!(pa0, pa1);

@@ -6,9 +6,7 @@
 //! cargo run --release --example multicore_mixes
 //! ```
 
-use flatwalk::sim::{
-    multicore_options, table2_mixes, MulticoreSimulation, TranslationConfig,
-};
+use flatwalk::sim::{multicore_options, table2_mixes, MulticoreSimulation, TranslationConfig};
 
 fn main() {
     let mut opts = multicore_options();

@@ -19,7 +19,11 @@ fn main() {
     opts.measure_ops = 300_000;
     opts.phys_mem_bytes = 2 << 30;
 
-    println!("workload: {} ({} MiB footprint)\n", spec.name, spec.footprint >> 20);
+    println!(
+        "workload: {} ({} MiB footprint)\n",
+        spec.name,
+        spec.footprint >> 20
+    );
     println!(
         "{:<10} {:>9} {:>10} {:>10} {:>9}",
         "config", "acc/walk", "walk-lat", "ipc", "speedup"

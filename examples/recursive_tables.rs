@@ -19,15 +19,24 @@ fn main() {
     for (title, layout) in [
         ("conventional 4-level table", Layout::conventional4()),
         ("flat L3+L2 table (Fig. 5)", Layout::flat_l3l2()),
-        ("flat L4+L3 root + glue table (Fig. 6/7)", Layout::flat_l4l3()),
+        (
+            "flat L4+L3 root + glue table (Fig. 6/7)",
+            Layout::flat_l4l3(),
+        ),
     ] {
         println!("=== {title} ===");
         let mut store = FrameStore::new();
         let mut alloc = BumpAllocator::new(0x1_0000_0000);
-        let mut mapper =
-            Mapper::new(&mut store, &mut alloc, layout, &FlattenEverywhere).unwrap();
+        let mut mapper = Mapper::new(&mut store, &mut alloc, layout, &FlattenEverywhere).unwrap();
         mapper
-            .map(&mut store, &mut alloc, &FlattenEverywhere, data_va, data_pa, PageSize::Size4K)
+            .map(
+                &mut store,
+                &mut alloc,
+                &FlattenEverywhere,
+                data_va,
+                data_pa,
+                PageSize::Size4K,
+            )
             .unwrap();
 
         // Install recursion at slot 510 (real kernels randomize this).

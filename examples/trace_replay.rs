@@ -34,7 +34,10 @@ fn main() -> std::io::Result<()> {
     )
     .run();
 
-    println!("\n{:<12} {:>8} {:>10} {:>10}", "source", "walks", "acc/walk", "p50 lat");
+    println!(
+        "\n{:<12} {:>8} {:>10} {:>10}",
+        "source", "walks", "acc/walk", "p50 lat"
+    );
     for r in [&synthetic, &replayed] {
         println!(
             "{:<12} {:>8} {:>10.2} {:>10}",

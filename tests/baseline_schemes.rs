@@ -77,12 +77,7 @@ fn pom_tlb_converges_to_single_access_walks() {
     let spec = WorkloadSpec::omnetpp().scaled_mib(16);
     let mut o = opts();
     o.warmup_ops = 30_000; // touch (nearly) every page before measuring
-    let r = SchemeSimulation::build(
-        spec,
-        PomTlbScheme::new(16 << 20, o.pwc.clone()),
-        &o,
-    )
-    .run();
+    let r = SchemeSimulation::build(spec, PomTlbScheme::new(16 << 20, o.pwc.clone()), &o).run();
     assert_eq!(r.config, "POM_TLB");
     assert!(
         r.walk.accesses_per_walk() < 1.3,
@@ -95,18 +90,10 @@ fn pom_tlb_converges_to_single_access_walks() {
 fn csalt_priority_keeps_dram_tlb_lines_cached() {
     let spec = WorkloadSpec::gups().scaled_mib(256);
     let o = opts();
-    let pom = SchemeSimulation::build(
-        spec.clone(),
-        PomTlbScheme::new(16 << 20, o.pwc.clone()),
-        &o,
-    )
-    .run();
-    let csalt = SchemeSimulation::build(
-        spec,
-        PomTlbScheme::new(16 << 20, o.pwc.clone()).csalt(),
-        &o,
-    )
-    .run();
+    let pom =
+        SchemeSimulation::build(spec.clone(), PomTlbScheme::new(16 << 20, o.pwc.clone()), &o).run();
+    let csalt =
+        SchemeSimulation::build(spec, PomTlbScheme::new(16 << 20, o.pwc.clone()).csalt(), &o).run();
     assert_eq!(csalt.config, "CSALT");
     // CSALT's prioritization must cut the walk latency relative to the
     // unprioritized POM_TLB (its lines stop being evicted by data).

@@ -5,14 +5,18 @@
 
 use flatwalk::os::BuddyAllocator;
 use flatwalk::pt::{
-    resolve, FlattenEverywhere, FrameStore, Layout, Mapper, No2MbAllocator, PhysAllocator,
-    PromoteError,
+    resolve, FlattenEverywhere, FrameStore, Layout, Mapper, No2MbAllocator, PromoteError,
 };
 use flatwalk::types::{Level, PageSize, PhysAddr, VirtAddr};
 
 fn build_conventional(
     pages: u64,
-) -> (FrameStore, BuddyAllocator, Mapper, Vec<(VirtAddr, PhysAddr)>) {
+) -> (
+    FrameStore,
+    BuddyAllocator,
+    Mapper,
+    Vec<(VirtAddr, PhysAddr)>,
+) {
     let mut store = FrameStore::new();
     let mut alloc = BuddyAllocator::new(0, 1 << 30);
     let mut mapper = Mapper::new(
@@ -28,7 +32,14 @@ fn build_conventional(
         let va = VirtAddr::new(0x40_0000_0000 + p * (2 << 20));
         let pa = PhysAddr::new(0x1000_0000 + p * 4096);
         mapper
-            .map(&mut store, &mut alloc, &FlattenEverywhere, va, pa, PageSize::Size4K)
+            .map(
+                &mut store,
+                &mut alloc,
+                &FlattenEverywhere,
+                va,
+                pa,
+                PageSize::Size4K,
+            )
             .unwrap();
         mappings.push((va, pa));
     }
@@ -98,13 +109,24 @@ fn promote_both_pairs_reaches_fully_flattened_walks() {
         let va = VirtAddr::new(0x40_0000_0000 + p * 4096);
         let pa = PhysAddr::new(0x1000_0000 + p * 4096);
         mapper
-            .map(&mut store, &mut alloc, &FlattenEverywhere, va, pa, PageSize::Size4K)
+            .map(
+                &mut store,
+                &mut alloc,
+                &FlattenEverywhere,
+                va,
+                pa,
+                PageSize::Size4K,
+            )
             .unwrap();
         mappings.push((va, pa));
     }
     let va0 = mappings[0].0;
-    mapper.promote(&mut store, &mut alloc, va0, Level::L4).unwrap();
-    mapper.promote(&mut store, &mut alloc, va0, Level::L2).unwrap();
+    mapper
+        .promote(&mut store, &mut alloc, va0, Level::L4)
+        .unwrap();
+    mapper
+        .promote(&mut store, &mut alloc, va0, Level::L2)
+        .unwrap();
     for (va, pa) in &mappings {
         let w = resolve(&store, mapper.table(), *va).unwrap();
         assert_eq!(w.pa.align_down(PageSize::Size4K), *pa);
@@ -126,11 +148,20 @@ fn promote_replicates_large_mappings() {
     let va = VirtAddr::new(0x40_0000_0000);
     let pa = PhysAddr::new(0x2000_0000);
     mapper
-        .map(&mut store, &mut alloc, &FlattenEverywhere, va, pa, PageSize::Size2M)
+        .map(
+            &mut store,
+            &mut alloc,
+            &FlattenEverywhere,
+            va,
+            pa,
+            PageSize::Size2M,
+        )
         .unwrap();
     // Merge L2+L1: the 2 MB terminal entry becomes 512 replicated 4 KB
     // leaves (§3.4), preserving every offset.
-    mapper.promote(&mut store, &mut alloc, va, Level::L2).unwrap();
+    mapper
+        .promote(&mut store, &mut alloc, va, Level::L2)
+        .unwrap();
     assert_eq!(mapper.census().replicated_entries, 512);
     let probe = VirtAddr::new(va.raw() + 0x12_3000 + 0x40);
     let w = resolve(&store, mapper.table(), probe).unwrap();

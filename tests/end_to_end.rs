@@ -3,8 +3,7 @@
 
 use flatwalk::os::FragmentationScenario;
 use flatwalk::sim::{
-    NativeSimulation, SimOptions, SimReport, TranslationConfig, VirtConfig,
-    VirtualizedSimulation,
+    NativeSimulation, SimOptions, SimReport, TranslationConfig, VirtConfig, VirtualizedSimulation,
 };
 use flatwalk::workloads::WorkloadSpec;
 
@@ -29,8 +28,16 @@ fn paper_ordering_holds_for_tlb_hostile_workloads() {
     let ptp = run(spec.clone(), TranslationConfig::prioritized());
     let both = run(spec, TranslationConfig::flattened_prioritized());
 
-    assert!(fpt.speedup_vs(&base) >= 1.0, "FPT {}", fpt.speedup_vs(&base));
-    assert!(ptp.speedup_vs(&base) >= 1.0, "PTP {}", ptp.speedup_vs(&base));
+    assert!(
+        fpt.speedup_vs(&base) >= 1.0,
+        "FPT {}",
+        fpt.speedup_vs(&base)
+    );
+    assert!(
+        ptp.speedup_vs(&base) >= 1.0,
+        "PTP {}",
+        ptp.speedup_vs(&base)
+    );
     assert!(
         both.speedup_vs(&base) >= fpt.speedup_vs(&base) * 0.995,
         "combo {} vs FPT {}",
@@ -47,7 +54,10 @@ fn paper_ordering_holds_for_tlb_hostile_workloads() {
 
 #[test]
 fn walk_counts_are_consistent_across_subsystems() {
-    let r = run(WorkloadSpec::mcf().scaled_mib(128), TranslationConfig::baseline());
+    let r = run(
+        WorkloadSpec::mcf().scaled_mib(128),
+        TranslationConfig::baseline(),
+    );
     // Every TLB full miss is exactly one walker invocation.
     assert_eq!(r.tlb.walks, r.walk.walks);
     // Walk memory accesses appear in the hierarchy's page-table stats.
@@ -91,7 +101,10 @@ fn scenarios_monotonically_reduce_walks() {
         walks.push(r.tlb.walks);
     }
     assert!(walks[0] > walks[1], "50% LP must cut walks: {walks:?}");
-    assert!(walks[1] > walks[2], "100% LP must cut walks further: {walks:?}");
+    assert!(
+        walks[1] > walks[2],
+        "100% LP must cut walks further: {walks:?}"
+    );
 }
 
 #[test]
@@ -100,8 +113,7 @@ fn virtualized_baseline_walks_cost_more_and_flattening_recovers() {
     let native = run(spec.clone(), TranslationConfig::baseline());
     let virt_base =
         VirtualizedSimulation::build(spec.clone(), VirtConfig::fig12_set()[0], &opts()).run();
-    let virt_flat =
-        VirtualizedSimulation::build(spec, VirtConfig::fig12_set()[3], &opts()).run();
+    let virt_flat = VirtualizedSimulation::build(spec, VirtConfig::fig12_set()[3], &opts()).run();
 
     assert!(
         virt_base.walk.accesses_per_walk() > native.walk.accesses_per_walk(),

@@ -4,9 +4,7 @@
 
 use flatwalk::mem::{HierarchyConfig, MemoryHierarchy};
 use flatwalk::mmu::PageWalker;
-use flatwalk::pt::{
-    resolve, BumpAllocator, FlattenEverywhere, FrameStore, Layout, Mapper,
-};
+use flatwalk::pt::{resolve, BumpAllocator, FlattenEverywhere, FrameStore, Layout, Mapper};
 use flatwalk::tlb::PwcConfig;
 use flatwalk::types::{OwnerId, PageSize, PhysAddr, VirtAddr};
 

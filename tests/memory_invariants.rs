@@ -37,7 +37,7 @@ proptest! {
         let mut cache = Cache::new(cfg);
         // One set (8 ways): 4 PT lines + 4 data lines, all set 0.
         for i in 0..4u64 {
-            cache.fill(i * 1, AccessKind::PageTable, OwnerId::SINGLE, true);
+            cache.fill(i, AccessKind::PageTable, OwnerId::SINGLE, true);
         }
         // All lines map to set 0 in a 1-set cache.
         for i in 4..8u64 {

@@ -12,10 +12,7 @@ use flatwalk::types::{Level, PageSize, PhysAddr, VirtAddr};
 
 const SLOT: usize = 509;
 
-fn build(
-    layout: Layout,
-    slots: &[u64],
-) -> (FrameStore, Mapper, Vec<(VirtAddr, PhysAddr)>) {
+fn build(layout: Layout, slots: &[u64]) -> (FrameStore, Mapper, Vec<(VirtAddr, PhysAddr)>) {
     let mut store = FrameStore::new();
     let mut alloc = BumpAllocator::new(0x10_0000_0000);
     let mut mapper = Mapper::new(&mut store, &mut alloc, layout, &FlattenEverywhere).unwrap();
@@ -27,13 +24,22 @@ fn build(
         }
         // Keep away from the recursion slot's 512 GB region (L4 index
         // 509): spread slots over L4 indices 0..64.
-        let va = VirtAddr::new((s % 64) << 39 | (s * 0x1003 % 512) << 30 | (s % 512) << 21 | (s % 512) << 12);
+        let va = VirtAddr::new(
+            (s % 64) << 39 | (s * 0x1003 % 512) << 30 | (s % 512) << 21 | (s % 512) << 12,
+        );
         if !seen.insert(va.raw()) {
             continue;
         }
         let pa = PhysAddr::new(0x100_0000_0000 + s * 4096);
         if mapper
-            .map(&mut store, &mut alloc, &FlattenEverywhere, va, pa, PageSize::Size4K)
+            .map(
+                &mut store,
+                &mut alloc,
+                &FlattenEverywhere,
+                va,
+                pa,
+                PageSize::Size4K,
+            )
             .is_ok()
         {
             mappings.push((va, pa));

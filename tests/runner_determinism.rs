@@ -1,0 +1,75 @@
+//! The parallel experiment runner must be a pure reordering of the
+//! serial run: the same grid, fanned across any number of worker
+//! threads, has to reassemble into the *identical* report vector —
+//! that is what makes `--threads N` safe for every figure binary.
+
+use flatwalk_os::FragmentationScenario;
+use flatwalk_sim::runner::{run_cells, Cell};
+use flatwalk_sim::{NativeSimulation, SimOptions, SimReport, TranslationConfig};
+use flatwalk_workloads::WorkloadSpec;
+
+/// A small Fig. 9-style grid: two workloads × three translation
+/// configs × two fragmentation scenarios.
+fn grid() -> Vec<Cell> {
+    let mut opts = SimOptions::small_test();
+    opts.warmup_ops = 500;
+    opts.measure_ops = 3_000;
+    let workloads = [
+        WorkloadSpec::gups().scaled_mib(16),
+        WorkloadSpec::dc().scaled_mib(16),
+    ];
+    let configs = [
+        TranslationConfig::baseline(),
+        TranslationConfig::flattened(),
+        TranslationConfig::flattened_prioritized(),
+    ];
+    let scenarios = [FragmentationScenario::NONE, FragmentationScenario::HALF];
+    let mut cells = Vec::new();
+    for scenario in scenarios {
+        for cfg in &configs {
+            for w in &workloads {
+                cells.push(Cell::new(w.clone(), cfg.clone(), scenario, opts.clone()));
+            }
+        }
+    }
+    cells
+}
+
+/// `SimReport` intentionally does not implement `PartialEq`; its Debug
+/// form covers every field, so equal strings mean equal reports.
+fn fingerprints(reports: &[SimReport]) -> Vec<String> {
+    reports.iter().map(|r| format!("{r:?}")).collect()
+}
+
+#[test]
+fn parallel_grid_matches_serial_golden() {
+    // Golden: the plain serial loop, no runner involved.
+    let golden: Vec<String> = grid()
+        .iter()
+        .map(|cell| {
+            let opts = cell.opts.clone().with_scenario(cell.scenario);
+            let r =
+                NativeSimulation::build(cell.workload.clone(), cell.config.clone(), &opts).run();
+            format!("{r:?}")
+        })
+        .collect();
+
+    let one = fingerprints(&run_cells("determinism-t1", grid(), 1));
+    let four = fingerprints(&run_cells("determinism-t4", grid(), 4));
+
+    assert_eq!(
+        one, golden,
+        "single-thread runner must equal the serial loop"
+    );
+    assert_eq!(
+        four, golden,
+        "four-thread runner must equal the serial loop"
+    );
+}
+
+#[test]
+fn repeated_parallel_runs_are_stable() {
+    let a = fingerprints(&run_cells("determinism-a", grid(), 3));
+    let b = fingerprints(&run_cells("determinism-b", grid(), 3));
+    assert_eq!(a, b);
+}

@@ -5,7 +5,7 @@
 use flatwalk::pt::{Layout, NodeShape, Pte};
 use flatwalk::sim::{SimOptions, TranslationConfig, VirtConfig};
 use flatwalk::tlb::PwcConfig;
-use flatwalk::types::{PageSize, PhysAddr};
+use flatwalk::types::PhysAddr;
 use flatwalk::workloads::{AccessStream, WorkloadSpec};
 
 #[test]
@@ -29,9 +29,21 @@ fn every_benchmark_stream_stays_in_its_footprint() {
 #[test]
 fn every_benchmark_has_sane_parameters() {
     for spec in WorkloadSpec::suite() {
-        assert!(spec.footprint >= 1 << 29, "{}: footprint too small", spec.name);
-        assert!(spec.footprint <= 16 << 30, "{}: footprint too large", spec.name);
-        assert!(spec.work_per_access >= 1 && spec.work_per_access <= 32, "{}", spec.name);
+        assert!(
+            spec.footprint >= 1 << 29,
+            "{}: footprint too small",
+            spec.name
+        );
+        assert!(
+            spec.footprint <= 16 << 30,
+            "{}: footprint too large",
+            spec.name
+        );
+        assert!(
+            spec.work_per_access >= 1 && spec.work_per_access <= 32,
+            "{}",
+            spec.name
+        );
         assert!(
             (0.1..=1.0).contains(&spec.data_exposure),
             "{}: exposure {}",

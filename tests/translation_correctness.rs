@@ -87,7 +87,7 @@ proptest! {
             let pas: Vec<PhysAddr> = mappings
                 .iter()
                 .map(|(va, _, size)| {
-                    let probe = VirtAddr::new(va.raw() + (probe_off % size.bytes()) & !7);
+                    let probe = VirtAddr::new((va.raw() + probe_off % size.bytes()) & !7);
                     resolve(&store, mapper.table(), probe)
                         .unwrap_or_else(|e| panic!("{layout:?}: resolve failed: {e}"))
                         .pa
