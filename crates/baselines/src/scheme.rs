@@ -8,11 +8,14 @@
 //! scheme charges the *timing and memory traffic* its own structure
 //! would generate. This keeps correctness orthogonal to cost modelling.
 
+use std::sync::Arc;
+use std::time::Instant;
+
 use flatwalk_mem::{EnergyModel, MemoryHierarchy};
 use flatwalk_mmu::WalkerStats;
-use flatwalk_os::{AddressSpace, AddressSpaceSpec, BuddyAllocator};
+use flatwalk_os::{AddressSpaceSpec, FrozenSpace};
 use flatwalk_pt::{FrameStore, PageTable};
-use flatwalk_sim::{SimOptions, SimReport};
+use flatwalk_sim::{setup, SimOptions, SimReport};
 use flatwalk_tlb::{PhaseDetector, TlbSystem};
 use flatwalk_types::{OwnerId, PageSize, PhysAddr, VirtAddr};
 use flatwalk_workloads::{AccessStream, WorkloadSpec};
@@ -70,8 +73,8 @@ pub trait Scheme {
 /// timing proxy as [`flatwalk_sim::NativeSimulation`].
 pub struct SchemeSimulation<S: Scheme> {
     spec: WorkloadSpec,
-    opts: SimOptions,
-    space: AddressSpace,
+    opts: Arc<SimOptions>,
+    space: Arc<FrozenSpace>,
     tlb: TlbSystem,
     scheme: S,
     hier: MemoryHierarchy,
@@ -82,39 +85,51 @@ pub struct SchemeSimulation<S: Scheme> {
 
 impl<S: Scheme> SchemeSimulation<S> {
     /// Builds the (conventional 4-level) address space and the scheme.
+    /// The space and stream prefix come from the shared setup cache
+    /// ([`flatwalk_sim::setup`]): every comparison scheme walks the
+    /// same oracle table, so one frozen snapshot serves them all.
     ///
     /// # Panics
     ///
     /// Panics if the address space cannot be built.
     pub fn build(spec: WorkloadSpec, scheme: S, opts: &SimOptions) -> Self {
-        let spec = spec.clone().scaled_down(opts.footprint_divisor);
-        let mut buddy = BuddyAllocator::new(0, opts.phys_mem_bytes);
+        let start = Instant::now();
+        let opts = Arc::new(opts.clone());
+        let spec = spec.scaled_down(opts.footprint_divisor);
         let space_spec =
             AddressSpaceSpec::new(flatwalk_pt::Layout::conventional4(), spec.footprint)
                 .with_scenario(opts.scenario)
                 .with_nf_threshold(None);
-        let space = AddressSpace::build(space_spec, &mut buddy)
-            .unwrap_or_else(|e| panic!("failed to build address space: {e}"));
+        let space = setup::frozen_native_space(&space_spec, opts.phys_mem_bytes);
         let tlb = TlbSystem::new(opts.tlb.clone());
         // Honor the same prioritization knobs as the native engine so
         // ablation sweeps compare like against like.
         let hier = MemoryHierarchy::new(opts.hierarchy.clone().with_priority_prob(opts.ptp_bias));
-        let stream = AccessStream::new(spec.clone(), space.spec().base_va);
-        SchemeSimulation {
+        let ops = opts.warmup_ops + opts.measure_ops;
+        let stream = AccessStream::replay(
+            spec.clone(),
+            space.spec().base_va,
+            setup::stream_offsets(&spec, ops),
+        );
+        let phase = PhaseDetector::new(opts.phase_window, opts.phase_threshold);
+        let sim = SchemeSimulation {
             spec,
-            opts: opts.clone(),
+            opts,
             space,
             tlb,
             scheme,
             hier,
             stream,
-            phase: PhaseDetector::new(opts.phase_window, opts.phase_threshold),
+            phase,
             walker_stats: WalkerStats::default(),
-        }
+        };
+        setup::record_setup_time(start.elapsed());
+        sim
     }
 
     /// Runs warm-up then measurement; returns the report.
     pub fn run(mut self) -> SimReport {
+        let start = Instant::now();
         let work = self.spec.work_per_access;
         let exposure = self.spec.data_exposure;
         let l1_lat = self.opts.hierarchy.l1.latency;
@@ -176,7 +191,7 @@ impl<S: Scheme> SchemeSimulation<S> {
             }
         }
 
-        SimReport {
+        let report = SimReport {
             workload: self.spec.name.to_string(),
             config: self.scheme.label(),
             instructions,
@@ -186,6 +201,8 @@ impl<S: Scheme> SchemeSimulation<S> {
             hier: self.hier.stats(),
             energy: self.hier.energy(&EnergyModel::default()),
             census: *self.space.census(),
-        }
+        };
+        setup::record_run_time(start.elapsed());
+        report
     }
 }

@@ -6,10 +6,10 @@ use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 
 use flatwalk_mem::{Cache, CacheConfig, HierarchyConfig, MemoryHierarchy};
 use flatwalk_mmu::PageWalker;
-use flatwalk_os::FragmentationScenario;
+use flatwalk_os::{AddressSpace, AddressSpaceSpec, BuddyAllocator, FragmentationScenario};
 use flatwalk_pt::{resolve, BumpAllocator, FlattenEverywhere, FrameStore, Layout, Mapper};
 use flatwalk_sim::runner::{run_cells, Cell};
-use flatwalk_sim::{NativeSimulation, SimOptions, TranslationConfig};
+use flatwalk_sim::{setup, NativeSimulation, SimOptions, TranslationConfig};
 use flatwalk_tlb::{PwcConfig, TlbSystem, TlbSystemConfig};
 use flatwalk_types::rng::SplitMix64;
 use flatwalk_types::{AccessKind, OwnerId, PageSize, PhysAddr, VirtAddr};
@@ -228,6 +228,40 @@ fn bench_runner_grid(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_setup_cache(c: &mut Criterion) {
+    let mut g = c.benchmark_group("setup");
+    g.sample_size(10);
+    // A Fig. 9-sized cell's setup phase: mapping a 64 MB footprint
+    // through the flattened layout. `cold` is what every grid cell paid
+    // before the setup cache; `cached` is the shared-snapshot fetch the
+    // cells pay now.
+    let spec = AddressSpaceSpec::new(Layout::flat_l4l3_l2l1(), 64 << 20)
+        .with_scenario(FragmentationScenario::HALF)
+        .with_nf_threshold(Some(32));
+    let phys = 1u64 << 30;
+    g.bench_function("space_build_cold", |b| {
+        b.iter(|| {
+            let mut buddy = BuddyAllocator::new(0, phys);
+            let space = AddressSpace::build(spec.clone(), &mut buddy)
+                .unwrap()
+                .freeze();
+            std::hint::black_box(space.build_stats().small_data_pages)
+        })
+    });
+    // Warm the cache once, outside the measured loop.
+    let _warm = setup::frozen_native_space(&spec, phys);
+    g.bench_function("space_build_cached", |b| {
+        b.iter(|| {
+            std::hint::black_box(
+                setup::frozen_native_space(&spec, phys)
+                    .build_stats()
+                    .small_data_pages,
+            )
+        })
+    });
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_functional_walk,
@@ -237,6 +271,7 @@ criterion_group!(
     bench_engine,
     bench_cache_probe_flat,
     bench_pt_store_lookup,
-    bench_runner_grid
+    bench_runner_grid,
+    bench_setup_cache
 );
 criterion_main!(benches);

@@ -132,8 +132,8 @@ pub fn run_native(
     opts: &SimOptions,
     scenario: FragmentationScenario,
 ) -> SimReport {
-    let opts = opts.clone().with_scenario(scenario);
-    NativeSimulation::build(spec.clone(), config.clone(), &opts).run()
+    let opts = std::sync::Arc::new(opts.clone().with_scenario(scenario));
+    NativeSimulation::build_shared(spec.clone(), config.clone(), opts).run()
 }
 
 /// Geometric-mean speedup of `reports` against `baselines`, matched by

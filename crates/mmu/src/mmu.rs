@@ -31,6 +31,21 @@ pub enum AddressSpace<'a> {
     Nested(NestedTables<'a>),
 }
 
+impl<'a> AddressSpace<'a> {
+    /// Borrows a native space's structures. The MMU only ever *reads*
+    /// through these references, so any holder works — a mutable
+    /// under-construction `AddressSpace` or a frozen snapshot shared
+    /// behind an `Arc` across worker threads.
+    pub fn native(store: &'a FrameStore, table: &'a PageTable) -> Self {
+        AddressSpace::Native { store, table }
+    }
+
+    /// Wraps a virtualized space's four borrowed tables.
+    pub fn nested(tables: NestedTables<'a>) -> Self {
+        AddressSpace::Nested(tables)
+    }
+}
+
 /// Timing of one memory access through the MMU.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct AccessTiming {

@@ -14,6 +14,9 @@
 //!   spaces under the paper's 0 %/50 %/100 % large-page scenarios with
 //!   the §3.4 no-flatten heuristic.
 //! * [`VirtualizedSpace`] — guest + host table construction (§4).
+//! * [`FrozenSpace`] / [`FrozenVirtSpace`] — immutable `Send + Sync`
+//!   snapshots of built spaces, shared (`Arc`) across simulations so a
+//!   grid maps each distinct space once (build-once/run-many).
 //! * [`kernel_build_stress`] — the §6.2 oversubscription experiment.
 
 #![forbid(unsafe_code)]
@@ -25,6 +28,6 @@ mod stress;
 mod virt;
 
 pub use buddy::{BuddyAllocator, BuddyStats, ORDER_1G, ORDER_2M, ORDER_4K};
-pub use space::{AddressSpace, AddressSpaceSpec, BuildStats, FragmentationScenario};
+pub use space::{AddressSpace, AddressSpaceSpec, BuildStats, FragmentationScenario, FrozenSpace};
 pub use stress::{kernel_build_stress, StressConfig, StressOutcome};
-pub use virt::{VirtSpec, VirtualizedSpace};
+pub use virt::{FrozenVirtSpace, VirtSpec, VirtualizedSpace};

@@ -257,6 +257,81 @@ impl AddressSpace {
     pub fn end_va(&self) -> u64 {
         self.spec.base_va + PageSize::Size2M.align_up(self.spec.footprint.max(1))
     }
+
+    /// Freezes this space into an immutable, shareable snapshot.
+    ///
+    /// Runs only *read* the page table (`Mmu::access` borrows the store
+    /// and table), so once construction is done the space can be sealed
+    /// and handed to any number of simulations — including concurrently,
+    /// from worker threads, behind an `Arc` — without re-mapping the
+    /// footprint. The store is compacted on the way in since the
+    /// snapshot may be retained for a whole experiment grid.
+    pub fn freeze(mut self) -> FrozenSpace {
+        self.store.shrink_to_fit();
+        FrozenSpace {
+            spec: self.spec,
+            store: self.store,
+            table: *self.mapper.table(),
+            census: *self.mapper.census(),
+            nf: self.nf,
+            build_stats: self.build_stats,
+        }
+    }
+}
+
+/// An immutable snapshot of a fully built [`AddressSpace`]: the realized
+/// table, its backing store, the NF regions, and the build-time counters
+/// — everything a simulation reads, nothing it can mutate.
+///
+/// `FrozenSpace` is plain data (`Send + Sync`), so one snapshot behind an
+/// `Arc` can back many concurrent simulation cells; the runner's setup
+/// cache relies on this to build each distinct space exactly once per
+/// process.
+#[derive(Debug)]
+pub struct FrozenSpace {
+    spec: AddressSpaceSpec,
+    store: FrameStore,
+    table: PageTable,
+    census: NodeCensus,
+    nf: NfRegions,
+    build_stats: BuildStats,
+}
+
+impl FrozenSpace {
+    /// The build specification.
+    pub fn spec(&self) -> &AddressSpaceSpec {
+        &self.spec
+    }
+
+    /// Page-table contents (for walkers).
+    pub fn store(&self) -> &FrameStore {
+        &self.store
+    }
+
+    /// The realized page table.
+    pub fn table(&self) -> &PageTable {
+        &self.table
+    }
+
+    /// Node census of the table.
+    pub fn census(&self) -> &NodeCensus {
+        &self.census
+    }
+
+    /// The no-flatten regions that were applied.
+    pub fn nf_regions(&self) -> &NfRegions {
+        &self.nf
+    }
+
+    /// Data-page allocation outcome.
+    pub fn build_stats(&self) -> BuildStats {
+        self.build_stats
+    }
+
+    /// Highest mapped virtual address + 1.
+    pub fn end_va(&self) -> u64 {
+        self.spec.base_va + PageSize::Size2M.align_up(self.spec.footprint.max(1))
+    }
 }
 
 #[cfg(test)]
@@ -374,6 +449,37 @@ mod tests {
         .unwrap();
         assert_eq!(w.steps.len(), 2);
         assert_eq!(space.census().flat2_nodes, 2);
+    }
+
+    #[test]
+    fn freeze_preserves_table_and_counters() {
+        let (space, _) = build(FragmentationScenario::HALF, Layout::flat_l4l3_l2l1());
+        let spec = space.spec().clone();
+        let stats = space.build_stats();
+        let census = *space.census();
+        let nf_len = space.nf_regions().len();
+        let root = space.table().root;
+        let frames = space.store().materialized_frames();
+        let probe = VirtAddr::new(space.spec().base_va + (48 << 20) + 123);
+        let before = resolve(space.store(), space.table(), probe).unwrap();
+
+        let frozen = space.freeze();
+        assert_eq!(frozen.spec().base_va, spec.base_va);
+        assert_eq!(frozen.build_stats(), stats);
+        assert_eq!(frozen.census().nodes(), census.nodes());
+        assert_eq!(frozen.nf_regions().len(), nf_len);
+        assert_eq!(frozen.table().root, root);
+        assert_eq!(frozen.store().materialized_frames(), frames);
+        let after = resolve(frozen.store(), frozen.table(), probe).unwrap();
+        assert_eq!(after.pa, before.pa);
+        assert_eq!(after.size, before.size);
+    }
+
+    #[test]
+    fn frozen_space_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<FrozenSpace>();
+        assert_send_sync::<std::sync::Arc<FrozenSpace>>();
     }
 
     #[test]

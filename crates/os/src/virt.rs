@@ -51,6 +51,7 @@ pub struct VirtualizedSpace {
     guest: AddressSpace,
     host_store: FrameStore,
     host_table: PageTable,
+    host_layout: Layout,
     host_census: NodeCensus,
     host_huge_pages: u64,
 }
@@ -139,6 +140,7 @@ impl VirtualizedSpace {
             guest,
             host_store,
             host_table,
+            host_layout: spec.host_layout,
             host_census,
             host_huge_pages,
         })
@@ -157,6 +159,81 @@ impl VirtualizedSpace {
     /// The host table (gPA→hPA).
     pub fn host_table(&self) -> &PageTable {
         &self.host_table
+    }
+
+    /// The host table's target organization.
+    pub fn host_layout(&self) -> &Layout {
+        &self.host_layout
+    }
+
+    /// Host table node census.
+    pub fn host_census(&self) -> &NodeCensus {
+        &self.host_census
+    }
+
+    /// How many 2 MB host pages back guest-physical memory.
+    pub fn host_huge_pages(&self) -> u64 {
+        self.host_huge_pages
+    }
+
+    /// Translates a gPA through the host table (untimed reference).
+    ///
+    /// # Errors
+    ///
+    /// Returns the walk error if the gPA is not backed.
+    pub fn host_translate(&self, gpa: PhysAddr) -> Result<PhysAddr, flatwalk_pt::WalkError> {
+        flatwalk_pt::resolve(&self.host_store, &self.host_table, gpa.as_nested_input())
+            .map(|w| w.pa)
+    }
+
+    /// Freezes both dimensions into an immutable, shareable snapshot
+    /// (see [`crate::FrozenSpace`]); guest and host stores are compacted
+    /// for long-term retention.
+    pub fn freeze(mut self) -> FrozenVirtSpace {
+        self.host_store.shrink_to_fit();
+        FrozenVirtSpace {
+            guest: self.guest.freeze(),
+            host_store: self.host_store,
+            host_table: self.host_table,
+            host_layout: self.host_layout,
+            host_census: self.host_census,
+            host_huge_pages: self.host_huge_pages,
+        }
+    }
+}
+
+/// An immutable snapshot of a built [`VirtualizedSpace`]: the frozen
+/// guest space plus the host (stage-2) table. Plain data, `Send + Sync`,
+/// shareable behind an `Arc` across concurrent virtualized simulations.
+#[derive(Debug)]
+pub struct FrozenVirtSpace {
+    guest: crate::FrozenSpace,
+    host_store: FrameStore,
+    host_table: PageTable,
+    host_layout: Layout,
+    host_census: NodeCensus,
+    host_huge_pages: u64,
+}
+
+impl FrozenVirtSpace {
+    /// The frozen guest address space (guest store is addressed by gPA).
+    pub fn guest(&self) -> &crate::FrozenSpace {
+        &self.guest
+    }
+
+    /// Host page-table contents (addressed by hPA / system PA).
+    pub fn host_store(&self) -> &FrameStore {
+        &self.host_store
+    }
+
+    /// The host table (gPA→hPA).
+    pub fn host_table(&self) -> &PageTable {
+        &self.host_table
+    }
+
+    /// The host table's target organization.
+    pub fn host_layout(&self) -> &Layout {
+        &self.host_layout
     }
 
     /// Host table node census.
@@ -222,6 +299,34 @@ mod tests {
         let hpa = v.host_translate(PhysAddr::new(groot.raw())).unwrap();
         assert!(hpa.raw() >= 0x1_0000_0000);
         assert!(v.host_huge_pages() > 0);
+    }
+
+    #[test]
+    fn freeze_preserves_both_walk_dimensions() {
+        let mut host_alloc = BuddyAllocator::new(0x1_0000_0000, 0x1_0000_0000);
+        let v = VirtualizedSpace::build(
+            spec(Layout::conventional4(), Layout::flat_l4l3_l2l1()),
+            &mut host_alloc,
+        )
+        .unwrap();
+        let gva = VirtAddr::new(0x4000_0000 + 0x5000);
+        let gwalk = resolve(v.guest().store(), v.guest().table(), gva).unwrap();
+        let hpa = v.host_translate(PhysAddr::new(gwalk.pa.raw())).unwrap();
+        let huge = v.host_huge_pages();
+        let census_nodes = v.host_census().nodes();
+
+        let f = v.freeze();
+        let gwalk2 = resolve(f.guest().store(), f.guest().table(), gva).unwrap();
+        assert_eq!(gwalk2.pa, gwalk.pa);
+        assert_eq!(
+            f.host_translate(PhysAddr::new(gwalk2.pa.raw())).unwrap(),
+            hpa
+        );
+        assert_eq!(f.host_huge_pages(), huge);
+        assert_eq!(f.host_census().nodes(), census_nodes);
+
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<FrozenVirtSpace>();
     }
 
     #[test]

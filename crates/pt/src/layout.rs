@@ -44,7 +44,7 @@ impl LevelGroup {
 /// assert_eq!(l.root_level(), Level::L4);
 /// assert_eq!(l.group_of(Level::L1).top, Level::L2);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Layout {
     groups: Vec<LevelGroup>,
 }

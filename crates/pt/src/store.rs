@@ -80,6 +80,14 @@ impl FrameStore {
     pub fn materialized_frames(&self) -> usize {
         self.frames.len()
     }
+
+    /// Compacts the store for long-term retention: drops the hash map's
+    /// grow-ahead slack so a store snapshot frozen behind an `Arc` (and
+    /// kept alive for the rest of an experiment grid) holds only what
+    /// its frames need. Contents and lookup behaviour are unchanged.
+    pub fn shrink_to_fit(&mut self) {
+        self.frames.shrink_to_fit();
+    }
 }
 
 #[cfg(test)]

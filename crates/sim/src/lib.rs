@@ -11,6 +11,12 @@
 //! * [`VirtualizedSimulation`] — Fig. 12 (2-D walks; HF/GF/GF+HF).
 //! * [`MulticoreSimulation`] — Fig. 11/Table 2 (shared-LLC mixes).
 //!
+//! Setup (address-space construction, stream generation) is split from
+//! execution: builds freeze into immutable snapshots shared across the
+//! experiment grid through the [`setup`] cache, so equivalent cells map
+//! their footprint once instead of once per cell (disable with
+//! `FLATWALK_NO_SETUP_CACHE=1`).
+//!
 //! Timing proxy: each access contributes its workload's non-memory
 //! `work` (CPI 1), the translation stall (TLB latency beyond a 1-cycle
 //! hit plus the full serial page-walk latency), and the data stall
@@ -28,6 +34,7 @@ mod multicore;
 mod native;
 mod report;
 pub mod runner;
+pub mod setup;
 mod virt;
 
 pub use config::{SimOptions, TranslationConfig};

@@ -4,15 +4,17 @@
 //! evict another process' page table (§6.1).
 
 use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
 
 use flatwalk_mem::{EnergyModel, HierarchyConfig, MemoryHierarchy};
 use flatwalk_mmu::{AddressSpace as MmuSpace, Mmu};
-use flatwalk_os::{AddressSpace, AddressSpaceSpec, BuddyAllocator};
+use flatwalk_os::FrozenSpace;
 use flatwalk_types::stats::geometric_mean;
 use flatwalk_types::OwnerId;
 use flatwalk_workloads::{AccessStream, WorkloadSpec};
 
-use crate::{SimOptions, SimReport, TranslationConfig};
+use crate::{setup, SimOptions, SimReport, TranslationConfig};
 
 /// A multiprogrammed mix of four benchmarks.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -159,7 +161,7 @@ impl MulticoreReport {
 
 struct Core {
     spec: WorkloadSpec,
-    space: AddressSpace,
+    space: Arc<FrozenSpace>,
     mmu: Mmu,
     hier: MemoryHierarchy,
     stream: AccessStream,
@@ -187,25 +189,58 @@ struct Core {
 pub struct MulticoreSimulation {
     mix: Mix,
     config: TranslationConfig,
-    opts: SimOptions,
+    opts: Arc<SimOptions>,
     cores: Vec<Core>,
 }
 
 impl MulticoreSimulation {
     /// Builds four cores with private L1/L2, a shared L3/DRAM, and
-    /// per-core address spaces carved from one physical memory.
+    /// per-core address spaces carved from one physical memory. The
+    /// four frozen spaces come from the setup cache as one bundle
+    /// ([`crate::setup::frozen_multicore_spaces`]) — the cores allocate
+    /// from the shared buddy sequentially, so the bundle is the sharing
+    /// unit.
     ///
     /// # Panics
     ///
     /// Panics on unknown benchmark names or if physical memory cannot
     /// hold all four footprints.
     pub fn build(mix: &Mix, config: TranslationConfig, opts: &SimOptions) -> Self {
-        let mut buddy = BuddyAllocator::new(0, opts.phys_mem_bytes);
+        let opts = Arc::new(opts.clone());
+        let spaces = setup::frozen_multicore_spaces(
+            mix.parts,
+            &config.layout,
+            config.nf_threshold,
+            opts.scenario,
+            opts.footprint_divisor,
+            opts.phys_mem_bytes,
+        );
+        Self::build_with_spaces(mix, config, opts, spaces)
+    }
+
+    /// Builds around four pre-frozen per-core spaces — the
+    /// build-once/run-many path. `spaces[i]` must have been built at
+    /// [`crate::setup::multicore_base_va`]`(i)` for slot `i`'s scaled
+    /// footprint (as [`crate::setup::frozen_multicore_spaces`] does).
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than four spaces are supplied or a space cannot
+    /// hold its slot's scaled footprint.
+    pub fn build_with_spaces(
+        mix: &Mix,
+        config: TranslationConfig,
+        opts: Arc<SimOptions>,
+        spaces: Arc<Vec<Arc<FrozenSpace>>>,
+    ) -> Self {
+        let start = Instant::now();
+        assert!(spaces.len() >= 4, "need one frozen space per core");
         let hier_cfg = opts.hierarchy.clone().with_priority_prob(opts.ptp_bias);
         let shared = MemoryHierarchy::new(hier_cfg.clone());
         let l3 = shared.shared_l3();
         let dram = shared.shared_dram();
         drop(shared);
+        let ops = opts.warmup_ops + opts.measure_ops;
 
         let cores = mix
             .parts
@@ -215,13 +250,13 @@ impl MulticoreSimulation {
                 let spec = WorkloadSpec::by_name(name)
                     .unwrap_or_else(|| panic!("unknown benchmark {name:?}"))
                     .scaled_down(opts.footprint_divisor);
-                let base_va = 0x1000_0000_0000 + (i as u64) * 0x100_0000_0000;
-                let space_spec = AddressSpaceSpec::new(config.layout.clone(), spec.footprint)
-                    .with_scenario(opts.scenario)
-                    .with_nf_threshold(config.nf_threshold)
-                    .with_base_va(base_va);
-                let space = AddressSpace::build(space_spec, &mut buddy)
-                    .unwrap_or_else(|e| panic!("core {i} address space: {e}"));
+                let space = Arc::clone(&spaces[i]);
+                assert!(
+                    space.spec().footprint >= spec.footprint,
+                    "core {i} frozen space ({} B) smaller than footprint ({} B)",
+                    space.spec().footprint,
+                    spec.footprint
+                );
                 let mut mmu = Mmu::native(
                     opts.tlb.clone(),
                     opts.pwc.for_layout(&config.layout),
@@ -236,7 +271,11 @@ impl MulticoreSimulation {
                     std::rc::Rc::clone(&l3),
                     std::rc::Rc::clone(&dram),
                 );
-                let stream = AccessStream::new(spec.clone(), base_va);
+                let stream = AccessStream::replay(
+                    spec.clone(),
+                    space.spec().base_va,
+                    setup::stream_offsets(&spec, ops),
+                );
                 Core {
                     spec,
                     space,
@@ -249,17 +288,20 @@ impl MulticoreSimulation {
             })
             .collect();
 
-        MulticoreSimulation {
+        let sim = MulticoreSimulation {
             mix: mix.clone(),
             config,
-            opts: opts.clone(),
+            opts,
             cores,
-        }
+        };
+        setup::record_setup_time(start.elapsed());
+        sim
     }
 
     /// Runs all cores round-robin (one access per core per round) and
     /// reports per-core results.
     pub fn run(mut self) -> MulticoreReport {
+        let start = Instant::now();
         let l1_lat = self.opts.hierarchy.l1.latency;
         for phase in 0..2u32 {
             let ops = if phase == 0 {
@@ -278,10 +320,7 @@ impl MulticoreSimulation {
             for _ in 0..ops {
                 for (i, core) in self.cores.iter_mut().enumerate() {
                     let va = core.stream.next_va();
-                    let aspace = MmuSpace::Native {
-                        store: core.space.store(),
-                        table: core.space.table(),
-                    };
+                    let aspace = MmuSpace::native(core.space.store(), core.space.table());
                     let t = core
                         .mmu
                         .access(&aspace, &mut core.hier, va, OwnerId(i as u8))
@@ -312,11 +351,13 @@ impl MulticoreSimulation {
                 census: *c.space.census(),
             })
             .collect();
-        MulticoreReport {
+        let report = MulticoreReport {
             mix: self.mix,
             config,
             cores,
-        }
+        };
+        setup::record_run_time(start.elapsed());
+        report
     }
 }
 

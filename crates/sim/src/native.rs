@@ -1,12 +1,15 @@
 //! The single-core, native-execution simulation.
 
+use std::sync::Arc;
+use std::time::Instant;
+
 use flatwalk_mem::{EnergyModel, MemoryHierarchy};
 use flatwalk_mmu::{AddressSpace as MmuSpace, Mmu};
-use flatwalk_os::{AddressSpace, AddressSpaceSpec, BuddyAllocator};
+use flatwalk_os::{AddressSpaceSpec, FrozenSpace};
 use flatwalk_types::OwnerId;
 use flatwalk_workloads::{AccessStream, WorkloadSpec};
 
-use crate::{SimOptions, SimReport, TranslationConfig};
+use crate::{setup, SimOptions, SimReport, TranslationConfig};
 
 /// A fully constructed native simulation: one core, one address space,
 /// one workload.
@@ -30,8 +33,8 @@ use crate::{SimOptions, SimReport, TranslationConfig};
 pub struct NativeSimulation {
     spec: WorkloadSpec,
     config: TranslationConfig,
-    opts: SimOptions,
-    space: AddressSpace,
+    opts: Arc<SimOptions>,
+    space: Arc<FrozenSpace>,
     mmu: Mmu,
     hier: MemoryHierarchy,
     stream: AccessStream,
@@ -41,42 +44,88 @@ impl NativeSimulation {
     /// Builds the address space (under the configured fragmentation
     /// scenario), the MMU, and the memory hierarchy.
     ///
+    /// The space and the generated stream prefix come from the
+    /// process-wide setup cache ([`crate::setup`]): grid cells that
+    /// share a (layout, footprint, scenario, NF) key share one frozen
+    /// snapshot instead of re-mapping the footprint per cell. Results
+    /// are byte-identical either way.
+    ///
     /// # Panics
     ///
     /// Panics if the address space cannot be built (physical memory in
     /// `opts` too small for the scaled footprint).
     pub fn build(spec: WorkloadSpec, config: TranslationConfig, opts: &SimOptions) -> Self {
-        let spec = spec.clone().scaled_down(opts.footprint_divisor);
-        let mut buddy = BuddyAllocator::new(0, opts.phys_mem_bytes);
+        Self::build_shared(spec, config, Arc::new(opts.clone()))
+    }
+
+    /// Like [`NativeSimulation::build`], but shares the options by
+    /// reference count instead of cloning the three nested config
+    /// structs per cell (the runner's per-cell path).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the address space cannot be built.
+    pub fn build_shared(
+        spec: WorkloadSpec,
+        config: TranslationConfig,
+        opts: Arc<SimOptions>,
+    ) -> Self {
+        let start = Instant::now();
+        let spec = spec.scaled_down(opts.footprint_divisor);
         let space_spec = AddressSpaceSpec::new(config.layout.clone(), spec.footprint)
             .with_scenario(opts.scenario)
             .with_nf_threshold(config.nf_threshold);
-        let space = AddressSpace::build(space_spec, &mut buddy)
-            .unwrap_or_else(|e| panic!("failed to build address space: {e}"));
-        let pwc = opts.pwc.for_layout(&config.layout);
-        let mut mmu = Mmu::native(opts.tlb.clone(), pwc, config.ptp);
-        mmu.set_phase_detector(flatwalk_tlb::PhaseDetector::new(
-            opts.phase_window,
-            opts.phase_threshold,
-        ));
-        let hier = MemoryHierarchy::new(opts.hierarchy.clone().with_priority_prob(opts.ptp_bias));
-        let stream = AccessStream::new(spec.clone(), space.spec().base_va);
-        NativeSimulation {
-            spec,
-            config,
-            opts: opts.clone(),
-            space,
-            mmu,
-            hier,
-            stream,
-        }
+        let space = setup::frozen_native_space(&space_spec, opts.phys_mem_bytes);
+        let ops = opts.warmup_ops + opts.measure_ops;
+        let stream = AccessStream::replay(
+            spec.clone(),
+            space.spec().base_va,
+            setup::stream_offsets(&spec, ops),
+        );
+        let sim = Self::assemble(spec, config, opts, space, stream);
+        setup::record_setup_time(start.elapsed());
+        sim
+    }
+
+    /// Builds around a pre-frozen space — the build-once/run-many path.
+    /// The caller owns placement: the space must cover the workload's
+    /// scaled footprint (the stream is windowed onto the space's base
+    /// VA).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frozen space's footprint cannot hold the scaled
+    /// workload.
+    pub fn build_with_space(
+        spec: WorkloadSpec,
+        config: TranslationConfig,
+        opts: Arc<SimOptions>,
+        space: Arc<FrozenSpace>,
+    ) -> Self {
+        let start = Instant::now();
+        let spec = spec.scaled_down(opts.footprint_divisor);
+        assert!(
+            space.spec().footprint >= spec.footprint,
+            "frozen space ({} B) smaller than the workload footprint ({} B)",
+            space.spec().footprint,
+            spec.footprint
+        );
+        let ops = opts.warmup_ops + opts.measure_ops;
+        let stream = AccessStream::replay(
+            spec.clone(),
+            space.spec().base_va,
+            setup::stream_offsets(&spec, ops),
+        );
+        let sim = Self::assemble(spec, config, opts, space, stream);
+        setup::record_setup_time(start.elapsed());
+        sim
     }
 
     /// Builds a simulation around a pre-existing stream — typically a
     /// replayed trace (`flatwalk_workloads::trace::load`). The stream's
     /// spec provides the footprint and timing parameters; no footprint
     /// scaling is applied (traces run at their recorded scale), and the
-    /// stream is rebased onto the freshly built address space.
+    /// stream is rebased onto the (possibly cached) address space.
     ///
     /// # Panics
     ///
@@ -86,14 +135,27 @@ impl NativeSimulation {
         config: TranslationConfig,
         opts: &SimOptions,
     ) -> Self {
+        let start = Instant::now();
         let spec = stream.spec().clone();
-        let mut buddy = BuddyAllocator::new(0, opts.phys_mem_bytes);
         let space_spec = AddressSpaceSpec::new(config.layout.clone(), spec.footprint)
             .with_scenario(opts.scenario)
             .with_nf_threshold(config.nf_threshold);
-        let space = AddressSpace::build(space_spec, &mut buddy)
-            .unwrap_or_else(|e| panic!("failed to build address space: {e}"));
+        let space = setup::frozen_native_space(&space_spec, opts.phys_mem_bytes);
         stream.rebase(space.spec().base_va);
+        let sim = Self::assemble(spec, config, Arc::new(opts.clone()), space, stream);
+        setup::record_setup_time(start.elapsed());
+        sim
+    }
+
+    /// Assembles the per-cell mutable state (MMU, hierarchy) around the
+    /// shared immutable artifacts.
+    fn assemble(
+        spec: WorkloadSpec,
+        config: TranslationConfig,
+        opts: Arc<SimOptions>,
+        space: Arc<FrozenSpace>,
+        stream: AccessStream,
+    ) -> Self {
         let pwc = opts.pwc.for_layout(&config.layout);
         let mut mmu = Mmu::native(opts.tlb.clone(), pwc, config.ptp);
         mmu.set_phase_detector(flatwalk_tlb::PhaseDetector::new(
@@ -104,7 +166,7 @@ impl NativeSimulation {
         NativeSimulation {
             spec,
             config,
-            opts: opts.clone(),
+            opts,
             space,
             mmu,
             hier,
@@ -113,39 +175,45 @@ impl NativeSimulation {
     }
 
     /// Runs warm-up then measurement; returns the report.
-    pub fn run(mut self) -> SimReport {
-        let work = self.spec.work_per_access;
-        let exposure = self.spec.data_exposure;
-        let l1_lat = self.opts.hierarchy.l1.latency;
+    pub fn run(self) -> SimReport {
+        let start = Instant::now();
+        let NativeSimulation {
+            spec,
+            config,
+            opts,
+            space,
+            mut mmu,
+            mut hier,
+            mut stream,
+        } = self;
+        let work = spec.work_per_access;
+        let exposure = spec.data_exposure;
+        let l1_lat = opts.hierarchy.l1.latency;
+        let aspace = MmuSpace::native(space.store(), space.table());
         let mut cycles_f = 0.0f64;
         let mut instructions = 0u64;
 
         for phase in 0..2u32 {
             let ops = if phase == 0 {
-                self.opts.warmup_ops
+                opts.warmup_ops
             } else {
-                self.opts.measure_ops
+                opts.measure_ops
             };
             if phase == 1 {
-                self.mmu.reset_stats();
-                self.hier.reset_stats();
+                mmu.reset_stats();
+                hier.reset_stats();
                 cycles_f = 0.0;
                 instructions = 0;
             }
             for op in 0..ops {
-                if let Some(n) = self.opts.context_switch_interval {
+                if let Some(n) = opts.context_switch_interval {
                     if op > 0 && op % n == 0 {
-                        self.mmu.context_switch();
+                        mmu.context_switch();
                     }
                 }
-                let va = self.stream.next_va();
-                let aspace = MmuSpace::Native {
-                    store: self.space.store(),
-                    table: self.space.table(),
-                };
-                let t = self
-                    .mmu
-                    .access(&aspace, &mut self.hier, va, OwnerId::SINGLE)
+                let va = stream.next_va();
+                let t = mmu
+                    .access(&aspace, &mut hier, va, OwnerId::SINGLE)
                     .unwrap_or_else(|e| panic!("unmapped access {va}: {e}"));
                 instructions += work + 1;
                 // Timing proxy: non-memory work at CPI 1; TLB-hit
@@ -158,17 +226,19 @@ impl NativeSimulation {
             }
         }
 
-        SimReport {
-            workload: self.spec.name.to_string(),
-            config: self.config.label,
+        let report = SimReport {
+            workload: spec.name.to_string(),
+            config: config.label,
             instructions,
             cycles: cycles_f.round() as u64,
-            walk: self.mmu.stats().walker,
-            tlb: self.mmu.stats().tlb,
-            hier: self.hier.stats(),
-            energy: self.hier.energy(&EnergyModel::default()),
-            census: *self.space.census(),
-        }
+            walk: mmu.stats().walker,
+            tlb: mmu.stats().tlb,
+            hier: hier.stats(),
+            energy: hier.energy(&EnergyModel::default()),
+            census: *space.census(),
+        };
+        setup::record_run_time(start.elapsed());
+        report
     }
 }
 

@@ -22,12 +22,13 @@
 
 use std::io::{IsTerminal, Write};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use flatwalk_os::FragmentationScenario;
 use flatwalk_workloads::WorkloadSpec;
 
+use crate::setup::{setup_stats, SetupStats};
 use crate::{NativeSimulation, SimOptions, SimReport, TranslationConfig};
 
 /// One independent experiment cell: a single native simulation.
@@ -37,10 +38,11 @@ pub struct Cell {
     pub workload: WorkloadSpec,
     /// The translation mechanism under test.
     pub config: TranslationConfig,
-    /// Memory fragmentation scenario (overrides `opts.scenario`).
+    /// Memory fragmentation scenario (already applied to `opts`).
     pub scenario: FragmentationScenario,
-    /// Remaining simulation options.
-    pub opts: SimOptions,
+    /// Remaining simulation options (scenario applied, shared by
+    /// reference count — workers never clone the nested configs).
+    pub opts: Arc<SimOptions>,
 }
 
 impl Cell {
@@ -55,7 +57,7 @@ impl Cell {
             workload,
             config,
             scenario,
-            opts,
+            opts: Arc::new(opts.with_scenario(scenario)),
         }
     }
 
@@ -64,12 +66,18 @@ impl Cell {
         self.opts.warmup_ops + self.opts.measure_ops
     }
 
-    /// Builds and runs the simulation. Everything is constructed locally
-    /// from the cell's plain-data description, so this is safe to call
+    /// Builds and runs the simulation. The immutable setup artifacts
+    /// (frozen address space, stream prefix) come from the process-wide
+    /// setup cache, so cells sharing a space key build it once; all
+    /// mutable state is constructed locally, so this is safe to call
     /// from any worker thread.
     pub fn run(&self) -> SimReport {
-        let opts = self.opts.clone().with_scenario(self.scenario);
-        NativeSimulation::build(self.workload.clone(), self.config.clone(), &opts).run()
+        NativeSimulation::build_shared(
+            self.workload.clone(),
+            self.config.clone(),
+            Arc::clone(&self.opts),
+        )
+        .run()
     }
 }
 
@@ -103,6 +111,9 @@ pub struct Progress {
     /// one thread prints per interval.
     next_print_ms: AtomicU64,
     start: Instant,
+    /// Setup-cache counters at meter creation; the line shows the delta
+    /// contributed by this batch.
+    setup_base: SetupStats,
     enabled: bool,
 }
 
@@ -126,6 +137,7 @@ impl Progress {
             ops_done: AtomicU64::new(0),
             next_print_ms: AtomicU64::new(0),
             start: Instant::now(),
+            setup_base: setup_stats(),
             enabled,
         }
     }
@@ -161,14 +173,19 @@ impl Progress {
         } else {
             0.0
         };
+        let cache = setup_stats().since(&self.setup_base);
         let mut err = std::io::stderr().lock();
         let _ = write!(
             err,
-            "\r[{}] {}/{} cells · {:.1} M sim-ops/s · ETA {:.0}s ",
+            "\r[{}] {}/{} cells · {:.1} M sim-ops/s · cache {} hit/{} miss · setup {:.1}s / run {:.1}s · ETA {:.0}s ",
             self.label,
             done,
             self.total,
             rate / 1e6,
+            cache.hits,
+            cache.misses,
+            cache.setup_nanos as f64 / 1e9,
+            cache.run_nanos as f64 / 1e9,
             eta
         );
         if finished {

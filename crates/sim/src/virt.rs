@@ -1,15 +1,16 @@
 //! The virtualized (2-D page walk) simulation (paper §4, Fig. 12).
 
+use std::sync::Arc;
+use std::time::Instant;
+
 use flatwalk_mem::{EnergyModel, MemoryHierarchy};
 use flatwalk_mmu::{AddressSpace as MmuSpace, Mmu, NestedTables};
-use flatwalk_os::{
-    AddressSpaceSpec, BuddyAllocator, FragmentationScenario, VirtSpec, VirtualizedSpace,
-};
+use flatwalk_os::{AddressSpaceSpec, FragmentationScenario, FrozenVirtSpace};
 use flatwalk_pt::Layout;
 use flatwalk_types::OwnerId;
 use flatwalk_workloads::{AccessStream, WorkloadSpec};
 
-use crate::{SimOptions, SimReport, TranslationConfig};
+use crate::{setup, SimOptions, SimReport, TranslationConfig};
 
 /// Which tables are flattened in a virtualized run — the Fig. 12
 /// configurations.
@@ -133,8 +134,8 @@ impl VirtConfig {
 pub struct VirtualizedSimulation {
     spec: WorkloadSpec,
     config: VirtConfig,
-    opts: SimOptions,
-    vspace: VirtualizedSpace,
+    opts: Arc<SimOptions>,
+    vspace: Arc<FrozenVirtSpace>,
     mmu: Mmu,
     hier: MemoryHierarchy,
     stream: AccessStream,
@@ -161,6 +162,50 @@ impl VirtualizedSimulation {
         )
     }
 
+    /// Builds around a pre-frozen virtualized space — the
+    /// build-once/run-many path. The `config` still controls PTP and
+    /// the report label; the layouts are whatever the frozen space was
+    /// built with.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frozen guest space cannot hold the scaled
+    /// workload footprint.
+    pub fn build_with_space(
+        spec: WorkloadSpec,
+        config: VirtConfig,
+        opts: Arc<SimOptions>,
+        vspace: Arc<FrozenVirtSpace>,
+    ) -> Self {
+        let start = Instant::now();
+        let spec = spec.scaled_down(opts.footprint_divisor);
+        assert!(
+            vspace.guest().spec().footprint >= spec.footprint,
+            "frozen guest space ({} B) smaller than the workload footprint ({} B)",
+            vspace.guest().spec().footprint,
+            spec.footprint
+        );
+        let ops = opts.warmup_ops + opts.measure_ops;
+        let stream = AccessStream::replay(
+            spec.clone(),
+            vspace.guest().spec().base_va,
+            setup::stream_offsets(&spec, ops),
+        );
+        let guest_layout = vspace.guest().spec().layout.clone();
+        let host_layout = vspace.host_layout().clone();
+        let sim = Self::assemble(
+            spec,
+            config,
+            &guest_layout,
+            &host_layout,
+            opts,
+            vspace,
+            stream,
+        );
+        setup::record_setup_time(start.elapsed());
+        sim
+    }
+
     /// Builds with explicit guest/host layouts (the Fig. 14 mobile case
     /// study sweeps flattening choices beyond the Fig. 12 set); the
     /// `config`'s flags still control PTP and the report label.
@@ -175,7 +220,9 @@ impl VirtualizedSimulation {
         host_layout: Layout,
         opts: &SimOptions,
     ) -> Self {
-        let spec = spec.clone().scaled_down(opts.footprint_divisor);
+        let start = Instant::now();
+        let opts = Arc::new(opts.clone());
+        let spec = spec.scaled_down(opts.footprint_divisor);
         let guest_flat = guest_layout != Layout::conventional4();
         let guest_spec = AddressSpaceSpec::new(guest_layout.clone(), spec.footprint)
             .with_scenario(opts.scenario)
@@ -191,17 +238,44 @@ impl VirtualizedSimulation {
                 } else {
                     opts.scenario
                 });
-        let vspec =
-            VirtSpec::new(guest_spec, host_layout.clone()).with_host_scenario(host_scenario);
-        // The host must back all of guest-physical memory plus its own
-        // page-table nodes; size system memory accordingly (2x the
-        // guest, power of two, placed above guest-physical addresses).
-        let host_bytes = (vspec.guest_mem_bytes * 2).max(opts.phys_mem_bytes.next_power_of_two());
-        let mut host_alloc = BuddyAllocator::new(host_bytes, host_bytes);
-        let vspace = VirtualizedSpace::build(vspec, &mut host_alloc)
-            .unwrap_or_else(|e| panic!("failed to build virtualized space: {e}"));
-        let guest_pwc = opts.pwc.for_layout(&guest_layout);
-        let host_pwc = opts.pwc.for_layout(&host_layout);
+        let vspace = setup::frozen_virt_space(
+            &guest_spec,
+            &host_layout,
+            host_scenario,
+            opts.phys_mem_bytes,
+        );
+        let ops = opts.warmup_ops + opts.measure_ops;
+        let stream = AccessStream::replay(
+            spec.clone(),
+            vspace.guest().spec().base_va,
+            setup::stream_offsets(&spec, ops),
+        );
+        let sim = Self::assemble(
+            spec,
+            config,
+            &guest_layout,
+            &host_layout,
+            opts,
+            vspace,
+            stream,
+        );
+        setup::record_setup_time(start.elapsed());
+        sim
+    }
+
+    /// Assembles the per-cell mutable state (nested MMU, hierarchy)
+    /// around the shared immutable artifacts.
+    fn assemble(
+        spec: WorkloadSpec,
+        config: VirtConfig,
+        guest_layout: &Layout,
+        host_layout: &Layout,
+        opts: Arc<SimOptions>,
+        vspace: Arc<FrozenVirtSpace>,
+        stream: AccessStream,
+    ) -> Self {
+        let guest_pwc = opts.pwc.for_layout(guest_layout);
+        let host_pwc = opts.pwc.for_layout(host_layout);
         let mut mmu = Mmu::nested(
             opts.tlb.clone(),
             guest_pwc,
@@ -214,11 +288,10 @@ impl VirtualizedSimulation {
             opts.phase_threshold,
         ));
         let hier = MemoryHierarchy::new(opts.hierarchy.clone().with_priority_prob(opts.ptp_bias));
-        let stream = AccessStream::new(spec.clone(), vspace.guest().spec().base_va);
         VirtualizedSimulation {
             spec,
             config,
-            opts: opts.clone(),
+            opts,
             vspace,
             mmu,
             hier,
@@ -227,41 +300,50 @@ impl VirtualizedSimulation {
     }
 
     /// Runs warm-up then measurement; returns the report.
-    pub fn run(mut self) -> SimReport {
-        let work = self.spec.work_per_access;
-        let exposure = self.spec.data_exposure;
-        let l1_lat = self.opts.hierarchy.l1.latency;
+    pub fn run(self) -> SimReport {
+        let start = Instant::now();
+        let VirtualizedSimulation {
+            spec,
+            config,
+            opts,
+            vspace,
+            mut mmu,
+            mut hier,
+            mut stream,
+        } = self;
+        let work = spec.work_per_access;
+        let exposure = spec.data_exposure;
+        let l1_lat = opts.hierarchy.l1.latency;
+        let aspace = MmuSpace::nested(NestedTables {
+            guest_store: vspace.guest().store(),
+            guest_table: vspace.guest().table(),
+            host_store: vspace.host_store(),
+            host_table: vspace.host_table(),
+        });
         let mut cycles_f = 0.0f64;
         let mut instructions = 0u64;
 
         for phase in 0..2u32 {
             let ops = if phase == 0 {
-                self.opts.warmup_ops
+                opts.warmup_ops
             } else {
-                self.opts.measure_ops
+                opts.measure_ops
             };
             if phase == 1 {
-                self.mmu.reset_stats();
-                self.hier.reset_stats();
+                mmu.reset_stats();
+                hier.reset_stats();
                 cycles_f = 0.0;
                 instructions = 0;
             }
             for op in 0..ops {
-                if let Some(n) = self.opts.context_switch_interval {
+                if let Some(n) = opts.context_switch_interval {
                     if op > 0 && op % n == 0 {
-                        self.mmu.context_switch();
+                        mmu.context_switch();
                     }
                 }
-                let va = self.stream.next_va();
-                let aspace = MmuSpace::Nested(NestedTables {
-                    guest_store: self.vspace.guest().store(),
-                    guest_table: self.vspace.guest().table(),
-                    host_store: self.vspace.host_store(),
-                    host_table: self.vspace.host_table(),
-                });
-                let t = self
-                    .mmu
-                    .access(&aspace, &mut self.hier, va, OwnerId::SINGLE)
+                let va = stream.next_va();
+                let t = mmu
+                    .access(&aspace, &mut hier, va, OwnerId::SINGLE)
                     .unwrap_or_else(|e| panic!("unmapped guest access {va}: {e}"));
                 instructions += work + 1;
                 let translation_stall = t.translation_latency.saturating_sub(1);
@@ -270,17 +352,19 @@ impl VirtualizedSimulation {
             }
         }
 
-        SimReport {
-            workload: self.spec.name.to_string(),
-            config: self.config.label,
+        let report = SimReport {
+            workload: spec.name.to_string(),
+            config: config.label,
             instructions,
             cycles: cycles_f.round() as u64,
-            walk: self.mmu.stats().walker,
-            tlb: self.mmu.stats().tlb,
-            hier: self.hier.stats(),
-            energy: self.hier.energy(&EnergyModel::default()),
-            census: *self.vspace.guest().census(),
-        }
+            walk: mmu.stats().walker,
+            tlb: mmu.stats().tlb,
+            hier: hier.stats(),
+            energy: hier.energy(&EnergyModel::default()),
+            census: *vspace.guest().census(),
+        };
+        setup::record_run_time(start.elapsed());
+        report
     }
 }
 

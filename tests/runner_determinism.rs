@@ -2,14 +2,32 @@
 //! serial run: the same grid, fanned across any number of worker
 //! threads, has to reassemble into the *identical* report vector —
 //! that is what makes `--threads N` safe for every figure binary.
+//!
+//! The setup cache adds a second axis to that contract: sharing frozen
+//! address-space snapshots across cells must not change a single byte
+//! of any report, at any thread count. The tests here pin both axes
+//! against one cache-off serial golden.
+//!
+//! The cache override is process-global, so every test that flips it
+//! holds [`override_guard`] for its whole body.
 
-use flatwalk_os::FragmentationScenario;
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use flatwalk_os::{AddressSpaceSpec, FragmentationScenario};
 use flatwalk_sim::runner::{run_cells, Cell};
-use flatwalk_sim::{NativeSimulation, SimOptions, SimReport, TranslationConfig};
+use flatwalk_sim::{setup, NativeSimulation, SimOptions, SimReport, TranslationConfig};
 use flatwalk_workloads::WorkloadSpec;
 
+/// Serializes tests that flip the process-global cache override.
+fn override_guard() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
 /// A small Fig. 9-style grid: two workloads × three translation
-/// configs × two fragmentation scenarios.
+/// configs × two fragmentation scenarios. Several cells share a
+/// (layout, footprint, scenario) key, so the setup cache is exercised
+/// for both hits and misses.
 fn grid() -> Vec<Cell> {
     let mut opts = SimOptions::small_test();
     opts.warmup_ops = 500;
@@ -41,35 +59,115 @@ fn fingerprints(reports: &[SimReport]) -> Vec<String> {
     reports.iter().map(|r| format!("{r:?}")).collect()
 }
 
-#[test]
-fn parallel_grid_matches_serial_golden() {
-    // Golden: the plain serial loop, no runner involved.
-    let golden: Vec<String> = grid()
+/// The cache-off serial golden: a plain loop, no runner, every cell
+/// building its space privately.
+fn serial_golden() -> Vec<String> {
+    setup::set_cache_override(Some(false));
+    let golden = grid()
         .iter()
         .map(|cell| {
-            let opts = cell.opts.clone().with_scenario(cell.scenario);
-            let r =
-                NativeSimulation::build(cell.workload.clone(), cell.config.clone(), &opts).run();
+            let r = NativeSimulation::build_shared(
+                cell.workload.clone(),
+                cell.config.clone(),
+                Arc::clone(&cell.opts),
+            )
+            .run();
             format!("{r:?}")
         })
         .collect();
+    setup::set_cache_override(None);
+    golden
+}
 
+#[test]
+fn parallel_grid_matches_serial_golden() {
+    let _guard = override_guard();
+    let golden = serial_golden();
+
+    setup::set_cache_override(Some(true));
     let one = fingerprints(&run_cells("determinism-t1", grid(), 1));
     let four = fingerprints(&run_cells("determinism-t4", grid(), 4));
+    setup::set_cache_override(None);
 
     assert_eq!(
         one, golden,
-        "single-thread runner must equal the serial loop"
+        "single-thread cached runner must equal the cache-off serial loop"
     );
     assert_eq!(
         four, golden,
-        "four-thread runner must equal the serial loop"
+        "four-thread cached runner must equal the cache-off serial loop"
+    );
+}
+
+#[test]
+fn cache_off_runner_matches_cache_on() {
+    let _guard = override_guard();
+    setup::set_cache_override(Some(false));
+    let off_one = fingerprints(&run_cells("det-off-t1", grid(), 1));
+    let off_four = fingerprints(&run_cells("det-off-t4", grid(), 4));
+    setup::set_cache_override(Some(true));
+    let on_four = fingerprints(&run_cells("det-on-t4", grid(), 4));
+    setup::set_cache_override(None);
+
+    assert_eq!(off_one, off_four, "cache-off must be thread-invariant");
+    assert_eq!(
+        off_four, on_four,
+        "sharing frozen spaces must not change any report byte"
     );
 }
 
 #[test]
 fn repeated_parallel_runs_are_stable() {
+    let _guard = override_guard();
     let a = fingerprints(&run_cells("determinism-a", grid(), 3));
     let b = fingerprints(&run_cells("determinism-b", grid(), 3));
     assert_eq!(a, b);
+}
+
+#[test]
+fn shared_frozen_space_matches_fresh_builds() {
+    let _guard = override_guard();
+    // Two cells that differ only in PTP share one frozen snapshot...
+    let mut opts = SimOptions::small_test();
+    opts.warmup_ops = 500;
+    opts.measure_ops = 3_000;
+    let opts = Arc::new(opts);
+    let spec = WorkloadSpec::gups().scaled_mib(16);
+    let scaled = spec.clone().scaled_down(opts.footprint_divisor);
+    let configs = [
+        TranslationConfig::flattened(),
+        TranslationConfig::flattened_prioritized(),
+    ];
+
+    setup::set_cache_override(Some(false));
+    let space_spec = AddressSpaceSpec::new(configs[0].layout.clone(), scaled.footprint)
+        .with_scenario(opts.scenario)
+        .with_nf_threshold(configs[0].nf_threshold);
+    let shared = setup::frozen_native_space(&space_spec, opts.phys_mem_bytes);
+    let via_shared: Vec<String> = configs
+        .iter()
+        .map(|cfg| {
+            let r = NativeSimulation::build_with_space(
+                spec.clone(),
+                cfg.clone(),
+                Arc::clone(&opts),
+                Arc::clone(&shared),
+            )
+            .run();
+            format!("{r:?}")
+        })
+        .collect();
+
+    // ...and must report exactly what two private builds report.
+    let fresh: Vec<String> = configs
+        .iter()
+        .map(|cfg| {
+            let r =
+                NativeSimulation::build_shared(spec.clone(), cfg.clone(), Arc::clone(&opts)).run();
+            format!("{r:?}")
+        })
+        .collect();
+    setup::set_cache_override(None);
+
+    assert_eq!(via_shared, fresh);
 }
