@@ -130,6 +130,13 @@ impl<S: Scheme> SchemeSimulation<S> {
     /// Runs warm-up then measurement; returns the report.
     pub fn run(mut self) -> SimReport {
         let start = Instant::now();
+        if flatwalk_obs::trace::any_enabled() {
+            flatwalk_obs::trace::set_context(&format!(
+                "{}/{}",
+                self.spec.name,
+                self.scheme.label()
+            ));
+        }
         let work = self.spec.work_per_access;
         let exposure = self.spec.data_exposure;
         let l1_lat = self.opts.hierarchy.l1.latency;
@@ -144,6 +151,7 @@ impl<S: Scheme> SchemeSimulation<S> {
                 self.opts.measure_ops
             };
             if phase_idx == 1 {
+                self.phase.reset_flips();
                 self.tlb.reset_stats();
                 self.hier.reset_stats();
                 self.walker_stats = WalkerStats::default();
@@ -201,6 +209,8 @@ impl<S: Scheme> SchemeSimulation<S> {
             hier: self.hier.stats(),
             energy: self.hier.energy(&EnergyModel::default()),
             census: *self.space.census(),
+            phase_flips: self.phase.flips(),
+            pwc: Vec::new(),
         };
         setup::record_run_time(start.elapsed());
         report

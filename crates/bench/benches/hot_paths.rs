@@ -262,6 +262,35 @@ fn bench_setup_cache(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_obs_overhead(c: &mut Criterion) {
+    let mut g = c.benchmark_group("obs");
+    // The disabled-tracer fast path: a single relaxed atomic load. This
+    // is the per-walk cost the instrumentation adds when FLATWALK_TRACE
+    // is unset, and it must stay negligible next to a timed walk.
+    g.bench_function("tracer_disabled_check", |b| {
+        b.iter(|| std::hint::black_box(flatwalk_obs::trace::walks_enabled()))
+    });
+    // The full timed walker with tracing off — directly comparable to
+    // the timed_walker group, which it must not regress.
+    let layout = Layout::flat_l4l3_l2l1();
+    let (store, mapper) = build_table(layout.clone(), 4096);
+    let mut hier = MemoryHierarchy::new(HierarchyConfig::server());
+    let mut walker = PageWalker::new(PwcConfig::server().for_layout(&layout));
+    let mut rng = SplitMix64::new(17);
+    g.bench_function("timed_walker_tracing_off", |b| {
+        b.iter(|| {
+            let va = VirtAddr::new(0x4000_0000 + rng.next_range(4096) * 4096);
+            std::hint::black_box(
+                walker
+                    .walk(&store, mapper.table(), va, &mut hier, OwnerId::SINGLE)
+                    .unwrap()
+                    .latency,
+            )
+        })
+    });
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_functional_walk,
@@ -272,6 +301,7 @@ criterion_group!(
     bench_cache_probe_flat,
     bench_pt_store_lookup,
     bench_runner_grid,
-    bench_setup_cache
+    bench_setup_cache,
+    bench_obs_overhead
 );
 criterion_main!(benches);

@@ -75,6 +75,9 @@ fn main() {
                 .run()
         },
     );
+    for r in &csalt_all {
+        flatwalk_bench::emit::record_report("ablation_cs:csalt", r);
+    }
 
     let mut rows = Vec::new();
     for ((interval, group), csalt) in intervals
@@ -121,4 +124,5 @@ fn main() {
     println!("lines do. This is the paper's §7.1 point from the other side:");
     println!("CSALT's design needs many cold-cache processes, which the");
     println!("single-address-space methodology (theirs and ours) does not have.");
+    flatwalk_bench::emit::finish("ablation_context_switch");
 }

@@ -107,6 +107,9 @@ fn main() {
         opts.warmup_ops + opts.measure_ops,
         |(scheme, spec, scenario)| run_scheme(scheme, &spec, &opts, scenario),
     );
+    for r in &scheme_reports {
+        flatwalk_bench::emit::record_report("fig09:schemes", r);
+    }
 
     let mut native_chunks = native_reports.chunks(suite.len());
     let mut scheme_chunks = scheme_reports.chunks(suite.len());
@@ -153,4 +156,5 @@ fn main() {
     println!();
     println!("Paper reference (0% LP geomeans): FPT +2.3%, PTP +6.8%, FPT+PTP +9.2%,");
     println!("ASAP +1.7%, ECH -5.9%, CSALT +0.3%; improvements shrink as LP% grows.");
+    flatwalk_bench::emit::finish("fig09_native_perf");
 }

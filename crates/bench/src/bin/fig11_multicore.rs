@@ -88,6 +88,11 @@ fn main() {
         4 * (opts.warmup_ops + opts.measure_ops),
         |(cfg, i)| MulticoreSimulation::build(&mixes[i], cfg, &opts).run(),
     );
+    for m in &grid {
+        for core in &m.cores {
+            flatwalk_bench::emit::record_report("fig11:mixes", core);
+        }
+    }
 
     let mut rows = Vec::new();
     for (cfg, reports) in configs.iter().zip(grid.chunks(mixes.len())) {
@@ -123,4 +128,5 @@ fn main() {
     println!();
     println!("Paper reference (0% LP): FPT +2.2%, PTP +9.2%, FPT+PTP +11.5% mean");
     println!("weighted speedup over 20 mixes.");
+    flatwalk_bench::emit::finish("fig11_multicore");
 }

@@ -100,6 +100,9 @@ fn main() {
             }
         },
     );
+    for r in &scheme_reports {
+        flatwalk_bench::emit::record_report("fig13:schemes", r);
+    }
     for (scheme, reports) in ["ASAP", "ECH", "CSALT"]
         .iter()
         .zip(scheme_reports.chunks(suite.len()))
@@ -123,6 +126,9 @@ fn main() {
         opts.warmup_ops + opts.measure_ops,
         |(cfg, w)| VirtualizedSimulation::build(w, cfg, &opts).run(),
     );
+    for r in &virt {
+        flatwalk_bench::emit::record_report("fig13:virt", r);
+    }
     let vbase = &virt[..suite.len()];
     for (cfg, reports) in vconfigs[1..]
         .iter()
@@ -145,4 +151,5 @@ fn main() {
     println!("Paper reference (native): FPT -2.8% cache; PTP -2.5% cache / -4.6% DRAM;");
     println!("FPT+PTP -5.1% / -4.7%. ASAP raises L1D traffic; ECH +32% cache / +14% DRAM.");
     println!("Virtualized: GF+HF -6.7% cache; GF+HF+PTP -8.7% cache / -4.7% DRAM.");
+    flatwalk_bench::emit::finish("fig13_energy");
 }

@@ -71,6 +71,10 @@ fn main() {
         },
     );
 
+    for r in &all {
+        flatwalk_bench::emit::record_report("fig14", r);
+    }
+
     let mut rows = Vec::new();
     for (&iteration, group) in [1u32, 5].iter().zip(all.chunks(variants.len())) {
         let mut base_ipc = 0.0f64;
@@ -94,4 +98,5 @@ fn main() {
     println!();
     println!("Paper reference: flattening closer to the leaves helps most; both");
     println!("L4+L3 and L2+L1 flattened gives +3.8% (iter1) / +4.3% (iter5).");
+    flatwalk_bench::emit::finish("fig14_mobile");
 }

@@ -79,6 +79,9 @@ fn main() {
         opts.warmup_ops + opts.measure_ops,
         |(cfg, w)| VirtualizedSimulation::build(w, cfg, &opts).run(),
     );
+    for r in &virt {
+        flatwalk_bench::emit::record_report("headline:virt", r);
+    }
     let vbase = &virt[..suite.len()];
     let mut rows = Vec::new();
     for (cfg, reports) in vconfigs.iter().zip(virt.chunks(suite.len())) {
@@ -99,4 +102,5 @@ fn main() {
     println!("--- virtualized (paper: GF+HF +7.1%, GF+HF+PTP +14.0%;");
     println!("    accesses 4.4→2.8) ---");
     print_table(&["config", "geomean speedup", "mean acc/walk"], &rows);
+    flatwalk_bench::emit::finish("headline_paper");
 }

@@ -1,0 +1,130 @@
+//! Machine-readable experiment reports (`--json <path>` /
+//! `FLATWALK_JSON=<path>`).
+//!
+//! Every experiment binary calls [`record_cells`] (grid batches) or
+//! [`record_report`] (ad-hoc jobs) as results arrive and [`finish`]
+//! once before exiting. With the flag and variable unset all of it is a
+//! no-op — stdout stays byte-identical to a build without JSON
+//! reporting.
+//!
+//! Output schema (`flatwalk-report-v1`), stable key order:
+//!
+//! ```text
+//! {"schema":"flatwalk-report-v1",
+//!  "experiment":"sec71_pwc_sweep",
+//!  "manifest":{"threads":…,"setup_cache_hits":…,"setup_cache_misses":…,
+//!              "setup_nanos":…,"run_nanos":…,"cells_recorded":…},
+//!  "cells":[{"label":…,"index":…,"setup_nanos":…,"run_nanos":…,
+//!            "report":{…SimReport::to_json…}},…],
+//!  "metrics":{…merged registry, name-sorted…}}
+//! ```
+//!
+//! Cells recorded via [`record_report`] carry no `setup_nanos` /
+//! `run_nanos` keys (their phase split is not attributable — the
+//! process-wide totals in the manifest still include them).
+
+use std::sync::{Mutex, OnceLock};
+
+use flatwalk_obs::{metrics, Json};
+use flatwalk_sim::runner::CellOutcome;
+use flatwalk_sim::SimReport;
+
+/// The sink path: `--json <path>` / `--json=<path>` from the command
+/// line, else `FLATWALK_JSON`. Parsed once.
+fn path() -> Option<&'static str> {
+    static PATH: OnceLock<Option<String>> = OnceLock::new();
+    PATH.get_or_init(|| {
+        let mut args = std::env::args();
+        let mut found = None;
+        while let Some(a) = args.next() {
+            if a == "--json" {
+                found = args.next();
+            } else if let Some(v) = a.strip_prefix("--json=") {
+                found = Some(v.to_string());
+            }
+        }
+        found.or_else(|| {
+            std::env::var("FLATWALK_JSON")
+                .ok()
+                .filter(|v| !v.is_empty())
+        })
+    })
+    .as_deref()
+}
+
+/// Whether JSON reporting is enabled for this invocation.
+pub fn enabled() -> bool {
+    path().is_some()
+}
+
+fn cells() -> &'static Mutex<Vec<Json>> {
+    static CELLS: OnceLock<Mutex<Vec<Json>>> = OnceLock::new();
+    CELLS.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Records a finished grid batch (one JSON cell per [`CellOutcome`],
+/// including its setup/run wall-time split). The runner has already
+/// merged these reports' metrics into the global registry.
+pub fn record_cells(label: &str, outcomes: &[CellOutcome]) {
+    if !enabled() {
+        return;
+    }
+    let mut sink = cells().lock().unwrap_or_else(|e| e.into_inner());
+    for (index, outcome) in outcomes.iter().enumerate() {
+        let mut o = Json::obj();
+        o.push("label", label)
+            .push("index", index)
+            .push("setup_nanos", outcome.setup_nanos)
+            .push("run_nanos", outcome.run_nanos)
+            .push("report", outcome.report.to_json());
+        sink.push(o);
+    }
+}
+
+/// Records one report produced outside [`record_cells`] (multicore
+/// cores, scheme comparisons, virtualized jobs) and merges its metrics
+/// into the global registry.
+pub fn record_report(label: &str, report: &SimReport) {
+    metrics::merge_global(&report.metrics());
+    if !enabled() {
+        return;
+    }
+    let mut sink = cells().lock().unwrap_or_else(|e| e.into_inner());
+    let index = sink.len();
+    let mut o = Json::obj();
+    o.push("label", label)
+        .push("index", index)
+        .push("report", report.to_json());
+    sink.push(o);
+}
+
+/// Writes the collected cells, run manifest, and merged metrics to the
+/// sink path (no-op when JSON reporting is off). Call once, after all
+/// results are recorded; I/O errors are reported on stderr, never
+/// panicked — a failed report must not kill a finished experiment.
+pub fn finish(experiment: &str) {
+    let Some(path) = path() else {
+        return;
+    };
+    let recorded = std::mem::take(&mut *cells().lock().unwrap_or_else(|e| e.into_inner()));
+    let stats = flatwalk_sim::setup::setup_stats();
+    let mut manifest = Json::obj();
+    manifest
+        .push("threads", crate::threads())
+        .push("setup_cache_hits", stats.hits)
+        .push("setup_cache_misses", stats.misses)
+        .push("setup_nanos", stats.setup_nanos)
+        .push("run_nanos", stats.run_nanos)
+        .push("cells_recorded", recorded.len());
+    let mut o = Json::obj();
+    o.push("schema", "flatwalk-report-v1")
+        .push("experiment", experiment)
+        .push("manifest", manifest)
+        .push("cells", Json::Array(recorded))
+        .push("metrics", metrics::global_snapshot().to_json());
+    let mut text = o.to_string();
+    text.push('\n');
+    if let Err(e) = std::fs::write(path, text) {
+        eprintln!("--json: cannot write {path:?}: {e}");
+    }
+}

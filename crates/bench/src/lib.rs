@@ -17,7 +17,17 @@ use flatwalk_sim::{NativeSimulation, SimOptions, SimReport, TranslationConfig};
 use flatwalk_types::stats::geometric_mean;
 use flatwalk_workloads::WorkloadSpec;
 
+pub mod emit;
+
 pub use flatwalk_sim::runner::Cell as GridCell;
+
+/// Installs the env-configured trace sink (`FLATWALK_TRACE`) exactly
+/// once per process. Every harness entry point routes through this, so
+/// binaries need no explicit tracing setup.
+fn init_observability() {
+    static INIT: std::sync::Once = std::sync::Once::new();
+    INIT.call_once(flatwalk_obs::trace::init_from_env);
+}
 
 /// How much of the paper-scale work an experiment run performs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -37,6 +47,7 @@ impl Mode {
     /// Parses the conventional CLI flags (`--quick`, `--std`,
     /// `--paper`); defaults to [`Mode::Std`].
     pub fn from_args() -> Mode {
+        init_observability();
         for a in std::env::args() {
             match a.as_str() {
                 "--quick" => return Mode::Quick,
@@ -107,9 +118,14 @@ pub fn threads() -> usize {
 }
 
 /// Runs a batch of native-simulation cells across the worker pool
-/// (see [`threads`]), returning reports in cell order.
+/// (see [`threads`]), returning reports in cell order. Each cell's
+/// report and setup/run time split are forwarded to the JSON sink
+/// ([`emit`]) when one is configured.
 pub fn run_cells(label: &'static str, cells: Vec<Cell>) -> Vec<SimReport> {
-    runner::run_cells(label, cells, threads())
+    init_observability();
+    let outcomes = runner::run_cells_timed(label, cells, threads());
+    emit::record_cells(label, &outcomes);
+    outcomes.into_iter().map(|o| o.report).collect()
 }
 
 /// Fans arbitrary simulation jobs across the worker pool, returning
@@ -121,6 +137,7 @@ where
     R: Send,
     F: Fn(J) -> R + Sync,
 {
+    init_observability();
     let progress = Progress::new(label, jobs.len());
     runner::run_ordered(jobs, threads(), &progress, |_| sim_ops, f)
 }
@@ -225,6 +242,8 @@ mod tests {
             hier: Default::default(),
             energy: Default::default(),
             census: Default::default(),
+            phase_flips: 0,
+            pwc: Default::default(),
         };
         let base = vec![mk("a", 2000), mk("b", 1000)];
         let test = vec![mk("b", 500), mk("a", 1000)];
@@ -245,6 +264,8 @@ mod tests {
             hier: Default::default(),
             energy: Default::default(),
             census: Default::default(),
+            phase_flips: 0,
+            pwc: Default::default(),
         };
         geomean_speedup(&[mk("missing")], &[mk("a"), mk("b")]);
     }

@@ -320,6 +320,17 @@ impl Cache {
         if priority_active && self.cfg.pt_priority && victim.kind == AccessKind::PageTable {
             self.stats.pt_evictions_during_priority += 1;
         }
+        if flatwalk_obs::trace::repl_enabled() {
+            flatwalk_obs::trace::emit_repl(&flatwalk_obs::trace::ReplRecord {
+                cache: self.cfg.name,
+                victim_line: victim.line,
+                victim_kind: match victim.kind {
+                    AccessKind::PageTable => "pt",
+                    AccessKind::Data => "data",
+                },
+                biased,
+            });
+        }
         Some(Eviction {
             line: victim.line,
             kind: victim.kind,

@@ -23,4 +23,4 @@ mod walker;
 
 pub use mmu::{AccessTiming, AddressSpace, Mmu, MmuStats, TranslationBackend};
 pub use nested::{NestedTables, NestedWalker, NestedWalkerStats};
-pub use walker::{PageWalker, WalkTiming, WalkerStats};
+pub use walker::{PageWalker, StepHits, WalkTiming, WalkerStats};

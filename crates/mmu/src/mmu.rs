@@ -208,6 +208,12 @@ impl Mmu {
         }
     }
 
+    /// Phase-detector transitions observed so far (0 when PTP is off —
+    /// the detector is never consulted then).
+    pub fn phase_flips(&self) -> u64 {
+        self.phase.flips()
+    }
+
     /// Per-depth PSC statistics of a native walker.
     pub fn pwc_stats(&self) -> Option<Vec<(u32, flatwalk_types::stats::HitMiss)>> {
         match &self.backend {
@@ -231,6 +237,7 @@ impl Mmu {
 
     /// Clears all statistics (contents are kept warm).
     pub fn reset_stats(&mut self) {
+        self.phase.reset_flips();
         self.tlb.reset_stats();
         match &mut self.backend {
             TranslationBackend::Native(w) => w.reset_stats(),

@@ -8,10 +8,12 @@
 //! host levels (Fig. 8).
 
 use flatwalk_mem::MemoryHierarchy;
+use flatwalk_obs::trace::{self, WalkRecord, WalkStepRecord};
 use flatwalk_pt::{resolve, FrameStore, NodeShape, PageTable, WalkError};
 use flatwalk_tlb::{NestedTlb, Pwc, PwcConfig};
 use flatwalk_types::{AccessKind, OwnerId, PageSize, PhysAddr, VirtAddr};
 
+use crate::walker::level_label;
 use crate::{WalkTiming, WalkerStats};
 
 /// The two page tables of a virtualized address space.
@@ -120,15 +122,26 @@ impl NestedWalker {
             }
         }
 
+        let tracing = trace::walks_enabled();
+        let mut trace_steps: Vec<WalkStepRecord> = Vec::new();
+
         // Guest levels: translate each entry's gPA, then read the entry.
         for step in &guest_walk.steps[first_step..] {
             let entry_gpa = PhysAddr::new(step.entry_pa.raw());
-            let (entry_hpa, lat, acc, _) = self.host_translate(tables, entry_gpa, hier, owner)?;
+            let (entry_hpa, lat, acc, _) =
+                self.host_translate(tables, entry_gpa, hier, owner, tracing, &mut trace_steps)?;
             latency += lat;
             accesses += acc;
             let out = hier.access(entry_hpa, AccessKind::PageTable, owner);
             latency += out.latency;
             accesses += 1;
+            self.stats.walks.step_hits.record(out.level);
+            if tracing {
+                trace_steps.push(WalkStepRecord {
+                    depth: step.depth,
+                    level: level_label(out.level),
+                });
+            }
         }
 
         // Train the guest PSC.
@@ -144,7 +157,8 @@ impl NestedWalker {
 
         // Final host translation of the data's guest-physical address.
         let data_gpa = PhysAddr::new(guest_walk.pa.raw());
-        let (data_hpa, lat, acc, host_size) = self.host_translate(tables, data_gpa, hier, owner)?;
+        let (data_hpa, lat, acc, host_size) =
+            self.host_translate(tables, data_gpa, hier, owner, tracing, &mut trace_steps)?;
         latency += lat;
         accesses += acc;
 
@@ -159,6 +173,16 @@ impl NestedWalker {
             latency,
         };
         self.stats.walks.record(&timing);
+        if tracing {
+            trace::emit_walk(&WalkRecord {
+                va: gva.raw(),
+                accesses,
+                latency,
+                psc_skipped: first_step as u8,
+                flattened: trace_steps.iter().any(|s| s.depth > 1),
+                steps: &trace_steps,
+            });
+        }
         Ok(timing)
     }
 
@@ -170,6 +194,8 @@ impl NestedWalker {
         gpa: PhysAddr,
         hier: &mut MemoryHierarchy,
         owner: OwnerId,
+        tracing: bool,
+        trace_steps: &mut Vec<WalkStepRecord>,
     ) -> Result<(PhysAddr, u64, u64, PageSize), WalkError> {
         self.stats.nested_translations += 1;
         let mut latency = self.nested_tlb.latency();
@@ -195,6 +221,13 @@ impl NestedWalker {
             let out = hier.access(step.entry_pa, AccessKind::PageTable, owner);
             latency += out.latency;
             accesses += 1;
+            self.stats.walks.step_hits.record(out.level);
+            if tracing {
+                trace_steps.push(WalkStepRecord {
+                    depth: step.depth,
+                    level: level_label(out.level),
+                });
+            }
         }
         for i in first_step..walk.steps.len().saturating_sub(1) {
             let next = &walk.steps[i + 1];

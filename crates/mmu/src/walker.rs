@@ -6,10 +6,55 @@
 //! is a 64 B access issued to the memory hierarchy with
 //! [`AccessKind::PageTable`].
 
-use flatwalk_mem::MemoryHierarchy;
+use flatwalk_mem::{HitLevel, MemoryHierarchy};
+use flatwalk_obs::trace::{self, WalkRecord, WalkStepRecord};
 use flatwalk_pt::{resolve, FrameStore, PageTable, Walk, WalkError};
 use flatwalk_tlb::{Pwc, PwcConfig};
 use flatwalk_types::{AccessKind, OwnerId, PageSize, PhysAddr, VirtAddr};
+
+/// Where page-walk entry reads were served, by hierarchy level.
+///
+/// This is the per-level breakdown behind the paper's "every walk's a
+/// hit" claim: under FPT+PTP the mass should sit in `l1`/`l2`, with
+/// `dram` near zero after warmup.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StepHits {
+    /// Entry reads served by the private L1.
+    pub l1: u64,
+    /// Entry reads served by the private L2.
+    pub l2: u64,
+    /// Entry reads served by the shared L3.
+    pub l3: u64,
+    /// Entry reads that went all the way to DRAM.
+    pub dram: u64,
+}
+
+impl StepHits {
+    /// Records one entry read served at `level`.
+    pub fn record(&mut self, level: HitLevel) {
+        match level {
+            HitLevel::L1 => self.l1 += 1,
+            HitLevel::L2 => self.l2 += 1,
+            HitLevel::L3 => self.l3 += 1,
+            HitLevel::Dram => self.dram += 1,
+        }
+    }
+
+    /// Total entry reads recorded.
+    pub fn total(&self) -> u64 {
+        self.l1 + self.l2 + self.l3 + self.dram
+    }
+}
+
+/// Trace label for a hierarchy hit level.
+pub(crate) fn level_label(level: HitLevel) -> &'static str {
+    match level {
+        HitLevel::L1 => "L1",
+        HitLevel::L2 => "L2",
+        HitLevel::L3 => "L3",
+        HitLevel::Dram => "DRAM",
+    }
+}
 
 /// Timing and result of one completed page walk.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -36,6 +81,8 @@ pub struct WalkerStats {
     pub latency: u64,
     /// Per-walk latency distribution (power-of-two buckets).
     pub latency_histogram: flatwalk_types::stats::LatencyHistogram,
+    /// Where the walks' entry reads were served.
+    pub step_hits: StepHits,
 }
 
 impl WalkerStats {
@@ -164,11 +211,21 @@ impl PageWalker {
             }
         }
 
+        let tracing = trace::walks_enabled();
+        let mut trace_steps: Vec<WalkStepRecord> = Vec::new();
+
         let mut accesses = 0u64;
         for step in &walk.steps[first_step..] {
             let out = hier.access(step.entry_pa, AccessKind::PageTable, owner);
             latency += out.latency;
             accesses += 1;
+            self.stats.step_hits.record(out.level);
+            if tracing {
+                trace_steps.push(WalkStepRecord {
+                    depth: step.depth,
+                    level: level_label(out.level),
+                });
+            }
         }
 
         // Train the PSC: each executed non-terminal step boundary maps
@@ -181,6 +238,17 @@ impl PageWalker {
                 next.node_base,
                 flatwalk_pt::NodeShape::from_depth(next.depth).expect("valid step depth"),
             );
+        }
+
+        if tracing {
+            trace::emit_walk(&WalkRecord {
+                va: va.raw(),
+                accesses,
+                latency,
+                psc_skipped: first_step as u8,
+                flattened: trace_steps.iter().any(|s| s.depth > 1),
+                steps: &trace_steps,
+            });
         }
 
         WalkTiming {

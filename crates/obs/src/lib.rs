@@ -1,0 +1,30 @@
+//! Observability layer: metrics registry, event tracing, and a
+//! hand-rolled JSON writer.
+//!
+//! The paper's headline claim — under FPT+PTP the *common-case* walk is
+//! a single cache hit — is a claim about event-level behaviour, so this
+//! crate makes the event level inspectable without perturbing it:
+//!
+//! * [`json`] — an ordered-key JSON value with a writer (and a small
+//!   parser for round-trip tests). No external dependencies; the build
+//!   environment is offline.
+//! * [`metrics`] — allocation-light named counters/gauges merged per
+//!   experiment cell into a process-global registry and dumped at exit.
+//! * [`trace`] — a [`trace::Tracer`] trait with a no-op default (one
+//!   relaxed atomic load when disabled) and a JSONL file sink enabled
+//!   via `FLATWALK_TRACE=walks[,phase,repl]:path`.
+//!
+//! Hard contract shared by all three: with tracing and JSON reporting
+//! off, simulation output (stdout *and* every statistic that feeds it)
+//! is byte-identical to a build without this crate in the loop.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod json;
+pub mod metrics;
+pub mod trace;
+
+pub use json::Json;
+pub use metrics::MetricsSnapshot;
+pub use trace::Tracer;

@@ -1,0 +1,206 @@
+//! Named metrics: per-cell snapshots merged into a process-global
+//! registry.
+//!
+//! The simulator's hot paths already accumulate every interesting count
+//! in their existing statistics structs (that is what keeps them
+//! allocation-free); this module gives those counts *names* —
+//! `tlb.l2.miss`, `pwc.p27.hit`, `ptp.phase_flips`,
+//! `cache.l2.pt_victims`, `setup.cache.hit` — in a mergeable
+//! [`MetricsSnapshot`]. Each experiment cell derives its snapshot from
+//! its finished report; the runner merges them into the global registry
+//! as cells complete (feeding the live progress line) and the JSON
+//! emitter dumps the aggregate at exit.
+//!
+//! Counters add under merge; gauges keep the last merged value.
+
+use std::collections::BTreeMap;
+use std::sync::{Mutex, OnceLock};
+
+use crate::json::Json;
+
+/// One metric value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MetricValue {
+    /// A monotonically accumulating count (adds under merge).
+    Counter(u64),
+    /// A point-in-time measurement (last merge wins).
+    Gauge(f64),
+}
+
+/// An ordered name → value map of metrics.
+///
+/// Backed by a `BTreeMap`, so iteration (and the JSON dump) is sorted
+/// by name regardless of registration or merge order — parallel runners
+/// merging cells in any order produce the identical dump.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    entries: BTreeMap<String, MetricValue>,
+}
+
+impl MetricsSnapshot {
+    /// An empty snapshot.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets (or replaces) a counter.
+    pub fn counter(&mut self, name: &str, value: u64) -> &mut Self {
+        self.entries
+            .insert(name.to_string(), MetricValue::Counter(value));
+        self
+    }
+
+    /// Sets (or replaces) a gauge.
+    pub fn gauge(&mut self, name: &str, value: f64) -> &mut Self {
+        self.entries
+            .insert(name.to_string(), MetricValue::Gauge(value));
+        self
+    }
+
+    /// Adds `delta` to a counter, creating it at `delta` if absent.
+    pub fn add(&mut self, name: &str, delta: u64) -> &mut Self {
+        match self.entries.get_mut(name) {
+            Some(MetricValue::Counter(v)) => *v += delta,
+            _ => {
+                self.entries
+                    .insert(name.to_string(), MetricValue::Counter(delta));
+            }
+        }
+        self
+    }
+
+    /// The counter's value (0 if absent or a gauge).
+    pub fn counter_value(&self, name: &str) -> u64 {
+        match self.entries.get(name) {
+            Some(MetricValue::Counter(v)) => *v,
+            _ => 0,
+        }
+    }
+
+    /// Number of metrics registered.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the snapshot holds no metrics.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Merges `other` into `self`: counters add, gauges overwrite.
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        for (name, value) in &other.entries {
+            match (self.entries.get_mut(name), value) {
+                (Some(MetricValue::Counter(a)), MetricValue::Counter(b)) => *a += b,
+                (_, v) => {
+                    self.entries.insert(name.clone(), *v);
+                }
+            }
+        }
+    }
+
+    /// Iterates metrics in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &MetricValue)> {
+        self.entries.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Renders the snapshot as a JSON object (name-sorted keys).
+    pub fn to_json(&self) -> Json {
+        let mut o = Json::obj();
+        for (name, value) in &self.entries {
+            match value {
+                MetricValue::Counter(v) => o.push(name, *v),
+                MetricValue::Gauge(v) => o.push(name, *v),
+            };
+        }
+        o
+    }
+}
+
+fn global() -> &'static Mutex<MetricsSnapshot> {
+    static GLOBAL: OnceLock<Mutex<MetricsSnapshot>> = OnceLock::new();
+    GLOBAL.get_or_init(|| Mutex::new(MetricsSnapshot::new()))
+}
+
+/// Merges a per-cell snapshot into the process-global registry (the
+/// runner calls this as each cell completes).
+pub fn merge_global(snapshot: &MetricsSnapshot) {
+    global()
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .merge(snapshot);
+}
+
+/// Adds `delta` to one global counter directly (for events outside any
+/// cell, e.g. setup-cache traffic).
+pub fn add_global(name: &str, delta: u64) {
+    global()
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .add(name, delta);
+}
+
+/// A copy of the process-global registry.
+pub fn global_snapshot() -> MetricsSnapshot {
+    global().lock().unwrap_or_else(|e| e.into_inner()).clone()
+}
+
+/// One global counter's current value (0 if absent).
+pub fn global_counter(name: &str) -> u64 {
+    global()
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .counter_value(name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_add_and_gauges_overwrite_under_merge() {
+        let mut a = MetricsSnapshot::new();
+        a.counter("tlb.l2.miss", 10).gauge("ipc", 0.5);
+        let mut b = MetricsSnapshot::new();
+        b.counter("tlb.l2.miss", 5)
+            .counter("tlb.l2.hit", 1)
+            .gauge("ipc", 0.75);
+        a.merge(&b);
+        assert_eq!(a.counter_value("tlb.l2.miss"), 15);
+        assert_eq!(a.counter_value("tlb.l2.hit"), 1);
+        assert_eq!(
+            a.iter().find(|(k, _)| *k == "ipc").map(|(_, v)| *v),
+            Some(MetricValue::Gauge(0.75))
+        );
+    }
+
+    #[test]
+    fn json_dump_is_name_sorted() {
+        let mut m = MetricsSnapshot::new();
+        m.counter("z.last", 1)
+            .counter("a.first", 2)
+            .gauge("m.mid", 0.25);
+        assert_eq!(
+            m.to_json().to_string(),
+            r#"{"a.first":2,"m.mid":0.25,"z.last":1}"#
+        );
+    }
+
+    #[test]
+    fn add_accumulates() {
+        let mut m = MetricsSnapshot::new();
+        m.add("walks", 3).add("walks", 4);
+        assert_eq!(m.counter_value("walks"), 7);
+        assert_eq!(m.counter_value("absent"), 0);
+    }
+
+    #[test]
+    fn global_registry_accumulates() {
+        // Other tests share the process-global registry, so assert on a
+        // key unique to this test.
+        add_global("test.metrics.global_registry", 2);
+        add_global("test.metrics.global_registry", 3);
+        assert!(global_counter("test.metrics.global_registry") >= 5);
+        assert!(global_snapshot().counter_value("test.metrics.global_registry") >= 5);
+    }
+}

@@ -1,0 +1,460 @@
+//! Event tracing: per-walk, phase-transition, and replacement-victim
+//! records behind a [`Tracer`] trait.
+//!
+//! The disabled path must cost nothing measurable: every emit site
+//! guards on one relaxed atomic load ([`walks_enabled`] /
+//! [`phase_enabled`] / [`repl_enabled`]) before it builds a record, so
+//! with tracing off the hot loops pay a single predictable branch (see
+//! the `obs` group in the `hot_paths` bench).
+//!
+//! Enable the JSONL sink with
+//! `FLATWALK_TRACE=<channels>:<path>` where `<channels>` is a
+//! comma-separated subset of `walks`, `phase`, `repl` — e.g.
+//! `FLATWALK_TRACE=walks,phase:/tmp/trace.jsonl`. Each record is one
+//! JSON object per line; see [`JsonlTracer`] for the schema. Tests
+//! install collecting tracers programmatically via [`install`].
+//!
+//! The "cell" field of every record is a thread-local context string
+//! (workload/config/scenario) set by the simulation at the start of its
+//! run — each experiment cell runs wholly on one worker thread, so the
+//! context is unambiguous.
+
+use std::cell::RefCell;
+use std::io::Write;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
+
+use crate::json::Json;
+
+/// Which event channels a tracer subscribes to.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Channels {
+    /// Per-walk records (one per completed page walk).
+    pub walks: bool,
+    /// PTP phase-detector transitions.
+    pub phase: bool,
+    /// Cache replacement-victim choices.
+    pub repl: bool,
+}
+
+impl Channels {
+    /// All channels on.
+    pub fn all() -> Channels {
+        Channels {
+            walks: true,
+            phase: true,
+            repl: true,
+        }
+    }
+
+    /// Parses a comma-separated channel list (`"walks,phase"`).
+    /// Unknown names yield `None`.
+    pub fn parse(list: &str) -> Option<Channels> {
+        let mut ch = Channels::default();
+        for name in list.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+            match name {
+                "walks" => ch.walks = true,
+                "phase" => ch.phase = true,
+                "repl" => ch.repl = true,
+                _ => return None,
+            }
+        }
+        Some(ch)
+    }
+
+    fn bits(self) -> u8 {
+        (self.walks as u8) | (self.phase as u8) << 1 | (self.repl as u8) << 2
+    }
+}
+
+/// Where one page-walk step was served, as a trace label.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WalkStepRecord {
+    /// How many 9-bit index fields the node merged (1 = conventional,
+    /// 2–3 = flattened).
+    pub depth: u8,
+    /// Hierarchy level that served the entry read (`"L1"`, `"L2"`,
+    /// `"L3"`, `"DRAM"`).
+    pub level: &'static str,
+}
+
+/// One completed page walk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WalkRecord<'a> {
+    /// The translated virtual address.
+    pub va: u64,
+    /// Memory accesses the walk performed (after PSC skipping).
+    pub accesses: u64,
+    /// Total walk latency in cycles (PSC lookup + entry reads).
+    pub latency: u64,
+    /// Steps skipped via a paging-structure-cache hit.
+    pub psc_skipped: u8,
+    /// Whether any executed step read a flattened (depth > 1) node.
+    /// `false` with multiple depth-1 steps under a flattened layout
+    /// means the walk went through fallback (unflattened) nodes.
+    pub flattened: bool,
+    /// The executed steps in walk order.
+    pub steps: &'a [WalkStepRecord],
+}
+
+/// One PTP phase-detector transition (evaluated per window).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PhaseRecord {
+    /// The new phase (true = high-TLB-miss, prioritization active).
+    pub active: bool,
+    /// Total transitions so far on this detector, this one included.
+    pub flips: u64,
+    /// The detector's window length (translations per evaluation).
+    pub window: u64,
+    /// The miss rate of the window that triggered the transition.
+    pub miss_rate: f64,
+}
+
+/// One replacement-victim choice (emitted on every eviction).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplRecord<'a> {
+    /// Cache name (`"L2"`, `"L3"`, …).
+    pub cache: &'a str,
+    /// The evicted line address (address / 64).
+    pub victim_line: u64,
+    /// What the victim held: `"data"` or `"pt"`.
+    pub victim_kind: &'static str,
+    /// Whether the PTP priority bias steered this choice.
+    pub biased: bool,
+}
+
+/// A trace event consumer. All methods default to no-ops so sinks
+/// subscribe to only the channels they care about.
+pub trait Tracer: Send + Sync {
+    /// One completed page walk.
+    fn walk(&self, _cell: &str, _record: &WalkRecord<'_>) {}
+    /// One phase-detector transition.
+    fn phase(&self, _cell: &str, _record: &PhaseRecord) {}
+    /// One replacement-victim choice.
+    fn repl(&self, _cell: &str, _record: &ReplRecord<'_>) {}
+}
+
+/// Enabled-channel bitmask; 0 when tracing is off. The only tracing
+/// state hot paths ever touch.
+static CHANNELS: AtomicU8 = AtomicU8::new(0);
+
+fn sink() -> &'static RwLock<Option<Arc<dyn Tracer>>> {
+    static SINK: OnceLock<RwLock<Option<Arc<dyn Tracer>>>> = OnceLock::new();
+    SINK.get_or_init(|| RwLock::new(None))
+}
+
+thread_local! {
+    static CONTEXT: RefCell<String> = const { RefCell::new(String::new()) };
+}
+
+/// Whether per-walk records are being traced (one relaxed load).
+#[inline]
+pub fn walks_enabled() -> bool {
+    CHANNELS.load(Ordering::Relaxed) & 1 != 0
+}
+
+/// Whether phase transitions are being traced (one relaxed load).
+#[inline]
+pub fn phase_enabled() -> bool {
+    CHANNELS.load(Ordering::Relaxed) & 2 != 0
+}
+
+/// Whether replacement victims are being traced (one relaxed load).
+#[inline]
+pub fn repl_enabled() -> bool {
+    CHANNELS.load(Ordering::Relaxed) & 4 != 0
+}
+
+/// Whether any channel is being traced.
+#[inline]
+pub fn any_enabled() -> bool {
+    CHANNELS.load(Ordering::Relaxed) != 0
+}
+
+/// Sets this thread's cell-context string, attached to every record the
+/// thread emits. Cheap no-op style guard: callers should skip it when
+/// [`any_enabled`] is false.
+pub fn set_context(cell: &str) {
+    CONTEXT.with(|c| {
+        let mut c = c.borrow_mut();
+        c.clear();
+        c.push_str(cell);
+    });
+}
+
+/// Installs `tracer` on the given channels (replacing any previous
+/// tracer). Emit guards observe the channel mask only after the sink is
+/// in place.
+pub fn install(tracer: Arc<dyn Tracer>, channels: Channels) {
+    let mut guard = sink().write().unwrap_or_else(|e| e.into_inner());
+    *guard = Some(tracer);
+    CHANNELS.store(channels.bits(), Ordering::Release);
+}
+
+/// Removes the tracer and disables every channel.
+pub fn uninstall() {
+    CHANNELS.store(0, Ordering::Release);
+    let mut guard = sink().write().unwrap_or_else(|e| e.into_inner());
+    *guard = None;
+}
+
+/// Installs a [`JsonlTracer`] if `FLATWALK_TRACE=<channels>:<path>` is
+/// set (e.g. `walks,phase:/tmp/trace.jsonl`). Malformed values are
+/// reported on stderr and ignored — experiments must not die to a typo
+/// in an observability variable.
+pub fn init_from_env() {
+    let Ok(spec) = std::env::var("FLATWALK_TRACE") else {
+        return;
+    };
+    if spec.is_empty() {
+        return;
+    }
+    match parse_trace_spec(&spec) {
+        Some((channels, path)) => match JsonlTracer::create(path) {
+            Ok(tracer) => install(Arc::new(tracer), channels),
+            Err(e) => eprintln!("FLATWALK_TRACE: cannot open {path:?}: {e}"),
+        },
+        None => eprintln!(
+            "FLATWALK_TRACE: expected <channels>:<path> with channels from walks,phase,repl; got {spec:?}"
+        ),
+    }
+}
+
+/// Splits a `FLATWALK_TRACE` value into channels and sink path.
+pub fn parse_trace_spec(spec: &str) -> Option<(Channels, &str)> {
+    let (list, path) = spec.split_once(':')?;
+    if path.is_empty() {
+        return None;
+    }
+    let channels = Channels::parse(list)?;
+    if channels == Channels::default() {
+        return None;
+    }
+    Some((channels, path))
+}
+
+fn with_sink(f: impl FnOnce(&dyn Tracer, &str)) {
+    let guard = sink().read().unwrap_or_else(|e| e.into_inner());
+    if let Some(tracer) = guard.as_deref() {
+        CONTEXT.with(|c| f(tracer, &c.borrow()));
+    }
+}
+
+/// Emits one walk record (call only when [`walks_enabled`]).
+pub fn emit_walk(record: &WalkRecord<'_>) {
+    with_sink(|t, cell| t.walk(cell, record));
+}
+
+/// Emits one phase-transition record (call only when [`phase_enabled`]).
+pub fn emit_phase(record: &PhaseRecord) {
+    with_sink(|t, cell| t.phase(cell, record));
+}
+
+/// Emits one replacement record (call only when [`repl_enabled`]).
+pub fn emit_repl(record: &ReplRecord<'_>) {
+    with_sink(|t, cell| t.repl(cell, record));
+}
+
+/// A line-per-record JSON sink.
+///
+/// Record schemas (stable key order):
+///
+/// ```text
+/// {"event":"walk","cell":…,"va":…,"accesses":…,"latency":…,
+///  "psc_skipped":…,"flattened":…,"steps":[{"depth":…,"level":…},…]}
+/// {"event":"phase","cell":…,"active":…,"flips":…,"window":…,"miss_rate":…}
+/// {"event":"repl","cell":…,"cache":…,"victim_line":…,"victim_kind":…,"biased":…}
+/// ```
+///
+/// Every record is written (and flushed) as one `write_all`, so lines
+/// from concurrent worker threads never interleave mid-record.
+#[derive(Debug)]
+pub struct JsonlTracer {
+    out: Mutex<std::fs::File>,
+}
+
+impl JsonlTracer {
+    /// Creates (truncates) the sink file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the I/O error if the file cannot be created.
+    pub fn create(path: &str) -> std::io::Result<JsonlTracer> {
+        Ok(JsonlTracer {
+            out: Mutex::new(std::fs::File::create(path)?),
+        })
+    }
+
+    fn write_line(&self, json: &Json) {
+        let mut line = json.to_string();
+        line.push('\n');
+        let mut out = self.out.lock().unwrap_or_else(|e| e.into_inner());
+        let _ = out.write_all(line.as_bytes());
+    }
+}
+
+impl Tracer for JsonlTracer {
+    fn walk(&self, cell: &str, record: &WalkRecord<'_>) {
+        let steps: Vec<Json> = record
+            .steps
+            .iter()
+            .map(|s| {
+                let mut o = Json::obj();
+                o.push("depth", s.depth as u64).push("level", s.level);
+                o
+            })
+            .collect();
+        let mut o = Json::obj();
+        o.push("event", "walk")
+            .push("cell", cell)
+            .push("va", record.va)
+            .push("accesses", record.accesses)
+            .push("latency", record.latency)
+            .push("psc_skipped", record.psc_skipped as u64)
+            .push("flattened", record.flattened)
+            .push("steps", Json::Array(steps));
+        self.write_line(&o);
+    }
+
+    fn phase(&self, cell: &str, record: &PhaseRecord) {
+        let mut o = Json::obj();
+        o.push("event", "phase")
+            .push("cell", cell)
+            .push("active", record.active)
+            .push("flips", record.flips)
+            .push("window", record.window)
+            .push("miss_rate", record.miss_rate);
+        self.write_line(&o);
+    }
+
+    fn repl(&self, cell: &str, record: &ReplRecord<'_>) {
+        let mut o = Json::obj();
+        o.push("event", "repl")
+            .push("cell", cell)
+            .push("cache", record.cache)
+            .push("victim_line", record.victim_line)
+            .push("victim_kind", record.victim_kind)
+            .push("biased", record.biased);
+        self.write_line(&o);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn channel_parsing() {
+        assert_eq!(
+            Channels::parse("walks"),
+            Some(Channels {
+                walks: true,
+                ..Default::default()
+            })
+        );
+        assert_eq!(Channels::parse("walks,phase,repl"), Some(Channels::all()));
+        assert_eq!(
+            Channels::parse("walks, repl"),
+            Some(Channels {
+                walks: true,
+                repl: true,
+                ..Default::default()
+            })
+        );
+        assert_eq!(Channels::parse("bogus"), None);
+    }
+
+    #[test]
+    fn trace_spec_parsing() {
+        let (ch, path) = parse_trace_spec("walks,phase:/tmp/t.jsonl").unwrap();
+        assert!(ch.walks && ch.phase && !ch.repl);
+        assert_eq!(path, "/tmp/t.jsonl");
+        // Windows-style paths keep everything after the first colon.
+        assert_eq!(
+            parse_trace_spec("walks:C:/t.jsonl").unwrap().1,
+            "C:/t.jsonl"
+        );
+        assert_eq!(parse_trace_spec("walks"), None, "no path");
+        assert_eq!(parse_trace_spec("walks:"), None, "empty path");
+        assert_eq!(parse_trace_spec(":p"), None, "no channels");
+        assert_eq!(parse_trace_spec("nope:p"), None, "unknown channel");
+    }
+
+    #[test]
+    fn disabled_by_default_and_flags_follow_install() {
+        // Tests in this binary run concurrently but only this one
+        // touches the global tracer.
+        struct Nop;
+        impl Tracer for Nop {}
+        uninstall();
+        assert!(!any_enabled());
+        install(
+            Arc::new(Nop),
+            Channels {
+                phase: true,
+                ..Default::default()
+            },
+        );
+        assert!(phase_enabled() && !walks_enabled() && !repl_enabled());
+        uninstall();
+        assert!(!any_enabled());
+    }
+
+    #[test]
+    fn jsonl_lines_parse_and_carry_context() {
+        let path = std::env::temp_dir().join("flatwalk_obs_trace_test.jsonl");
+        let path = path.to_str().unwrap();
+        let tracer = JsonlTracer::create(path).unwrap();
+        // Emit directly against the sink (not via the global), so this
+        // test cannot race the install/uninstall test above.
+        set_context("gups/FPT+PTP");
+        tracer.walk(
+            "gups/FPT+PTP",
+            &WalkRecord {
+                va: 0x5000_1000,
+                accesses: 1,
+                latency: 5,
+                psc_skipped: 1,
+                flattened: true,
+                steps: &[WalkStepRecord {
+                    depth: 2,
+                    level: "L1",
+                }],
+            },
+        );
+        tracer.phase(
+            "gups/FPT+PTP",
+            &PhaseRecord {
+                active: true,
+                flips: 3,
+                window: 4096,
+                miss_rate: 0.125,
+            },
+        );
+        tracer.repl(
+            "gups/FPT+PTP",
+            &ReplRecord {
+                cache: "L2",
+                victim_line: 42,
+                victim_kind: "data",
+                biased: true,
+            },
+        );
+        drop(tracer);
+        let text = std::fs::read_to_string(path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        for line in &lines {
+            let v = crate::json::parse(line).unwrap();
+            assert_eq!(
+                v.get("cell").cloned(),
+                Some(Json::Str("gups/FPT+PTP".into()))
+            );
+        }
+        let walk = crate::json::parse(lines[0]).unwrap();
+        assert_eq!(walk.get("event").cloned(), Some(Json::Str("walk".into())));
+        assert_eq!(walk.get("accesses").unwrap().as_u64(), Some(1));
+        assert_eq!(walk.get("steps").unwrap().as_array().unwrap().len(), 1);
+        let _ = std::fs::remove_file(path);
+    }
+}

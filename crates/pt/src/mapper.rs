@@ -178,6 +178,16 @@ impl NodeCensus {
     pub fn nodes(&self) -> u64 {
         self.conventional_nodes + self.flat2_nodes + self.flat3_nodes
     }
+
+    /// Registers the census under `pt.*` metric names.
+    pub fn record_metrics(&self, m: &mut flatwalk_obs::MetricsSnapshot) {
+        m.add("pt.nodes.conventional", self.conventional_nodes)
+            .add("pt.nodes.flat2", self.flat2_nodes)
+            .add("pt.nodes.flat3", self.flat3_nodes)
+            .add("pt.nodes.fallback", self.fallback_nodes)
+            .add("pt.replicated_entries", self.replicated_entries)
+            .add("pt.table_bytes", self.table_bytes());
+    }
 }
 
 /// Builds and extends a page table according to a [`Layout`] and a

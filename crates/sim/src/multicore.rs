@@ -302,6 +302,9 @@ impl MulticoreSimulation {
     /// reports per-core results.
     pub fn run(mut self) -> MulticoreReport {
         let start = Instant::now();
+        if flatwalk_obs::trace::any_enabled() {
+            flatwalk_obs::trace::set_context(&format!("mix{}/{}", self.mix.id, self.config.label));
+        }
         let l1_lat = self.opts.hierarchy.l1.latency;
         for phase in 0..2u32 {
             let ops = if phase == 0 {
@@ -349,6 +352,8 @@ impl MulticoreSimulation {
                 hier: c.hier.stats(),
                 energy: c.hier.energy(&EnergyModel::default()),
                 census: *c.space.census(),
+                phase_flips: c.mmu.phase_flips(),
+                pwc: c.mmu.pwc_stats().unwrap_or_default(),
             })
             .collect();
         let report = MulticoreReport {

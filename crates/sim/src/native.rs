@@ -186,6 +186,9 @@ impl NativeSimulation {
             mut hier,
             mut stream,
         } = self;
+        if flatwalk_obs::trace::any_enabled() {
+            flatwalk_obs::trace::set_context(&format!("{}/{}", spec.name, config.label));
+        }
         let work = spec.work_per_access;
         let exposure = spec.data_exposure;
         let l1_lat = opts.hierarchy.l1.latency;
@@ -236,6 +239,8 @@ impl NativeSimulation {
             hier: hier.stats(),
             energy: hier.energy(&EnergyModel::default()),
             census: *space.census(),
+            phase_flips: mmu.phase_flips(),
+            pwc: mmu.pwc_stats().unwrap_or_default(),
         };
         setup::record_run_time(start.elapsed());
         report

@@ -1,9 +1,11 @@
 //! Simulation result reporting.
 
-use flatwalk_mem::{EnergyBreakdown, HierarchyStats};
+use flatwalk_mem::{CacheStats, EnergyBreakdown, HierarchyStats};
 use flatwalk_mmu::WalkerStats;
+use flatwalk_obs::{Json, MetricsSnapshot};
 use flatwalk_pt::NodeCensus;
 use flatwalk_tlb::TlbSystemStats;
+use flatwalk_types::stats::HitMiss;
 
 /// The measured outcome of one simulation run.
 #[derive(Debug, Clone)]
@@ -27,6 +29,12 @@ pub struct SimReport {
     pub energy: EnergyBreakdown,
     /// Page-table node census (table size, replication, fallbacks).
     pub census: NodeCensus,
+    /// PTP phase-detector transitions during measurement (0 when PTP is
+    /// off or the scheme has no detector).
+    pub phase_flips: u64,
+    /// Per-depth PSC hit/miss statistics, widest prefix first (empty for
+    /// schemes without a native PSC).
+    pub pwc: Vec<(u32, HitMiss)>,
 }
 
 impl SimReport {
@@ -71,6 +79,167 @@ impl SimReport {
             self.walk.latency_per_walk(),
         )
     }
+
+    /// This run's statistics as named metrics (`walker.*`, `tlb.*`,
+    /// `pwc.p{bits}.*`, `cache.*`, `dram.*`, `pt.*`, `ptp.phase_flips`).
+    /// Counters add when the runner merges cells into the global
+    /// registry; energy is reported as gauges (last merge wins).
+    pub fn metrics(&self) -> MetricsSnapshot {
+        let mut m = MetricsSnapshot::new();
+        m.add("walker.walks", self.walk.walks)
+            .add("walker.accesses", self.walk.accesses)
+            .add("walker.latency", self.walk.latency)
+            .add("walker.steps.l1", self.walk.step_hits.l1)
+            .add("walker.steps.l2", self.walk.step_hits.l2)
+            .add("walker.steps.l3", self.walk.step_hits.l3)
+            .add("walker.steps.dram", self.walk.step_hits.dram)
+            .add("ptp.phase_flips", self.phase_flips)
+            .add("tlb.l1_4k.hit", self.tlb.l1_4k.hits)
+            .add("tlb.l1_4k.miss", self.tlb.l1_4k.misses)
+            .add("tlb.l1_2m.hit", self.tlb.l1_2m.hits)
+            .add("tlb.l1_2m.miss", self.tlb.l1_2m.misses)
+            .add("tlb.l1_1g.hit", self.tlb.l1_1g.hits)
+            .add("tlb.l1_1g.miss", self.tlb.l1_1g.misses)
+            .add("tlb.l2.hit", self.tlb.l2.hits)
+            .add("tlb.l2.miss", self.tlb.l2.misses)
+            .add("tlb.walks", self.tlb.walks)
+            .add("tlb.translations", self.tlb.translations);
+        for (bits, hm) in &self.pwc {
+            m.add(&format!("pwc.p{bits}.hit"), hm.hits)
+                .add(&format!("pwc.p{bits}.miss"), hm.misses);
+        }
+        for (name, c) in [
+            ("l1", &self.hier.l1),
+            ("l2", &self.hier.l2),
+            ("l3", &self.hier.l3),
+        ] {
+            m.add(&format!("cache.{name}.data.hit"), c.data.hits)
+                .add(&format!("cache.{name}.data.miss"), c.data.misses)
+                .add(&format!("cache.{name}.pt.hit"), c.page_table.hits)
+                .add(&format!("cache.{name}.pt.miss"), c.page_table.misses)
+                .add(&format!("cache.{name}.fills"), c.fills)
+                .add(
+                    &format!("cache.{name}.pt_victims"),
+                    c.pt_evictions_during_priority,
+                );
+        }
+        m.add("dram.data", self.hier.dram.data_accesses)
+            .add("dram.pt", self.hier.dram.page_table_accesses)
+            .gauge("energy.l1_nj", self.energy.l1_nj)
+            .gauge("energy.l2_nj", self.energy.l2_nj)
+            .gauge("energy.l3_nj", self.energy.l3_nj)
+            .gauge("energy.dram_nj", self.energy.dram_nj)
+            .add("energy.dram_accesses", self.energy.dram_accesses);
+        self.census.record_metrics(&mut m);
+        m
+    }
+
+    /// The full report as a JSON object with a stable field order
+    /// (schema `flatwalk-report-v1`).
+    pub fn to_json(&self) -> Json {
+        fn hitmiss(hm: HitMiss) -> Json {
+            let mut o = Json::obj();
+            o.push("hits", hm.hits).push("misses", hm.misses);
+            o
+        }
+        fn cache(c: &CacheStats) -> Json {
+            let mut o = Json::obj();
+            o.push("data", hitmiss(c.data))
+                .push("page_table", hitmiss(c.page_table))
+                .push("fills", c.fills)
+                .push("pt_victims", c.pt_evictions_during_priority);
+            o
+        }
+
+        let mut walk = Json::obj();
+        walk.push("walks", self.walk.walks)
+            .push("accesses", self.walk.accesses)
+            .push("latency", self.walk.latency)
+            .push("accesses_per_walk", self.walk.accesses_per_walk())
+            .push("latency_per_walk", self.walk.latency_per_walk())
+            .push("latency_p50", self.walk.latency_p50())
+            .push("latency_p99", self.walk.latency_p99())
+            .push(
+                "latency_histogram",
+                Json::Array(
+                    self.walk
+                        .latency_histogram
+                        .buckets()
+                        .iter()
+                        .map(|&b| Json::from(b))
+                        .collect(),
+                ),
+            );
+        let mut steps = Json::obj();
+        steps
+            .push("l1", self.walk.step_hits.l1)
+            .push("l2", self.walk.step_hits.l2)
+            .push("l3", self.walk.step_hits.l3)
+            .push("dram", self.walk.step_hits.dram);
+        walk.push("step_hits", steps);
+
+        let mut tlb = Json::obj();
+        tlb.push("l1_4k", hitmiss(self.tlb.l1_4k))
+            .push("l1_2m", hitmiss(self.tlb.l1_2m))
+            .push("l1_1g", hitmiss(self.tlb.l1_1g))
+            .push("l2", hitmiss(self.tlb.l2))
+            .push("walks", self.tlb.walks)
+            .push("translations", self.tlb.translations);
+
+        let pwc: Vec<Json> = self
+            .pwc
+            .iter()
+            .map(|(bits, hm)| {
+                let mut o = Json::obj();
+                o.push("prefix_bits", u64::from(*bits))
+                    .push("hits", hm.hits)
+                    .push("misses", hm.misses);
+                o
+            })
+            .collect();
+
+        let mut hier = Json::obj();
+        hier.push("l1", cache(&self.hier.l1))
+            .push("l2", cache(&self.hier.l2))
+            .push("l3", cache(&self.hier.l3));
+        let mut dram = Json::obj();
+        dram.push("data_accesses", self.hier.dram.data_accesses)
+            .push("page_table_accesses", self.hier.dram.page_table_accesses);
+        hier.push("dram", dram);
+
+        let mut energy = Json::obj();
+        energy
+            .push("l1_nj", self.energy.l1_nj)
+            .push("l2_nj", self.energy.l2_nj)
+            .push("l3_nj", self.energy.l3_nj)
+            .push("dram_nj", self.energy.dram_nj)
+            .push("dram_accesses", self.energy.dram_accesses);
+
+        let mut census = Json::obj();
+        census
+            .push("conventional_nodes", self.census.conventional_nodes)
+            .push("flat2_nodes", self.census.flat2_nodes)
+            .push("flat3_nodes", self.census.flat3_nodes)
+            .push("replicated_entries", self.census.replicated_entries)
+            .push("fallback_nodes", self.census.fallback_nodes)
+            .push("table_bytes", self.census.table_bytes());
+
+        let mut o = Json::obj();
+        o.push("workload", self.workload.as_str())
+            .push("config", self.config)
+            .push("instructions", self.instructions)
+            .push("cycles", self.cycles)
+            .push("ipc", self.ipc())
+            .push("phase_flips", self.phase_flips)
+            .push("walk", walk)
+            .push("tlb", tlb)
+            .push("pwc", Json::Array(pwc))
+            .push("hier", hier)
+            .push("energy", energy)
+            .push("census", census)
+            .push("metrics", self.metrics().to_json());
+        o
+    }
 }
 
 #[cfg(test)]
@@ -88,6 +257,8 @@ mod tests {
             hier: HierarchyStats::default(),
             energy: EnergyBreakdown::default(),
             census: NodeCensus::default(),
+            phase_flips: 0,
+            pwc: Vec::new(),
         }
     }
 
@@ -105,5 +276,53 @@ mod tests {
         let s = report(10, 10).summary();
         assert!(s.contains("ipc="));
         assert!(s.contains("acc/walk="));
+    }
+
+    #[test]
+    fn metrics_expose_named_counters() {
+        let mut r = report(10, 20);
+        r.tlb.walks = 7;
+        r.walk.walks = 7;
+        r.walk.step_hits.l1 = 5;
+        r.pwc.push((27, HitMiss { hits: 3, misses: 1 }));
+        let m = r.metrics();
+        assert_eq!(m.counter_value("tlb.walks"), 7);
+        assert_eq!(m.counter_value("walker.walks"), 7);
+        assert_eq!(m.counter_value("walker.steps.l1"), 5);
+        assert_eq!(m.counter_value("pwc.p27.hit"), 3);
+        assert_eq!(m.counter_value("pwc.p27.miss"), 1);
+    }
+
+    #[test]
+    fn json_round_trips_and_keeps_key_order() {
+        let mut r = report(100, 200);
+        r.pwc.push((27, HitMiss { hits: 3, misses: 1 }));
+        r.walk.record(&flatwalk_mmu::WalkTiming {
+            pa: flatwalk_types::PhysAddr::new(0x1000),
+            size: flatwalk_types::PageSize::Size4K,
+            accesses: 1,
+            latency: 5,
+        });
+        let text = r.to_json().to_string();
+        assert!(!text.contains("NaN") && !text.contains("Infinity"));
+        let parsed = flatwalk_obs::json::parse(&text).unwrap();
+        assert_eq!(parsed.to_string(), text, "parse→write is the identity");
+        assert_eq!(parsed.get("instructions").unwrap().as_u64(), Some(100));
+        let pwc = parsed.get("pwc").unwrap().as_array().unwrap();
+        assert_eq!(pwc.len(), 1);
+        assert_eq!(pwc[0].get("prefix_bits").unwrap().as_u64(), Some(27));
+        let hist = parsed
+            .get("walk")
+            .unwrap()
+            .get("latency_histogram")
+            .unwrap()
+            .as_array()
+            .unwrap();
+        assert_eq!(hist.len(), 16);
+        assert_eq!(
+            hist.iter().filter_map(|b| b.as_u64()).sum::<u64>(),
+            1,
+            "one recorded walk lands in one bucket"
+        );
     }
 }

@@ -28,8 +28,20 @@ use std::time::Instant;
 use flatwalk_os::FragmentationScenario;
 use flatwalk_workloads::WorkloadSpec;
 
-use crate::setup::{setup_stats, SetupStats};
+use crate::setup::{self, setup_stats, SetupStats};
 use crate::{NativeSimulation, SimOptions, SimReport, TranslationConfig};
+
+/// A finished cell: its report plus the wall time its worker thread
+/// spent in the build and run phases.
+#[derive(Debug, Clone)]
+pub struct CellOutcome {
+    /// The simulation's report.
+    pub report: SimReport,
+    /// Nanoseconds this cell spent building (0 for fully cached setups).
+    pub setup_nanos: u64,
+    /// Nanoseconds this cell spent simulating.
+    pub run_nanos: u64,
+}
 
 /// One independent experiment cell: a single native simulation.
 #[derive(Debug, Clone)]
@@ -114,7 +126,20 @@ pub struct Progress {
     /// Setup-cache counters at meter creation; the line shows the delta
     /// contributed by this batch.
     setup_base: SetupStats,
+    /// Global walk-step counters `(cache_hits, total)` at meter
+    /// creation; the line shows this batch's aggregate walk-hit ratio.
+    walk_base: (u64, u64),
     enabled: bool,
+}
+
+/// The global metrics registry's walk-step counters as
+/// `(steps served by a cache, total steps)`.
+fn walk_step_counters() -> (u64, u64) {
+    let m = flatwalk_obs::metrics::global_snapshot();
+    let hits = m.counter_value("walker.steps.l1")
+        + m.counter_value("walker.steps.l2")
+        + m.counter_value("walker.steps.l3");
+    (hits, hits + m.counter_value("walker.steps.dram"))
 }
 
 impl Progress {
@@ -138,6 +163,7 @@ impl Progress {
             next_print_ms: AtomicU64::new(0),
             start: Instant::now(),
             setup_base: setup_stats(),
+            walk_base: walk_step_counters(),
             enabled,
         }
     }
@@ -174,14 +200,27 @@ impl Progress {
             0.0
         };
         let cache = setup_stats().since(&self.setup_base);
+        // Aggregate walk-hit ratio of the batch's completed cells (from
+        // the global metrics registry; empty until a cell finishes).
+        let (hits, total_steps) = walk_step_counters();
+        let walk_hit = {
+            let h = hits.saturating_sub(self.walk_base.0);
+            let t = total_steps.saturating_sub(self.walk_base.1);
+            if t > 0 {
+                format!("walk-hit {:.1}% · ", 100.0 * h as f64 / t as f64)
+            } else {
+                String::new()
+            }
+        };
         let mut err = std::io::stderr().lock();
         let _ = write!(
             err,
-            "\r[{}] {}/{} cells · {:.1} M sim-ops/s · cache {} hit/{} miss · setup {:.1}s / run {:.1}s · ETA {:.0}s ",
+            "\r[{}] {}/{} cells · {:.1} M sim-ops/s · {}cache {} hit/{} miss · setup {:.1}s / run {:.1}s · ETA {:.0}s ",
             self.label,
             done,
             self.total,
             rate / 1e6,
+            walk_hit,
             cache.hits,
             cache.misses,
             cache.setup_nanos as f64 / 1e9,
@@ -273,8 +312,29 @@ where
 /// returning `SimReport`s in cell order (byte-identical to a serial
 /// run — each cell owns its seeded RNGs and shares no state).
 pub fn run_cells(label: &'static str, cells: Vec<Cell>, threads: usize) -> Vec<SimReport> {
+    run_cells_timed(label, cells, threads)
+        .into_iter()
+        .map(|o| o.report)
+        .collect()
+}
+
+/// Like [`run_cells`] but returns each cell's report together with its
+/// setup/run wall time, and merges every cell's metrics into the global
+/// registry as it completes (feeding the progress line's walk-hit ratio
+/// and the `--json` report's aggregate metrics).
+pub fn run_cells_timed(label: &'static str, cells: Vec<Cell>, threads: usize) -> Vec<CellOutcome> {
     let progress = Progress::new(label, cells.len());
-    run_ordered(cells, threads, &progress, Cell::sim_ops, |cell| cell.run())
+    run_ordered(cells, threads, &progress, Cell::sim_ops, |cell| {
+        setup::begin_cell_timing();
+        let report = cell.run();
+        let (setup_nanos, run_nanos) = setup::cell_timing();
+        flatwalk_obs::metrics::merge_global(&report.metrics());
+        CellOutcome {
+            report,
+            setup_nanos,
+            run_nanos,
+        }
+    })
 }
 
 #[cfg(test)]

@@ -166,16 +166,45 @@ pub fn setup_stats() -> SetupStats {
     }
 }
 
+thread_local! {
+    /// Per-cell phase-time accumulators. Each experiment cell runs
+    /// wholly on one worker thread, so zeroing these at cell start and
+    /// reading them at cell end attributes the process-wide
+    /// `record_*_time` calls to that cell.
+    static CELL_SETUP_NANOS: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+    static CELL_RUN_NANOS: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
+
+/// Zeroes this thread's per-cell setup/run time accumulators (the
+/// runner calls this immediately before a cell's closure).
+pub fn begin_cell_timing() {
+    CELL_SETUP_NANOS.with(|c| c.set(0));
+    CELL_RUN_NANOS.with(|c| c.set(0));
+}
+
+/// This thread's accumulated `(setup_nanos, run_nanos)` since the last
+/// [`begin_cell_timing`].
+pub fn cell_timing() -> (u64, u64) {
+    (
+        CELL_SETUP_NANOS.with(|c| c.get()),
+        CELL_RUN_NANOS.with(|c| c.get()),
+    )
+}
+
 /// Adds one simulation's build-phase duration to the process totals
 /// (called by the simulation builders; feeds the progress meter's
 /// setup-vs-run split).
 pub fn record_setup_time(elapsed: Duration) {
-    SETUP_NANOS.fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
+    let nanos = elapsed.as_nanos() as u64;
+    SETUP_NANOS.fetch_add(nanos, Ordering::Relaxed);
+    CELL_SETUP_NANOS.with(|c| c.set(c.get() + nanos));
 }
 
 /// Adds one simulation's run-phase duration to the process totals.
 pub fn record_run_time(elapsed: Duration) {
-    RUN_NANOS.fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
+    let nanos = elapsed.as_nanos() as u64;
+    RUN_NANOS.fetch_add(nanos, Ordering::Relaxed);
+    CELL_RUN_NANOS.with(|c| c.set(c.get() + nanos));
 }
 
 /// Forces the setup cache on (`Some(true)`), off (`Some(false)`), or
@@ -222,8 +251,10 @@ where
     });
     if built {
         MISSES.fetch_add(1, Ordering::Relaxed);
+        flatwalk_obs::metrics::add_global("setup.cache.miss", 1);
     } else {
         HITS.fetch_add(1, Ordering::Relaxed);
+        flatwalk_obs::metrics::add_global("setup.cache.hit", 1);
     }
     Arc::clone(value)
 }

@@ -311,6 +311,9 @@ impl VirtualizedSimulation {
             mut hier,
             mut stream,
         } = self;
+        if flatwalk_obs::trace::any_enabled() {
+            flatwalk_obs::trace::set_context(&format!("{}/{}", spec.name, config.label));
+        }
         let work = spec.work_per_access;
         let exposure = spec.data_exposure;
         let l1_lat = opts.hierarchy.l1.latency;
@@ -362,6 +365,8 @@ impl VirtualizedSimulation {
             hier: hier.stats(),
             energy: hier.energy(&EnergyModel::default()),
             census: *vspace.guest().census(),
+            phase_flips: mmu.phase_flips(),
+            pwc: mmu.pwc_stats().unwrap_or_default(),
         };
         setup::record_run_time(start.elapsed());
         report

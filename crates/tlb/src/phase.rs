@@ -27,6 +27,7 @@ pub struct PhaseDetector {
     seen: u64,
     misses: u64,
     active: bool,
+    flips: u64,
 }
 
 impl PhaseDetector {
@@ -49,6 +50,7 @@ impl PhaseDetector {
             seen: 0,
             misses: 0,
             active: false,
+            flips: 0,
         }
     }
 
@@ -65,7 +67,19 @@ impl PhaseDetector {
         }
         if self.seen >= self.window {
             let rate = self.misses as f64 / self.seen as f64;
-            self.active = rate >= self.threshold;
+            let next = rate >= self.threshold;
+            if next != self.active {
+                self.flips += 1;
+                if flatwalk_obs::trace::phase_enabled() {
+                    flatwalk_obs::trace::emit_phase(&flatwalk_obs::trace::PhaseRecord {
+                        active: next,
+                        flips: self.flips,
+                        window: self.window,
+                        miss_rate: rate,
+                    });
+                }
+            }
+            self.active = next;
             self.seen = 0;
             self.misses = 0;
         }
@@ -75,6 +89,19 @@ impl PhaseDetector {
     /// Whether the current phase is a high-TLB-miss phase.
     pub fn active(&self) -> bool {
         self.active
+    }
+
+    /// Phase transitions observed since construction (or the last
+    /// [`reset_flips`](Self::reset_flips)).
+    pub fn flips(&self) -> u64 {
+        self.flips
+    }
+
+    /// Zeroes the transition count. The detector's phase state (current
+    /// window and activity) is untouched — resetting statistics must not
+    /// change simulation behaviour.
+    pub fn reset_flips(&mut self) {
+        self.flips = 0;
     }
 }
 
@@ -124,5 +151,23 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_window_rejected() {
         PhaseDetector::new(0, 0.5);
+    }
+
+    #[test]
+    fn flips_count_transitions_and_reset_keeps_phase_state() {
+        let mut d = PhaseDetector::new(10, 0.5);
+        for _ in 0..10 {
+            d.record(true); // off → on
+        }
+        for _ in 0..10 {
+            d.record(false); // on → off
+        }
+        for _ in 0..10 {
+            d.record(true); // off → on
+        }
+        assert_eq!(d.flips(), 3);
+        d.reset_flips();
+        assert_eq!(d.flips(), 0);
+        assert!(d.active(), "reset_flips must not disturb the phase");
     }
 }

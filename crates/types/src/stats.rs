@@ -251,10 +251,27 @@ pub struct LatencyHistogram {
 }
 
 impl LatencyHistogram {
+    /// Number of power-of-two buckets; bucket `i` covers
+    /// `[2^i, 2^(i+1))` cycles and the last bucket absorbs everything
+    /// above it.
+    pub const BUCKETS: usize = 16;
+
+    /// The saturating upper bound reported for the last bucket
+    /// (`2^BUCKETS - 1` cycles). Any sample at or above `2^(BUCKETS-1)`
+    /// lands in the last bucket, so no percentile ever reports more than
+    /// this — the single place that defines the histogram's range.
+    pub const MAX_BOUND: u64 = (1u64 << Self::BUCKETS) - 1;
+
+    /// Inclusive upper bound (cycles) of bucket `i`.
+    #[inline]
+    const fn bucket_bound(i: usize) -> u64 {
+        (1u64 << (i + 1)) - 1
+    }
+
     /// Records one latency sample (cycles).
     #[inline]
     pub fn record(&mut self, cycles: u64) {
-        let bucket = (64 - cycles.max(1).leading_zeros() as usize - 1).min(15);
+        let bucket = (64 - cycles.max(1).leading_zeros() as usize - 1).min(Self::BUCKETS - 1);
         self.buckets[bucket] += 1;
         self.count += 1;
     }
@@ -265,8 +282,15 @@ impl LatencyHistogram {
         self.count
     }
 
+    /// The raw bucket counts (bucket `i` covers `[2^i, 2^(i+1))`).
+    #[inline]
+    pub fn buckets(&self) -> &[u64; Self::BUCKETS] {
+        &self.buckets
+    }
+
     /// Upper bound (cycles) of the bucket containing the `p`-quantile
-    /// (`0.0 < p <= 1.0`); 0 when empty. Bucket `i` covers
+    /// (`0.0 < p <= 1.0`); 0 when empty and never more than
+    /// [`MAX_BOUND`](Self::MAX_BOUND). Bucket `i` covers
     /// `[2^i, 2^(i+1))`.
     pub fn percentile(&self, p: f64) -> u64 {
         if self.count == 0 {
@@ -277,10 +301,10 @@ impl LatencyHistogram {
         for (i, &b) in self.buckets.iter().enumerate() {
             seen += b;
             if seen >= target.max(1) {
-                return (1u64 << (i + 1)) - 1;
+                return Self::bucket_bound(i);
             }
         }
-        (1u64 << 16) - 1
+        Self::MAX_BOUND
     }
 
     /// Merges another histogram into this one.
@@ -332,6 +356,15 @@ mod histogram_tests {
         a.merge(&b);
         assert_eq!(a.count(), 3);
         assert_eq!(a.percentile(0.5), 7);
+    }
+
+    #[test]
+    fn max_bound_matches_last_bucket() {
+        assert_eq!(LatencyHistogram::MAX_BOUND, (1u64 << 16) - 1);
+        let mut h = LatencyHistogram::default();
+        h.record(u64::MAX);
+        assert_eq!(h.percentile(1.0), LatencyHistogram::MAX_BOUND);
+        assert_eq!(h.buckets()[LatencyHistogram::BUCKETS - 1], 1);
     }
 
     #[test]
