@@ -66,9 +66,8 @@ impl Scheme for AsapScheme {
         va: VirtAddr,
         hier: &mut MemoryHierarchy,
         owner: OwnerId,
-    ) -> SchemeWalk {
-        let walk = resolve(ctx.store, ctx.table, va)
-            .unwrap_or_else(|e| panic!("ASAP walk of unmapped {va}: {e}"));
+    ) -> Result<SchemeWalk, flatwalk_pt::WalkError> {
+        let walk = resolve(ctx.store, ctx.table, va)?;
         let cum = walk.steps.cum_index_bits();
 
         let mut latency = self.pwc.latency();
@@ -122,12 +121,12 @@ impl Scheme for AsapScheme {
             );
         }
 
-        SchemeWalk {
+        Ok(SchemeWalk {
             pa: walk.pa,
             size: walk.size,
             latency,
             accesses,
-        }
+        })
     }
 }
 
@@ -171,7 +170,9 @@ mod tests {
         };
         let mut hier = MemoryHierarchy::new(HierarchyConfig::server());
         let mut asap = AsapScheme::new(PwcConfig::server());
-        let w = asap.walk(&ctx, VirtAddr::new(0x5000_0000), &mut hier, OwnerId::SINGLE);
+        let w = asap
+            .walk(&ctx, VirtAddr::new(0x5000_0000), &mut hier, OwnerId::SINGLE)
+            .unwrap();
         // A cold 4-level walk serially would cost ~4x DRAM; ASAP pays
         // one DRAM latency (plus the PWC cycle).
         assert!(w.latency <= 201 + 4, "got {}", w.latency);
@@ -189,7 +190,9 @@ mod tests {
         };
         let mut hier = MemoryHierarchy::new(HierarchyConfig::server());
         let mut asap = AsapScheme::new(PwcConfig::server()).with_contiguity(0.0);
-        let w = asap.walk(&ctx, VirtAddr::new(0x5000_0000), &mut hier, OwnerId::SINGLE);
+        let w = asap
+            .walk(&ctx, VirtAddr::new(0x5000_0000), &mut hier, OwnerId::SINGLE)
+            .unwrap();
         assert_eq!(w.accesses, 4, "no prefetch duplication");
         assert!(w.latency > 700, "serial cold walk pays every level");
     }
@@ -203,15 +206,18 @@ mod tests {
         };
         let mut hier = MemoryHierarchy::new(HierarchyConfig::server());
         let mut asap = AsapScheme::new(PwcConfig::server());
-        asap.walk(&ctx, VirtAddr::new(0x5000_0000), &mut hier, OwnerId::SINGLE);
+        asap.walk(&ctx, VirtAddr::new(0x5000_0000), &mut hier, OwnerId::SINGLE)
+            .unwrap();
         // Second page in the same 2 MB region: 27-bit hit → 1 entry,
         // prefetched + re-accessed = 2 accesses.
-        let w = asap.walk(
-            &ctx,
-            VirtAddr::new(0x5000_0000 + 4096),
-            &mut hier,
-            OwnerId::SINGLE,
-        );
+        let w = asap
+            .walk(
+                &ctx,
+                VirtAddr::new(0x5000_0000 + 4096),
+                &mut hier,
+                OwnerId::SINGLE,
+            )
+            .unwrap();
         assert_eq!(w.accesses, 2);
     }
 }

@@ -77,10 +77,9 @@ impl Scheme for EchScheme {
         va: VirtAddr,
         hier: &mut MemoryHierarchy,
         owner: OwnerId,
-    ) -> SchemeWalk {
+    ) -> Result<SchemeWalk, flatwalk_pt::WalkError> {
         // The oracle provides the actual translation.
-        let oracle = resolve(ctx.store, ctx.table, va)
-            .unwrap_or_else(|e| panic!("ECH walk of unmapped {va}: {e}"));
+        let oracle = resolve(ctx.store, ctx.table, va)?;
 
         let vpn = va.raw() >> 12;
         let mut max_latency = 0u64;
@@ -107,12 +106,12 @@ impl Scheme for EchScheme {
             accesses += 1;
         }
 
-        SchemeWalk {
+        Ok(SchemeWalk {
             pa: oracle.pa,
             size: oracle.size,
             latency: max_latency,
             accesses,
-        }
+        })
     }
 }
 
@@ -157,14 +156,14 @@ mod tests {
         let mut hier = MemoryHierarchy::new(HierarchyConfig::server());
         let mut ech = EchScheme::new(64 << 20, false);
         let va = VirtAddr::new(0x5000_2000);
-        let w = ech.walk(&ctx, va, &mut hier, OwnerId::SINGLE);
+        let w = ech.walk(&ctx, va, &mut hier, OwnerId::SINGLE).unwrap();
         assert_eq!(w.accesses, 3);
         assert_eq!(w.pa.raw(), 0x9_0000_2000);
         // Cold probes all go to DRAM; the *parallel* latency is one
         // DRAM round trip, not three.
         assert_eq!(w.latency, 200);
         // A repeat walk hits the cached bucket lines.
-        let w2 = ech.walk(&ctx, va, &mut hier, OwnerId::SINGLE);
+        let w2 = ech.walk(&ctx, va, &mut hier, OwnerId::SINGLE).unwrap();
         assert_eq!(w2.latency, hier.config().l1.latency);
     }
 
@@ -177,7 +176,9 @@ mod tests {
         };
         let mut hier = MemoryHierarchy::new(HierarchyConfig::server());
         let mut ech = EchScheme::new(64 << 20, true);
-        let w = ech.walk(&ctx, VirtAddr::new(0x5000_0000), &mut hier, OwnerId::SINGLE);
+        let w = ech
+            .walk(&ctx, VirtAddr::new(0x5000_0000), &mut hier, OwnerId::SINGLE)
+            .unwrap();
         assert_eq!(w.accesses, 4);
     }
 

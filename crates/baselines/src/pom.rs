@@ -120,9 +120,8 @@ impl Scheme for PomTlbScheme {
         va: VirtAddr,
         hier: &mut MemoryHierarchy,
         owner: OwnerId,
-    ) -> SchemeWalk {
-        let oracle = resolve(ctx.store, ctx.table, va)
-            .unwrap_or_else(|e| panic!("POM_TLB walk of unmapped {va}: {e}"));
+    ) -> Result<SchemeWalk, flatwalk_pt::WalkError> {
+        let oracle = resolve(ctx.store, ctx.table, va)?;
         let vpn = va.raw() >> 12;
 
         // One access into the in-DRAM TLB (cacheable).
@@ -164,12 +163,12 @@ impl Scheme for PomTlbScheme {
             // already cached from the probe; no extra traffic charged).
         }
 
-        SchemeWalk {
+        Ok(SchemeWalk {
             pa: oracle.pa,
             size: oracle.size,
             latency,
             accesses,
-        }
+        })
     }
 }
 
@@ -214,11 +213,11 @@ mod tests {
         let mut hier = MemoryHierarchy::new(HierarchyConfig::server());
         let mut pom = PomTlbScheme::new(16 << 20, PwcConfig::server());
         let va = VirtAddr::new(0x5000_3000);
-        let cold = pom.walk(&ctx, va, &mut hier, OwnerId::SINGLE);
+        let cold = pom.walk(&ctx, va, &mut hier, OwnerId::SINGLE).unwrap();
         assert!(cold.accesses >= 5, "probe + 4-level walk");
         assert_eq!(pom.dram_tlb_misses, 1);
 
-        let hot = pom.walk(&ctx, va, &mut hier, OwnerId::SINGLE);
+        let hot = pom.walk(&ctx, va, &mut hier, OwnerId::SINGLE).unwrap();
         assert_eq!(hot.accesses, 1, "single cached DRAM-TLB access");
         assert_eq!(hot.latency, hier.config().l1.latency);
         assert_eq!(pom.dram_tlb_hits, 1);
@@ -243,12 +242,12 @@ mod tests {
             .collect();
         // Only the first VA is mapped in the oracle; walk it and 4
         // synthetic collisions via direct directory probes instead.
-        pom.walk(&ctx, vas[0], &mut hier, OwnerId::SINGLE);
+        pom.walk(&ctx, vas[0], &mut hier, OwnerId::SINGLE).unwrap();
         for i in 1..5u64 {
             pom.probe_dir((0x5000_0000u64 >> 12) + i * 64);
         }
         // The original vpn was LRU → evicted → next walk misses again.
-        pom.walk(&ctx, vas[0], &mut hier, OwnerId::SINGLE);
+        pom.walk(&ctx, vas[0], &mut hier, OwnerId::SINGLE).unwrap();
         assert_eq!(pom.dram_tlb_misses, 2);
     }
 

@@ -47,14 +47,17 @@ pub trait Scheme {
     /// Label used in reports ("ECH", "ASAP", "CSALT", "POM_TLB").
     fn label(&self) -> &'static str;
 
-    /// Performs the translation after an L1/L2 TLB miss.
+    /// Performs the translation after an L1/L2 TLB miss. Returns a
+    /// [`WalkError`](flatwalk_pt::WalkError) for an unmapped or
+    /// malformed translation instead of panicking, so the grid runner
+    /// can isolate the failing cell.
     fn walk(
         &mut self,
         ctx: &WalkCtx<'_>,
         va: VirtAddr,
         hier: &mut MemoryHierarchy,
         owner: OwnerId,
-    ) -> SchemeWalk;
+    ) -> Result<SchemeWalk, flatwalk_pt::WalkError>;
 
     /// Whether this scheme biases the cache replacement policy toward
     /// its translation structures (CSALT does).
@@ -128,7 +131,20 @@ impl<S: Scheme> SchemeSimulation<S> {
     }
 
     /// Runs warm-up then measurement; returns the report.
-    pub fn run(mut self) -> SimReport {
+    ///
+    /// # Panics
+    ///
+    /// Panics on an untranslatable access — use
+    /// [`SchemeSimulation::try_run`] to get a structured
+    /// [`SimError`](flatwalk_sim::SimError) instead.
+    pub fn run(self) -> SimReport {
+        self.try_run().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Runs warm-up then measurement; returns the report, or a
+    /// [`SimError`](flatwalk_sim::SimError) identifying the exact
+    /// access that failed to translate.
+    pub fn try_run(mut self) -> Result<SimReport, flatwalk_sim::SimError> {
         let start = Instant::now();
         if flatwalk_obs::trace::any_enabled() {
             flatwalk_obs::trace::set_context(&format!(
@@ -143,6 +159,7 @@ impl<S: Scheme> SchemeSimulation<S> {
         let wants_priority = self.scheme.wants_priority();
         let mut cycles_f = 0.0f64;
         let mut instructions = 0u64;
+        let mut stream_pos = 0u64;
 
         for phase_idx in 0..2u32 {
             let ops = if phase_idx == 0 {
@@ -178,7 +195,17 @@ impl<S: Scheme> SchemeSimulation<S> {
                             store: self.space.store(),
                             table: self.space.table(),
                         };
-                        let w = self.scheme.walk(&ctx, va, &mut self.hier, OwnerId::SINGLE);
+                        let w = self
+                            .scheme
+                            .walk(&ctx, va, &mut self.hier, OwnerId::SINGLE)
+                            .map_err(|e| flatwalk_sim::SimError {
+                                scheme: self.scheme.label(),
+                                workload: self.spec.name.to_string(),
+                                core: None,
+                                va,
+                                stream_pos,
+                                source: e,
+                            })?;
                         self.tlb.fill(va, w.pa.align_down(w.size), w.size);
                         self.walker_stats.record(&flatwalk_mmu::WalkTiming {
                             pa: w.pa,
@@ -192,6 +219,7 @@ impl<S: Scheme> SchemeSimulation<S> {
                 let data = self
                     .hier
                     .access(pa, flatwalk_types::AccessKind::Data, OwnerId::SINGLE);
+                stream_pos += 1;
                 instructions += work + 1;
                 let translation_stall = translation_latency.saturating_sub(1);
                 let data_stall = data.latency.saturating_sub(l1_lat) as f64 * exposure;
@@ -211,8 +239,9 @@ impl<S: Scheme> SchemeSimulation<S> {
             census: *self.space.census(),
             phase_flips: self.phase.flips(),
             pwc: Vec::new(),
+            faults: flatwalk_faults::FaultStats::default(),
         };
         setup::record_run_time(start.elapsed());
-        report
+        Ok(report)
     }
 }

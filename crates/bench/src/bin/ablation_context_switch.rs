@@ -124,5 +124,5 @@ fn main() {
     println!("lines do. This is the paper's §7.1 point from the other side:");
     println!("CSALT's design needs many cold-cache processes, which the");
     println!("single-address-space methodology (theirs and ours) does not have.");
-    flatwalk_bench::emit::finish("ablation_context_switch");
+    flatwalk_bench::finish("ablation_context_switch");
 }

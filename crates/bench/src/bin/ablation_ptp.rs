@@ -99,5 +99,5 @@ fn main() {
     println!("and saturate near the paper's 0.99; bias 1.0 is close to 0.99 (the");
     println!("set-has-only-PT-lines fallback keeps it safe). Thresholds past the");
     println!("suite's miss rates disable PTP for more benchmarks and shrink gains.");
-    flatwalk_bench::emit::finish("ablation_ptp");
+    flatwalk_bench::finish("ablation_ptp");
 }

@@ -66,5 +66,5 @@ fn main() {
     println!();
     println!("Paper reference: flattening → 1.0 accesses/walk; prioritization cuts");
     println!("gups walk latency dramatically; combination saves cache+DRAM energy.");
-    flatwalk_bench::emit::finish("fig01_headline");
+    flatwalk_bench::finish("fig01_headline");
 }

@@ -85,5 +85,5 @@ fn main() {
     println!();
     println!("Paper reference: FPT without NF loses performance against THP for");
     println!("2 MB-heavy mappings; FPT+NF surpasses the baseline (Fig. 4).");
-    flatwalk_bench::emit::finish("fig04_large_pages");
+    flatwalk_bench::finish("fig04_large_pages");
 }

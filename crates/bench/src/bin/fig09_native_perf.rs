@@ -156,5 +156,5 @@ fn main() {
     println!();
     println!("Paper reference (0% LP geomeans): FPT +2.3%, PTP +6.8%, FPT+PTP +9.2%,");
     println!("ASAP +1.7%, ECH -5.9%, CSALT +0.3%; improvements shrink as LP% grows.");
-    flatwalk_bench::emit::finish("fig09_native_perf");
+    flatwalk_bench::finish("fig09_native_perf");
 }

@@ -96,5 +96,5 @@ fn main() {
     println!("Paper reference: baseline ≈1.5 accesses/walk on average (gups/random");
     println!("2.5 max); FPT = 1.0 for every workload. Latency: 50.9 → 33.0 (PTP)");
     println!("→ 29.1 (FPT+PTP) cycles on average.");
-    flatwalk_bench::emit::finish("fig10_walk_anatomy");
+    flatwalk_bench::finish("fig10_walk_anatomy");
 }

@@ -128,5 +128,5 @@ fn main() {
     println!();
     println!("Paper reference (0% LP): FPT +2.2%, PTP +9.2%, FPT+PTP +11.5% mean");
     println!("weighted speedup over 20 mixes.");
-    flatwalk_bench::emit::finish("fig11_multicore");
+    flatwalk_bench::finish("fig11_multicore");
 }

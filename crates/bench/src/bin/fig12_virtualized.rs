@@ -85,5 +85,5 @@ fn main() {
     println!("Paper reference: HF +1.1%, GF +4.9%, GF+HF +7.1%; with PTP:");
     println!("+7.5% / +11.6% / +14.0%. Accesses/walk: 4.4 baseline → 2.8 GF+HF");
     println!("(gups/random ≈9.6/9.4 baseline).");
-    flatwalk_bench::emit::finish("fig12_virtualized");
+    flatwalk_bench::finish("fig12_virtualized");
 }

@@ -151,5 +151,5 @@ fn main() {
     println!("Paper reference (native): FPT -2.8% cache; PTP -2.5% cache / -4.6% DRAM;");
     println!("FPT+PTP -5.1% / -4.7%. ASAP raises L1D traffic; ECH +32% cache / +14% DRAM.");
     println!("Virtualized: GF+HF -6.7% cache; GF+HF+PTP -8.7% cache / -4.7% DRAM.");
-    flatwalk_bench::emit::finish("fig13_energy");
+    flatwalk_bench::finish("fig13_energy");
 }

@@ -98,5 +98,5 @@ fn main() {
     println!();
     println!("Paper reference: flattening closer to the leaves helps most; both");
     println!("L4+L3 and L2+L1 flattened gives +3.8% (iter1) / +4.3% (iter5).");
-    flatwalk_bench::emit::finish("fig14_mobile");
+    flatwalk_bench::finish("fig14_mobile");
 }

@@ -102,5 +102,5 @@ fn main() {
     println!("--- virtualized (paper: GF+HF +7.1%, GF+HF+PTP +14.0%;");
     println!("    accesses 4.4→2.8) ---");
     print_table(&["config", "geomean speedup", "mean acc/walk"], &rows);
-    flatwalk_bench::emit::finish("headline_paper");
+    flatwalk_bench::finish("headline_paper");
 }

@@ -53,5 +53,5 @@ fn main() {
     );
     println!();
     println!("Every failure took the graceful fallback path (two 4 KB nodes).");
-    flatwalk_bench::emit::finish("sec62_kernel_stress");
+    flatwalk_bench::finish("sec62_kernel_stress");
 }

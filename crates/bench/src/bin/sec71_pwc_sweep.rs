@@ -71,5 +71,5 @@ fn main() {
     println!("Paper reference: sweeping the L3 PSC 1→16 entries moves GUPS by");
     println!("-1.5%..+2.4%; flattening gives +8.9%; matching it needs a ~4096-entry");
     println!("L2 PSC.");
-    flatwalk_bench::emit::finish("sec71_pwc_sweep");
+    flatwalk_bench::finish("sec71_pwc_sweep");
 }

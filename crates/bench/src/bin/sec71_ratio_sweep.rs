@@ -67,5 +67,5 @@ fn main() {
     println!("Paper reference: PTP holds up — +6.8% (1x), +5.9% (2x), +5.6% (4x),");
     println!("+6.5% (8x), +7.0% (16x); even at 16x, caching 6.3% of the page table");
     println!("still pays.");
-    flatwalk_bench::emit::finish("sec71_ratio_sweep");
+    flatwalk_bench::finish("sec71_ratio_sweep");
 }

@@ -150,5 +150,5 @@ fn main() {
     println!("Paper reference: L3+L2 gives +0.2/+0.3/+0.1 pp native and +0.7/+1.0/");
     println!("+1.2 pp virtualized at 0/50/100% LP; at 100% LP it beats L4+L3,L2+L1");
     println!("by 0.3 pp (native) / 0.8 pp (virtualized).");
-    flatwalk_bench::emit::finish("sec75_flatten_levels");
+    flatwalk_bench::finish("sec75_flatten_levels");
 }

@@ -62,5 +62,5 @@ fn main() {
     );
     println!("Multicore (§7.1): four Table 1 cores, 32 MB shared L3, per-owner");
     println!("partition IDs in cache tags (§6.1).");
-    flatwalk_bench::emit::finish("table01_config");
+    flatwalk_bench::finish("table01_config");
 }

@@ -14,14 +14,19 @@
 //!  "experiment":"sec71_pwc_sweep",
 //!  "manifest":{"threads":…,"setup_cache_hits":…,"setup_cache_misses":…,
 //!              "setup_nanos":…,"run_nanos":…,"cells_recorded":…},
-//!  "cells":[{"label":…,"index":…,"setup_nanos":…,"run_nanos":…,
+//!  "cells":[{"label":…,"index":…,"status":"ok"|"retried"|"failed",
+//!            "setup_nanos":…,"run_nanos":…,
 //!            "report":{…SimReport::to_json…}},…],
 //!  "metrics":{…merged registry, name-sorted…}}
 //! ```
 //!
-//! Cells recorded via [`record_report`] carry no `setup_nanos` /
-//! `run_nanos` keys (their phase split is not attributable — the
-//! process-wide totals in the manifest still include them).
+//! Cells recorded via [`record_report`] carry no `status` /
+//! `setup_nanos` / `run_nanos` keys (their phase split is not
+//! attributable — the process-wide totals in the manifest still
+//! include them). Failed cells carry `error` and `retries` instead of
+//! timings and a report; retried-but-successful cells carry `retries`
+//! alongside the usual keys. When a fault plan is installed the
+//! manifest additionally records `faults_seed` and `faults_profile`.
 
 use std::sync::{Mutex, OnceLock};
 
@@ -72,11 +77,28 @@ pub fn record_cells(label: &str, outcomes: &[CellOutcome]) {
     let mut sink = cells().lock().unwrap_or_else(|e| e.into_inner());
     for (index, outcome) in outcomes.iter().enumerate() {
         let mut o = Json::obj();
-        o.push("label", label)
-            .push("index", index)
-            .push("setup_nanos", outcome.setup_nanos)
-            .push("run_nanos", outcome.run_nanos)
-            .push("report", outcome.report.to_json());
+        o.push("label", label).push("index", index);
+        match outcome {
+            CellOutcome::Ok {
+                report,
+                setup_nanos,
+                run_nanos,
+                retries,
+            } => {
+                o.push("status", if *retries > 0 { "retried" } else { "ok" });
+                if *retries > 0 {
+                    o.push("retries", *retries as u64);
+                }
+                o.push("setup_nanos", *setup_nanos)
+                    .push("run_nanos", *run_nanos)
+                    .push("report", report.to_json());
+            }
+            CellOutcome::Failed { error, retries } => {
+                o.push("status", "failed")
+                    .push("error", error.as_str())
+                    .push("retries", *retries as u64);
+            }
+        }
         sink.push(o);
     }
 }
@@ -116,6 +138,11 @@ pub fn finish(experiment: &str) {
         .push("setup_nanos", stats.setup_nanos)
         .push("run_nanos", stats.run_nanos)
         .push("cells_recorded", recorded.len());
+    if let Some(plan) = flatwalk_faults::active() {
+        manifest
+            .push("faults_seed", plan.seed)
+            .push("faults_profile", plan.profile.name());
+    }
     let mut o = Json::obj();
     o.push("schema", "flatwalk-report-v1")
         .push("experiment", experiment)

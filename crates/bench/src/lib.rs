@@ -21,12 +21,69 @@ pub mod emit;
 
 pub use flatwalk_sim::runner::Cell as GridCell;
 
-/// Installs the env-configured trace sink (`FLATWALK_TRACE`) exactly
+/// Installs the env-configured trace sink (`FLATWALK_TRACE`) and the
+/// fault plan (`--faults <seed>[:profile]` / `FLATWALK_FAULTS`) exactly
 /// once per process. Every harness entry point routes through this, so
-/// binaries need no explicit tracing setup.
+/// binaries need no explicit setup.
 fn init_observability() {
     static INIT: std::sync::Once = std::sync::Once::new();
-    INIT.call_once(flatwalk_obs::trace::init_from_env);
+    INIT.call_once(|| {
+        flatwalk_obs::trace::init_from_env();
+        install_fault_plan();
+    });
+}
+
+/// Parses and installs the deterministic fault plan, if one was
+/// requested. A malformed spec is a fatal usage error (exit 2): unlike
+/// a typoed trace path, silently running *without* the requested
+/// faults would invalidate whatever the run was meant to show.
+fn install_fault_plan() {
+    let mut args = std::env::args();
+    let mut spec = None;
+    while let Some(a) = args.next() {
+        if a == "--faults" {
+            spec = args.next();
+        } else if let Some(v) = a.strip_prefix("--faults=") {
+            spec = Some(v.to_string());
+        }
+    }
+    let spec = spec.or_else(|| {
+        std::env::var("FLATWALK_FAULTS")
+            .ok()
+            .filter(|v| !v.is_empty())
+    });
+    let Some(spec) = spec else {
+        return;
+    };
+    match flatwalk_faults::FaultPlan::parse(&spec) {
+        Ok(plan) => flatwalk_faults::install(plan),
+        Err(e) => {
+            eprintln!("--faults: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Grid cells that ended in [`CellOutcome::Failed`] so far. Read by
+/// [`finish`] to decide the process exit status.
+static FAILED_CELLS: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+
+/// Number of grid cells that failed (after retries) in this process.
+pub fn failed_cells() -> usize {
+    FAILED_CELLS.load(std::sync::atomic::Ordering::Relaxed)
+}
+
+/// Emits the JSON report (like [`emit::finish`]) and then exits with
+/// status 1 if any grid cell failed. Experiment binaries call this as
+/// their last statement so a faulted grid still renders every healthy
+/// cell and the full report before the failure is surfaced to CI.
+pub fn finish(experiment: &str) {
+    emit::finish(experiment);
+    let failed = failed_cells();
+    if failed > 0 {
+        eprintln!("{experiment}: {failed} cell(s) failed");
+        std::process::exit(1);
+    }
 }
 
 /// How much of the paper-scale work an experiment run performs.
@@ -121,11 +178,45 @@ pub fn threads() -> usize {
 /// (see [`threads`]), returning reports in cell order. Each cell's
 /// report and setup/run time split are forwarded to the JSON sink
 /// ([`emit`]) when one is configured.
+///
+/// A failed cell (panic or [`SimError`](flatwalk_sim::SimError) after
+/// retries) does not abort the batch: it is announced on stdout, its
+/// slot is filled with a zeroed placeholder report (`config:
+/// "failed"`), and [`finish`] will exit non-zero once the whole grid
+/// has been rendered.
 pub fn run_cells(label: &'static str, cells: Vec<Cell>) -> Vec<SimReport> {
     init_observability();
+    let workloads: Vec<String> = cells.iter().map(|c| c.workload.name.to_string()).collect();
     let outcomes = runner::run_cells_timed(label, cells, threads());
     emit::record_cells(label, &outcomes);
-    outcomes.into_iter().map(|o| o.report).collect()
+    outcomes
+        .into_iter()
+        .zip(workloads)
+        .enumerate()
+        .map(|(index, (outcome, workload))| match outcome {
+            runner::CellOutcome::Ok { report, .. } => report,
+            runner::CellOutcome::Failed { error, retries } => {
+                FAILED_CELLS.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                println!(
+                    "cell failed: grid={label} index={index} workload={workload} retries={retries} error={error}"
+                );
+                SimReport {
+                    workload,
+                    config: "failed",
+                    instructions: 0,
+                    cycles: 0,
+                    walk: Default::default(),
+                    tlb: Default::default(),
+                    hier: Default::default(),
+                    energy: Default::default(),
+                    census: Default::default(),
+                    phase_flips: 0,
+                    pwc: Vec::new(),
+                    faults: Default::default(),
+                }
+            }
+        })
+        .collect()
 }
 
 /// Fans arbitrary simulation jobs across the worker pool, returning
@@ -157,6 +248,10 @@ pub fn run_native(
 /// workload name. Baselines are indexed by name once, so the cost is
 /// O(reports + baselines) rather than a quadratic scan.
 ///
+/// Zero speedups — the placeholder reports a failed cell leaves behind
+/// have zero IPC — are excluded from the mean, so a faulted grid still
+/// summarizes its healthy cells.
+///
 /// # Panics
 ///
 /// Panics if a report's workload has no baseline; the message lists
@@ -178,6 +273,7 @@ pub fn geomean_speedup(reports: &[SimReport], baselines: &[SimReport]) -> f64 {
             });
             r.speedup_vs(b)
         })
+        .filter(|s| *s > 0.0)
         .collect();
     geometric_mean(&speedups).expect("positive speedups")
 }
@@ -244,6 +340,7 @@ mod tests {
             census: Default::default(),
             phase_flips: 0,
             pwc: Default::default(),
+            faults: Default::default(),
         };
         let base = vec![mk("a", 2000), mk("b", 1000)];
         let test = vec![mk("b", 500), mk("a", 1000)];
@@ -266,6 +363,7 @@ mod tests {
             census: Default::default(),
             phase_flips: 0,
             pwc: Default::default(),
+            faults: Default::default(),
         };
         geomean_speedup(&[mk("missing")], &[mk("a"), mk("b")]);
     }

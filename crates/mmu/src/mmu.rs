@@ -235,6 +235,20 @@ impl Mmu {
         }
     }
 
+    /// Models a TLB shootdown after a live page-table mutation (unmap,
+    /// THP splinter, node demotion): flushes the TLB complex and the
+    /// walker's translation caches (PWC/PSC, and nested caches under
+    /// virtualization). Returns the number of TLB entries invalidated;
+    /// walker-cache entries are flushed but not individually counted.
+    pub fn shootdown(&mut self) -> u64 {
+        let flushed = self.tlb.shootdown();
+        match &mut self.backend {
+            TranslationBackend::Native(w) => w.flush(),
+            TranslationBackend::Nested(w) => w.flush(),
+        }
+        flushed
+    }
+
     /// Clears all statistics (contents are kept warm).
     pub fn reset_stats(&mut self) {
         self.phase.reset_flips();

@@ -9,7 +9,7 @@
 //!
 //! Enable the JSONL sink with
 //! `FLATWALK_TRACE=<channels>:<path>` where `<channels>` is a
-//! comma-separated subset of `walks`, `phase`, `repl` — e.g.
+//! comma-separated subset of `walks`, `phase`, `repl`, `faults` — e.g.
 //! `FLATWALK_TRACE=walks,phase:/tmp/trace.jsonl`. Each record is one
 //! JSON object per line; see [`JsonlTracer`] for the schema. Tests
 //! install collecting tracers programmatically via [`install`].
@@ -35,6 +35,8 @@ pub struct Channels {
     pub phase: bool,
     /// Cache replacement-victim choices.
     pub repl: bool,
+    /// Injected-fault events (mid-run shootdowns and friends).
+    pub faults: bool,
 }
 
 impl Channels {
@@ -44,6 +46,7 @@ impl Channels {
             walks: true,
             phase: true,
             repl: true,
+            faults: true,
         }
     }
 
@@ -56,6 +59,7 @@ impl Channels {
                 "walks" => ch.walks = true,
                 "phase" => ch.phase = true,
                 "repl" => ch.repl = true,
+                "faults" => ch.faults = true,
                 _ => return None,
             }
         }
@@ -63,7 +67,10 @@ impl Channels {
     }
 
     fn bits(self) -> u8 {
-        (self.walks as u8) | (self.phase as u8) << 1 | (self.repl as u8) << 2
+        (self.walks as u8)
+            | (self.phase as u8) << 1
+            | (self.repl as u8) << 2
+            | (self.faults as u8) << 3
     }
 }
 
@@ -123,6 +130,19 @@ pub struct ReplRecord<'a> {
     pub biased: bool,
 }
 
+/// One injected mid-run fault (address-space mutation + shootdown).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultRecord {
+    /// Fault kind (`"unmap"`, `"remap"`, `"thp_splinter"`, `"demote"`).
+    pub kind: &'static str,
+    /// Stream position (op index) at which the fault fired.
+    pub op: u64,
+    /// Translation-structure entries flushed by the shootdown.
+    pub flushed: u64,
+    /// Modeled shootdown cost in cycles.
+    pub cost: u64,
+}
+
 /// A trace event consumer. All methods default to no-ops so sinks
 /// subscribe to only the channels they care about.
 pub trait Tracer: Send + Sync {
@@ -132,6 +152,8 @@ pub trait Tracer: Send + Sync {
     fn phase(&self, _cell: &str, _record: &PhaseRecord) {}
     /// One replacement-victim choice.
     fn repl(&self, _cell: &str, _record: &ReplRecord<'_>) {}
+    /// One injected fault event.
+    fn fault(&self, _cell: &str, _record: &FaultRecord) {}
 }
 
 /// Enabled-channel bitmask; 0 when tracing is off. The only tracing
@@ -163,6 +185,12 @@ pub fn phase_enabled() -> bool {
 #[inline]
 pub fn repl_enabled() -> bool {
     CHANNELS.load(Ordering::Relaxed) & 4 != 0
+}
+
+/// Whether injected-fault events are being traced (one relaxed load).
+#[inline]
+pub fn faults_enabled() -> bool {
+    CHANNELS.load(Ordering::Relaxed) & 8 != 0
 }
 
 /// Whether any channel is being traced.
@@ -215,7 +243,7 @@ pub fn init_from_env() {
             Err(e) => eprintln!("FLATWALK_TRACE: cannot open {path:?}: {e}"),
         },
         None => eprintln!(
-            "FLATWALK_TRACE: expected <channels>:<path> with channels from walks,phase,repl; got {spec:?}"
+            "FLATWALK_TRACE: expected <channels>:<path> with channels from walks,phase,repl,faults; got {spec:?}"
         ),
     }
 }
@@ -253,6 +281,23 @@ pub fn emit_phase(record: &PhaseRecord) {
 /// Emits one replacement record (call only when [`repl_enabled`]).
 pub fn emit_repl(record: &ReplRecord<'_>) {
     with_sink(|t, cell| t.repl(cell, record));
+}
+
+/// Emits one injected-fault record. Guards internally on
+/// [`faults_enabled`] so fault-injection sites can call it
+/// unconditionally — faults are rare enough that the extra load is
+/// irrelevant.
+pub fn emit_fault(kind: &'static str, op: u64, flushed: u64, cost: u64) {
+    if !faults_enabled() {
+        return;
+    }
+    let record = FaultRecord {
+        kind,
+        op,
+        flushed,
+        cost,
+    };
+    with_sink(|t, cell| t.fault(cell, &record));
 }
 
 /// A line-per-record JSON sink.
@@ -337,6 +382,17 @@ impl Tracer for JsonlTracer {
             .push("biased", record.biased);
         self.write_line(&o);
     }
+
+    fn fault(&self, cell: &str, record: &FaultRecord) {
+        let mut o = Json::obj();
+        o.push("event", "fault")
+            .push("cell", cell)
+            .push("kind", record.kind)
+            .push("op", record.op)
+            .push("flushed", record.flushed)
+            .push("cost", record.cost);
+        self.write_line(&o);
+    }
 }
 
 #[cfg(test)]
@@ -352,7 +408,10 @@ mod tests {
                 ..Default::default()
             })
         );
-        assert_eq!(Channels::parse("walks,phase,repl"), Some(Channels::all()));
+        assert_eq!(
+            Channels::parse("walks,phase,repl,faults"),
+            Some(Channels::all())
+        );
         assert_eq!(
             Channels::parse("walks, repl"),
             Some(Channels {
@@ -440,10 +499,19 @@ mod tests {
                 biased: true,
             },
         );
+        tracer.fault(
+            "gups/FPT+PTP",
+            &FaultRecord {
+                kind: "thp_splinter",
+                op: 4096,
+                flushed: 17,
+                cost: 670,
+            },
+        );
         drop(tracer);
         let text = std::fs::read_to_string(path).unwrap();
         let lines: Vec<&str> = text.lines().collect();
-        assert_eq!(lines.len(), 3);
+        assert_eq!(lines.len(), 4);
         for line in &lines {
             let v = crate::json::parse(line).unwrap();
             assert_eq!(
@@ -455,6 +523,13 @@ mod tests {
         assert_eq!(walk.get("event").cloned(), Some(Json::Str("walk".into())));
         assert_eq!(walk.get("accesses").unwrap().as_u64(), Some(1));
         assert_eq!(walk.get("steps").unwrap().as_array().unwrap().len(), 1);
+        let fault = crate::json::parse(lines[3]).unwrap();
+        assert_eq!(fault.get("event").cloned(), Some(Json::Str("fault".into())));
+        assert_eq!(
+            fault.get("kind").cloned(),
+            Some(Json::Str("thp_splinter".into()))
+        );
+        assert_eq!(fault.get("cost").unwrap().as_u64(), Some(670));
         let _ = std::fs::remove_file(path);
     }
 }

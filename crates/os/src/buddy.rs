@@ -193,6 +193,39 @@ impl BuddyAllocator {
         }
         held
     }
+
+    /// Bounded variant of [`BuddyAllocator::fragment`] for fault
+    /// campaigns on large pools: stops pinning once `max_bytes` of 4 KB
+    /// frames have been touched, so fragmenting an 8 GB pool does not
+    /// require walking all two million frames. The touched prefix is
+    /// shredded exactly like [`BuddyAllocator::fragment`] would shred
+    /// the whole pool; the rest of the pool keeps its contiguity.
+    ///
+    /// Returns the held frames so the caller can release them later.
+    pub fn fragment_region(
+        &mut self,
+        rng: &mut SplitMix64,
+        hold_fraction: f64,
+        max_bytes: u64,
+    ) -> Vec<PhysAddr> {
+        let budget = (max_bytes / 4096).max(1);
+        let mut taken = Vec::new();
+        while (taken.len() as u64) < budget {
+            let Some(addr) = self.alloc_order(ORDER_4K) else {
+                break;
+            };
+            taken.push(addr);
+        }
+        let mut held = Vec::new();
+        for addr in taken {
+            if rng.chance(hold_fraction) {
+                held.push(PhysAddr::new(addr));
+            } else {
+                self.free(PhysAddr::new(addr));
+            }
+        }
+        held
+    }
 }
 
 impl PhysAllocator for BuddyAllocator {

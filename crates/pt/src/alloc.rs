@@ -26,6 +26,18 @@ pub trait PhysAllocator {
     }
 }
 
+/// Forwarding impl so decorators (fault injectors, instrumentation) can
+/// wrap any allocator by exclusive reference without taking ownership.
+impl<T: PhysAllocator + ?Sized> PhysAllocator for &mut T {
+    fn alloc(&mut self, size: PageSize) -> Option<PhysAddr> {
+        (**self).alloc(size)
+    }
+
+    fn release(&mut self, addr: PhysAddr, size: PageSize) {
+        (**self).release(addr, size);
+    }
+}
+
 /// An infallible bump allocator over a private physical range.
 ///
 /// Useful for tests and for standalone page-table construction where

@@ -1,0 +1,72 @@
+//! Structured simulation failures.
+//!
+//! A bad translation used to `panic!` inside the drivers' run loops,
+//! killing the whole experiment grid. The drivers now surface it as a
+//! [`SimError`] carrying everything needed to reproduce the access; the
+//! runner turns it into a `CellOutcome::Failed` record while the rest
+//! of the grid completes.
+
+use flatwalk_pt::WalkError;
+use flatwalk_types::VirtAddr;
+
+/// A simulation run that could not complete: one access failed to
+/// translate. Identifies the exact access — scheme, workload, core,
+/// stream position, virtual address — plus the underlying walk error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimError {
+    /// The translation scheme / configuration label that was running.
+    pub scheme: &'static str,
+    /// The workload whose access stream hit the error.
+    pub workload: String,
+    /// The core the access ran on (`None` for single-core drivers).
+    pub core: Option<usize>,
+    /// The virtual address that failed to translate.
+    pub va: VirtAddr,
+    /// Zero-based position in the access stream (warm-up included).
+    pub stream_pos: u64,
+    /// Why the walk failed.
+    pub source: WalkError,
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} on {}: access #{} to {} failed: {}",
+            self.scheme, self.workload, self.stream_pos, self.va, self.source
+        )?;
+        if let Some(core) = self.core {
+            write!(f, " (core {core})")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for SimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.source)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flatwalk_types::Level;
+
+    #[test]
+    fn display_names_the_access() {
+        let e = SimError {
+            scheme: "FPT",
+            workload: "gups".to_string(),
+            core: Some(2),
+            va: VirtAddr::new(0x1000),
+            stream_pos: 41,
+            source: WalkError::NotMapped { at: Level::L4 },
+        };
+        let text = e.to_string();
+        assert!(text.contains("FPT"), "{text}");
+        assert!(text.contains("gups"), "{text}");
+        assert!(text.contains("#41"), "{text}");
+        assert!(text.contains("core 2"), "{text}");
+    }
+}

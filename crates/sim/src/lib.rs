@@ -30,6 +30,7 @@
 #![warn(missing_docs)]
 
 mod config;
+mod error;
 mod multicore;
 mod native;
 mod report;
@@ -38,6 +39,7 @@ pub mod setup;
 mod virt;
 
 pub use config::{SimOptions, TranslationConfig};
+pub use error::SimError;
 pub use multicore::{
     all_mixes, alone_ipcs, mean_weighted_speedup, multicore_options, table2_mixes, Mix,
     MulticoreReport, MulticoreSimulation,

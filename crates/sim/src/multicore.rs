@@ -300,12 +300,51 @@ impl MulticoreSimulation {
 
     /// Runs all cores round-robin (one access per core per round) and
     /// reports per-core results.
-    pub fn run(mut self) -> MulticoreReport {
+    ///
+    /// # Panics
+    ///
+    /// Panics on an untranslatable access — use
+    /// [`MulticoreSimulation::try_run`] to get a structured
+    /// [`SimError`](crate::SimError) instead.
+    pub fn run(self) -> MulticoreReport {
+        self.try_run().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Runs all cores round-robin; returns the per-core reports, or a
+    /// [`SimError`](crate::SimError) identifying the exact access (and
+    /// core) that failed to translate.
+    pub fn try_run(mut self) -> Result<MulticoreReport, crate::SimError> {
         let start = Instant::now();
         if flatwalk_obs::trace::any_enabled() {
             flatwalk_obs::trace::set_context(&format!("mix{}/{}", self.mix.id, self.config.label));
         }
         let l1_lat = self.opts.hierarchy.l1.latency;
+
+        // Per-core deterministic mid-run mutation schedules (see
+        // native.rs); each core draws its own stream, salted by its
+        // index, so schedules differ per core but never per thread
+        // count.
+        let total_ops = self.opts.warmup_ops + self.opts.measure_ops;
+        let plan = flatwalk_faults::active();
+        let mix_salt = flatwalk_faults::mix_str(self.config.label)
+            ^ flatwalk_types::rng::splitmix_mix(self.mix.id as u64);
+        let events: Vec<Vec<(u64, flatwalk_faults::MidRunFault)>> = self
+            .cores
+            .iter()
+            .enumerate()
+            .map(|(i, core)| {
+                let salt = mix_salt
+                    ^ flatwalk_faults::mix_str(core.spec.name)
+                    ^ flatwalk_types::rng::splitmix_mix(i as u64 + 1);
+                plan.as_ref()
+                    .map(|p| p.mutation_events(salt, total_ops))
+                    .unwrap_or_default()
+            })
+            .collect();
+        let mut next_event = vec![0usize; self.cores.len()];
+        let mut faults = vec![flatwalk_faults::FaultStats::default(); self.cores.len()];
+        let mut stream_pos = 0u64;
+
         for phase in 0..2u32 {
             let ops = if phase == 0 {
                 self.opts.warmup_ops
@@ -322,12 +361,30 @@ impl MulticoreSimulation {
             }
             for _ in 0..ops {
                 for (i, core) in self.cores.iter_mut().enumerate() {
+                    while next_event[i] < events[i].len()
+                        && events[i][next_event[i]].0 == stream_pos
+                    {
+                        let kind = events[i][next_event[i]].1;
+                        next_event[i] += 1;
+                        let flushed = core.mmu.shootdown();
+                        let cost = flatwalk_faults::shootdown_cost(flushed);
+                        core.cycles_f += cost as f64;
+                        faults[i].note(kind);
+                        flatwalk_obs::trace::emit_fault(kind.name(), stream_pos, flushed, cost);
+                    }
                     let va = core.stream.next_va();
                     let aspace = MmuSpace::native(core.space.store(), core.space.table());
                     let t = core
                         .mmu
                         .access(&aspace, &mut core.hier, va, OwnerId(i as u8))
-                        .unwrap_or_else(|e| panic!("core {i} unmapped {va}: {e}"));
+                        .map_err(|e| crate::SimError {
+                            scheme: self.config.label,
+                            workload: core.spec.name.to_string(),
+                            core: Some(i),
+                            va,
+                            stream_pos,
+                            source: e,
+                        })?;
                     core.instructions += core.spec.work_per_access + 1;
                     let translation_stall = t.translation_latency.saturating_sub(1);
                     let data_stall =
@@ -335,6 +392,7 @@ impl MulticoreSimulation {
                     core.cycles_f +=
                         core.spec.work_per_access as f64 + translation_stall as f64 + data_stall;
                 }
+                stream_pos += 1;
             }
         }
 
@@ -342,7 +400,8 @@ impl MulticoreSimulation {
         let cores = self
             .cores
             .into_iter()
-            .map(|c| SimReport {
+            .zip(faults)
+            .map(|(c, faults)| SimReport {
                 workload: c.spec.name.to_string(),
                 config,
                 instructions: c.instructions,
@@ -354,6 +413,7 @@ impl MulticoreSimulation {
                 census: *c.space.census(),
                 phase_flips: c.mmu.phase_flips(),
                 pwc: c.mmu.pwc_stats().unwrap_or_default(),
+                faults,
             })
             .collect();
         let report = MulticoreReport {
@@ -362,7 +422,7 @@ impl MulticoreSimulation {
             cores,
         };
         setup::record_run_time(start.elapsed());
-        report
+        Ok(report)
     }
 }
 

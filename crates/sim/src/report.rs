@@ -1,5 +1,6 @@
 //! Simulation result reporting.
 
+use flatwalk_faults::FaultStats;
 use flatwalk_mem::{CacheStats, EnergyBreakdown, HierarchyStats};
 use flatwalk_mmu::WalkerStats;
 use flatwalk_obs::{Json, MetricsSnapshot};
@@ -35,6 +36,9 @@ pub struct SimReport {
     /// Per-depth PSC hit/miss statistics, widest prefix first (empty for
     /// schemes without a native PSC).
     pub pwc: Vec<(u32, HitMiss)>,
+    /// Fault-injection counters for the whole run, warm-up included
+    /// (all zero when no fault plan is installed).
+    pub faults: FaultStats,
 }
 
 impl SimReport {
@@ -131,6 +135,11 @@ impl SimReport {
             .gauge("energy.dram_nj", self.energy.dram_nj)
             .add("energy.dram_accesses", self.energy.dram_accesses);
         self.census.record_metrics(&mut m);
+        if self.faults.any() {
+            m.add("faults.shootdowns", self.faults.shootdowns)
+                .add("faults.mid_run_fallbacks", self.faults.mid_run_fallbacks)
+                .add("faults.injected", self.faults.faults_injected);
+        }
         m
     }
 
@@ -224,6 +233,12 @@ impl SimReport {
             .push("fallback_nodes", self.census.fallback_nodes)
             .push("table_bytes", self.census.table_bytes());
 
+        let mut faults = Json::obj();
+        faults
+            .push("shootdowns", self.faults.shootdowns)
+            .push("mid_run_fallbacks", self.faults.mid_run_fallbacks)
+            .push("faults_injected", self.faults.faults_injected);
+
         let mut o = Json::obj();
         o.push("workload", self.workload.as_str())
             .push("config", self.config)
@@ -237,6 +252,7 @@ impl SimReport {
             .push("hier", hier)
             .push("energy", energy)
             .push("census", census)
+            .push("faults", faults)
             .push("metrics", self.metrics().to_json());
         o
     }
@@ -259,6 +275,7 @@ mod tests {
             census: NodeCensus::default(),
             phase_flips: 0,
             pwc: Vec::new(),
+            faults: FaultStats::default(),
         }
     }
 

@@ -21,9 +21,10 @@
 //! only when stderr is a terminal or `FLATWALK_PROGRESS=1` forces it.
 
 use std::io::{IsTerminal, Write};
+use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use flatwalk_os::FragmentationScenario;
 use flatwalk_workloads::WorkloadSpec;
@@ -31,16 +32,70 @@ use flatwalk_workloads::WorkloadSpec;
 use crate::setup::{self, setup_stats, SetupStats};
 use crate::{NativeSimulation, SimOptions, SimReport, TranslationConfig};
 
-/// A finished cell: its report plus the wall time its worker thread
-/// spent in the build and run phases.
+/// How one cell of a grid ended: its report, or a structured failure
+/// record. Each cell runs inside its own fault domain
+/// (`catch_unwind` + bounded retries + a soft wall-clock deadline), so
+/// one bad cell never takes down the rest of the grid.
 #[derive(Debug, Clone)]
-pub struct CellOutcome {
-    /// The simulation's report.
-    pub report: SimReport,
-    /// Nanoseconds this cell spent building (0 for fully cached setups).
-    pub setup_nanos: u64,
-    /// Nanoseconds this cell spent simulating.
-    pub run_nanos: u64,
+// `Ok` is the overwhelmingly common variant; boxing its report to
+// shrink the rare `Failed` would cost an allocation per cell.
+#[allow(clippy::large_enum_variant)]
+pub enum CellOutcome {
+    /// The cell completed (possibly after retries).
+    Ok {
+        /// The simulation's report.
+        report: SimReport,
+        /// Nanoseconds the successful attempt spent building (0 for
+        /// fully cached setups).
+        setup_nanos: u64,
+        /// Nanoseconds the successful attempt spent simulating.
+        run_nanos: u64,
+        /// Failed attempts before this one succeeded.
+        retries: u32,
+    },
+    /// Every attempt failed (structured `SimError` or caught panic).
+    Failed {
+        /// Human-readable description of the last failure.
+        error: String,
+        /// Failed attempts beyond the first.
+        retries: u32,
+    },
+}
+
+impl CellOutcome {
+    /// The report, if the cell completed.
+    pub fn report(&self) -> Option<&SimReport> {
+        match self {
+            CellOutcome::Ok { report, .. } => Some(report),
+            CellOutcome::Failed { .. } => None,
+        }
+    }
+
+    /// Whether the cell exhausted its fault domain without completing.
+    pub fn is_failed(&self) -> bool {
+        matches!(self, CellOutcome::Failed { .. })
+    }
+}
+
+/// Bounded retry budget per cell: `FLATWALK_CELL_RETRIES` (default 1 —
+/// one re-attempt after a failure).
+fn cell_retries() -> u32 {
+    std::env::var("FLATWALK_CELL_RETRIES")
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(1)
+}
+
+/// Soft per-cell wall-clock deadline: `FLATWALK_CELL_DEADLINE_SECS`
+/// (default 300). The deadline gates *retries* only — a running attempt
+/// is never interrupted (the simulator is single-threaded per cell and
+/// deterministic; pre-empting it would forfeit determinism).
+fn cell_deadline() -> Duration {
+    let secs = std::env::var("FLATWALK_CELL_DEADLINE_SECS")
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(300);
+    Duration::from_secs(secs)
 }
 
 /// One independent experiment cell: a single native simulation.
@@ -90,6 +145,17 @@ impl Cell {
             Arc::clone(&self.opts),
         )
         .run()
+    }
+
+    /// Like [`Cell::run`] but surfaces an untranslatable access as a
+    /// structured [`SimError`](crate::SimError) instead of panicking.
+    pub fn try_run(&self) -> Result<SimReport, crate::SimError> {
+        NativeSimulation::build_shared(
+            self.workload.clone(),
+            self.config.clone(),
+            Arc::clone(&self.opts),
+        )
+        .try_run()
     }
 }
 
@@ -245,9 +311,12 @@ impl Progress {
 ///
 /// # Panics
 ///
-/// A panicking job propagates: the scope joins every worker and the
-/// panic is re-raised on the caller, so a failed grid never yields a
-/// partial result vector.
+/// A panicking job no longer aborts the batch mid-flight: every
+/// remaining job still runs to completion inside its own fault domain,
+/// then the panic of the lowest-indexed failed job is re-raised on the
+/// caller. A failed batch therefore never yields a partial result
+/// vector, but it also never wastes the work of its healthy jobs'
+/// side effects (setup-cache fills, recorded metrics).
 pub fn run_ordered<J, R, F, W>(
     jobs: Vec<J>,
     threads: usize,
@@ -261,17 +330,39 @@ where
     F: Fn(J) -> R + Sync,
     W: Fn(&J) -> u64 + Sync,
 {
+    type Panic = Box<dyn std::any::Any + Send>;
+    /// Keeps the panic of the lowest-indexed failed job (the one a
+    /// serial run would have hit first).
+    fn note_panic(first: &Mutex<Option<(usize, Panic)>>, index: usize, payload: Panic) {
+        let mut slot = first.lock().unwrap_or_else(|e| e.into_inner());
+        if slot.as_ref().is_none_or(|(i, _)| index < *i) {
+            *slot = Some((index, payload));
+        }
+    }
+
     let total = jobs.len();
+    let first_panic: Mutex<Option<(usize, Panic)>> = Mutex::new(None);
     if threads <= 1 || total <= 1 {
-        return jobs
+        let results = jobs
             .into_iter()
-            .map(|job| {
+            .enumerate()
+            .filter_map(|(index, job)| {
                 let ops = weight(&job);
-                let result = f(job);
+                let result = std::panic::catch_unwind(AssertUnwindSafe(|| f(job)));
                 progress.tick(ops);
-                result
+                match result {
+                    Ok(r) => Some(r),
+                    Err(payload) => {
+                        note_panic(&first_panic, index, payload);
+                        None
+                    }
+                }
             })
             .collect();
+        if let Some((_, payload)) = first_panic.into_inner().unwrap_or_else(|e| e.into_inner()) {
+            std::panic::resume_unwind(payload);
+        }
+        return results;
     }
 
     let job_slots: Vec<Mutex<Option<J>>> = jobs.into_iter().map(|j| Mutex::new(Some(j))).collect();
@@ -287,22 +378,31 @@ where
                 }
                 let job = job_slots[index]
                     .lock()
-                    .expect("job slot poisoned")
+                    .unwrap_or_else(|e| e.into_inner())
                     .take()
                     .expect("each job is claimed exactly once");
                 let ops = weight(&job);
-                let result = f(job);
-                *result_slots[index].lock().expect("result slot poisoned") = Some(result);
+                match std::panic::catch_unwind(AssertUnwindSafe(|| f(job))) {
+                    Ok(result) => {
+                        *result_slots[index]
+                            .lock()
+                            .unwrap_or_else(|e| e.into_inner()) = Some(result);
+                    }
+                    Err(payload) => note_panic(&first_panic, index, payload),
+                }
                 progress.tick(ops);
             });
         }
     });
 
+    if let Some((_, payload)) = first_panic.into_inner().unwrap_or_else(|e| e.into_inner()) {
+        std::panic::resume_unwind(payload);
+    }
     result_slots
         .into_iter()
         .map(|slot| {
             slot.into_inner()
-                .expect("result slot poisoned")
+                .unwrap_or_else(|e| e.into_inner())
                 .expect("every slot filled by the pool")
         })
         .collect()
@@ -311,30 +411,102 @@ where
 /// Expands and runs a batch of [`Cell`]s on `threads` workers,
 /// returning `SimReport`s in cell order (byte-identical to a serial
 /// run — each cell owns its seeded RNGs and shares no state).
+///
+/// # Panics
+///
+/// Panics if any cell failed — but only after the whole grid has
+/// completed, so every healthy cell's side effects (cache fills,
+/// metrics) land first. Callers that want the structured failure
+/// records use [`run_cells_timed`].
 pub fn run_cells(label: &'static str, cells: Vec<Cell>, threads: usize) -> Vec<SimReport> {
     run_cells_timed(label, cells, threads)
         .into_iter()
-        .map(|o| o.report)
+        .map(|o| match o {
+            CellOutcome::Ok { report, .. } => report,
+            CellOutcome::Failed { error, retries } => {
+                panic!("cell failed after {retries} retries: {error}")
+            }
+        })
         .collect()
 }
 
-/// Like [`run_cells`] but returns each cell's report together with its
-/// setup/run wall time, and merges every cell's metrics into the global
-/// registry as it completes (feeding the progress line's walk-hit ratio
-/// and the `--json` report's aggregate metrics).
+/// Like [`run_cells`] but returns each cell's outcome — report plus
+/// setup/run wall time, or a structured failure record — and merges
+/// every completed cell's metrics into the global registry as it
+/// finishes (feeding the progress line's walk-hit ratio and the
+/// `--json` report's aggregate metrics).
+///
+/// Each cell executes in its own fault domain: panics and
+/// [`SimError`](crate::SimError)s are caught, retried up to
+/// `FLATWALK_CELL_RETRIES` times while the soft
+/// `FLATWALK_CELL_DEADLINE_SECS` wall-clock deadline permits, and
+/// reported as [`CellOutcome::Failed`] while the rest of the grid runs
+/// to completion. An installed poison fault plan
+/// ([`flatwalk_faults::FaultPlan::poisons`]) fails its designated cell
+/// here, before the simulation is even built.
 pub fn run_cells_timed(label: &'static str, cells: Vec<Cell>, threads: usize) -> Vec<CellOutcome> {
     let progress = Progress::new(label, cells.len());
-    run_ordered(cells, threads, &progress, Cell::sim_ops, |cell| {
+    let total = cells.len();
+    let indexed: Vec<(usize, Cell)> = cells.into_iter().enumerate().collect();
+    run_ordered(
+        indexed,
+        threads,
+        &progress,
+        |(_, cell)| cell.sim_ops(),
+        |(index, cell)| run_cell_guarded(index, total, &cell),
+    )
+}
+
+/// Runs one cell inside its fault domain (see [`run_cells_timed`]).
+fn run_cell_guarded(index: usize, total: usize, cell: &Cell) -> CellOutcome {
+    let plan = flatwalk_faults::active();
+    let max_retries = cell_retries();
+    let deadline = cell_deadline();
+    let started = Instant::now();
+    let mut retries = 0u32;
+    loop {
         setup::begin_cell_timing();
-        let report = cell.run();
-        let (setup_nanos, run_nanos) = setup::cell_timing();
-        flatwalk_obs::metrics::merge_global(&report.metrics());
-        CellOutcome {
-            report,
-            setup_nanos,
-            run_nanos,
+        let attempt = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            if let Some(plan) = plan.as_deref() {
+                if plan.poisons(index, total) {
+                    panic!(
+                        "poison cell: fault plan seed {} poisons cell {index} of {total}",
+                        plan.seed
+                    );
+                }
+            }
+            cell.try_run()
+        }));
+        let error = match attempt {
+            Ok(Ok(report)) => {
+                let (setup_nanos, run_nanos) = setup::cell_timing();
+                flatwalk_obs::metrics::merge_global(&report.metrics());
+                return CellOutcome::Ok {
+                    report,
+                    setup_nanos,
+                    run_nanos,
+                    retries,
+                };
+            }
+            Ok(Err(e)) => e.to_string(),
+            Err(payload) => panic_message(payload.as_ref()),
+        };
+        if retries >= max_retries || started.elapsed() >= deadline {
+            return CellOutcome::Failed { error, retries };
         }
-    })
+        retries += 1;
+    }
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "cell panicked (non-string payload)".to_string()
+    }
 }
 
 #[cfg(test)]
@@ -373,20 +545,63 @@ mod tests {
     }
 
     #[test]
-    fn panic_in_job_propagates() {
+    fn panic_completes_batch_then_propagates() {
+        for threads in [1usize, 2] {
+            let completed = AtomicUsize::new(0);
+            let result = std::panic::catch_unwind(|| {
+                let progress = Progress::new("t", 5);
+                run_ordered(
+                    vec![1u64, 2, 3, 4, 5],
+                    threads,
+                    &progress,
+                    |_| 1,
+                    |j| {
+                        assert!(j != 2, "boom");
+                        completed.fetch_add(1, Ordering::Relaxed);
+                        j
+                    },
+                )
+            });
+            assert!(result.is_err(), "the panic still reaches the caller");
+            assert_eq!(
+                completed.load(Ordering::Relaxed),
+                4,
+                "every non-panicking job ran to completion first (threads={threads})"
+            );
+        }
+    }
+
+    #[test]
+    fn first_panic_in_job_order_wins() {
         let result = std::panic::catch_unwind(|| {
-            let progress = Progress::new("t", 3);
+            let progress = Progress::new("t", 4);
             run_ordered(
-                vec![1u64, 2, 3],
-                2,
+                vec![1u64, 2, 3, 4],
+                1,
                 &progress,
                 |_| 1,
                 |j| {
-                    assert!(j != 2, "boom");
+                    assert!(j < 3, "boom {j}");
                     j
                 },
             )
         });
-        assert!(result.is_err());
+        let payload = result.expect_err("batch with failures re-raises");
+        let message = payload
+            .downcast_ref::<String>()
+            .expect("assert! payload is a String");
+        assert!(message.contains("boom 3"), "lowest failed index: {message}");
+    }
+
+    #[test]
+    fn retry_and_deadline_env_defaults() {
+        // Not set by any test harness: documents the defaults the fault
+        // domain runs with.
+        if std::env::var("FLATWALK_CELL_RETRIES").is_err() {
+            assert_eq!(cell_retries(), 1);
+        }
+        if std::env::var("FLATWALK_CELL_DEADLINE_SECS").is_err() {
+            assert_eq!(cell_deadline(), Duration::from_secs(300));
+        }
     }
 }

@@ -31,11 +31,13 @@ use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Duration;
 
+use flatwalk_faults::FaultyAllocator;
 use flatwalk_os::{
     AddressSpace, AddressSpaceSpec, BuddyAllocator, FragmentationScenario, FrozenSpace,
     FrozenVirtSpace, VirtSpec, VirtualizedSpace,
 };
-use flatwalk_pt::Layout;
+use flatwalk_pt::{Layout, PhysAllocator};
+use flatwalk_types::rng::{splitmix_mix, SplitMix64};
 use flatwalk_workloads::{AccessStream, WorkloadSpec};
 
 /// Cache key for a native address space: every input that influences
@@ -49,6 +51,9 @@ struct NativeKey {
     scenario_bits: u64,
     nf_threshold: Option<u32>,
     phys_mem_bytes: u64,
+    /// [`flatwalk_faults::signature_active`] at build time: snapshots
+    /// built under different fault plans (or none) never alias.
+    faults_sig: u64,
 }
 
 impl NativeKey {
@@ -60,6 +65,7 @@ impl NativeKey {
             scenario_bits: spec.scenario.large_page_fraction.to_bits(),
             nf_threshold: spec.nf_threshold,
             phys_mem_bytes,
+            faults_sig: flatwalk_faults::signature_active(),
         }
     }
 }
@@ -84,6 +90,7 @@ struct MulticoreKey {
     scenario_bits: u64,
     footprint_divisor: u64,
     phys_mem_bytes: u64,
+    faults_sig: u64,
 }
 
 /// Cache key for a generated access-stream prefix. Offsets are
@@ -259,13 +266,46 @@ where
     Arc::clone(value)
 }
 
+/// Runs `build` against `buddy`, decorated by the active fault plan's
+/// allocation-fault injector (identity when no plan injects allocation
+/// faults). The fault stream is derived only from the plan seed and
+/// `salt` — which must come from cache-key inputs — so identical keys
+/// always see identical fault sequences, regardless of cache state,
+/// build order, or thread count. A `frag` plan additionally shreds part
+/// of the pool first; the held frames stay live for the whole build,
+/// keeping the fragmentation pressure on.
+fn with_fault_alloc<T>(
+    buddy: &mut BuddyAllocator,
+    salt: u64,
+    build: impl FnOnce(&mut dyn PhysAllocator) -> T,
+) -> T {
+    match flatwalk_faults::active().filter(|p| p.alloc_faults()) {
+        Some(plan) => {
+            if let Some((hold_fraction, max_bytes)) = plan.frag_campaign() {
+                let mut rng = SplitMix64::new(splitmix_mix(plan.seed) ^ salt);
+                let _held = buddy.fragment_region(&mut rng, hold_fraction, max_bytes);
+            }
+            let mut faulty =
+                FaultyAllocator::new(buddy, plan.seed ^ salt, plan.refusal_probability());
+            build(&mut faulty)
+        }
+        None => build(buddy),
+    }
+}
+
+fn native_fault_salt(spec: &AddressSpaceSpec) -> u64 {
+    splitmix_mix(spec.base_va)
+        ^ splitmix_mix(spec.footprint)
+        ^ spec.scenario.large_page_fraction.to_bits()
+}
+
 fn build_native(spec: &AddressSpaceSpec, phys_mem_bytes: u64) -> Arc<FrozenSpace> {
     let mut buddy = BuddyAllocator::new(0, phys_mem_bytes);
-    Arc::new(
-        AddressSpace::build(spec.clone(), &mut buddy)
+    let space = with_fault_alloc(&mut buddy, native_fault_salt(spec), |alloc| {
+        AddressSpace::build(spec.clone(), alloc)
             .unwrap_or_else(|e| panic!("failed to build address space: {e}"))
-            .freeze(),
-    )
+    });
+    Arc::new(space.freeze())
 }
 
 /// Returns the frozen snapshot for `spec`, building it on the first
@@ -302,11 +342,14 @@ fn build_virt(
     // power of two, placed above guest-physical addresses).
     let host_bytes = (vspec.guest_mem_bytes * 2).max(phys_mem_bytes.next_power_of_two());
     let mut host_alloc = BuddyAllocator::new(host_bytes, host_bytes);
-    Arc::new(
-        VirtualizedSpace::build(vspec, &mut host_alloc)
+    let salt = native_fault_salt(guest_spec)
+        ^ splitmix_mix(host_scenario.large_page_fraction.to_bits())
+        ^ flatwalk_faults::mix_str("virt-host");
+    let vspace = with_fault_alloc(&mut host_alloc, salt, |alloc| {
+        VirtualizedSpace::build(vspec, alloc)
             .unwrap_or_else(|e| panic!("failed to build virtualized space: {e}"))
-            .freeze(),
-    )
+    });
+    Arc::new(vspace.freeze())
 }
 
 /// Returns the frozen guest + host snapshot for the given virtualized
@@ -350,24 +393,32 @@ fn build_multicore(
     phys_mem_bytes: u64,
 ) -> Arc<Vec<Arc<FrozenSpace>>> {
     let mut buddy = BuddyAllocator::new(0, phys_mem_bytes);
-    let spaces = parts
+    let salt = parts
         .iter()
-        .enumerate()
-        .map(|(i, name)| {
-            let spec = WorkloadSpec::by_name(name)
-                .unwrap_or_else(|| panic!("unknown benchmark {name:?}"))
-                .scaled_down(footprint_divisor);
-            let space_spec = AddressSpaceSpec::new(layout.clone(), spec.footprint)
-                .with_scenario(scenario)
-                .with_nf_threshold(nf_threshold)
-                .with_base_va(multicore_base_va(i));
-            Arc::new(
-                AddressSpace::build(space_spec, &mut buddy)
-                    .unwrap_or_else(|e| panic!("core {i} address space: {e}"))
-                    .freeze(),
-            )
+        .fold(splitmix_mix(footprint_divisor), |acc, name| {
+            acc ^ flatwalk_faults::mix_str(name)
         })
-        .collect();
+        ^ scenario.large_page_fraction.to_bits();
+    let spaces = with_fault_alloc(&mut buddy, salt, |alloc| {
+        parts
+            .iter()
+            .enumerate()
+            .map(|(i, name)| {
+                let spec = WorkloadSpec::by_name(name)
+                    .unwrap_or_else(|| panic!("unknown benchmark {name:?}"))
+                    .scaled_down(footprint_divisor);
+                let space_spec = AddressSpaceSpec::new(layout.clone(), spec.footprint)
+                    .with_scenario(scenario)
+                    .with_nf_threshold(nf_threshold)
+                    .with_base_va(multicore_base_va(i));
+                Arc::new(
+                    AddressSpace::build(space_spec, &mut *alloc)
+                        .unwrap_or_else(|e| panic!("core {i} address space: {e}"))
+                        .freeze(),
+                )
+            })
+            .collect()
+    });
     Arc::new(spaces)
 }
 
@@ -405,6 +456,7 @@ pub fn frozen_multicore_spaces(
         scenario_bits: scenario.large_page_fraction.to_bits(),
         footprint_divisor,
         phys_mem_bytes,
+        faults_sig: flatwalk_faults::signature_active(),
     };
     get_or_build(&caches().multicore, key, || {
         build_multicore(

@@ -300,7 +300,20 @@ impl VirtualizedSimulation {
     }
 
     /// Runs warm-up then measurement; returns the report.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an untranslatable guest access — use
+    /// [`VirtualizedSimulation::try_run`] to get a structured
+    /// [`SimError`](crate::SimError) instead.
     pub fn run(self) -> SimReport {
+        self.try_run().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Runs warm-up then measurement; returns the report, or a
+    /// [`SimError`](crate::SimError) identifying the exact guest access
+    /// that failed to translate.
+    pub fn try_run(self) -> Result<SimReport, crate::SimError> {
         let start = Instant::now();
         let VirtualizedSimulation {
             spec,
@@ -326,6 +339,18 @@ impl VirtualizedSimulation {
         let mut cycles_f = 0.0f64;
         let mut instructions = 0u64;
 
+        // Deterministic mid-run mutation schedule (see native.rs).
+        let total_ops = opts.warmup_ops + opts.measure_ops;
+        let fault_salt = flatwalk_faults::mix_str(spec.name)
+            ^ flatwalk_faults::mix_str(config.label)
+            ^ flatwalk_types::rng::splitmix_mix(spec.footprint);
+        let events = flatwalk_faults::active()
+            .map(|p| p.mutation_events(fault_salt, total_ops))
+            .unwrap_or_default();
+        let mut next_event = 0usize;
+        let mut faults = flatwalk_faults::FaultStats::default();
+        let mut stream_pos = 0u64;
+
         for phase in 0..2u32 {
             let ops = if phase == 0 {
                 opts.warmup_ops
@@ -344,10 +369,27 @@ impl VirtualizedSimulation {
                         mmu.context_switch();
                     }
                 }
+                while next_event < events.len() && events[next_event].0 == stream_pos {
+                    let kind = events[next_event].1;
+                    next_event += 1;
+                    let flushed = mmu.shootdown();
+                    let cost = flatwalk_faults::shootdown_cost(flushed);
+                    cycles_f += cost as f64;
+                    faults.note(kind);
+                    flatwalk_obs::trace::emit_fault(kind.name(), stream_pos, flushed, cost);
+                }
                 let va = stream.next_va();
                 let t = mmu
                     .access(&aspace, &mut hier, va, OwnerId::SINGLE)
-                    .unwrap_or_else(|e| panic!("unmapped guest access {va}: {e}"));
+                    .map_err(|e| crate::SimError {
+                        scheme: config.label,
+                        workload: spec.name.to_string(),
+                        core: None,
+                        va,
+                        stream_pos,
+                        source: e,
+                    })?;
+                stream_pos += 1;
                 instructions += work + 1;
                 let translation_stall = t.translation_latency.saturating_sub(1);
                 let data_stall = t.data_latency.saturating_sub(l1_lat) as f64 * exposure;
@@ -367,9 +409,10 @@ impl VirtualizedSimulation {
             census: *vspace.guest().census(),
             phase_flips: mmu.phase_flips(),
             pwc: mmu.pwc_stats().unwrap_or_default(),
+            faults,
         };
         setup::record_run_time(start.elapsed());
-        report
+        Ok(report)
     }
 }
 

@@ -170,6 +170,11 @@ impl UnifiedTlb {
     pub fn flush(&mut self) {
         self.valid.fill(0);
     }
+
+    /// Number of valid entries currently cached (shootdown accounting).
+    pub fn occupancy(&self) -> u64 {
+        self.valid.iter().map(|m| m.count_ones() as u64).sum()
+    }
 }
 
 /// Outcome of a TLB-system lookup.
@@ -359,6 +364,18 @@ impl TlbSystem {
         self.l1_2m.flush();
         self.l1_1g.flush();
         self.l2.flush();
+    }
+
+    /// Models a TLB shootdown: flushes every array and returns how many
+    /// valid translations were invalidated (the refill debt the cores
+    /// will pay walking them back in).
+    pub fn shootdown(&mut self) -> u64 {
+        let flushed = self.l1_4k.occupancy()
+            + self.l1_2m.occupancy()
+            + self.l1_1g.occupancy()
+            + self.l2.occupancy();
+        self.flush();
+        flushed
     }
 }
 

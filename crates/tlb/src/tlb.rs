@@ -233,6 +233,11 @@ impl Tlb {
     pub fn flush(&mut self) {
         self.valid.fill(0);
     }
+
+    /// Number of valid entries currently cached (shootdown accounting).
+    pub fn occupancy(&self) -> u64 {
+        self.valid.iter().map(|m| m.count_ones() as u64).sum()
+    }
 }
 
 #[cfg(test)]

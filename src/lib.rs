@@ -50,6 +50,7 @@
 #![forbid(unsafe_code)]
 
 pub use flatwalk_baselines as baselines;
+pub use flatwalk_faults as faults;
 pub use flatwalk_mem as mem;
 pub use flatwalk_mmu as mmu;
 pub use flatwalk_os as os;

@@ -3,6 +3,7 @@
 
 use proptest::prelude::*;
 
+use flatwalk::faults::FaultyAllocator;
 use flatwalk::mem::{Cache, CacheConfig};
 use flatwalk::os::BuddyAllocator;
 use flatwalk::pt::PhysAllocator;
@@ -126,5 +127,70 @@ proptest! {
             let live_bytes: u64 = live.iter().map(|(_, b)| b).sum();
             prop_assert_eq!(buddy.free_bytes(), total - live_bytes);
         }
+    }
+
+    /// The fault-injecting decorator may refuse large requests but must
+    /// never corrupt the buddy underneath: surviving allocations stay
+    /// disjoint and aligned, a full free coalesces back to the single
+    /// max-order block, and the stats never count more failures than
+    /// attempts.
+    #[test]
+    fn faulty_allocator_preserves_buddy_invariants(
+        seed in 0u64..5000,
+        refusal_pct in 0u32..101,
+        ops in prop::collection::vec(0u8..4, 1..150),
+    ) {
+        let refusal = refusal_pct as f64 / 100.0;
+        let total: u64 = 64 << 20;
+        let mut buddy = BuddyAllocator::new(0, total);
+        let mut live: Vec<(u64, PageSize)> = Vec::new();
+        let injected;
+        {
+            let mut faulty = FaultyAllocator::new(&mut buddy, seed, refusal);
+            for op in ops {
+                let size = match op {
+                    0 => PageSize::Size4K,
+                    1 => PageSize::Size2M,
+                    2 => PageSize::Size1G,
+                    _ => {
+                        if let Some((a, s)) = live.pop() {
+                            faulty.release(PhysAddr::new(a), s);
+                        }
+                        continue;
+                    }
+                };
+                if let Some(pa) = faulty.alloc(size) {
+                    let bytes = size.bytes();
+                    prop_assert_eq!(pa.raw() % bytes, 0, "natural alignment violated");
+                    prop_assert!(pa.raw() + bytes <= total, "block exceeds region");
+                    for &(a, s) in &live {
+                        let b = s.bytes();
+                        prop_assert!(
+                            pa.raw() + bytes <= a || a + b <= pa.raw(),
+                            "overlap: new [{:#x},+{:#x}) with [{:#x},+{:#x})",
+                            pa.raw(), bytes, a, b
+                        );
+                    }
+                    live.push((pa.raw(), size));
+                }
+            }
+            injected = faulty.injected();
+        }
+        if refusal_pct == 0 {
+            prop_assert_eq!(injected, 0, "no refusals allowed at zero probability");
+        }
+        for (a, _) in live {
+            buddy.free(PhysAddr::new(a));
+        }
+        prop_assert_eq!(buddy.free_bytes(), total);
+        prop_assert_eq!(
+            buddy.largest_free_order(),
+            Some((total / 4096).trailing_zeros()),
+            "full free must restore the single max-order block"
+        );
+        let s = buddy.stats();
+        prop_assert!(s.small.0 >= s.small.1, "4K attempts < failures");
+        prop_assert!(s.huge.0 >= s.huge.1, "2M attempts < failures");
+        prop_assert!(s.giant.0 >= s.giant.1, "1G attempts < failures");
     }
 }
