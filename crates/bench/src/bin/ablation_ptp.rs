@@ -3,10 +3,7 @@
 //! this ratio works well") and the high-TLB-miss phase threshold that
 //! gates prioritization.
 
-use flatwalk_bench::{geomean_speedup, pct, print_table, run_cells, GridCell, Mode};
-use flatwalk_os::FragmentationScenario;
-use flatwalk_sim::TranslationConfig;
-use flatwalk_workloads::WorkloadSpec;
+use flatwalk_bench::{geomean_speedup, grids, pct, print_table, run_cells, Mode};
 
 fn main() {
     let mode = Mode::from_args();
@@ -16,59 +13,12 @@ fn main() {
         mode.banner()
     );
 
-    let suite = if mode == Mode::Quick {
-        vec![WorkloadSpec::gups(), WorkloadSpec::xsbench()]
-    } else {
-        vec![
-            WorkloadSpec::gups(),
-            WorkloadSpec::random_access(),
-            WorkloadSpec::xsbench(),
-            WorkloadSpec::graph500(),
-            WorkloadSpec::mcf(),
-            WorkloadSpec::dc(),
-        ]
-    };
-    let scenario = FragmentationScenario::NONE;
-    let biases = [0.0, 0.5, 0.9, 0.99, 1.0];
-    let thresholds = [0.0, 0.005, 0.02, 0.1, 0.5];
+    let suite = grids::ablation_ptp_suite(mode);
+    let biases = grids::ABLATION_PTP_BIASES;
+    let thresholds = grids::ABLATION_PTP_THRESHOLDS;
 
     // One batch: the shared baseline suite, then both sweeps.
-    let mut cells: Vec<GridCell> = suite
-        .iter()
-        .map(|w| {
-            GridCell::new(
-                w.clone(),
-                TranslationConfig::baseline(),
-                scenario,
-                opts.clone(),
-            )
-        })
-        .collect();
-    for bias in biases {
-        let mut o = opts.clone();
-        o.ptp_bias = bias;
-        cells.extend(suite.iter().map(|w| {
-            GridCell::new(
-                w.clone(),
-                TranslationConfig::prioritized(),
-                scenario,
-                o.clone(),
-            )
-        }));
-    }
-    for threshold in thresholds {
-        let mut o = opts.clone();
-        o.phase_threshold = threshold;
-        cells.extend(suite.iter().map(|w| {
-            GridCell::new(
-                w.clone(),
-                TranslationConfig::prioritized(),
-                scenario,
-                o.clone(),
-            )
-        }));
-    }
-    let all = run_cells("ablation_ptp", cells);
+    let all = run_cells("ablation_ptp", grids::ablation_ptp(mode, &opts).cells);
     let base = &all[..suite.len()];
     let mut sweep_chunks = all[suite.len()..].chunks(suite.len());
 

@@ -4,40 +4,18 @@
 //! prioritization, and (right) dynamic cache/DRAM energy of the
 //! combination.
 
-use flatwalk_bench::{pct, print_table, run_cells, GridCell, Mode};
-use flatwalk_os::FragmentationScenario;
-use flatwalk_sim::TranslationConfig;
-use flatwalk_workloads::WorkloadSpec;
+use flatwalk_bench::{grids, pct, print_table, run_cells, Mode};
 
 fn main() {
     let mode = Mode::from_args();
     let opts = mode.server_options();
     println!("Figure 1 — headline effects ({})", mode.banner());
 
-    let configs = [
-        TranslationConfig::baseline(),
-        TranslationConfig::flattened(),
-        TranslationConfig::prioritized(),
-        TranslationConfig::flattened_prioritized(),
-    ];
-    let specs = [WorkloadSpec::gups(), WorkloadSpec::dc()];
-    let cells: Vec<GridCell> = specs
-        .iter()
-        .flat_map(|spec| {
-            configs.iter().map(|c| {
-                GridCell::new(
-                    spec.clone(),
-                    c.clone(),
-                    FragmentationScenario::NONE,
-                    opts.clone(),
-                )
-            })
-        })
-        .collect();
-    let all = run_cells("fig01", cells);
+    let per_spec = grids::fig01_configs().len();
+    let all = run_cells("fig01", grids::fig01(mode, &opts).cells);
 
     let mut rows = Vec::new();
-    for reports in all.chunks(configs.len()) {
+    for reports in all.chunks(per_spec) {
         let base = &reports[0];
         for r in reports {
             rows.push(vec![

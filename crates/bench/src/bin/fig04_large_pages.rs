@@ -4,10 +4,7 @@
 //! Evaluated at 50 % and 100 % large pages, normalized to the 0 % LP
 //! baseline (THP = conventional table with large pages).
 
-use flatwalk_bench::{pct, print_table, run_cells, GridCell, Mode};
-use flatwalk_os::FragmentationScenario;
-use flatwalk_sim::TranslationConfig;
-use flatwalk_workloads::WorkloadSpec;
+use flatwalk_bench::{grids, pct, print_table, run_cells, Mode};
 
 fn main() {
     let mode = Mode::from_args();
@@ -17,47 +14,19 @@ fn main() {
         mode.banner()
     );
 
-    let suite = [
-        WorkloadSpec::gups(),
-        WorkloadSpec::xsbench(),
-        WorkloadSpec::graph500(),
-        WorkloadSpec::hashjoin(),
-    ];
-    let configs = [
-        ("THP", TranslationConfig::baseline()),
-        ("FPT (no NF)", TranslationConfig::flattened_no_nf()),
-        ("FPT+NF", TranslationConfig::flattened()),
-    ];
-    let scenarios = [
-        (FragmentationScenario::HALF, "50% LP"),
-        (FragmentationScenario::FULL, "100% LP"),
-    ];
+    let suite = grids::fig04_suite();
+    let configs = grids::fig04_configs();
+    let scenarios = ["50% LP", "100% LP"];
 
     // Per workload: its 0 % LP baseline followed by the scenario grid.
-    let cells: Vec<GridCell> = suite
-        .iter()
-        .flat_map(|spec| {
-            std::iter::once(GridCell::new(
-                spec.clone(),
-                TranslationConfig::baseline(),
-                FragmentationScenario::NONE,
-                opts.clone(),
-            ))
-            .chain(scenarios.iter().flat_map(|(scenario, _)| {
-                configs.iter().map(|(_, cfg)| {
-                    GridCell::new(spec.clone(), cfg.clone(), *scenario, opts.clone())
-                })
-            }))
-        })
-        .collect();
     let per_spec = 1 + scenarios.len() * configs.len();
-    let all = run_cells("fig04", cells);
+    let all = run_cells("fig04", grids::fig04(mode, &opts).cells);
 
     let mut rows = Vec::new();
     for (spec, group) in suite.iter().zip(all.chunks(per_spec)) {
         let base0 = &group[0];
         let mut rest = group[1..].iter();
-        for (_, slabel) in scenarios {
+        for slabel in scenarios {
             for (label, _) in &configs {
                 let r = rest.next().unwrap();
                 rows.push(vec![

@@ -3,7 +3,7 @@
 //! fragmentation scenarios, normalized to the 0 % LP baseline.
 
 use flatwalk_baselines::{AsapScheme, EchScheme, PomTlbScheme, SchemeSimulation};
-use flatwalk_bench::{pct, print_table, run_cells, run_jobs, scenarios, GridCell, Mode};
+use flatwalk_bench::{grids, pct, print_table, run_cells, run_jobs, scenarios, Mode};
 use flatwalk_os::FragmentationScenario;
 use flatwalk_sim::{SimOptions, SimReport, TranslationConfig};
 use flatwalk_types::stats::geometric_mean;
@@ -44,54 +44,18 @@ fn main() {
         mode.banner()
     );
 
-    let suite = if mode == Mode::Quick {
-        // A representative subset keeps quick mode quick.
-        vec![
-            WorkloadSpec::bfs(),
-            WorkloadSpec::dc(),
-            WorkloadSpec::hashjoin(),
-            WorkloadSpec::mcf(),
-            WorkloadSpec::xsbench(),
-            WorkloadSpec::gups(),
-            WorkloadSpec::random_access(),
-        ]
-    } else {
-        WorkloadSpec::suite()
-    };
+    let suite = grids::fig09_suite(mode);
     let ours = TranslationConfig::fig9_set();
     let schemes = ["ASAP", "ECH", "CSALT"];
 
     // Normalization: every scenario's results are shown relative to the
     // *0 % LP* baseline, as in the stacked bars of Fig. 9 — computed
     // once and shared across scenarios (cells are deterministic).
-    let base0 = run_cells(
-        "fig09:base",
-        suite
-            .iter()
-            .map(|w| {
-                GridCell::new(
-                    w.clone(),
-                    TranslationConfig::baseline(),
-                    FragmentationScenario::NONE,
-                    opts.clone(),
-                )
-            })
-            .collect(),
-    );
+    let base0 = run_cells("fig09:base", grids::fig09_base(mode, &opts).cells);
 
     // The full (scenario × config × workload) grid for our configs, and
     // the (scenario × scheme × workload) grid for the prior schemes.
-    let native_cells: Vec<GridCell> = scenarios()
-        .iter()
-        .flat_map(|(scenario, _)| {
-            ours.iter().flat_map(|cfg| {
-                suite
-                    .iter()
-                    .map(|w| GridCell::new(w.clone(), cfg.clone(), *scenario, opts.clone()))
-            })
-        })
-        .collect();
-    let native_reports = run_cells("fig09:native", native_cells);
+    let native_reports = run_cells("fig09:native", grids::fig09_native(mode, &opts).cells);
 
     let scheme_jobs: Vec<(&str, WorkloadSpec, FragmentationScenario)> = scenarios()
         .iter()

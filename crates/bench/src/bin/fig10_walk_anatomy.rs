@@ -2,8 +2,7 @@
 //! memory accesses per walk (top) and walk latency in cycles (bottom),
 //! for the baseline, FPT, PTP and FPT+PTP.
 
-use flatwalk_bench::{print_table, run_cells, GridCell, Mode};
-use flatwalk_os::FragmentationScenario;
+use flatwalk_bench::{grids, print_table, run_cells, Mode};
 use flatwalk_sim::TranslationConfig;
 use flatwalk_types::stats::mean;
 use flatwalk_workloads::WorkloadSpec;
@@ -19,20 +18,7 @@ fn main() {
     let suite = WorkloadSpec::suite();
     let configs = TranslationConfig::fig9_set();
 
-    let cells: Vec<GridCell> = configs
-        .iter()
-        .flat_map(|cfg| {
-            suite.iter().map(|w| {
-                GridCell::new(
-                    w.clone(),
-                    cfg.clone(),
-                    FragmentationScenario::NONE,
-                    opts.clone(),
-                )
-            })
-        })
-        .collect();
-    let all = run_cells("fig10", cells);
+    let all = run_cells("fig10", grids::fig10(mode, &opts).cells);
 
     let mut acc_rows = Vec::new();
     let mut lat_rows = Vec::new();

@@ -2,56 +2,18 @@
 //! entries on GUPS, versus the benefit of flattening; plus the L2-PWC
 //! size that would be needed to match flattening's single-access walks.
 
-use flatwalk_bench::{pct, print_table, run_cells, GridCell, Mode};
-use flatwalk_os::FragmentationScenario;
-use flatwalk_sim::TranslationConfig;
-use flatwalk_tlb::PwcConfig;
-use flatwalk_workloads::WorkloadSpec;
+use flatwalk_bench::{grids, pct, print_table, run_cells, Mode};
 
 fn main() {
     let mode = Mode::from_args();
     let opts = mode.server_options();
     println!("§7.1 — PWC sweep on GUPS ({})", mode.banner());
 
-    let spec = WorkloadSpec::gups();
-    let scenario = FragmentationScenario::NONE;
-
     // The whole sweep is one batch: every point varies only its
     // SimOptions (PWC geometry) or config, which ride in the cell.
-    let mut labels: Vec<String> = Vec::new();
-    let mut cells: Vec<GridCell> = Vec::new();
-    for entries in [1usize, 2, 4, 8, 16] {
-        let mut o = opts.clone();
-        o.pwc = PwcConfig::server_with_l3_entries(entries);
-        labels.push(format!("base, L3-PSC={entries}"));
-        cells.push(GridCell::new(
-            spec.clone(),
-            TranslationConfig::baseline(),
-            scenario,
-            o,
-        ));
-    }
-    // Flattening reference on the stock PSC budget.
-    labels.push("FPT (stock PSC)".to_string());
-    cells.push(GridCell::new(
-        spec.clone(),
-        TranslationConfig::flattened(),
-        scenario,
-        opts.clone(),
-    ));
-    // Large L2 ("27-bit") PWC equivalence point.
-    for entries in [256usize, 1024, 4096] {
-        let mut o = opts.clone();
-        o.pwc = PwcConfig::server_with_l2_entries(entries);
-        labels.push(format!("base, L2-PSC={entries}"));
-        cells.push(GridCell::new(
-            spec.clone(),
-            TranslationConfig::baseline(),
-            scenario,
-            o,
-        ));
-    }
-    let reports = run_cells("sec71_pwc", cells);
+    let grid = grids::sec71_pwc(mode, &opts);
+    let labels = grid.labels;
+    let reports = run_cells("sec71_pwc", grid.cells);
     let base4_ipc = reports[2].ipc();
 
     let table: Vec<Vec<String>> = labels

@@ -2,58 +2,25 @@
 //! prioritization as the leaf page table grows relative to the LLC
 //! (modelled, as in the paper, by shrinking the LLC 2x/4x/8x/16x).
 
-use flatwalk_bench::{geomean_speedup, pct, print_table, run_cells, GridCell, Mode};
-use flatwalk_os::FragmentationScenario;
-use flatwalk_sim::TranslationConfig;
-use flatwalk_workloads::WorkloadSpec;
+use flatwalk_bench::{geomean_speedup, grids, pct, print_table, run_cells, Mode};
 
 fn main() {
     let mode = Mode::from_args();
     let opts = mode.server_options();
     println!("§7.1 — PT:LLC ratio sweep ({})", mode.banner());
 
-    let suite = if mode == Mode::Quick {
-        vec![
-            WorkloadSpec::gups(),
-            WorkloadSpec::xsbench(),
-            WorkloadSpec::mcf(),
-        ]
-    } else {
-        vec![
-            WorkloadSpec::gups(),
-            WorkloadSpec::random_access(),
-            WorkloadSpec::xsbench(),
-            WorkloadSpec::mcf(),
-            WorkloadSpec::graph500(),
-            WorkloadSpec::hashjoin(),
-            WorkloadSpec::liblinear_higgs(),
-        ]
-    };
-    let scenario = FragmentationScenario::NONE;
+    let suite = grids::sec71_ratio_suite(mode);
     let llc_full = opts.hierarchy.l3.size_bytes;
-    let shrinks = [1u64, 2, 4, 8, 16];
 
     // Per shrink factor: the baseline suite then the PTP suite, all in
     // one batch across the pool.
-    let mut cells: Vec<GridCell> = Vec::new();
-    for &shrink in &shrinks {
-        let mut o = opts.clone();
-        o.hierarchy = o.hierarchy.with_llc_bytes((llc_full / shrink).max(1 << 20));
-        for cfg in [
-            TranslationConfig::baseline(),
-            TranslationConfig::prioritized(),
-        ] {
-            cells.extend(
-                suite
-                    .iter()
-                    .map(|w| GridCell::new(w.clone(), cfg.clone(), scenario, o.clone())),
-            );
-        }
-    }
-    let all = run_cells("sec71_ratio", cells);
+    let all = run_cells("sec71_ratio", grids::sec71_ratio(mode, &opts).cells);
 
     let mut rows = Vec::new();
-    for (&shrink, group) in shrinks.iter().zip(all.chunks(2 * suite.len())) {
+    for (&shrink, group) in grids::SEC71_RATIO_SHRINKS
+        .iter()
+        .zip(all.chunks(2 * suite.len()))
+    {
         let (base, ptp) = group.split_at(suite.len());
         let g = geomean_speedup(ptp, base);
         rows.push(vec![

@@ -4,11 +4,11 @@
 //! data pages dominate (single-access large-page walks, Fig. 3 right).
 
 use flatwalk_bench::{
-    geomean_speedup, pct, print_table, run_cells, run_jobs, scenarios, GridCell, Mode,
+    geomean_speedup, grids, pct, print_table, run_cells, run_jobs, scenarios, Mode,
 };
 use flatwalk_os::FragmentationScenario;
 use flatwalk_pt::Layout;
-use flatwalk_sim::{SimReport, TranslationConfig, VirtConfig, VirtualizedSimulation};
+use flatwalk_sim::{SimReport, VirtConfig, VirtualizedSimulation};
 use flatwalk_types::stats::geometric_mean;
 use flatwalk_workloads::WorkloadSpec;
 
@@ -17,51 +17,11 @@ fn main() {
     let opts = mode.server_options();
     println!("§7.5 — flattening other levels ({})", mode.banner());
 
-    let suite = if mode == Mode::Quick {
-        vec![
-            WorkloadSpec::gups(),
-            WorkloadSpec::xsbench(),
-            WorkloadSpec::bfs(),
-            WorkloadSpec::hashjoin(),
-        ]
-    } else {
-        vec![
-            WorkloadSpec::gups(),
-            WorkloadSpec::random_access(),
-            WorkloadSpec::xsbench(),
-            WorkloadSpec::bfs(),
-            WorkloadSpec::mcf(),
-            WorkloadSpec::hashjoin(),
-            WorkloadSpec::graph500(),
-            WorkloadSpec::liblinear(),
-        ]
-    };
-
-    let flat3 = TranslationConfig {
-        label: "FPT(1GB L4+L3+L2)",
-        layout: Layout::flat_l4l3l2(),
-        ptp: false,
-        nf_threshold: None,
-    };
-    let native_configs = [
-        TranslationConfig::baseline(),
-        TranslationConfig::flattened_l3l2(),
-        flat3,
-        TranslationConfig::flattened(),
-    ];
+    let suite = grids::sec75_suite(mode);
+    let native_configs = grids::sec75_native_configs();
 
     // Native: per scenario, the baseline suite then each flattening.
-    let native_cells: Vec<GridCell> = scenarios()
-        .iter()
-        .flat_map(|(scenario, _)| {
-            native_configs.iter().flat_map(|cfg| {
-                suite
-                    .iter()
-                    .map(|w| GridCell::new(w.clone(), cfg.clone(), *scenario, opts.clone()))
-            })
-        })
-        .collect();
-    let native = run_cells("sec75:native", native_cells);
+    let native = run_cells("sec75:native", grids::sec75_native(mode, &opts).cells);
 
     // Virtualized: per scenario, the 2-D baseline then both-dimension
     // flattening with each layout choice.

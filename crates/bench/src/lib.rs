@@ -18,6 +18,7 @@ use flatwalk_types::stats::geometric_mean;
 use flatwalk_workloads::WorkloadSpec;
 
 pub mod emit;
+pub mod grids;
 
 pub use flatwalk_sim::runner::Cell as GridCell;
 
@@ -114,6 +115,19 @@ impl Mode {
             }
         }
         Mode::Std
+    }
+
+    /// Parses a mode name as it appears on the wire (`"quick"`,
+    /// `"std"`, `"paper"`; case-insensitive). Unlike [`Mode::from_args`]
+    /// this touches no process-global state, so the server can resolve
+    /// per-request modes with it.
+    pub fn parse(name: &str) -> Option<Mode> {
+        match name.trim().to_ascii_lowercase().as_str() {
+            "quick" => Some(Mode::Quick),
+            "std" => Some(Mode::Std),
+            "paper" => Some(Mode::Paper),
+            _ => None,
+        }
     }
 
     /// Simulation options for this mode on the server system.

@@ -21,11 +21,19 @@
 //!    cell that fails outright, for exercising the runner's fault
 //!    domains.
 //!
-//! A plan is installed process-wide ([`install`] / [`clear`] /
-//! [`active`]) and its [`signature`](FaultPlan::signature) participates
-//! in the setup-cache keys so faulted and fault-free snapshots never
+//! A plan can be installed at two levels. The 16 batch binaries install
+//! one plan **process-wide** ([`install`] / [`clear`]) — the whole grid
+//! runs under it. Concurrent services (the `flatwalk-serve` daemon)
+//! instead install a **scoped** plan per job on the worker thread that
+//! executes it ([`scoped`]); the scope overrides the process default
+//! for its dynamic extent, so jobs with different seeds (or none) can
+//! run side by side in one process. [`active`] resolves scoped-first,
+//! and the plan's [`signature`](FaultPlan::signature) participates in
+//! the setup-cache keys so faulted and fault-free snapshots never
 //! alias.
 
+use std::cell::RefCell;
+use std::marker::PhantomData;
 use std::sync::{Arc, RwLock};
 
 use flatwalk_pt::PhysAllocator;
@@ -247,18 +255,66 @@ pub fn mix_str(text: &str) -> u64 {
 
 static PLAN: RwLock<Option<Arc<FaultPlan>>> = RwLock::new(None);
 
-/// Installs a plan process-wide. Replaces any previous plan.
+thread_local! {
+    /// Stack of scoped per-job plans for this thread. The top entry
+    /// overrides the process-wide default — including `None`, which
+    /// means "this job runs fault-free even if a global plan exists".
+    static SCOPED: RefCell<Vec<Option<Arc<FaultPlan>>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// RAII guard for a scoped per-job plan (see [`scoped`]). Restores the
+/// previous resolution when dropped. Not `Send`: the scope must end on
+/// the thread that opened it.
+#[must_use = "the scope ends when this guard is dropped"]
+#[derive(Debug)]
+pub struct ScopedPlan {
+    _not_send: PhantomData<*const ()>,
+}
+
+impl Drop for ScopedPlan {
+    fn drop(&mut self) {
+        SCOPED.with(|s| {
+            s.borrow_mut().pop();
+        });
+    }
+}
+
+/// Installs `plan` for the current thread until the returned guard is
+/// dropped. `Some(plan)` makes [`active`] resolve to it; `None` forces
+/// fault-free execution, shadowing any process-wide plan. Scopes nest —
+/// the innermost wins.
+///
+/// Every experiment cell runs wholly on one worker thread, so wrapping
+/// a cell's execution in a scope gives that cell (and everything it
+/// builds through the setup cache) a private fault plan without
+/// touching the rest of the process.
+pub fn scoped(plan: Option<FaultPlan>) -> ScopedPlan {
+    SCOPED.with(|s| s.borrow_mut().push(plan.map(Arc::new)));
+    ScopedPlan {
+        _not_send: PhantomData,
+    }
+}
+
+/// Installs a plan process-wide (the batch-binary path: one plan for
+/// the whole grid). Replaces any previous plan; threads inside a
+/// [`scoped`] region keep their scoped resolution.
 pub fn install(plan: FaultPlan) {
     *PLAN.write().unwrap_or_else(|e| e.into_inner()) = Some(Arc::new(plan));
 }
 
-/// Removes the installed plan; subsequent runs are fault-free.
+/// Removes the process-wide plan; subsequent unscoped runs are
+/// fault-free.
 pub fn clear() {
     *PLAN.write().unwrap_or_else(|e| e.into_inner()) = None;
 }
 
-/// The currently installed plan, if any.
+/// The plan in effect on this thread: the innermost [`scoped`] plan if
+/// a scope is open (even when that plan is `None`), else the
+/// process-wide plan.
 pub fn active() -> Option<Arc<FaultPlan>> {
+    if let Some(top) = SCOPED.with(|s| s.borrow().last().cloned()) {
+        return top;
+    }
     PLAN.read().unwrap_or_else(|e| e.into_inner()).clone()
 }
 
@@ -460,5 +516,52 @@ mod tests {
         clear();
         assert!(active().is_none());
         assert_eq!(signature_active(), 0);
+    }
+
+    #[test]
+    fn scoped_plan_shadows_and_restores() {
+        // This thread's scope stack is private, so no cross-test races.
+        assert!(active().is_none() || active().is_some()); // baseline read
+        let outer = scoped(Some(FaultPlan::new(1, FaultProfile::Alloc)));
+        assert_eq!(active().unwrap().seed, 1);
+        {
+            let _inner = scoped(Some(FaultPlan::new(2, FaultProfile::Mutate)));
+            assert_eq!(active().unwrap().seed, 2);
+            assert_eq!(
+                signature_active(),
+                FaultPlan::new(2, FaultProfile::Mutate).signature()
+            );
+        }
+        assert_eq!(active().unwrap().seed, 1, "inner scope restored");
+        drop(outer);
+    }
+
+    #[test]
+    fn scoped_none_forces_fault_free() {
+        // A scoped `None` must shadow the thread's view even while other
+        // tests may install/clear the global plan concurrently.
+        let _scope = scoped(None);
+        assert!(active().is_none());
+        assert_eq!(signature_active(), 0);
+        {
+            let _nested = scoped(Some(FaultPlan::new(9, FaultProfile::Frag)));
+            assert_eq!(active().unwrap().seed, 9);
+        }
+        assert!(active().is_none());
+    }
+
+    #[test]
+    fn scopes_are_per_thread() {
+        let _scope = scoped(Some(FaultPlan::new(77, FaultProfile::Chaos)));
+        assert_eq!(active().unwrap().seed, 77);
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                // The other thread sees only the global resolution (which
+                // concurrent tests may set, but never to seed 77).
+                let theirs = active();
+                assert!(theirs.is_none_or(|p| p.seed != 77));
+            });
+        });
+        assert_eq!(active().unwrap().seed, 77);
     }
 }

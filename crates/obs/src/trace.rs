@@ -9,8 +9,8 @@
 //!
 //! Enable the JSONL sink with
 //! `FLATWALK_TRACE=<channels>:<path>` where `<channels>` is a
-//! comma-separated subset of `walks`, `phase`, `repl`, `faults` — e.g.
-//! `FLATWALK_TRACE=walks,phase:/tmp/trace.jsonl`. Each record is one
+//! comma-separated subset of `walks`, `phase`, `repl`, `faults`,
+//! `serve` — e.g. `FLATWALK_TRACE=walks,phase:/tmp/trace.jsonl`. Each record is one
 //! JSON object per line; see [`JsonlTracer`] for the schema. Tests
 //! install collecting tracers programmatically via [`install`].
 //!
@@ -37,6 +37,9 @@ pub struct Channels {
     pub repl: bool,
     /// Injected-fault events (mid-run shootdowns and friends).
     pub faults: bool,
+    /// `flatwalk-serve` request lifecycle events (submit, cell done,
+    /// cache hit, reject, drain).
+    pub serve: bool,
 }
 
 impl Channels {
@@ -47,6 +50,7 @@ impl Channels {
             phase: true,
             repl: true,
             faults: true,
+            serve: true,
         }
     }
 
@@ -60,6 +64,7 @@ impl Channels {
                 "phase" => ch.phase = true,
                 "repl" => ch.repl = true,
                 "faults" => ch.faults = true,
+                "serve" => ch.serve = true,
                 _ => return None,
             }
         }
@@ -71,6 +76,7 @@ impl Channels {
             | (self.phase as u8) << 1
             | (self.repl as u8) << 2
             | (self.faults as u8) << 3
+            | (self.serve as u8) << 4
     }
 }
 
@@ -143,6 +149,18 @@ pub struct FaultRecord {
     pub cost: u64,
 }
 
+/// One `flatwalk-serve` request-lifecycle event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeRecord<'a> {
+    /// What happened (`"submit"`, `"cell"`, `"cache_hit"`,
+    /// `"coalesced"`, `"reject"`, `"drain"`, `"shutdown"`, …).
+    pub op: &'a str,
+    /// Server-assigned job id (0 when the event precedes assignment).
+    pub job: u64,
+    /// Free-form detail (grid name, cell label, reject reason, …).
+    pub detail: &'a str,
+}
+
 /// A trace event consumer. All methods default to no-ops so sinks
 /// subscribe to only the channels they care about.
 pub trait Tracer: Send + Sync {
@@ -154,6 +172,8 @@ pub trait Tracer: Send + Sync {
     fn repl(&self, _cell: &str, _record: &ReplRecord<'_>) {}
     /// One injected fault event.
     fn fault(&self, _cell: &str, _record: &FaultRecord) {}
+    /// One server request-lifecycle event.
+    fn serve(&self, _cell: &str, _record: &ServeRecord<'_>) {}
 }
 
 /// Enabled-channel bitmask; 0 when tracing is off. The only tracing
@@ -191,6 +211,12 @@ pub fn repl_enabled() -> bool {
 #[inline]
 pub fn faults_enabled() -> bool {
     CHANNELS.load(Ordering::Relaxed) & 8 != 0
+}
+
+/// Whether server lifecycle events are being traced (one relaxed load).
+#[inline]
+pub fn serve_enabled() -> bool {
+    CHANNELS.load(Ordering::Relaxed) & 16 != 0
 }
 
 /// Whether any channel is being traced.
@@ -243,7 +269,7 @@ pub fn init_from_env() {
             Err(e) => eprintln!("FLATWALK_TRACE: cannot open {path:?}: {e}"),
         },
         None => eprintln!(
-            "FLATWALK_TRACE: expected <channels>:<path> with channels from walks,phase,repl,faults; got {spec:?}"
+            "FLATWALK_TRACE: expected <channels>:<path> with channels from walks,phase,repl,faults,serve; got {spec:?}"
         ),
     }
 }
@@ -298,6 +324,17 @@ pub fn emit_fault(kind: &'static str, op: u64, flushed: u64, cost: u64) {
         cost,
     };
     with_sink(|t, cell| t.fault(cell, &record));
+}
+
+/// Emits one server-lifecycle record. Guards internally on
+/// [`serve_enabled`] — request handling is far off any simulation hot
+/// path, so the extra load is irrelevant.
+pub fn emit_serve(op: &str, job: u64, detail: &str) {
+    if !serve_enabled() {
+        return;
+    }
+    let record = ServeRecord { op, job, detail };
+    with_sink(|t, cell| t.serve(cell, &record));
 }
 
 /// A line-per-record JSON sink.
@@ -393,6 +430,16 @@ impl Tracer for JsonlTracer {
             .push("cost", record.cost);
         self.write_line(&o);
     }
+
+    fn serve(&self, cell: &str, record: &ServeRecord<'_>) {
+        let mut o = Json::obj();
+        o.push("event", "serve")
+            .push("cell", cell)
+            .push("op", record.op)
+            .push("job", record.job)
+            .push("detail", record.detail);
+        self.write_line(&o);
+    }
 }
 
 #[cfg(test)]
@@ -409,8 +456,15 @@ mod tests {
             })
         );
         assert_eq!(
-            Channels::parse("walks,phase,repl,faults"),
+            Channels::parse("walks,phase,repl,faults,serve"),
             Some(Channels::all())
+        );
+        assert_eq!(
+            Channels::parse("serve"),
+            Some(Channels {
+                serve: true,
+                ..Default::default()
+            })
         );
         assert_eq!(
             Channels::parse("walks, repl"),
@@ -508,10 +562,18 @@ mod tests {
                 cost: 670,
             },
         );
+        tracer.serve(
+            "gups/FPT+PTP",
+            &ServeRecord {
+                op: "cache_hit",
+                job: 3,
+                detail: "sec71_pwc cell 2",
+            },
+        );
         drop(tracer);
         let text = std::fs::read_to_string(path).unwrap();
         let lines: Vec<&str> = text.lines().collect();
-        assert_eq!(lines.len(), 4);
+        assert_eq!(lines.len(), 5);
         for line in &lines {
             let v = crate::json::parse(line).unwrap();
             assert_eq!(
@@ -519,6 +581,9 @@ mod tests {
                 Some(Json::Str("gups/FPT+PTP".into()))
             );
         }
+        let serve = crate::json::parse(lines[4]).unwrap();
+        assert_eq!(serve.get("event").cloned(), Some(Json::Str("serve".into())));
+        assert_eq!(serve.get("job").unwrap().as_u64(), Some(3));
         let walk = crate::json::parse(lines[0]).unwrap();
         assert_eq!(walk.get("event").cloned(), Some(Json::Str("walk".into())));
         assert_eq!(walk.get("accesses").unwrap().as_u64(), Some(1));

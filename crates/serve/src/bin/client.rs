@@ -1,0 +1,267 @@
+//! `flatwalk-client` — command-line client for a running
+//! `flatwalk-serve` daemon.
+//!
+//! ```text
+//! flatwalk-client --connect HOST:PORT <command> [args]
+//! flatwalk-client --uds PATH          <command> [args]
+//!
+//! commands:
+//!   ping
+//!   submit GRID [--mode quick|std|paper] [--faults SEED[:PROFILE]]
+//!               [--warmup-ops N] [--measure-ops N]
+//!               [--footprint-divisor N] [--no-stream] [--json PATH]
+//!   status JOB
+//!   result JOB [--json PATH]
+//!   metrics
+//!   shutdown
+//! ```
+//!
+//! The connect address defaults to `$FLATWALK_SERVE_ADDR`. Replies are
+//! printed to stdout verbatim (newline-delimited JSON); `submit`
+//! streams per-cell progress as cells finish. `--json PATH`
+//! additionally collects the cell records into a
+//! `flatwalk-serve-v1` report file. Exit status is non-zero on
+//! connection errors, error replies, and jobs with failed cells.
+
+use std::process::ExitCode;
+
+use flatwalk_bench::Mode;
+use flatwalk_obs::{json, Json};
+use flatwalk_serve::client::Connection;
+use flatwalk_serve::proto::{JobSpec, PROTOCOL};
+
+const USAGE: &str = "usage: flatwalk-client (--connect HOST:PORT | --uds PATH) <command>
+commands: ping | submit GRID [opts] | status JOB | result JOB [--json PATH] | metrics | shutdown
+submit opts: --mode quick|std|paper  --faults SEED[:PROFILE]  --warmup-ops N
+             --measure-ops N  --footprint-divisor N  --no-stream  --json PATH";
+
+struct Target {
+    tcp: Option<String>,
+    uds: Option<String>,
+}
+
+impl Target {
+    fn connect(&self) -> Result<Connection, String> {
+        #[cfg(unix)]
+        if let Some(path) = &self.uds {
+            return Connection::connect_uds(std::path::Path::new(path))
+                .map_err(|e| format!("connect {path}: {e}"));
+        }
+        match &self.tcp {
+            Some(addr) => Connection::connect_tcp(addr).map_err(|e| format!("connect {addr}: {e}")),
+            None => Err(format!(
+                "no server address (use --connect/--uds or FLATWALK_SERVE_ADDR)\n{USAGE}"
+            )),
+        }
+    }
+}
+
+/// `line` if it parses as an error reply: `(kind, detail)`.
+fn parse_error(v: &Json) -> Option<(String, String)> {
+    if v.get("ok") != Some(&Json::Bool(false)) {
+        return None;
+    }
+    let field = |key: &str| match v.get(key) {
+        Some(Json::Str(s)) => s.clone(),
+        _ => String::new(),
+    };
+    Some((field("error"), field("detail")))
+}
+
+fn write_json_report(path: &str, job: u64, grid: &str, records: &[Json]) -> Result<(), String> {
+    let mut report = Json::obj();
+    report
+        .push("schema", PROTOCOL)
+        .push("job", job)
+        .push("grid", grid)
+        .push("cells", records.to_vec());
+    std::fs::write(path, format!("{report}\n")).map_err(|e| format!("write {path}: {e}"))
+}
+
+/// Runs a streaming submit: prints every event, collects cell records,
+/// returns the count of failed cells.
+fn run_submit(
+    conn: &mut Connection,
+    spec: &JobSpec,
+    stream: bool,
+    json_path: Option<&str>,
+) -> Result<u64, String> {
+    conn.send(&spec.to_request_line(stream))
+        .map_err(|e| e.to_string())?;
+    let mut job = 0;
+    let mut records: Vec<Json> = Vec::new();
+    let mut failed = 0;
+    loop {
+        let Some(line) = conn.recv_line().map_err(|e| e.to_string())? else {
+            if stream {
+                return Err("server closed the stream before the done event".to_string());
+            }
+            break;
+        };
+        println!("{line}");
+        let v = json::parse(&line).map_err(|e| format!("unparseable reply: {e}"))?;
+        if let Some((kind, detail)) = parse_error(&v) {
+            return Err(format!("server error {kind}: {detail}"));
+        }
+        match v.get("event") {
+            Some(Json::Str(event)) if event == "accepted" => {
+                job = v.get("job").and_then(Json::as_u64).unwrap_or(0);
+                if !stream {
+                    break;
+                }
+            }
+            Some(Json::Str(event)) if event == "cell" => {
+                if let Some(record) = v.get("record") {
+                    records.push(record.clone());
+                }
+            }
+            Some(Json::Str(event)) if event == "done" => {
+                failed = v.get("failed").and_then(Json::as_u64).unwrap_or(0);
+                break;
+            }
+            _ => {}
+        }
+    }
+    if let Some(path) = json_path {
+        write_json_report(path, job, &spec.grid, &records)?;
+    }
+    Ok(failed)
+}
+
+fn parse_submit(args: &[String]) -> Result<(JobSpec, bool, Option<String>), String> {
+    let mut it = args.iter();
+    let grid = it
+        .next()
+        .ok_or(format!("submit needs a grid name\n{USAGE}"))?;
+    let mut spec = JobSpec::new(grid, Mode::Quick);
+    let mut stream = true;
+    let mut json_path = None;
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| -> Result<&String, String> {
+            it.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--mode" => {
+                let name = value("--mode")?;
+                spec.mode = Mode::parse(name).ok_or_else(|| format!("unknown mode {name:?}"))?;
+            }
+            "--faults" => {
+                spec.faults = Some(
+                    flatwalk_faults::FaultPlan::parse(value("--faults")?)
+                        .map_err(|e| format!("--faults: {e}"))?,
+                );
+            }
+            "--warmup-ops" => {
+                spec.warmup_ops = Some(
+                    value("--warmup-ops")?
+                        .parse()
+                        .map_err(|e| format!("--warmup-ops: {e}"))?,
+                );
+            }
+            "--measure-ops" => {
+                spec.measure_ops = Some(
+                    value("--measure-ops")?
+                        .parse()
+                        .map_err(|e| format!("--measure-ops: {e}"))?,
+                );
+            }
+            "--footprint-divisor" => {
+                spec.footprint_divisor = Some(
+                    value("--footprint-divisor")?
+                        .parse()
+                        .map_err(|e| format!("--footprint-divisor: {e}"))?,
+                );
+            }
+            "--no-stream" => stream = false,
+            "--json" => json_path = Some(value("--json")?.clone()),
+            other => return Err(format!("unknown submit argument {other:?}")),
+        }
+    }
+    Ok((spec, stream, json_path))
+}
+
+fn run(args: &[String]) -> Result<u64, String> {
+    let mut target = Target {
+        tcp: std::env::var("FLATWALK_SERVE_ADDR").ok(),
+        uds: None,
+    };
+    let mut rest: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--connect" => {
+                target.tcp = Some(it.next().ok_or("--connect needs a value")?.clone());
+            }
+            "--uds" => {
+                target.uds = Some(it.next().ok_or("--uds needs a value")?.clone());
+            }
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            _ => {
+                rest.push(arg.clone());
+                rest.extend(it.cloned());
+                break;
+            }
+        }
+    }
+    let Some(command) = rest.first() else {
+        return Err(format!("no command given\n{USAGE}"));
+    };
+    let mut conn = target.connect()?;
+    let one_reply = |conn: &mut Connection, line: &str| -> Result<u64, String> {
+        let reply = conn.request(line).map_err(|e| e.to_string())?;
+        println!("{reply}");
+        let v = json::parse(&reply).map_err(|e| format!("unparseable reply: {e}"))?;
+        match parse_error(&v) {
+            Some((kind, detail)) => Err(format!("server error {kind}: {detail}")),
+            None => Ok(0),
+        }
+    };
+    match command.as_str() {
+        "ping" => one_reply(&mut conn, r#"{"op":"ping"}"#),
+        "metrics" => one_reply(&mut conn, r#"{"op":"metrics"}"#),
+        "shutdown" => one_reply(&mut conn, r#"{"op":"shutdown"}"#),
+        "status" | "result" => {
+            let job: u64 = rest
+                .get(1)
+                .ok_or_else(|| format!("{command} needs a job id"))?
+                .parse()
+                .map_err(|e| format!("job id: {e}"))?;
+            let reply = conn
+                .request(&format!("{{\"op\":{:?},\"job\":{job}}}", command.as_str()))
+                .map_err(|e| e.to_string())?;
+            println!("{reply}");
+            let v = json::parse(&reply).map_err(|e| format!("unparseable reply: {e}"))?;
+            if let Some((kind, detail)) = parse_error(&v) {
+                return Err(format!("server error {kind}: {detail}"));
+            }
+            if command == "result" {
+                if let Some(path) = rest.iter().position(|a| a == "--json") {
+                    let path = rest.get(path + 1).ok_or("--json needs a value")?;
+                    std::fs::write(path, format!("{reply}\n"))
+                        .map_err(|e| format!("write {path}: {e}"))?;
+                }
+            }
+            Ok(0)
+        }
+        "submit" => {
+            let (spec, stream, json_path) = parse_submit(&rest[1..])?;
+            run_submit(&mut conn, &spec, stream, json_path.as_deref())
+        }
+        other => Err(format!("unknown command {other:?}\n{USAGE}")),
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(0) => ExitCode::SUCCESS,
+        Ok(failed) => {
+            eprintln!("flatwalk-client: {failed} cell(s) failed");
+            ExitCode::FAILURE
+        }
+        Err(msg) => {
+            eprintln!("flatwalk-client: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,142 @@
+//! Blocking client for the `flatwalk-serve-v1` protocol, used by the
+//! `flatwalk-client` binary and the end-to-end tests.
+//!
+//! A [`Connection`] is one stream to the server (TCP loopback or Unix
+//! socket). Requests are written as single lines; replies are read
+//! back line-by-line — [`Connection::request`] for one-reply ops,
+//! [`Connection::recv_line`] to drain a `submit … "stream":true` event
+//! stream.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+#[cfg(unix)]
+use std::os::unix::net::UnixStream;
+#[cfg(unix)]
+use std::path::Path;
+
+/// Either local stream transport.
+#[derive(Debug)]
+enum Stream {
+    Tcp(TcpStream),
+    #[cfg(unix)]
+    Unix(UnixStream),
+}
+
+impl Stream {
+    fn try_clone(&self) -> std::io::Result<Stream> {
+        Ok(match self {
+            Stream::Tcp(s) => Stream::Tcp(s.try_clone()?),
+            #[cfg(unix)]
+            Stream::Unix(s) => Stream::Unix(s.try_clone()?),
+        })
+    }
+}
+
+impl Read for Stream {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            Stream::Tcp(s) => s.read(buf),
+            #[cfg(unix)]
+            Stream::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Stream {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            Stream::Tcp(s) => s.write(buf),
+            #[cfg(unix)]
+            Stream::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            Stream::Tcp(s) => s.flush(),
+            #[cfg(unix)]
+            Stream::Unix(s) => s.flush(),
+        }
+    }
+}
+
+/// One open connection to a flatwalk-serve daemon.
+#[derive(Debug)]
+pub struct Connection {
+    reader: BufReader<Stream>,
+    writer: Stream,
+}
+
+impl Connection {
+    fn from_stream(stream: Stream) -> std::io::Result<Connection> {
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Connection {
+            reader,
+            writer: stream,
+        })
+    }
+
+    /// Connects over TCP, e.g. `"127.0.0.1:4641"`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connect failures.
+    pub fn connect_tcp(addr: &str) -> std::io::Result<Connection> {
+        Connection::from_stream(Stream::Tcp(TcpStream::connect(addr)?))
+    }
+
+    /// Connects over a Unix socket.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connect failures.
+    #[cfg(unix)]
+    pub fn connect_uds(path: &Path) -> std::io::Result<Connection> {
+        Connection::from_stream(Stream::Unix(UnixStream::connect(path)?))
+    }
+
+    /// Sends one request line.
+    ///
+    /// # Errors
+    ///
+    /// Propagates write failures.
+    pub fn send(&mut self, line: &str) -> std::io::Result<()> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()
+    }
+
+    /// Reads the next reply line; `None` on server-side EOF.
+    ///
+    /// # Errors
+    ///
+    /// Propagates read failures.
+    pub fn recv_line(&mut self) -> std::io::Result<Option<String>> {
+        let mut line = String::new();
+        loop {
+            line.clear();
+            if self.reader.read_line(&mut line)? == 0 {
+                return Ok(None);
+            }
+            let trimmed = line.trim_end_matches(['\n', '\r']);
+            if !trimmed.is_empty() {
+                return Ok(Some(trimmed.to_string()));
+            }
+        }
+    }
+
+    /// Sends one request and reads its single reply line.
+    ///
+    /// # Errors
+    ///
+    /// Write/read failures, or an unexpected EOF before the reply.
+    pub fn request(&mut self, line: &str) -> std::io::Result<String> {
+        self.send(line)?;
+        self.recv_line()?.ok_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection before replying",
+            )
+        })
+    }
+}

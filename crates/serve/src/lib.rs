@@ -1,0 +1,34 @@
+//! flatwalk-serve: a persistent experiment service for the flatwalk
+//! simulator.
+//!
+//! Batch binaries (`sec71_pwc_sweep` & friends) pay full setup and
+//! simulation cost on every invocation. This crate keeps a simulator
+//! process resident instead: a daemon (`flatwalk-serve`) accepts
+//! experiment-grid jobs over a newline-delimited JSON protocol
+//! ([`proto`], `flatwalk-serve-v1`), executes them on a worker pool
+//! through the same fault-domain runner the batch path uses, and
+//! answers repeats from a process-lifetime result cache ([`rcache`]) —
+//! a re-submitted grid costs zero simulation and returns
+//! byte-identical reports.
+//!
+//! Modules:
+//!
+//! - [`proto`] — wire protocol: request parsing, [`proto::JobSpec`],
+//!   error replies.
+//! - [`rcache`] — content-keyed LRU result cache above the setup
+//!   cache.
+//! - [`server`] — listeners, bounded job queue with backpressure,
+//!   workers, in-flight coalescing, drain/shutdown.
+//! - [`client`] — blocking client used by the `flatwalk-client`
+//!   binary and the end-to-end tests.
+//!
+//! Environment knobs: `FLATWALK_QUEUE_DEPTH` (queued-job bound,
+//! default 32), `FLATWALK_RESULT_CACHE_MB` (result-cache budget,
+//! default 64), plus the simulator-wide `FLATWALK_THREADS`,
+//! `FLATWALK_CELL_RETRIES`, `FLATWALK_CELL_DEADLINE_SECS`,
+//! `FLATWALK_TRACE`, and `FLATWALK_FAULTS`.
+
+pub mod client;
+pub mod proto;
+pub mod rcache;
+pub mod server;

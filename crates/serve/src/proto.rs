@@ -1,0 +1,307 @@
+//! The `flatwalk-serve-v1` wire protocol.
+//!
+//! Newline-delimited JSON over a local stream (TCP on `127.0.0.1` or a
+//! Unix socket). The client writes one request object per line; the
+//! server answers with one or more reply lines. Every reply carries
+//! `"ok"`: errors are `{"ok":false,"error":<kind>,"detail":…}` with
+//! `kind` ∈ `bad_request` | `overloaded` | `draining` | `not_found`.
+//!
+//! Requests:
+//!
+//! ```text
+//! {"op":"ping"}
+//! {"op":"submit","grid":<name>,"mode":"quick"|"std"|"paper",
+//!  "faults":<spec>?,"warmup_ops":N?,"measure_ops":N?,
+//!  "footprint_divisor":N?,"stream":true?}
+//! {"op":"status","job":N}
+//! {"op":"result","job":N}
+//! {"op":"metrics"}
+//! {"op":"shutdown"}
+//! ```
+//!
+//! A `submit` is answered with an `accepted` event; with
+//! `"stream":true` the connection then receives one `cell` event per
+//! finished cell (in completion order — cells of one job run in index
+//! order) and a final `done` event. Cell events embed the same record
+//! the `result` op returns: the per-cell report JSON is byte-identical
+//! to `SimReport::to_json()` in the batch binaries' `--json` output,
+//! plus service fields `"cached"`/`"coalesced"`.
+
+use flatwalk_bench::grids::{self, Grid};
+use flatwalk_bench::Mode;
+use flatwalk_faults::FaultPlan;
+use flatwalk_obs::Json;
+
+/// Protocol identifier, echoed by `ping` and `metrics`.
+pub const PROTOCOL: &str = "flatwalk-serve-v1";
+
+/// One experiment-grid job as submitted on the wire.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobSpec {
+    /// Registered grid name (see [`grids::GRIDS`]).
+    pub grid: String,
+    /// Scale mode the grid is built for.
+    pub mode: Mode,
+    /// Optional per-job fault plan (scoped to this job's worker; other
+    /// jobs are unaffected).
+    pub faults: Option<FaultPlan>,
+    /// Override for `SimOptions::warmup_ops`.
+    pub warmup_ops: Option<u64>,
+    /// Override for `SimOptions::measure_ops`.
+    pub measure_ops: Option<u64>,
+    /// Override for `SimOptions::footprint_divisor`.
+    pub footprint_divisor: Option<u64>,
+}
+
+impl JobSpec {
+    /// A spec for `grid` at quick scale with no overrides.
+    pub fn new(grid: &str, mode: Mode) -> JobSpec {
+        JobSpec {
+            grid: grid.to_string(),
+            mode,
+            faults: None,
+            warmup_ops: None,
+            measure_ops: None,
+            footprint_divisor: None,
+        }
+    }
+
+    /// Builds the grid this spec describes: the registered builder run
+    /// on the mode's server options with this spec's overrides applied.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the unknown grid.
+    pub fn resolve(&self) -> Result<Grid, String> {
+        let def = grids::by_name(&self.grid).ok_or_else(|| {
+            format!(
+                "unknown grid {:?} (known: {})",
+                self.grid,
+                grids::names().join(", ")
+            )
+        })?;
+        let mut opts = self.mode.server_options();
+        if let Some(v) = self.warmup_ops {
+            opts.warmup_ops = v;
+        }
+        if let Some(v) = self.measure_ops {
+            opts.measure_ops = v;
+        }
+        if let Some(v) = self.footprint_divisor {
+            opts.footprint_divisor = v.max(1);
+        }
+        Ok((def.build)(self.mode, &opts))
+    }
+
+    /// The spec's mode name as it appears on the wire.
+    pub fn mode_name(&self) -> &'static str {
+        match self.mode {
+            Mode::Quick => "quick",
+            Mode::Std => "std",
+            Mode::Paper => "paper",
+        }
+    }
+
+    /// Renders the submit request line for this spec.
+    pub fn to_request_line(&self, stream: bool) -> String {
+        let mut o = Json::obj();
+        o.push("op", "submit")
+            .push("grid", self.grid.as_str())
+            .push("mode", self.mode_name());
+        if let Some(plan) = self.faults {
+            o.push("faults", format!("{}:{}", plan.seed, plan.profile.name()));
+        }
+        if let Some(v) = self.warmup_ops {
+            o.push("warmup_ops", v);
+        }
+        if let Some(v) = self.measure_ops {
+            o.push("measure_ops", v);
+        }
+        if let Some(v) = self.footprint_divisor {
+            o.push("footprint_divisor", v);
+        }
+        if stream {
+            o.push("stream", true);
+        }
+        o.to_string()
+    }
+}
+
+/// A parsed request line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Liveness / protocol check.
+    Ping,
+    /// Submit a job; `stream` asks for per-cell events on this
+    /// connection.
+    Submit {
+        /// The job to run.
+        spec: JobSpec,
+        /// Whether to stream per-cell events.
+        stream: bool,
+    },
+    /// Progress of a job.
+    Status {
+        /// Server-assigned job id.
+        job: u64,
+    },
+    /// Collected cell records of a job.
+    Result {
+        /// Server-assigned job id.
+        job: u64,
+    },
+    /// Merged metrics snapshot + server counters.
+    Metrics,
+    /// Begin draining: finish queued/in-flight jobs, reject new ones,
+    /// exit.
+    Shutdown,
+}
+
+fn get_str<'a>(o: &'a Json, key: &str) -> Option<&'a str> {
+    match o.get(key) {
+        Some(Json::Str(s)) => Some(s),
+        _ => None,
+    }
+}
+
+fn get_u64(o: &Json, key: &str) -> Option<u64> {
+    o.get(key).and_then(Json::as_u64)
+}
+
+fn get_bool(o: &Json, key: &str) -> bool {
+    matches!(o.get(key), Some(Json::Bool(true)))
+}
+
+/// Parses one request line.
+///
+/// # Errors
+///
+/// Returns a human-readable message for malformed JSON, unknown ops,
+/// or missing/invalid fields (the server wraps it in a `bad_request`
+/// reply).
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let v = flatwalk_obs::json::parse(line.trim()).map_err(|e| e.to_string())?;
+    let op = get_str(&v, "op").ok_or("missing \"op\"")?;
+    match op {
+        "ping" => Ok(Request::Ping),
+        "metrics" => Ok(Request::Metrics),
+        "shutdown" => Ok(Request::Shutdown),
+        "status" | "result" => {
+            let job = get_u64(&v, "job").ok_or("missing \"job\"")?;
+            Ok(if op == "status" {
+                Request::Status { job }
+            } else {
+                Request::Result { job }
+            })
+        }
+        "submit" => {
+            let grid = get_str(&v, "grid").ok_or("missing \"grid\"")?.to_string();
+            let mode = match get_str(&v, "mode") {
+                None => Mode::Quick,
+                Some(name) => Mode::parse(name).ok_or_else(|| format!("unknown mode {name:?}"))?,
+            };
+            let faults = match get_str(&v, "faults") {
+                None => None,
+                Some(spec) => Some(FaultPlan::parse(spec).map_err(|e| format!("faults: {e}"))?),
+            };
+            Ok(Request::Submit {
+                spec: JobSpec {
+                    grid,
+                    mode,
+                    faults,
+                    warmup_ops: get_u64(&v, "warmup_ops"),
+                    measure_ops: get_u64(&v, "measure_ops"),
+                    footprint_divisor: get_u64(&v, "footprint_divisor"),
+                },
+                stream: get_bool(&v, "stream"),
+            })
+        }
+        other => Err(format!("unknown op {other:?}")),
+    }
+}
+
+/// Renders an error reply line.
+pub fn error_line(kind: &str, detail: &str) -> String {
+    let mut o = Json::obj();
+    o.push("ok", false)
+        .push("error", kind)
+        .push("detail", detail);
+    o.to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn submit_round_trips_through_request_line() {
+        let mut spec = JobSpec::new("sec71_pwc", Mode::Quick);
+        spec.faults = Some(FaultPlan::parse("7:alloc").unwrap());
+        spec.warmup_ops = Some(500);
+        spec.measure_ops = Some(2500);
+        spec.footprint_divisor = Some(512);
+        let line = spec.to_request_line(true);
+        match parse_request(&line).unwrap() {
+            Request::Submit { spec: back, stream } => {
+                assert!(stream);
+                assert_eq!(back, spec);
+            }
+            other => panic!("expected submit, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn simple_ops_parse() {
+        assert_eq!(parse_request(r#"{"op":"ping"}"#), Ok(Request::Ping));
+        assert_eq!(parse_request(r#"{"op":"metrics"}"#), Ok(Request::Metrics));
+        assert_eq!(parse_request(r#"{"op":"shutdown"}"#), Ok(Request::Shutdown));
+        assert_eq!(
+            parse_request(r#"{"op":"status","job":7}"#),
+            Ok(Request::Status { job: 7 })
+        );
+        assert_eq!(
+            parse_request(r#"{"op":"result","job":7}"#),
+            Ok(Request::Result { job: 7 })
+        );
+    }
+
+    #[test]
+    fn malformed_requests_are_rejected() {
+        assert!(parse_request("not json").is_err());
+        assert!(parse_request(r#"{"no":"op"}"#).is_err());
+        assert!(parse_request(r#"{"op":"dance"}"#).is_err());
+        assert!(parse_request(r#"{"op":"status"}"#).is_err(), "missing job");
+        assert!(parse_request(r#"{"op":"submit"}"#).is_err(), "missing grid");
+        assert!(
+            parse_request(r#"{"op":"submit","grid":"g","mode":"warp"}"#).is_err(),
+            "unknown mode"
+        );
+        assert!(
+            parse_request(r#"{"op":"submit","grid":"g","faults":"x"}"#).is_err(),
+            "bad fault spec"
+        );
+    }
+
+    #[test]
+    fn resolve_applies_overrides() {
+        let mut spec = JobSpec::new("sec71_pwc", Mode::Quick);
+        spec.warmup_ops = Some(500);
+        spec.measure_ops = Some(2500);
+        spec.footprint_divisor = Some(512);
+        let grid = spec.resolve().unwrap();
+        assert_eq!(grid.len(), 9);
+        let opts = &grid.cells[0].opts;
+        assert_eq!(opts.warmup_ops, 500);
+        assert_eq!(opts.measure_ops, 2500);
+        assert_eq!(opts.footprint_divisor, 512);
+        assert!(JobSpec::new("no_such_grid", Mode::Quick).resolve().is_err());
+    }
+
+    #[test]
+    fn error_lines_are_structured() {
+        let line = error_line("overloaded", "queue full (depth 32)");
+        let v = flatwalk_obs::json::parse(&line).unwrap();
+        assert_eq!(v.get("ok"), Some(&Json::Bool(false)));
+        assert_eq!(v.get("error"), Some(&Json::Str("overloaded".into())));
+    }
+}

@@ -1,0 +1,240 @@
+//! Process-lifetime, content-keyed result cache for finished grid
+//! cells, layered **above** the `flatwalk_sim::setup` cache: setup
+//! caching removes redundant address-space construction, this cache
+//! removes redundant *simulation* — a repeat of an already-answered
+//! cell is served in microseconds from memory, with the rendered
+//! report JSON reused byte-for-byte (no re-simulation, no
+//! re-serialization).
+//!
+//! Keys are pure content: the cell's workload, translation config,
+//! scenario and options (via their `Debug` forms, which round-trip
+//! every field including the f64 knobs) plus the active fault-plan
+//! signature. Two cells with equal keys are the same deterministic
+//! computation, so a hit is exact by construction. Poison profiles are
+//! the one grid-*position*-dependent fault (they target `(index,
+//! total)`), so any key formed under an active fault plan also carries
+//! the cell's grid position.
+//!
+//! The cache is bounded by an approximate byte budget
+//! (`FLATWALK_RESULT_CACHE_MB`, default 64 MB) with LRU eviction.
+//! Failed cells are never cached: a failure under retries is not
+//! content-deterministic the way a finished report is.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use flatwalk_sim::runner::Cell;
+
+/// A finished, cacheable cell execution.
+#[derive(Debug, Clone)]
+pub struct CachedCell {
+    /// Rendered `SimReport::to_json()` bytes (shared, never re-built).
+    pub report_json: Arc<str>,
+    /// Nanoseconds the original execution spent building.
+    pub setup_nanos: u64,
+    /// Nanoseconds the original execution spent simulating.
+    pub run_nanos: u64,
+    /// Failed attempts before the original execution succeeded.
+    pub retries: u32,
+}
+
+impl CachedCell {
+    fn cost_bytes(&self, key_len: usize) -> u64 {
+        // Key + report text dominate; the fixed fields are noise but
+        // keep zero-length entries from being free.
+        (key_len + self.report_json.len() + 64) as u64
+    }
+}
+
+/// The content key of one cell under the active fault plan.
+///
+/// `index`/`total` are folded in only when a fault plan is active
+/// (signature ≠ 0): poison faults select their victim by grid
+/// position, so position becomes part of the computation's identity.
+/// Fault-free cells stay position-independent — the same cell content
+/// hits the same entry from any grid, any index.
+pub fn cell_key(cell: &Cell, plan_signature: u64, index: usize, total: usize) -> String {
+    let mut key = format!(
+        "{:?}|{:?}|{:?}|{:?}|{:#018x}",
+        cell.workload, cell.config, cell.scenario, cell.opts, plan_signature
+    );
+    if plan_signature != 0 {
+        key.push_str(&format!("|{index}/{total}"));
+    }
+    key
+}
+
+#[derive(Debug)]
+struct Entry {
+    value: CachedCell,
+    /// Monotone use tick for LRU ordering.
+    last_used: u64,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    map: HashMap<String, Entry>,
+    bytes: u64,
+    tick: u64,
+    evicted: u64,
+}
+
+/// An LRU-by-bytes map from [`cell_key`] to [`CachedCell`].
+#[derive(Debug)]
+pub struct ResultCache {
+    inner: Mutex<Inner>,
+    budget_bytes: u64,
+}
+
+impl ResultCache {
+    /// A cache bounded to roughly `budget_bytes` of key + report text.
+    pub fn new(budget_bytes: u64) -> ResultCache {
+        ResultCache {
+            inner: Mutex::new(Inner::default()),
+            budget_bytes,
+        }
+    }
+
+    /// Looks `key` up, refreshing its recency on a hit.
+    pub fn get(&self, key: &str) -> Option<CachedCell> {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        inner.tick += 1;
+        let tick = inner.tick;
+        let entry = inner.map.get_mut(key)?;
+        entry.last_used = tick;
+        Some(entry.value.clone())
+    }
+
+    /// Inserts (or replaces) `key`, then evicts least-recently-used
+    /// entries until the budget holds again. A value larger than the
+    /// whole budget is admitted alone — serving one oversized grid cell
+    /// from cache still beats re-simulating it.
+    pub fn insert(&self, key: String, value: CachedCell) {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        inner.tick += 1;
+        let tick = inner.tick;
+        let cost = value.cost_bytes(key.len());
+        if let Some(old) = inner.map.remove(&key) {
+            inner.bytes -= old.value.cost_bytes(key.len());
+        }
+        inner.bytes += cost;
+        inner.map.insert(
+            key,
+            Entry {
+                value,
+                last_used: tick,
+            },
+        );
+        while inner.bytes > self.budget_bytes && inner.map.len() > 1 {
+            let victim = inner
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+                .expect("non-empty map has a minimum");
+            if let Some(old) = inner.map.remove(&victim) {
+                inner.bytes -= old.value.cost_bytes(victim.len());
+                inner.evicted += 1;
+            }
+        }
+    }
+
+    /// Entry count.
+    pub fn len(&self) -> usize {
+        self.inner
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .map
+            .len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Approximate resident bytes.
+    pub fn bytes(&self) -> u64 {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner()).bytes
+    }
+
+    /// Entries evicted so far.
+    pub fn evicted(&self) -> u64 {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner()).evicted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cell(report: &str) -> CachedCell {
+        CachedCell {
+            report_json: Arc::from(report),
+            setup_nanos: 1,
+            run_nanos: 2,
+            retries: 0,
+        }
+    }
+
+    #[test]
+    fn hit_returns_the_stored_value() {
+        let cache = ResultCache::new(1 << 20);
+        assert!(cache.get("k").is_none());
+        cache.insert("k".into(), cell("{\"a\":1}"));
+        let hit = cache.get("k").unwrap();
+        assert_eq!(&*hit.report_json, "{\"a\":1}");
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn lru_evicts_the_coldest_entry() {
+        // Budget fits two entries (~1/4 KB each with overhead), not
+        // three.
+        let payload = "x".repeat(200);
+        let budget = 2 * (1 + payload.len() + 64) as u64;
+        let cache = ResultCache::new(budget);
+        cache.insert("a".into(), cell(&payload));
+        cache.insert("b".into(), cell(&payload));
+        assert!(cache.get("a").is_some(), "refresh a; b is now coldest");
+        cache.insert("c".into(), cell(&payload));
+        assert!(cache.get("b").is_none(), "b evicted");
+        assert!(cache.get("a").is_some() && cache.get("c").is_some());
+        assert_eq!(cache.evicted(), 1);
+    }
+
+    #[test]
+    fn oversized_value_is_admitted_alone() {
+        let cache = ResultCache::new(16);
+        cache.insert("big".into(), cell(&"y".repeat(500)));
+        assert_eq!(cache.len(), 1, "a single entry may exceed the budget");
+        cache.insert("big2".into(), cell(&"y".repeat(500)));
+        assert_eq!(cache.len(), 1, "but two may not");
+        assert!(cache.get("big2").is_some(), "newest survives");
+    }
+
+    #[test]
+    fn replacement_updates_byte_accounting() {
+        let cache = ResultCache::new(1 << 20);
+        cache.insert("k".into(), cell(&"z".repeat(100)));
+        let before = cache.bytes();
+        cache.insert("k".into(), cell(&"z".repeat(10)));
+        assert!(cache.bytes() < before, "smaller replacement shrinks usage");
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn keys_fold_in_position_only_under_faults() {
+        use flatwalk_bench::Mode;
+        let grid = flatwalk_bench::grids::sec71_pwc(Mode::Quick, &Mode::Quick.server_options());
+        let c = &grid.cells[0];
+        assert_eq!(cell_key(c, 0, 0, 9), cell_key(c, 0, 5, 9));
+        assert_ne!(cell_key(c, 0xabc, 0, 9), cell_key(c, 0xabc, 5, 9));
+        assert_ne!(cell_key(c, 0, 0, 9), cell_key(c, 0xabc, 0, 9));
+        assert_ne!(
+            cell_key(&grid.cells[1], 0, 0, 9),
+            cell_key(c, 0, 0, 9),
+            "different cell content, different key"
+        );
+    }
+}

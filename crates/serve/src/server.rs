@@ -1,0 +1,955 @@
+//! The resident experiment service: listeners, bounded job queue,
+//! worker pool, and the per-cell cache/coalesce execution path.
+//!
+//! Life of a `submit`:
+//!
+//! 1. A connection thread parses the request and calls
+//!    [`ServerInner::submit`]. Draining servers reject with `draining`;
+//!    a queue at `queue_depth` rejects with `overloaded` (backpressure
+//!    is explicit, never a silent hang).
+//! 2. A worker pops the job and runs its cells **in index order**,
+//!    each through [`ServerInner::execute_cell`]: result-cache lookup →
+//!    in-flight coalescing → `runner::run_cell_outcome` (the same
+//!    fault-domain entry point the batch binaries use, with the job's
+//!    fault plan installed as a thread-scoped plan). Completed cells
+//!    are rendered once and streamed to subscribers as they finish.
+//! 3. The finished job stays addressable (`status` / `result`) for the
+//!    server's lifetime.
+//!
+//! Metrics semantics: a cell executed here merges its simulation
+//! metrics into the process-global registry (via the runner), exactly
+//! like a batch run; cache hits and coalesced waits do **not** merge
+//! again — the registry counts simulation actually performed, while
+//! the `serve.*` counters account for traffic served.
+
+use std::collections::{HashMap, VecDeque};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, Sender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+use flatwalk_obs::{metrics, trace, Json};
+use flatwalk_sim::runner::{self, CancelFlag, Cell, CellOutcome};
+
+use crate::proto::{self, JobSpec, Request, PROTOCOL};
+use crate::rcache::{cell_key, CachedCell, ResultCache};
+
+/// How often the non-blocking accept loop polls for connections and
+/// drain completion.
+const ACCEPT_POLL: Duration = Duration::from_millis(25);
+
+/// Server configuration. Environment knobs (read by [`from_env`]
+/// (ServerConfig::from_env)): `FLATWALK_QUEUE_DEPTH` (default 32) and
+/// `FLATWALK_RESULT_CACHE_MB` (default 64).
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind a TCP listener on `127.0.0.1:port` (port 0 = ephemeral).
+    pub tcp: bool,
+    /// TCP port (ignored unless `tcp`).
+    pub port: u16,
+    /// Optionally bind a Unix socket at this path (removed on exit).
+    pub uds: Option<PathBuf>,
+    /// Worker threads executing jobs.
+    pub workers: usize,
+    /// Maximum queued (not yet running) jobs before `overloaded`.
+    pub queue_depth: usize,
+    /// Result-cache byte budget.
+    pub cache_bytes: u64,
+}
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(default)
+}
+
+impl ServerConfig {
+    /// Defaults plus the environment knobs: TCP on an ephemeral
+    /// loopback port, no Unix socket, worker count from
+    /// `FLATWALK_THREADS`/available parallelism.
+    pub fn from_env() -> ServerConfig {
+        ServerConfig {
+            tcp: true,
+            port: 0,
+            uds: None,
+            workers: runner::resolve_threads(None),
+            queue_depth: env_u64("FLATWALK_QUEUE_DEPTH", 32) as usize,
+            cache_bytes: env_u64("FLATWALK_RESULT_CACHE_MB", 64) << 20,
+        }
+    }
+}
+
+const QUEUED: u8 = 0;
+const RUNNING: u8 = 1;
+const DONE: u8 = 2;
+
+fn state_name(state: u8) -> &'static str {
+    match state {
+        QUEUED => "queued",
+        RUNNING => "running",
+        _ => "done",
+    }
+}
+
+/// One submitted job and everything needed to answer queries about it.
+#[derive(Debug)]
+pub struct Job {
+    /// Server-assigned id (1-based, monotonic).
+    pub id: u64,
+    /// The submitted spec.
+    pub spec: JobSpec,
+    labels: Vec<String>,
+    cells: Vec<Cell>,
+    state: AtomicU8,
+    done_cells: AtomicUsize,
+    failed_cells: AtomicUsize,
+    cached_cells: AtomicUsize,
+    coalesced_cells: AtomicUsize,
+    executed_cells: AtomicUsize,
+    /// Rendered cell records, index-aligned; filled in index order.
+    records: Mutex<Vec<Option<String>>>,
+    subscribers: Mutex<Vec<Sender<String>>>,
+}
+
+impl Job {
+    /// Number of grid cells.
+    pub fn cell_count(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Cells served from the result cache (coalesced waits included).
+    pub fn cached_cells(&self) -> usize {
+        self.cached_cells.load(Ordering::Relaxed)
+    }
+
+    /// Cells this job actually simulated.
+    pub fn executed_cells(&self) -> usize {
+        self.executed_cells.load(Ordering::Relaxed)
+    }
+
+    fn broadcast(&self, line: &str) {
+        let mut subs = self.subscribers.lock().unwrap_or_else(|e| e.into_inner());
+        subs.retain(|tx| tx.send(line.to_string()).is_ok());
+    }
+}
+
+/// How one cell request was satisfied.
+enum CellData {
+    Done {
+        value: CachedCell,
+        cached: bool,
+        coalesced: bool,
+    },
+    Failed {
+        error: String,
+        retries: u32,
+    },
+}
+
+type ExecResult = Result<CachedCell, (String, u32)>;
+
+/// Rendezvous for concurrent requests of the same cell key: the first
+/// requester executes, the rest block here and share the outcome.
+#[derive(Debug, Default)]
+struct InflightSlot {
+    done: Mutex<Option<ExecResult>>,
+    cv: Condvar,
+}
+
+/// Monotonic service counters (reported by `metrics`, mirrored into
+/// the global metrics registry as `serve.*`).
+#[derive(Debug, Default)]
+pub struct Counters {
+    jobs_submitted: AtomicU64,
+    jobs_completed: AtomicU64,
+    jobs_rejected: AtomicU64,
+    cells_executed: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    cells_coalesced: AtomicU64,
+}
+
+/// Shared state of a running server.
+#[derive(Debug)]
+pub struct ServerInner {
+    config: ServerConfig,
+    queue: Mutex<VecDeque<Arc<Job>>>,
+    queue_cv: Condvar,
+    jobs: Mutex<HashMap<u64, Arc<Job>>>,
+    next_job: AtomicU64,
+    draining: AtomicBool,
+    in_flight: AtomicUsize,
+    cancel: CancelFlag,
+    cache: ResultCache,
+    inflight_cells: Mutex<HashMap<String, Arc<InflightSlot>>>,
+    counters: Counters,
+}
+
+impl ServerInner {
+    fn new(config: ServerConfig) -> ServerInner {
+        let cache = ResultCache::new(config.cache_bytes);
+        ServerInner {
+            config,
+            queue: Mutex::new(VecDeque::new()),
+            queue_cv: Condvar::new(),
+            jobs: Mutex::new(HashMap::new()),
+            next_job: AtomicU64::new(0),
+            draining: AtomicBool::new(false),
+            in_flight: AtomicUsize::new(0),
+            cancel: CancelFlag::new(),
+            cache,
+            inflight_cells: Mutex::new(HashMap::new()),
+            counters: Counters::default(),
+        }
+    }
+
+    /// The configuration this server was spawned with.
+    pub fn config(&self) -> &ServerConfig {
+        &self.config
+    }
+
+    /// Whether the server is draining (rejecting new submissions).
+    pub fn draining(&self) -> bool {
+        self.draining.load(Ordering::Relaxed)
+    }
+
+    /// Whether draining has finished: nothing queued, nothing running.
+    pub fn drained(&self) -> bool {
+        self.draining()
+            && self.in_flight.load(Ordering::Relaxed) == 0
+            && self
+                .queue
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .is_empty()
+    }
+
+    /// Starts draining: in-flight and queued jobs finish, new
+    /// submissions are rejected with `draining`, workers and listeners
+    /// exit once idle.
+    pub fn begin_drain(&self) {
+        self.draining.store(true, Ordering::Relaxed);
+        self.queue_cv.notify_all();
+        trace::emit_serve("drain", 0, "");
+    }
+
+    /// Forces a fast drain: begins draining *and* cancels cells that
+    /// have not started yet (they complete as failed `cancelled`
+    /// records; running cells still finish).
+    pub fn cancel_remaining(&self) {
+        self.cancel.cancel();
+        self.begin_drain();
+    }
+
+    /// Lifetime cache-hit count (coalesced waits not included).
+    pub fn cache_hits(&self) -> u64 {
+        self.counters.cache_hits.load(Ordering::Relaxed)
+    }
+
+    /// Lifetime count of cells actually simulated.
+    pub fn cells_executed(&self) -> u64 {
+        self.counters.cells_executed.load(Ordering::Relaxed)
+    }
+
+    /// Lifetime count of cells that waited on an identical in-flight
+    /// execution instead of running their own.
+    pub fn cells_coalesced(&self) -> u64 {
+        self.counters.cells_coalesced.load(Ordering::Relaxed)
+    }
+
+    /// Submits a job, registering `subscriber` for its event stream.
+    ///
+    /// # Errors
+    ///
+    /// `(kind, detail)` per the protocol: `draining`, `bad_request`
+    /// (unknown grid), or `overloaded` (queue at depth).
+    pub fn submit(
+        self: &Arc<Self>,
+        spec: JobSpec,
+        subscriber: Option<Sender<String>>,
+    ) -> Result<Arc<Job>, (&'static str, String)> {
+        if self.draining() {
+            self.counters.jobs_rejected.fetch_add(1, Ordering::Relaxed);
+            metrics::add_global("serve.jobs.rejected", 1);
+            return Err(("draining", "server is draining".to_string()));
+        }
+        let grid = spec.resolve().map_err(|e| ("bad_request", e))?;
+        let mut queue = self.queue.lock().unwrap_or_else(|e| e.into_inner());
+        if self.draining() {
+            self.counters.jobs_rejected.fetch_add(1, Ordering::Relaxed);
+            metrics::add_global("serve.jobs.rejected", 1);
+            return Err(("draining", "server is draining".to_string()));
+        }
+        if queue.len() >= self.config.queue_depth {
+            self.counters.jobs_rejected.fetch_add(1, Ordering::Relaxed);
+            metrics::add_global("serve.jobs.rejected", 1);
+            trace::emit_serve("reject", 0, "overloaded");
+            return Err((
+                "overloaded",
+                format!("queue full (depth {})", self.config.queue_depth),
+            ));
+        }
+        let id = self.next_job.fetch_add(1, Ordering::Relaxed) + 1;
+        let cell_count = grid.len();
+        let job = Arc::new(Job {
+            id,
+            spec,
+            labels: grid.labels,
+            cells: grid.cells,
+            state: AtomicU8::new(QUEUED),
+            done_cells: AtomicUsize::new(0),
+            failed_cells: AtomicUsize::new(0),
+            cached_cells: AtomicUsize::new(0),
+            coalesced_cells: AtomicUsize::new(0),
+            executed_cells: AtomicUsize::new(0),
+            records: Mutex::new(vec![None; cell_count]),
+            subscribers: Mutex::new(subscriber.into_iter().collect()),
+        });
+        self.jobs
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(id, Arc::clone(&job));
+        queue.push_back(Arc::clone(&job));
+        drop(queue);
+        self.queue_cv.notify_one();
+        self.counters.jobs_submitted.fetch_add(1, Ordering::Relaxed);
+        metrics::add_global("serve.jobs.submitted", 1);
+        trace::emit_serve("submit", id, &job.spec.grid);
+        Ok(job)
+    }
+
+    /// Looks a job up by id.
+    pub fn job(&self, id: u64) -> Option<Arc<Job>> {
+        self.jobs
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(&id)
+            .cloned()
+    }
+
+    /// Runs one cell through cache → coalesce → execute.
+    fn execute_cell(&self, job_id: u64, index: usize, total: usize, cell: &Cell) -> CellData {
+        let signature = flatwalk_faults::signature_active();
+        let key = cell_key(cell, signature, index, total);
+        if let Some(hit) = self.cache.get(&key) {
+            self.counters.cache_hits.fetch_add(1, Ordering::Relaxed);
+            metrics::add_global("serve.cache.hits", 1);
+            trace::emit_serve("cache_hit", job_id, &key[..key.len().min(80)]);
+            return CellData::Done {
+                value: hit,
+                cached: true,
+                coalesced: false,
+            };
+        }
+        // Miss: claim the key or join whoever already claimed it. The
+        // cache is re-checked under the map lock — the previous owner
+        // may have inserted and released between our lookup and here.
+        let (slot, owner) = {
+            let mut map = self
+                .inflight_cells
+                .lock()
+                .unwrap_or_else(|e| e.into_inner());
+            if let Some(hit) = self.cache.get(&key) {
+                self.counters.cache_hits.fetch_add(1, Ordering::Relaxed);
+                metrics::add_global("serve.cache.hits", 1);
+                return CellData::Done {
+                    value: hit,
+                    cached: true,
+                    coalesced: false,
+                };
+            }
+            match map.get(&key) {
+                Some(slot) => (Arc::clone(slot), false),
+                None => {
+                    let slot = Arc::new(InflightSlot::default());
+                    map.insert(key.clone(), Arc::clone(&slot));
+                    (slot, true)
+                }
+            }
+        };
+        if !owner {
+            self.counters
+                .cells_coalesced
+                .fetch_add(1, Ordering::Relaxed);
+            metrics::add_global("serve.cells.coalesced", 1);
+            trace::emit_serve("coalesced", job_id, &key[..key.len().min(80)]);
+            let mut done = slot.done.lock().unwrap_or_else(|e| e.into_inner());
+            while done.is_none() {
+                done = slot.cv.wait(done).unwrap_or_else(|e| e.into_inner());
+            }
+            return match done.clone().expect("loop exits only when fulfilled") {
+                Ok(value) => CellData::Done {
+                    value,
+                    cached: true,
+                    coalesced: true,
+                },
+                Err((error, retries)) => CellData::Failed { error, retries },
+            };
+        }
+        self.counters.cache_misses.fetch_add(1, Ordering::Relaxed);
+        metrics::add_global("serve.cache.misses", 1);
+        let outcome = runner::run_cell_outcome(index, total, cell);
+        self.counters.cells_executed.fetch_add(1, Ordering::Relaxed);
+        metrics::add_global("serve.cells.executed", 1);
+        let result: ExecResult = match outcome {
+            CellOutcome::Ok {
+                report,
+                setup_nanos,
+                run_nanos,
+                retries,
+            } => {
+                let value = CachedCell {
+                    report_json: Arc::from(report.to_json().to_string()),
+                    setup_nanos,
+                    run_nanos,
+                    retries,
+                };
+                // Insert before unpublishing the slot so a request
+                // arriving in between hits the cache instead of
+                // re-executing.
+                self.cache.insert(key.clone(), value.clone());
+                Ok(value)
+            }
+            CellOutcome::Failed { error, retries } => Err((error, retries)),
+        };
+        self.inflight_cells
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .remove(&key);
+        *slot.done.lock().unwrap_or_else(|e| e.into_inner()) = Some(result.clone());
+        slot.cv.notify_all();
+        match result {
+            Ok(value) => CellData::Done {
+                value,
+                cached: false,
+                coalesced: false,
+            },
+            Err((error, retries)) => CellData::Failed { error, retries },
+        }
+    }
+
+    fn run_job(&self, job: &Arc<Job>) {
+        job.state.store(RUNNING, Ordering::Relaxed);
+        trace::emit_serve("job_start", job.id, &job.spec.grid);
+        // The job's fault plan is installed as a thread-scoped plan for
+        // the duration — `scoped(None)` still pushes a scope, so a job
+        // without faults is fault-free even if this process ever had a
+        // global plan installed.
+        let _plan_scope = flatwalk_faults::scoped(job.spec.faults);
+        let total = job.cells.len();
+        for index in 0..total {
+            let data = if self.cancel.is_cancelled() {
+                CellData::Failed {
+                    error: format!("cancelled before start: cell {index} of {total}"),
+                    retries: 0,
+                }
+            } else {
+                self.execute_cell(job.id, index, total, &job.cells[index])
+            };
+            match &data {
+                CellData::Done {
+                    cached, coalesced, ..
+                } => {
+                    if *cached {
+                        job.cached_cells.fetch_add(1, Ordering::Relaxed);
+                    } else {
+                        job.executed_cells.fetch_add(1, Ordering::Relaxed);
+                    }
+                    if *coalesced {
+                        job.coalesced_cells.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                CellData::Failed { .. } => {
+                    job.failed_cells.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            let record = render_record(job, index, &data);
+            job.records.lock().unwrap_or_else(|e| e.into_inner())[index] = Some(record.clone());
+            job.done_cells.fetch_add(1, Ordering::Relaxed);
+            job.broadcast(&format!(
+                "{{\"ok\":true,\"event\":\"cell\",\"job\":{},\"record\":{record}}}",
+                job.id
+            ));
+        }
+        job.state.store(DONE, Ordering::Relaxed);
+        let mut done = Json::obj();
+        done.push("ok", true)
+            .push("event", "done")
+            .push("job", job.id)
+            .push("cells", total)
+            .push("failed", job.failed_cells.load(Ordering::Relaxed))
+            .push("cached", job.cached_cells.load(Ordering::Relaxed))
+            .push("coalesced", job.coalesced_cells.load(Ordering::Relaxed))
+            .push("executed", job.executed_cells.load(Ordering::Relaxed));
+        job.broadcast(&done.to_string());
+        // Closing the channels ends the subscribers' streams.
+        job.subscribers
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clear();
+        self.counters.jobs_completed.fetch_add(1, Ordering::Relaxed);
+        metrics::add_global("serve.jobs.completed", 1);
+        trace::emit_serve("job_done", job.id, &job.spec.grid);
+    }
+
+    fn status_line(&self, id: u64) -> String {
+        let Some(job) = self.job(id) else {
+            return proto::error_line("not_found", &format!("no job {id}"));
+        };
+        let mut o = Json::obj();
+        o.push("ok", true)
+            .push("job", id)
+            .push("state", state_name(job.state.load(Ordering::Relaxed)))
+            .push("grid", job.spec.grid.as_str())
+            .push("cells", job.cells.len())
+            .push("done_cells", job.done_cells.load(Ordering::Relaxed))
+            .push("failed", job.failed_cells.load(Ordering::Relaxed))
+            .push("cached", job.cached_cells.load(Ordering::Relaxed))
+            .push("coalesced", job.coalesced_cells.load(Ordering::Relaxed))
+            .push("executed", job.executed_cells.load(Ordering::Relaxed));
+        o.to_string()
+    }
+
+    fn result_line(&self, id: u64) -> String {
+        let Some(job) = self.job(id) else {
+            return proto::error_line("not_found", &format!("no job {id}"));
+        };
+        let records = job.records.lock().unwrap_or_else(|e| e.into_inner());
+        let rendered: Vec<&str> = records.iter().flatten().map(String::as_str).collect();
+        let mut prefix = Json::obj();
+        prefix
+            .push("ok", true)
+            .push("job", id)
+            .push("state", state_name(job.state.load(Ordering::Relaxed)))
+            .push("grid", job.spec.grid.as_str());
+        let mut line = prefix.to_string();
+        line.pop();
+        line.push_str(",\"cells\":[");
+        line.push_str(&rendered.join(","));
+        line.push_str("]}");
+        line
+    }
+
+    fn metrics_line(&self) -> String {
+        let mut server = Json::obj();
+        server
+            .push("workers", self.config.workers)
+            .push("queue_depth", self.config.queue_depth)
+            .push(
+                "queue_len",
+                self.queue.lock().unwrap_or_else(|e| e.into_inner()).len(),
+            )
+            .push("jobs_in_flight", self.in_flight.load(Ordering::Relaxed))
+            .push(
+                "jobs_submitted",
+                self.counters.jobs_submitted.load(Ordering::Relaxed),
+            )
+            .push(
+                "jobs_completed",
+                self.counters.jobs_completed.load(Ordering::Relaxed),
+            )
+            .push(
+                "jobs_rejected",
+                self.counters.jobs_rejected.load(Ordering::Relaxed),
+            )
+            .push("cells_executed", self.cells_executed())
+            .push("cache_hits", self.cache_hits())
+            .push(
+                "cache_misses",
+                self.counters.cache_misses.load(Ordering::Relaxed),
+            )
+            .push("cells_coalesced", self.cells_coalesced())
+            .push("cache_entries", self.cache.len())
+            .push("cache_bytes", self.cache.bytes())
+            .push("cache_evicted", self.cache.evicted())
+            .push("draining", self.draining());
+        let mut o = Json::obj();
+        o.push("ok", true)
+            .push("protocol", PROTOCOL)
+            .push("server", server)
+            .push("metrics", metrics::global_snapshot().to_json());
+        o.to_string()
+    }
+}
+
+/// Renders one cell record. Report bytes come from the cache entry and
+/// are spliced in verbatim — byte-identical to `SimReport::to_json()`
+/// however many times the cell is served.
+fn render_record(job: &Job, index: usize, data: &CellData) -> String {
+    let mut o = Json::obj();
+    o.push("label", job.spec.grid.as_str())
+        .push("index", index)
+        .push("cell", job.labels[index].as_str());
+    match data {
+        CellData::Done {
+            value,
+            cached,
+            coalesced,
+        } => {
+            o.push("status", if value.retries > 0 { "retried" } else { "ok" });
+            if value.retries > 0 {
+                o.push("retries", value.retries);
+            }
+            o.push("cached", *cached)
+                .push("coalesced", *coalesced)
+                .push("setup_nanos", value.setup_nanos)
+                .push("run_nanos", value.run_nanos);
+            let mut s = o.to_string();
+            s.pop();
+            s.push_str(",\"report\":");
+            s.push_str(&value.report_json);
+            s.push('}');
+            s
+        }
+        CellData::Failed { error, retries } => {
+            o.push("status", "failed")
+                .push("error", error.as_str())
+                .push("retries", *retries)
+                .push("cached", false)
+                .push("coalesced", false);
+            o.to_string()
+        }
+    }
+}
+
+fn write_line(w: &mut impl Write, line: &str) -> std::io::Result<()> {
+    w.write_all(line.as_bytes())?;
+    w.write_all(b"\n")?;
+    w.flush()
+}
+
+/// Handles one request; returns `false` when the connection should
+/// close (write failure).
+fn handle_request(inner: &Arc<ServerInner>, line: &str, w: &mut impl Write) -> bool {
+    let reply = match proto::parse_request(line) {
+        Err(e) => proto::error_line("bad_request", &e),
+        Ok(Request::Ping) => {
+            let mut o = Json::obj();
+            o.push("ok", true).push("protocol", PROTOCOL);
+            o.to_string()
+        }
+        Ok(Request::Metrics) => inner.metrics_line(),
+        Ok(Request::Status { job }) => inner.status_line(job),
+        Ok(Request::Result { job }) => inner.result_line(job),
+        Ok(Request::Shutdown) => {
+            inner.begin_drain();
+            let mut o = Json::obj();
+            o.push("ok", true).push("draining", true);
+            o.to_string()
+        }
+        Ok(Request::Submit { spec, stream }) => {
+            let (tx, rx) = channel();
+            let subscriber = stream.then_some(tx);
+            match inner.submit(spec, subscriber) {
+                Err((kind, detail)) => proto::error_line(kind, &detail),
+                Ok(job) => {
+                    let mut o = Json::obj();
+                    o.push("ok", true)
+                        .push("event", "accepted")
+                        .push("job", job.id)
+                        .push("grid", job.spec.grid.as_str())
+                        .push("mode", job.spec.mode_name())
+                        .push("cells", job.cells.len())
+                        .push("stream", stream);
+                    if write_line(w, &o.to_string()).is_err() {
+                        return false;
+                    }
+                    if stream {
+                        for event in rx {
+                            if write_line(w, &event).is_err() {
+                                return false;
+                            }
+                        }
+                    }
+                    return true;
+                }
+            }
+        }
+    };
+    write_line(w, &reply).is_ok()
+}
+
+fn serve_connection(inner: Arc<ServerInner>, reader: impl Read, mut writer: impl Write) {
+    let reader = BufReader::new(reader);
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        if !handle_request(&inner, &line, &mut writer) {
+            break;
+        }
+    }
+}
+
+fn worker_loop(inner: Arc<ServerInner>) {
+    loop {
+        let job = {
+            let mut queue = inner.queue.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if let Some(job) = queue.pop_front() {
+                    inner.in_flight.fetch_add(1, Ordering::Relaxed);
+                    break Some(job);
+                }
+                if inner.draining() {
+                    break None;
+                }
+                queue = inner
+                    .queue_cv
+                    .wait(queue)
+                    .unwrap_or_else(|e| e.into_inner());
+            }
+        };
+        let Some(job) = job else { break };
+        inner.run_job(&job);
+        inner.in_flight.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+enum Listener {
+    Tcp(TcpListener),
+    #[cfg(unix)]
+    Unix(std::os::unix::net::UnixListener),
+}
+
+impl Listener {
+    fn set_nonblocking(&self) -> std::io::Result<()> {
+        match self {
+            Listener::Tcp(l) => l.set_nonblocking(true),
+            #[cfg(unix)]
+            Listener::Unix(l) => l.set_nonblocking(true),
+        }
+    }
+
+    /// Accepts one connection and spawns its handler thread.
+    fn accept_one(&self, inner: &Arc<ServerInner>) -> std::io::Result<()> {
+        match self {
+            Listener::Tcp(l) => {
+                let (stream, _) = l.accept()?;
+                stream.set_nonblocking(false)?;
+                let reader = stream.try_clone()?;
+                let inner = Arc::clone(inner);
+                std::thread::spawn(move || serve_connection(inner, reader, stream));
+                Ok(())
+            }
+            #[cfg(unix)]
+            Listener::Unix(l) => {
+                let (stream, _) = l.accept()?;
+                stream.set_nonblocking(false)?;
+                let reader = stream.try_clone()?;
+                let inner = Arc::clone(inner);
+                std::thread::spawn(move || serve_connection(inner, reader, stream));
+                Ok(())
+            }
+        }
+    }
+}
+
+fn accept_loop(inner: Arc<ServerInner>, listener: Listener) {
+    if let Err(e) = listener.set_nonblocking() {
+        eprintln!("flatwalk-serve: cannot poll listener: {e}");
+        return;
+    }
+    loop {
+        if inner.drained() {
+            break;
+        }
+        match listener.accept_one(&inner) {
+            Ok(()) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(ACCEPT_POLL);
+            }
+            Err(e) => {
+                eprintln!("flatwalk-serve: accept failed: {e}");
+                std::thread::sleep(ACCEPT_POLL);
+            }
+        }
+    }
+}
+
+/// A running server: listeners and workers are live background
+/// threads until drain completes.
+#[derive(Debug)]
+pub struct ServerHandle {
+    inner: Arc<ServerInner>,
+    addr: Option<SocketAddr>,
+    uds: Option<PathBuf>,
+    threads: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound TCP address, when TCP is enabled.
+    pub fn addr(&self) -> Option<SocketAddr> {
+        self.addr
+    }
+
+    /// The bound Unix-socket path, when one is configured.
+    pub fn uds(&self) -> Option<&PathBuf> {
+        self.uds.as_ref()
+    }
+
+    /// Shared server state (counters, drain control).
+    pub fn inner(&self) -> &Arc<ServerInner> {
+        &self.inner
+    }
+
+    /// Starts draining (see [`ServerInner::begin_drain`]).
+    pub fn begin_drain(&self) {
+        self.inner.begin_drain();
+    }
+
+    /// Fast drain: cancel not-yet-started cells too.
+    pub fn cancel_remaining(&self) {
+        self.inner.cancel_remaining();
+    }
+
+    /// Blocks until drain completes and every service thread has
+    /// exited, then removes the Unix socket file. Connection handler
+    /// threads are not joined — they end when their peers disconnect.
+    pub fn wait(self) {
+        for t in self.threads {
+            let _ = t.join();
+        }
+        if let Some(path) = &self.uds {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}
+
+/// Binds the configured listeners and spawns the worker pool.
+///
+/// # Errors
+///
+/// Propagates listener-bind failures. Configuring neither TCP nor a
+/// Unix socket is an invalid-input error.
+pub fn spawn(config: ServerConfig) -> std::io::Result<ServerHandle> {
+    let workers = config.workers.max(1);
+    let mut listeners: Vec<Listener> = Vec::new();
+    let mut addr = None;
+    if config.tcp {
+        let l = TcpListener::bind(("127.0.0.1", config.port))?;
+        addr = Some(l.local_addr()?);
+        listeners.push(Listener::Tcp(l));
+    }
+    let mut uds = None;
+    #[cfg(unix)]
+    if let Some(path) = &config.uds {
+        let _ = std::fs::remove_file(path);
+        let l = std::os::unix::net::UnixListener::bind(path)?;
+        uds = Some(path.clone());
+        listeners.push(Listener::Unix(l));
+    }
+    #[cfg(not(unix))]
+    if config.uds.is_some() {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            "unix sockets are not supported on this platform",
+        ));
+    }
+    if listeners.is_empty() {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            "no listener configured (need tcp and/or uds)",
+        ));
+    }
+    let inner = Arc::new(ServerInner::new(config));
+    let mut threads = Vec::new();
+    for listener in listeners {
+        let inner = Arc::clone(&inner);
+        threads.push(std::thread::spawn(move || accept_loop(inner, listener)));
+    }
+    for _ in 0..workers {
+        let inner = Arc::clone(&inner);
+        threads.push(std::thread::spawn(move || worker_loop(inner)));
+    }
+    Ok(ServerHandle {
+        inner,
+        addr,
+        uds,
+        threads,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_config() -> ServerConfig {
+        ServerConfig {
+            tcp: true,
+            port: 0,
+            uds: None,
+            workers: 2,
+            queue_depth: 4,
+            cache_bytes: 1 << 20,
+        }
+    }
+
+    #[test]
+    fn spawn_binds_ephemeral_port_and_drains_idle() {
+        let handle = spawn(test_config()).expect("bind loopback");
+        let addr = handle.addr().expect("tcp enabled");
+        assert_eq!(addr.ip().to_string(), "127.0.0.1");
+        assert_ne!(addr.port(), 0);
+        handle.begin_drain();
+        handle.wait();
+    }
+
+    #[test]
+    fn rejects_without_listeners() {
+        let config = ServerConfig {
+            tcp: false,
+            uds: None,
+            ..test_config()
+        };
+        assert!(spawn(config).is_err());
+    }
+
+    #[test]
+    fn draining_rejects_submissions() {
+        let inner = Arc::new(ServerInner::new(test_config()));
+        inner.begin_drain();
+        let err = inner
+            .submit(JobSpec::new("sec71_pwc", flatwalk_bench::Mode::Quick), None)
+            .expect_err("draining server rejects");
+        assert_eq!(err.0, "draining");
+    }
+
+    #[test]
+    fn zero_depth_queue_reports_overloaded() {
+        let config = ServerConfig {
+            queue_depth: 0,
+            ..test_config()
+        };
+        let inner = Arc::new(ServerInner::new(config));
+        let err = inner
+            .submit(JobSpec::new("sec71_pwc", flatwalk_bench::Mode::Quick), None)
+            .expect_err("zero-depth queue rejects everything");
+        assert_eq!(err.0, "overloaded");
+        assert_eq!(inner.counters.jobs_rejected.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn unknown_grid_is_bad_request() {
+        let inner = Arc::new(ServerInner::new(test_config()));
+        let err = inner
+            .submit(
+                JobSpec::new("no_such_grid", flatwalk_bench::Mode::Quick),
+                None,
+            )
+            .expect_err("unknown grid");
+        assert_eq!(err.0, "bad_request");
+        assert!(err.1.contains("sec71_pwc"), "lists known grids: {}", err.1);
+    }
+
+    #[test]
+    fn missing_job_queries_are_not_found() {
+        let inner = Arc::new(ServerInner::new(test_config()));
+        assert!(inner.status_line(42).contains("not_found"));
+        assert!(inner.result_line(42).contains("not_found"));
+    }
+}

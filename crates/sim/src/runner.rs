@@ -22,7 +22,7 @@
 
 use std::io::{IsTerminal, Write};
 use std::panic::AssertUnwindSafe;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -74,6 +74,33 @@ impl CellOutcome {
     /// Whether the cell exhausted its fault domain without completing.
     pub fn is_failed(&self) -> bool {
         matches!(self, CellOutcome::Failed { .. })
+    }
+}
+
+/// A cooperative cancellation flag shared between a batch's owner and
+/// its workers. Once [`cancel`](CancelFlag::cancel)led, every
+/// not-yet-started cell completes immediately as
+/// [`CellOutcome::Failed`] with a `"cancelled"` error — a running
+/// attempt is never interrupted (pre-empting the deterministic
+/// simulator would forfeit byte-identical replay of its finished
+/// cells). Used by `flatwalk-serve` to cut a forced shutdown short.
+#[derive(Debug, Clone, Default)]
+pub struct CancelFlag(Arc<AtomicBool>);
+
+impl CancelFlag {
+    /// A fresh, uncancelled flag.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests cancellation. Irrevocable; safe from any thread.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Relaxed)
     }
 }
 
@@ -445,6 +472,20 @@ pub fn run_cells(label: &'static str, cells: Vec<Cell>, threads: usize) -> Vec<S
 /// ([`flatwalk_faults::FaultPlan::poisons`]) fails its designated cell
 /// here, before the simulation is even built.
 pub fn run_cells_timed(label: &'static str, cells: Vec<Cell>, threads: usize) -> Vec<CellOutcome> {
+    run_cells_timed_cancellable(label, cells, threads, None)
+}
+
+/// Like [`run_cells_timed`] but checks a [`CancelFlag`] between cells:
+/// once cancelled, every not-yet-started cell completes immediately as
+/// [`CellOutcome::Failed`] with a `"cancelled"` error while already
+/// running attempts finish normally (preserving their byte-identical
+/// reports and cache fills).
+pub fn run_cells_timed_cancellable(
+    label: &'static str,
+    cells: Vec<Cell>,
+    threads: usize,
+    cancel: Option<&CancelFlag>,
+) -> Vec<CellOutcome> {
     let progress = Progress::new(label, cells.len());
     let total = cells.len();
     let indexed: Vec<(usize, Cell)> = cells.into_iter().enumerate().collect();
@@ -453,8 +494,27 @@ pub fn run_cells_timed(label: &'static str, cells: Vec<Cell>, threads: usize) ->
         threads,
         &progress,
         |(_, cell)| cell.sim_ops(),
-        |(index, cell)| run_cell_guarded(index, total, &cell),
+        |(index, cell)| {
+            if cancel.is_some_and(CancelFlag::is_cancelled) {
+                return CellOutcome::Failed {
+                    error: format!("cancelled before start: cell {index} of {total}"),
+                    retries: 0,
+                };
+            }
+            run_cell_guarded(index, total, &cell)
+        },
     )
+}
+
+/// Runs a single grid cell inside the same fault domain as
+/// [`run_cells_timed`] — poison check against `(index, total)`, panic
+/// and [`SimError`](crate::SimError) capture, bounded retries, soft
+/// deadline, and global metrics merge on success. `flatwalk-serve`
+/// executes cells one at a time through this entry point so that a
+/// served cell's outcome is byte-identical to the same cell's outcome
+/// inside a whole-grid [`run_cells_timed`] run.
+pub fn run_cell_outcome(index: usize, total: usize, cell: &Cell) -> CellOutcome {
+    run_cell_guarded(index, total, cell)
 }
 
 /// Runs one cell inside its fault domain (see [`run_cells_timed`]).
@@ -591,6 +651,49 @@ mod tests {
             .downcast_ref::<String>()
             .expect("assert! payload is a String");
         assert!(message.contains("boom 3"), "lowest failed index: {message}");
+    }
+
+    #[test]
+    fn cancel_flag_starts_clear_and_latches() {
+        let flag = CancelFlag::new();
+        assert!(!flag.is_cancelled());
+        let clone = flag.clone();
+        clone.cancel();
+        assert!(flag.is_cancelled(), "clones share one underlying flag");
+    }
+
+    #[test]
+    fn cancelled_batch_fails_remaining_cells_without_running() {
+        // A pre-cancelled flag must fail every cell up front: nothing is
+        // built or simulated, and the failure records carry the cell
+        // indices.
+        let opts = SimOptions::small_test();
+        let cells: Vec<Cell> = (0..3)
+            .map(|_| {
+                Cell::new(
+                    flatwalk_workloads::WorkloadSpec::by_name("gups")
+                        .expect("gups workload exists")
+                        .scaled_down(1 << 13),
+                    TranslationConfig::baseline(),
+                    FragmentationScenario::NONE,
+                    opts.clone(),
+                )
+            })
+            .collect();
+        let flag = CancelFlag::new();
+        flag.cancel();
+        let outcomes = run_cells_timed_cancellable("cancel-test", cells, 1, Some(&flag));
+        assert_eq!(outcomes.len(), 3);
+        for (i, outcome) in outcomes.iter().enumerate() {
+            match outcome {
+                CellOutcome::Failed { error, retries } => {
+                    assert!(error.contains("cancelled"), "{error}");
+                    assert!(error.contains(&format!("cell {i} of 3")), "{error}");
+                    assert_eq!(*retries, 0);
+                }
+                CellOutcome::Ok { .. } => panic!("cell {i} ran despite cancellation"),
+            }
+        }
     }
 
     #[test]

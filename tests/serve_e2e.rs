@@ -1,0 +1,297 @@
+//! End-to-end tests for the `flatwalk-serve` service: a real server on
+//! an ephemeral loopback port, driven through the wire protocol by the
+//! real client library.
+//!
+//! The core claims under test:
+//!
+//! - served reports are **byte-identical** to running the same cells
+//!   directly through the batch runner;
+//! - a repeated identical submission is answered entirely from the
+//!   result cache — zero cells re-simulated, verified via server
+//!   counters — and its report bytes still match;
+//! - concurrent duplicate submissions coalesce onto one execution per
+//!   distinct cell;
+//! - shutdown drains: in-flight work finishes, new submissions are
+//!   rejected with `draining`.
+//!
+//! Grids are shrunk via `JobSpec` overrides so the whole file runs in
+//! seconds; the direct-runner reference resolves its cells through the
+//! *same* `JobSpec` so both sides simulate identical work.
+
+use flatwalk_bench::Mode;
+use flatwalk_obs::{json, Json};
+use flatwalk_serve::client::Connection;
+use flatwalk_serve::proto::JobSpec;
+use flatwalk_serve::server::{self, ServerConfig};
+use flatwalk_sim::runner;
+
+fn test_server(workers: usize, queue_depth: usize) -> server::ServerHandle {
+    let config = ServerConfig {
+        tcp: true,
+        port: 0,
+        uds: None,
+        workers,
+        queue_depth,
+        cache_bytes: 64 << 20,
+    };
+    server::spawn(config).expect("bind an ephemeral loopback port")
+}
+
+fn connect(handle: &server::ServerHandle) -> Connection {
+    let addr = handle.addr().expect("tcp listener");
+    Connection::connect_tcp(&addr.to_string()).expect("connect to test server")
+}
+
+/// The shrunken §7.1 PWC grid used throughout: 9 cells, a few seconds
+/// of simulation total.
+fn small_spec() -> JobSpec {
+    let mut spec = JobSpec::new("sec71_pwc", Mode::Quick);
+    spec.warmup_ops = Some(500);
+    spec.measure_ops = Some(2500);
+    spec.footprint_divisor = Some(512);
+    spec
+}
+
+/// Submits with streaming and collects `(record, done)` from the event
+/// stream.
+fn submit_streaming(conn: &mut Connection, spec: &JobSpec) -> (Vec<Json>, Json) {
+    conn.send(&spec.to_request_line(true)).expect("send submit");
+    let accepted = conn.recv_line().expect("read").expect("accepted line");
+    let accepted = json::parse(&accepted).expect("accepted parses");
+    assert_eq!(
+        accepted.get("event"),
+        Some(&Json::Str("accepted".into())),
+        "expected accepted, got {accepted}"
+    );
+    let mut records = Vec::new();
+    loop {
+        let line = conn.recv_line().expect("read").expect("stream open");
+        let v = json::parse(&line).expect("event parses");
+        match v.get("event") {
+            Some(Json::Str(e)) if e == "cell" => {
+                records.push(v.get("record").expect("cell has record").clone());
+            }
+            Some(Json::Str(e)) if e == "done" => return (records, v),
+            other => panic!("unexpected event {other:?} in {line}"),
+        }
+    }
+}
+
+/// Renders the report a record carries, for byte comparison.
+fn record_report(record: &Json) -> String {
+    record
+        .get("report")
+        .expect("ok record has report")
+        .to_string()
+}
+
+#[test]
+fn served_reports_match_direct_runner_and_repeat_is_all_cache_hits() {
+    let handle = test_server(2, 8);
+    let spec = small_spec();
+
+    // Reference: the same cells through the batch runner, directly.
+    let grid = spec.resolve().expect("known grid");
+    let total = grid.cells.len();
+    let direct: Vec<String> = grid
+        .cells
+        .iter()
+        .enumerate()
+        .map(|(i, cell)| match runner::run_cell_outcome(i, total, cell) {
+            runner::CellOutcome::Ok { report, .. } => report.to_json().to_string(),
+            runner::CellOutcome::Failed { error, .. } => panic!("direct cell {i} failed: {error}"),
+        })
+        .collect();
+
+    // Cold submission: everything executes.
+    let mut conn = connect(&handle);
+    let (cold, done) = submit_streaming(&mut conn, &spec);
+    assert_eq!(cold.len(), total);
+    assert_eq!(done.get("failed"), Some(&Json::UInt(0)), "done: {done}");
+    let executed_after_cold = handle.inner().cells_executed();
+    assert_eq!(executed_after_cold, total as u64, "cold run simulates all");
+    for (i, record) in cold.iter().enumerate() {
+        assert_eq!(
+            record_report(record),
+            direct[i],
+            "cell {i} report differs from direct runner"
+        );
+        assert_eq!(record.get("cached"), Some(&Json::Bool(false)));
+        assert_eq!(
+            record.get("index").and_then(Json::as_u64),
+            Some(i as u64),
+            "records arrive in index order"
+        );
+    }
+
+    // Identical resubmission: served entirely from the result cache.
+    let (warm, _) = submit_streaming(&mut conn, &spec);
+    assert_eq!(
+        handle.inner().cells_executed(),
+        executed_after_cold,
+        "0 cells re-simulated on the repeat"
+    );
+    assert!(handle.inner().cache_hits() >= total as u64);
+    for (i, record) in warm.iter().enumerate() {
+        assert_eq!(record.get("cached"), Some(&Json::Bool(true)), "cell {i}");
+        assert_eq!(
+            record_report(record),
+            direct[i],
+            "cached cell {i} bytes differ"
+        );
+    }
+
+    // status/result agree with the stream.
+    let status = conn.request(r#"{"op":"status","job":2}"#).expect("status");
+    let status = json::parse(&status).expect("status parses");
+    assert_eq!(status.get("state"), Some(&Json::Str("done".into())));
+    assert_eq!(
+        status.get("cached").and_then(Json::as_u64),
+        Some(total as u64)
+    );
+    let result = conn.request(r#"{"op":"result","job":1}"#).expect("result");
+    let result = json::parse(&result).expect("result parses");
+    let cells = result.get("cells").and_then(Json::as_array).expect("cells");
+    assert_eq!(cells.len(), total);
+    for (i, record) in cells.iter().enumerate() {
+        assert_eq!(record_report(record), direct[i], "result cell {i}");
+    }
+
+    handle.begin_drain();
+    handle.wait();
+}
+
+#[test]
+fn concurrent_duplicate_submissions_coalesce() {
+    let handle = test_server(4, 8);
+    let spec = {
+        // Distinct overrides so this test's cells never share cache
+        // entries with the other tests in this process.
+        let mut s = small_spec();
+        s.measure_ops = Some(2600);
+        s
+    };
+    let total = spec.resolve().expect("known grid").len() as u64;
+
+    let duplicates = 3;
+    let results: Vec<(Vec<Json>, Json)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..duplicates)
+            .map(|_| {
+                let spec = spec.clone();
+                let mut conn = connect(&handle);
+                scope.spawn(move || submit_streaming(&mut conn, &spec))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("join"))
+            .collect()
+    });
+
+    // One execution per distinct cell; every other request was a cache
+    // hit or coalesced onto the in-flight execution.
+    assert_eq!(
+        handle.inner().cells_executed(),
+        total,
+        "duplicate cells must not re-execute"
+    );
+    let reference: Vec<String> = results[0].0.iter().map(record_report).collect();
+    for (records, done) in &results {
+        assert_eq!(done.get("failed"), Some(&Json::UInt(0)));
+        let reports: Vec<String> = records.iter().map(record_report).collect();
+        assert_eq!(reports, reference, "all duplicates see identical bytes");
+    }
+
+    handle.begin_drain();
+    handle.wait();
+}
+
+#[test]
+fn zero_depth_queue_rejects_with_overloaded() {
+    let handle = test_server(1, 0);
+    let mut conn = connect(&handle);
+    let reply = conn
+        .request(&small_spec().to_request_line(false))
+        .expect("reply");
+    let v = json::parse(&reply).expect("parses");
+    assert_eq!(v.get("ok"), Some(&Json::Bool(false)));
+    assert_eq!(v.get("error"), Some(&Json::Str("overloaded".into())));
+    handle.begin_drain();
+    handle.wait();
+}
+
+#[test]
+fn shutdown_drains_in_flight_work_and_rejects_new_jobs() {
+    let handle = test_server(1, 8);
+    let mut submitter = connect(&handle);
+    let spec = {
+        let mut s = small_spec();
+        s.measure_ops = Some(2700);
+        s
+    };
+    submitter.send(&spec.to_request_line(true)).expect("submit");
+    let accepted = submitter.recv_line().expect("read").expect("line");
+    assert!(accepted.contains("accepted"), "got {accepted}");
+
+    // Shutdown while the job runs: it must still finish cleanly.
+    let mut controller = connect(&handle);
+    let reply = controller
+        .request(r#"{"op":"shutdown"}"#)
+        .expect("shutdown");
+    assert!(reply.contains("draining"), "got {reply}");
+    let rejected = controller
+        .request(&small_spec().to_request_line(false))
+        .expect("reply");
+    let v = json::parse(&rejected).expect("parses");
+    assert_eq!(v.get("error"), Some(&Json::Str("draining".into())));
+
+    let total = spec.resolve().expect("known grid").len();
+    let mut cells = 0;
+    let mut done = None;
+    while let Some(line) = submitter.recv_line().expect("read") {
+        let v = json::parse(&line).expect("parses");
+        match v.get("event") {
+            Some(Json::Str(e)) if e == "cell" => cells += 1,
+            Some(Json::Str(e)) if e == "done" => {
+                done = Some(v);
+                break;
+            }
+            _ => {}
+        }
+    }
+    let done = done.expect("in-flight job completed despite drain");
+    assert_eq!(cells, total);
+    assert_eq!(done.get("failed"), Some(&Json::UInt(0)));
+    handle.wait();
+}
+
+#[test]
+fn per_job_fault_plans_stay_scoped_to_their_job() {
+    let handle = test_server(2, 8);
+    let mut conn = connect(&handle);
+
+    // A chaos-profile job: faults are injected, but retries absorb
+    // them, and the *next* (fault-free) job is untouched.
+    let mut faulty = small_spec();
+    faulty.measure_ops = Some(2800);
+    faulty.faults = Some(flatwalk_faults::FaultPlan::parse("7:alloc").expect("plan"));
+    let (faulty_records, _) = submit_streaming(&mut conn, &faulty);
+    assert!(!faulty_records.is_empty());
+
+    let mut clean = faulty.clone();
+    clean.faults = None;
+    let (clean_records, done) = submit_streaming(&mut conn, &clean);
+    assert_eq!(done.get("failed"), Some(&Json::UInt(0)));
+    for record in &clean_records {
+        // The fault-free job must never be served a fault-plan result:
+        // its cache key has signature 0.
+        let status = record.get("status").cloned();
+        assert!(
+            status == Some(Json::Str("ok".into())) || status == Some(Json::Str("retried".into())),
+            "clean job record: {record}"
+        );
+    }
+
+    handle.begin_drain();
+    handle.wait();
+}
