@@ -5,7 +5,7 @@
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 
 use flatwalk_mem::{Cache, CacheConfig, HierarchyConfig, MemoryHierarchy};
-use flatwalk_mmu::PageWalker;
+use flatwalk_mmu::{AddressSpace as MmuSpace, Mmu, PageWalker};
 use flatwalk_os::{AddressSpace, AddressSpaceSpec, BuddyAllocator, FragmentationScenario};
 use flatwalk_pt::{resolve, BumpAllocator, FlattenEverywhere, FrameStore, Layout, Mapper};
 use flatwalk_sim::runner::{run_cells, Cell};
@@ -228,6 +228,88 @@ fn bench_runner_grid(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_runner_skewed(c: &mut Criterion) {
+    let mut g = c.benchmark_group("runner_skewed");
+    g.sample_size(10);
+    let mut opts = SimOptions::small_test();
+    opts.warmup_ops = 200;
+    opts.measure_ops = 2_000;
+    // Seven cheap cells plus one ~10x cell: the shape that strands a
+    // static partition's other workers and that the stealing scheduler
+    // exists for. At t1 this measures pure scheduler overhead; at t>1
+    // the win over a static fan-out is the heavy cell no longer setting
+    // the pace for a whole partition.
+    let cells = |opts: &SimOptions| -> Vec<Cell> {
+        let mut v: Vec<Cell> = (0..7)
+            .map(|_| {
+                Cell::new(
+                    WorkloadSpec::gups().scaled_mib(16),
+                    TranslationConfig::baseline(),
+                    FragmentationScenario::NONE,
+                    opts.clone(),
+                )
+            })
+            .collect();
+        let mut heavy = opts.clone();
+        heavy.measure_ops = 20_000;
+        v.push(Cell::new(
+            WorkloadSpec::gups().scaled_mib(64),
+            TranslationConfig::baseline(),
+            FragmentationScenario::NONE,
+            heavy,
+        ));
+        v
+    };
+    for threads in [1usize, 4] {
+        g.bench_function(format!("7small_1heavy_t{threads}"), |b| {
+            b.iter_batched(
+                || cells(&opts),
+                |batch| std::hint::black_box(run_cells("bench", batch, threads).len()),
+                BatchSize::PerIteration,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_batch_translate(c: &mut Criterion) {
+    let mut g = c.benchmark_group("batch_translate");
+    // The engines' batched kernels: 256 translations (and full accesses)
+    // per call through TLB + PSC + walker, versus the per-op dispatch
+    // they replaced. The working set (16 K pages) overflows the TLB so
+    // walks stay on the measured path.
+    let layout = Layout::flat_l4l3_l2l1();
+    let (store, mapper) = build_table(layout.clone(), 16 << 10);
+    let aspace = MmuSpace::native(&store, mapper.table());
+    let mut hier = MemoryHierarchy::new(HierarchyConfig::server());
+    let mut mmu = Mmu::native(
+        TlbSystemConfig::server(),
+        PwcConfig::server().for_layout(&layout),
+        false,
+    );
+    let mut rng = SplitMix64::new(19);
+    let vas: Vec<VirtAddr> = (0..256)
+        .map(|_| VirtAddr::new(0x4000_0000 + rng.next_range(16 << 10) * 4096))
+        .collect();
+    let mut translated = Vec::with_capacity(vas.len());
+    g.bench_function("translate_256", |b| {
+        b.iter(|| {
+            mmu.translate_batch(&aspace, &mut hier, &vas, OwnerId::SINGLE, &mut translated)
+                .unwrap();
+            std::hint::black_box(translated.len())
+        })
+    });
+    let mut accessed = Vec::with_capacity(vas.len());
+    g.bench_function("access_256", |b| {
+        b.iter(|| {
+            mmu.access_batch(&aspace, &mut hier, &vas, OwnerId::SINGLE, &mut accessed)
+                .unwrap();
+            std::hint::black_box(accessed.len())
+        })
+    });
+    g.finish();
+}
+
 fn bench_setup_cache(c: &mut Criterion) {
     let mut g = c.benchmark_group("setup");
     g.sample_size(10);
@@ -301,6 +383,8 @@ criterion_group!(
     bench_cache_probe_flat,
     bench_pt_store_lookup,
     bench_runner_grid,
+    bench_runner_skewed,
+    bench_batch_translate,
     bench_setup_cache,
     bench_obs_overhead
 );

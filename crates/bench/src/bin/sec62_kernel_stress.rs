@@ -19,7 +19,7 @@ fn main() {
     };
     let paper = [(0.06, 0.005), (0.50, 0.12)];
 
-    let outs = run_jobs("sec62", paper.to_vec(), invocations as u64, |(ovs, _)| {
+    let outs = run_jobs("sec62", paper.to_vec(), invocations, |(ovs, _)| {
         kernel_build_stress(&StressConfig {
             oversubscription: ovs,
             invocations,

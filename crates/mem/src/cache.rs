@@ -88,22 +88,19 @@ impl CacheConfig {
     }
 }
 
-/// One resident line's bookkeeping.
+/// One resident line's replacement bookkeeping (everything a probe does
+/// *not* need to compare against).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct LineTag {
-    /// Full line address (address / 64); the set index is re-derived from
-    /// it, keeping tags unambiguous regardless of geometry.
-    line: u64,
+struct LineMeta {
     kind: AccessKind,
     owner: OwnerId,
     /// LRU timestamp (larger = more recent).
     stamp: u64,
 }
 
-impl LineTag {
+impl LineMeta {
     /// Placeholder occupying ways whose validity bit is clear.
-    const EMPTY: LineTag = LineTag {
-        line: 0,
+    const EMPTY: LineMeta = LineMeta {
         kind: AccessKind::Data,
         owner: OwnerId::SINGLE,
         stamp: 0,
@@ -164,11 +161,15 @@ impl CacheStats {
 #[derive(Debug, Clone)]
 pub struct Cache {
     cfg: CacheConfig,
-    /// All tags in one contiguous slab, set-major: way `w` of set `s`
-    /// lives at `s * ways + w`. Flat storage keeps a probe to one
-    /// pointer chase instead of two (`Vec<Vec<..>>`), which is the
-    /// simulator's single hottest loop.
-    tags: Box<[LineTag]>,
+    /// Line addresses in one contiguous slab, set-major: way `w` of set
+    /// `s` lives at `s * ways + w`. The tag addresses live apart from
+    /// the replacement metadata so the probe scan — the simulator's
+    /// single hottest loop — walks a dense `u64` run (a 16-way set is
+    /// two host cache lines instead of six).
+    lines: Box<[u64]>,
+    /// Replacement bookkeeping, same indexing as `lines`; touched only
+    /// on hits (stamp refresh) and fills (victim selection).
+    meta: Box<[LineMeta]>,
     /// Per-set validity bitmask; bit `w` set ⇔ way `w` holds a line.
     valid: Box<[u64]>,
     set_mask: u64,
@@ -187,7 +188,8 @@ impl Cache {
     pub fn new(cfg: CacheConfig) -> Self {
         let sets = cfg.sets();
         Cache {
-            tags: vec![LineTag::EMPTY; sets * cfg.ways].into_boxed_slice(),
+            lines: vec![0u64; sets * cfg.ways].into_boxed_slice(),
+            meta: vec![LineMeta::EMPTY; sets * cfg.ways].into_boxed_slice(),
             valid: vec![0u64; sets].into_boxed_slice(),
             set_mask: sets as u64 - 1,
             clock: 0,
@@ -217,6 +219,16 @@ impl Cache {
         (line & self.set_mask) as usize
     }
 
+    /// Warms the host's caches with `line`'s set (validity word and tag
+    /// addresses) ahead of a probe. A pure hint: simulator state,
+    /// statistics, and results are unchanged whether or not it runs.
+    #[inline]
+    pub fn prefetch(&self, line: u64) {
+        let set = self.set_index(line);
+        flatwalk_sync::prefetch_read(&self.valid, set);
+        flatwalk_sync::prefetch_read(&self.lines, set * self.cfg.ways);
+    }
+
     /// Finds `line`'s way within `set`, if resident.
     #[inline]
     fn find_way(&self, set: usize, line: u64) -> Option<usize> {
@@ -225,7 +237,7 @@ impl Cache {
         while mask != 0 {
             let way = mask.trailing_zeros() as usize;
             mask &= mask - 1;
-            if self.tags[base + way].line == line {
+            if self.lines[base + way] == line {
                 return Some(way);
             }
         }
@@ -238,16 +250,23 @@ impl Cache {
     pub fn probe(&mut self, line: u64, kind: AccessKind) -> bool {
         self.clock += 1;
         let set = self.set_index(line);
-        let hit = self.find_way(set, line);
-        if let Some(way) = hit {
-            self.tags[set * self.cfg.ways + way].stamp = self.clock;
-        }
+        // The scan touches only the dense tag-address run; the metadata
+        // slab is written on a hit (this is the simulator's hottest
+        // loop — a miss must not drag replacement state into the host's
+        // caches).
+        let hit = match self.find_way(set, line) {
+            Some(way) => {
+                self.meta[set * self.cfg.ways + way].stamp = self.clock;
+                true
+            }
+            None => false,
+        };
         let stats = match kind {
             AccessKind::Data => &mut self.stats.data,
             AccessKind::PageTable => &mut self.stats.page_table,
         };
-        stats.record(hit.is_some());
-        hit.is_some()
+        stats.record(hit);
+        hit
     }
 
     /// Returns whether `line` is resident, without touching LRU or stats.
@@ -279,18 +298,43 @@ impl Cache {
         owner: OwnerId,
         priority_active: bool,
     ) -> Option<Eviction> {
-        if self.contains(line) {
+        let set = self.set_index(line);
+        if self.find_way(set, line).is_some() {
             return None;
         }
+        self.fill_absent(set, line, kind, owner, priority_active)
+    }
+
+    /// [`Cache::fill`] for a line the caller just probed absent — skips
+    /// the residency re-scan. Callers must not have mutated the cache
+    /// between the missing probe and this call.
+    pub fn fill_after_miss(
+        &mut self,
+        line: u64,
+        kind: AccessKind,
+        owner: OwnerId,
+        priority_active: bool,
+    ) -> Option<Eviction> {
+        let set = self.set_index(line);
+        debug_assert!(self.find_way(set, line).is_none(), "line already resident");
+        self.fill_absent(set, line, kind, owner, priority_active)
+    }
+
+    fn fill_absent(
+        &mut self,
+        set: usize,
+        line: u64,
+        kind: AccessKind,
+        owner: OwnerId,
+        priority_active: bool,
+    ) -> Option<Eviction> {
         self.clock += 1;
         self.stats.fills += 1;
-        let new_tag = LineTag {
-            line,
+        let new_meta = LineMeta {
             kind,
             owner,
             stamp: self.clock,
         };
-        let set = self.set_index(line);
         let base = set * self.cfg.ways;
 
         // Free way? (lowest clear bit, matching the old first-empty-slot
@@ -299,7 +343,8 @@ impl Cache {
         if free != 0 {
             let way = free.trailing_zeros() as usize;
             self.valid[set] |= 1 << way;
-            self.tags[base + way] = new_tag;
+            self.lines[base + way] = line;
+            self.meta[base + way] = new_meta;
             return None;
         }
 
@@ -308,22 +353,23 @@ impl Cache {
 
         let victim_way = if biased {
             // Prefer own data, then any data, then overall LRU.
-            self.lru_where(set, |t| t.kind == AccessKind::Data && t.owner == owner)
-                .or_else(|| self.lru_where(set, |t| t.kind == AccessKind::Data))
+            self.lru_where(set, |m| m.kind == AccessKind::Data && m.owner == owner)
+                .or_else(|| self.lru_where(set, |m| m.kind == AccessKind::Data))
                 .or_else(|| self.lru_where(set, |_| true))
         } else {
             self.lru_where(set, |_| true)
         }
         .expect("full set must yield a victim");
 
-        let victim = std::mem::replace(&mut self.tags[base + victim_way], new_tag);
+        let victim_line = std::mem::replace(&mut self.lines[base + victim_way], line);
+        let victim = std::mem::replace(&mut self.meta[base + victim_way], new_meta);
         if priority_active && self.cfg.pt_priority && victim.kind == AccessKind::PageTable {
             self.stats.pt_evictions_during_priority += 1;
         }
         if flatwalk_obs::trace::repl_enabled() {
             flatwalk_obs::trace::emit_repl(&flatwalk_obs::trace::ReplRecord {
                 cache: self.cfg.name,
-                victim_line: victim.line,
+                victim_line,
                 victim_kind: match victim.kind {
                     AccessKind::PageTable => "pt",
                     AccessKind::Data => "data",
@@ -332,7 +378,7 @@ impl Cache {
             });
         }
         Some(Eviction {
-            line: victim.line,
+            line: victim_line,
             kind: victim.kind,
             owner: victim.owner,
         })
@@ -351,16 +397,16 @@ impl Cache {
     /// Way index of the least-recently-used valid line in `set` matching
     /// `pred` (first such way on stamp ties, like the old per-set scan).
     #[inline]
-    fn lru_where(&self, set: usize, pred: impl Fn(&LineTag) -> bool) -> Option<usize> {
+    fn lru_where(&self, set: usize, pred: impl Fn(&LineMeta) -> bool) -> Option<usize> {
         let base = set * self.cfg.ways;
         let mut mask = self.valid[set];
         let mut best: Option<(usize, u64)> = None;
         while mask != 0 {
             let way = mask.trailing_zeros() as usize;
             mask &= mask - 1;
-            let tag = &self.tags[base + way];
-            if pred(tag) && best.is_none_or(|(_, stamp)| tag.stamp < stamp) {
-                best = Some((way, tag.stamp));
+            let m = &self.meta[base + way];
+            if pred(m) && best.is_none_or(|(_, stamp)| m.stamp < stamp) {
+                best = Some((way, m.stamp));
             }
         }
         best.map(|(way, _)| way)
@@ -379,7 +425,7 @@ impl Cache {
                 while mask != 0 {
                     let way = mask.trailing_zeros() as usize;
                     mask &= mask - 1;
-                    if self.tags[set * ways + way].kind == kind {
+                    if self.meta[set * ways + way].kind == kind {
                         count += 1;
                     }
                 }

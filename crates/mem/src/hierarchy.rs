@@ -188,6 +188,13 @@ impl MemoryHierarchy {
         let line = pa.line();
         let pr = self.priority_active;
 
+        // Start pulling the L2 and LLC tag sets toward the host's L1
+        // while the (host-resident) L1 model probe runs: those slabs
+        // are the structures whose tags routinely miss the host's own
+        // caches, and their probes sit at the end of the ladder.
+        self.l2.prefetch(line);
+        self.l3.borrow().prefetch(line);
+
         if self.l1.probe(line, kind) {
             return AccessOutcome {
                 level: HitLevel::L1,
@@ -195,25 +202,31 @@ impl MemoryHierarchy {
             };
         }
         if self.l2.probe(line, kind) {
-            self.l1.fill(line, kind, owner, pr);
+            self.l1.fill_after_miss(line, kind, owner, pr);
             return AccessOutcome {
                 level: HitLevel::L2,
                 latency: self.cfg.l2.latency,
             };
         }
-        let l3_hit = self.l3.borrow_mut().probe(line, kind);
-        if l3_hit {
-            self.l2.fill(line, kind, owner, pr);
-            self.l1.fill(line, kind, owner, pr);
+        // One shared-LLC borrow covers both the probe and the
+        // miss-path fill; only the DRAM model needs its own. Every fill
+        // below re-inserts a line the probe ladder just reported absent
+        // from that level, so the residency re-scan is skipped.
+        let mut l3 = self.l3.borrow_mut();
+        if l3.probe(line, kind) {
+            drop(l3);
+            self.l2.fill_after_miss(line, kind, owner, pr);
+            self.l1.fill_after_miss(line, kind, owner, pr);
             return AccessOutcome {
                 level: HitLevel::L3,
                 latency: self.cfg.l3.latency,
             };
         }
         let latency = self.dram.borrow_mut().access(kind);
-        self.l3.borrow_mut().fill(line, kind, owner, pr);
-        self.l2.fill(line, kind, owner, pr);
-        self.l1.fill(line, kind, owner, pr);
+        l3.fill_after_miss(line, kind, owner, pr);
+        drop(l3);
+        self.l2.fill_after_miss(line, kind, owner, pr);
+        self.l1.fill_after_miss(line, kind, owner, pr);
         AccessOutcome {
             level: HitLevel::Dram,
             latency,

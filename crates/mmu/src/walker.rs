@@ -8,7 +8,7 @@
 
 use flatwalk_mem::{HitLevel, MemoryHierarchy};
 use flatwalk_obs::trace::{self, WalkRecord, WalkStepRecord};
-use flatwalk_pt::{resolve, FrameStore, PageTable, Walk, WalkError};
+use flatwalk_pt::{resolve, resolve_from, FrameStore, PageTable, Walk, WalkError};
 use flatwalk_tlb::{Pwc, PwcConfig};
 use flatwalk_types::{AccessKind, OwnerId, PageSize, PhysAddr, VirtAddr};
 
@@ -163,6 +163,15 @@ impl PageWalker {
 
     /// Walks `table` for `va`, issuing entry reads through `hier`.
     ///
+    /// When walk tracing is off, a PSC hit short-circuits the
+    /// *functional* walk too: the suffix below the hit node is resolved
+    /// directly via [`flatwalk_pt::resolve_from`], skipping the
+    /// upper-level entry lookups that replay would have discarded
+    /// anyway. Tables are immutable during a run (cells run against a
+    /// frozen address space), so a trained PSC entry can never disagree
+    /// with the table. Timing, hit/miss statistics, and PSC training
+    /// are identical to the resolve-then-replay path.
+    ///
     /// # Errors
     ///
     /// Propagates [`WalkError`] from the functional walk (absent entry,
@@ -175,8 +184,71 @@ impl PageWalker {
         hier: &mut MemoryHierarchy,
         owner: OwnerId,
     ) -> Result<WalkTiming, WalkError> {
-        let walk = resolve(store, table, va)?;
-        let timing = self.replay(&walk, va, hier, owner);
+        if trace::walks_enabled() {
+            // Tracing reports how many steps the PSC skipped, which only
+            // the full functional walk knows.
+            let walk = resolve(store, table, va)?;
+            let timing = self.replay(&walk, va, hier, owner);
+            self.stats.record(&timing);
+            return Ok(timing);
+        }
+
+        let mut latency = self.pwc.latency();
+        let (walk, base_bits) = match self.pwc.lookup(va) {
+            Some(hit) => {
+                // The hit prefix always lands on a step boundary of this
+                // walk (identical VA prefix ⇒ identical upper steps), so
+                // the decode position below it is top minus the consumed
+                // groups. A rank underflow would mean a PSC/table
+                // mismatch; fall back to the full walk as `replay` does.
+                let rank = table
+                    .top_level
+                    .rank()
+                    .wrapping_sub((hit.prefix_bits / 9) as u8);
+                match flatwalk_types::Level::from_rank(rank) {
+                    Some(pos_top) => (
+                        resolve_from(store, hit.node_base, hit.node_shape, pos_top, va)?,
+                        hit.prefix_bits,
+                    ),
+                    None => (resolve(store, table, va)?, 0),
+                }
+            }
+            None => (resolve(store, table, va)?, 0),
+        };
+        #[cfg(debug_assertions)]
+        {
+            let full = resolve(store, table, va).expect("prefix was present");
+            debug_assert_eq!(
+                (full.pa, full.size),
+                (walk.pa, walk.size),
+                "PSC short-circuit must agree with the full walk"
+            );
+        }
+
+        let cum = walk.steps.cum_index_bits();
+        let mut accesses = 0u64;
+        for step in walk.steps.iter() {
+            let out = hier.access(step.entry_pa, AccessKind::PageTable, owner);
+            latency += out.latency;
+            accesses += 1;
+            self.stats.step_hits.record(out.level);
+        }
+        for i in 0..walk.steps.len().saturating_sub(1) {
+            let next = &walk.steps[i + 1];
+            self.pwc.insert(
+                va,
+                base_bits + cum[i],
+                next.node_base,
+                flatwalk_pt::NodeShape::from_depth(next.depth).expect("valid step depth"),
+            );
+        }
+
+        let timing = WalkTiming {
+            pa: walk.pa,
+            size: walk.size,
+            accesses,
+            latency,
+        };
         self.stats.record(&timing);
         Ok(timing)
     }

@@ -46,4 +46,4 @@ pub use mapper::{
 };
 pub use recursive::{RecursionError, RecursiveScheme};
 pub use store::FrameStore;
-pub use walk::{resolve, CumBits, StepVec, Walk, WalkError, WalkStep};
+pub use walk::{resolve, resolve_from, CumBits, StepVec, Walk, WalkError, WalkStep};

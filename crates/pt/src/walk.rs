@@ -210,10 +210,33 @@ const MAX_STEPS: usize = 8;
 ///
 /// See [`WalkError`].
 pub fn resolve(store: &FrameStore, table: &PageTable, va: VirtAddr) -> Result<Walk, WalkError> {
+    resolve_from(store, table.root, table.root_shape, table.top_level, va)
+}
+
+/// Walks from an arbitrary starting node — the suffix of a full walk.
+///
+/// This is [`resolve`] parameterized on the start: `node_base` (of
+/// `node_shape`) is consulted first, consuming VA index bits from
+/// `pos_top` downward. The timed walker uses it to skip the levels a
+/// paging-structure-cache hit already translated, so a PSC hit avoids
+/// not just the replayed entry reads but the functional lookups too.
+/// The returned [`Walk`] contains only the steps actually taken (the
+/// skipped prefix is absent).
+///
+/// # Errors
+///
+/// See [`WalkError`].
+pub fn resolve_from(
+    store: &FrameStore,
+    node_base: PhysAddr,
+    node_shape: NodeShape,
+    pos_top: Level,
+    va: VirtAddr,
+) -> Result<Walk, WalkError> {
     let mut steps = StepVec::new();
-    let mut node_base = table.root;
-    let mut node_shape = table.root_shape;
-    let mut pos_top = table.top_level;
+    let mut node_base = node_base;
+    let mut node_shape = node_shape;
+    let mut pos_top = pos_top;
 
     loop {
         if steps.len() >= MAX_STEPS {

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! flatwalk-serve [--port N] [--uds PATH] [--no-tcp] [--workers N]
-//!                [--queue-depth N] [--cache-mb N]
+//!                [--job-threads N] [--queue-depth N] [--cache-mb N]
 //! ```
 //!
 //! Binds `127.0.0.1:<port>` (default: an ephemeral port, announced on
@@ -62,7 +62,7 @@ mod sig {
 }
 
 const USAGE: &str = "usage: flatwalk-serve [--port N] [--uds PATH] [--no-tcp] \
-[--workers N] [--queue-depth N] [--cache-mb N]";
+[--workers N] [--job-threads N] [--queue-depth N] [--cache-mb N]";
 
 fn parse_config(args: &[String]) -> Result<ServerConfig, String> {
     let mut config = ServerConfig::from_env();
@@ -83,6 +83,11 @@ fn parse_config(args: &[String]) -> Result<ServerConfig, String> {
                 config.workers = value("--workers")?
                     .parse()
                     .map_err(|e| format!("--workers: {e}"))?;
+            }
+            "--job-threads" => {
+                config.job_threads = value("--job-threads")?
+                    .parse()
+                    .map_err(|e| format!("--job-threads: {e}"))?;
             }
             "--queue-depth" => {
                 config.queue_depth = value("--queue-depth")?

@@ -15,15 +15,25 @@
 //! total)`), so any key formed under an active fault plan also carries
 //! the cell's grid position.
 //!
+//! The **read path is lock-free**: the key→entry index is a
+//! [`flatwalk_sync::SwapMap`] (epoch-style snapshot swaps), and a hit
+//! refreshes its LRU recency with one relaxed atomic store — no
+//! `Mutex` anywhere between a request and its cached bytes. Writers
+//! (insert + eviction) serialize on one mutex; an insert follows a
+//! full cell simulation, so its clone-and-swap cost is noise.
+//!
 //! The cache is bounded by an approximate byte budget
-//! (`FLATWALK_RESULT_CACHE_MB`, default 64 MB) with LRU eviction.
-//! Failed cells are never cached: a failure under retries is not
-//! content-deterministic the way a finished report is.
+//! (`FLATWALK_RESULT_CACHE_MB`, default 64 MB) with LRU eviction
+//! (approximate under concurrency: a hit that races the eviction scan
+//! may refresh a victim too late — it then simply re-enters on the
+//! next miss). Failed cells are never cached: a failure under retries
+//! is not content-deterministic the way a finished report is.
 
-use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use flatwalk_sim::runner::Cell;
+use flatwalk_sync::SwapMap;
 
 /// A finished, cacheable cell execution.
 #[derive(Debug, Clone)]
@@ -64,25 +74,27 @@ pub fn cell_key(cell: &Cell, plan_signature: u64, index: usize, total: usize) ->
     key
 }
 
+/// One resident entry: immutable value, atomically refreshed recency.
 #[derive(Debug)]
 struct Entry {
     value: CachedCell,
-    /// Monotone use tick for LRU ordering.
-    last_used: u64,
+    cost: u64,
+    /// Monotone use tick for LRU ordering; a hit stores the current
+    /// tick with a relaxed atomic — no lock on the read path.
+    last_used: AtomicU64,
 }
 
-#[derive(Debug, Default)]
-struct Inner {
-    map: HashMap<String, Entry>,
-    bytes: u64,
-    tick: u64,
-    evicted: u64,
-}
-
-/// An LRU-by-bytes map from [`cell_key`] to [`CachedCell`].
+/// An LRU-by-bytes map from [`cell_key`] to [`CachedCell`] with
+/// lock-free lookups.
 #[derive(Debug)]
 pub struct ResultCache {
-    inner: Mutex<Inner>,
+    map: SwapMap<String, Arc<Entry>>,
+    tick: AtomicU64,
+    bytes: AtomicU64,
+    evicted: AtomicU64,
+    /// Serializes insert + eviction (byte accounting); never taken by
+    /// [`ResultCache::get`].
+    write: Mutex<()>,
     budget_bytes: u64,
 }
 
@@ -90,18 +102,24 @@ impl ResultCache {
     /// A cache bounded to roughly `budget_bytes` of key + report text.
     pub fn new(budget_bytes: u64) -> ResultCache {
         ResultCache {
-            inner: Mutex::new(Inner::default()),
+            map: SwapMap::new(),
+            tick: AtomicU64::new(0),
+            bytes: AtomicU64::new(0),
+            evicted: AtomicU64::new(0),
+            write: Mutex::new(()),
             budget_bytes,
         }
     }
 
-    /// Looks `key` up, refreshing its recency on a hit.
+    /// Looks `key` up, refreshing its recency on a hit. Lock-free: a
+    /// snapshot probe plus one relaxed store.
     pub fn get(&self, key: &str) -> Option<CachedCell> {
-        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
-        inner.tick += 1;
-        let tick = inner.tick;
-        let entry = inner.map.get_mut(key)?;
-        entry.last_used = tick;
+        // SwapMap keys by `String`; borrow-form lookup would need the
+        // unstable raw-entry API, and serve's keys are built as owned
+        // Strings anyway.
+        let entry = self.map.get(&key.to_string())?;
+        let tick = self.tick.fetch_add(1, Ordering::Relaxed) + 1;
+        entry.last_used.store(tick, Ordering::Relaxed);
         Some(entry.value.clone())
     }
 
@@ -110,57 +128,59 @@ impl ResultCache {
     /// whole budget is admitted alone — serving one oversized grid cell
     /// from cache still beats re-simulating it.
     pub fn insert(&self, key: String, value: CachedCell) {
-        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
-        inner.tick += 1;
-        let tick = inner.tick;
+        let _write = self.write.lock().unwrap_or_else(|e| e.into_inner()); // lock-ok: write path
+        let tick = self.tick.fetch_add(1, Ordering::Relaxed) + 1;
         let cost = value.cost_bytes(key.len());
-        if let Some(old) = inner.map.remove(&key) {
-            inner.bytes -= old.value.cost_bytes(key.len());
+        let entry = Arc::new(Entry {
+            value,
+            cost,
+            last_used: AtomicU64::new(tick),
+        });
+        if let Some(old) = self.map.get(&key) {
+            self.bytes.fetch_sub(old.cost, Ordering::Relaxed);
         }
-        inner.bytes += cost;
-        inner.map.insert(
-            key,
-            Entry {
-                value,
-                last_used: tick,
-            },
-        );
-        while inner.bytes > self.budget_bytes && inner.map.len() > 1 {
-            let victim = inner
-                .map
-                .iter()
-                .min_by_key(|(_, e)| e.last_used)
-                .map(|(k, _)| k.clone())
-                .expect("non-empty map has a minimum");
-            if let Some(old) = inner.map.remove(&victim) {
-                inner.bytes -= old.value.cost_bytes(victim.len());
-                inner.evicted += 1;
+        self.map.insert(key, entry);
+        self.bytes.fetch_add(cost, Ordering::Relaxed);
+        while self.bytes.load(Ordering::Relaxed) > self.budget_bytes && self.map.len() > 1 {
+            // Coldest entry across the current snapshots (exact while
+            // the write lock serializes mutation; concurrent hits can
+            // only make a victim look *colder* than it just became).
+            let victim = self.map.fold(None::<(String, u64)>, |acc, snap| {
+                snap.iter().fold(acc, |acc, (k, e)| {
+                    let used = e.last_used.load(Ordering::Relaxed);
+                    match &acc {
+                        Some((_, best)) if *best <= used => acc,
+                        _ => Some((k.clone(), used)),
+                    }
+                })
+            });
+            let Some((victim, _)) = victim else { break };
+            if let Some(old) = self.map.get(&victim) {
+                self.map.remove(&victim);
+                self.bytes.fetch_sub(old.cost, Ordering::Relaxed);
+                self.evicted.fetch_add(1, Ordering::Relaxed);
             }
         }
     }
 
     /// Entry count.
     pub fn len(&self) -> usize {
-        self.inner
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .map
-            .len()
+        self.map.len()
     }
 
     /// Whether the cache is empty.
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
+        self.map.is_empty()
     }
 
     /// Approximate resident bytes.
     pub fn bytes(&self) -> u64 {
-        self.inner.lock().unwrap_or_else(|e| e.into_inner()).bytes
+        self.bytes.load(Ordering::Relaxed)
     }
 
     /// Entries evicted so far.
     pub fn evicted(&self) -> u64 {
-        self.inner.lock().unwrap_or_else(|e| e.into_inner()).evicted
+        self.evicted.load(Ordering::Relaxed)
     }
 }
 
@@ -236,5 +256,40 @@ mod tests {
             cell_key(c, 0, 0, 9),
             "different cell content, different key"
         );
+    }
+
+    /// Stress loop: readers hammer lock-free `get` while inserts churn
+    /// generations and evictions; every hit must return an intact
+    /// payload for its key.
+    #[test]
+    fn concurrent_reads_survive_insert_and_eviction_churn() {
+        let payload = "p".repeat(100);
+        let budget = 8 * (2 + payload.len() + 64) as u64;
+        let cache = std::sync::Arc::new(ResultCache::new(budget));
+        let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let readers: Vec<_> = (0..3)
+            .map(|_| {
+                let cache = std::sync::Arc::clone(&cache);
+                let stop = std::sync::Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    while !stop.load(Ordering::Relaxed) {
+                        for k in 0..16u64 {
+                            if let Some(hit) = cache.get(&format!("k{k}")) {
+                                assert!(hit.report_json.starts_with(&format!("{k}:")));
+                            }
+                        }
+                    }
+                })
+            })
+            .collect();
+        for round in 0..200u64 {
+            let k = round % 16;
+            cache.insert(format!("k{k}"), cell(&format!("{k}:{payload}")));
+        }
+        stop.store(true, Ordering::Relaxed);
+        for r in readers {
+            r.join().unwrap();
+        }
+        assert!(cache.evicted() > 0, "budget forces evictions during churn");
     }
 }

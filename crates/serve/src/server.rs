@@ -7,12 +7,16 @@
 //!    [`ServerInner::submit`]. Draining servers reject with `draining`;
 //!    a queue at `queue_depth` rejects with `overloaded` (backpressure
 //!    is explicit, never a silent hang).
-//! 2. A worker pops the job and runs its cells **in index order**,
-//!    each through [`ServerInner::execute_cell`]: result-cache lookup →
-//!    in-flight coalescing → `runner::run_cell_outcome` (the same
-//!    fault-domain entry point the batch binaries use, with the job's
-//!    fault plan installed as a thread-scoped plan). Completed cells
-//!    are rendered once and streamed to subscribers as they finish.
+//! 2. A worker pops the job and fans its cells across the
+//!    work-stealing scheduler (`FLATWALK_JOB_THREADS`, default: the
+//!    worker count), each through [`ServerInner::execute_cell`]:
+//!    result-cache lookup → in-flight coalescing →
+//!    `runner::run_cell_outcome` (the same fault-domain entry point
+//!    the batch binaries use, with the job's fault plan re-installed
+//!    as a thread-scoped plan on every pool thread). Completed cells
+//!    are rendered once and streamed to subscribers **in index
+//!    order** — an emit cursor holds back out-of-order finishes until
+//!    their predecessors land.
 //! 3. The finished job stays addressable (`status` / `result`) for the
 //!    server's lifetime.
 //!
@@ -42,8 +46,9 @@ use crate::rcache::{cell_key, CachedCell, ResultCache};
 const ACCEPT_POLL: Duration = Duration::from_millis(25);
 
 /// Server configuration. Environment knobs (read by [`from_env`]
-/// (ServerConfig::from_env)): `FLATWALK_QUEUE_DEPTH` (default 32) and
-/// `FLATWALK_RESULT_CACHE_MB` (default 64).
+/// (ServerConfig::from_env)): `FLATWALK_QUEUE_DEPTH` (default 32),
+/// `FLATWALK_RESULT_CACHE_MB` (default 64) and `FLATWALK_JOB_THREADS`
+/// (per-job cell fan-out; default: follow `workers`).
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
     /// Bind a TCP listener on `127.0.0.1:port` (port 0 = ephemeral).
@@ -54,6 +59,10 @@ pub struct ServerConfig {
     pub uds: Option<PathBuf>,
     /// Worker threads executing jobs.
     pub workers: usize,
+    /// Threads fanning one job's cells through the work-stealing
+    /// scheduler. `0` (the default) follows [`workers`]
+    /// (ServerConfig::workers).
+    pub job_threads: usize,
     /// Maximum queued (not yet running) jobs before `overloaded`.
     pub queue_depth: usize,
     /// Result-cache byte budget.
@@ -77,6 +86,7 @@ impl ServerConfig {
             port: 0,
             uds: None,
             workers: runner::resolve_threads(None),
+            job_threads: env_u64("FLATWALK_JOB_THREADS", 0) as usize,
             queue_depth: env_u64("FLATWALK_QUEUE_DEPTH", 32) as usize,
             cache_bytes: env_u64("FLATWALK_RESULT_CACHE_MB", 64) << 20,
         }
@@ -435,46 +445,73 @@ impl ServerInner {
     fn run_job(&self, job: &Arc<Job>) {
         job.state.store(RUNNING, Ordering::Relaxed);
         trace::emit_serve("job_start", job.id, &job.spec.grid);
-        // The job's fault plan is installed as a thread-scoped plan for
-        // the duration — `scoped(None)` still pushes a scope, so a job
-        // without faults is fault-free even if this process ever had a
-        // global plan installed.
-        let _plan_scope = flatwalk_faults::scoped(job.spec.faults);
         let total = job.cells.len();
-        for index in 0..total {
-            let data = if self.cancel.is_cancelled() {
-                CellData::Failed {
-                    error: format!("cancelled before start: cell {index} of {total}"),
-                    retries: 0,
-                }
-            } else {
-                self.execute_cell(job.id, index, total, &job.cells[index])
-            };
-            match &data {
-                CellData::Done {
-                    cached, coalesced, ..
-                } => {
-                    if *cached {
-                        job.cached_cells.fetch_add(1, Ordering::Relaxed);
-                    } else {
-                        job.executed_cells.fetch_add(1, Ordering::Relaxed);
+        // The job's cells fan out through the work-stealing scheduler.
+        // Fault plans are *thread*-scoped, so every per-cell closure
+        // re-installs the job's plan on whichever pool thread runs it —
+        // `scoped(None)` still pushes a scope, so a job without faults
+        // is fault-free even if this process ever had a global plan
+        // installed. Subscribers still see cell events in index order:
+        // each finished cell parks its record, then the emit cursor
+        // flushes every consecutive completed record.
+        let plan = job.spec.faults;
+        let fan = match self.config.job_threads {
+            0 => self.config.workers,
+            n => n,
+        };
+        let emit = Mutex::new(0usize);
+        let progress = runner::Progress::quiet(total);
+        runner::run_ordered(
+            (0..total).collect(),
+            fan,
+            &progress,
+            |_| 1,
+            |index: usize| {
+                let _plan_scope = flatwalk_faults::scoped(plan);
+                let data = if self.cancel.is_cancelled() {
+                    CellData::Failed {
+                        error: format!("cancelled before start: cell {index} of {total}"),
+                        retries: 0,
                     }
-                    if *coalesced {
-                        job.coalesced_cells.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    self.execute_cell(job.id, index, total, &job.cells[index])
+                };
+                match &data {
+                    CellData::Done {
+                        cached, coalesced, ..
+                    } => {
+                        if *cached {
+                            job.cached_cells.fetch_add(1, Ordering::Relaxed);
+                        } else {
+                            job.executed_cells.fetch_add(1, Ordering::Relaxed);
+                        }
+                        if *coalesced {
+                            job.coalesced_cells.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    CellData::Failed { .. } => {
+                        job.failed_cells.fetch_add(1, Ordering::Relaxed);
                     }
                 }
-                CellData::Failed { .. } => {
-                    job.failed_cells.fetch_add(1, Ordering::Relaxed);
+                let record = render_record(job, index, &data);
+                job.records.lock().unwrap_or_else(|e| e.into_inner())[index] = Some(record);
+                job.done_cells.fetch_add(1, Ordering::Relaxed);
+                // Flush the in-order prefix this completion unblocked.
+                // Lock order is emit → records everywhere; the store
+                // above released `records` first, so a racing flusher
+                // either emits our record for us or leaves the cursor
+                // parked on it for this call.
+                let mut cursor = emit.lock().unwrap_or_else(|e| e.into_inner());
+                let records = job.records.lock().unwrap_or_else(|e| e.into_inner());
+                while let Some(Some(record)) = records.get(*cursor) {
+                    job.broadcast(&format!(
+                        "{{\"ok\":true,\"event\":\"cell\",\"job\":{},\"record\":{record}}}",
+                        job.id
+                    ));
+                    *cursor += 1;
                 }
-            }
-            let record = render_record(job, index, &data);
-            job.records.lock().unwrap_or_else(|e| e.into_inner())[index] = Some(record.clone());
-            job.done_cells.fetch_add(1, Ordering::Relaxed);
-            job.broadcast(&format!(
-                "{{\"ok\":true,\"event\":\"cell\",\"job\":{},\"record\":{record}}}",
-                job.id
-            ));
-        }
+            },
+        );
         job.state.store(DONE, Ordering::Relaxed);
         let mut done = Json::obj();
         done.push("ok", true)
@@ -884,6 +921,7 @@ mod tests {
             port: 0,
             uds: None,
             workers: 2,
+            job_threads: 0,
             queue_depth: 4,
             cache_bytes: 1 << 20,
         }

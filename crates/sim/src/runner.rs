@@ -5,9 +5,11 @@
 //! and each cell owns all of its state (address space, hierarchy,
 //! TLBs, seeded RNGs), so cells can run on any thread in any order
 //! without perturbing results. This module fans a job list across a
-//! bounded pool of scoped worker threads and reassembles the results
-//! **in declaration order**, making the output of every experiment
-//! byte-identical to the serial run regardless of thread count.
+//! bounded pool of scoped worker threads using a work-stealing
+//! scheduler ([`flatwalk_sync::StealQueues`]) and reassembles the
+//! results **in declaration order**, making the output of every
+//! experiment byte-identical to the serial run regardless of thread
+//! count.
 //!
 //! Thread count resolution (first match wins):
 //!
@@ -15,6 +17,10 @@
 //!    in via [`resolve_threads`]),
 //! 2. the `FLATWALK_THREADS` environment variable,
 //! 3. [`std::thread::available_parallelism`].
+//!
+//! The resolved count is then clamped to the host's available
+//! parallelism when sizing the actual pool (override with
+//! `FLATWALK_THREADS_EXACT=1`); see [`run_ordered`].
 //!
 //! Progress (cells done, simulated ops/s, ETA) is reported on stderr
 //! only — stdout carries nothing but the experiment's own output — and
@@ -27,6 +33,7 @@ use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use flatwalk_os::FragmentationScenario;
+use flatwalk_sync::{OnceSlot, StealQueues, TakeSlot};
 use flatwalk_workloads::WorkloadSpec;
 
 use crate::setup::{self, setup_stats, SetupStats};
@@ -261,6 +268,23 @@ impl Progress {
         }
     }
 
+    /// A meter that counts ticks but never prints, regardless of
+    /// `FLATWALK_PROGRESS` — for embedders (the serve worker pool)
+    /// that report progress through their own channel.
+    pub fn quiet(total: usize) -> Self {
+        Progress {
+            label: "",
+            total,
+            done: AtomicUsize::new(0),
+            ops_done: AtomicU64::new(0),
+            next_print_ms: AtomicU64::new(0),
+            start: Instant::now(),
+            setup_base: SetupStats::default(),
+            walk_base: (0, 0),
+            enabled: false,
+        }
+    }
+
     /// Records one finished job that simulated `ops` operations.
     pub fn tick(&self, ops: u64) {
         let done = self.done.fetch_add(1, Ordering::Relaxed) + 1;
@@ -305,7 +329,7 @@ impl Progress {
                 String::new()
             }
         };
-        let mut err = std::io::stderr().lock();
+        let mut err = std::io::stderr().lock(); // lock-ok: progress printer
         let _ = write!(
             err,
             "\r[{}] {}/{} cells · {:.1} M sim-ops/s · {}cache {} hit/{} miss · setup {:.1}s / run {:.1}s · ETA {:.0}s ",
@@ -327,26 +351,80 @@ impl Progress {
     }
 }
 
+/// Number of worker threads actually spawned for a `threads`-way
+/// request over `total` jobs.
+///
+/// By default the pool is sized to
+/// `min(threads, available_parallelism, total)`: asking for more
+/// workers than the host has cores only adds coordination overhead
+/// (the old behavior made `runner_grid/8cells_t4_ms` *slower* than t1
+/// on a 1-core CI box). Results are spliced by job index, so the
+/// clamp cannot change any output byte. Set `FLATWALK_THREADS_EXACT=1`
+/// to restore the old spawn-exactly-what-was-asked behavior (useful
+/// for oversubscription experiments).
+fn effective_workers(threads: usize, total: usize) -> usize {
+    let exact = std::env::var("FLATWALK_THREADS_EXACT").is_ok_and(|v| v.trim() == "1");
+    let cap = if exact {
+        threads
+    } else {
+        threads.min(
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(threads),
+        )
+    };
+    cap.min(total).max(1)
+}
+
 /// Runs `jobs` across `threads` workers, returning results in job
 /// order. `weight(job)` feeds the progress meter (simulated ops).
 ///
-/// With `threads <= 1` (or one job) this degenerates to a plain serial
+/// The pool is sized by [`effective_workers`] (clamped to the host's
+/// available parallelism unless `FLATWALK_THREADS_EXACT=1`). With one
+/// effective worker (or one job) this degenerates to a plain serial
 /// loop on the calling thread — no pool, identical evaluation order.
-/// With more threads, workers claim jobs from a shared counter
-/// (dynamic load balancing: cells of a grid can differ in cost by
-/// orders of magnitude) and deposit each result into its job's slot.
+pub fn run_ordered<J, R, F, W>(
+    jobs: Vec<J>,
+    threads: usize,
+    progress: &Progress,
+    weight: W,
+    f: F,
+) -> Vec<R>
+where
+    J: Send,
+    R: Send,
+    F: Fn(J) -> R + Sync,
+    W: Fn(&J) -> u64 + Sync,
+{
+    let workers = effective_workers(threads, jobs.len());
+    run_ordered_workers(jobs, workers, progress, weight, f)
+}
+
+/// [`run_ordered`] with an exact worker count (no parallelism clamp):
+/// the work-stealing scheduler itself.
+///
+/// Each worker owns a contiguous slice of the job index space as a
+/// deque ([`StealQueues`]): it pops its own range front-to-back (the
+/// serial visit order) and, once drained, steals from the *back* of
+/// the other workers' ranges — so a skewed grid (one 10x-cost cell)
+/// no longer strands the remaining workers behind a static partition.
+/// Jobs hand off through take-once slots and results land in
+/// write-once slots ([`TakeSlot`]/[`OnceSlot`] — one atomic
+/// transition each, no per-slot `Mutex`), then are spliced back **in
+/// job-index order**, making the output byte-identical to the serial
+/// run at any thread count.
 ///
 /// # Panics
 ///
-/// A panicking job no longer aborts the batch mid-flight: every
+/// A panicking job does not abort the batch mid-flight: every
 /// remaining job still runs to completion inside its own fault domain,
 /// then the panic of the lowest-indexed failed job is re-raised on the
 /// caller. A failed batch therefore never yields a partial result
 /// vector, but it also never wastes the work of its healthy jobs'
 /// side effects (setup-cache fills, recorded metrics).
-pub fn run_ordered<J, R, F, W>(
+pub fn run_ordered_workers<J, R, F, W>(
     jobs: Vec<J>,
-    threads: usize,
+    workers: usize,
     progress: &Progress,
     weight: W,
     f: F,
@@ -361,7 +439,7 @@ where
     /// Keeps the panic of the lowest-indexed failed job (the one a
     /// serial run would have hit first).
     fn note_panic(first: &Mutex<Option<(usize, Panic)>>, index: usize, payload: Panic) {
-        let mut slot = first.lock().unwrap_or_else(|e| e.into_inner());
+        let mut slot = first.lock().unwrap_or_else(|e| e.into_inner()); // lock-ok: panic path
         if slot.as_ref().is_none_or(|(i, _)| index < *i) {
             *slot = Some((index, payload));
         }
@@ -369,7 +447,7 @@ where
 
     let total = jobs.len();
     let first_panic: Mutex<Option<(usize, Panic)>> = Mutex::new(None);
-    if threads <= 1 || total <= 1 {
+    if workers <= 1 || total <= 1 {
         let results = jobs
             .into_iter()
             .enumerate()
@@ -392,32 +470,35 @@ where
         return results;
     }
 
-    let job_slots: Vec<Mutex<Option<J>>> = jobs.into_iter().map(|j| Mutex::new(Some(j))).collect();
-    let result_slots: Vec<Mutex<Option<R>>> = (0..total).map(|_| Mutex::new(None)).collect();
-    let next = AtomicUsize::new(0);
+    let job_slots: Vec<TakeSlot<J>> = jobs.into_iter().map(TakeSlot::new).collect();
+    let result_slots: Vec<OnceSlot<R>> = (0..total).map(|_| OnceSlot::new()).collect();
+    let queues = StealQueues::new(total, workers.min(total));
 
     std::thread::scope(|scope| {
-        for _ in 0..threads.min(total) {
-            scope.spawn(|| loop {
-                let index = next.fetch_add(1, Ordering::Relaxed);
-                if index >= total {
-                    break;
-                }
-                let job = job_slots[index]
-                    .lock()
-                    .unwrap_or_else(|e| e.into_inner())
-                    .take()
-                    .expect("each job is claimed exactly once");
-                let ops = weight(&job);
-                match std::panic::catch_unwind(AssertUnwindSafe(|| f(job))) {
-                    Ok(result) => {
-                        *result_slots[index]
-                            .lock()
-                            .unwrap_or_else(|e| e.into_inner()) = Some(result);
+        for w in 0..queues.workers() {
+            let queues = &queues;
+            let job_slots = &job_slots;
+            let result_slots = &result_slots;
+            let first_panic = &first_panic;
+            let weight = &weight;
+            let f = &f;
+            scope.spawn(move || {
+                while let Some(index) = queues.next(w) {
+                    let job = job_slots[index]
+                        .take()
+                        .expect("a claimed index is claimed exactly once");
+                    let ops = weight(&job);
+                    match std::panic::catch_unwind(AssertUnwindSafe(|| f(job))) {
+                        Ok(result) => {
+                            assert!(
+                                result_slots[index].set(result).is_ok(),
+                                "a result slot is written exactly once"
+                            );
+                        }
+                        Err(payload) => note_panic(first_panic, index, payload),
                     }
-                    Err(payload) => note_panic(&first_panic, index, payload),
+                    progress.tick(ops);
                 }
-                progress.tick(ops);
             });
         }
     });
@@ -427,11 +508,7 @@ where
     }
     result_slots
         .into_iter()
-        .map(|slot| {
-            slot.into_inner()
-                .unwrap_or_else(|e| e.into_inner())
-                .expect("every slot filled by the pool")
-        })
+        .map(|slot| slot.into_inner().expect("every slot filled by the pool"))
         .collect()
 }
 
@@ -577,9 +654,11 @@ mod tests {
     fn ordered_results_regardless_of_threads() {
         let jobs: Vec<u64> = (0..67).collect();
         let progress = Progress::new("t", jobs.len());
-        let serial = run_ordered(jobs.clone(), 1, &progress, |_| 1, |j| j * j);
+        let serial = run_ordered_workers(jobs.clone(), 1, &progress, |_| 1, |j| j * j);
+        // `run_ordered_workers` bypasses the parallelism clamp, so the
+        // stealing pool genuinely runs 5 workers even on a 1-core host.
         let progress = Progress::new("t", jobs.len());
-        let parallel = run_ordered(jobs, 5, &progress, |_| 1, |j| j * j);
+        let parallel = run_ordered_workers(jobs, 5, &progress, |_| 1, |j| j * j);
         assert_eq!(serial, parallel);
         assert_eq!(serial[10], 100);
     }
@@ -587,8 +666,52 @@ mod tests {
     #[test]
     fn pool_larger_than_job_list() {
         let progress = Progress::new("t", 2);
-        let out = run_ordered(vec![1u64, 2], 16, &progress, |_| 1, |j| j + 1);
+        let out = run_ordered_workers(vec![1u64, 2], 16, &progress, |_| 1, |j| j + 1);
         assert_eq!(out, vec![2, 3]);
+    }
+
+    /// An artificially skewed grid — one job 10x the cost of the rest —
+    /// must still splice byte-identically to the serial golden at every
+    /// worker count, and the expensive job must be stealable (other
+    /// workers drain the rest of the grid meanwhile).
+    #[test]
+    fn skewed_grid_matches_serial_golden_at_t1_t2_t8() {
+        let jobs: Vec<u64> = (0..33).collect();
+        let skewed_cost = |j: &u64| if *j == 3 { 10_000u64 } else { 1_000 };
+        let run_job = move |j: u64| {
+            // Deterministic busywork proportional to the job's cost.
+            let spins = skewed_cost(&j);
+            let mut acc = j;
+            for i in 0..spins {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+            }
+            (j, acc)
+        };
+        let progress = Progress::new("t", jobs.len());
+        let golden = run_ordered_workers(jobs.clone(), 1, &progress, skewed_cost, run_job);
+        for workers in [2usize, 8] {
+            let progress = Progress::new("t", jobs.len());
+            let out = run_ordered_workers(jobs.clone(), workers, &progress, skewed_cost, run_job);
+            assert_eq!(out, golden, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn effective_workers_clamps_to_parallelism_and_jobs() {
+        // Independent of the host: never more workers than jobs, never
+        // fewer than one.
+        assert_eq!(effective_workers(4, 2).max(1), effective_workers(4, 2));
+        assert!(effective_workers(4, 2) <= 2);
+        assert_eq!(effective_workers(0, 10), 1);
+        assert_eq!(effective_workers(8, 0), 1);
+        // And never more than the host can run, unless the exact
+        // override is set (not set under the test harness).
+        if std::env::var("FLATWALK_THREADS_EXACT").is_err() {
+            let cores = std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1);
+            assert!(effective_workers(1024, 1024) <= cores);
+        }
     }
 
     #[test]
@@ -606,13 +729,13 @@ mod tests {
 
     #[test]
     fn panic_completes_batch_then_propagates() {
-        for threads in [1usize, 2] {
+        for workers in [1usize, 2] {
             let completed = AtomicUsize::new(0);
             let result = std::panic::catch_unwind(|| {
                 let progress = Progress::new("t", 5);
-                run_ordered(
+                run_ordered_workers(
                     vec![1u64, 2, 3, 4, 5],
-                    threads,
+                    workers,
                     &progress,
                     |_| 1,
                     |j| {
@@ -626,7 +749,7 @@ mod tests {
             assert_eq!(
                 completed.load(Ordering::Relaxed),
                 4,
-                "every non-panicking job ran to completion first (threads={threads})"
+                "every non-panicking job ran to completion first (workers={workers})"
             );
         }
     }

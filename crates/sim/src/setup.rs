@@ -19,17 +19,27 @@
 //! result, so output stays byte-identical to a cache-off run at any
 //! thread count.
 //!
+//! The cache's read path is **lock-free**: the four key→slot maps are
+//! [`flatwalk_sync::SwapMap`]s (sharded, epoch-style snapshot swaps),
+//! so a hit — every cell of a sweep after the first — is a hash probe
+//! of an immutable snapshot with no `Mutex` acquisition. Misses take a
+//! per-shard writer lock only to publish a fresh once-cell (a single
+//! entry-API probe), then build *outside* that lock, preserving the
+//! build-coalescing semantics above.
+//!
 //! Disable with `FLATWALK_NO_SETUP_CACHE=1` (every cell then builds
 //! privately, as before this cache existed); tests can force either
-//! mode programmatically via [`set_cache_override`]. Hit/miss counters
-//! and the aggregate setup-vs-run time split are exported through
-//! [`setup_stats`] and shown on the runner's stderr progress line.
+//! mode programmatically via [`set_cache_override`]. Hit/miss/eviction
+//! counters and the aggregate setup-vs-run time split are exported
+//! through [`setup_stats`] (and the `setup.cache.*` counters of the
+//! obs registry) and shown on the runner's stderr progress line.
 
-use std::collections::HashMap;
 use std::hash::Hash;
 use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, OnceLock};
 use std::time::Duration;
+
+use flatwalk_sync::SwapMap;
 
 use flatwalk_faults::FaultyAllocator;
 use flatwalk_os::{
@@ -111,24 +121,25 @@ struct StreamKey {
 type Slot<T> = Arc<OnceLock<Arc<T>>>;
 
 struct Caches {
-    native: Mutex<HashMap<NativeKey, Slot<FrozenSpace>>>,
-    virt: Mutex<HashMap<VirtKey, Slot<FrozenVirtSpace>>>,
-    multicore: Mutex<HashMap<MulticoreKey, Slot<Vec<Arc<FrozenSpace>>>>>,
-    streams: Mutex<HashMap<StreamKey, Slot<Vec<u64>>>>,
+    native: SwapMap<NativeKey, Slot<FrozenSpace>>,
+    virt: SwapMap<VirtKey, Slot<FrozenVirtSpace>>,
+    multicore: SwapMap<MulticoreKey, Slot<Vec<Arc<FrozenSpace>>>>,
+    streams: SwapMap<StreamKey, Slot<Vec<u64>>>,
 }
 
 fn caches() -> &'static Caches {
     static CACHES: OnceLock<Caches> = OnceLock::new();
     CACHES.get_or_init(|| Caches {
-        native: Mutex::new(HashMap::new()),
-        virt: Mutex::new(HashMap::new()),
-        multicore: Mutex::new(HashMap::new()),
-        streams: Mutex::new(HashMap::new()),
+        native: SwapMap::new(),
+        virt: SwapMap::new(),
+        multicore: SwapMap::new(),
+        streams: SwapMap::new(),
     })
 }
 
 static HITS: AtomicU64 = AtomicU64::new(0);
 static MISSES: AtomicU64 = AtomicU64::new(0);
+static EVICTIONS: AtomicU64 = AtomicU64::new(0);
 static SETUP_NANOS: AtomicU64 = AtomicU64::new(0);
 static RUN_NANOS: AtomicU64 = AtomicU64::new(0);
 
@@ -145,6 +156,8 @@ pub struct SetupStats {
     pub hits: u64,
     /// Requests that performed the build.
     pub misses: u64,
+    /// Entries dropped from the cache (see [`clear_setup_cache`]).
+    pub evictions: u64,
     /// Total nanoseconds simulations spent in their build phase.
     pub setup_nanos: u64,
     /// Total nanoseconds simulations spent in their run phase.
@@ -157,6 +170,7 @@ impl SetupStats {
         SetupStats {
             hits: self.hits.saturating_sub(earlier.hits),
             misses: self.misses.saturating_sub(earlier.misses),
+            evictions: self.evictions.saturating_sub(earlier.evictions),
             setup_nanos: self.setup_nanos.saturating_sub(earlier.setup_nanos),
             run_nanos: self.run_nanos.saturating_sub(earlier.run_nanos),
         }
@@ -168,9 +182,27 @@ pub fn setup_stats() -> SetupStats {
     SetupStats {
         hits: HITS.load(Ordering::Relaxed),
         misses: MISSES.load(Ordering::Relaxed),
+        evictions: EVICTIONS.load(Ordering::Relaxed),
         setup_nanos: SETUP_NANOS.load(Ordering::Relaxed),
         run_nanos: RUN_NANOS.load(Ordering::Relaxed),
     }
+}
+
+/// Drops every cached setup artifact, returning the number of entries
+/// evicted (also counted into `setup.cache.evictions` in the obs
+/// registry and [`SetupStats::evictions`]). Long-running hosts
+/// (`flatwalk-serve`) can call this between job campaigns to release
+/// snapshot memory; the next request for any key simply rebuilds.
+pub fn clear_setup_cache() -> u64 {
+    let c = caches();
+    let evicted = (c.native.len() + c.virt.len() + c.multicore.len() + c.streams.len()) as u64;
+    c.native.clear();
+    c.virt.clear();
+    c.multicore.clear();
+    c.streams.clear();
+    EVICTIONS.fetch_add(evicted, Ordering::Relaxed);
+    flatwalk_obs::metrics::add_global("setup.cache.evictions", evicted);
+    evicted
 }
 
 thread_local! {
@@ -239,18 +271,21 @@ pub fn cache_enabled() -> bool {
     }
 }
 
-fn get_or_build<K, T, F>(map: &Mutex<HashMap<K, Slot<T>>>, key: K, build: F) -> Arc<T>
+fn get_or_build<K, T, F>(map: &SwapMap<K, Slot<T>>, key: K, build: F) -> Arc<T>
 where
-    K: Eq + Hash,
+    K: Eq + Hash + Clone,
     F: FnOnce() -> Arc<T>,
 {
-    let slot = {
-        let mut m = map.lock().expect("setup cache poisoned");
-        Arc::clone(m.entry(key).or_insert_with(|| Arc::new(OnceLock::new())))
+    // Hot path: a known key is a lock-free snapshot probe — no Mutex.
+    // A miss publishes a fresh once-cell with a single entry-API probe
+    // under the shard's writer lock; the lock is released before
+    // building, so concurrent cells with *different* keys build in
+    // parallel while cells sharing this key block inside `get_or_init`
+    // until the one build completes.
+    let slot = match map.get(&key) {
+        Some(slot) => slot,
+        None => map.get_or_insert_with(key, || Arc::new(OnceLock::new())).0,
     };
-    // The map lock is released before building: concurrent cells with
-    // *different* keys build in parallel; cells sharing this key block
-    // inside `get_or_init` until the one build completes.
     let mut built = false;
     let value = slot.get_or_init(|| {
         built = true;
@@ -505,8 +540,8 @@ mod tests {
     /// Tests in this module (and the integration tests) flip the cache
     /// override, which is process-global — serialize them.
     pub(crate) fn override_lock() -> std::sync::MutexGuard<'static, ()> {
-        static LOCK: Mutex<()> = Mutex::new(());
-        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+        static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        LOCK.lock().unwrap_or_else(|e| e.into_inner()) // lock-ok: test-only override
     }
 
     fn test_spec(base_va: u64) -> AddressSpaceSpec {
@@ -575,6 +610,27 @@ mod tests {
         let delta = setup_stats().since(&before);
         assert!(delta.misses >= 1, "first request must build ({delta:?})");
         assert!(delta.hits >= 1, "second request must hit ({delta:?})");
+        set_cache_override(None);
+    }
+
+    #[test]
+    fn clear_counts_evictions() {
+        let _guard = override_lock();
+        set_cache_override(Some(true));
+        let before = setup_stats();
+        let _a = frozen_native_space(&test_spec(0x7600_0000_0000), 1 << 30);
+        let _b = frozen_native_space(&test_spec(0x7700_0000_0000), 1 << 30);
+        let evicted = clear_setup_cache();
+        assert!(evicted >= 2, "both fresh entries must be dropped");
+        let delta = setup_stats().since(&before);
+        assert!(
+            delta.evictions >= 2,
+            "evictions counter advances ({delta:?})"
+        );
+        // The cleared keys rebuild as misses, not hits.
+        let miss_base = setup_stats();
+        let _a2 = frozen_native_space(&test_spec(0x7600_0000_0000), 1 << 30);
+        assert!(setup_stats().since(&miss_base).misses >= 1);
         set_cache_override(None);
     }
 

@@ -1,0 +1,292 @@
+//! Write-once and take-once slots.
+//!
+//! The scheduler's result array used to be `Vec<Mutex<Option<R>>>`:
+//! every store and every splice paid a lock acquisition even though
+//! each slot is written exactly once, by exactly one worker, and read
+//! exactly once, after all workers have joined. [`OnceSlot`] encodes
+//! that protocol directly: a `set` is one compare-and-swap plus a
+//! release store, and the completion check is a single atomic load.
+//! [`TakeSlot`] is the mirror image for job hand-off: filled once at
+//! construction, drained by exactly one claimant.
+
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicU8, Ordering};
+
+const EMPTY: u8 = 0;
+const BUSY: u8 = 1;
+const READY: u8 = 2;
+const TAKEN: u8 = 3;
+
+/// A slot that can be written once from any thread and drained once.
+///
+/// The state machine is `EMPTY → BUSY → READY (→ TAKEN)`: `set` claims
+/// the slot with a compare-and-swap, writes the value, then publishes
+/// it with a release store, so a `READY` observation (acquire) always
+/// sees the fully written value.
+///
+/// # Examples
+///
+/// ```
+/// use flatwalk_sync::OnceSlot;
+///
+/// let slot = OnceSlot::new();
+/// assert!(slot.set(7).is_ok());
+/// assert!(slot.set(8).is_err(), "second write is rejected");
+/// assert_eq!(slot.into_inner(), Some(7));
+/// ```
+pub struct OnceSlot<T> {
+    state: AtomicU8,
+    value: UnsafeCell<MaybeUninit<T>>,
+}
+
+// SAFETY: the slot hands the value across threads by value (`set` in,
+// `take`/`into_inner` out); it never hands out shared references to the
+// payload, so `T: Send` is the only requirement.
+unsafe impl<T: Send> Send for OnceSlot<T> {}
+unsafe impl<T: Send> Sync for OnceSlot<T> {}
+
+impl<T> OnceSlot<T> {
+    /// Creates an empty slot.
+    pub fn new() -> Self {
+        OnceSlot {
+            state: AtomicU8::new(EMPTY),
+            value: UnsafeCell::new(MaybeUninit::uninit()),
+        }
+    }
+
+    /// Stores `value`, failing (and returning it back) if the slot has
+    /// already been claimed by another writer.
+    pub fn set(&self, value: T) -> Result<(), T> {
+        if self
+            .state
+            .compare_exchange(EMPTY, BUSY, Ordering::Acquire, Ordering::Relaxed)
+            .is_err()
+        {
+            return Err(value);
+        }
+        // SAFETY: the EMPTY→BUSY transition above is won by exactly one
+        // thread, so we have exclusive access to the cell until the
+        // release store below publishes it.
+        unsafe { (*self.value.get()).write(value) };
+        self.state.store(READY, Ordering::Release);
+        Ok(())
+    }
+
+    /// Whether a value has been published; a single acquire load.
+    pub fn is_set(&self) -> bool {
+        self.state.load(Ordering::Acquire) == READY
+    }
+
+    /// Drains the value. Exclusive access (`&mut`) means no
+    /// synchronization is needed beyond the state check.
+    pub fn take(&mut self) -> Option<T> {
+        if *self.state.get_mut() != READY {
+            return None;
+        }
+        *self.state.get_mut() = TAKEN;
+        // SAFETY: state was READY, so the value was fully written and
+        // has not been taken; the transition to TAKEN above makes this
+        // the unique read.
+        Some(unsafe { (*self.value.get()).assume_init_read() })
+    }
+
+    /// Consumes the slot, returning the value if one was published.
+    pub fn into_inner(mut self) -> Option<T> {
+        self.take()
+    }
+}
+
+impl<T> Default for OnceSlot<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> Drop for OnceSlot<T> {
+    fn drop(&mut self) {
+        if *self.state.get_mut() == READY {
+            // SAFETY: READY means the value was fully written and never
+            // taken, so it must be dropped exactly once, here.
+            unsafe { (*self.value.get()).assume_init_drop() };
+        }
+    }
+}
+
+impl<T> std::fmt::Debug for OnceSlot<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("OnceSlot")
+            .field("set", &self.is_set())
+            .finish()
+    }
+}
+
+/// A slot filled at construction and drained by exactly one claimant.
+///
+/// The scheduler pre-fills one `TakeSlot` per job; whichever worker
+/// claims the job's index extracts it with a single atomic swap — no
+/// per-slot `Mutex`, no `Option` left behind to lock around.
+///
+/// # Examples
+///
+/// ```
+/// use flatwalk_sync::TakeSlot;
+///
+/// let slot = TakeSlot::new(String::from("job"));
+/// assert_eq!(slot.take().as_deref(), Some("job"));
+/// assert_eq!(slot.take(), None, "second take finds it gone");
+/// ```
+pub struct TakeSlot<T> {
+    state: AtomicU8,
+    value: UnsafeCell<MaybeUninit<T>>,
+}
+
+// SAFETY: like `OnceSlot`, the payload only ever moves across threads
+// by value; no shared references to it are exposed.
+unsafe impl<T: Send> Send for TakeSlot<T> {}
+unsafe impl<T: Send> Sync for TakeSlot<T> {}
+
+impl<T> TakeSlot<T> {
+    /// Creates a filled slot.
+    pub fn new(value: T) -> Self {
+        TakeSlot {
+            state: AtomicU8::new(READY),
+            value: UnsafeCell::new(MaybeUninit::new(value)),
+        }
+    }
+
+    /// Extracts the value; `None` if another thread got here first.
+    pub fn take(&self) -> Option<T> {
+        if self
+            .state
+            .compare_exchange(READY, TAKEN, Ordering::Acquire, Ordering::Relaxed)
+            .is_err()
+        {
+            return None;
+        }
+        // SAFETY: the READY→TAKEN transition is won by exactly one
+        // thread; construction fully initialized the value, and the
+        // acquire above orders this read after that initialization.
+        Some(unsafe { (*self.value.get()).assume_init_read() })
+    }
+}
+
+impl<T> Drop for TakeSlot<T> {
+    fn drop(&mut self) {
+        if *self.state.get_mut() == READY {
+            // SAFETY: READY means the value was never taken; drop it
+            // exactly once, here.
+            unsafe { (*self.value.get()).assume_init_drop() };
+        }
+    }
+}
+
+impl<T> std::fmt::Debug for TakeSlot<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TakeSlot")
+            .field("present", &(self.state.load(Ordering::Acquire) == READY))
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Arc;
+
+    #[test]
+    fn once_slot_set_take_roundtrip() {
+        let mut slot = OnceSlot::new();
+        assert!(!slot.is_set());
+        assert!(slot.take().is_none());
+        slot.set(42u64).unwrap();
+        assert!(slot.is_set());
+        assert_eq!(slot.take(), Some(42));
+        assert!(slot.take().is_none(), "take drains the slot");
+    }
+
+    #[test]
+    fn once_slot_rejects_second_write() {
+        let slot = OnceSlot::new();
+        slot.set(1).unwrap();
+        assert_eq!(slot.set(2), Err(2));
+        assert_eq!(slot.into_inner(), Some(1));
+    }
+
+    #[test]
+    fn once_slot_drops_unclaimed_value() {
+        struct Canary(Arc<AtomicUsize>);
+        impl Drop for Canary {
+            fn drop(&mut self) {
+                self.0.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        let drops = Arc::new(AtomicUsize::new(0));
+        let slot = OnceSlot::new();
+        assert!(slot.set(Canary(drops.clone())).is_ok());
+        drop(slot);
+        assert_eq!(drops.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn take_slot_single_winner() {
+        let slot = TakeSlot::new(vec![1, 2, 3]);
+        assert_eq!(slot.take(), Some(vec![1, 2, 3]));
+        assert_eq!(slot.take(), None);
+    }
+
+    /// Stress loop: many threads race to publish into the same slot;
+    /// exactly one write wins and the value survives intact.
+    #[test]
+    fn once_slot_contended_single_writer_wins() {
+        for round in 0..200 {
+            let slot = Arc::new(OnceSlot::new());
+            let wins = Arc::new(AtomicUsize::new(0));
+            let threads: Vec<_> = (0..4)
+                .map(|t| {
+                    let slot = Arc::clone(&slot);
+                    let wins = Arc::clone(&wins);
+                    std::thread::spawn(move || {
+                        if slot.set((round, t)).is_ok() {
+                            wins.fetch_add(1, Ordering::SeqCst);
+                        }
+                    })
+                })
+                .collect();
+            for t in threads {
+                t.join().unwrap();
+            }
+            assert_eq!(wins.load(Ordering::SeqCst), 1);
+            let slot = Arc::into_inner(slot).expect("all clones joined");
+            let (got_round, _) = slot.into_inner().expect("a write must have landed");
+            assert_eq!(got_round, round);
+        }
+    }
+
+    /// Stress loop: many threads race to drain the same slot; exactly
+    /// one take succeeds per round and nothing is dropped twice.
+    #[test]
+    fn take_slot_contended_single_taker_wins() {
+        for _ in 0..200 {
+            let slot = Arc::new(TakeSlot::new(Box::new(99u64)));
+            let takes = Arc::new(AtomicUsize::new(0));
+            let threads: Vec<_> = (0..4)
+                .map(|_| {
+                    let slot = Arc::clone(&slot);
+                    let takes = Arc::clone(&takes);
+                    std::thread::spawn(move || {
+                        if let Some(v) = slot.take() {
+                            assert_eq!(*v, 99);
+                            takes.fetch_add(1, Ordering::SeqCst);
+                        }
+                    })
+                })
+                .collect();
+            for t in threads {
+                t.join().unwrap();
+            }
+            assert_eq!(takes.load(Ordering::SeqCst), 1);
+        }
+    }
+}

@@ -1,0 +1,230 @@
+//! Work-stealing index queues.
+//!
+//! The scheduler's job space is known up front: `total` cell indices,
+//! split into one contiguous range per worker. Each range is a bounded
+//! deque packed into a single `AtomicU64` as `head:32 | tail:32`, and
+//! the queue owns the half-open index interval `[head, tail)`:
+//!
+//! * the owner pops from the **front** (`head += 1`), preserving the
+//!   serial visit order within its partition, and
+//! * thieves pop from the **back** (`tail -= 1`), so owner and thief
+//!   contend on opposite ends and a steal grabs the work the owner
+//!   would reach last.
+//!
+//! Both transitions are single compare-and-swap operations on the
+//! packed word. Indices only ever move inward and ranges are never
+//! refilled, so there is no ABA hazard and no reclamation to manage.
+//! Determinism is untouched by construction: stealing only changes
+//! *which worker* runs an index, never the index→result mapping, and
+//! the scheduler splices results back in index order.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Per-worker bounded index deques with a steal path.
+///
+/// # Examples
+///
+/// ```
+/// use flatwalk_sync::StealQueues;
+///
+/// let q = StealQueues::new(5, 2);
+/// // Worker 0 owns [0, 3), worker 1 owns [3, 5).
+/// assert_eq!(q.next(0), Some(0));
+/// assert_eq!(q.next(1), Some(3));
+/// // Worker 1 drains its range, then steals from the back of 0's.
+/// assert_eq!(q.next(1), Some(4));
+/// assert_eq!(q.next(1), Some(2));
+/// assert_eq!(q.next(0), Some(1));
+/// assert_eq!(q.next(0), None);
+/// ```
+#[derive(Debug)]
+pub struct StealQueues {
+    /// One `head:32 | tail:32` word per worker.
+    queues: Box<[AtomicU64]>,
+}
+
+#[inline]
+fn pack(head: u32, tail: u32) -> u64 {
+    (u64::from(head) << 32) | u64::from(tail)
+}
+
+#[inline]
+fn unpack(word: u64) -> (u32, u32) {
+    ((word >> 32) as u32, word as u32)
+}
+
+impl StealQueues {
+    /// Partitions `0..total` into `workers` contiguous ranges, earlier
+    /// workers taking the remainder — the same split a static chunking
+    /// scheme would use, so with no steals worker `w` visits exactly
+    /// its old partition, in order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` is zero or `total` exceeds `u32::MAX`.
+    pub fn new(total: usize, workers: usize) -> Self {
+        assert!(workers > 0, "at least one worker queue");
+        assert!(u32::try_from(total).is_ok(), "index space fits in u32");
+        let base = total / workers;
+        let rem = total % workers;
+        let mut start = 0usize;
+        let queues: Vec<AtomicU64> = (0..workers)
+            .map(|w| {
+                let len = base + usize::from(w < rem);
+                let q = AtomicU64::new(pack(start as u32, (start + len) as u32));
+                start += len;
+                q
+            })
+            .collect();
+        debug_assert_eq!(start, total);
+        StealQueues {
+            queues: queues.into_boxed_slice(),
+        }
+    }
+
+    /// Number of worker queues.
+    pub fn workers(&self) -> usize {
+        self.queues.len()
+    }
+
+    /// Pops the next index from the front of worker `w`'s own queue.
+    pub fn pop_own(&self, w: usize) -> Option<usize> {
+        let q = &self.queues[w];
+        let mut word = q.load(Ordering::Acquire);
+        loop {
+            let (head, tail) = unpack(word);
+            if head >= tail {
+                return None;
+            }
+            match q.compare_exchange_weak(
+                word,
+                pack(head + 1, tail),
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return Some(head as usize),
+                Err(cur) => word = cur,
+            }
+        }
+    }
+
+    /// Steals an index from the back of worker `victim`'s queue.
+    pub fn steal(&self, victim: usize) -> Option<usize> {
+        let q = &self.queues[victim];
+        let mut word = q.load(Ordering::Acquire);
+        loop {
+            let (head, tail) = unpack(word);
+            if head >= tail {
+                return None;
+            }
+            match q.compare_exchange_weak(
+                word,
+                pack(head, tail - 1),
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return Some((tail - 1) as usize),
+                Err(cur) => word = cur,
+            }
+        }
+    }
+
+    /// The next index for worker `w`: its own queue first, then a
+    /// round-robin sweep stealing from the other queues. `None` means
+    /// every queue is empty — with no refills, the batch is drained.
+    pub fn next(&self, w: usize) -> Option<usize> {
+        if let Some(idx) = self.pop_own(w) {
+            return Some(idx);
+        }
+        let n = self.queues.len();
+        for off in 1..n {
+            if let Some(idx) = self.steal((w + off) % n) {
+                return Some(idx);
+            }
+        }
+        None
+    }
+
+    /// Total indices not yet claimed, across all queues (approximate
+    /// under concurrent claims; exact once workers are quiescent).
+    pub fn remaining(&self) -> usize {
+        self.queues
+            .iter()
+            .map(|q| {
+                let (head, tail) = unpack(q.load(Ordering::Acquire));
+                (tail - head) as usize
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+    use std::sync::Arc;
+
+    #[test]
+    fn partitions_cover_index_space() {
+        for total in 0..40usize {
+            for workers in 1..9usize {
+                let q = StealQueues::new(total, workers);
+                let mut seen = BTreeSet::new();
+                for w in 0..workers {
+                    while let Some(idx) = q.pop_own(w) {
+                        assert!(seen.insert(idx), "index {idx} claimed twice");
+                    }
+                }
+                assert_eq!(seen.len(), total);
+                assert_eq!(q.remaining(), 0);
+            }
+        }
+    }
+
+    #[test]
+    fn owner_pops_in_serial_order() {
+        let q = StealQueues::new(6, 1);
+        let order: Vec<_> = std::iter::from_fn(|| q.next(0)).collect();
+        assert_eq!(order, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn thief_takes_from_the_back() {
+        let q = StealQueues::new(4, 2);
+        // Worker 0 owns [0,2), worker 1 owns [2,4).
+        assert_eq!(q.steal(0), Some(1));
+        assert_eq!(q.steal(0), Some(0));
+        assert_eq!(q.steal(0), None);
+        assert_eq!(q.pop_own(1), Some(2));
+    }
+
+    /// Stress loop: workers hammer `next` concurrently; every index is
+    /// claimed exactly once, every round.
+    #[test]
+    fn contended_claims_are_exclusive_and_complete() {
+        for _ in 0..100 {
+            let total = 64;
+            let workers = 4;
+            let q = Arc::new(StealQueues::new(total, workers));
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    let q = Arc::clone(&q);
+                    std::thread::spawn(move || {
+                        let mut mine = Vec::new();
+                        while let Some(idx) = q.next(w) {
+                            mine.push(idx);
+                        }
+                        mine
+                    })
+                })
+                .collect();
+            let mut seen = BTreeSet::new();
+            for h in handles {
+                for idx in h.join().unwrap() {
+                    assert!(seen.insert(idx), "index {idx} claimed twice");
+                }
+            }
+            assert_eq!(seen.len(), total);
+        }
+    }
+}

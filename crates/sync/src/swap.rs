@@ -1,0 +1,399 @@
+//! Sharded read-mostly maps with lock-free lookups.
+//!
+//! A [`SwapMap`] keys a small number of shards by hash; each shard
+//! publishes an immutable `HashMap` snapshot through an atomic pointer.
+//! Readers load the current snapshot and probe it — no `Mutex` on the
+//! read path, ever. Writers serialize on a per-shard mutex, clone the
+//! snapshot, apply their change, and swap the new generation in
+//! (epoch-style clone-on-insert).
+//!
+//! Reclamation: a displaced generation cannot be freed while a reader
+//! might still hold its pointer. Each shard counts in-flight readers;
+//! a writer retires the old generation and frees the retired list only
+//! when it observes zero readers (and `Drop` frees whatever is left).
+//! Readers and the quiescence check use `SeqCst` so a reader counted as
+//! *absent* is guaranteed to observe the *new* snapshot pointer — the
+//! classic store-buffering pitfall this pattern must rule out.
+//!
+//! This trades write cost (clone per mutation) for a read path that is
+//! two atomic RMWs and a hash probe. The setup cache and the serve
+//! result cache are exactly that shape: hot repeated lookups, rare
+//! inserts.
+
+use std::collections::HashMap;
+use std::hash::{BuildHasher, Hash, RandomState};
+use std::sync::atomic::{AtomicPtr, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+struct Shard<K, V> {
+    /// The published snapshot; never null.
+    current: AtomicPtr<HashMap<K, V>>,
+    /// In-flight lock-free readers of this shard.
+    readers: AtomicUsize,
+    /// Writer serialization + retired generations awaiting quiescence.
+    writer: Mutex<Vec<*mut HashMap<K, V>>>,
+}
+
+/// A sharded map with lock-free reads and clone-and-swap writes.
+///
+/// # Examples
+///
+/// ```
+/// use flatwalk_sync::SwapMap;
+///
+/// let m: SwapMap<String, u64> = SwapMap::new();
+/// let (v, created) = m.get_or_insert_with("a".to_string(), || 7);
+/// assert_eq!((v, created), (7, true));
+/// let (v, created) = m.get_or_insert_with("a".to_string(), || 8);
+/// assert_eq!((v, created), (7, false), "coalesces onto the first insert");
+/// assert_eq!(m.get(&"a".to_string()), Some(7));
+/// ```
+pub struct SwapMap<K, V> {
+    shards: Box<[Shard<K, V>]>,
+    shard_mask: usize,
+    hasher: RandomState,
+}
+
+// SAFETY: the raw pointers all point to heap `HashMap`s owned by the
+// structure; access is mediated by the atomic snapshot protocol above.
+// Sharing requires the usual bounds on the contents.
+unsafe impl<K: Send + Sync, V: Send + Sync> Send for SwapMap<K, V> {}
+unsafe impl<K: Send + Sync, V: Send + Sync> Sync for SwapMap<K, V> {}
+
+const DEFAULT_SHARDS: usize = 8;
+
+impl<K, V> SwapMap<K, V>
+where
+    K: Eq + Hash + Clone,
+    V: Clone,
+{
+    /// Creates an empty map with the default shard count (8).
+    pub fn new() -> Self {
+        Self::with_shards(DEFAULT_SHARDS)
+    }
+
+    /// Creates an empty map with `shards` shards (rounded up to a
+    /// power of two).
+    pub fn with_shards(shards: usize) -> Self {
+        let n = shards.max(1).next_power_of_two();
+        let shards: Vec<Shard<K, V>> = (0..n)
+            .map(|_| Shard {
+                current: AtomicPtr::new(Box::into_raw(Box::new(HashMap::new()))),
+                readers: AtomicUsize::new(0),
+                writer: Mutex::new(Vec::new()),
+            })
+            .collect();
+        SwapMap {
+            shards: shards.into_boxed_slice(),
+            shard_mask: n - 1,
+            hasher: RandomState::new(),
+        }
+    }
+
+    #[inline]
+    fn shard_of(&self, key: &K) -> &Shard<K, V> {
+        let h = self.hasher.hash_one(key) as usize;
+        &self.shards[h & self.shard_mask]
+    }
+
+    /// Looks up `key` without acquiring any lock.
+    ///
+    /// The reader count is raised around the snapshot dereference so a
+    /// concurrent writer cannot free the generation under us; `SeqCst`
+    /// on the increment pairs with the writer's quiescence check.
+    pub fn get(&self, key: &K) -> Option<V> {
+        let shard = self.shard_of(key);
+        shard.readers.fetch_add(1, Ordering::SeqCst);
+        let snap = shard.current.load(Ordering::SeqCst);
+        // SAFETY: `snap` was the published generation after our reader
+        // registration; writers only free generations they retired
+        // *and* observed `readers == 0` for afterwards, so this one
+        // stays alive until our decrement below.
+        let out = unsafe { &*snap }.get(key).cloned();
+        shard.readers.fetch_sub(1, Ordering::SeqCst);
+        out
+    }
+
+    /// Returns the value for `key`, inserting `make()` if absent; the
+    /// boolean is `true` when this call created the entry.
+    ///
+    /// `make` runs under the shard's writer lock, so concurrent misses
+    /// on the same key coalesce onto one insert. (The flatwalk setup
+    /// cache stores once-cells and builds *outside* this lock; cheap
+    /// values can be built inline.)
+    pub fn get_or_insert_with(&self, key: K, make: impl FnOnce() -> V) -> (V, bool) {
+        if let Some(v) = self.get(&key) {
+            return (v, false);
+        }
+        let shard = self.shard_of(&key);
+        let mut retired = shard.writer.lock().unwrap_or_else(|e| e.into_inner()); // lock-ok: write path
+                                                                                  // The snapshot is stable under the writer lock: only lock
+                                                                                  // holders swap it.
+        let snap = shard.current.load(Ordering::SeqCst);
+        // SAFETY: writer lock held — the current generation cannot be
+        // retired (let alone freed) while we hold it.
+        let mut next = unsafe { &*snap }.clone();
+        // Entry API: a *single* probe of the next generation decides
+        // between "a concurrent writer beat us" and "insert".
+        match next.entry(key) {
+            std::collections::hash_map::Entry::Occupied(e) => (e.get().clone(), false),
+            std::collections::hash_map::Entry::Vacant(e) => {
+                let value = make();
+                e.insert(value.clone());
+                Self::publish(shard, &mut retired, snap, next);
+                (value, true)
+            }
+        }
+    }
+
+    /// Inserts or replaces `key`, returning whether it was new.
+    pub fn insert(&self, key: K, value: V) -> bool {
+        let shard = self.shard_of(&key);
+        let mut retired = shard.writer.lock().unwrap_or_else(|e| e.into_inner()); // lock-ok: write path
+        let snap = shard.current.load(Ordering::SeqCst);
+        // SAFETY: writer lock held (see `get_or_insert_with`).
+        let mut next = unsafe { &*snap }.clone();
+        let created = next.insert(key, value).is_none();
+        Self::publish(shard, &mut retired, snap, next);
+        created
+    }
+
+    /// Removes `key`, returning whether it was present.
+    pub fn remove(&self, key: &K) -> bool {
+        let shard = self.shard_of(key);
+        let mut retired = shard.writer.lock().unwrap_or_else(|e| e.into_inner()); // lock-ok: write path
+        let snap = shard.current.load(Ordering::SeqCst);
+        // SAFETY: writer lock held (see `get_or_insert_with`).
+        if !unsafe { &*snap }.contains_key(key) {
+            return false;
+        }
+        let mut next = unsafe { &*snap }.clone();
+        next.remove(key);
+        Self::publish(shard, &mut retired, snap, next);
+        true
+    }
+
+    /// Rewrites a whole shard-set atomically per shard: `f` sees each
+    /// shard's snapshot and returns `Some(replacement)` to publish or
+    /// `None` to leave the shard untouched. Used for bulk eviction.
+    pub fn retain_rebuild(&self, mut f: impl FnMut(&HashMap<K, V>) -> Option<HashMap<K, V>>) {
+        for shard in self.shards.iter() {
+            let mut retired = shard.writer.lock().unwrap_or_else(|e| e.into_inner()); // lock-ok: write path
+            let snap = shard.current.load(Ordering::SeqCst);
+            // SAFETY: writer lock held (see `get_or_insert_with`).
+            if let Some(next) = f(unsafe { &*snap }) {
+                Self::publish(shard, &mut retired, snap, next);
+            }
+        }
+    }
+
+    /// Clears all entries.
+    pub fn clear(&self) {
+        self.retain_rebuild(|snap| {
+            if snap.is_empty() {
+                None
+            } else {
+                Some(HashMap::new())
+            }
+        });
+    }
+
+    /// Total entries across shards (a consistent per-shard snapshot;
+    /// shards are read one after another).
+    pub fn len(&self) -> usize {
+        self.fold(0, |acc, snap| acc + snap.len())
+    }
+
+    /// Whether the map holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Folds over every shard's current snapshot, lock-free.
+    pub fn fold<A>(&self, init: A, mut f: impl FnMut(A, &HashMap<K, V>) -> A) -> A {
+        let mut acc = init;
+        for shard in self.shards.iter() {
+            shard.readers.fetch_add(1, Ordering::SeqCst);
+            let snap = shard.current.load(Ordering::SeqCst);
+            // SAFETY: reader registration above keeps the generation
+            // alive (see `get`).
+            acc = f(acc, unsafe { &*snap });
+            shard.readers.fetch_sub(1, Ordering::SeqCst);
+        }
+        acc
+    }
+
+    /// Publishes `next` as `shard`'s generation, retiring `old` and
+    /// freeing the retired list if no reader can still hold it.
+    fn publish(
+        shard: &Shard<K, V>,
+        retired: &mut Vec<*mut HashMap<K, V>>,
+        old: *mut HashMap<K, V>,
+        next: HashMap<K, V>,
+    ) {
+        shard
+            .current
+            .store(Box::into_raw(Box::new(next)), Ordering::SeqCst);
+        retired.push(old);
+        // Quiescence check: SeqCst orders this load after the store
+        // above, pairing with readers' SeqCst increment — any reader
+        // not counted here is guaranteed to load the new snapshot.
+        if shard.readers.load(Ordering::SeqCst) == 0 {
+            for ptr in retired.drain(..) {
+                // SAFETY: every retired generation was unpublished
+                // before entering the list, and zero readers are in
+                // flight, so no pointer to it survives.
+                drop(unsafe { Box::from_raw(ptr) });
+            }
+        }
+    }
+}
+
+impl<K, V> Default for SwapMap<K, V>
+where
+    K: Eq + Hash + Clone,
+    V: Clone,
+{
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K, V> Drop for SwapMap<K, V> {
+    fn drop(&mut self) {
+        for shard in self.shards.iter_mut() {
+            // SAFETY: `&mut self` — no readers or writers remain; the
+            // current generation and any retired ones are exclusively
+            // ours to free.
+            unsafe {
+                drop(Box::from_raw(shard.current.load(Ordering::SeqCst)));
+                let retired = shard.writer.get_mut().unwrap_or_else(|e| e.into_inner());
+                for ptr in retired.drain(..) {
+                    drop(Box::from_raw(ptr));
+                }
+            }
+        }
+    }
+}
+
+impl<K, V> std::fmt::Debug for SwapMap<K, V>
+where
+    K: Eq + Hash + Clone,
+    V: Clone,
+{
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SwapMap")
+            .field("shards", &self.shards.len())
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicBool;
+    use std::sync::Arc;
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let m: SwapMap<u64, String> = SwapMap::new();
+        assert!(m.is_empty());
+        assert!(m.insert(1, "one".into()));
+        assert!(!m.insert(1, "uno".into()), "replacement is not creation");
+        assert_eq!(m.get(&1).as_deref(), Some("uno"));
+        assert_eq!(m.len(), 1);
+        assert!(m.remove(&1));
+        assert!(!m.remove(&1));
+        assert_eq!(m.get(&1), None);
+    }
+
+    #[test]
+    fn get_or_insert_coalesces() {
+        let m: SwapMap<&'static str, u64> = SwapMap::new();
+        assert_eq!(m.get_or_insert_with("k", || 1), (1, true));
+        assert_eq!(m.get_or_insert_with("k", || 2), (1, false));
+    }
+
+    #[test]
+    fn clear_empties_all_shards() {
+        let m: SwapMap<u64, u64> = SwapMap::with_shards(4);
+        for i in 0..64 {
+            m.insert(i, i * i);
+        }
+        assert_eq!(m.len(), 64);
+        m.clear();
+        assert!(m.is_empty());
+        assert_eq!(m.get(&7), None);
+    }
+
+    /// Stress loop: concurrent readers spin on lock-free `get` while a
+    /// writer churns generations; readers must always observe either
+    /// absence or a fully intact value (generation memory must never be
+    /// freed out from under them).
+    #[test]
+    fn readers_survive_concurrent_generation_churn() {
+        let m: Arc<SwapMap<u64, Vec<u64>>> = Arc::new(SwapMap::with_shards(2));
+        let stop = Arc::new(AtomicBool::new(false));
+        let readers: Vec<_> = (0..3)
+            .map(|_| {
+                let m = Arc::clone(&m);
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    let mut hits = 0u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        for k in 0..16u64 {
+                            if let Some(v) = m.get(&k) {
+                                // Payload is self-describing: a tear or
+                                // use-after-free shows up here.
+                                assert_eq!(v, vec![k, k + 1, k + 2]);
+                                hits += 1;
+                            }
+                        }
+                    }
+                    hits
+                })
+            })
+            .collect();
+        for round in 0..300u64 {
+            let k = round % 16;
+            m.insert(k, vec![k, k + 1, k + 2]);
+            if round % 5 == 4 {
+                m.remove(&k);
+            }
+        }
+        stop.store(true, Ordering::Relaxed);
+        for r in readers {
+            r.join().unwrap();
+        }
+    }
+
+    /// Stress loop: concurrent `get_or_insert_with` on the same keys —
+    /// exactly one creation per key, everyone agrees on the value.
+    #[test]
+    fn concurrent_get_or_insert_creates_once() {
+        for _ in 0..50 {
+            let m: Arc<SwapMap<u64, u64>> = Arc::new(SwapMap::new());
+            let handles: Vec<_> = (0..4u64)
+                .map(|t| {
+                    let m = Arc::clone(&m);
+                    std::thread::spawn(move || {
+                        let mut created = 0u64;
+                        for k in 0..8u64 {
+                            let (v, fresh) = m.get_or_insert_with(k, || k * 100 + t);
+                            assert_eq!(v / 100, k, "value is some thread's k*100+t");
+                            assert!(v % 100 < 4);
+                            if fresh {
+                                created += 1;
+                            }
+                        }
+                        created
+                    })
+                })
+                .collect();
+            let total_created: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+            assert_eq!(total_created, 8, "each key created exactly once");
+            assert_eq!(m.len(), 8);
+        }
+    }
+}

@@ -172,18 +172,19 @@ pub struct PwcHit {
     pub node_shape: NodeShape,
 }
 
-#[derive(Debug, Clone, Copy)]
-struct PwcSlot {
-    prefix: u64,
-    node_base: PhysAddr,
-    node_shape: NodeShape,
-    stamp: u64,
-}
-
+/// One depth's entries in parallel arrays: the fully-associative match
+/// scans a dense `u64` prefix run instead of striding over fat slots.
+/// Slots only empty wholesale (`flush`), so `0..used` is always the
+/// exact set of live entries and scan order matches the old
+/// first-to-last slot order.
 #[derive(Debug, Clone)]
 struct PwcDepth {
     cfg: PwcDepthConfig,
-    slots: Vec<Option<PwcSlot>>,
+    prefixes: Vec<u64>,
+    node_bases: Vec<PhysAddr>,
+    node_shapes: Vec<NodeShape>,
+    stamps: Vec<u64>,
+    used: usize,
     stats: HitMiss,
 }
 
@@ -204,7 +205,11 @@ impl Pwc {
             .iter()
             .map(|d| PwcDepth {
                 cfg: *d,
-                slots: vec![None; d.entries],
+                prefixes: vec![0; d.entries],
+                node_bases: vec![PhysAddr::new(0); d.entries],
+                node_shapes: vec![NodeShape::Conventional; d.entries],
+                stamps: vec![0; d.entries],
+                used: 0,
                 stats: HitMiss::default(),
             })
             .collect();
@@ -241,19 +246,17 @@ impl Pwc {
             let bits = self.depths[di].cfg.prefix_bits;
             let prefix = self.prefix_of(va, bits);
             let depth = &mut self.depths[di];
-            let hit = depth
-                .slots
-                .iter_mut()
-                .flatten()
-                .find(|s| s.prefix == prefix);
+            let hit = depth.prefixes[..depth.used]
+                .iter()
+                .position(|&p| p == prefix);
             match hit {
-                Some(slot) if result.is_none() => {
-                    slot.stamp = clock;
+                Some(i) if result.is_none() => {
+                    depth.stamps[i] = clock;
                     depth.stats.hit();
                     result = Some(PwcHit {
                         prefix_bits: bits,
-                        node_base: slot.node_base,
-                        node_shape: slot.node_shape,
+                        node_base: depth.node_bases[i],
+                        node_shape: depth.node_shapes[i],
                     });
                 }
                 Some(_) => { /* shallower hit shadowed by a deeper one */ }
@@ -284,31 +287,31 @@ impl Pwc {
             return;
         };
         let prefix = (va.raw() >> (top_bit - prefix_bits)) & ((1u64 << prefix_bits) - 1);
-        let slot = PwcSlot {
-            prefix,
-            node_base,
-            node_shape,
-            stamp: clock,
-        };
-        if let Some(existing) = depth
-            .slots
-            .iter_mut()
-            .flatten()
-            .find(|s| s.prefix == prefix)
+        // Update in place, take the next free slot, or evict the LRU
+        // entry (first minimum, matching the old full scan's order).
+        let i = match depth.prefixes[..depth.used]
+            .iter()
+            .position(|&p| p == prefix)
         {
-            *existing = slot;
-            return;
-        }
-        if let Some(empty) = depth.slots.iter_mut().find(|s| s.is_none()) {
-            *empty = Some(slot);
-            return;
-        }
-        let victim = depth
-            .slots
-            .iter_mut()
-            .min_by_key(|s| s.as_ref().expect("full").stamp)
-            .expect("entries > 0");
-        *victim = Some(slot);
+            Some(i) => i,
+            None if depth.used < depth.cfg.entries => {
+                depth.used += 1;
+                depth.used - 1
+            }
+            None => {
+                let mut victim = 0;
+                for (j, &stamp) in depth.stamps[..depth.used].iter().enumerate() {
+                    if stamp < depth.stamps[victim] {
+                        victim = j;
+                    }
+                }
+                victim
+            }
+        };
+        depth.prefixes[i] = prefix;
+        depth.node_bases[i] = node_base;
+        depth.node_shapes[i] = node_shape;
+        depth.stamps[i] = clock;
     }
 
     /// Per-depth statistics, widest prefix first: `(prefix_bits, tally)`.
@@ -329,7 +332,7 @@ impl Pwc {
     /// Empties the cache.
     pub fn flush(&mut self) {
         for d in &mut self.depths {
-            d.slots.fill(None);
+            d.used = 0;
         }
     }
 }

@@ -114,14 +114,21 @@ impl UnifiedTlb {
     pub fn lookup(&mut self, va: VirtAddr) -> Option<(PhysAddr, PageSize)> {
         self.clock += 1;
         let mut found = None;
-        for size in [PageSize::Size4K, PageSize::Size2M] {
+        'sizes: for size in [PageSize::Size4K, PageSize::Size2M] {
             let vpn = va.page_number(size);
             let set = self.set_of(vpn);
-            if let Some(way) = self.find_way(set, vpn, size) {
-                let slot = &mut self.slots[set * self.ways + way];
-                slot.stamp = self.clock;
-                found = Some((slot.frame, size));
-                break;
+            // Single pass: find the way and refresh its stamp in place.
+            let base = set * self.ways;
+            let mut mask = self.valid[set];
+            while mask != 0 {
+                let way = mask.trailing_zeros() as usize;
+                mask &= mask - 1;
+                let slot = &mut self.slots[base + way];
+                if slot.size == size && slot.vpn == vpn {
+                    slot.stamp = self.clock;
+                    found = Some((slot.frame, size));
+                    break 'sizes;
+                }
             }
         }
         self.stats.record(found.is_some());

@@ -159,15 +159,25 @@ impl Tlb {
         self.clock += 1;
         let vpn = va.page_number(self.cfg.page_size);
         let set = self.set_of(vpn);
-        let found = self.find_way(set, vpn).map(|way| {
-            let slot = &mut self.slots[set * self.cfg.ways + way];
-            slot.stamp = self.clock;
-            TlbEntry {
-                vpn,
-                frame: slot.frame,
-                size: self.cfg.page_size,
+        // Single pass: find the way and refresh its stamp in place
+        // (every simulated access probes all three L1 arrays).
+        let base = set * self.cfg.ways;
+        let mut mask = self.valid[set];
+        let mut found = None;
+        while mask != 0 {
+            let way = mask.trailing_zeros() as usize;
+            mask &= mask - 1;
+            let slot = &mut self.slots[base + way];
+            if slot.vpn == vpn {
+                slot.stamp = self.clock;
+                found = Some(TlbEntry {
+                    vpn,
+                    frame: slot.frame,
+                    size: self.cfg.page_size,
+                });
+                break;
             }
-        });
+        }
         self.stats.record(found.is_some());
         found
     }

@@ -173,16 +173,12 @@ impl std::hash::BuildHasher for SplitMixBuildHasher {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::hash::{BuildHasher, Hash, Hasher};
+    use std::hash::{BuildHasher, Hasher};
 
     #[test]
     fn hasher_is_deterministic_and_sensitive() {
         let bh = SplitMixBuildHasher::default();
-        let hash_of = |v: u64| {
-            let mut h = bh.build_hasher();
-            v.hash(&mut h);
-            h.finish()
-        };
+        let hash_of = |v: u64| bh.hash_one(v);
         assert_eq!(hash_of(42), hash_of(42));
         assert_ne!(hash_of(42), hash_of(43));
         assert_ne!(hash_of(0), hash_of(1 << 32));

@@ -634,6 +634,41 @@ impl AccessStream {
         };
         VirtAddr::new(self.base_va + off)
     }
+
+    /// Replaces `out` with the next `n` virtual addresses — exactly the
+    /// sequence `n` calls of [`AccessStream::next_va`] would produce,
+    /// but with the source dispatch hoisted out of the loop. On the
+    /// replay path (what the engines run after setup caching) this
+    /// degenerates to a tight offset-slice scan: no per-access enum
+    /// match, no `%`. The batched simulation engines' stream kernel.
+    pub fn fill_vas(&mut self, out: &mut Vec<VirtAddr>, n: usize) {
+        out.clear();
+        out.reserve(n);
+        let base = self.base_va;
+        match &mut self.source {
+            Source::Synthetic { rng, state } => {
+                for _ in 0..n {
+                    let off = self
+                        .spec
+                        .pattern
+                        .next_offset(self.spec.footprint, rng, state);
+                    out.push(VirtAddr::new(base + off));
+                }
+            }
+            Source::Replay { offsets, index } => {
+                let len = offsets.len();
+                let mut i = *index;
+                for _ in 0..n {
+                    out.push(VirtAddr::new(base + offsets[i]));
+                    i += 1;
+                    if i == len {
+                        i = 0;
+                    }
+                }
+                *index = i;
+            }
+        }
+    }
 }
 
 impl Iterator for AccessStream {

@@ -31,6 +31,7 @@ fn test_server(workers: usize, queue_depth: usize) -> server::ServerHandle {
         port: 0,
         uds: None,
         workers,
+        job_threads: 0,
         queue_depth,
         cache_bytes: 64 << 20,
     };
