@@ -15,7 +15,7 @@ use flatwalk_mem::{EnergyModel, MemoryHierarchy};
 use flatwalk_mmu::WalkerStats;
 use flatwalk_os::{AddressSpaceSpec, FrozenSpace};
 use flatwalk_pt::{FrameStore, PageTable};
-use flatwalk_sim::{setup, SimOptions, SimReport};
+use flatwalk_sim::{engine, setup, SimOptions, SimReport};
 use flatwalk_tlb::{PhaseDetector, TlbSystem};
 use flatwalk_types::{OwnerId, PageSize, PhysAddr, VirtAddr};
 use flatwalk_workloads::{AccessStream, WorkloadSpec};
@@ -153,85 +153,46 @@ impl<S: Scheme> SchemeSimulation<S> {
                 self.scheme.label()
             ));
         }
-        let work = self.spec.work_per_access;
-        let exposure = self.spec.data_exposure;
-        let l1_lat = self.opts.hierarchy.l1.latency;
-        let wants_priority = self.scheme.wants_priority();
-        let mut cycles_f = 0.0f64;
-        let mut instructions = 0u64;
-        let mut stream_pos = 0u64;
 
-        for phase_idx in 0..2u32 {
-            let ops = if phase_idx == 0 {
-                self.opts.warmup_ops
-            } else {
-                self.opts.measure_ops
-            };
-            if phase_idx == 1 {
-                self.phase.reset_flips();
-                self.tlb.reset_stats();
-                self.hier.reset_stats();
-                self.walker_stats = WalkerStats::default();
-                cycles_f = 0.0;
-                instructions = 0;
-            }
-            for op in 0..ops {
-                if let Some(n) = self.opts.context_switch_interval {
-                    if op > 0 && op % n == 0 {
-                        self.tlb.flush();
-                        self.scheme.context_switch();
-                    }
-                }
-                let va = self.stream.next_va();
-                let lookup = self.tlb.lookup(va);
-                if wants_priority {
-                    let active = self.phase.record(lookup.translation.is_none());
-                    self.hier.set_priority_phase(active);
-                }
-                let (pa, translation_latency) = match lookup.translation {
-                    Some((frame, size)) => (frame.add(va.offset(size)), lookup.latency),
-                    None => {
-                        let ctx = WalkCtx {
-                            store: self.space.store(),
-                            table: self.space.table(),
-                        };
-                        let w = self
-                            .scheme
-                            .walk(&ctx, va, &mut self.hier, OwnerId::SINGLE)
-                            .map_err(|e| flatwalk_sim::SimError {
-                                scheme: self.scheme.label(),
-                                workload: self.spec.name.to_string(),
-                                core: None,
-                                va,
-                                stream_pos,
-                                source: e,
-                            })?;
-                        self.tlb.fill(va, w.pa.align_down(w.size), w.size);
-                        self.walker_stats.record(&flatwalk_mmu::WalkTiming {
-                            pa: w.pa,
-                            size: w.size,
-                            accesses: w.accesses,
-                            latency: w.latency,
-                        });
-                        (w.pa, lookup.latency + w.latency)
-                    }
-                };
-                let data = self
-                    .hier
-                    .access(pa, flatwalk_types::AccessKind::Data, OwnerId::SINGLE);
-                stream_pos += 1;
-                instructions += work + 1;
-                let translation_stall = translation_latency.saturating_sub(1);
-                let data_stall = data.latency.saturating_sub(l1_lat) as f64 * exposure;
-                cycles_f += work as f64 + translation_stall as f64 + data_stall;
-            }
-        }
+        // Comparison schemes run the exact same generic engine loop as
+        // the native/virtualized/multicore drivers — the scheme only
+        // supplies the translation half of a span. Schemes model no
+        // live page-table mutations, so the event schedule is empty
+        // (a context switch flushes the TLB and notifies the scheme;
+        // nothing ever calls shootdown).
+        let mut backend = SchemeBackend {
+            scheme: &mut self.scheme,
+            tlb: &mut self.tlb,
+            phase: &mut self.phase,
+            walker_stats: &mut self.walker_stats,
+            store: self.space.store(),
+            table: self.space.table(),
+        };
+        let run = engine::EngineRun {
+            scheme: backend.scheme.label(),
+            workload: self.spec.name,
+            core: None,
+            work_per_access: self.spec.work_per_access,
+            data_exposure: self.spec.data_exposure,
+            l1_latency: self.opts.hierarchy.l1.latency,
+            warmup_ops: self.opts.warmup_ops,
+            measure_ops: self.opts.measure_ops,
+            context_switch_interval: self.opts.context_switch_interval,
+            events: &[],
+        };
+        let totals = engine::run_single(
+            &mut backend,
+            &mut self.hier,
+            &mut self.stream,
+            OwnerId::SINGLE,
+            &run,
+        )?;
 
         let report = SimReport {
             workload: self.spec.name.to_string(),
             config: self.scheme.label(),
-            instructions,
-            cycles: cycles_f.round() as u64,
+            instructions: totals.instructions,
+            cycles: totals.cycles.round() as u64,
             walk: self.walker_stats,
             tlb: self.tlb.stats(),
             hier: self.hier.stats(),
@@ -239,9 +200,82 @@ impl<S: Scheme> SchemeSimulation<S> {
             census: *self.space.census(),
             phase_flips: self.phase.flips(),
             pwc: Vec::new(),
-            faults: flatwalk_faults::FaultStats::default(),
+            faults: totals.faults,
         };
         setup::record_run_time(start.elapsed());
         Ok(report)
+    }
+}
+
+/// The comparison-scheme instantiation of the generic engine backend:
+/// shared TLB complex and phase detector, with the walk delegated to
+/// the [`Scheme`]'s own cost model against the oracle radix table.
+struct SchemeBackend<'a, S: Scheme> {
+    scheme: &'a mut S,
+    tlb: &'a mut TlbSystem,
+    phase: &'a mut PhaseDetector,
+    walker_stats: &'a mut WalkerStats,
+    store: &'a FrameStore,
+    table: &'a PageTable,
+}
+
+impl<S: Scheme> engine::EngineBackend for SchemeBackend<'_, S> {
+    fn access_span(
+        &mut self,
+        hier: &mut MemoryHierarchy,
+        vas: &[VirtAddr],
+        owner: OwnerId,
+        out: &mut Vec<flatwalk_mmu::AccessTiming>,
+    ) -> Result<(), (usize, flatwalk_pt::WalkError)> {
+        out.clear();
+        out.reserve(vas.len());
+        let wants_priority = self.scheme.wants_priority();
+        let ctx = WalkCtx {
+            store: self.store,
+            table: self.table,
+        };
+        for (i, &va) in vas.iter().enumerate() {
+            let lookup = self.tlb.lookup(va);
+            if wants_priority {
+                let active = self.phase.record(lookup.translation.is_none());
+                hier.set_priority_phase(active);
+            }
+            let (pa, translation_latency, walked) = match lookup.translation {
+                Some((frame, size)) => (frame.add(va.offset(size)), lookup.latency, false),
+                None => {
+                    let w = self
+                        .scheme
+                        .walk(&ctx, va, hier, owner)
+                        .map_err(|e| (i, e))?;
+                    self.tlb.fill(va, w.pa.align_down(w.size), w.size);
+                    self.walker_stats.record(&flatwalk_mmu::WalkTiming {
+                        pa: w.pa,
+                        size: w.size,
+                        accesses: w.accesses,
+                        latency: w.latency,
+                    });
+                    (w.pa, lookup.latency + w.latency, true)
+                }
+            };
+            let data = hier.access(pa, flatwalk_types::AccessKind::Data, owner);
+            out.push(flatwalk_mmu::AccessTiming {
+                translation_latency,
+                data_latency: data.latency,
+                walked,
+                pa,
+            });
+        }
+        Ok(())
+    }
+
+    fn context_switch(&mut self) {
+        self.tlb.flush();
+        self.scheme.context_switch();
+    }
+
+    fn reset_stats(&mut self) {
+        self.phase.reset_flips();
+        self.tlb.reset_stats();
+        *self.walker_stats = WalkerStats::default();
     }
 }

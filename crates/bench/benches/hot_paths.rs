@@ -9,7 +9,10 @@ use flatwalk_mmu::{AddressSpace as MmuSpace, Mmu, PageWalker};
 use flatwalk_os::{AddressSpace, AddressSpaceSpec, BuddyAllocator, FragmentationScenario};
 use flatwalk_pt::{resolve, BumpAllocator, FlattenEverywhere, FrameStore, Layout, Mapper};
 use flatwalk_sim::runner::{run_cells, Cell};
-use flatwalk_sim::{setup, NativeSimulation, SimOptions, TranslationConfig};
+use flatwalk_sim::{
+    setup, table2_mixes, MulticoreSimulation, NativeSimulation, SimOptions, TranslationConfig,
+    VirtConfig, VirtualizedSimulation,
+};
 use flatwalk_tlb::{PwcConfig, TlbSystem, TlbSystemConfig};
 use flatwalk_types::rng::SplitMix64;
 use flatwalk_types::{AccessKind, OwnerId, PageSize, PhysAddr, VirtAddr};
@@ -140,6 +143,59 @@ fn bench_engine(c: &mut Criterion) {
             b.iter_batched(
                 || NativeSimulation::build(WorkloadSpec::gups().scaled_mib(64), cfg.clone(), &opts),
                 |sim| std::hint::black_box(sim.run().cycles),
+                BatchSize::PerIteration,
+            )
+        });
+    }
+    g.finish();
+}
+
+/// The cross-PR engine regression harness: full simulated runs at a
+/// fixed 2k-warmup/50k-measure operation budget, one row per engine.
+/// The medians land in `BENCH_engines.json` (interleaved before/after
+/// binaries, median-of-mins — see that file's notes for methodology).
+fn bench_engine_50kop_harness(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine_50kop_harness");
+    g.sample_size(10);
+    let mut opts = SimOptions::small_test();
+    opts.warmup_ops = 2_000;
+    opts.measure_ops = 50_000;
+    for cfg in [
+        TranslationConfig::baseline(),
+        TranslationConfig::flattened_prioritized(),
+    ] {
+        g.bench_function(format!("gups_64mib_{}", cfg.label), |b| {
+            b.iter_batched(
+                || NativeSimulation::build(WorkloadSpec::gups().scaled_mib(64), cfg.clone(), &opts),
+                |sim| std::hint::black_box(sim.run().cycles),
+                BatchSize::PerIteration,
+            )
+        });
+    }
+    // Virtualized engine rows (first measured in PR 7): the 2-D walk
+    // cost dominates, so the same op budget runs longer than native.
+    for cfg in [VirtConfig::fig12_set()[0], VirtConfig::fig12_set()[7]] {
+        g.bench_function(format!("virt_gups_32mib_{}", cfg.label), |b| {
+            b.iter_batched(
+                || VirtualizedSimulation::build(WorkloadSpec::gups().scaled_mib(32), cfg, &opts),
+                |sim| std::hint::black_box(sim.run().cycles),
+                BatchSize::PerIteration,
+            )
+        });
+    }
+    // Multicore engine rows: a heterogeneous Table 2 mix, four cores
+    // round-robin over the shared LLC (4 × 52k accesses per run).
+    let mut mc_opts = opts.clone();
+    mc_opts.footprint_divisor = 64;
+    mc_opts.phys_mem_bytes = 2 << 30;
+    for cfg in [
+        TranslationConfig::baseline(),
+        TranslationConfig::flattened_prioritized(),
+    ] {
+        g.bench_function(format!("multicore_mix8_{}", cfg.label), |b| {
+            b.iter_batched(
+                || MulticoreSimulation::build(&table2_mixes()[7], cfg.clone(), &mc_opts),
+                |sim| std::hint::black_box(sim.run().cores.len()),
                 BatchSize::PerIteration,
             )
         });
@@ -380,6 +436,7 @@ criterion_group!(
     bench_tlb_lookup,
     bench_hierarchy_access,
     bench_engine,
+    bench_engine_50kop_harness,
     bench_cache_probe_flat,
     bench_pt_store_lookup,
     bench_runner_grid,

@@ -160,6 +160,23 @@ impl MemoryHierarchy {
         &self.cfg
     }
 
+    /// A structurally independent copy: private levels cloned, and the
+    /// (possibly shared) LLC/DRAM cloned into *fresh* handles, so
+    /// mutations of the copy never reach the original or its sharers.
+    /// The engine's debug-build reference replays use this to re-run a
+    /// span without perturbing the live hierarchy; a plain `Clone`
+    /// derive would silently share the LLC through its `Rc`.
+    pub fn deep_clone(&self) -> Self {
+        MemoryHierarchy {
+            cfg: self.cfg.clone(),
+            l1: self.l1.clone(),
+            l2: self.l2.clone(),
+            l3: Rc::new(RefCell::new(self.l3.borrow().clone())),
+            dram: Rc::new(RefCell::new(self.dram.borrow().clone())),
+            priority_active: self.priority_active,
+        }
+    }
+
     /// Handle to the (possibly shared) LLC.
     pub fn shared_l3(&self) -> SharedL3 {
         Rc::clone(&self.l3)

@@ -2,14 +2,57 @@
 //! prioritization, and the data access itself.
 
 use flatwalk_mem::MemoryHierarchy;
+use flatwalk_obs::trace;
 use flatwalk_pt::{FrameStore, PageTable, WalkError};
 use flatwalk_tlb::{PhaseDetector, PwcConfig, TlbSystem, TlbSystemConfig, TlbSystemStats};
 use flatwalk_types::{AccessKind, OwnerId, PhysAddr, VirtAddr};
 
 use crate::{NestedTables, NestedWalker, PageWalker, WalkTiming, WalkerStats};
 
+/// The single span kernel behind [`Mmu::access_batch`] and
+/// [`Mmu::translate_batch`]: TLB lookup → phase record → walk on miss →
+/// TLB fill, per address, with the backend and the batch-vs-translate
+/// variation monomorphized in via `walk` and `emit`. One copy of the
+/// loop serves native and nested backends alike (previously four
+/// hand-copied arms).
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn run_span<W, S, F, E>(
+    tlb: &mut TlbSystem,
+    phase: &mut PhaseDetector,
+    ptp: bool,
+    walker: &mut W,
+    space: S,
+    hier: &mut MemoryHierarchy,
+    vas: &[VirtAddr],
+    owner: OwnerId,
+    walk: F,
+    mut emit: E,
+) -> Result<(), (usize, WalkError)>
+where
+    S: Copy,
+    F: Fn(&mut W, S, VirtAddr, &mut MemoryHierarchy, OwnerId) -> Result<WalkTiming, WalkError>,
+    E: FnMut(&mut MemoryHierarchy, PhysAddr, u64, bool),
+{
+    for (i, &va) in vas.iter().enumerate() {
+        let lookup = tlb.lookup(va);
+        if ptp {
+            hier.set_priority_phase(phase.record(lookup.translation.is_none()));
+        }
+        match lookup.translation {
+            Some((frame, size)) => emit(hier, frame.add(va.offset(size)), lookup.latency, false),
+            None => {
+                let timing = walk(walker, space, va, hier, owner).map_err(|e| (i, e))?;
+                tlb.fill(va, timing.pa.align_down(timing.size), timing.size);
+                emit(hier, timing.pa, lookup.latency + timing.latency, true);
+            }
+        }
+    }
+    Ok(())
+}
+
 /// The address-translation structures an access travels through.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub enum TranslationBackend {
     /// Native execution: one page table.
     Native(PageWalker),
@@ -77,7 +120,11 @@ pub struct MmuStats {
 
 /// A per-core MMU: TLB complex + page-table walker + the phase detector
 /// that gates cache prioritization (paper §5/§6.1).
-#[derive(Debug)]
+///
+/// `Clone` copies the whole translation state (TLBs, walker caches,
+/// phase detector) — the engine's debug-build reference replays run a
+/// span on a clone to compare batched against per-op execution.
+#[derive(Debug, Clone)]
 pub struct Mmu {
     tlb: TlbSystem,
     backend: TranslationBackend,
@@ -226,57 +273,45 @@ impl Mmu {
             ptp_enabled,
         } = self;
         let ptp = *ptp_enabled;
+        let tracing = trace::walks_enabled();
+        let mut emit = |hier: &mut MemoryHierarchy, pa: PhysAddr, translation_latency, walked| {
+            let data = hier.access(pa, AccessKind::Data, owner);
+            out.push(AccessTiming {
+                translation_latency,
+                data_latency: data.latency,
+                walked,
+                pa,
+            });
+        };
         match (backend, aspace) {
-            (TranslationBackend::Native(w), AddressSpace::Native { store, table }) => {
-                for (i, &va) in vas.iter().enumerate() {
-                    let lookup = tlb.lookup(va);
-                    if ptp {
-                        hier.set_priority_phase(phase.record(lookup.translation.is_none()));
-                    }
-                    let (pa, translation_latency, walked) = match lookup.translation {
-                        Some((frame, size)) => (frame.add(va.offset(size)), lookup.latency, false),
-                        None => {
-                            let timing =
-                                w.walk(store, table, va, hier, owner).map_err(|e| (i, e))?;
-                            tlb.fill(va, timing.pa.align_down(timing.size), timing.size);
-                            (timing.pa, lookup.latency + timing.latency, true)
-                        }
-                    };
-                    let data = hier.access(pa, AccessKind::Data, owner);
-                    out.push(AccessTiming {
-                        translation_latency,
-                        data_latency: data.latency,
-                        walked,
-                        pa,
-                    });
-                }
-            }
-            (TranslationBackend::Nested(w), AddressSpace::Nested(tables)) => {
-                for (i, &va) in vas.iter().enumerate() {
-                    let lookup = tlb.lookup(va);
-                    if ptp {
-                        hier.set_priority_phase(phase.record(lookup.translation.is_none()));
-                    }
-                    let (pa, translation_latency, walked) = match lookup.translation {
-                        Some((frame, size)) => (frame.add(va.offset(size)), lookup.latency, false),
-                        None => {
-                            let timing = w.walk(tables, va, hier, owner).map_err(|e| (i, e))?;
-                            tlb.fill(va, timing.pa.align_down(timing.size), timing.size);
-                            (timing.pa, lookup.latency + timing.latency, true)
-                        }
-                    };
-                    let data = hier.access(pa, AccessKind::Data, owner);
-                    out.push(AccessTiming {
-                        translation_latency,
-                        data_latency: data.latency,
-                        walked,
-                        pa,
-                    });
-                }
-            }
+            (TranslationBackend::Native(w), AddressSpace::Native { store, table }) => run_span(
+                tlb,
+                phase,
+                ptp,
+                w,
+                (*store, *table),
+                hier,
+                vas,
+                owner,
+                |w, (store, table), va, hier, owner| {
+                    w.walk_one(store, table, va, hier, owner, tracing)
+                },
+                &mut emit,
+            ),
+            (TranslationBackend::Nested(w), AddressSpace::Nested(tables)) => run_span(
+                tlb,
+                phase,
+                ptp,
+                w,
+                tables,
+                hier,
+                vas,
+                owner,
+                |w, tables, va, hier, owner| w.walk_one(tables, va, hier, owner, tracing),
+                &mut emit,
+            ),
             _ => panic!("address-space kind does not match the MMU backend"),
         }
-        Ok(())
     }
 
     /// Batched [`Mmu::translate`]: translates every address without
@@ -310,47 +345,39 @@ impl Mmu {
             ptp_enabled,
         } = self;
         let ptp = *ptp_enabled;
+        let tracing = trace::walks_enabled();
+        let mut emit = |_hier: &mut MemoryHierarchy, pa: PhysAddr, latency, walked| {
+            out.push((pa, latency, walked));
+        };
         match (backend, aspace) {
-            (TranslationBackend::Native(w), AddressSpace::Native { store, table }) => {
-                for (i, &va) in vas.iter().enumerate() {
-                    let lookup = tlb.lookup(va);
-                    if ptp {
-                        hier.set_priority_phase(phase.record(lookup.translation.is_none()));
-                    }
-                    match lookup.translation {
-                        Some((frame, size)) => {
-                            out.push((frame.add(va.offset(size)), lookup.latency, false));
-                        }
-                        None => {
-                            let timing =
-                                w.walk(store, table, va, hier, owner).map_err(|e| (i, e))?;
-                            tlb.fill(va, timing.pa.align_down(timing.size), timing.size);
-                            out.push((timing.pa, lookup.latency + timing.latency, true));
-                        }
-                    }
-                }
-            }
-            (TranslationBackend::Nested(w), AddressSpace::Nested(tables)) => {
-                for (i, &va) in vas.iter().enumerate() {
-                    let lookup = tlb.lookup(va);
-                    if ptp {
-                        hier.set_priority_phase(phase.record(lookup.translation.is_none()));
-                    }
-                    match lookup.translation {
-                        Some((frame, size)) => {
-                            out.push((frame.add(va.offset(size)), lookup.latency, false));
-                        }
-                        None => {
-                            let timing = w.walk(tables, va, hier, owner).map_err(|e| (i, e))?;
-                            tlb.fill(va, timing.pa.align_down(timing.size), timing.size);
-                            out.push((timing.pa, lookup.latency + timing.latency, true));
-                        }
-                    }
-                }
-            }
+            (TranslationBackend::Native(w), AddressSpace::Native { store, table }) => run_span(
+                tlb,
+                phase,
+                ptp,
+                w,
+                (*store, *table),
+                hier,
+                vas,
+                owner,
+                |w, (store, table), va, hier, owner| {
+                    w.walk_one(store, table, va, hier, owner, tracing)
+                },
+                &mut emit,
+            ),
+            (TranslationBackend::Nested(w), AddressSpace::Nested(tables)) => run_span(
+                tlb,
+                phase,
+                ptp,
+                w,
+                tables,
+                hier,
+                vas,
+                owner,
+                |w, tables, va, hier, owner| w.walk_one(tables, va, hier, owner, tracing),
+                &mut emit,
+            ),
             _ => panic!("address-space kind does not match the MMU backend"),
         }
-        Ok(())
     }
 
     /// Statistics snapshot (TLBs + walker).

@@ -9,9 +9,9 @@
 
 use flatwalk_mem::MemoryHierarchy;
 use flatwalk_obs::trace::{self, WalkRecord, WalkStepRecord};
-use flatwalk_pt::{resolve, FrameStore, NodeShape, PageTable, WalkError};
+use flatwalk_pt::{resolve, resolve_from_with, FrameStore, NodeShape, PageTable, WalkError};
 use flatwalk_tlb::{NestedTlb, Pwc, PwcConfig};
-use flatwalk_types::{AccessKind, OwnerId, PageSize, PhysAddr, VirtAddr};
+use flatwalk_types::{AccessKind, Level, OwnerId, PageSize, PhysAddr, VirtAddr};
 
 use crate::walker::level_label;
 use crate::{WalkTiming, WalkerStats};
@@ -102,6 +102,138 @@ impl NestedWalker {
     ///
     /// Propagates guest or host [`WalkError`]s.
     pub fn walk(
+        &mut self,
+        tables: &NestedTables<'_>,
+        gva: VirtAddr,
+        hier: &mut MemoryHierarchy,
+        owner: OwnerId,
+    ) -> Result<WalkTiming, WalkError> {
+        self.walk_one(tables, gva, hier, owner, trace::walks_enabled())
+    }
+
+    /// One 2-D walk with the trace decision already made — the batched
+    /// nested-walk kernel entry: the `Mmu` span kernels hoist the trace
+    /// gate once per span and drive every nested-backend TLB miss
+    /// through here, so batching applies to virtualized configurations
+    /// exactly as it does to native ones.
+    ///
+    /// The non-tracing fast path is *fused*: each guest step the
+    /// monomorphized functional walker decodes is host-translated,
+    /// issued to the hierarchy, and used to train the guest PSC
+    /// inline — and both the guest PSC and the vPWC short-circuit the
+    /// functional walk itself (the suffix below a hit node is walked
+    /// directly). Tables are immutable during a run, so a trained
+    /// prefix can never disagree with the table; timing, statistics,
+    /// and training match the resolve-then-replay path exactly.
+    pub(crate) fn walk_one(
+        &mut self,
+        tables: &NestedTables<'_>,
+        gva: VirtAddr,
+        hier: &mut MemoryHierarchy,
+        owner: OwnerId,
+        tracing: bool,
+    ) -> Result<WalkTiming, WalkError> {
+        if tracing {
+            return self.walk_traced(tables, gva, hier, owner);
+        }
+        let NestedWalker {
+            guest_pwc,
+            host_pwc,
+            nested_tlb,
+            stats,
+        } = self;
+
+        let gt = tables.guest_table;
+        let mut latency = guest_pwc.latency();
+        let (node_base, node_shape, pos_top, base_bits) = match guest_pwc.lookup(gva) {
+            Some(hit) => {
+                // Same short-circuit as the native walker: the hit
+                // prefix lands on a step boundary of this walk, so the
+                // decode position below it is top minus the consumed
+                // groups; a rank underflow means a PSC/table mismatch
+                // and falls back to the full walk.
+                let rank = gt
+                    .top_level
+                    .rank()
+                    .wrapping_sub((hit.prefix_bits / 9) as u8);
+                match Level::from_rank(rank) {
+                    Some(pos) => (hit.node_base, hit.node_shape, pos, hit.prefix_bits),
+                    None => (gt.root, gt.root_shape, gt.top_level, 0),
+                }
+            }
+            None => (gt.root, gt.root_shape, gt.top_level, 0),
+        };
+
+        let mut accesses = 0u64;
+        let mut cum = 0u32;
+        let mut guest_steps = 0u64;
+        let (gpa, guest_size) = resolve_from_with(
+            tables.guest_store,
+            node_base,
+            node_shape,
+            pos_top,
+            gva,
+            &mut |step| {
+                if guest_steps > 0 {
+                    guest_pwc.insert(
+                        gva,
+                        base_bits + cum,
+                        step.node_base,
+                        NodeShape::from_depth(step.depth).expect("valid step depth"),
+                    );
+                }
+                guest_steps += 1;
+                cum += step.index_bits();
+                // The guest entry lives at a guest-physical address: it
+                // needs a host translation before the cache access.
+                let entry_gpa = PhysAddr::new(step.entry_pa.raw());
+                let (entry_hpa, lat, acc, _) = host_translate_fused(
+                    host_pwc, nested_tlb, stats, tables, entry_gpa, hier, owner,
+                )?;
+                latency += lat;
+                accesses += acc;
+                let out = hier.access(entry_hpa, AccessKind::PageTable, owner);
+                latency += out.latency;
+                accesses += 1;
+                stats.walks.step_hits.record(out.level);
+                Ok(())
+            },
+        )?;
+
+        #[cfg(debug_assertions)]
+        if base_bits > 0 {
+            let full = resolve(tables.guest_store, gt, gva).expect("prefix was present");
+            debug_assert_eq!(
+                (full.pa, full.size),
+                (gpa, guest_size),
+                "guest PSC short-circuit must agree with the full walk"
+            );
+        }
+
+        // Final host translation of the data's guest-physical address.
+        let data_gpa = PhysAddr::new(gpa.raw());
+        let (data_hpa, lat, acc, host_size) =
+            host_translate_fused(host_pwc, nested_tlb, stats, tables, data_gpa, hier, owner)?;
+        latency += lat;
+        accesses += acc;
+
+        // Effective granularity: both mappings must be linear across the
+        // page for the TLB entry to be valid.
+        let size = guest_size.min(host_size);
+
+        let timing = WalkTiming {
+            pa: data_hpa,
+            size,
+            accesses,
+            latency,
+        };
+        stats.walks.record(&timing);
+        Ok(timing)
+    }
+
+    /// The resolve-then-replay walk, kept for tracing: reporting how
+    /// many steps the PSC skipped requires the full functional walk.
+    fn walk_traced(
         &mut self,
         tables: &NestedTables<'_>,
         gva: VirtAddr,
@@ -241,6 +373,86 @@ impl NestedWalker {
         self.nested_tlb.insert(gpa, walk.frame_base(), walk.size);
         Ok((walk.pa, latency, accesses, walk.size))
     }
+}
+
+/// Fused counterpart of [`NestedWalker::host_translate`]: the host walk
+/// issues entry reads and trains the vPWC inline, and a vPWC hit
+/// short-circuits the functional host walk too.
+///
+/// A free function over the walker's split-out fields so the guest-walk
+/// visitor (which holds the guest PSC mutably) can call it per step.
+#[allow(clippy::too_many_arguments)]
+fn host_translate_fused(
+    host_pwc: &mut Pwc,
+    nested_tlb: &mut NestedTlb,
+    stats: &mut NestedWalkerStats,
+    tables: &NestedTables<'_>,
+    gpa: PhysAddr,
+    hier: &mut MemoryHierarchy,
+    owner: OwnerId,
+) -> Result<(PhysAddr, u64, u64, PageSize), WalkError> {
+    stats.nested_translations += 1;
+    let mut latency = nested_tlb.latency();
+    if let Some((hpa, size)) = nested_tlb.lookup(gpa) {
+        return Ok((hpa, latency, 0, size));
+    }
+    stats.host_walks += 1;
+
+    let ht = tables.host_table;
+    let host_va = gpa.as_nested_input();
+    latency += host_pwc.latency();
+    let (node_base, node_shape, pos_top, base_bits) = match host_pwc.lookup(host_va) {
+        Some(hit) => {
+            let rank = ht
+                .top_level
+                .rank()
+                .wrapping_sub((hit.prefix_bits / 9) as u8);
+            match Level::from_rank(rank) {
+                Some(pos) => (hit.node_base, hit.node_shape, pos, hit.prefix_bits),
+                None => (ht.root, ht.root_shape, ht.top_level, 0),
+            }
+        }
+        None => (ht.root, ht.root_shape, ht.top_level, 0),
+    };
+
+    let mut accesses = 0u64;
+    let mut cum = 0u32;
+    let (pa, size) = resolve_from_with(
+        tables.host_store,
+        node_base,
+        node_shape,
+        pos_top,
+        host_va,
+        &mut |step| {
+            if accesses > 0 {
+                host_pwc.insert(
+                    host_va,
+                    base_bits + cum,
+                    step.node_base,
+                    NodeShape::from_depth(step.depth).expect("valid step depth"),
+                );
+            }
+            cum += step.index_bits();
+            let out = hier.access(step.entry_pa, AccessKind::PageTable, owner);
+            latency += out.latency;
+            accesses += 1;
+            stats.walks.step_hits.record(out.level);
+            Ok(())
+        },
+    )?;
+
+    #[cfg(debug_assertions)]
+    if base_bits > 0 {
+        let full = resolve(tables.host_store, ht, host_va).expect("prefix was present");
+        debug_assert_eq!(
+            (full.pa, full.size),
+            (pa, size),
+            "vPWC short-circuit must agree with the full host walk"
+        );
+    }
+
+    nested_tlb.insert(gpa, pa.align_down(size), size);
+    Ok((pa, latency, accesses, size))
 }
 
 #[cfg(test)]

@@ -8,7 +8,7 @@
 
 use flatwalk_mem::{HitLevel, MemoryHierarchy};
 use flatwalk_obs::trace::{self, WalkRecord, WalkStepRecord};
-use flatwalk_pt::{resolve, resolve_from, FrameStore, PageTable, Walk, WalkError};
+use flatwalk_pt::{resolve, resolve_from_with, FrameStore, PageTable, Walk, WalkError};
 use flatwalk_tlb::{Pwc, PwcConfig};
 use flatwalk_types::{AccessKind, OwnerId, PageSize, PhysAddr, VirtAddr};
 
@@ -163,9 +163,11 @@ impl PageWalker {
 
     /// Walks `table` for `va`, issuing entry reads through `hier`.
     ///
-    /// When walk tracing is off, a PSC hit short-circuits the
-    /// *functional* walk too: the suffix below the hit node is resolved
-    /// directly via [`flatwalk_pt::resolve_from`], skipping the
+    /// When walk tracing is off, the walk is *fused*: each step the
+    /// monomorphized functional walker decodes is immediately issued to
+    /// the hierarchy and used to train the PSC, with no intermediate
+    /// step list. A PSC hit short-circuits the functional walk too —
+    /// the suffix below the hit node is walked directly, skipping the
     /// upper-level entry lookups that replay would have discarded
     /// anyway. Tables are immutable during a run (cells run against a
     /// frozen address space), so a trained PSC entry can never disagree
@@ -184,7 +186,22 @@ impl PageWalker {
         hier: &mut MemoryHierarchy,
         owner: OwnerId,
     ) -> Result<WalkTiming, WalkError> {
-        if trace::walks_enabled() {
+        self.walk_one(store, table, va, hier, owner, trace::walks_enabled())
+    }
+
+    /// One walk with the trace decision already made — the span kernels
+    /// in `mmu.rs` hoist the gate out of their per-miss loop.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn walk_one(
+        &mut self,
+        store: &FrameStore,
+        table: &PageTable,
+        va: VirtAddr,
+        hier: &mut MemoryHierarchy,
+        owner: OwnerId,
+        tracing: bool,
+    ) -> Result<WalkTiming, WalkError> {
+        if tracing {
             // Tracing reports how many steps the PSC skipped, which only
             // the full functional walk knows.
             let walk = resolve(store, table, va)?;
@@ -193,8 +210,10 @@ impl PageWalker {
             return Ok(timing);
         }
 
-        let mut latency = self.pwc.latency();
-        let (walk, base_bits) = match self.pwc.lookup(va) {
+        let pwc = &mut self.pwc;
+        let stats = &mut self.stats;
+        let mut latency = pwc.latency();
+        let (node_base, node_shape, pos_top, base_bits) = match pwc.lookup(va) {
             Some(hit) => {
                 // The hit prefix always lands on a step boundary of this
                 // walk (identical VA prefix ⇒ identical upper steps), so
@@ -206,50 +225,52 @@ impl PageWalker {
                     .rank()
                     .wrapping_sub((hit.prefix_bits / 9) as u8);
                 match flatwalk_types::Level::from_rank(rank) {
-                    Some(pos_top) => (
-                        resolve_from(store, hit.node_base, hit.node_shape, pos_top, va)?,
-                        hit.prefix_bits,
-                    ),
-                    None => (resolve(store, table, va)?, 0),
+                    Some(pos_top) => (hit.node_base, hit.node_shape, pos_top, hit.prefix_bits),
+                    None => (table.root, table.root_shape, table.top_level, 0),
                 }
             }
-            None => (resolve(store, table, va)?, 0),
+            None => (table.root, table.root_shape, table.top_level, 0),
         };
+
+        let mut accesses = 0u64;
+        let mut cum = 0u32;
+        let (pa, size) =
+            resolve_from_with(store, node_base, node_shape, pos_top, va, &mut |step| {
+                // Each non-root step trains the PSC: the prefix consumed
+                // so far maps to the node this step consults.
+                if accesses > 0 {
+                    pwc.insert(
+                        va,
+                        base_bits + cum,
+                        step.node_base,
+                        flatwalk_pt::NodeShape::from_depth(step.depth).expect("valid step depth"),
+                    );
+                }
+                cum += step.index_bits();
+                let out = hier.access(step.entry_pa, AccessKind::PageTable, owner);
+                latency += out.latency;
+                accesses += 1;
+                stats.step_hits.record(out.level);
+                Ok(())
+            })?;
+
         #[cfg(debug_assertions)]
-        {
+        if base_bits > 0 {
             let full = resolve(store, table, va).expect("prefix was present");
             debug_assert_eq!(
                 (full.pa, full.size),
-                (walk.pa, walk.size),
+                (pa, size),
                 "PSC short-circuit must agree with the full walk"
             );
         }
 
-        let cum = walk.steps.cum_index_bits();
-        let mut accesses = 0u64;
-        for step in walk.steps.iter() {
-            let out = hier.access(step.entry_pa, AccessKind::PageTable, owner);
-            latency += out.latency;
-            accesses += 1;
-            self.stats.step_hits.record(out.level);
-        }
-        for i in 0..walk.steps.len().saturating_sub(1) {
-            let next = &walk.steps[i + 1];
-            self.pwc.insert(
-                va,
-                base_bits + cum[i],
-                next.node_base,
-                flatwalk_pt::NodeShape::from_depth(next.depth).expect("valid step depth"),
-            );
-        }
-
         let timing = WalkTiming {
-            pa: walk.pa,
-            size: walk.size,
+            pa,
+            size,
             accesses,
             latency,
         };
-        self.stats.record(&timing);
+        stats.record(&timing);
         Ok(timing)
     }
 

@@ -19,7 +19,7 @@
 //! run — each experiment cell runs wholly on one worker thread, so the
 //! context is unambiguous.
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::io::Write;
 use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::{Arc, Mutex, OnceLock, RwLock};
@@ -187,6 +187,28 @@ fn sink() -> &'static RwLock<Option<Arc<dyn Tracer>>> {
 
 thread_local! {
     static CONTEXT: RefCell<String> = const { RefCell::new(String::new()) };
+    static SUPPRESS: Cell<u32> = const { Cell::new(0) };
+}
+
+/// RAII guard returned by [`suppress`]; trace emission on this thread
+/// resumes when it drops.
+#[derive(Debug)]
+pub struct SuppressGuard(());
+
+/// Silences all trace emission on the current thread until the returned
+/// guard drops. Debug-build cross-checks replay work on cloned state to
+/// compare against the live run; without this the replayed walks would
+/// be traced a second time and per-walk record counts would no longer
+/// match the walker's own statistics. Guards nest.
+pub fn suppress() -> SuppressGuard {
+    SUPPRESS.with(|s| s.set(s.get() + 1));
+    SuppressGuard(())
+}
+
+impl Drop for SuppressGuard {
+    fn drop(&mut self) {
+        SUPPRESS.with(|s| s.set(s.get().saturating_sub(1)));
+    }
 }
 
 /// Whether per-walk records are being traced (one relaxed load).
@@ -288,6 +310,9 @@ pub fn parse_trace_spec(spec: &str) -> Option<(Channels, &str)> {
 }
 
 fn with_sink(f: impl FnOnce(&dyn Tracer, &str)) {
+    if SUPPRESS.with(Cell::get) != 0 {
+        return;
+    }
     let guard = sink().read().unwrap_or_else(|e| e.into_inner());
     if let Some(tracer) = guard.as_deref() {
         CONTEXT.with(|c| f(tracer, &c.borrow()));

@@ -35,6 +35,7 @@ mod layout;
 mod mapper;
 mod recursive;
 mod store;
+pub mod typed;
 mod walk;
 
 pub use alloc::{BumpAllocator, No2MbAllocator, PhysAllocator};
@@ -46,4 +47,7 @@ pub use mapper::{
 };
 pub use recursive::{RecursionError, RecursiveScheme};
 pub use store::FrameStore;
-pub use walk::{resolve, resolve_from, CumBits, StepVec, Walk, WalkError, WalkStep};
+pub use walk::{
+    resolve, resolve_from, resolve_from_with, resolve_with, CumBits, StepVec, Walk, WalkError,
+    WalkStep,
+};

@@ -1,0 +1,357 @@
+//! Typed page-table levels: walk positions carried in the type system.
+//!
+//! The functional walker in [`crate::walk`] decodes a node by computing
+//! its bottom position (`Level::from_rank`), index shift, and terminal
+//! rules from runtime values on every step. This module encodes the
+//! decode position as a zero-sized type instead (in the style of the
+//! `PageTable<Level>` mappers the design notes reference), so the whole
+//! walk — index math, terminal checks, descent — monomorphizes into one
+//! straight-line function per position × node-shape combination and the
+//! per-step dispatch is gone from the compiled code.
+//!
+//! The three possible node shapes still branch at runtime (they are
+//! data, read from the pointer entry), but each branch tail-calls the
+//! statically-known next position, so the compiler sees the complete
+//! 5-level lattice at once and flattens it.
+//!
+//! [`crate::resolve_from_with`] is the dynamic entry point: it matches
+//! the starting [`Level`] once per walk and hands control to the typed
+//! lattice.
+
+use std::marker::PhantomData;
+
+use flatwalk_types::{Level, PageSize, PhysAddr, VirtAddr};
+
+use crate::{FrameStore, NodeShape, WalkError, WalkStep};
+
+/// A page-table decode position known at compile time.
+///
+/// Implementations are the five zero-sized markers [`L1`]–[`L5`] plus
+/// the [`BelowL1`] terminator. The associated constants mirror the
+/// runtime [`Level`] math (`RANK`, `INDEX_SHIFT`) so the walk body can
+/// const-fold every position-dependent branch.
+pub trait TableLevel {
+    /// Rank of this position (`L1` = 1 … `L5` = 5; 0 for [`BelowL1`]).
+    const RANK: u8;
+    /// VA shift of the 9-bit index field at this position
+    /// (`12 + 9 × (RANK − 1)`); unused for [`BelowL1`].
+    const INDEX_SHIFT: u32;
+    /// The runtime [`Level`] this position corresponds to; for
+    /// [`BelowL1`] the value is never read (the rank guard fires first).
+    const LEVEL: Level;
+    /// The next-lower decode position ([`BelowL1`] is its own `Down`).
+    type Down: TableLevel;
+
+    /// Walks one node at this position and recurses downward, invoking
+    /// `visit` for each entry access in root-first order.
+    ///
+    /// Returns the final translation `(pa, size)`; the visitor may abort
+    /// the walk by returning an error (the nested walker uses this to
+    /// propagate host-translation failures mid-walk).
+    ///
+    /// # Errors
+    ///
+    /// See [`WalkError`]; also propagates the first visitor error.
+    fn walk<V: FnMut(WalkStep) -> Result<(), WalkError>>(
+        store: &FrameStore,
+        node_base: PhysAddr,
+        node_shape: NodeShape,
+        va: VirtAddr,
+        visit: &mut V,
+    ) -> Result<(PhysAddr, PageSize), WalkError>;
+}
+
+/// The decode position below `L1`: reaching it mid-walk means the node
+/// shape consumed more VA bits than remain, which the runtime walker
+/// reports as [`WalkError::Malformed`].
+pub enum BelowL1 {}
+
+impl TableLevel for BelowL1 {
+    const RANK: u8 = 0;
+    const INDEX_SHIFT: u32 = 0;
+    const LEVEL: Level = Level::L1;
+    type Down = BelowL1;
+
+    #[inline]
+    fn walk<V: FnMut(WalkStep) -> Result<(), WalkError>>(
+        _store: &FrameStore,
+        _node_base: PhysAddr,
+        _node_shape: NodeShape,
+        _va: VirtAddr,
+        _visit: &mut V,
+    ) -> Result<(PhysAddr, PageSize), WalkError> {
+        Err(WalkError::Malformed)
+    }
+}
+
+/// One node lookup with a statically-known top (`P`) and bottom (`B`)
+/// position; `DEPTH` is the number of merged levels the node spans
+/// (`P::RANK − B::RANK + 1`). Every position-dependent branch below
+/// folds at monomorphization time.
+#[inline]
+fn step<P, B, V, const DEPTH: u8>(
+    store: &FrameStore,
+    node_base: PhysAddr,
+    va: VirtAddr,
+    visit: &mut V,
+) -> Result<(PhysAddr, PageSize), WalkError>
+where
+    P: TableLevel,
+    B: TableLevel,
+    V: FnMut(WalkStep) -> Result<(), WalkError>,
+{
+    if B::RANK == 0 {
+        // The node decodes past L1 — same report as the runtime walker's
+        // failed `Level::from_rank`.
+        return Err(WalkError::Malformed);
+    }
+    let width = 9 * DEPTH as u32;
+    let index = ((va.raw() >> B::INDEX_SHIFT) & ((1u64 << width) - 1)) as usize;
+    let entry_pa = node_base.add(index as u64 * 8);
+    visit(WalkStep {
+        pos_top: P::LEVEL,
+        depth: DEPTH,
+        entry_pa,
+        node_base,
+        index,
+    })?;
+
+    let pte = store.read_pte(entry_pa);
+    if !pte.is_present() {
+        return Err(WalkError::NotMapped { at: B::LEVEL });
+    }
+
+    // Terminal cases (same rules, same order, as the runtime walker).
+    if B::RANK == 1 {
+        return Ok((
+            pte.addr().add(va.offset(PageSize::Size4K)),
+            PageSize::Size4K,
+        ));
+    }
+    if pte.is_large() {
+        return match B::RANK {
+            2 => Ok((
+                pte.addr().add(va.offset(PageSize::Size2M)),
+                PageSize::Size2M,
+            )),
+            3 => Ok((
+                pte.addr().add(va.offset(PageSize::Size1G)),
+                PageSize::Size1G,
+            )),
+            _ => Err(WalkError::Malformed),
+        };
+    }
+    // §3.5: at the L2 position a pointer to a flattened (2 MB) node is
+    // recognized as a 2 MB mapping.
+    if B::RANK == 2 && pte.child_shape() == NodeShape::Flat2 {
+        return Ok((
+            pte.addr().add(va.offset(PageSize::Size2M)),
+            PageSize::Size2M,
+        ));
+    }
+
+    <B::Down as TableLevel>::walk(store, pte.addr(), pte.child_shape(), va, visit)
+}
+
+macro_rules! table_level {
+    ($(#[$doc:meta])* $name:ident, $rank:expr, $level:expr, $down:ty) => {
+        $(#[$doc])*
+        pub enum $name {}
+
+        impl TableLevel for $name {
+            const RANK: u8 = $rank;
+            const INDEX_SHIFT: u32 = 12 + 9 * ($rank - 1);
+            const LEVEL: Level = $level;
+            type Down = $down;
+
+            #[inline]
+            fn walk<V: FnMut(WalkStep) -> Result<(), WalkError>>(
+                store: &FrameStore,
+                node_base: PhysAddr,
+                node_shape: NodeShape,
+                va: VirtAddr,
+                visit: &mut V,
+            ) -> Result<(PhysAddr, PageSize), WalkError> {
+                match node_shape {
+                    NodeShape::Conventional => {
+                        step::<Self, Self, V, 1>(store, node_base, va, visit)
+                    }
+                    NodeShape::Flat2 => {
+                        step::<Self, Self::Down, V, 2>(store, node_base, va, visit)
+                    }
+                    NodeShape::Flat3 => step::<Self, <Self::Down as TableLevel>::Down, V, 3>(
+                        store, node_base, va, visit,
+                    ),
+                }
+            }
+        }
+    };
+}
+
+table_level!(
+    /// The `L1` decode position (4 KB leaves).
+    L1,
+    1,
+    Level::L1,
+    BelowL1
+);
+table_level!(
+    /// The `L2` decode position (2 MB terminals, §3.5 flat pointers).
+    L2,
+    2,
+    Level::L2,
+    L1
+);
+table_level!(
+    /// The `L3` decode position (1 GB terminals).
+    L3,
+    3,
+    Level::L3,
+    L2
+);
+table_level!(
+    /// The `L4` decode position (a conventional 4-level root).
+    L4,
+    4,
+    Level::L4,
+    L3
+);
+table_level!(
+    /// The `L5` decode position (a 5-level root).
+    L5,
+    5,
+    Level::L5,
+    L4
+);
+
+/// A page-table node whose decode position is part of the type.
+///
+/// Pairs a node base and shape with the [`TableLevel`] marker for the
+/// position it is consulted at, so a walk started from it monomorphizes
+/// end-to-end with no runtime position dispatch at all.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TypedNode<L: TableLevel> {
+    /// Base address of the node.
+    pub base: PhysAddr,
+    /// How many radix levels the node merges.
+    pub shape: NodeShape,
+    marker: PhantomData<L>,
+}
+
+impl<L: TableLevel> TypedNode<L> {
+    /// Wraps a node base and shape at position `L`.
+    #[inline]
+    pub fn new(base: PhysAddr, shape: NodeShape) -> Self {
+        TypedNode {
+            base,
+            shape,
+            marker: PhantomData,
+        }
+    }
+
+    /// Walks this node for `va`, visiting each entry access in order.
+    ///
+    /// # Errors
+    ///
+    /// See [`WalkError`]; also propagates the first visitor error.
+    #[inline]
+    pub fn walk<V: FnMut(WalkStep) -> Result<(), WalkError>>(
+        &self,
+        store: &FrameStore,
+        va: VirtAddr,
+        visit: &mut V,
+    ) -> Result<(PhysAddr, PageSize), WalkError> {
+        L::walk(store, self.base, self.shape, va, visit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{resolve, BumpAllocator, FlattenEverywhere, Layout, Mapper};
+
+    #[test]
+    fn level_constants_mirror_runtime_levels() {
+        assert_eq!(L1::RANK, Level::L1.rank());
+        assert_eq!(L5::RANK, Level::L5.rank());
+        assert_eq!(L1::INDEX_SHIFT, Level::L1.index_shift());
+        assert_eq!(L2::INDEX_SHIFT, Level::L2.index_shift());
+        assert_eq!(L3::INDEX_SHIFT, Level::L3.index_shift());
+        assert_eq!(L4::INDEX_SHIFT, Level::L4.index_shift());
+        assert_eq!(L5::INDEX_SHIFT, Level::L5.index_shift());
+    }
+
+    #[test]
+    fn typed_walk_matches_runtime_resolve() {
+        let mut store = FrameStore::new();
+        let mut alloc = BumpAllocator::new(0x1000_0000);
+        let mut m = Mapper::new(
+            &mut store,
+            &mut alloc,
+            Layout::flat_l4l3_l2l1(),
+            &FlattenEverywhere,
+        )
+        .unwrap();
+        let va = VirtAddr::new(0x7f00_0000_1000);
+        m.map(
+            &mut store,
+            &mut alloc,
+            &FlattenEverywhere,
+            va,
+            PhysAddr::new(0x5_0000_0000),
+            PageSize::Size4K,
+        )
+        .unwrap();
+        let table = *m.table();
+        assert_eq!(table.top_level, Level::L4);
+
+        let want = resolve(&store, &table, va).unwrap();
+        let node = TypedNode::<L4>::new(table.root, table.root_shape);
+        let mut steps = Vec::new();
+        let (pa, size) = node
+            .walk(&store, va, &mut |s| {
+                steps.push(s);
+                Ok(())
+            })
+            .unwrap();
+        assert_eq!(pa, want.pa);
+        assert_eq!(size, want.size);
+        assert_eq!(steps.as_slice(), &*want.steps);
+    }
+
+    #[test]
+    fn visitor_error_aborts_walk() {
+        let mut store = FrameStore::new();
+        let mut alloc = BumpAllocator::new(0x1000_0000);
+        let mut m = Mapper::new(
+            &mut store,
+            &mut alloc,
+            Layout::conventional4(),
+            &FlattenEverywhere,
+        )
+        .unwrap();
+        let va = VirtAddr::new(0x1000);
+        m.map(
+            &mut store,
+            &mut alloc,
+            &FlattenEverywhere,
+            va,
+            PhysAddr::new(0x20_0000),
+            PageSize::Size4K,
+        )
+        .unwrap();
+        let table = *m.table();
+        let node = TypedNode::<L4>::new(table.root, table.root_shape);
+        let mut visited = 0;
+        let err = node.walk(&store, va, &mut |_| {
+            visited += 1;
+            if visited == 2 {
+                Err(WalkError::TooDeep)
+            } else {
+                Ok(())
+            }
+        });
+        assert_eq!(err.unwrap_err(), WalkError::TooDeep);
+        assert_eq!(visited, 2, "walk stops at the failing visit");
+    }
+}

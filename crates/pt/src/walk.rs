@@ -191,6 +191,63 @@ impl std::error::Error for WalkError {}
 /// legal recursion pattern on a 5-level table.
 const MAX_STEPS: usize = 8;
 
+/// Fused walk: [`resolve`] with a per-step visitor instead of a
+/// collected step list.
+///
+/// The visitor sees each [`WalkStep`] the moment it is decoded (before
+/// the entry is read), so timed walkers can issue cache accesses and
+/// PSC training inline without materializing a [`Walk`] first. The
+/// final translation is returned as `(pa, size)`.
+///
+/// # Errors
+///
+/// See [`WalkError`]; the first visitor error aborts the walk.
+#[inline]
+pub fn resolve_with<V: FnMut(WalkStep) -> Result<(), WalkError>>(
+    store: &FrameStore,
+    table: &PageTable,
+    va: VirtAddr,
+    visit: &mut V,
+) -> Result<(PhysAddr, PageSize), WalkError> {
+    resolve_from_with(
+        store,
+        table.root,
+        table.root_shape,
+        table.top_level,
+        va,
+        visit,
+    )
+}
+
+/// Fused walk from an arbitrary starting node: [`resolve_from`] with a
+/// per-step visitor.
+///
+/// The starting [`Level`] is matched once, here; everything below runs
+/// on the monomorphized [`typed`](crate::typed) lattice with no
+/// per-step position dispatch.
+///
+/// # Errors
+///
+/// See [`WalkError`]; the first visitor error aborts the walk.
+#[inline]
+pub fn resolve_from_with<V: FnMut(WalkStep) -> Result<(), WalkError>>(
+    store: &FrameStore,
+    node_base: PhysAddr,
+    node_shape: NodeShape,
+    pos_top: Level,
+    va: VirtAddr,
+    visit: &mut V,
+) -> Result<(PhysAddr, PageSize), WalkError> {
+    use crate::typed::{TableLevel, L1, L2, L3, L4, L5};
+    match pos_top {
+        Level::L1 => L1::walk(store, node_base, node_shape, va, visit),
+        Level::L2 => L2::walk(store, node_base, node_shape, va, visit),
+        Level::L3 => L3::walk(store, node_base, node_shape, va, visit),
+        Level::L4 => L4::walk(store, node_base, node_shape, va, visit),
+        Level::L5 => L5::walk(store, node_base, node_shape, va, visit),
+    }
+}
+
 /// Walks `table` for `va`, returning the steps and final translation.
 ///
 /// Semantics (paper §3, §3.5):
@@ -234,68 +291,11 @@ pub fn resolve_from(
     va: VirtAddr,
 ) -> Result<Walk, WalkError> {
     let mut steps = StepVec::new();
-    let mut node_base = node_base;
-    let mut node_shape = node_shape;
-    let mut pos_top = pos_top;
-
-    loop {
-        if steps.len() >= MAX_STEPS {
-            return Err(WalkError::TooDeep);
-        }
-        let depth = node_shape.depth();
-        let pos_bottom =
-            Level::from_rank(pos_top.rank().wrapping_sub(depth - 1)).ok_or(WalkError::Malformed)?;
-        let width = 9 * depth as u32;
-        let index = ((va.raw() >> pos_bottom.index_shift()) & ((1u64 << width) - 1)) as usize;
-        let entry_pa = node_base.add(index as u64 * 8);
-        steps.push(WalkStep {
-            pos_top,
-            depth,
-            entry_pa,
-            node_base,
-            index,
-        });
-
-        let pte = store.read_pte(entry_pa);
-        if !pte.is_present() {
-            return Err(WalkError::NotMapped { at: pos_bottom });
-        }
-
-        // Terminal cases.
-        if pos_bottom == Level::L1 {
-            return Ok(Walk {
-                steps,
-                pa: pte.addr().add(va.offset(PageSize::Size4K)),
-                size: PageSize::Size4K,
-            });
-        }
-        if pte.is_large() {
-            let size = match pos_bottom {
-                Level::L2 => PageSize::Size2M,
-                Level::L3 => PageSize::Size1G,
-                _ => return Err(WalkError::Malformed),
-            };
-            return Ok(Walk {
-                steps,
-                pa: pte.addr().add(va.offset(size)),
-                size,
-            });
-        }
-        // §3.5: at the L2 position, a pointer to a flattened (2 MB) node
-        // is recognized as a 2 MB mapping so recursive walks can return
-        // the addresses of flattened nodes.
-        if pos_bottom == Level::L2 && pte.child_shape() == NodeShape::Flat2 {
-            return Ok(Walk {
-                steps,
-                pa: pte.addr().add(va.offset(PageSize::Size2M)),
-                size: PageSize::Size2M,
-            });
-        }
-
-        node_base = pte.addr();
-        node_shape = pte.child_shape();
-        pos_top = pos_bottom.child().expect("checked pos_bottom != L1");
-    }
+    let (pa, size) = resolve_from_with(store, node_base, node_shape, pos_top, va, &mut |s| {
+        steps.push(s);
+        Ok(())
+    })?;
+    Ok(Walk { steps, pa, size })
 }
 
 #[cfg(test)]

@@ -30,6 +30,7 @@
 #![warn(missing_docs)]
 
 mod config;
+pub mod engine;
 mod error;
 mod multicore;
 mod native;

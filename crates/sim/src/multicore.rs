@@ -11,10 +11,9 @@ use flatwalk_mem::{EnergyModel, HierarchyConfig, MemoryHierarchy};
 use flatwalk_mmu::{AddressSpace as MmuSpace, Mmu};
 use flatwalk_os::FrozenSpace;
 use flatwalk_types::stats::geometric_mean;
-use flatwalk_types::OwnerId;
 use flatwalk_workloads::{AccessStream, WorkloadSpec};
 
-use crate::{setup, SimOptions, SimReport, TranslationConfig};
+use crate::{engine, setup, SimOptions, SimReport, TranslationConfig};
 
 /// A multiprogrammed mix of four benchmarks.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -165,8 +164,6 @@ struct Core {
     mmu: Mmu,
     hier: MemoryHierarchy,
     stream: AccessStream,
-    cycles_f: f64,
-    instructions: u64,
 }
 
 /// A four-core multiprogrammed simulation over a shared LLC.
@@ -282,8 +279,6 @@ impl MulticoreSimulation {
                     mmu,
                     hier,
                     stream,
-                    cycles_f: 0.0,
-                    instructions: 0,
                 }
             })
             .collect();
@@ -328,84 +323,49 @@ impl MulticoreSimulation {
         let plan = flatwalk_faults::active();
         let mix_salt = flatwalk_faults::mix_str(self.config.label)
             ^ flatwalk_types::rng::splitmix_mix(self.mix.id as u64);
-        let events: Vec<Vec<(u64, flatwalk_faults::MidRunFault)>> = self
+
+        let mut engine_cores: Vec<engine::EngineCore<'_, engine::MmuBackend<'_>>> = self
             .cores
-            .iter()
+            .iter_mut()
             .enumerate()
             .map(|(i, core)| {
                 let salt = mix_salt
                     ^ flatwalk_faults::mix_str(core.spec.name)
                     ^ flatwalk_types::rng::splitmix_mix(i as u64 + 1);
-                plan.as_ref()
+                let events = plan
+                    .as_ref()
                     .map(|p| p.mutation_events(salt, total_ops))
-                    .unwrap_or_default()
+                    .unwrap_or_default();
+                let aspace = MmuSpace::native(core.space.store(), core.space.table());
+                engine::EngineCore {
+                    backend: engine::MmuBackend::new(&mut core.mmu, aspace),
+                    hier: &mut core.hier,
+                    stream: &mut core.stream,
+                    workload: core.spec.name,
+                    work_per_access: core.spec.work_per_access,
+                    data_exposure: core.spec.data_exposure,
+                    events,
+                }
             })
             .collect();
-        let mut next_event = vec![0usize; self.cores.len()];
-        let mut faults = vec![flatwalk_faults::FaultStats::default(); self.cores.len()];
-        let mut stream_pos = 0u64;
-
-        for phase in 0..2u32 {
-            let ops = if phase == 0 {
-                self.opts.warmup_ops
-            } else {
-                self.opts.measure_ops
-            };
-            if phase == 1 {
-                for c in &mut self.cores {
-                    c.mmu.reset_stats();
-                    c.hier.reset_stats();
-                    c.cycles_f = 0.0;
-                    c.instructions = 0;
-                }
-            }
-            for _ in 0..ops {
-                for (i, core) in self.cores.iter_mut().enumerate() {
-                    while next_event[i] < events[i].len()
-                        && events[i][next_event[i]].0 == stream_pos
-                    {
-                        let kind = events[i][next_event[i]].1;
-                        next_event[i] += 1;
-                        let flushed = core.mmu.shootdown();
-                        let cost = flatwalk_faults::shootdown_cost(flushed);
-                        core.cycles_f += cost as f64;
-                        faults[i].note(kind);
-                        flatwalk_obs::trace::emit_fault(kind.name(), stream_pos, flushed, cost);
-                    }
-                    let va = core.stream.next_va();
-                    let aspace = MmuSpace::native(core.space.store(), core.space.table());
-                    let t = core
-                        .mmu
-                        .access(&aspace, &mut core.hier, va, OwnerId(i as u8))
-                        .map_err(|e| crate::SimError {
-                            scheme: self.config.label,
-                            workload: core.spec.name.to_string(),
-                            core: Some(i),
-                            va,
-                            stream_pos,
-                            source: e,
-                        })?;
-                    core.instructions += core.spec.work_per_access + 1;
-                    let translation_stall = t.translation_latency.saturating_sub(1);
-                    let data_stall =
-                        t.data_latency.saturating_sub(l1_lat) as f64 * core.spec.data_exposure;
-                    core.cycles_f +=
-                        core.spec.work_per_access as f64 + translation_stall as f64 + data_stall;
-                }
-                stream_pos += 1;
-            }
-        }
+        let totals = engine::run_multicore(
+            &mut engine_cores,
+            self.config.label,
+            l1_lat,
+            self.opts.warmup_ops,
+            self.opts.measure_ops,
+        )?;
 
         let config = self.config.label;
         let cores = self
             .cores
             .into_iter()
-            .zip(faults)
-            .map(|(c, faults)| SimReport {
+            .zip(totals)
+            .map(|(c, totals)| SimReport {
                 workload: c.spec.name.to_string(),
                 config,
-                instructions: c.instructions,
-                cycles: c.cycles_f.round() as u64,
+                instructions: totals.instructions,
+                cycles: totals.cycles.round() as u64,
                 walk: c.mmu.stats().walker,
                 tlb: c.mmu.stats().tlb,
                 hier: c.hier.stats(),
@@ -413,7 +373,7 @@ impl MulticoreSimulation {
                 census: *c.space.census(),
                 phase_flips: c.mmu.phase_flips(),
                 pwc: c.mmu.pwc_stats().unwrap_or_default(),
-                faults,
+                faults: totals.faults,
             })
             .collect();
         let report = MulticoreReport {

@@ -9,7 +9,7 @@ use flatwalk_os::{AddressSpaceSpec, FrozenSpace};
 use flatwalk_types::OwnerId;
 use flatwalk_workloads::{AccessStream, WorkloadSpec};
 
-use crate::{setup, SimOptions, SimReport, TranslationConfig};
+use crate::{engine, setup, SimOptions, SimReport, TranslationConfig};
 
 /// A fully constructed native simulation: one core, one address space,
 /// one workload.
@@ -202,12 +202,6 @@ impl NativeSimulation {
         if flatwalk_obs::trace::any_enabled() {
             flatwalk_obs::trace::set_context(&format!("{}/{}", spec.name, config.label));
         }
-        let work = spec.work_per_access;
-        let exposure = spec.data_exposure;
-        let l1_lat = opts.hierarchy.l1.latency;
-        let aspace = MmuSpace::native(space.store(), space.table());
-        let mut cycles_f = 0.0f64;
-        let mut instructions = 0u64;
 
         // Mid-run mutation schedule: a pure function of the fault plan
         // and stable cell identity, so it is identical at every thread
@@ -219,90 +213,29 @@ impl NativeSimulation {
         let events = flatwalk_faults::active()
             .map(|p| p.mutation_events(fault_salt, total_ops))
             .unwrap_or_default();
-        let mut next_event = 0usize;
-        let mut faults = flatwalk_faults::FaultStats::default();
-        let mut stream_pos = 0u64;
 
-        // The inner loop runs in batches: context switches and fault
-        // mutations only ever fire at op boundaries computed up front,
-        // so every inter-event span feeds the MMU's batched access
-        // kernel in one call — per-op dispatch (backend match, event
-        // probing, stream source match) is hoisted to once per span.
-        // The per-op state transitions and the f64 accumulation order
-        // are exactly those of the one-call-per-access loop, so every
-        // report byte is unchanged.
-        const BATCH: u64 = 256;
-        let mut va_buf: Vec<flatwalk_types::VirtAddr> = Vec::with_capacity(BATCH as usize);
-        let mut t_buf: Vec<flatwalk_mmu::AccessTiming> = Vec::with_capacity(BATCH as usize);
-
-        for phase in 0..2u32 {
-            let ops = if phase == 0 {
-                opts.warmup_ops
-            } else {
-                opts.measure_ops
-            };
-            if phase == 1 {
-                mmu.reset_stats();
-                hier.reset_stats();
-                cycles_f = 0.0;
-                instructions = 0;
-            }
-            let mut op = 0u64;
-            while op < ops {
-                if let Some(n) = opts.context_switch_interval {
-                    if op > 0 && op.is_multiple_of(n) {
-                        mmu.context_switch();
-                    }
-                }
-                while next_event < events.len() && events[next_event].0 == stream_pos {
-                    let kind = events[next_event].1;
-                    next_event += 1;
-                    let flushed = mmu.shootdown();
-                    let cost = flatwalk_faults::shootdown_cost(flushed);
-                    cycles_f += cost as f64;
-                    faults.note(kind);
-                    flatwalk_obs::trace::emit_fault(kind.name(), stream_pos, flushed, cost);
-                }
-                // Longest run that cannot cross a context-switch
-                // boundary or a scheduled mutation event.
-                let mut run = (ops - op).min(BATCH);
-                if let Some(n) = opts.context_switch_interval {
-                    run = run.min(n - op % n);
-                }
-                if next_event < events.len() {
-                    run = run.min(events[next_event].0 - stream_pos);
-                }
-                stream.fill_vas(&mut va_buf, run as usize);
-                mmu.access_batch(&aspace, &mut hier, &va_buf, OwnerId::SINGLE, &mut t_buf)
-                    .map_err(|(i, e)| crate::SimError {
-                        scheme: config.label,
-                        workload: spec.name.to_string(),
-                        core: None,
-                        va: va_buf[i],
-                        stream_pos: stream_pos + i as u64,
-                        source: e,
-                    })?;
-                for t in &t_buf {
-                    instructions += work + 1;
-                    // Timing proxy: non-memory work at CPI 1; TLB-hit
-                    // latency is pipelined away; walk latency is
-                    // exposed (serial pointer chase); data latency
-                    // beyond an L1 hit is exposed according to the
-                    // workload's MLP profile.
-                    let translation_stall = t.translation_latency.saturating_sub(1);
-                    let data_stall = t.data_latency.saturating_sub(l1_lat) as f64 * exposure;
-                    cycles_f += work as f64 + translation_stall as f64 + data_stall;
-                }
-                stream_pos += run;
-                op += run;
-            }
-        }
+        let aspace = MmuSpace::native(space.store(), space.table());
+        let mut backend = engine::MmuBackend::new(&mut mmu, aspace);
+        let run = engine::EngineRun {
+            scheme: config.label,
+            workload: spec.name,
+            core: None,
+            work_per_access: spec.work_per_access,
+            data_exposure: spec.data_exposure,
+            l1_latency: opts.hierarchy.l1.latency,
+            warmup_ops: opts.warmup_ops,
+            measure_ops: opts.measure_ops,
+            context_switch_interval: opts.context_switch_interval,
+            events: &events,
+        };
+        let totals =
+            engine::run_single(&mut backend, &mut hier, &mut stream, OwnerId::SINGLE, &run)?;
 
         let report = SimReport {
             workload: spec.name.to_string(),
             config: config.label,
-            instructions,
-            cycles: cycles_f.round() as u64,
+            instructions: totals.instructions,
+            cycles: totals.cycles.round() as u64,
             walk: mmu.stats().walker,
             tlb: mmu.stats().tlb,
             hier: hier.stats(),
@@ -310,7 +243,7 @@ impl NativeSimulation {
             census: *space.census(),
             phase_flips: mmu.phase_flips(),
             pwc: mmu.pwc_stats().unwrap_or_default(),
-            faults,
+            faults: totals.faults,
         };
         setup::record_run_time(start.elapsed());
         Ok(report)

@@ -232,16 +232,6 @@ pub struct Progress {
     enabled: bool,
 }
 
-/// The global metrics registry's walk-step counters as
-/// `(steps served by a cache, total steps)`.
-fn walk_step_counters() -> (u64, u64) {
-    let m = flatwalk_obs::metrics::global_snapshot();
-    let hits = m.counter_value("walker.steps.l1")
-        + m.counter_value("walker.steps.l2")
-        + m.counter_value("walker.steps.l3");
-    (hits, hits + m.counter_value("walker.steps.dram"))
-}
-
 impl Progress {
     const PRINT_EVERY_MS: u64 = 200;
 
@@ -263,7 +253,7 @@ impl Progress {
             next_print_ms: AtomicU64::new(0),
             start: Instant::now(),
             setup_base: setup_stats(),
-            walk_base: walk_step_counters(),
+            walk_base: crate::engine::walk_step_counters(),
             enabled,
         }
     }
@@ -319,7 +309,7 @@ impl Progress {
         let cache = setup_stats().since(&self.setup_base);
         // Aggregate walk-hit ratio of the batch's completed cells (from
         // the global metrics registry; empty until a cell finishes).
-        let (hits, total_steps) = walk_step_counters();
+        let (hits, total_steps) = crate::engine::walk_step_counters();
         let walk_hit = {
             let h = hits.saturating_sub(self.walk_base.0);
             let t = total_steps.saturating_sub(self.walk_base.1);

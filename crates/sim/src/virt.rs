@@ -10,7 +10,7 @@ use flatwalk_pt::Layout;
 use flatwalk_types::OwnerId;
 use flatwalk_workloads::{AccessStream, WorkloadSpec};
 
-use crate::{setup, SimOptions, SimReport, TranslationConfig};
+use crate::{engine, setup, SimOptions, SimReport, TranslationConfig};
 
 /// Which tables are flattened in a virtualized run — the Fig. 12
 /// configurations.
@@ -327,17 +327,6 @@ impl VirtualizedSimulation {
         if flatwalk_obs::trace::any_enabled() {
             flatwalk_obs::trace::set_context(&format!("{}/{}", spec.name, config.label));
         }
-        let work = spec.work_per_access;
-        let exposure = spec.data_exposure;
-        let l1_lat = opts.hierarchy.l1.latency;
-        let aspace = MmuSpace::nested(NestedTables {
-            guest_store: vspace.guest().store(),
-            guest_table: vspace.guest().table(),
-            host_store: vspace.host_store(),
-            host_table: vspace.host_table(),
-        });
-        let mut cycles_f = 0.0f64;
-        let mut instructions = 0u64;
 
         // Deterministic mid-run mutation schedule (see native.rs).
         let total_ops = opts.warmup_ops + opts.measure_ops;
@@ -347,61 +336,37 @@ impl VirtualizedSimulation {
         let events = flatwalk_faults::active()
             .map(|p| p.mutation_events(fault_salt, total_ops))
             .unwrap_or_default();
-        let mut next_event = 0usize;
-        let mut faults = flatwalk_faults::FaultStats::default();
-        let mut stream_pos = 0u64;
 
-        for phase in 0..2u32 {
-            let ops = if phase == 0 {
-                opts.warmup_ops
-            } else {
-                opts.measure_ops
-            };
-            if phase == 1 {
-                mmu.reset_stats();
-                hier.reset_stats();
-                cycles_f = 0.0;
-                instructions = 0;
-            }
-            for op in 0..ops {
-                if let Some(n) = opts.context_switch_interval {
-                    if op > 0 && op % n == 0 {
-                        mmu.context_switch();
-                    }
-                }
-                while next_event < events.len() && events[next_event].0 == stream_pos {
-                    let kind = events[next_event].1;
-                    next_event += 1;
-                    let flushed = mmu.shootdown();
-                    let cost = flatwalk_faults::shootdown_cost(flushed);
-                    cycles_f += cost as f64;
-                    faults.note(kind);
-                    flatwalk_obs::trace::emit_fault(kind.name(), stream_pos, flushed, cost);
-                }
-                let va = stream.next_va();
-                let t = mmu
-                    .access(&aspace, &mut hier, va, OwnerId::SINGLE)
-                    .map_err(|e| crate::SimError {
-                        scheme: config.label,
-                        workload: spec.name.to_string(),
-                        core: None,
-                        va,
-                        stream_pos,
-                        source: e,
-                    })?;
-                stream_pos += 1;
-                instructions += work + 1;
-                let translation_stall = t.translation_latency.saturating_sub(1);
-                let data_stall = t.data_latency.saturating_sub(l1_lat) as f64 * exposure;
-                cycles_f += work as f64 + translation_stall as f64 + data_stall;
-            }
-        }
+        // 2-D walks flow through the same batched span kernel as the
+        // native driver: the nested walker is just a different
+        // monomorphization of the engine's backend parameter.
+        let aspace = MmuSpace::nested(NestedTables {
+            guest_store: vspace.guest().store(),
+            guest_table: vspace.guest().table(),
+            host_store: vspace.host_store(),
+            host_table: vspace.host_table(),
+        });
+        let mut backend = engine::MmuBackend::new(&mut mmu, aspace);
+        let run = engine::EngineRun {
+            scheme: config.label,
+            workload: spec.name,
+            core: None,
+            work_per_access: spec.work_per_access,
+            data_exposure: spec.data_exposure,
+            l1_latency: opts.hierarchy.l1.latency,
+            warmup_ops: opts.warmup_ops,
+            measure_ops: opts.measure_ops,
+            context_switch_interval: opts.context_switch_interval,
+            events: &events,
+        };
+        let totals =
+            engine::run_single(&mut backend, &mut hier, &mut stream, OwnerId::SINGLE, &run)?;
 
         let report = SimReport {
             workload: spec.name.to_string(),
             config: config.label,
-            instructions,
-            cycles: cycles_f.round() as u64,
+            instructions: totals.instructions,
+            cycles: totals.cycles.round() as u64,
             walk: mmu.stats().walker,
             tlb: mmu.stats().tlb,
             hier: hier.stats(),
@@ -409,7 +374,7 @@ impl VirtualizedSimulation {
             census: *vspace.guest().census(),
             phase_flips: mmu.phase_flips(),
             pwc: mmu.pwc_stats().unwrap_or_default(),
-            faults,
+            faults: totals.faults,
         };
         setup::record_run_time(start.elapsed());
         Ok(report)
