@@ -408,6 +408,12 @@ fn bench_obs_overhead(c: &mut Criterion) {
     g.bench_function("tracer_disabled_check", |b| {
         b.iter(|| std::hint::black_box(flatwalk_obs::trace::walks_enabled()))
     });
+    // The disabled-span fast path: `span::enter` with spans off takes
+    // one relaxed atomic load and returns an inert guard — the same
+    // budget as the tracer guard above.
+    g.bench_function("span_disabled_check", |b| {
+        b.iter(|| std::hint::black_box(flatwalk_obs::span::enter("bench.noop")))
+    });
     // The full timed walker with tracing off — directly comparable to
     // the timed_walker group, which it must not regress.
     let layout = Layout::flat_l4l3_l2l1();

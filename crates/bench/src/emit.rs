@@ -13,7 +13,9 @@
 //! {"schema":"flatwalk-report-v1",
 //!  "experiment":"sec71_pwc_sweep",
 //!  "manifest":{"threads":…,"setup_cache_hits":…,"setup_cache_misses":…,
-//!              "setup_nanos":…,"run_nanos":…,"cells_recorded":…},
+//!              "setup_nanos":…,"run_nanos":…,"cells_recorded":…,
+//!              "cell_wall_count":…,"cell_wall_p50":…,"cell_wall_p90":…,
+//!              "cell_wall_p99":…,"cell_wall_p999":…},
 //!  "cells":[{"label":…,"index":…,"status":"ok"|"retried"|"failed",
 //!            "setup_nanos":…,"run_nanos":…,
 //!            "report":{…SimReport::to_json…}},…],
@@ -33,6 +35,7 @@ use std::sync::{Mutex, OnceLock};
 use flatwalk_obs::{metrics, Json};
 use flatwalk_sim::runner::CellOutcome;
 use flatwalk_sim::SimReport;
+use flatwalk_types::stats::LatencyHistogram;
 
 /// The sink path: `--json <path>` / `--json=<path>` from the command
 /// line, else `FLATWALK_JSON`. Parsed once.
@@ -67,10 +70,37 @@ fn cells() -> &'static Mutex<Vec<Json>> {
     CELLS.get_or_init(|| Mutex::new(Vec::new()))
 }
 
+/// End-to-end wall time (setup + run) of every completed grid cell
+/// this process ran, in the HDR histogram the manifest's
+/// `cell_wall_*` percentiles come from. Recorded whether or not JSON
+/// reporting is on — the percentiles also land in the global metrics
+/// registry as `bench.cell_wall.*` gauges at [`publish_run_telemetry`].
+fn cell_wall() -> &'static Mutex<LatencyHistogram> {
+    static WALL: OnceLock<Mutex<LatencyHistogram>> = OnceLock::new();
+    WALL.get_or_init(|| Mutex::new(LatencyHistogram::default()))
+}
+
+fn cell_wall_snapshot() -> LatencyHistogram {
+    *cell_wall().lock().unwrap_or_else(|e| e.into_inner())
+}
+
 /// Records a finished grid batch (one JSON cell per [`CellOutcome`],
 /// including its setup/run wall-time split). The runner has already
 /// merged these reports' metrics into the global registry.
 pub fn record_cells(label: &str, outcomes: &[CellOutcome]) {
+    {
+        let mut wall = cell_wall().lock().unwrap_or_else(|e| e.into_inner());
+        for outcome in outcomes {
+            if let CellOutcome::Ok {
+                setup_nanos,
+                run_nanos,
+                ..
+            } = outcome
+            {
+                wall.record(setup_nanos + run_nanos);
+            }
+        }
+    }
     if !enabled() {
         return;
     }
@@ -120,6 +150,31 @@ pub fn record_report(label: &str, report: &SimReport) {
     sink.push(o);
 }
 
+/// End-of-run telemetry publication, JSON sink or not: pushes the
+/// cell-wall latency percentiles into the global metrics registry as
+/// `bench.cell_wall.*` gauges, and — when `FLATWALK_SPANS_FOLDED=<path>`
+/// is set — writes the process's folded span aggregation as
+/// flamegraph-collapsed text to that path. Called by
+/// `flatwalk_bench::finish` before the JSON dump so the gauges land in
+/// the report's metrics object.
+pub fn publish_run_telemetry() {
+    let wall = cell_wall_snapshot();
+    if wall.count() > 0 {
+        metrics::gauge_global("bench.cell_wall.count", wall.count() as f64);
+        metrics::gauge_global("bench.cell_wall.p50_nanos", wall.p50() as f64);
+        metrics::gauge_global("bench.cell_wall.p90_nanos", wall.p90() as f64);
+        metrics::gauge_global("bench.cell_wall.p99_nanos", wall.p99() as f64);
+        metrics::gauge_global("bench.cell_wall.p999_nanos", wall.p999() as f64);
+    }
+    if let Ok(path) = std::env::var("FLATWALK_SPANS_FOLDED") {
+        if !path.is_empty() {
+            if let Err(e) = std::fs::write(&path, flatwalk_obs::span::render_folded()) {
+                eprintln!("FLATWALK_SPANS_FOLDED: cannot write {path:?}: {e}");
+            }
+        }
+    }
+}
+
 /// Writes the collected cells, run manifest, and merged metrics to the
 /// sink path (no-op when JSON reporting is off). Call once, after all
 /// results are recorded; I/O errors are reported on stderr, never
@@ -138,6 +193,15 @@ pub fn finish(experiment: &str) {
         .push("setup_nanos", stats.setup_nanos)
         .push("run_nanos", stats.run_nanos)
         .push("cells_recorded", recorded.len());
+    let wall = cell_wall_snapshot();
+    if wall.count() > 0 {
+        manifest
+            .push("cell_wall_count", wall.count())
+            .push("cell_wall_p50", wall.p50())
+            .push("cell_wall_p90", wall.p90())
+            .push("cell_wall_p99", wall.p99())
+            .push("cell_wall_p999", wall.p999());
+    }
     if let Some(plan) = flatwalk_faults::active() {
         manifest
             .push("faults_seed", plan.seed)

@@ -74,11 +74,14 @@ pub fn failed_cells() -> usize {
     FAILED_CELLS.load(std::sync::atomic::Ordering::Relaxed)
 }
 
-/// Emits the JSON report (like [`emit::finish`]) and then exits with
-/// status 1 if any grid cell failed. Experiment binaries call this as
-/// their last statement so a faulted grid still renders every healthy
-/// cell and the full report before the failure is surfaced to CI.
+/// Publishes end-of-run telemetry (cell-wall latency gauges, the
+/// optional `FLATWALK_SPANS_FOLDED` flamegraph dump), emits the JSON
+/// report (like [`emit::finish`]), and then exits with status 1 if any
+/// grid cell failed. Experiment binaries call this as their last
+/// statement so a faulted grid still renders every healthy cell and
+/// the full report before the failure is surfaced to CI.
 pub fn finish(experiment: &str) {
+    emit::publish_run_telemetry();
     emit::finish(experiment);
     let failed = failed_cells();
     if failed > 0 {

@@ -79,7 +79,7 @@ pub struct WalkerStats {
     pub accesses: u64,
     /// Total walk latency across all walks.
     pub latency: u64,
-    /// Per-walk latency distribution (power-of-two buckets).
+    /// Per-walk latency distribution (log-linear HDR-style buckets).
     pub latency_histogram: flatwalk_types::stats::LatencyHistogram,
     /// Where the walks' entry reads were served.
     pub step_hits: StepHits,
@@ -114,12 +114,22 @@ impl WalkerStats {
 
     /// Median walk latency (bucket upper bound; 0 when no walks).
     pub fn latency_p50(&self) -> u64 {
-        self.latency_histogram.percentile(0.50)
+        self.latency_histogram.p50()
+    }
+
+    /// 90th-percentile walk latency (bucket upper bound).
+    pub fn latency_p90(&self) -> u64 {
+        self.latency_histogram.p90()
     }
 
     /// 99th-percentile walk latency (bucket upper bound).
     pub fn latency_p99(&self) -> u64 {
-        self.latency_histogram.percentile(0.99)
+        self.latency_histogram.p99()
+    }
+
+    /// 99.9th-percentile walk latency (bucket upper bound).
+    pub fn latency_p999(&self) -> u64 {
+        self.latency_histogram.p999()
     }
 }
 

@@ -1,0 +1,418 @@
+//! Walk/span trace analysis: the library behind the `flatwalk-trace`
+//! CLI.
+//!
+//! Ingests the JSONL stream a [`crate::trace::JsonlTracer`] writes
+//! (`FLATWALK_TRACE=walks,spans:<path>`) and rebuilds the paper's
+//! "every walk's a hit" evidence tables from it:
+//!
+//! * a **walk-depth × serving-cache-level matrix** — for each executed
+//!   walk step, how many 9-bit index fields the node merged (depth 1 =
+//!   conventional, 2–3 = flattened) against which hierarchy level
+//!   served the entry read. Under FPT+PTP the mass concentrates in one
+//!   high-depth, L1-served cell; the column totals equal
+//!   `WalkerStats::step_hits` exactly.
+//! * **PSC-skip and fallback breakdowns** — how many steps
+//!   paging-structure caches skipped per walk, and how many walks went
+//!   through unflattened fallback nodes.
+//! * **per-span time attribution** — inclusive wall time per span stack
+//!   path (setup vs engine vs serve), renderable as flamegraph-folded
+//!   text via [`crate::span::fold_text`].
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::json::{self, Json};
+use crate::span::SpanAgg;
+
+/// The serving-level columns of the depth × level matrix, in hierarchy
+/// order.
+pub const LEVELS: [&str; 4] = ["L1", "L2", "L3", "DRAM"];
+
+/// Aggregated view of one trace file. Build with [`analyze`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TraceSummary {
+    /// Records per `event` type (`walk`, `span`, `fault`, …).
+    pub events: BTreeMap<String, u64>,
+    /// Lines that failed to parse or had no `event` key.
+    pub parse_errors: u64,
+    /// Distinct `cell` context strings seen.
+    pub cells: BTreeSet<String>,
+    /// Completed walks.
+    pub walks: u64,
+    /// Total memory accesses across all walks.
+    pub accesses: u64,
+    /// Total modeled walk latency (cycles).
+    pub latency: u64,
+    /// Walks that needed exactly one memory access.
+    pub single_access_walks: u64,
+    /// Walks whose single executed step was served by the L1 — the
+    /// paper's headline "a single-access cache hit".
+    pub single_step_l1_walks: u64,
+    /// Walks that touched at least one flattened (depth > 1) node.
+    pub flattened_walks: u64,
+    /// Walks that executed multiple steps without touching a flattened
+    /// node — fallback (unflattened) paths under a flattened layout.
+    pub fallback_walks: u64,
+    /// PSC-skip breakdown: steps skipped per walk → walk count.
+    pub psc_skips: BTreeMap<u64, u64>,
+    /// The matrix: step depth → serving level → executed-step count.
+    pub depth_level: BTreeMap<u64, BTreeMap<String, u64>>,
+    /// Span attribution: stack path → accumulated count and wall time.
+    pub spans: BTreeMap<String, SpanAgg>,
+}
+
+impl TraceSummary {
+    /// Executed steps served by `level` across all depths — the column
+    /// total that must match `WalkerStats::step_hits` for that level.
+    pub fn level_total(&self, level: &str) -> u64 {
+        self.depth_level
+            .values()
+            .filter_map(|row| row.get(level))
+            .sum()
+    }
+
+    /// Executed steps of merged-depth `depth` across all levels.
+    pub fn depth_total(&self, depth: u64) -> u64 {
+        self.depth_level
+            .get(&depth)
+            .map(|row| row.values().sum())
+            .unwrap_or(0)
+    }
+
+    /// Total executed steps in the matrix.
+    pub fn step_total(&self) -> u64 {
+        self.depth_level.values().flat_map(|row| row.values()).sum()
+    }
+
+    /// The span aggregation as a path-sorted vector (the shape
+    /// [`crate::span::fold_text`] takes).
+    pub fn span_snapshot(&self) -> Vec<(String, SpanAgg)> {
+        self.spans.iter().map(|(k, v)| (k.clone(), *v)).collect()
+    }
+
+    /// Renders the human-readable report the CLI prints.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        let total_records: u64 = self.events.values().sum();
+        let breakdown = self
+            .events
+            .iter()
+            .map(|(k, v)| format!("{k} {v}"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        out.push_str(&format!(
+            "records: {total_records} ({breakdown}), parse errors: {}\n",
+            self.parse_errors
+        ));
+        out.push_str(&format!("cells: {}\n", self.cells.len()));
+
+        if self.walks > 0 {
+            out.push_str("\nwalk depth x serving level (executed steps)\n");
+            out.push_str(&format!("  {:<7}", "depth"));
+            for level in LEVELS {
+                out.push_str(&format!("{level:>10}"));
+            }
+            out.push_str(&format!("{:>10}\n", "total"));
+            for (depth, row) in &self.depth_level {
+                out.push_str(&format!("  {depth:<7}"));
+                for level in LEVELS {
+                    out.push_str(&format!("{:>10}", row.get(level).copied().unwrap_or(0)));
+                }
+                out.push_str(&format!("{:>10}\n", self.depth_total(*depth)));
+            }
+            out.push_str(&format!("  {:<7}", "total"));
+            for level in LEVELS {
+                out.push_str(&format!("{:>10}", self.level_total(level)));
+            }
+            out.push_str(&format!("{:>10}\n", self.step_total()));
+
+            let pct = |n: u64| 100.0 * n as f64 / self.walks as f64;
+            out.push_str(&format!(
+                "\nwalks: {}  accesses/walk: {:.3}  latency/walk: {:.1}\n",
+                self.walks,
+                self.accesses as f64 / self.walks as f64,
+                self.latency as f64 / self.walks as f64,
+            ));
+            out.push_str(&format!(
+                "single-access walks: {} ({:.1}%)   single-step L1 hits: {} ({:.1}%)\n",
+                self.single_access_walks,
+                pct(self.single_access_walks),
+                self.single_step_l1_walks,
+                pct(self.single_step_l1_walks),
+            ));
+            out.push_str(&format!(
+                "flattened walks: {} ({:.1}%)   fallback walks: {} ({:.1}%)\n",
+                self.flattened_walks,
+                pct(self.flattened_walks),
+                self.fallback_walks,
+                pct(self.fallback_walks),
+            ));
+            let skips = self
+                .psc_skips
+                .iter()
+                .map(|(k, v)| format!("{k}:{v}"))
+                .collect::<Vec<_>>()
+                .join("  ");
+            out.push_str(&format!("psc steps skipped per walk: {skips}\n"));
+        }
+
+        if !self.spans.is_empty() {
+            out.push_str("\nspan time attribution (inclusive)\n");
+            let width = self.spans.keys().map(|k| k.len()).max().unwrap_or(4).max(4);
+            out.push_str(&format!(
+                "  {:<width$}{:>10}{:>14}{:>12}\n",
+                "path", "count", "total_ms", "mean_us"
+            ));
+            for (path, agg) in &self.spans {
+                out.push_str(&format!(
+                    "  {:<width$}{:>10}{:>14.3}{:>12.1}\n",
+                    path,
+                    agg.count,
+                    agg.nanos as f64 / 1e6,
+                    agg.nanos as f64 / 1e3 / agg.count.max(1) as f64,
+                ));
+            }
+        }
+        out
+    }
+
+    /// The summary as ordered JSON (`flatwalk-trace --json`).
+    pub fn to_json(&self) -> Json {
+        let mut events = Json::obj();
+        for (k, v) in &self.events {
+            events.push(k.as_str(), *v);
+        }
+        let matrix = Json::Array(
+            self.depth_level
+                .iter()
+                .map(|(depth, row)| {
+                    let mut o = Json::obj();
+                    o.push("depth", *depth);
+                    for level in LEVELS {
+                        o.push(level, row.get(level).copied().unwrap_or(0));
+                    }
+                    o
+                })
+                .collect(),
+        );
+        let mut totals = Json::obj();
+        for level in LEVELS {
+            totals.push(level, self.level_total(level));
+        }
+        let mut skips = Json::obj();
+        for (k, v) in &self.psc_skips {
+            skips.push(k.to_string().as_str(), *v);
+        }
+        let spans = Json::Array(
+            self.spans
+                .iter()
+                .map(|(path, agg)| {
+                    let mut o = Json::obj();
+                    o.push("path", path.as_str())
+                        .push("count", agg.count)
+                        .push("nanos", agg.nanos);
+                    o
+                })
+                .collect(),
+        );
+        let mut o = Json::obj();
+        o.push("schema", "flatwalk-trace-v1")
+            .push("events", events)
+            .push("parse_errors", self.parse_errors)
+            .push("cells", self.cells.len())
+            .push("walks", self.walks)
+            .push("accesses", self.accesses)
+            .push("latency", self.latency)
+            .push("single_access_walks", self.single_access_walks)
+            .push("single_step_l1_walks", self.single_step_l1_walks)
+            .push("flattened_walks", self.flattened_walks)
+            .push("fallback_walks", self.fallback_walks)
+            .push("psc_skips", skips)
+            .push("depth_level", matrix)
+            .push("step_totals", totals)
+            .push("spans", spans);
+        o
+    }
+}
+
+/// Analyzes a trace line-by-line. Unknown event types are counted but
+/// otherwise ignored, so traces with `faults`/`serve`/`repl` channels
+/// enabled analyze fine.
+pub fn analyze<'a>(lines: impl IntoIterator<Item = &'a str>) -> TraceSummary {
+    let mut s = TraceSummary::default();
+    for line in lines {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let Ok(v) = json::parse(line) else {
+            s.parse_errors += 1;
+            continue;
+        };
+        let Some(event) = v.get("event").and_then(|e| match e {
+            Json::Str(name) => Some(name.clone()),
+            _ => None,
+        }) else {
+            s.parse_errors += 1;
+            continue;
+        };
+        *s.events.entry(event.clone()).or_insert(0) += 1;
+        if let Some(Json::Str(cell)) = v.get("cell") {
+            if !cell.is_empty() {
+                s.cells.insert(cell.clone());
+            }
+        }
+        match event.as_str() {
+            "walk" => ingest_walk(&mut s, &v),
+            "span" => ingest_span(&mut s, &v),
+            _ => {}
+        }
+    }
+    s
+}
+
+fn ingest_walk(s: &mut TraceSummary, v: &Json) {
+    let num = |key: &str| v.get(key).and_then(Json::as_u64).unwrap_or(0);
+    s.walks += 1;
+    let accesses = num("accesses");
+    s.accesses += accesses;
+    s.latency += num("latency");
+    if accesses == 1 {
+        s.single_access_walks += 1;
+    }
+    *s.psc_skips.entry(num("psc_skipped")).or_insert(0) += 1;
+    let flattened = matches!(v.get("flattened"), Some(Json::Bool(true)));
+    if flattened {
+        s.flattened_walks += 1;
+    }
+    let steps = v.get("steps").and_then(Json::as_array).unwrap_or(&[]);
+    if !flattened && steps.len() > 1 {
+        s.fallback_walks += 1;
+    }
+    if steps.len() == 1 {
+        let level = steps[0].get("level");
+        if matches!(level, Some(Json::Str(l)) if l == "L1") {
+            s.single_step_l1_walks += 1;
+        }
+    }
+    for step in steps {
+        let depth = step.get("depth").and_then(Json::as_u64).unwrap_or(0);
+        let level = match step.get("level") {
+            Some(Json::Str(l)) => l.clone(),
+            _ => continue,
+        };
+        *s.depth_level
+            .entry(depth)
+            .or_default()
+            .entry(level)
+            .or_insert(0) += 1;
+    }
+}
+
+fn ingest_span(s: &mut TraceSummary, v: &Json) {
+    let path = match v.get("path") {
+        Some(Json::Str(p)) => p.clone(),
+        _ => return,
+    };
+    let nanos = v.get("nanos").and_then(Json::as_u64).unwrap_or(0);
+    let agg = s.spans.entry(path).or_default();
+    agg.count += 1;
+    agg.nanos += nanos;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"
+{"event":"walk","cell":"gups/Base","va":1,"accesses":4,"latency":100,"psc_skipped":0,"flattened":false,"steps":[{"depth":1,"level":"DRAM"},{"depth":1,"level":"L2"},{"depth":1,"level":"L1"},{"depth":1,"level":"L1"}]}
+{"event":"walk","cell":"gups/FPT+PTP","va":2,"accesses":1,"latency":4,"psc_skipped":1,"flattened":true,"steps":[{"depth":3,"level":"L1"}]}
+{"event":"walk","cell":"gups/FPT+PTP","va":3,"accesses":1,"latency":4,"psc_skipped":1,"flattened":true,"steps":[{"depth":3,"level":"L1"}]}
+{"event":"walk","cell":"gups/FPT","va":4,"accesses":2,"latency":40,"psc_skipped":0,"flattened":false,"steps":[{"depth":1,"level":"L2"},{"depth":1,"level":"L1"}]}
+{"event":"fault","cell":"gups/Base","kind":"unmap","op":9,"flushed":3,"cost":100}
+{"event":"span","cell":"gups/Base","name":"engine.measure","path":"cell;engine.measure","depth":2,"nanos":5000}
+{"event":"span","cell":"gups/Base","name":"cell","path":"cell","depth":1,"nanos":9000}
+{"event":"span","cell":"gups/FPT","name":"engine.measure","path":"cell;engine.measure","depth":2,"nanos":3000}
+not json at all
+"#;
+
+    #[test]
+    fn matrix_and_breakdowns() {
+        let s = analyze(SAMPLE.lines());
+        assert_eq!(s.events.get("walk"), Some(&4));
+        assert_eq!(s.events.get("span"), Some(&3));
+        assert_eq!(s.events.get("fault"), Some(&1));
+        assert_eq!(s.parse_errors, 1);
+        assert_eq!(s.cells.len(), 3);
+
+        assert_eq!(s.walks, 4);
+        assert_eq!(s.accesses, 8);
+        assert_eq!(s.latency, 148);
+        assert_eq!(s.single_access_walks, 2);
+        assert_eq!(s.single_step_l1_walks, 2);
+        assert_eq!(s.flattened_walks, 2);
+        assert_eq!(s.fallback_walks, 2);
+        assert_eq!(s.psc_skips.get(&0), Some(&2));
+        assert_eq!(s.psc_skips.get(&1), Some(&2));
+
+        // Matrix: depth 1 row from the two unflattened walks, depth 3
+        // from the flattened pair.
+        assert_eq!(s.depth_level[&1]["L1"], 3);
+        assert_eq!(s.depth_level[&1]["L2"], 2);
+        assert_eq!(s.depth_level[&1]["DRAM"], 1);
+        assert_eq!(s.depth_level[&3]["L1"], 2);
+        assert_eq!(s.level_total("L1"), 5);
+        assert_eq!(s.level_total("L2"), 2);
+        assert_eq!(s.level_total("L3"), 0);
+        assert_eq!(s.level_total("DRAM"), 1);
+        assert_eq!(s.depth_total(1), 6);
+        assert_eq!(s.depth_total(3), 2);
+        assert_eq!(s.step_total(), 8);
+
+        // Spans aggregate by path.
+        assert_eq!(s.spans["cell;engine.measure"].count, 2);
+        assert_eq!(s.spans["cell;engine.measure"].nanos, 8000);
+        assert_eq!(s.spans["cell"].nanos, 9000);
+    }
+
+    #[test]
+    fn text_json_and_folded_render() {
+        let s = analyze(SAMPLE.lines());
+        let text = s.render_text();
+        assert!(text.contains("walk depth x serving level"));
+        assert!(text.contains("single-step L1 hits: 2 (50.0%)"));
+        assert!(text.contains("span time attribution"));
+
+        let j = s.to_json();
+        let round = json::parse(&j.to_string()).unwrap();
+        assert_eq!(round.get("walks").unwrap().as_u64(), Some(4));
+        let matrix = round.get("depth_level").unwrap().as_array().unwrap();
+        assert_eq!(matrix.len(), 2);
+        assert_eq!(matrix[1].get("depth").unwrap().as_u64(), Some(3));
+        assert_eq!(matrix[1].get("L1").unwrap().as_u64(), Some(2));
+        assert_eq!(
+            round
+                .get("step_totals")
+                .unwrap()
+                .get("L1")
+                .unwrap()
+                .as_u64(),
+            Some(5)
+        );
+
+        let folded = crate::span::fold_text(&s.span_snapshot());
+        // cell self-time = 9000 - 5000 (only the gups/Base child is
+        // under it in this aggregation; paths merge across cells).
+        assert!(folded.contains("cell;engine.measure 8000\n"), "{folded}");
+        assert!(folded.contains("cell 1000\n"), "{folded}");
+    }
+
+    #[test]
+    fn empty_input_is_empty_summary() {
+        let s = analyze(std::iter::empty());
+        assert_eq!(s, TraceSummary::default());
+        assert_eq!(
+            s.render_text(),
+            "records: 0 (), parse errors: 0\ncells: 0\n"
+        );
+    }
+}

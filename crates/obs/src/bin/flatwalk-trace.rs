@@ -1,0 +1,62 @@
+//! `flatwalk-trace`: analyze walk/span JSONL traces captured with
+//! `FLATWALK_TRACE=walks,spans:<path>`.
+//!
+//! Usage:
+//!
+//! ```text
+//! flatwalk-trace <trace.jsonl> [more.jsonl ...] [--json] [--folded]
+//! ```
+//!
+//! Default output is the human-readable report: walk-depth ×
+//! serving-cache-level matrix, PSC-skip and fallback breakdowns, and
+//! per-span time attribution. `--json` emits the same summary as one
+//! ordered JSON object; `--folded` emits flamegraph-collapsed span
+//! lines (`path self_nanos`) instead.
+
+use flatwalk_obs::{analyze, span};
+
+fn usage() -> ! {
+    eprintln!("usage: flatwalk-trace <trace.jsonl> [more.jsonl ...] [--json] [--folded]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut files = Vec::new();
+    let mut json = false;
+    let mut folded = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--folded" => folded = true,
+            "--help" | "-h" => usage(),
+            _ if arg.starts_with('-') => {
+                eprintln!("flatwalk-trace: unknown flag {arg:?}");
+                usage();
+            }
+            _ => files.push(arg),
+        }
+    }
+    if files.is_empty() {
+        usage();
+    }
+
+    let mut text = String::new();
+    for file in &files {
+        match std::fs::read_to_string(file) {
+            Ok(t) => text.push_str(&t),
+            Err(e) => {
+                eprintln!("flatwalk-trace: cannot read {file:?}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    let summary = analyze::analyze(text.lines());
+
+    if folded {
+        print!("{}", span::fold_text(&summary.span_snapshot()));
+    } else if json {
+        println!("{}", summary.to_json());
+    } else {
+        print!("{}", summary.render_text());
+    }
+}

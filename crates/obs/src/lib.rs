@@ -12,17 +12,26 @@
 //!   experiment cell into a process-global registry and dumped at exit.
 //! * [`trace`] — a [`trace::Tracer`] trait with a no-op default (one
 //!   relaxed atomic load when disabled) and a JSONL file sink enabled
-//!   via `FLATWALK_TRACE=walks[,phase,repl]:path`.
+//!   via `FLATWALK_TRACE=walks[,phase,repl,spans]:path`.
+//! * [`span`] — hierarchical profiling spans (scoped RAII timers with
+//!   per-thread stacks) feeding the `spans` trace channel and a
+//!   process-global folded-stack (flamegraph) aggregation.
+//! * [`analyze`] — the walk/span JSONL analysis behind the
+//!   `flatwalk-trace` CLI: depth × serving-level matrices, PSC-skip and
+//!   fallback breakdowns, per-span time attribution.
 //!
-//! Hard contract shared by all three: with tracing and JSON reporting
-//! off, simulation output (stdout *and* every statistic that feeds it)
-//! is byte-identical to a build without this crate in the loop.
+//! Hard contract shared by all of them: with tracing, spans, and JSON
+//! reporting off, simulation output (stdout *and* every statistic that
+//! feeds it) is byte-identical to a build without this crate in the
+//! loop.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod analyze;
 pub mod json;
 pub mod metrics;
+pub mod span;
 pub mod trace;
 
 pub use json::Json;

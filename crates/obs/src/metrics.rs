@@ -115,6 +115,46 @@ impl MetricsSnapshot {
         }
         o
     }
+
+    /// Renders the snapshot in the Prometheus text exposition format
+    /// (version 0.0.4): a `# TYPE` line then a sample per metric, in
+    /// name order. Metric names are prefixed with `prefix` and
+    /// sanitized (every character outside `[A-Za-z0-9_]` becomes `_`,
+    /// so `tlb.l2.miss` exposes as `<prefix>tlb_l2_miss`). Counters
+    /// render as `counter`, gauges as `gauge`; non-finite gauge values
+    /// are skipped (Prometheus has no NaN counters worth scraping).
+    pub fn to_prometheus(&self, prefix: &str) -> String {
+        let mut out = String::new();
+        for (name, value) in &self.entries {
+            let exposed = sanitize_metric_name(&format!("{prefix}{name}"));
+            match value {
+                MetricValue::Counter(v) => {
+                    out.push_str(&format!("# TYPE {exposed} counter\n{exposed} {v}\n"));
+                }
+                MetricValue::Gauge(v) => {
+                    if v.is_finite() {
+                        out.push_str(&format!("# TYPE {exposed} gauge\n{exposed} {v:?}\n"));
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Maps a dotted metric name onto the Prometheus name grammar:
+/// `[a-zA-Z_:][a-zA-Z0-9_:]*`, with `.` and every other outside
+/// character folded to `_` and a leading digit guarded by `_`.
+pub fn sanitize_metric_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for (i, ch) in name.chars().enumerate() {
+        let ok = ch.is_ascii_alphabetic() || ch == '_' || (ch.is_ascii_digit() && i > 0);
+        out.push(if ok { ch } else { '_' });
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
 }
 
 fn global() -> &'static Mutex<MetricsSnapshot> {
@@ -138,6 +178,15 @@ pub fn add_global(name: &str, delta: u64) {
         .lock()
         .unwrap_or_else(|e| e.into_inner())
         .add(name, delta);
+}
+
+/// Sets one global gauge directly (for point-in-time process-wide
+/// measurements, e.g. end-of-run latency percentiles).
+pub fn gauge_global(name: &str, value: f64) {
+    global()
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .gauge(name, value);
 }
 
 /// A copy of the process-global registry.
@@ -192,6 +241,21 @@ mod tests {
         m.add("walks", 3).add("walks", 4);
         assert_eq!(m.counter_value("walks"), 7);
         assert_eq!(m.counter_value("absent"), 0);
+    }
+
+    #[test]
+    fn prometheus_exposition_sanitizes_and_types() {
+        let mut m = MetricsSnapshot::new();
+        m.counter("tlb.l2.miss", 15)
+            .gauge("energy.l1-nj", 2.5)
+            .gauge("bad", f64::NAN);
+        let text = m.to_prometheus("flatwalk_");
+        assert!(text.contains("# TYPE flatwalk_tlb_l2_miss counter\n"));
+        assert!(text.contains("flatwalk_tlb_l2_miss 15\n"));
+        assert!(text.contains("# TYPE flatwalk_energy_l1_nj gauge\n"));
+        assert!(text.contains("flatwalk_energy_l1_nj 2.5\n"));
+        assert!(!text.contains("bad"), "NaN gauges are skipped");
+        assert_eq!(sanitize_metric_name("9lives.x"), "_lives_x");
     }
 
     #[test]

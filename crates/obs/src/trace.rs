@@ -10,7 +10,7 @@
 //! Enable the JSONL sink with
 //! `FLATWALK_TRACE=<channels>:<path>` where `<channels>` is a
 //! comma-separated subset of `walks`, `phase`, `repl`, `faults`,
-//! `serve` — e.g. `FLATWALK_TRACE=walks,phase:/tmp/trace.jsonl`. Each record is one
+//! `serve`, `spans` — e.g. `FLATWALK_TRACE=walks,phase:/tmp/trace.jsonl`. Each record is one
 //! JSON object per line; see [`JsonlTracer`] for the schema. Tests
 //! install collecting tracers programmatically via [`install`].
 //!
@@ -40,6 +40,9 @@ pub struct Channels {
     /// `flatwalk-serve` request lifecycle events (submit, cell done,
     /// cache hit, reject, drain).
     pub serve: bool,
+    /// Hierarchical profiling spans ([`crate::span`]): one record per
+    /// closed span.
+    pub spans: bool,
 }
 
 impl Channels {
@@ -51,6 +54,7 @@ impl Channels {
             repl: true,
             faults: true,
             serve: true,
+            spans: true,
         }
     }
 
@@ -65,6 +69,7 @@ impl Channels {
                 "repl" => ch.repl = true,
                 "faults" => ch.faults = true,
                 "serve" => ch.serve = true,
+                "spans" => ch.spans = true,
                 _ => return None,
             }
         }
@@ -77,6 +82,7 @@ impl Channels {
             | (self.repl as u8) << 2
             | (self.faults as u8) << 3
             | (self.serve as u8) << 4
+            | (self.spans as u8) << 5
     }
 }
 
@@ -161,6 +167,20 @@ pub struct ServeRecord<'a> {
     pub detail: &'a str,
 }
 
+/// One closed profiling span (see [`crate::span`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanRecord<'a> {
+    /// The span's own name (the last `path` segment).
+    pub name: &'a str,
+    /// `;`-joined ancestry from the thread's outermost open span down
+    /// to this one (folded-stack convention).
+    pub path: &'a str,
+    /// Nesting depth (`path.split(';').count()`; 1 = top level).
+    pub depth: u64,
+    /// Wall-clock duration in nanoseconds.
+    pub nanos: u64,
+}
+
 /// A trace event consumer. All methods default to no-ops so sinks
 /// subscribe to only the channels they care about.
 pub trait Tracer: Send + Sync {
@@ -174,11 +194,25 @@ pub trait Tracer: Send + Sync {
     fn fault(&self, _cell: &str, _record: &FaultRecord) {}
     /// One server request-lifecycle event.
     fn serve(&self, _cell: &str, _record: &ServeRecord<'_>) {}
+    /// One closed profiling span.
+    fn span(&self, _cell: &str, _record: &SpanRecord<'_>) {}
+    /// Flushes any buffered records; called by [`uninstall`] before the
+    /// sink is dropped.
+    fn flush(&self) {}
 }
 
 /// Enabled-channel bitmask; 0 when tracing is off. The only tracing
 /// state hot paths ever touch.
 static CHANNELS: AtomicU8 = AtomicU8::new(0);
+
+/// Serializes unit tests (here and in [`crate::span`]) that touch the
+/// process-global tracer, so the harness's parallel test threads cannot
+/// observe each other's installs.
+#[cfg(test)]
+pub(crate) fn test_lock() -> &'static Mutex<()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+}
 
 fn sink() -> &'static RwLock<Option<Arc<dyn Tracer>>> {
     static SINK: OnceLock<RwLock<Option<Arc<dyn Tracer>>>> = OnceLock::new();
@@ -241,6 +275,12 @@ pub fn serve_enabled() -> bool {
     CHANNELS.load(Ordering::Relaxed) & 16 != 0
 }
 
+/// Whether profiling spans are being traced (one relaxed load).
+#[inline]
+pub fn spans_enabled() -> bool {
+    CHANNELS.load(Ordering::Relaxed) & 32 != 0
+}
+
 /// Whether any channel is being traced.
 #[inline]
 pub fn any_enabled() -> bool {
@@ -267,11 +307,35 @@ pub fn install(tracer: Arc<dyn Tracer>, channels: Channels) {
     CHANNELS.store(channels.bits(), Ordering::Release);
 }
 
-/// Removes the tracer and disables every channel.
+/// Records silently lost since process start: emits that raced an
+/// [`uninstall`] (the channel mask said "on" but the sink was already
+/// gone — late records during a serve drain land here) plus sink write
+/// failures. Surfaced as the `trace.records_dropped` metric when the
+/// tracer is uninstalled.
+static DROPPED: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+/// Trace records lost so far (drain races and sink write errors).
+pub fn records_dropped() -> u64 {
+    DROPPED.load(Ordering::Relaxed)
+}
+
+/// Removes the tracer and disables every channel. The outgoing tracer
+/// is flushed first, and any records dropped on its watch are pushed
+/// into the metrics registry as `trace.records_dropped`.
 pub fn uninstall() {
     CHANNELS.store(0, Ordering::Release);
-    let mut guard = sink().write().unwrap_or_else(|e| e.into_inner());
-    *guard = None;
+    let tracer = {
+        let mut guard = sink().write().unwrap_or_else(|e| e.into_inner());
+        guard.take()
+    };
+    if let Some(t) = tracer {
+        t.flush();
+    }
+    let dropped = DROPPED.swap(0, Ordering::Relaxed);
+    if dropped > 0 {
+        crate::metrics::add_global("trace.records_dropped", dropped);
+        eprintln!("trace: {dropped} record(s) dropped (late emits or sink errors)");
+    }
 }
 
 /// Installs a [`JsonlTracer`] if `FLATWALK_TRACE=<channels>:<path>` is
@@ -291,7 +355,7 @@ pub fn init_from_env() {
             Err(e) => eprintln!("FLATWALK_TRACE: cannot open {path:?}: {e}"),
         },
         None => eprintln!(
-            "FLATWALK_TRACE: expected <channels>:<path> with channels from walks,phase,repl,faults,serve; got {spec:?}"
+            "FLATWALK_TRACE: expected <channels>:<path> with channels from walks,phase,repl,faults,serve,spans; got {spec:?}"
         ),
     }
 }
@@ -314,8 +378,14 @@ fn with_sink(f: impl FnOnce(&dyn Tracer, &str)) {
         return;
     }
     let guard = sink().read().unwrap_or_else(|e| e.into_inner());
-    if let Some(tracer) = guard.as_deref() {
-        CONTEXT.with(|c| f(tracer, &c.borrow()));
+    match guard.as_deref() {
+        Some(tracer) => CONTEXT.with(|c| f(tracer, &c.borrow())),
+        // The caller saw the channel enabled but the sink is already
+        // gone: an emit racing uninstall (e.g. a worker finishing while
+        // the server drains). Count it instead of losing it silently.
+        None => {
+            DROPPED.fetch_add(1, Ordering::Relaxed);
+        }
     }
 }
 
@@ -351,6 +421,12 @@ pub fn emit_fault(kind: &'static str, op: u64, flushed: u64, cost: u64) {
     with_sink(|t, cell| t.fault(cell, &record));
 }
 
+/// Emits one closed-span record (call only when [`spans_enabled`];
+/// [`crate::span`] guards for you).
+pub fn emit_span(record: &SpanRecord<'_>) {
+    with_sink(|t, cell| t.span(cell, record));
+}
+
 /// Emits one server-lifecycle record. Guards internally on
 /// [`serve_enabled`] — request handling is far off any simulation hot
 /// path, so the extra load is irrelevant.
@@ -371,13 +447,18 @@ pub fn emit_serve(op: &str, job: u64, detail: &str) {
 ///  "psc_skipped":…,"flattened":…,"steps":[{"depth":…,"level":…},…]}
 /// {"event":"phase","cell":…,"active":…,"flips":…,"window":…,"miss_rate":…}
 /// {"event":"repl","cell":…,"cache":…,"victim_line":…,"victim_kind":…,"biased":…}
+/// {"event":"span","cell":…,"name":…,"path":…,"depth":…,"nanos":…}
 /// ```
 ///
-/// Every record is written (and flushed) as one `write_all`, so lines
-/// from concurrent worker threads never interleave mid-record.
+/// Records are buffered through a `BufWriter` (a full run can emit
+/// millions of lines) and each line lands as one `write_all`, so lines
+/// from concurrent worker threads never interleave mid-record. The
+/// buffer is flushed when the tracer drops or [`uninstall`] runs; a
+/// failed write bumps the process-wide [`records_dropped`] counter
+/// instead of failing the run.
 #[derive(Debug)]
 pub struct JsonlTracer {
-    out: Mutex<std::fs::File>,
+    out: Mutex<std::io::BufWriter<std::fs::File>>,
 }
 
 impl JsonlTracer {
@@ -388,7 +469,7 @@ impl JsonlTracer {
     /// Propagates the I/O error if the file cannot be created.
     pub fn create(path: &str) -> std::io::Result<JsonlTracer> {
         Ok(JsonlTracer {
-            out: Mutex::new(std::fs::File::create(path)?),
+            out: Mutex::new(std::io::BufWriter::new(std::fs::File::create(path)?)),
         })
     }
 
@@ -396,7 +477,16 @@ impl JsonlTracer {
         let mut line = json.to_string();
         line.push('\n');
         let mut out = self.out.lock().unwrap_or_else(|e| e.into_inner());
-        let _ = out.write_all(line.as_bytes());
+        if out.write_all(line.as_bytes()).is_err() {
+            DROPPED.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+impl Drop for JsonlTracer {
+    fn drop(&mut self) {
+        let mut out = self.out.lock().unwrap_or_else(|e| e.into_inner());
+        let _ = out.flush();
     }
 }
 
@@ -465,6 +555,24 @@ impl Tracer for JsonlTracer {
             .push("detail", record.detail);
         self.write_line(&o);
     }
+
+    fn span(&self, cell: &str, record: &SpanRecord<'_>) {
+        let mut o = Json::obj();
+        o.push("event", "span")
+            .push("cell", cell)
+            .push("name", record.name)
+            .push("path", record.path)
+            .push("depth", record.depth)
+            .push("nanos", record.nanos);
+        self.write_line(&o);
+    }
+
+    fn flush(&self) {
+        let mut out = self.out.lock().unwrap_or_else(|e| e.into_inner());
+        if out.flush().is_err() {
+            DROPPED.fetch_add(1, Ordering::Relaxed);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -481,8 +589,15 @@ mod tests {
             })
         );
         assert_eq!(
-            Channels::parse("walks,phase,repl,faults,serve"),
+            Channels::parse("walks,phase,repl,faults,serve,spans"),
             Some(Channels::all())
+        );
+        assert_eq!(
+            Channels::parse("spans"),
+            Some(Channels {
+                spans: true,
+                ..Default::default()
+            })
         );
         assert_eq!(
             Channels::parse("serve"),
@@ -520,8 +635,9 @@ mod tests {
 
     #[test]
     fn disabled_by_default_and_flags_follow_install() {
-        // Tests in this binary run concurrently but only this one
-        // touches the global tracer.
+        // Serialized against the span tests, which also install on the
+        // global tracer.
+        let _g = test_lock().lock().unwrap_or_else(|e| e.into_inner());
         struct Nop;
         impl Tracer for Nop {}
         uninstall();

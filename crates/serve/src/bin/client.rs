@@ -12,7 +12,8 @@
 //!               [--footprint-divisor N] [--no-stream] [--json PATH]
 //!   status JOB
 //!   result JOB [--json PATH]
-//!   metrics
+//!   metrics [--prometheus]
+//!   watch [--interval-ms N] [--count N]
 //!   shutdown
 //! ```
 //!
@@ -31,7 +32,8 @@ use flatwalk_serve::client::Connection;
 use flatwalk_serve::proto::{JobSpec, PROTOCOL};
 
 const USAGE: &str = "usage: flatwalk-client (--connect HOST:PORT | --uds PATH) <command>
-commands: ping | submit GRID [opts] | status JOB | result JOB [--json PATH] | metrics | shutdown
+commands: ping | submit GRID [opts] | status JOB | result JOB [--json PATH]
+          metrics [--prometheus] | watch [--interval-ms N] [--count N] | shutdown
 submit opts: --mode quick|std|paper  --faults SEED[:PROFILE]  --warmup-ops N
              --measure-ops N  --footprint-divisor N  --no-stream  --json PATH";
 
@@ -218,7 +220,64 @@ fn run(args: &[String]) -> Result<u64, String> {
     };
     match command.as_str() {
         "ping" => one_reply(&mut conn, r#"{"op":"ping"}"#),
-        "metrics" => one_reply(&mut conn, r#"{"op":"metrics"}"#),
+        "metrics" => {
+            if rest.iter().any(|a| a == "--prometheus") {
+                // Unwrap the exposition text so the output pipes
+                // straight into Prometheus-aware tooling.
+                let reply = conn
+                    .request(r#"{"op":"metrics","format":"prometheus"}"#)
+                    .map_err(|e| e.to_string())?;
+                let v = json::parse(&reply).map_err(|e| format!("unparseable reply: {e}"))?;
+                if let Some((kind, detail)) = parse_error(&v) {
+                    return Err(format!("server error {kind}: {detail}"));
+                }
+                match v.get("text") {
+                    Some(Json::Str(text)) => print!("{text}"),
+                    _ => return Err("prometheus reply carried no \"text\"".to_string()),
+                }
+                Ok(0)
+            } else {
+                one_reply(&mut conn, r#"{"op":"metrics"}"#)
+            }
+        }
+        "watch" => {
+            let mut interval_ms = 1000u64;
+            let mut count = 0u64;
+            let mut it = rest[1..].iter();
+            while let Some(arg) = it.next() {
+                let mut value = |name: &str| -> Result<&String, String> {
+                    it.next().ok_or_else(|| format!("{name} needs a value"))
+                };
+                match arg.as_str() {
+                    "--interval-ms" => {
+                        interval_ms = value("--interval-ms")?
+                            .parse()
+                            .map_err(|e| format!("--interval-ms: {e}"))?;
+                    }
+                    "--count" => {
+                        count = value("--count")?
+                            .parse()
+                            .map_err(|e| format!("--count: {e}"))?;
+                    }
+                    other => return Err(format!("unknown watch argument {other:?}")),
+                }
+            }
+            conn.send(&format!(
+                "{{\"op\":\"watch\",\"interval_ms\":{interval_ms},\"count\":{count}}}"
+            ))
+            .map_err(|e| e.to_string())?;
+            while let Some(line) = conn.recv_line().map_err(|e| e.to_string())? {
+                println!("{line}");
+                let v = json::parse(&line).map_err(|e| format!("unparseable reply: {e}"))?;
+                if let Some((kind, detail)) = parse_error(&v) {
+                    return Err(format!("server error {kind}: {detail}"));
+                }
+                if v.get("event") == Some(&Json::Str("done".into())) {
+                    break;
+                }
+            }
+            Ok(0)
+        }
         "shutdown" => one_reply(&mut conn, r#"{"op":"shutdown"}"#),
         "status" | "result" => {
             let job: u64 = rest

@@ -15,9 +15,18 @@
 //!  "footprint_divisor":N?,"stream":true?}
 //! {"op":"status","job":N}
 //! {"op":"result","job":N}
-//! {"op":"metrics"}
+//! {"op":"metrics","format":"json"|"prometheus"?}
+//! {"op":"watch","interval_ms":N?,"count":N?}
 //! {"op":"shutdown"}
 //! ```
+//!
+//! `metrics` defaults to the JSON snapshot (server counters, per-op
+//! request-latency percentiles, and the merged global registry); with
+//! `"format":"prometheus"` the reply instead carries the same data
+//! rendered in the Prometheus text exposition format under `"text"`.
+//! `watch` streams one `metrics` event every `interval_ms` (default
+//! 1000) for `count` snapshots (default 0 = until the server drains or
+//! the connection drops), then a final `done` event.
 //!
 //! A `submit` is answered with an `accepted` event; with
 //! `"stream":true` the connection then receives one `cell` event per
@@ -151,10 +160,36 @@ pub enum Request {
         job: u64,
     },
     /// Merged metrics snapshot + server counters.
-    Metrics,
+    Metrics {
+        /// Render as Prometheus text exposition instead of JSON.
+        prometheus: bool,
+    },
+    /// Stream periodic metrics snapshots on this connection.
+    Watch {
+        /// Milliseconds between snapshots.
+        interval_ms: u64,
+        /// Snapshots to emit (0 = until drain or disconnect).
+        count: u64,
+    },
     /// Begin draining: finish queued/in-flight jobs, reject new ones,
     /// exit.
     Shutdown,
+}
+
+impl Request {
+    /// The request's op name as it appears on the wire (the key the
+    /// server's request-latency histograms are bucketed by).
+    pub fn op_name(&self) -> &'static str {
+        match self {
+            Request::Ping => "ping",
+            Request::Submit { .. } => "submit",
+            Request::Status { .. } => "status",
+            Request::Result { .. } => "result",
+            Request::Metrics { .. } => "metrics",
+            Request::Watch { .. } => "watch",
+            Request::Shutdown => "shutdown",
+        }
+    }
 }
 
 fn get_str<'a>(o: &'a Json, key: &str) -> Option<&'a str> {
@@ -184,7 +219,15 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
     let op = get_str(&v, "op").ok_or("missing \"op\"")?;
     match op {
         "ping" => Ok(Request::Ping),
-        "metrics" => Ok(Request::Metrics),
+        "metrics" => match get_str(&v, "format") {
+            None | Some("json") => Ok(Request::Metrics { prometheus: false }),
+            Some("prometheus") => Ok(Request::Metrics { prometheus: true }),
+            Some(other) => Err(format!("unknown metrics format {other:?}")),
+        },
+        "watch" => Ok(Request::Watch {
+            interval_ms: get_u64(&v, "interval_ms").unwrap_or(1000).max(1),
+            count: get_u64(&v, "count").unwrap_or(0),
+        }),
         "shutdown" => Ok(Request::Shutdown),
         "status" | "result" => {
             let job = get_u64(&v, "job").ok_or("missing \"job\"")?;
@@ -253,7 +296,29 @@ mod tests {
     #[test]
     fn simple_ops_parse() {
         assert_eq!(parse_request(r#"{"op":"ping"}"#), Ok(Request::Ping));
-        assert_eq!(parse_request(r#"{"op":"metrics"}"#), Ok(Request::Metrics));
+        assert_eq!(
+            parse_request(r#"{"op":"metrics"}"#),
+            Ok(Request::Metrics { prometheus: false })
+        );
+        assert_eq!(
+            parse_request(r#"{"op":"metrics","format":"prometheus"}"#),
+            Ok(Request::Metrics { prometheus: true })
+        );
+        assert_eq!(
+            parse_request(r#"{"op":"watch"}"#),
+            Ok(Request::Watch {
+                interval_ms: 1000,
+                count: 0
+            })
+        );
+        assert_eq!(
+            parse_request(r#"{"op":"watch","interval_ms":0,"count":3}"#),
+            Ok(Request::Watch {
+                interval_ms: 1,
+                count: 3
+            }),
+            "interval clamps to at least 1ms"
+        );
         assert_eq!(parse_request(r#"{"op":"shutdown"}"#), Ok(Request::Shutdown));
         assert_eq!(
             parse_request(r#"{"op":"status","job":7}"#),
@@ -279,6 +344,24 @@ mod tests {
         assert!(
             parse_request(r#"{"op":"submit","grid":"g","faults":"x"}"#).is_err(),
             "bad fault spec"
+        );
+        assert!(
+            parse_request(r#"{"op":"metrics","format":"xml"}"#).is_err(),
+            "unknown metrics format"
+        );
+    }
+
+    #[test]
+    fn op_names_match_the_wire() {
+        assert_eq!(Request::Ping.op_name(), "ping");
+        assert_eq!(Request::Metrics { prometheus: true }.op_name(), "metrics");
+        assert_eq!(
+            Request::Watch {
+                interval_ms: 1,
+                count: 1
+            }
+            .op_name(),
+            "watch"
         );
     }
 

@@ -26,17 +26,18 @@
 //! again — the registry counts simulation actually performed, while
 //! the `serve.*` counters account for traffic served.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Sender};
 use std::sync::{Arc, Condvar, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-use flatwalk_obs::{metrics, trace, Json};
+use flatwalk_obs::{metrics, span, trace, Json};
 use flatwalk_sim::runner::{self, CancelFlag, Cell, CellOutcome};
+use flatwalk_types::stats::LatencyHistogram;
 
 use crate::proto::{self, JobSpec, Request, PROTOCOL};
 use crate::rcache::{cell_key, CachedCell, ResultCache};
@@ -123,6 +124,9 @@ pub struct Job {
     /// Rendered cell records, index-aligned; filled in index order.
     records: Mutex<Vec<Option<String>>>,
     subscribers: Mutex<Vec<Sender<String>>>,
+    /// When the job entered the queue (feeds the `serve.queue_wait`
+    /// span and the `queue_wait` latency histogram).
+    enqueued: Instant,
 }
 
 impl Job {
@@ -197,6 +201,10 @@ pub struct ServerInner {
     cache: ResultCache,
     inflight_cells: Mutex<HashMap<String, Arc<InflightSlot>>>,
     counters: Counters,
+    /// Wall-clock latency histograms, one per request op (plus
+    /// `queue_wait` for submit→run delay), feeding the `metrics`
+    /// reply's percentile table and the Prometheus summary.
+    req_stats: Mutex<BTreeMap<&'static str, LatencyHistogram>>,
 }
 
 impl ServerInner {
@@ -214,7 +222,18 @@ impl ServerInner {
             cache,
             inflight_cells: Mutex::new(HashMap::new()),
             counters: Counters::default(),
+            req_stats: Mutex::new(BTreeMap::new()),
         }
+    }
+
+    /// Records one request's wall-clock handle time under its op name.
+    fn note_request(&self, op: &'static str, nanos: u64) {
+        self.req_stats
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .entry(op)
+            .or_default()
+            .record(nanos);
     }
 
     /// The configuration this server was spawned with.
@@ -318,6 +337,7 @@ impl ServerInner {
             executed_cells: AtomicUsize::new(0),
             records: Mutex::new(vec![None; cell_count]),
             subscribers: Mutex::new(subscriber.into_iter().collect()),
+            enqueued: Instant::now(),
         });
         self.jobs
             .lock()
@@ -443,6 +463,13 @@ impl ServerInner {
     }
 
     fn run_job(&self, job: &Arc<Job>) {
+        // Queue wait crosses threads (enqueued on the connection
+        // thread, dequeued here), so it is a recorded duration rather
+        // than a scoped guard.
+        let waited = job.enqueued.elapsed().as_nanos() as u64;
+        span::record("serve.queue_wait", waited);
+        self.note_request("queue_wait", waited);
+        let _run_span = span::enter("serve.run");
         job.state.store(RUNNING, Ordering::Relaxed);
         trace::emit_serve("job_start", job.id, &job.spec.grid);
         let total = job.cells.len();
@@ -501,6 +528,7 @@ impl ServerInner {
                 // above released `records` first, so a racing flusher
                 // either emits our record for us or leaves the cursor
                 // parked on it for this call.
+                let _splice_span = span::enter("serve.splice");
                 let mut cursor = emit.lock().unwrap_or_else(|e| e.into_inner());
                 let records = job.records.lock().unwrap_or_else(|e| e.into_inner());
                 while let Some(Some(record)) = records.get(*cursor) {
@@ -571,7 +599,41 @@ impl ServerInner {
         line
     }
 
-    fn metrics_line(&self) -> String {
+    /// Publishes the live queue-depth / in-flight gauges into the
+    /// global registry, so every exposition (JSON and Prometheus) shows
+    /// values current as of the scrape.
+    fn refresh_gauges(&self) {
+        let queue_len = self.queue.lock().unwrap_or_else(|e| e.into_inner()).len();
+        metrics::gauge_global("serve.queue_len", queue_len as f64);
+        metrics::gauge_global(
+            "serve.jobs_in_flight",
+            self.in_flight.load(Ordering::Relaxed) as f64,
+        );
+    }
+
+    /// Per-op request-latency percentiles as an ordered JSON object:
+    /// `{"ping":{"count":N,"p50":…,"p90":…,"p99":…,"p999":…},…}`,
+    /// all latencies in nanoseconds.
+    fn latency_json(&self) -> Json {
+        let stats = self.req_stats.lock().unwrap_or_else(|e| e.into_inner());
+        let mut o = Json::obj();
+        for (op, h) in stats.iter() {
+            let mut e = Json::obj();
+            e.push("count", h.count())
+                .push("p50", h.p50())
+                .push("p90", h.p90())
+                .push("p99", h.p99())
+                .push("p999", h.p999());
+            o.push(op, e);
+        }
+        o
+    }
+
+    /// Pushes the metrics payload fields (`protocol`, `server`,
+    /// `latency`, `metrics`) shared by the `metrics` reply and each
+    /// `watch` event.
+    fn metrics_payload(&self, o: &mut Json) {
+        self.refresh_gauges();
         let mut server = Json::obj();
         server
             .push("workers", self.config.workers)
@@ -604,11 +666,63 @@ impl ServerInner {
             .push("cache_bytes", self.cache.bytes())
             .push("cache_evicted", self.cache.evicted())
             .push("draining", self.draining());
+        o.push("protocol", PROTOCOL)
+            .push("server", server)
+            .push("latency", self.latency_json())
+            .push("metrics", metrics::global_snapshot().to_json());
+    }
+
+    fn metrics_line(&self) -> String {
+        let mut o = Json::obj();
+        o.push("ok", true);
+        self.metrics_payload(&mut o);
+        o.to_string()
+    }
+
+    /// One `watch` stream event: the metrics payload plus a sequence
+    /// number.
+    fn watch_event_line(&self, seq: u64) -> String {
+        let mut o = Json::obj();
+        o.push("ok", true).push("event", "metrics").push("seq", seq);
+        self.metrics_payload(&mut o);
+        o.to_string()
+    }
+
+    /// The full telemetry surface rendered in the Prometheus text
+    /// exposition format: the global registry (prefixed `flatwalk_`)
+    /// plus a `summary`-typed quantile family per request op.
+    fn prometheus_text(&self) -> String {
+        self.refresh_gauges();
+        let mut text = metrics::global_snapshot().to_prometheus("flatwalk_");
+        let stats = self.req_stats.lock().unwrap_or_else(|e| e.into_inner());
+        if !stats.is_empty() {
+            text.push_str("# TYPE flatwalk_serve_request_latency_nanos summary\n");
+            for (op, h) in stats.iter() {
+                let op = metrics::sanitize_metric_name(op);
+                for (q, v) in [
+                    ("0.5", h.p50()),
+                    ("0.9", h.p90()),
+                    ("0.99", h.p99()),
+                    ("0.999", h.p999()),
+                ] {
+                    text.push_str(&format!(
+                        "flatwalk_serve_request_latency_nanos{{op=\"{op}\",quantile=\"{q}\"}} {v}\n"
+                    ));
+                }
+                text.push_str(&format!(
+                    "flatwalk_serve_request_latency_nanos_count{{op=\"{op}\"}} {}\n",
+                    h.count()
+                ));
+            }
+        }
+        text
+    }
+
+    fn prometheus_line(&self) -> String {
         let mut o = Json::obj();
         o.push("ok", true)
-            .push("protocol", PROTOCOL)
-            .push("server", server)
-            .push("metrics", metrics::global_snapshot().to_json());
+            .push("format", "prometheus")
+            .push("text", self.prometheus_text());
         o.to_string()
     }
 }
@@ -660,16 +774,59 @@ fn write_line(w: &mut impl Write, line: &str) -> std::io::Result<()> {
 }
 
 /// Handles one request; returns `false` when the connection should
-/// close (write failure).
+/// close (write failure). Every request — including a streaming submit
+/// or watch, end to end — is timed into the per-op latency histograms
+/// and covered by a `serve.request` span.
 fn handle_request(inner: &Arc<ServerInner>, line: &str, w: &mut impl Write) -> bool {
-    let reply = match proto::parse_request(line) {
+    let started = Instant::now();
+    let _req_span = span::enter("serve.request");
+    let parsed = proto::parse_request(line);
+    let op = match &parsed {
+        Ok(req) => req.op_name(),
+        Err(_) => "bad_request",
+    };
+    let alive = dispatch_request(inner, parsed, w);
+    inner.note_request(op, started.elapsed().as_nanos() as u64);
+    alive
+}
+
+fn dispatch_request(
+    inner: &Arc<ServerInner>,
+    parsed: Result<Request, String>,
+    w: &mut impl Write,
+) -> bool {
+    let reply = match parsed {
         Err(e) => proto::error_line("bad_request", &e),
         Ok(Request::Ping) => {
             let mut o = Json::obj();
             o.push("ok", true).push("protocol", PROTOCOL);
             o.to_string()
         }
-        Ok(Request::Metrics) => inner.metrics_line(),
+        Ok(Request::Metrics { prometheus }) => {
+            if prometheus {
+                inner.prometheus_line()
+            } else {
+                inner.metrics_line()
+            }
+        }
+        Ok(Request::Watch { interval_ms, count }) => {
+            let mut seq = 0u64;
+            while count == 0 || seq < count {
+                if write_line(w, &inner.watch_event_line(seq)).is_err() {
+                    return false;
+                }
+                seq += 1;
+                if (count != 0 && seq >= count) || inner.drained() {
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(interval_ms));
+            }
+            let mut o = Json::obj();
+            o.push("ok", true)
+                .push("event", "done")
+                .push("watched", seq);
+            return write_line(w, &o.to_string()).is_ok();
+        }
         Ok(Request::Status { job }) => inner.status_line(job),
         Ok(Request::Result { job }) => inner.result_line(job),
         Ok(Request::Shutdown) => {

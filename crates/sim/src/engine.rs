@@ -271,6 +271,11 @@ pub fn run_single<B: EngineBackend>(
         } else {
             run.measure_ops
         };
+        let _phase_span = flatwalk_obs::span::enter(if phase == 0 {
+            "engine.warmup"
+        } else {
+            "engine.measure"
+        });
         if phase == 1 {
             backend.reset_stats();
             hier.reset_stats();
@@ -298,6 +303,9 @@ pub fn run_single<B: EngineBackend>(
             if next_event < run.events.len() {
                 span = span.min(run.events[next_event].0 - stream_pos);
             }
+            // Covers stream generation, the batched kernel call, and
+            // the timing-proxy accumulation for this span of ops.
+            let _batch_span = flatwalk_obs::span::enter("engine.batch");
             stream.fill_vas(&mut va_buf, span as usize);
             #[cfg(debug_assertions)]
             let reference = (checked_spans < CROSS_CHECK_SPANS)
@@ -370,6 +378,13 @@ pub fn run_multicore<B: EngineBackend>(
 
     for phase in 0..2u32 {
         let ops = if phase == 0 { warmup_ops } else { measure_ops };
+        // Phase spans only: a per-round span at one op per core per
+        // round would dominate the measurement it attributes.
+        let _phase_span = flatwalk_obs::span::enter(if phase == 0 {
+            "engine.warmup"
+        } else {
+            "engine.measure"
+        });
         if phase == 1 {
             for (core, t) in cores.iter_mut().zip(&mut totals) {
                 core.backend.reset_stats();

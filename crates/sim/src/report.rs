@@ -167,18 +167,25 @@ impl SimReport {
             .push("accesses_per_walk", self.walk.accesses_per_walk())
             .push("latency_per_walk", self.walk.latency_per_walk())
             .push("latency_p50", self.walk.latency_p50())
+            .push("latency_p90", self.walk.latency_p90())
             .push("latency_p99", self.walk.latency_p99())
+            .push("latency_p999", self.walk.latency_p999())
             .push(
+                // Sparse form: `[bound, count]` pairs for the non-empty
+                // buckets only (the log-linear histogram has hundreds of
+                // buckets, nearly all zero for any one scheme).
                 "latency_histogram",
                 Json::Array(
                     self.walk
                         .latency_histogram
-                        .buckets()
-                        .iter()
-                        .map(|&b| Json::from(b))
+                        .nonzero_buckets()
+                        .map(|(bound, count)| {
+                            Json::Array(vec![Json::from(bound), Json::from(count)])
+                        })
                         .collect(),
                 ),
-            );
+            )
+            .push("latency_overflow", self.walk.latency_histogram.overflow());
         let mut steps = Json::obj();
         steps
             .push("l1", self.walk.step_hits.l1)
@@ -328,18 +335,14 @@ mod tests {
         let pwc = parsed.get("pwc").unwrap().as_array().unwrap();
         assert_eq!(pwc.len(), 1);
         assert_eq!(pwc[0].get("prefix_bits").unwrap().as_u64(), Some(27));
-        let hist = parsed
-            .get("walk")
-            .unwrap()
-            .get("latency_histogram")
-            .unwrap()
-            .as_array()
-            .unwrap();
-        assert_eq!(hist.len(), 16);
-        assert_eq!(
-            hist.iter().filter_map(|b| b.as_u64()).sum::<u64>(),
-            1,
-            "one recorded walk lands in one bucket"
-        );
+        let walk = parsed.get("walk").unwrap();
+        let hist = walk.get("latency_histogram").unwrap().as_array().unwrap();
+        assert_eq!(hist.len(), 1, "sparse export: only non-empty buckets");
+        let pair = hist[0].as_array().unwrap();
+        assert_eq!(pair[0].as_u64(), Some(5), "latency 5 is recorded exactly");
+        assert_eq!(pair[1].as_u64(), Some(1), "one recorded walk");
+        assert_eq!(walk.get("latency_overflow").unwrap().as_u64(), Some(0));
+        assert_eq!(walk.get("latency_p50").unwrap().as_u64(), Some(5));
+        assert_eq!(walk.get("latency_p999").unwrap().as_u64(), Some(5));
     }
 }

@@ -586,6 +586,7 @@ pub fn run_cell_outcome(index: usize, total: usize, cell: &Cell) -> CellOutcome 
 
 /// Runs one cell inside its fault domain (see [`run_cells_timed`]).
 fn run_cell_guarded(index: usize, total: usize, cell: &Cell) -> CellOutcome {
+    let _cell_span = flatwalk_obs::span::enter("cell");
     let plan = flatwalk_faults::active();
     let max_retries = cell_retries();
     let deadline = cell_deadline();
@@ -593,6 +594,10 @@ fn run_cell_guarded(index: usize, total: usize, cell: &Cell) -> CellOutcome {
     let mut retries = 0u32;
     loop {
         setup::begin_cell_timing();
+        // One attempt span per retry-loop iteration, covering the
+        // poison check, build, and run (retries show up as repeated
+        // `cell;cell.attempt` closes under one `cell`).
+        let _attempt_span = flatwalk_obs::span::enter("cell.attempt");
         let attempt = std::panic::catch_unwind(AssertUnwindSafe(|| {
             if let Some(plan) = plan.as_deref() {
                 if plan.poisons(index, total) {

@@ -282,6 +282,11 @@ where
     // building, so concurrent cells with *different* keys build in
     // parallel while cells sharing this key block inside `get_or_init`
     // until the one build completes.
+    //
+    // The probe span covers the lookup *and* any blocking wait on a
+    // sibling's in-flight build; the build itself opens its own
+    // `setup.build` / `setup.freeze` spans, nested under this one.
+    let _probe = flatwalk_obs::span::enter("setup.probe");
     let slot = match map.get(&key) {
         Some(slot) => slot,
         None => map.get_or_insert_with(key, || Arc::new(OnceLock::new())).0,
@@ -335,11 +340,15 @@ fn native_fault_salt(spec: &AddressSpaceSpec) -> u64 {
 }
 
 fn build_native(spec: &AddressSpaceSpec, phys_mem_bytes: u64) -> Arc<FrozenSpace> {
-    let mut buddy = BuddyAllocator::new(0, phys_mem_bytes);
-    let space = with_fault_alloc(&mut buddy, native_fault_salt(spec), |alloc| {
-        AddressSpace::build(spec.clone(), alloc)
-            .unwrap_or_else(|e| panic!("failed to build address space: {e}"))
-    });
+    let space = {
+        let _build = flatwalk_obs::span::enter("setup.build");
+        let mut buddy = BuddyAllocator::new(0, phys_mem_bytes);
+        with_fault_alloc(&mut buddy, native_fault_salt(spec), |alloc| {
+            AddressSpace::build(spec.clone(), alloc)
+                .unwrap_or_else(|e| panic!("failed to build address space: {e}"))
+        })
+    };
+    let _freeze = flatwalk_obs::span::enter("setup.freeze");
     Arc::new(space.freeze())
 }
 
@@ -376,14 +385,18 @@ fn build_virt(
     // page-table nodes; size system memory accordingly (2x the guest,
     // power of two, placed above guest-physical addresses).
     let host_bytes = (vspec.guest_mem_bytes * 2).max(phys_mem_bytes.next_power_of_two());
-    let mut host_alloc = BuddyAllocator::new(host_bytes, host_bytes);
-    let salt = native_fault_salt(guest_spec)
-        ^ splitmix_mix(host_scenario.large_page_fraction.to_bits())
-        ^ flatwalk_faults::mix_str("virt-host");
-    let vspace = with_fault_alloc(&mut host_alloc, salt, |alloc| {
-        VirtualizedSpace::build(vspec, alloc)
-            .unwrap_or_else(|e| panic!("failed to build virtualized space: {e}"))
-    });
+    let vspace = {
+        let _build = flatwalk_obs::span::enter("setup.build");
+        let mut host_alloc = BuddyAllocator::new(host_bytes, host_bytes);
+        let salt = native_fault_salt(guest_spec)
+            ^ splitmix_mix(host_scenario.large_page_fraction.to_bits())
+            ^ flatwalk_faults::mix_str("virt-host");
+        with_fault_alloc(&mut host_alloc, salt, |alloc| {
+            VirtualizedSpace::build(vspec, alloc)
+                .unwrap_or_else(|e| panic!("failed to build virtualized space: {e}"))
+        })
+    };
+    let _freeze = flatwalk_obs::span::enter("setup.freeze");
     Arc::new(vspace.freeze())
 }
 
@@ -427,6 +440,8 @@ fn build_multicore(
     footprint_divisor: u64,
     phys_mem_bytes: u64,
 ) -> Arc<Vec<Arc<FrozenSpace>>> {
+    // The per-core builds freeze inline, so one span covers both here.
+    let _build = flatwalk_obs::span::enter("setup.build");
     let mut buddy = BuddyAllocator::new(0, phys_mem_bytes);
     let salt = parts
         .iter()

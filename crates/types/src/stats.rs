@@ -224,9 +224,18 @@ mod tests {
     }
 }
 
-/// A fixed-size power-of-two latency histogram (buckets by `log2`,
-/// saturating at 2¹⁵ cycles), `Copy`-able so statistics structs can
-/// embed it.
+/// An HDR-style log-linear latency histogram: each power-of-two octave
+/// is split into 2³ = 8 sub-buckets, bounding the relative error of any
+/// reported quantile at 12.5% (values below 8 are recorded exactly).
+/// `Copy`-able so statistics structs can embed it.
+///
+/// The range covers `0..2³⁸` — enough for modeled walk latencies
+/// (cycles) and wall-clock cell/request latencies (nanoseconds, up to
+/// ~4.5 minutes). Samples above [`MAX_BOUND`](Self::MAX_BOUND) are
+/// tallied in an explicit [`overflow`](Self::overflow) counter (they
+/// still count toward [`count`](Self::count) and the exact maximum is
+/// retained), so tail percentiles stay honest instead of silently
+/// collapsing into a saturated last bucket.
 ///
 /// The paper reports *mean* walk latencies; distributions are what show
 /// the headline claim directly — under FPT+PTP the *median* walk is a
@@ -241,70 +250,167 @@ mod tests {
 /// for v in [4, 4, 4, 200] {
 ///     h.record(v);
 /// }
-/// assert!(h.percentile(0.50) <= 7);   // median bucket covers 4..8
-/// assert!(h.percentile(0.99) >= 128); // tail sees the DRAM access
+/// assert_eq!(h.percentile(0.50), 4);  // values below 8 are exact
+/// assert!(h.percentile(0.99) >= 192); // tail sees the DRAM access
 /// ```
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LatencyHistogram {
-    buckets: [u64; 16],
+    buckets: [u64; Self::BUCKETS],
     count: u64,
+    overflow: u64,
+    max: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            buckets: [0; Self::BUCKETS],
+            count: 0,
+            overflow: 0,
+            max: 0,
+        }
+    }
 }
 
 impl LatencyHistogram {
-    /// Number of power-of-two buckets; bucket `i` covers
-    /// `[2^i, 2^(i+1))` cycles and the last bucket absorbs everything
-    /// above it.
-    pub const BUCKETS: usize = 16;
+    /// Sub-bucket resolution: each octave `[2^m, 2^(m+1))` is split into
+    /// `2^SUB_BITS` equal-width buckets, so any in-range value is
+    /// reported within `2^-SUB_BITS` (12.5%) of its true magnitude.
+    pub const SUB_BITS: u32 = 3;
 
-    /// The saturating upper bound reported for the last bucket
-    /// (`2^BUCKETS - 1` cycles). Any sample at or above `2^(BUCKETS-1)`
-    /// lands in the last bucket, so no percentile ever reports more than
-    /// this — the single place that defines the histogram's range.
-    pub const MAX_BOUND: u64 = (1u64 << Self::BUCKETS) - 1;
+    /// Sub-buckets per octave (`2^SUB_BITS`).
+    pub const SUBS: usize = 1 << Self::SUB_BITS;
 
-    /// Inclusive upper bound (cycles) of bucket `i`.
+    /// One octave past the largest distinguishable one: values with
+    /// their most-significant bit at or above this exponent overflow.
+    const MAX_EXP: u32 = 38;
+
+    /// Total buckets: `SUBS` exact buckets for values `0..SUBS`, then
+    /// `SUBS` log-linear buckets per octave for exponents
+    /// `SUB_BITS..MAX_EXP`.
+    pub const BUCKETS: usize = Self::SUBS * (Self::MAX_EXP - Self::SUB_BITS + 1) as usize;
+
+    /// Largest in-range value (`2^MAX_EXP - 1`). Samples above it are
+    /// counted in [`overflow`](Self::overflow) rather than binned.
+    pub const MAX_BOUND: u64 = (1u64 << Self::MAX_EXP) - 1;
+
+    /// Bucket index for an in-range value.
     #[inline]
-    const fn bucket_bound(i: usize) -> u64 {
-        (1u64 << (i + 1)) - 1
+    fn bucket_index(value: u64) -> usize {
+        if value < Self::SUBS as u64 {
+            return value as usize;
+        }
+        let msb = 63 - value.leading_zeros();
+        let octave = (msb - Self::SUB_BITS) as usize;
+        let sub = ((value >> (msb - Self::SUB_BITS)) as usize) & (Self::SUBS - 1);
+        Self::SUBS + octave * Self::SUBS + sub
     }
 
-    /// Records one latency sample (cycles).
+    /// Inclusive upper bound of bucket `i` — the value a quantile
+    /// landing in that bucket reports.
     #[inline]
-    pub fn record(&mut self, cycles: u64) {
-        let bucket = (64 - cycles.max(1).leading_zeros() as usize - 1).min(Self::BUCKETS - 1);
-        self.buckets[bucket] += 1;
+    pub fn bucket_bound(i: usize) -> u64 {
+        if i < Self::SUBS {
+            return i as u64;
+        }
+        let octave = ((i - Self::SUBS) / Self::SUBS) as u32;
+        let sub = ((i - Self::SUBS) % Self::SUBS) as u64;
+        let low = (1u64 << (octave + Self::SUB_BITS)) + (sub << octave);
+        low + (1u64 << octave) - 1
+    }
+
+    /// Records one latency sample.
+    #[inline]
+    pub fn record(&mut self, value: u64) {
         self.count += 1;
+        if value > self.max {
+            self.max = value;
+        }
+        if value > Self::MAX_BOUND {
+            self.overflow += 1;
+        } else {
+            self.buckets[Self::bucket_index(value)] += 1;
+        }
     }
 
-    /// Number of samples recorded.
+    /// Number of samples recorded (overflowed samples included).
     #[inline]
     pub fn count(&self) -> u64 {
         self.count
     }
 
-    /// The raw bucket counts (bucket `i` covers `[2^i, 2^(i+1))`).
+    /// Samples above [`MAX_BOUND`](Self::MAX_BOUND), kept out of the
+    /// buckets so in-range percentiles stay exact.
+    #[inline]
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Largest sample ever recorded (0 when empty); exact even for
+    /// overflowed samples.
+    #[inline]
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// The raw bucket counts (bucket `i` covers values up to
+    /// [`bucket_bound(i)`](Self::bucket_bound)).
     #[inline]
     pub fn buckets(&self) -> &[u64; Self::BUCKETS] {
         &self.buckets
     }
 
-    /// Upper bound (cycles) of the bucket containing the `p`-quantile
-    /// (`0.0 < p <= 1.0`); 0 when empty and never more than
-    /// [`MAX_BOUND`](Self::MAX_BOUND). Bucket `i` covers
-    /// `[2^i, 2^(i+1))`.
+    /// Iterates the non-empty buckets as `(upper_bound, count)` pairs —
+    /// the sparse form reports serialize.
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c != 0)
+            .map(|(i, &c)| (Self::bucket_bound(i), c))
+    }
+
+    /// Upper bound of the bucket containing the `p`-quantile
+    /// (`0.0 < p <= 1.0`) by exact rank count; 0 when empty. A rank
+    /// that falls among overflowed samples reports the exact
+    /// [`max`](Self::max) instead of a saturated bound.
     pub fn percentile(&self, p: f64) -> u64 {
         if self.count == 0 {
             return 0;
         }
-        let target = ((self.count as f64) * p.clamp(0.0, 1.0)).ceil() as u64;
+        let target = (((self.count as f64) * p.clamp(0.0, 1.0)).ceil() as u64).max(1);
         let mut seen = 0;
         for (i, &b) in self.buckets.iter().enumerate() {
             seen += b;
-            if seen >= target.max(1) {
+            if seen >= target {
                 return Self::bucket_bound(i);
             }
         }
-        Self::MAX_BOUND
+        self.max
+    }
+
+    /// Median sample.
+    #[inline]
+    pub fn p50(&self) -> u64 {
+        self.percentile(0.50)
+    }
+
+    /// 90th-percentile sample.
+    #[inline]
+    pub fn p90(&self) -> u64 {
+        self.percentile(0.90)
+    }
+
+    /// 99th-percentile sample.
+    #[inline]
+    pub fn p99(&self) -> u64 {
+        self.percentile(0.99)
+    }
+
+    /// 99.9th-percentile sample.
+    #[inline]
+    pub fn p999(&self) -> u64 {
+        self.percentile(0.999)
     }
 
     /// Merges another histogram into this one.
@@ -313,6 +419,8 @@ impl LatencyHistogram {
             *a += b;
         }
         self.count += other.count;
+        self.overflow += other.overflow;
+        self.max = self.max.max(other.max);
     }
 }
 
@@ -324,26 +432,69 @@ mod histogram_tests {
     fn empty_is_zero() {
         let h = LatencyHistogram::default();
         assert_eq!(h.count(), 0);
+        assert_eq!(h.overflow(), 0);
+        assert_eq!(h.max(), 0);
         assert_eq!(h.percentile(0.5), 0);
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = LatencyHistogram::default();
+        for v in 0..8u64 {
+            h.record(v);
+        }
+        for v in 0..8u64 {
+            assert_eq!(LatencyHistogram::bucket_bound(v as usize), v);
+            assert_eq!(h.buckets()[v as usize], 1);
+        }
+        assert_eq!(h.percentile(1.0 / 8.0), 0);
+        assert_eq!(h.percentile(1.0), 7);
     }
 
     #[test]
     fn median_and_tail_separate() {
         let mut h = LatencyHistogram::default();
         for _ in 0..99 {
-            h.record(5); // bucket [4,8)
+            h.record(5);
         }
-        h.record(200); // bucket [128,256)
+        h.record(200); // octave [128,256), sub-bucket [192,208)
         assert_eq!(h.count(), 100);
-        assert_eq!(h.percentile(0.5), 7);
-        assert_eq!(h.percentile(1.0), 255);
+        assert_eq!(h.percentile(0.5), 5);
+        assert_eq!(h.p50(), 5);
+        assert_eq!(h.percentile(1.0), 207);
     }
 
     #[test]
-    fn saturates_large_values() {
+    fn relative_error_bounded() {
+        // Every bucket's reported bound is within 12.5% above any value
+        // that maps into it.
+        let mut probe = 1u64;
+        while probe < LatencyHistogram::MAX_BOUND / 2 {
+            for v in [probe, probe + probe / 3, probe * 2 - 1] {
+                let bound = LatencyHistogram::bucket_bound(LatencyHistogram::bucket_index(v));
+                assert!(bound >= v, "bound {bound} below sample {v}");
+                assert!(
+                    (bound - v) as f64 <= v as f64 * 0.125 + 1.0,
+                    "bound {bound} too far above sample {v}"
+                );
+            }
+            probe *= 2;
+        }
+    }
+
+    #[test]
+    fn overflow_is_counted_and_max_exact() {
         let mut h = LatencyHistogram::default();
-        h.record(1_000_000);
-        assert_eq!(h.percentile(1.0), (1 << 16) - 1);
+        h.record(10);
+        h.record(u64::MAX - 3);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.max(), u64::MAX - 3);
+        // The overflowed rank reports the exact max, not a bucket bound.
+        assert_eq!(h.percentile(1.0), u64::MAX - 3);
+        assert_eq!(h.percentile(0.5), 10);
+        // The in-range buckets hold exactly the in-range sample.
+        assert_eq!(h.buckets().iter().sum::<u64>(), 1);
     }
 
     #[test]
@@ -353,25 +504,66 @@ mod histogram_tests {
         a.record(4);
         b.record(4);
         b.record(300);
+        b.record(u64::MAX);
         a.merge(&b);
-        assert_eq!(a.count(), 3);
-        assert_eq!(a.percentile(0.5), 7);
+        assert_eq!(a.count(), 4);
+        assert_eq!(a.overflow(), 1);
+        assert_eq!(a.max(), u64::MAX);
+        assert_eq!(a.percentile(0.5), 4);
     }
 
     #[test]
-    fn max_bound_matches_last_bucket() {
-        assert_eq!(LatencyHistogram::MAX_BOUND, (1u64 << 16) - 1);
+    fn max_bound_is_last_bucket_bound() {
+        assert_eq!(
+            LatencyHistogram::bucket_bound(LatencyHistogram::BUCKETS - 1),
+            LatencyHistogram::MAX_BOUND
+        );
         let mut h = LatencyHistogram::default();
-        h.record(u64::MAX);
-        assert_eq!(h.percentile(1.0), LatencyHistogram::MAX_BOUND);
+        h.record(LatencyHistogram::MAX_BOUND);
+        assert_eq!(h.overflow(), 0);
         assert_eq!(h.buckets()[LatencyHistogram::BUCKETS - 1], 1);
+        h.record(LatencyHistogram::MAX_BOUND + 1);
+        assert_eq!(h.overflow(), 1);
     }
 
     #[test]
-    fn zero_latency_goes_to_first_bucket() {
+    fn bucket_bounds_are_monotonic_and_consistent() {
+        let mut prev = None;
+        for i in 0..LatencyHistogram::BUCKETS {
+            let bound = LatencyHistogram::bucket_bound(i);
+            if let Some(p) = prev {
+                assert!(bound > p, "bounds must strictly increase at {i}");
+            }
+            // The bound itself maps back into its own bucket.
+            assert_eq!(LatencyHistogram::bucket_index(bound), i);
+            prev = Some(bound);
+        }
+    }
+
+    #[test]
+    fn nonzero_buckets_are_sparse_pairs() {
         let mut h = LatencyHistogram::default();
-        h.record(0);
-        h.record(1);
-        assert_eq!(h.percentile(1.0), 1);
+        h.record(3);
+        h.record(3);
+        h.record(100);
+        let pairs: Vec<(u64, u64)> = h.nonzero_buckets().collect();
+        assert_eq!(pairs.len(), 2);
+        assert_eq!(pairs[0], (3, 2));
+        assert_eq!(pairs[1].1, 1);
+        assert!(pairs[1].0 >= 100 && pairs[1].0 <= 112);
+    }
+
+    #[test]
+    fn percentile_accessors_order() {
+        let mut h = LatencyHistogram::default();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        assert!(h.p50() <= h.p90());
+        assert!(h.p90() <= h.p99());
+        assert!(h.p99() <= h.p999());
+        // Exact-count semantics: p50 of 1..=1000 is the bucket holding
+        // rank 500, within 12.5% of 500.
+        assert!(h.p50() >= 500 && h.p50() <= 563);
     }
 }

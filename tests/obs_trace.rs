@@ -11,7 +11,7 @@
 
 use std::sync::{Arc, Mutex, MutexGuard};
 
-use flatwalk_obs::trace::{self, Channels, PhaseRecord, Tracer, WalkRecord};
+use flatwalk_obs::trace::{self, Channels, PhaseRecord, SpanRecord, Tracer, WalkRecord};
 use flatwalk_os::FragmentationScenario;
 use flatwalk_sim::runner::{run_cells, Cell};
 use flatwalk_sim::{NativeSimulation, SimOptions, SimReport, TranslationConfig};
@@ -95,6 +95,22 @@ impl Tracer for CollectingTracer {
     }
 }
 
+/// Collects every span close as `(name, path, depth)`.
+#[derive(Default)]
+struct SpanCollector {
+    spans: Mutex<Vec<(String, String, u64)>>,
+}
+
+impl Tracer for SpanCollector {
+    fn span(&self, _cell: &str, record: &SpanRecord<'_>) {
+        self.spans.lock().unwrap().push((
+            record.name.to_string(),
+            record.path.to_string(),
+            record.depth,
+        ));
+    }
+}
+
 #[test]
 fn tracing_off_is_byte_identical_across_thread_counts() {
     let _guard = override_guard();
@@ -119,6 +135,49 @@ fn installed_tracer_does_not_perturb_reports() {
     assert!(
         *tracer.walks.lock().unwrap() > 0,
         "the traced run must actually have emitted walk records"
+    );
+}
+
+#[test]
+fn spans_do_not_perturb_reports_and_nest_well_formed() {
+    let _guard = override_guard();
+    trace::uninstall();
+    let golden = fingerprints(&run_cells("obs:spans-off", grid(), 1));
+
+    let tracer = Arc::new(SpanCollector::default());
+    let channels = Channels {
+        spans: true,
+        ..Channels::default()
+    };
+    trace::install(tracer.clone(), channels);
+    let spanned_t1 = fingerprints(&run_cells("obs:spans-t1", grid(), 1));
+    let spanned_t4 = fingerprints(&run_cells("obs:spans-t4", grid(), 4));
+    trace::uninstall();
+
+    assert_eq!(golden, spanned_t1, "spans must be pure observers");
+    assert_eq!(golden, spanned_t4, "spans must not perturb parallel runs");
+
+    let spans = tracer.spans.lock().unwrap();
+    assert!(!spans.is_empty(), "the spanned runs must emit span records");
+    for (name, path, depth) in spans.iter() {
+        assert_eq!(
+            *depth,
+            path.split(';').count() as u64,
+            "depth must count the path segments: {path:?}"
+        );
+        assert_eq!(
+            Some(name.as_str()),
+            path.split(';').next_back(),
+            "name must be the last path segment: {path:?}"
+        );
+    }
+    // The runner/engine taxonomy must actually nest: a measure-phase
+    // span under an attempt under its cell.
+    assert!(
+        spans
+            .iter()
+            .any(|(_, path, _)| path == "cell;cell.attempt;engine.measure"),
+        "expected the nested cell;cell.attempt;engine.measure path"
     );
 }
 

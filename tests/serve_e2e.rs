@@ -267,6 +267,100 @@ fn shutdown_drains_in_flight_work_and_rejects_new_jobs() {
 }
 
 #[test]
+fn metrics_exposition_reports_request_latency_percentiles() {
+    let handle = test_server(2, 8);
+    let mut conn = connect(&handle);
+
+    // Generate traffic first so the per-op latency histograms have
+    // observations: one streamed submit plus a ping.
+    let mut spec = small_spec();
+    spec.measure_ops = Some(3100);
+    let (records, _) = submit_streaming(&mut conn, &spec);
+    assert!(!records.is_empty());
+    conn.request(r#"{"op":"ping"}"#).expect("ping");
+
+    // JSON form: the submit was timed end to end, so its percentiles
+    // are non-zero and ordered; queue_wait is tracked alongside.
+    let reply = conn.request(r#"{"op":"metrics"}"#).expect("metrics");
+    let v = json::parse(&reply).expect("metrics parses");
+    assert_eq!(v.get("ok"), Some(&Json::Bool(true)));
+    let latency = v.get("latency").expect("latency object");
+    let submit = latency.get("submit").expect("submit op timed");
+    let p50 = submit.get("p50").and_then(Json::as_u64).expect("p50");
+    let p999 = submit.get("p999").and_then(Json::as_u64).expect("p999");
+    assert!(submit.get("count").and_then(Json::as_u64) >= Some(1));
+    assert!(p50 > 0, "a streamed submit takes real wall time");
+    assert!(p999 >= p50, "percentiles must be ordered");
+    assert!(latency.get("queue_wait").is_some(), "queue wait is timed");
+    let registry = v.get("metrics").expect("registry snapshot");
+    assert!(
+        registry.get("serve.queue_len").is_some(),
+        "queue gauge refreshed at scrape: {registry}"
+    );
+
+    // Prometheus form: every sample line is `name{labels} value` with
+    // a finite value, and the summary family carries the submit op.
+    let reply = conn
+        .request(r#"{"op":"metrics","format":"prometheus"}"#)
+        .expect("prometheus metrics");
+    let v = json::parse(&reply).expect("prometheus reply parses");
+    assert_eq!(v.get("ok"), Some(&Json::Bool(true)));
+    let text = match v.get("text") {
+        Some(Json::Str(t)) => t.clone(),
+        other => panic!("expected text exposition, got {other:?}"),
+    };
+    assert!(text.contains("# TYPE flatwalk_serve_request_latency_nanos summary"));
+    let mut submit_p50 = None;
+    for line in text.lines() {
+        if line.starts_with('#') || line.is_empty() {
+            continue;
+        }
+        let (name, value) = line.rsplit_once(' ').expect("`name value` sample");
+        assert!(!name.is_empty(), "unnamed sample in {line:?}");
+        let value: f64 = value.parse().expect("numeric sample value");
+        assert!(value.is_finite(), "non-finite sample in {line:?}");
+        if name == "flatwalk_serve_request_latency_nanos{op=\"submit\",quantile=\"0.5\"}" {
+            submit_p50 = Some(value);
+        }
+    }
+    assert!(
+        submit_p50.expect("submit p50 exposed") > 0.0,
+        "request-latency percentiles must be non-zero"
+    );
+
+    handle.begin_drain();
+    handle.wait();
+}
+
+#[test]
+fn watch_streams_count_limited_metrics_events() {
+    let handle = test_server(1, 8);
+    let mut conn = connect(&handle);
+    conn.send(r#"{"op":"watch","interval_ms":1,"count":3}"#)
+        .expect("send watch");
+    for seq in 0..3u64 {
+        let line = conn.recv_line().expect("read").expect("watch event");
+        let v = json::parse(&line).expect("event parses");
+        assert_eq!(v.get("ok"), Some(&Json::Bool(true)), "event: {line}");
+        assert_eq!(v.get("event"), Some(&Json::Str("metrics".into())));
+        assert_eq!(v.get("seq").and_then(Json::as_u64), Some(seq));
+        assert!(v.get("server").is_some(), "payload matches metrics reply");
+        assert!(v.get("latency").is_some());
+    }
+    let done = conn.recv_line().expect("read").expect("done event");
+    let v = json::parse(&done).expect("done parses");
+    assert_eq!(v.get("event"), Some(&Json::Str("done".into())));
+    assert_eq!(v.get("watched").and_then(Json::as_u64), Some(3));
+
+    // The connection stays usable after a finite watch.
+    let pong = conn.request(r#"{"op":"ping"}"#).expect("ping after watch");
+    assert!(pong.contains(r#""ok":true"#), "got {pong}");
+
+    handle.begin_drain();
+    handle.wait();
+}
+
+#[test]
 fn per_job_fault_plans_stay_scoped_to_their_job() {
     let handle = test_server(2, 8);
     let mut conn = connect(&handle);

@@ -1,0 +1,97 @@
+//! The `flatwalk-trace` analysis pipeline end to end: run a fixed-seed
+//! simulation with a [`JsonlTracer`] capturing walks and spans to a
+//! file, feed that file through [`flatwalk_obs::analyze`], and require
+//! the rebuilt walk-depth × serving-level matrix to agree with the
+//! walker's own [`WalkerStats`] counters *exactly* — the trace is a
+//! complete record, not a sample.
+//!
+//! The tracer sink is process-global, so the test serializes with the
+//! same convention as `tests/obs_trace.rs`.
+
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use flatwalk_obs::trace::{self, Channels, JsonlTracer};
+use flatwalk_obs::{analyze, json};
+use flatwalk_sim::{NativeSimulation, SimOptions, TranslationConfig};
+use flatwalk_workloads::WorkloadSpec;
+
+/// Serializes tests that install the process-global tracer.
+fn override_guard() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+#[test]
+fn trace_file_analysis_matches_walker_statistics_exactly() {
+    let _guard = override_guard();
+    trace::uninstall();
+
+    let path = std::env::temp_dir().join(format!(
+        "flatwalk-trace-analysis-{}.jsonl",
+        std::process::id()
+    ));
+    let path = path.to_str().expect("utf-8 temp path");
+    let tracer = JsonlTracer::create(path).expect("create trace sink");
+    trace::install(
+        Arc::new(tracer),
+        Channels {
+            walks: true,
+            spans: true,
+            ..Channels::default()
+        },
+    );
+
+    // No warm-up, so the report's walker stats cover every traced walk.
+    let mut opts = SimOptions::small_test();
+    opts.warmup_ops = 0;
+    opts.measure_ops = 4_000;
+    let report = NativeSimulation::build(
+        WorkloadSpec::gups().scaled_mib(16),
+        TranslationConfig::flattened_prioritized(),
+        &opts,
+    )
+    .run();
+    // Uninstall flushes the BufWriter; the file is complete after this.
+    trace::uninstall();
+
+    let text = std::fs::read_to_string(path).expect("read trace back");
+    let _ = std::fs::remove_file(path);
+    let summary = analyze::analyze(text.lines());
+
+    assert_eq!(summary.parse_errors, 0, "every emitted line must parse");
+    assert_eq!(summary.walks, report.walk.walks, "one record per walk");
+    assert_eq!(summary.accesses, report.walk.accesses);
+    assert_eq!(summary.step_total(), report.walk.accesses);
+    let hits = &report.walk.step_hits;
+    for (level, expect) in [
+        ("L1", hits.l1),
+        ("L2", hits.l2),
+        ("L3", hits.l3),
+        ("DRAM", hits.dram),
+    ] {
+        assert_eq!(
+            summary.level_total(level),
+            expect,
+            "matrix column total for {level} must equal WalkerStats::step_hits"
+        );
+    }
+
+    // Spans rode along in the same file and aggregated by path.
+    let span_records = summary.events.get("span").copied().unwrap_or(0);
+    assert!(span_records > 0, "span channel was on: records expected");
+    assert!(
+        summary.spans.keys().any(|p| p.contains("engine.measure")),
+        "the measure phase must appear in span attribution: {:?}",
+        summary.spans.keys().collect::<Vec<_>>()
+    );
+
+    // Both render paths must produce well-formed output for this trace.
+    let rendered = summary.render_text();
+    assert!(rendered.contains("walk depth x serving level"));
+    assert!(rendered.contains("span time attribution"));
+    let round = json::parse(&summary.to_json().to_string()).expect("round-trip");
+    assert_eq!(
+        round.get("walks").and_then(json::Json::as_u64),
+        Some(report.walk.walks)
+    );
+}
