@@ -59,6 +59,12 @@ pub enum FaultProfile {
     /// Poisons exactly one grid cell so it fails; everything else runs
     /// clean. Exercises the runner's fault domains.
     Poison,
+    /// Slows exactly one grid cell down by a deterministic wall-clock
+    /// delay per engine batch span; everything else runs clean. The
+    /// delay is pure wall time — no modeled quantity changes, so the
+    /// slowed cell's report stays byte-identical. Exercises deadline
+    /// cancellation, stall supervision, and load shedding.
+    Slow,
 }
 
 impl FaultProfile {
@@ -71,6 +77,7 @@ impl FaultProfile {
             FaultProfile::Mutate => "mutate",
             FaultProfile::Chaos => "chaos",
             FaultProfile::Poison => "poison",
+            FaultProfile::Slow => "slow",
         }
     }
 
@@ -81,8 +88,9 @@ impl FaultProfile {
             "mutate" => Ok(FaultProfile::Mutate),
             "chaos" => Ok(FaultProfile::Chaos),
             "poison" => Ok(FaultProfile::Poison),
+            "slow" => Ok(FaultProfile::Slow),
             other => Err(format!(
-                "unknown fault profile {other:?} (expected alloc|frag|mutate|chaos|poison)"
+                "unknown fault profile {other:?} (expected alloc|frag|mutate|chaos|poison|slow)"
             )),
         }
     }
@@ -173,6 +181,7 @@ impl FaultPlan {
             FaultProfile::Mutate => 3,
             FaultProfile::Chaos => 4,
             FaultProfile::Poison => 5,
+            FaultProfile::Slow => 6,
         };
         splitmix_mix(self.seed ^ (disc << 57)) | 1
     }
@@ -191,7 +200,7 @@ impl FaultPlan {
         match self.profile {
             FaultProfile::Alloc | FaultProfile::Chaos => 0.10,
             FaultProfile::Frag => 0.05,
-            FaultProfile::Mutate | FaultProfile::Poison => 0.0,
+            FaultProfile::Mutate | FaultProfile::Poison | FaultProfile::Slow => 0.0,
         }
     }
 
@@ -237,6 +246,23 @@ impl FaultPlan {
         matches!(self.profile, FaultProfile::Poison)
             && total > 0
             && index == (self.seed % total as u64) as usize
+    }
+
+    /// The wall-clock delay injected before each engine batch span of
+    /// grid cell `index` out of `total` under the `slow` profile, or
+    /// `None`. Victim selection mirrors [`poisons`](FaultPlan::poisons)
+    /// (one designated cell per grid); the per-span delay is 20–99 ms,
+    /// derived from the seed alone. Pure wall time: the slowed cell's
+    /// report stays byte-identical to an unslowed run.
+    pub fn slow_span_delay(self, index: usize, total: usize) -> Option<std::time::Duration> {
+        if !matches!(self.profile, FaultProfile::Slow)
+            || total == 0
+            || index != (self.seed % total as u64) as usize
+        {
+            return None;
+        }
+        let ms = 20 + splitmix_mix(self.seed ^ (0x510u64 << 48)) % 80;
+        Some(std::time::Duration::from_millis(ms))
     }
 }
 
@@ -472,6 +498,24 @@ mod tests {
         assert_eq!(hits[0], 11 % 9);
         let clean = FaultPlan::new(11, FaultProfile::Alloc);
         assert!((0..9).all(|i| !clean.poisons(i, 9)));
+    }
+
+    #[test]
+    fn slow_delays_exactly_one_cell_deterministically() {
+        let plan = FaultPlan::new(13, FaultProfile::Slow);
+        let hits: Vec<usize> = (0..9)
+            .filter(|&i| plan.slow_span_delay(i, 9).is_some())
+            .collect();
+        assert_eq!(hits, vec![13 % 9]);
+        let d = plan.slow_span_delay(13 % 9, 9).unwrap();
+        assert_eq!(d, plan.slow_span_delay(13 % 9, 9).unwrap());
+        assert!((20..100).contains(&(d.as_millis() as u64)), "{d:?}");
+        // Slow plans never poison, and non-slow plans never delay.
+        assert!((0..9).all(|i| !plan.poisons(i, 9)));
+        let clean = FaultPlan::new(13, FaultProfile::Poison);
+        assert!((0..9).all(|i| clean.slow_span_delay(i, 9).is_none()));
+        assert_eq!(FaultPlan::parse("13:slow").unwrap(), plan);
+        assert_ne!(plan.signature(), 0);
     }
 
     #[test]

@@ -173,6 +173,11 @@ pub enum WalkError {
     Malformed,
     /// The walk exceeded the step budget (cyclic recursion misuse).
     TooDeep,
+    /// The run was interrupted at a batch boundary (cell deadline or
+    /// cooperative cancellation) — not a table defect. The engine never
+    /// interrupts *inside* a span, so every completed span's state
+    /// transitions remain byte-identical to an uninterrupted run.
+    Cancelled,
 }
 
 impl std::fmt::Display for WalkError {
@@ -181,6 +186,7 @@ impl std::fmt::Display for WalkError {
             WalkError::NotMapped { at } => write!(f, "entry not present at {at}"),
             WalkError::Malformed => write!(f, "malformed page-table entry"),
             WalkError::TooDeep => write!(f, "walk exceeded the step budget"),
+            WalkError::Cancelled => write!(f, "cancelled at a batch boundary"),
         }
     }
 }

@@ -10,6 +10,8 @@
 //!   submit GRID [--mode quick|std|paper] [--faults SEED[:PROFILE]]
 //!               [--warmup-ops N] [--measure-ops N]
 //!               [--footprint-divisor N] [--no-stream] [--json PATH]
+//!               [--deadline-ms N] [--retries N] [--backoff-ms N]
+//!               [--submit-key KEY] [--chaos HOOK]
 //!   status JOB
 //!   result JOB [--json PATH]
 //!   metrics [--prometheus]
@@ -21,21 +23,91 @@
 //! printed to stdout verbatim (newline-delimited JSON); `submit`
 //! streams per-cell progress as cells finish. `--json PATH`
 //! additionally collects the cell records into a
-//! `flatwalk-serve-v1` report file. Exit status is non-zero on
-//! connection errors, error replies, and jobs with failed cells.
+//! `flatwalk-serve-v1` report file.
+//!
+//! `submit --retries N` rides out server restarts and transient
+//! overload: connect failures, dropped streams, and `overloaded` /
+//! `draining` replies are retried up to N times with jittered
+//! exponential backoff (`--backoff-ms` sets the base delay). Retried
+//! submits are idempotent — the client sends a `submit_key` (explicit
+//! `--submit-key`, or derived from the spec's content hash) so a
+//! resubmit after a dropped stream reattaches to the original job
+//! instead of re-running it. `--deadline-ms` propagates an end-to-end
+//! deadline the server enforces (shedding the submit fast when its
+//! queue is too long, cancelling the job if the deadline passes
+//! mid-run).
+//!
+//! Exit status is 0 on success and distinguishes failure classes:
+//!
+//! | code | meaning                                             |
+//! |------|-----------------------------------------------------|
+//! | 1    | job finished with failed cells                      |
+//! | 2    | usage error (bad arguments)                         |
+//! | 3    | connection error (refused, dropped, retries spent)  |
+//! | 4    | protocol error (`bad_request`, `not_found`, bad replies) |
+//! | 5    | server rejected the job (`overloaded` / `draining`) |
 
+use std::collections::BTreeMap;
 use std::process::ExitCode;
+use std::time::Duration;
 
 use flatwalk_bench::Mode;
 use flatwalk_obs::{json, Json};
-use flatwalk_serve::client::Connection;
+use flatwalk_serve::client::{Backoff, Connection};
 use flatwalk_serve::proto::{JobSpec, PROTOCOL};
 
 const USAGE: &str = "usage: flatwalk-client (--connect HOST:PORT | --uds PATH) <command>
 commands: ping | submit GRID [opts] | status JOB | result JOB [--json PATH]
           metrics [--prometheus] | watch [--interval-ms N] [--count N] | shutdown
 submit opts: --mode quick|std|paper  --faults SEED[:PROFILE]  --warmup-ops N
-             --measure-ops N  --footprint-divisor N  --no-stream  --json PATH";
+             --measure-ops N  --footprint-divisor N  --no-stream  --json PATH
+             --deadline-ms N  --retries N  --backoff-ms N  --submit-key KEY
+             --chaos HOOK
+exit codes: 1 failed cells, 2 usage, 3 connection, 4 protocol, 5 overloaded/draining";
+
+/// A failure, classified for the exit code.
+enum ClientError {
+    /// Bad arguments (exit 2).
+    Usage(String),
+    /// Could not reach the server, or lost it and ran out of retries
+    /// (exit 3).
+    Connect(String),
+    /// The server answered, but not usefully: malformed replies,
+    /// `bad_request`, `not_found` (exit 4).
+    Protocol(String),
+    /// The server refused the work: `overloaded` or `draining`
+    /// (exit 5).
+    Rejected { kind: String, detail: String },
+}
+
+impl ClientError {
+    fn exit_code(&self) -> u8 {
+        match self {
+            ClientError::Usage(_) => 2,
+            ClientError::Connect(_) => 3,
+            ClientError::Protocol(_) => 4,
+            ClientError::Rejected { .. } => 5,
+        }
+    }
+
+    fn message(&self) -> String {
+        match self {
+            ClientError::Usage(msg) => msg.clone(),
+            ClientError::Connect(msg) => format!("connection error: {msg}"),
+            ClientError::Protocol(msg) => format!("protocol error: {msg}"),
+            ClientError::Rejected { kind, detail } => format!("server rejected: {kind}: {detail}"),
+        }
+    }
+}
+
+/// Classifies a server error reply: shed/drain rejections are
+/// retryable and exit 5, everything else is a protocol error (exit 4).
+fn reply_error(kind: String, detail: String) -> ClientError {
+    match kind.as_str() {
+        "overloaded" | "draining" => ClientError::Rejected { kind, detail },
+        _ => ClientError::Protocol(format!("server error {kind}: {detail}")),
+    }
+}
 
 struct Target {
     tcp: Option<String>,
@@ -43,17 +115,18 @@ struct Target {
 }
 
 impl Target {
-    fn connect(&self) -> Result<Connection, String> {
+    fn connect(&self) -> Result<Connection, ClientError> {
         #[cfg(unix)]
         if let Some(path) = &self.uds {
             return Connection::connect_uds(std::path::Path::new(path))
-                .map_err(|e| format!("connect {path}: {e}"));
+                .map_err(|e| ClientError::Connect(format!("connect {path}: {e}")));
         }
         match &self.tcp {
-            Some(addr) => Connection::connect_tcp(addr).map_err(|e| format!("connect {addr}: {e}")),
-            None => Err(format!(
+            Some(addr) => Connection::connect_tcp(addr)
+                .map_err(|e| ClientError::Connect(format!("connect {addr}: {e}"))),
+            None => Err(ClientError::Usage(format!(
                 "no server address (use --connect/--uds or FLATWALK_SERVE_ADDR)\n{USAGE}"
-            )),
+            ))),
         }
     }
 }
@@ -70,119 +143,241 @@ fn parse_error(v: &Json) -> Option<(String, String)> {
     Some((field("error"), field("detail")))
 }
 
-fn write_json_report(path: &str, job: u64, grid: &str, records: &[Json]) -> Result<(), String> {
+fn write_json_report(
+    path: &str,
+    job: u64,
+    grid: &str,
+    records: &BTreeMap<u64, Json>,
+) -> Result<(), ClientError> {
     let mut report = Json::obj();
     report
         .push("schema", PROTOCOL)
         .push("job", job)
         .push("grid", grid)
-        .push("cells", records.to_vec());
-    std::fs::write(path, format!("{report}\n")).map_err(|e| format!("write {path}: {e}"))
+        .push("cells", records.values().cloned().collect::<Vec<_>>());
+    std::fs::write(path, format!("{report}\n"))
+        .map_err(|e| ClientError::Usage(format!("write {path}: {e}")))
 }
 
-/// Runs a streaming submit: prints every event, collects cell records,
-/// returns the count of failed cells.
-fn run_submit(
-    conn: &mut Connection,
-    spec: &JobSpec,
+/// Options steering one (possibly retried) submit.
+struct SubmitOptions {
     stream: bool,
-    json_path: Option<&str>,
-) -> Result<u64, String> {
-    conn.send(&spec.to_request_line(stream))
-        .map_err(|e| e.to_string())?;
-    let mut job = 0;
-    let mut records: Vec<Json> = Vec::new();
-    let mut failed = 0;
+    json_path: Option<String>,
+    retries: u32,
+    backoff_ms: u64,
+}
+
+/// One submit attempt over a fresh connection. `records` accumulates
+/// cell records across attempts, keyed by cell index so replayed
+/// events after a resubmit overwrite instead of duplicating.
+/// `Err(true)` means retryable (connection lost, overloaded);
+/// `Err(false)` wraps a terminal error in `terminal`.
+fn submit_once(
+    target: &Target,
+    spec: &JobSpec,
+    opts: &SubmitOptions,
+    records: &mut BTreeMap<u64, Json>,
+    job: &mut u64,
+    terminal: &mut Option<ClientError>,
+) -> Result<u64, bool> {
+    let fail = |terminal: &mut Option<ClientError>, e: ClientError| -> Result<u64, bool> {
+        let retryable = matches!(e, ClientError::Connect(_) | ClientError::Rejected { .. });
+        *terminal = Some(e);
+        Err(retryable)
+    };
+    let mut conn = match target.connect() {
+        Ok(conn) => conn,
+        Err(e) => return fail(terminal, e),
+    };
+    if conn.send(&spec.to_request_line(opts.stream)).is_err() {
+        return fail(
+            terminal,
+            ClientError::Connect("server closed the connection".to_string()),
+        );
+    }
     loop {
-        let Some(line) = conn.recv_line().map_err(|e| e.to_string())? else {
-            if stream {
-                return Err("server closed the stream before the done event".to_string());
+        let line = match conn.recv_line() {
+            Err(e) => return fail(terminal, ClientError::Connect(e.to_string())),
+            Ok(None) => {
+                if opts.stream {
+                    return fail(
+                        terminal,
+                        ClientError::Connect(
+                            "server closed the stream before the done event".to_string(),
+                        ),
+                    );
+                }
+                return Ok(0);
             }
-            break;
+            Ok(Some(line)) => line,
         };
         println!("{line}");
-        let v = json::parse(&line).map_err(|e| format!("unparseable reply: {e}"))?;
+        let v = match json::parse(&line) {
+            Ok(v) => v,
+            Err(e) => {
+                return fail(
+                    terminal,
+                    ClientError::Protocol(format!("unparseable reply: {e}")),
+                )
+            }
+        };
         if let Some((kind, detail)) = parse_error(&v) {
-            return Err(format!("server error {kind}: {detail}"));
+            return fail(terminal, reply_error(kind, detail));
         }
         match v.get("event") {
             Some(Json::Str(event)) if event == "accepted" => {
-                job = v.get("job").and_then(Json::as_u64).unwrap_or(0);
-                if !stream {
-                    break;
+                *job = v.get("job").and_then(Json::as_u64).unwrap_or(0);
+                if !opts.stream {
+                    return Ok(0);
                 }
             }
             Some(Json::Str(event)) if event == "cell" => {
                 if let Some(record) = v.get("record") {
-                    records.push(record.clone());
+                    let index = record.get("index").and_then(Json::as_u64).unwrap_or(0);
+                    records.insert(index, record.clone());
                 }
             }
             Some(Json::Str(event)) if event == "done" => {
-                failed = v.get("failed").and_then(Json::as_u64).unwrap_or(0);
-                break;
+                return Ok(v.get("failed").and_then(Json::as_u64).unwrap_or(0));
             }
             _ => {}
         }
     }
-    if let Some(path) = json_path {
+}
+
+/// Runs a submit with the retry/backoff/idempotency policy: prints
+/// every event, collects cell records, returns the count of failed
+/// cells.
+fn run_submit(target: &Target, spec: &JobSpec, opts: &SubmitOptions) -> Result<u64, ClientError> {
+    let mut backoff = Backoff::new(
+        Duration::from_millis(opts.backoff_ms.max(1)),
+        Duration::from_secs(5),
+        u64::from(std::process::id()),
+    );
+    let mut records: BTreeMap<u64, Json> = BTreeMap::new();
+    let mut job = 0u64;
+    let mut terminal: Option<ClientError> = None;
+    let mut failed = None;
+    for attempt in 0..=opts.retries {
+        match submit_once(target, spec, opts, &mut records, &mut job, &mut terminal) {
+            Ok(n) => {
+                failed = Some(n);
+                break;
+            }
+            Err(retryable) => {
+                if !retryable || attempt == opts.retries {
+                    return Err(terminal.expect("submit_once set the error"));
+                }
+                let delay = backoff.next_delay();
+                eprintln!(
+                    "flatwalk-client: {}; retrying in {:?} ({} retr{} left)",
+                    terminal
+                        .as_ref()
+                        .map_or_else(String::new, ClientError::message),
+                    delay,
+                    opts.retries - attempt,
+                    if opts.retries - attempt == 1 {
+                        "y"
+                    } else {
+                        "ies"
+                    },
+                );
+                std::thread::sleep(delay);
+            }
+        }
+    }
+    let failed = failed.expect("loop either breaks with a count or returns");
+    if let Some(path) = &opts.json_path {
         write_json_report(path, job, &spec.grid, &records)?;
     }
     Ok(failed)
 }
 
-fn parse_submit(args: &[String]) -> Result<(JobSpec, bool, Option<String>), String> {
+fn parse_submit(args: &[String]) -> Result<(JobSpec, SubmitOptions), ClientError> {
+    let usage = |msg: String| ClientError::Usage(msg);
     let mut it = args.iter();
     let grid = it
         .next()
-        .ok_or(format!("submit needs a grid name\n{USAGE}"))?;
+        .ok_or_else(|| usage(format!("submit needs a grid name\n{USAGE}")))?;
     let mut spec = JobSpec::new(grid, Mode::Quick);
-    let mut stream = true;
-    let mut json_path = None;
+    let mut opts = SubmitOptions {
+        stream: true,
+        json_path: None,
+        retries: 0,
+        backoff_ms: 50,
+    };
     while let Some(arg) = it.next() {
-        let mut value = |name: &str| -> Result<&String, String> {
-            it.next().ok_or_else(|| format!("{name} needs a value"))
+        let mut value = |name: &str| -> Result<&String, ClientError> {
+            it.next()
+                .ok_or_else(|| ClientError::Usage(format!("{name} needs a value")))
         };
         match arg.as_str() {
             "--mode" => {
                 let name = value("--mode")?;
-                spec.mode = Mode::parse(name).ok_or_else(|| format!("unknown mode {name:?}"))?;
+                spec.mode =
+                    Mode::parse(name).ok_or_else(|| usage(format!("unknown mode {name:?}")))?;
             }
             "--faults" => {
                 spec.faults = Some(
                     flatwalk_faults::FaultPlan::parse(value("--faults")?)
-                        .map_err(|e| format!("--faults: {e}"))?,
+                        .map_err(|e| usage(format!("--faults: {e}")))?,
                 );
             }
             "--warmup-ops" => {
                 spec.warmup_ops = Some(
                     value("--warmup-ops")?
                         .parse()
-                        .map_err(|e| format!("--warmup-ops: {e}"))?,
+                        .map_err(|e| usage(format!("--warmup-ops: {e}")))?,
                 );
             }
             "--measure-ops" => {
                 spec.measure_ops = Some(
                     value("--measure-ops")?
                         .parse()
-                        .map_err(|e| format!("--measure-ops: {e}"))?,
+                        .map_err(|e| usage(format!("--measure-ops: {e}")))?,
                 );
             }
             "--footprint-divisor" => {
                 spec.footprint_divisor = Some(
                     value("--footprint-divisor")?
                         .parse()
-                        .map_err(|e| format!("--footprint-divisor: {e}"))?,
+                        .map_err(|e| usage(format!("--footprint-divisor: {e}")))?,
                 );
             }
-            "--no-stream" => stream = false,
-            "--json" => json_path = Some(value("--json")?.clone()),
-            other => return Err(format!("unknown submit argument {other:?}")),
+            "--deadline-ms" => {
+                spec.deadline_ms = Some(
+                    value("--deadline-ms")?
+                        .parse()
+                        .map_err(|e| usage(format!("--deadline-ms: {e}")))?,
+                );
+            }
+            "--retries" => {
+                opts.retries = value("--retries")?
+                    .parse()
+                    .map_err(|e| usage(format!("--retries: {e}")))?;
+            }
+            "--backoff-ms" => {
+                opts.backoff_ms = value("--backoff-ms")?
+                    .parse()
+                    .map_err(|e| usage(format!("--backoff-ms: {e}")))?;
+            }
+            "--submit-key" => spec.submit_key = Some(value("--submit-key")?.clone()),
+            "--chaos" => spec.chaos = Some(value("--chaos")?.clone()),
+            "--no-stream" => opts.stream = false,
+            "--json" => opts.json_path = Some(value("--json")?.clone()),
+            other => return Err(usage(format!("unknown submit argument {other:?}"))),
         }
     }
-    Ok((spec, stream, json_path))
+    // A retried submit must be idempotent: without an explicit key,
+    // derive it from the spec's content hash so a resubmit after a
+    // dropped stream reattaches to the first attempt's job.
+    if opts.retries > 0 && spec.submit_key.is_none() {
+        spec.submit_key = Some(spec.content_key());
+    }
+    Ok((spec, opts))
 }
 
-fn run(args: &[String]) -> Result<u64, String> {
+fn run(args: &[String]) -> Result<u64, ClientError> {
     let mut target = Target {
         tcp: std::env::var("FLATWALK_SERVE_ADDR").ok(),
         uds: None,
@@ -192,12 +387,20 @@ fn run(args: &[String]) -> Result<u64, String> {
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--connect" => {
-                target.tcp = Some(it.next().ok_or("--connect needs a value")?.clone());
+                target.tcp = Some(
+                    it.next()
+                        .ok_or_else(|| ClientError::Usage("--connect needs a value".into()))?
+                        .clone(),
+                );
             }
             "--uds" => {
-                target.uds = Some(it.next().ok_or("--uds needs a value")?.clone());
+                target.uds = Some(
+                    it.next()
+                        .ok_or_else(|| ClientError::Usage("--uds needs a value".into()))?
+                        .clone(),
+                );
             }
-            "--help" | "-h" => return Err(USAGE.to_string()),
+            "--help" | "-h" => return Err(ClientError::Usage(USAGE.to_string())),
             _ => {
                 rest.push(arg.clone());
                 rest.extend(it.cloned());
@@ -206,15 +409,24 @@ fn run(args: &[String]) -> Result<u64, String> {
         }
     }
     let Some(command) = rest.first() else {
-        return Err(format!("no command given\n{USAGE}"));
+        return Err(ClientError::Usage(format!("no command given\n{USAGE}")));
     };
+    if command == "submit" {
+        // Submit manages its own connections (it may retry across
+        // several).
+        let (spec, opts) = parse_submit(&rest[1..])?;
+        return run_submit(&target, &spec, &opts);
+    }
     let mut conn = target.connect()?;
-    let one_reply = |conn: &mut Connection, line: &str| -> Result<u64, String> {
-        let reply = conn.request(line).map_err(|e| e.to_string())?;
+    let one_reply = |conn: &mut Connection, line: &str| -> Result<u64, ClientError> {
+        let reply = conn
+            .request(line)
+            .map_err(|e| ClientError::Connect(e.to_string()))?;
         println!("{reply}");
-        let v = json::parse(&reply).map_err(|e| format!("unparseable reply: {e}"))?;
+        let v = json::parse(&reply)
+            .map_err(|e| ClientError::Protocol(format!("unparseable reply: {e}")))?;
         match parse_error(&v) {
-            Some((kind, detail)) => Err(format!("server error {kind}: {detail}")),
+            Some((kind, detail)) => Err(reply_error(kind, detail)),
             None => Ok(0),
         }
     };
@@ -226,14 +438,19 @@ fn run(args: &[String]) -> Result<u64, String> {
                 // straight into Prometheus-aware tooling.
                 let reply = conn
                     .request(r#"{"op":"metrics","format":"prometheus"}"#)
-                    .map_err(|e| e.to_string())?;
-                let v = json::parse(&reply).map_err(|e| format!("unparseable reply: {e}"))?;
+                    .map_err(|e| ClientError::Connect(e.to_string()))?;
+                let v = json::parse(&reply)
+                    .map_err(|e| ClientError::Protocol(format!("unparseable reply: {e}")))?;
                 if let Some((kind, detail)) = parse_error(&v) {
-                    return Err(format!("server error {kind}: {detail}"));
+                    return Err(reply_error(kind, detail));
                 }
                 match v.get("text") {
                     Some(Json::Str(text)) => print!("{text}"),
-                    _ => return Err("prometheus reply carried no \"text\"".to_string()),
+                    _ => {
+                        return Err(ClientError::Protocol(
+                            "prometheus reply carried no \"text\"".to_string(),
+                        ))
+                    }
                 }
                 Ok(0)
             } else {
@@ -245,32 +462,41 @@ fn run(args: &[String]) -> Result<u64, String> {
             let mut count = 0u64;
             let mut it = rest[1..].iter();
             while let Some(arg) = it.next() {
-                let mut value = |name: &str| -> Result<&String, String> {
-                    it.next().ok_or_else(|| format!("{name} needs a value"))
+                let mut value = |name: &str| -> Result<&String, ClientError> {
+                    it.next()
+                        .ok_or_else(|| ClientError::Usage(format!("{name} needs a value")))
                 };
                 match arg.as_str() {
                     "--interval-ms" => {
                         interval_ms = value("--interval-ms")?
                             .parse()
-                            .map_err(|e| format!("--interval-ms: {e}"))?;
+                            .map_err(|e| ClientError::Usage(format!("--interval-ms: {e}")))?;
                     }
                     "--count" => {
                         count = value("--count")?
                             .parse()
-                            .map_err(|e| format!("--count: {e}"))?;
+                            .map_err(|e| ClientError::Usage(format!("--count: {e}")))?;
                     }
-                    other => return Err(format!("unknown watch argument {other:?}")),
+                    other => {
+                        return Err(ClientError::Usage(format!(
+                            "unknown watch argument {other:?}"
+                        )))
+                    }
                 }
             }
             conn.send(&format!(
                 "{{\"op\":\"watch\",\"interval_ms\":{interval_ms},\"count\":{count}}}"
             ))
-            .map_err(|e| e.to_string())?;
-            while let Some(line) = conn.recv_line().map_err(|e| e.to_string())? {
+            .map_err(|e| ClientError::Connect(e.to_string()))?;
+            while let Some(line) = conn
+                .recv_line()
+                .map_err(|e| ClientError::Connect(e.to_string()))?
+            {
                 println!("{line}");
-                let v = json::parse(&line).map_err(|e| format!("unparseable reply: {e}"))?;
+                let v = json::parse(&line)
+                    .map_err(|e| ClientError::Protocol(format!("unparseable reply: {e}")))?;
                 if let Some((kind, detail)) = parse_error(&v) {
-                    return Err(format!("server error {kind}: {detail}"));
+                    return Err(reply_error(kind, detail));
                 }
                 if v.get("event") == Some(&Json::Str("done".into())) {
                     break;
@@ -282,31 +508,32 @@ fn run(args: &[String]) -> Result<u64, String> {
         "status" | "result" => {
             let job: u64 = rest
                 .get(1)
-                .ok_or_else(|| format!("{command} needs a job id"))?
+                .ok_or_else(|| ClientError::Usage(format!("{command} needs a job id")))?
                 .parse()
-                .map_err(|e| format!("job id: {e}"))?;
+                .map_err(|e| ClientError::Usage(format!("job id: {e}")))?;
             let reply = conn
                 .request(&format!("{{\"op\":{:?},\"job\":{job}}}", command.as_str()))
-                .map_err(|e| e.to_string())?;
+                .map_err(|e| ClientError::Connect(e.to_string()))?;
             println!("{reply}");
-            let v = json::parse(&reply).map_err(|e| format!("unparseable reply: {e}"))?;
+            let v = json::parse(&reply)
+                .map_err(|e| ClientError::Protocol(format!("unparseable reply: {e}")))?;
             if let Some((kind, detail)) = parse_error(&v) {
-                return Err(format!("server error {kind}: {detail}"));
+                return Err(reply_error(kind, detail));
             }
             if command == "result" {
                 if let Some(path) = rest.iter().position(|a| a == "--json") {
-                    let path = rest.get(path + 1).ok_or("--json needs a value")?;
+                    let path = rest
+                        .get(path + 1)
+                        .ok_or_else(|| ClientError::Usage("--json needs a value".into()))?;
                     std::fs::write(path, format!("{reply}\n"))
-                        .map_err(|e| format!("write {path}: {e}"))?;
+                        .map_err(|e| ClientError::Usage(format!("write {path}: {e}")))?;
                 }
             }
             Ok(0)
         }
-        "submit" => {
-            let (spec, stream, json_path) = parse_submit(&rest[1..])?;
-            run_submit(&mut conn, &spec, stream, json_path.as_deref())
-        }
-        other => Err(format!("unknown command {other:?}\n{USAGE}")),
+        other => Err(ClientError::Usage(format!(
+            "unknown command {other:?}\n{USAGE}"
+        ))),
     }
 }
 
@@ -316,11 +543,11 @@ fn main() -> ExitCode {
         Ok(0) => ExitCode::SUCCESS,
         Ok(failed) => {
             eprintln!("flatwalk-client: {failed} cell(s) failed");
-            ExitCode::FAILURE
+            ExitCode::from(1)
         }
-        Err(msg) => {
-            eprintln!("flatwalk-client: {msg}");
-            ExitCode::FAILURE
+        Err(e) => {
+            eprintln!("flatwalk-client: {}", e.message());
+            ExitCode::from(e.exit_code())
         }
     }
 }

@@ -3,6 +3,8 @@
 //! ```text
 //! flatwalk-serve [--port N] [--uds PATH] [--no-tcp] [--workers N]
 //!                [--job-threads N] [--queue-depth N] [--cache-mb N]
+//!                [--store DIR] [--slo-ms N] [--job-retries N]
+//!                [--stall-secs N] [--chaos]
 //! ```
 //!
 //! Binds `127.0.0.1:<port>` (default: an ephemeral port, announced on
@@ -14,6 +16,16 @@
 //! SIGTERM/SIGINT also cancels cells that have not started yet (they
 //! complete as failed `cancelled` records), for a fast but still
 //! orderly exit.
+//!
+//! `--store DIR` makes results durable: computed cells are written to
+//! a content-addressed store under `DIR` (tmp + fsync + atomic
+//! rename), recovered on the next start, and re-served byte-identical
+//! — a `kill -9` loses at most the cells in flight. `--slo-ms`,
+//! `--job-retries`, and `--stall-secs` tune admission control and the
+//! worker supervisor; `--chaos` allows chaos test hooks in
+//! submissions. Each flag overrides its environment knob
+//! (`FLATWALK_STORE_DIR`, `FLATWALK_SLO_MS`, `FLATWALK_JOB_RETRIES`,
+//! `FLATWALK_JOB_STALL_SECS`, `FLATWALK_CHAOS`).
 
 use std::process::ExitCode;
 use std::time::Duration;
@@ -62,7 +74,8 @@ mod sig {
 }
 
 const USAGE: &str = "usage: flatwalk-serve [--port N] [--uds PATH] [--no-tcp] \
-[--workers N] [--job-threads N] [--queue-depth N] [--cache-mb N]";
+[--workers N] [--job-threads N] [--queue-depth N] [--cache-mb N] \
+[--store DIR] [--slo-ms N] [--job-retries N] [--stall-secs N] [--chaos]";
 
 fn parse_config(args: &[String]) -> Result<ServerConfig, String> {
     let mut config = ServerConfig::from_env();
@@ -100,6 +113,23 @@ fn parse_config(args: &[String]) -> Result<ServerConfig, String> {
                     .map_err(|e| format!("--cache-mb: {e}"))?;
                 config.cache_bytes = mb << 20;
             }
+            "--store" => config.store_dir = Some(value("--store")?.into()),
+            "--slo-ms" => {
+                config.slo_ms = value("--slo-ms")?
+                    .parse()
+                    .map_err(|e| format!("--slo-ms: {e}"))?;
+            }
+            "--job-retries" => {
+                config.job_retries = value("--job-retries")?
+                    .parse()
+                    .map_err(|e| format!("--job-retries: {e}"))?;
+            }
+            "--stall-secs" => {
+                config.stall_secs = value("--stall-secs")?
+                    .parse()
+                    .map_err(|e| format!("--stall-secs: {e}"))?;
+            }
+            "--chaos" => config.chaos = true,
             "--help" | "-h" => return Err(USAGE.to_string()),
             other => return Err(format!("unknown argument {other:?}\n{USAGE}")),
         }
@@ -130,6 +160,14 @@ fn main() -> ExitCode {
     }
     if let Some(path) = handle.uds() {
         println!("listening on uds {}", path.display());
+    }
+    if let Some(store) = handle.inner().store() {
+        println!(
+            "store at {} ({} entries recovered, {} quarantined)",
+            store.root().display(),
+            store.recovered(),
+            store.quarantined(),
+        );
     }
     println!(
         "flatwalk-serve ready ({} workers, queue depth {}); send {{\"op\":\"shutdown\"}} or SIGTERM to drain",

@@ -6,6 +6,11 @@
 //! back line-by-line — [`Connection::request`] for one-reply ops,
 //! [`Connection::recv_line`] to drain a `submit … "stream":true` event
 //! stream.
+//!
+//! [`Backoff`] supplies the retry schedule for reconnects and
+//! idempotent resubmits: exponential growth with deterministic
+//! SplitMix64 jitter, so two clients started together do not hammer a
+//! recovering server in lockstep.
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
@@ -13,6 +18,74 @@ use std::net::TcpStream;
 use std::os::unix::net::UnixStream;
 #[cfg(unix)]
 use std::path::Path;
+use std::time::Duration;
+
+/// Jittered exponential backoff schedule.
+///
+/// Delay for attempt `n` (0-based) is `base × 2ⁿ` capped at `cap`,
+/// then jittered to 50–100% of that value by a SplitMix64 stream
+/// seeded per-process — deterministic within one client, decorrelated
+/// across clients.
+#[derive(Debug, Clone)]
+pub struct Backoff {
+    base: Duration,
+    cap: Duration,
+    attempt: u32,
+    rng: u64,
+}
+
+impl Backoff {
+    /// A schedule starting at `base`, doubling per attempt, capped at
+    /// `cap`.
+    pub fn new(base: Duration, cap: Duration, seed: u64) -> Backoff {
+        Backoff {
+            base,
+            cap,
+            attempt: 0,
+            rng: seed ^ 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+
+    /// The default reconnect schedule: 50 ms → 2 s, seeded from the
+    /// process id.
+    pub fn reconnect() -> Backoff {
+        Backoff::new(
+            Duration::from_millis(50),
+            Duration::from_secs(2),
+            u64::from(std::process::id()),
+        )
+    }
+
+    /// Attempts handed out so far.
+    pub fn attempts(&self) -> u32 {
+        self.attempt
+    }
+
+    /// The next delay in the schedule (advances the attempt counter).
+    pub fn next_delay(&mut self) -> Duration {
+        // SplitMix64 step for the jitter stream.
+        self.rng = self.rng.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.rng;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        let exp = self.attempt.min(20);
+        self.attempt = self.attempt.saturating_add(1);
+        let full = self
+            .base
+            .saturating_mul(1u32 << exp.min(31))
+            .min(self.cap)
+            .as_nanos() as u64;
+        // Jitter into [full/2, full].
+        let jittered = full / 2 + z % (full / 2 + 1);
+        Duration::from_nanos(jittered)
+    }
+
+    /// Sleeps for the next delay in the schedule.
+    pub fn sleep(&mut self) {
+        std::thread::sleep(self.next_delay());
+    }
+}
 
 /// Either local stream transport.
 #[derive(Debug)]
@@ -138,5 +211,86 @@ impl Connection {
                 "server closed the connection before replying",
             )
         })
+    }
+}
+
+/// Runs `connect` up to `tries` times, sleeping the backoff schedule
+/// between failures — the reconnect loop for clients riding out a
+/// server restart.
+///
+/// # Errors
+///
+/// The last connect error once every attempt failed.
+pub fn connect_with_retry<F>(
+    mut connect: F,
+    tries: u32,
+    backoff: &mut Backoff,
+) -> std::io::Result<Connection>
+where
+    F: FnMut() -> std::io::Result<Connection>,
+{
+    let tries = tries.max(1);
+    let mut last = None;
+    for attempt in 0..tries {
+        match connect() {
+            Ok(conn) => return Ok(conn),
+            Err(e) => {
+                last = Some(e);
+                if attempt + 1 < tries {
+                    backoff.sleep();
+                }
+            }
+        }
+    }
+    Err(last.expect("loop ran at least once"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_grows_jittered_and_caps() {
+        let base = Duration::from_millis(50);
+        let cap = Duration::from_secs(2);
+        let mut b = Backoff::new(base, cap, 7);
+        let first = b.next_delay();
+        assert!(first >= base / 2 && first <= base, "{first:?}");
+        for _ in 0..20 {
+            let d = b.next_delay();
+            assert!(d >= base / 2 && d <= cap, "{d:?}");
+        }
+        // Deep into the schedule every delay sits in the cap's window.
+        let late = b.next_delay();
+        assert!(late >= cap / 2 && late <= cap, "{late:?}");
+        assert_eq!(b.attempts(), 22);
+
+        // Same seed, same schedule; different seed, different jitter.
+        let seq = |seed: u64| -> Vec<Duration> {
+            let mut b = Backoff::new(base, cap, seed);
+            (0..8).map(|_| b.next_delay()).collect()
+        };
+        assert_eq!(seq(7), seq(7));
+        assert_ne!(seq(7), seq(8));
+    }
+
+    #[test]
+    fn connect_with_retry_gives_up_with_the_last_error() {
+        let mut calls = 0;
+        let mut backoff = Backoff::new(Duration::from_micros(1), Duration::from_micros(2), 1);
+        let err = connect_with_retry(
+            || {
+                calls += 1;
+                Err(std::io::Error::new(
+                    std::io::ErrorKind::ConnectionRefused,
+                    "nope",
+                ))
+            },
+            3,
+            &mut backoff,
+        )
+        .expect_err("never succeeds");
+        assert_eq!(calls, 3);
+        assert_eq!(err.kind(), std::io::ErrorKind::ConnectionRefused);
     }
 }

@@ -12,7 +12,8 @@
 //! {"op":"ping"}
 //! {"op":"submit","grid":<name>,"mode":"quick"|"std"|"paper",
 //!  "faults":<spec>?,"warmup_ops":N?,"measure_ops":N?,
-//!  "footprint_divisor":N?,"stream":true?}
+//!  "footprint_divisor":N?,"stream":true?,"deadline_ms":N?,
+//!  "submit_key":S?,"chaos":"panic_worker"?}
 //! {"op":"status","job":N}
 //! {"op":"result","job":N}
 //! {"op":"metrics","format":"json"|"prometheus"?}
@@ -27,6 +28,19 @@
 //! `watch` streams one `metrics` event every `interval_ms` (default
 //! 1000) for `count` snapshots (default 0 = until the server drains or
 //! the connection drops), then a final `done` event.
+//!
+//! `deadline_ms` bounds the job end-to-end: the server sheds the
+//! submit (fast `overloaded` reply) when its predicted queue wait
+//! already exceeds the deadline, and cancels the job at the next batch
+//! boundary once the deadline passes mid-run. `submit_key` makes the
+//! submit idempotent: a resubmit carrying the key of a job the server
+//! already knows attaches to that job instead of re-executing it (the
+//! `accepted` event then carries `"resumed":true`, and already-finished
+//! cell events are replayed). [`JobSpec::content_key`] derives the
+//! canonical key from the spec's execution-relevant fields. `chaos`
+//! requests a fault-injection hook (`"panic_worker"` panics the worker
+//! mid-job on the first attempt) and is rejected unless the server was
+//! started with `FLATWALK_CHAOS=1`.
 //!
 //! A `submit` is answered with an `accepted` event; with
 //! `"stream":true` the connection then receives one `cell` event per
@@ -60,6 +74,16 @@ pub struct JobSpec {
     pub measure_ops: Option<u64>,
     /// Override for `SimOptions::footprint_divisor`.
     pub footprint_divisor: Option<u64>,
+    /// End-to-end deadline in milliseconds. The server sheds the
+    /// submit when the predicted queue wait exceeds it, and cancels
+    /// the job at the next batch boundary once it passes mid-run.
+    pub deadline_ms: Option<u64>,
+    /// Idempotency key: a resubmit carrying a known key attaches to
+    /// the existing job instead of re-executing it.
+    pub submit_key: Option<String>,
+    /// Chaos hook (`"panic_worker"`); rejected unless the server was
+    /// started with `FLATWALK_CHAOS=1`.
+    pub chaos: Option<String>,
 }
 
 impl JobSpec {
@@ -72,7 +96,28 @@ impl JobSpec {
             warmup_ops: None,
             measure_ops: None,
             footprint_divisor: None,
+            deadline_ms: None,
+            submit_key: None,
+            chaos: None,
         }
+    }
+
+    /// The canonical idempotency key for this spec: a content hash
+    /// over every field that affects execution (grid, mode, faults,
+    /// option overrides). Two specs that would run the same cells get
+    /// the same key; `deadline_ms`/`submit_key`/`chaos` are excluded
+    /// because they shape delivery, not results.
+    pub fn content_key(&self) -> String {
+        let basis = format!(
+            "{}|{}|{:?}|{:?}|{:?}|{:?}",
+            self.grid,
+            self.mode_name(),
+            self.faults,
+            self.warmup_ops,
+            self.measure_ops,
+            self.footprint_divisor
+        );
+        crate::store::content_hash(&basis)
     }
 
     /// Builds the grid this spec describes: the registered builder run
@@ -128,6 +173,15 @@ impl JobSpec {
         }
         if let Some(v) = self.footprint_divisor {
             o.push("footprint_divisor", v);
+        }
+        if let Some(v) = self.deadline_ms {
+            o.push("deadline_ms", v);
+        }
+        if let Some(key) = &self.submit_key {
+            o.push("submit_key", key.as_str());
+        }
+        if let Some(hook) = &self.chaos {
+            o.push("chaos", hook.as_str());
         }
         if stream {
             o.push("stream", true);
@@ -255,6 +309,9 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                     warmup_ops: get_u64(&v, "warmup_ops"),
                     measure_ops: get_u64(&v, "measure_ops"),
                     footprint_divisor: get_u64(&v, "footprint_divisor"),
+                    deadline_ms: get_u64(&v, "deadline_ms"),
+                    submit_key: get_str(&v, "submit_key").map(str::to_string),
+                    chaos: get_str(&v, "chaos").map(str::to_string),
                 },
                 stream: get_bool(&v, "stream"),
             })
@@ -283,6 +340,9 @@ mod tests {
         spec.warmup_ops = Some(500);
         spec.measure_ops = Some(2500);
         spec.footprint_divisor = Some(512);
+        spec.deadline_ms = Some(30_000);
+        spec.submit_key = Some(spec.content_key());
+        spec.chaos = Some("panic_worker".to_string());
         let line = spec.to_request_line(true);
         match parse_request(&line).unwrap() {
             Request::Submit { spec: back, stream } => {
@@ -291,6 +351,24 @@ mod tests {
             }
             other => panic!("expected submit, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn content_key_tracks_execution_fields_only() {
+        let spec = JobSpec::new("sec71_pwc", Mode::Quick);
+        let mut same = spec.clone();
+        same.deadline_ms = Some(5);
+        same.submit_key = Some("x".to_string());
+        same.chaos = Some("panic_worker".to_string());
+        assert_eq!(spec.content_key(), same.content_key());
+
+        let mut other_mode = spec.clone();
+        other_mode.mode = Mode::Std;
+        assert_ne!(spec.content_key(), other_mode.content_key());
+        let mut other_ops = spec.clone();
+        other_ops.measure_ops = Some(100);
+        assert_ne!(spec.content_key(), other_ops.content_key());
+        assert_eq!(spec.content_key().len(), 32);
     }
 
     #[test]

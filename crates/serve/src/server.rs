@@ -1,24 +1,43 @@
 //! The resident experiment service: listeners, bounded job queue,
-//! worker pool, and the per-cell cache/coalesce execution path.
+//! worker pool with supervision, and the per-cell
+//! cache/store/coalesce execution path.
 //!
 //! Life of a `submit`:
 //!
 //! 1. A connection thread parses the request and calls
 //!    [`ServerInner::submit`]. Draining servers reject with `draining`;
 //!    a queue at `queue_depth` rejects with `overloaded` (backpressure
-//!    is explicit, never a silent hang).
+//!    is explicit, never a silent hang). A submit carrying a
+//!    `submit_key` the server already knows attaches to the existing
+//!    job instead of enqueueing a duplicate (idempotent resubmit:
+//!    already-emitted cell events are replayed to the new subscriber).
+//!    Admission control sheds the rest fast: when the predicted queue
+//!    wait (queue length × EWMA job duration ÷ workers) exceeds the
+//!    job's `deadline_ms` or the configured SLO, the reply is an
+//!    immediate `overloaded` instead of a doomed enqueue.
 //! 2. A worker pops the job and fans its cells across the
 //!    work-stealing scheduler (`FLATWALK_JOB_THREADS`, default: the
 //!    worker count), each through [`ServerInner::execute_cell`]:
-//!    result-cache lookup → in-flight coalescing →
-//!    `runner::run_cell_outcome` (the same fault-domain entry point
-//!    the batch binaries use, with the job's fault plan re-installed
-//!    as a thread-scoped plan on every pool thread). Completed cells
-//!    are rendered once and streamed to subscribers **in index
-//!    order** — an emit cursor holds back out-of-order finishes until
-//!    their predecessors land.
+//!    result-cache lookup → persistent-store lookup → in-flight
+//!    coalescing → `runner::run_cell_outcome` (the same fault-domain
+//!    entry point the batch binaries use, with the job's fault plan
+//!    re-installed as a thread-scoped plan on every pool thread, plus
+//!    the job's cancel flag as the ambient scoped cancel so a deadline
+//!    stops cells at the next batch boundary). Completed cells are
+//!    rendered once, written through to the store, and streamed to
+//!    subscribers **in index order** — an emit cursor holds back
+//!    out-of-order finishes until their predecessors land.
 //! 3. The finished job stays addressable (`status` / `result`) for the
 //!    server's lifetime.
+//!
+//! A supervisor thread watches the worker pool: a worker that panics
+//! mid-job is detected, its job re-queued at the front under a
+//! `FLATWALK_JOB_RETRIES` budget (already-finished cells keep their
+//! records and are not re-executed), and a replacement worker spawned.
+//! Jobs whose retry budget is exhausted finish as failed records —
+//! never a hang. The same thread runs the stall watchdog
+//! (`FLATWALK_JOB_STALL_SECS`) and cancels jobs whose deadline passes
+//! mid-run.
 //!
 //! Metrics semantics: a cell executed here merges its simulation
 //! metrics into the process-global registry (via the runner), exactly
@@ -30,7 +49,7 @@ use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Sender};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
@@ -41,15 +60,25 @@ use flatwalk_types::stats::LatencyHistogram;
 
 use crate::proto::{self, JobSpec, Request, PROTOCOL};
 use crate::rcache::{cell_key, CachedCell, ResultCache};
+use crate::store::ResultStore;
 
 /// How often the non-blocking accept loop polls for connections and
 /// drain completion.
 const ACCEPT_POLL: Duration = Duration::from_millis(25);
 
+/// How often the supervisor sweeps the worker pool for dead workers,
+/// passed deadlines, and stalled jobs.
+const SUPERVISE_POLL: Duration = Duration::from_millis(50);
+
 /// Server configuration. Environment knobs (read by [`from_env`]
 /// (ServerConfig::from_env)): `FLATWALK_QUEUE_DEPTH` (default 32),
-/// `FLATWALK_RESULT_CACHE_MB` (default 64) and `FLATWALK_JOB_THREADS`
-/// (per-job cell fan-out; default: follow `workers`).
+/// `FLATWALK_RESULT_CACHE_MB` (default 64), `FLATWALK_JOB_THREADS`
+/// (per-job cell fan-out; default: follow `workers`),
+/// `FLATWALK_STORE_DIR` (persistent store root; unset = memory only),
+/// `FLATWALK_SLO_MS` (admission SLO; 0 = off), `FLATWALK_JOB_RETRIES`
+/// (requeue budget after a worker loss, default 1),
+/// `FLATWALK_JOB_STALL_SECS` (stall watchdog, default 600, 0 = off),
+/// and `FLATWALK_CHAOS` (enable chaos test hooks).
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
     /// Bind a TCP listener on `127.0.0.1:port` (port 0 = ephemeral).
@@ -68,6 +97,20 @@ pub struct ServerConfig {
     pub queue_depth: usize,
     /// Result-cache byte budget.
     pub cache_bytes: u64,
+    /// Root of the persistent result store; `None` = memory only.
+    pub store_dir: Option<PathBuf>,
+    /// Admission-control SLO in milliseconds: submissions whose
+    /// predicted queue wait exceeds it are shed. `0` disables the SLO
+    /// (per-job `deadline_ms` still applies).
+    pub slo_ms: u64,
+    /// Times a job lost to a worker panic is re-queued before it is
+    /// finalized as failed.
+    pub job_retries: u32,
+    /// Seconds without cell progress before the stall watchdog cancels
+    /// a running job. `0` disables the watchdog.
+    pub stall_secs: u64,
+    /// Allow chaos hooks in submissions (test-only fault injection).
+    pub chaos: bool,
 }
 
 fn env_u64(name: &str, default: u64) -> u64 {
@@ -90,6 +133,14 @@ impl ServerConfig {
             job_threads: env_u64("FLATWALK_JOB_THREADS", 0) as usize,
             queue_depth: env_u64("FLATWALK_QUEUE_DEPTH", 32) as usize,
             cache_bytes: env_u64("FLATWALK_RESULT_CACHE_MB", 64) << 20,
+            store_dir: std::env::var("FLATWALK_STORE_DIR")
+                .ok()
+                .filter(|v| !v.trim().is_empty())
+                .map(PathBuf::from),
+            slo_ms: env_u64("FLATWALK_SLO_MS", 0),
+            job_retries: env_u64("FLATWALK_JOB_RETRIES", 1) as u32,
+            stall_secs: env_u64("FLATWALK_JOB_STALL_SECS", 600),
+            chaos: env_u64("FLATWALK_CHAOS", 0) != 0,
         }
     }
 }
@@ -127,6 +178,17 @@ pub struct Job {
     /// When the job entered the queue (feeds the `serve.queue_wait`
     /// span and the `queue_wait` latency histogram).
     enqueued: Instant,
+    /// Per-job cancel flag: fired by the deadline/stall watchdogs (and
+    /// drain), observed by running cells at batch boundaries.
+    cancel: CancelFlag,
+    /// Absolute deadline derived from the submit's `deadline_ms`.
+    deadline: Option<Instant>,
+    /// Times this job was re-queued after losing its worker.
+    requeues: AtomicU32,
+    /// Index of the next record to stream, shared across the original
+    /// run, any requeued re-run, and late-attaching subscribers.
+    /// Lock order is emit_cursor → records → subscribers everywhere.
+    emit_cursor: Mutex<usize>,
 }
 
 impl Job {
@@ -143,6 +205,11 @@ impl Job {
     /// Cells this job actually simulated.
     pub fn executed_cells(&self) -> usize {
         self.executed_cells.load(Ordering::Relaxed)
+    }
+
+    /// Times this job was re-queued after a worker loss.
+    pub fn requeues(&self) -> u32 {
+        self.requeues.load(Ordering::Relaxed)
     }
 
     fn broadcast(&self, line: &str) {
@@ -185,6 +252,24 @@ pub struct Counters {
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
     cells_coalesced: AtomicU64,
+    /// Resubmits that attached to an existing job via `submit_key`.
+    jobs_deduped: AtomicU64,
+    /// Submissions shed because predicted wait exceeded `deadline_ms`.
+    shed_deadline: AtomicU64,
+    /// Submissions shed because predicted wait exceeded the SLO.
+    shed_slo: AtomicU64,
+    /// Jobs cancelled because their deadline passed after acceptance.
+    shed_late: AtomicU64,
+    /// Jobs re-queued after their worker panicked.
+    jobs_requeued: AtomicU64,
+    /// Jobs finalized as failed after exhausting the requeue budget.
+    jobs_lost: AtomicU64,
+    /// Jobs cancelled by the stall watchdog.
+    jobs_stalled: AtomicU64,
+    /// Worker threads that died to a panic.
+    worker_panics: AtomicU64,
+    /// Replacement workers spawned by the supervisor.
+    workers_respawned: AtomicU64,
 }
 
 /// Shared state of a running server.
@@ -199,7 +284,16 @@ pub struct ServerInner {
     in_flight: AtomicUsize,
     cancel: CancelFlag,
     cache: ResultCache,
+    /// Disk-backed store beneath the memory cache; `None` runs memory
+    /// only (no `store_dir`, or the directory failed to open).
+    store: Option<ResultStore>,
     inflight_cells: Mutex<HashMap<String, Arc<InflightSlot>>>,
+    /// `submit_key` → job id, for idempotent resubmits.
+    submit_keys: Mutex<HashMap<String, u64>>,
+    /// Exponentially weighted moving average of job wall time in
+    /// nanoseconds (0 until the first job completes); feeds the
+    /// predicted-queue-wait admission check.
+    ewma_job_nanos: AtomicU64,
     counters: Counters,
     /// Wall-clock latency histograms, one per request op (plus
     /// `queue_wait` for submit→run delay), feeding the `metrics`
@@ -210,6 +304,23 @@ pub struct ServerInner {
 impl ServerInner {
     fn new(config: ServerConfig) -> ServerInner {
         let cache = ResultCache::new(config.cache_bytes);
+        let store = config.store_dir.as_ref().and_then(|dir| {
+            match ResultStore::open(dir) {
+                Ok(store) => {
+                    metrics::gauge_global("store.entries", store.len() as f64);
+                    Some(store)
+                }
+                Err(e) => {
+                    // A broken store directory must not take the
+                    // service down; run memory-only and say so.
+                    eprintln!(
+                        "flatwalk-serve: store {}: {e}; running memory-only",
+                        dir.display()
+                    );
+                    None
+                }
+            }
+        });
         ServerInner {
             config,
             queue: Mutex::new(VecDeque::new()),
@@ -220,7 +331,10 @@ impl ServerInner {
             in_flight: AtomicUsize::new(0),
             cancel: CancelFlag::new(),
             cache,
+            store,
             inflight_cells: Mutex::new(HashMap::new()),
+            submit_keys: Mutex::new(HashMap::new()),
+            ewma_job_nanos: AtomicU64::new(0),
             counters: Counters::default(),
             req_stats: Mutex::new(BTreeMap::new()),
         }
@@ -266,12 +380,31 @@ impl ServerInner {
         trace::emit_serve("drain", 0, "");
     }
 
-    /// Forces a fast drain: begins draining *and* cancels cells that
-    /// have not started yet (they complete as failed `cancelled`
-    /// records; running cells still finish).
+    /// Forces a fast drain: begins draining, cancels cells that have
+    /// not started yet (they complete as failed `cancelled` records),
+    /// and fires every unfinished job's cancel flag so running cells
+    /// stop at their next batch boundary.
     pub fn cancel_remaining(&self) {
         self.cancel.cancel();
+        for job in self.jobs.lock().unwrap_or_else(|e| e.into_inner()).values() {
+            if job.state.load(Ordering::Relaxed) != DONE {
+                job.cancel.cancel();
+            }
+        }
         self.begin_drain();
+    }
+
+    /// The disk-backed result store, when one is open.
+    pub fn store(&self) -> Option<&ResultStore> {
+        self.store.as_ref()
+    }
+
+    /// Predicted queue wait for a newly submitted job, in nanoseconds:
+    /// jobs already queued × EWMA job duration ÷ workers. Zero until
+    /// the first job completes (no data — admit everything).
+    fn predicted_wait_nanos(&self, queued: usize) -> u64 {
+        let ewma = self.ewma_job_nanos.load(Ordering::Relaxed);
+        (queued as u64).saturating_mul(ewma) / self.config.workers.max(1) as u64
     }
 
     /// Lifetime cache-hit count (coalesced waits not included).
@@ -292,19 +425,57 @@ impl ServerInner {
 
     /// Submits a job, registering `subscriber` for its event stream.
     ///
+    /// Returns the job plus `resumed`: `true` when the submit's
+    /// `submit_key` matched an existing job and the caller was
+    /// attached to it (already-emitted cell events replayed) instead
+    /// of a new job being enqueued.
+    ///
     /// # Errors
     ///
     /// `(kind, detail)` per the protocol: `draining`, `bad_request`
-    /// (unknown grid), or `overloaded` (queue at depth).
+    /// (unknown grid, disallowed chaos hook), or `overloaded` (queue
+    /// at depth, or predicted wait beyond the deadline/SLO).
     pub fn submit(
         self: &Arc<Self>,
         spec: JobSpec,
         subscriber: Option<Sender<String>>,
-    ) -> Result<Arc<Job>, (&'static str, String)> {
+    ) -> Result<(Arc<Job>, bool), (&'static str, String)> {
         if self.draining() {
             self.counters.jobs_rejected.fetch_add(1, Ordering::Relaxed);
             metrics::add_global("serve.jobs.rejected", 1);
             return Err(("draining", "server is draining".to_string()));
+        }
+        if let Some(hook) = &spec.chaos {
+            if !self.config.chaos {
+                return Err((
+                    "bad_request",
+                    format!("chaos hook {hook:?} requires the server to run with FLATWALK_CHAOS=1"),
+                ));
+            }
+            if hook != "panic_worker" {
+                return Err(("bad_request", format!("unknown chaos hook {hook:?}")));
+            }
+        }
+        // Holding the submit-key map across the whole admission path
+        // makes resubmit-vs-create atomic: two racing submits with the
+        // same key cannot both enqueue. Lock order: submit_keys →
+        // queue.
+        let mut keymap = spec.submit_key.as_ref().map(|key| {
+            (
+                key.clone(),
+                self.submit_keys.lock().unwrap_or_else(|e| e.into_inner()),
+            )
+        });
+        if let Some((key, map)) = &keymap {
+            if let Some(job) = map.get(key).and_then(|&id| self.job(id)) {
+                self.counters.jobs_deduped.fetch_add(1, Ordering::Relaxed);
+                metrics::add_global("serve.jobs.deduped", 1);
+                trace::emit_serve("dedup", job.id, key);
+                if let Some(tx) = subscriber {
+                    attach_subscriber(&job, tx);
+                }
+                return Ok((job, true));
+            }
         }
         let grid = spec.resolve().map_err(|e| ("bad_request", e))?;
         let mut queue = self.queue.lock().unwrap_or_else(|e| e.into_inner());
@@ -322,8 +493,46 @@ impl ServerInner {
                 format!("queue full (depth {})", self.config.queue_depth),
             ));
         }
+        // Admission control: reject-fast jobs that would blow their
+        // deadline (or the server SLO) just waiting in the queue. A
+        // shed is cheaper for everyone than a doomed enqueue.
+        let predicted = self.predicted_wait_nanos(queue.len());
+        let over = |limit_ms: u64| limit_ms > 0 && predicted > limit_ms.saturating_mul(1_000_000);
+        if spec.deadline_ms.is_some_and(over) {
+            self.counters.jobs_rejected.fetch_add(1, Ordering::Relaxed);
+            self.counters.shed_deadline.fetch_add(1, Ordering::Relaxed);
+            metrics::add_global("serve.jobs.rejected", 1);
+            metrics::add_global("serve.shed.deadline", 1);
+            trace::emit_serve("shed", 0, "deadline");
+            return Err((
+                "overloaded",
+                format!(
+                    "shed: predicted queue wait ~{}ms exceeds deadline {}ms",
+                    predicted / 1_000_000,
+                    spec.deadline_ms.unwrap_or(0)
+                ),
+            ));
+        }
+        if over(self.config.slo_ms) {
+            self.counters.jobs_rejected.fetch_add(1, Ordering::Relaxed);
+            self.counters.shed_slo.fetch_add(1, Ordering::Relaxed);
+            metrics::add_global("serve.jobs.rejected", 1);
+            metrics::add_global("serve.shed.slo", 1);
+            trace::emit_serve("shed", 0, "slo");
+            return Err((
+                "overloaded",
+                format!(
+                    "shed: predicted queue wait ~{}ms exceeds SLO {}ms",
+                    predicted / 1_000_000,
+                    self.config.slo_ms
+                ),
+            ));
+        }
         let id = self.next_job.fetch_add(1, Ordering::Relaxed) + 1;
         let cell_count = grid.len();
+        let deadline = spec
+            .deadline_ms
+            .map(|ms| Instant::now() + Duration::from_millis(ms));
         let job = Arc::new(Job {
             id,
             spec,
@@ -338,18 +547,26 @@ impl ServerInner {
             records: Mutex::new(vec![None; cell_count]),
             subscribers: Mutex::new(subscriber.into_iter().collect()),
             enqueued: Instant::now(),
+            cancel: CancelFlag::new(),
+            deadline,
+            requeues: AtomicU32::new(0),
+            emit_cursor: Mutex::new(0),
         });
+        if let Some((key, map)) = keymap.as_mut() {
+            map.insert(key.clone(), id);
+        }
         self.jobs
             .lock()
             .unwrap_or_else(|e| e.into_inner())
             .insert(id, Arc::clone(&job));
         queue.push_back(Arc::clone(&job));
         drop(queue);
+        drop(keymap);
         self.queue_cv.notify_one();
         self.counters.jobs_submitted.fetch_add(1, Ordering::Relaxed);
         metrics::add_global("serve.jobs.submitted", 1);
         trace::emit_serve("submit", id, &job.spec.grid);
-        Ok(job)
+        Ok((job, false))
     }
 
     /// Looks a job up by id.
@@ -422,6 +639,25 @@ impl ServerInner {
         }
         self.counters.cache_misses.fetch_add(1, Ordering::Relaxed);
         metrics::add_global("serve.cache.misses", 1);
+        // Owner: before paying for simulation, check the persistent
+        // store — a previous process lifetime may have computed this
+        // cell. A hit is promoted into the memory cache and fulfils
+        // any coalesced waiters, byte-identical to the original run.
+        if let Some(hit) = self.store.as_ref().and_then(|s| s.get(&key)) {
+            self.cache.insert(key.clone(), hit.clone());
+            self.inflight_cells
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .remove(&key);
+            *slot.done.lock().unwrap_or_else(|e| e.into_inner()) = Some(Ok(hit.clone()));
+            slot.cv.notify_all();
+            trace::emit_serve("store_hit", job_id, &key[..key.len().min(80)]);
+            return CellData::Done {
+                value: hit,
+                cached: true,
+                coalesced: false,
+            };
+        }
         let outcome = runner::run_cell_outcome(index, total, cell);
         self.counters.cells_executed.fetch_add(1, Ordering::Relaxed);
         metrics::add_global("serve.cells.executed", 1);
@@ -440,8 +676,12 @@ impl ServerInner {
                 };
                 // Insert before unpublishing the slot so a request
                 // arriving in between hits the cache instead of
-                // re-executing.
+                // re-executing. Write-through to the persistent store
+                // (best-effort: a full disk must not fail the cell).
                 self.cache.insert(key.clone(), value.clone());
+                if let Some(store) = &self.store {
+                    store.put(&key, &value);
+                }
                 Ok(value)
             }
             CellOutcome::Failed { error, retries } => Err((error, retries)),
@@ -470,23 +710,43 @@ impl ServerInner {
         span::record("serve.queue_wait", waited);
         self.note_request("queue_wait", waited);
         let _run_span = span::enter("serve.run");
+        let run_started = Instant::now();
         job.state.store(RUNNING, Ordering::Relaxed);
         trace::emit_serve("job_start", job.id, &job.spec.grid);
+        // Chaos hook: die exactly once, on the first attempt, so the
+        // requeued re-run can prove the supervisor's recovery path.
+        if job.spec.chaos.as_deref() == Some("panic_worker") && job.requeues() == 0 {
+            trace::emit_serve("chaos_panic", job.id, "panic_worker");
+            panic!("chaos: injected worker panic (job {})", job.id);
+        }
+        // A job whose deadline passed while it waited in the queue is
+        // not worth starting: fire its cancel flag so every cell
+        // completes as a fast failed record.
+        if job.deadline.is_some_and(|d| Instant::now() >= d) && !job.cancel.is_cancelled() {
+            job.cancel.cancel();
+            self.counters.shed_late.fetch_add(1, Ordering::Relaxed);
+            metrics::add_global("serve.shed.late", 1);
+            trace::emit_serve("shed", job.id, "late");
+        }
         let total = job.cells.len();
         // The job's cells fan out through the work-stealing scheduler.
         // Fault plans are *thread*-scoped, so every per-cell closure
         // re-installs the job's plan on whichever pool thread runs it —
         // `scoped(None)` still pushes a scope, so a job without faults
         // is fault-free even if this process ever had a global plan
-        // installed. Subscribers still see cell events in index order:
-        // each finished cell parks its record, then the emit cursor
-        // flushes every consecutive completed record.
+        // installed. The job's cancel flag rides along the same way,
+        // as the ambient scoped cancel: a deadline or stall firing
+        // mid-cell stops the simulation at the next batch boundary.
+        // Subscribers still see cell events in index order: each
+        // finished cell parks its record, then the emit cursor flushes
+        // every consecutive completed record. A requeued job (worker
+        // lost mid-run) skips cells that already have records — they
+        // were executed, streamed, and counted by the first attempt.
         let plan = job.spec.faults;
         let fan = match self.config.job_threads {
             0 => self.config.workers,
             n => n,
         };
-        let emit = Mutex::new(0usize);
         let progress = runner::Progress::quiet(total);
         runner::run_ordered(
             (0..total).collect(),
@@ -494,8 +754,12 @@ impl ServerInner {
             &progress,
             |_| 1,
             |index: usize| {
+                if job.records.lock().unwrap_or_else(|e| e.into_inner())[index].is_some() {
+                    return;
+                }
                 let _plan_scope = flatwalk_faults::scoped(plan);
-                let data = if self.cancel.is_cancelled() {
+                let _cancel_scope = runner::scoped_cancel(job.cancel.clone());
+                let data = if self.cancel.is_cancelled() || job.cancel.is_cancelled() {
                     CellData::Failed {
                         error: format!("cancelled before start: cell {index} of {total}"),
                         retries: 0,
@@ -524,41 +788,102 @@ impl ServerInner {
                 job.records.lock().unwrap_or_else(|e| e.into_inner())[index] = Some(record);
                 job.done_cells.fetch_add(1, Ordering::Relaxed);
                 // Flush the in-order prefix this completion unblocked.
-                // Lock order is emit → records everywhere; the store
-                // above released `records` first, so a racing flusher
-                // either emits our record for us or leaves the cursor
-                // parked on it for this call.
+                // Lock order is emit_cursor → records everywhere; the
+                // store above released `records` first, so a racing
+                // flusher either emits our record for us or leaves the
+                // cursor parked on it for this call.
                 let _splice_span = span::enter("serve.splice");
-                let mut cursor = emit.lock().unwrap_or_else(|e| e.into_inner());
-                let records = job.records.lock().unwrap_or_else(|e| e.into_inner());
-                while let Some(Some(record)) = records.get(*cursor) {
-                    job.broadcast(&format!(
-                        "{{\"ok\":true,\"event\":\"cell\",\"job\":{},\"record\":{record}}}",
-                        job.id
-                    ));
-                    *cursor += 1;
-                }
+                flush_records(job);
             },
         );
-        job.state.store(DONE, Ordering::Relaxed);
-        let mut done = Json::obj();
-        done.push("ok", true)
-            .push("event", "done")
-            .push("job", job.id)
-            .push("cells", total)
-            .push("failed", job.failed_cells.load(Ordering::Relaxed))
-            .push("cached", job.cached_cells.load(Ordering::Relaxed))
-            .push("coalesced", job.coalesced_cells.load(Ordering::Relaxed))
-            .push("executed", job.executed_cells.load(Ordering::Relaxed));
-        job.broadcast(&done.to_string());
+        self.finish_job(job, Some(run_started.elapsed().as_nanos() as u64));
+    }
+
+    /// Marks `job` done, streams the final events, and (for measured
+    /// runs) folds the duration into the EWMA feeding admission
+    /// control. Shared by the normal completion path and supervisor
+    /// finalization (which passes `None` — a lost job's wall time says
+    /// nothing about healthy job duration).
+    fn finish_job(&self, job: &Arc<Job>, run_nanos: Option<u64>) {
+        // Flush any tail the per-cell closures did not (a requeued job
+        // whose every remaining cell was skipped emits nothing), then
+        // set DONE while holding the cursor: a late subscriber holds
+        // the same lock while it checks the state, so it either sees
+        // RUNNING and registers before our done broadcast, or sees
+        // DONE and synthesizes its own done event.
+        flush_records(job);
+        {
+            let _cursor = job.emit_cursor.lock().unwrap_or_else(|e| e.into_inner());
+            job.state.store(DONE, Ordering::Relaxed);
+        }
+        job.broadcast(&done_event_line(job));
         // Closing the channels ends the subscribers' streams.
         job.subscribers
             .lock()
             .unwrap_or_else(|e| e.into_inner())
             .clear();
+        if let Some(nanos) = run_nanos {
+            let _ = self
+                .ewma_job_nanos
+                .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |old| {
+                    Some(if old == 0 {
+                        nanos
+                    } else {
+                        (3 * old + nanos) / 4
+                    })
+                });
+        }
         self.counters.jobs_completed.fetch_add(1, Ordering::Relaxed);
         metrics::add_global("serve.jobs.completed", 1);
         trace::emit_serve("job_done", job.id, &job.spec.grid);
+    }
+
+    /// Supervisor recovery for a job whose worker died mid-run:
+    /// re-queue it at the front (already-finished cells keep their
+    /// records) while budget remains, otherwise finalize it as failed.
+    /// Jobs already cancelled are finalized immediately — a cancelled
+    /// re-run could only produce more `cancelled` records.
+    fn requeue_or_fail(&self, job: &Arc<Job>) {
+        let requeues = job.requeues.fetch_add(1, Ordering::Relaxed) + 1;
+        if requeues <= self.config.job_retries && !job.cancel.is_cancelled() {
+            job.state.store(QUEUED, Ordering::Relaxed);
+            let mut queue = self.queue.lock().unwrap_or_else(|e| e.into_inner());
+            queue.push_front(Arc::clone(job));
+            drop(queue);
+            self.queue_cv.notify_one();
+            self.counters.jobs_requeued.fetch_add(1, Ordering::Relaxed);
+            metrics::add_global("supervisor.jobs.requeued", 1);
+            trace::emit_serve("requeue", job.id, &job.spec.grid);
+        } else {
+            self.finalize_lost(job);
+        }
+    }
+
+    /// Completes a worker-lost job as failed: every cell without a
+    /// record gets a `worker lost` failure, then the job finishes
+    /// normally (events stream, queries answer) — never a hang.
+    fn finalize_lost(&self, job: &Arc<Job>) {
+        {
+            let mut records = job.records.lock().unwrap_or_else(|e| e.into_inner());
+            for (index, record) in records.iter_mut().enumerate() {
+                if record.is_none() {
+                    let data = CellData::Failed {
+                        error: format!(
+                            "worker lost: requeue budget exhausted after {} attempt(s)",
+                            job.requeues()
+                        ),
+                        retries: job.requeues(),
+                    };
+                    *record = Some(render_record(job, index, &data));
+                    job.failed_cells.fetch_add(1, Ordering::Relaxed);
+                    job.done_cells.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        self.counters.jobs_lost.fetch_add(1, Ordering::Relaxed);
+        metrics::add_global("supervisor.jobs.lost", 1);
+        trace::emit_serve("job_lost", job.id, &job.spec.grid);
+        self.finish_job(job, None);
     }
 
     fn status_line(&self, id: u64) -> String {
@@ -665,7 +990,50 @@ impl ServerInner {
             .push("cache_entries", self.cache.len())
             .push("cache_bytes", self.cache.bytes())
             .push("cache_evicted", self.cache.evicted())
+            .push(
+                "jobs_deduped",
+                self.counters.jobs_deduped.load(Ordering::Relaxed),
+            )
+            .push(
+                "shed_deadline",
+                self.counters.shed_deadline.load(Ordering::Relaxed),
+            )
+            .push("shed_slo", self.counters.shed_slo.load(Ordering::Relaxed))
+            .push("shed_late", self.counters.shed_late.load(Ordering::Relaxed))
+            .push(
+                "jobs_requeued",
+                self.counters.jobs_requeued.load(Ordering::Relaxed),
+            )
+            .push("jobs_lost", self.counters.jobs_lost.load(Ordering::Relaxed))
+            .push(
+                "jobs_stalled",
+                self.counters.jobs_stalled.load(Ordering::Relaxed),
+            )
+            .push(
+                "worker_panics",
+                self.counters.worker_panics.load(Ordering::Relaxed),
+            )
+            .push(
+                "workers_respawned",
+                self.counters.workers_respawned.load(Ordering::Relaxed),
+            )
+            .push(
+                "ewma_job_nanos",
+                self.ewma_job_nanos.load(Ordering::Relaxed),
+            )
+            .push("slo_ms", self.config.slo_ms)
             .push("draining", self.draining());
+        if let Some(store) = &self.store {
+            let mut s = Json::obj();
+            s.push("entries", store.len())
+                .push("recovered", store.recovered())
+                .push("quarantined", store.quarantined())
+                .push("hits", store.hits())
+                .push("misses", store.misses())
+                .push("writes", store.writes())
+                .push("write_errors", store.write_errors());
+            server.push("store", s);
+        }
         o.push("protocol", PROTOCOL)
             .push("server", server)
             .push("latency", self.latency_json())
@@ -724,6 +1092,62 @@ impl ServerInner {
             .push("format", "prometheus")
             .push("text", self.prometheus_text());
         o.to_string()
+    }
+}
+
+/// Renders one `cell` stream event around an already-rendered record.
+fn cell_event_line(job_id: u64, record: &str) -> String {
+    format!("{{\"ok\":true,\"event\":\"cell\",\"job\":{job_id},\"record\":{record}}}")
+}
+
+/// Renders the final `done` stream event for a job.
+fn done_event_line(job: &Job) -> String {
+    let mut done = Json::obj();
+    done.push("ok", true)
+        .push("event", "done")
+        .push("job", job.id)
+        .push("cells", job.cells.len())
+        .push("failed", job.failed_cells.load(Ordering::Relaxed))
+        .push("cached", job.cached_cells.load(Ordering::Relaxed))
+        .push("coalesced", job.coalesced_cells.load(Ordering::Relaxed))
+        .push("executed", job.executed_cells.load(Ordering::Relaxed))
+        .push("requeues", job.requeues());
+    done.to_string()
+}
+
+/// Broadcasts every consecutive completed record from the emit cursor
+/// onward. Lock order: emit_cursor → records (→ subscribers inside
+/// `broadcast`).
+fn flush_records(job: &Job) {
+    let mut cursor = job.emit_cursor.lock().unwrap_or_else(|e| e.into_inner());
+    let records = job.records.lock().unwrap_or_else(|e| e.into_inner());
+    while let Some(Some(record)) = records.get(*cursor) {
+        job.broadcast(&cell_event_line(job.id, record));
+        *cursor += 1;
+    }
+}
+
+/// Attaches a late subscriber to `job` (idempotent resubmit): replays
+/// every already-emitted cell event, then either registers for the
+/// rest or — when the job is already done — synthesizes the final
+/// `done` event. Holding the emit cursor across replay + registration
+/// closes the gap a concurrent flusher could otherwise slip events
+/// through.
+fn attach_subscriber(job: &Arc<Job>, tx: Sender<String>) {
+    let cursor = job.emit_cursor.lock().unwrap_or_else(|e| e.into_inner());
+    {
+        let records = job.records.lock().unwrap_or_else(|e| e.into_inner());
+        for record in records.iter().take(*cursor).flatten() {
+            let _ = tx.send(cell_event_line(job.id, record));
+        }
+    }
+    if job.state.load(Ordering::Relaxed) == DONE {
+        let _ = tx.send(done_event_line(job));
+    } else {
+        job.subscribers
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(tx);
     }
 }
 
@@ -840,7 +1264,7 @@ fn dispatch_request(
             let subscriber = stream.then_some(tx);
             match inner.submit(spec, subscriber) {
                 Err((kind, detail)) => proto::error_line(kind, &detail),
-                Ok(job) => {
+                Ok((job, resumed)) => {
                     let mut o = Json::obj();
                     o.push("ok", true)
                         .push("event", "accepted")
@@ -849,6 +1273,9 @@ fn dispatch_request(
                         .push("mode", job.spec.mode_name())
                         .push("cells", job.cells.len())
                         .push("stream", stream);
+                    if resumed {
+                        o.push("resumed", true);
+                    }
                     if write_line(w, &o.to_string()).is_err() {
                         return false;
                     }
@@ -880,7 +1307,12 @@ fn serve_connection(inner: Arc<ServerInner>, reader: impl Read, mut writer: impl
     }
 }
 
-fn worker_loop(inner: Arc<ServerInner>) {
+/// What a worker is running right now, observable by the supervisor.
+/// `Some(job)` from dequeue to completion; a worker that dies by
+/// panic leaves its job parked here for the supervisor to recover.
+type RunningSlot = Arc<Mutex<Option<Arc<Job>>>>;
+
+fn worker_loop(inner: Arc<ServerInner>, running: RunningSlot) {
     loop {
         let job = {
             let mut queue = inner.queue.lock().unwrap_or_else(|e| e.into_inner());
@@ -899,8 +1331,134 @@ fn worker_loop(inner: Arc<ServerInner>) {
             }
         };
         let Some(job) = job else { break };
+        *running.lock().unwrap_or_else(|e| e.into_inner()) = Some(Arc::clone(&job));
         inner.run_job(&job);
+        *running.lock().unwrap_or_else(|e| e.into_inner()) = None;
         inner.in_flight.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// One supervised worker: its thread handle plus the job it is
+/// currently running.
+struct WorkerSlot {
+    handle: Option<std::thread::JoinHandle<()>>,
+    running: RunningSlot,
+}
+
+fn spawn_worker(inner: &Arc<ServerInner>) -> WorkerSlot {
+    let running: RunningSlot = Arc::new(Mutex::new(None));
+    let slot_running = Arc::clone(&running);
+    let inner = Arc::clone(inner);
+    let handle = std::thread::spawn(move || worker_loop(inner, slot_running));
+    WorkerSlot {
+        handle: Some(handle),
+        running,
+    }
+}
+
+/// Per-job progress snapshot the stall watchdog compares between
+/// sweeps.
+struct StallEntry {
+    done_cells: usize,
+    since: Instant,
+}
+
+/// The supervisor: spawns and owns the worker pool, recovers jobs
+/// whose worker panicked (decrement in-flight, requeue-or-fail,
+/// respawn a replacement), cancels jobs whose deadline passed mid-run,
+/// and runs the stall watchdog. Exits — after joining the pool — once
+/// the server has drained.
+fn supervisor_loop(inner: Arc<ServerInner>) {
+    let workers = inner.config.workers.max(1);
+    let mut slots: Vec<WorkerSlot> = (0..workers).map(|_| spawn_worker(&inner)).collect();
+    let stall_limit = match inner.config.stall_secs {
+        0 => None,
+        secs => Some(Duration::from_secs(secs)),
+    };
+    let mut stall: HashMap<u64, StallEntry> = HashMap::new();
+    loop {
+        std::thread::sleep(SUPERVISE_POLL);
+        for slot in &mut slots {
+            if !slot.handle.as_ref().is_some_and(|h| h.is_finished()) {
+                continue;
+            }
+            let panicked = slot.handle.take().expect("checked above").join().is_err();
+            if !panicked {
+                continue; // normal drain exit
+            }
+            inner.counters.worker_panics.fetch_add(1, Ordering::Relaxed);
+            metrics::add_global("supervisor.worker_panics", 1);
+            let lost = slot
+                .running
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .take();
+            if let Some(job) = lost {
+                // The dead worker never ran its post-job decrement.
+                inner.in_flight.fetch_sub(1, Ordering::Relaxed);
+                trace::emit_serve("worker_panic", job.id, &job.spec.grid);
+                inner.requeue_or_fail(&job);
+            } else {
+                trace::emit_serve("worker_panic", 0, "idle");
+            }
+            // Respawn unless the drain already completed: a draining
+            // server may still hold the requeued job, and only a live
+            // worker can retire it.
+            if !inner.drained() {
+                *slot = spawn_worker(&inner);
+                inner
+                    .counters
+                    .workers_respawned
+                    .fetch_add(1, Ordering::Relaxed);
+                metrics::add_global("supervisor.workers_respawned", 1);
+            }
+        }
+        // Deadline + stall watchdogs over whatever is running now.
+        let mut live: Vec<u64> = Vec::new();
+        for slot in &slots {
+            let job = slot
+                .running
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .clone();
+            let Some(job) = job else { continue };
+            live.push(job.id);
+            if job.cancel.is_cancelled() {
+                continue;
+            }
+            if job.deadline.is_some_and(|d| Instant::now() >= d) {
+                job.cancel.cancel();
+                inner.counters.shed_late.fetch_add(1, Ordering::Relaxed);
+                metrics::add_global("serve.shed.late", 1);
+                trace::emit_serve("deadline_cancel", job.id, &job.spec.grid);
+                continue;
+            }
+            if let Some(limit) = stall_limit {
+                let done = job.done_cells.load(Ordering::Relaxed);
+                let entry = stall.entry(job.id).or_insert(StallEntry {
+                    done_cells: done,
+                    since: Instant::now(),
+                });
+                if done != entry.done_cells {
+                    entry.done_cells = done;
+                    entry.since = Instant::now();
+                } else if entry.since.elapsed() >= limit {
+                    job.cancel.cancel();
+                    inner.counters.jobs_stalled.fetch_add(1, Ordering::Relaxed);
+                    metrics::add_global("supervisor.jobs_stalled", 1);
+                    trace::emit_serve("stall_cancel", job.id, &job.spec.grid);
+                }
+            }
+        }
+        stall.retain(|id, _| live.contains(id));
+        if inner.drained() {
+            break;
+        }
+    }
+    for slot in &mut slots {
+        if let Some(handle) = slot.handle.take() {
+            let _ = handle.join();
+        }
     }
 }
 
@@ -1021,7 +1579,6 @@ impl ServerHandle {
 /// Propagates listener-bind failures. Configuring neither TCP nor a
 /// Unix socket is an invalid-input error.
 pub fn spawn(config: ServerConfig) -> std::io::Result<ServerHandle> {
-    let workers = config.workers.max(1);
     let mut listeners: Vec<Listener> = Vec::new();
     let mut addr = None;
     if config.tcp {
@@ -1056,9 +1613,11 @@ pub fn spawn(config: ServerConfig) -> std::io::Result<ServerHandle> {
         let inner = Arc::clone(&inner);
         threads.push(std::thread::spawn(move || accept_loop(inner, listener)));
     }
-    for _ in 0..workers {
+    // Workers are spawned (and respawned after panics) by the
+    // supervisor, which joins them before exiting itself.
+    {
         let inner = Arc::clone(&inner);
-        threads.push(std::thread::spawn(move || worker_loop(inner)));
+        threads.push(std::thread::spawn(move || supervisor_loop(inner)));
     }
     Ok(ServerHandle {
         inner,
@@ -1081,6 +1640,11 @@ mod tests {
             job_threads: 0,
             queue_depth: 4,
             cache_bytes: 1 << 20,
+            store_dir: None,
+            slo_ms: 0,
+            job_retries: 1,
+            stall_secs: 0,
+            chaos: false,
         }
     }
 
@@ -1146,5 +1710,90 @@ mod tests {
         let inner = Arc::new(ServerInner::new(test_config()));
         assert!(inner.status_line(42).contains("not_found"));
         assert!(inner.result_line(42).contains("not_found"));
+    }
+
+    #[test]
+    fn chaos_hooks_are_rejected_unless_enabled() {
+        let inner = Arc::new(ServerInner::new(test_config()));
+        let mut spec = JobSpec::new("sec71_pwc", flatwalk_bench::Mode::Quick);
+        spec.chaos = Some("panic_worker".to_string());
+        let err = inner.submit(spec, None).expect_err("chaos disabled");
+        assert_eq!(err.0, "bad_request");
+        assert!(err.1.contains("FLATWALK_CHAOS"), "{}", err.1);
+
+        let chaotic = Arc::new(ServerInner::new(ServerConfig {
+            chaos: true,
+            ..test_config()
+        }));
+        let mut bogus = JobSpec::new("sec71_pwc", flatwalk_bench::Mode::Quick);
+        bogus.chaos = Some("unplug_everything".to_string());
+        let err = chaotic.submit(bogus, None).expect_err("unknown hook");
+        assert_eq!(err.0, "bad_request");
+    }
+
+    #[test]
+    fn submit_key_resubmits_attach_to_the_existing_job() {
+        let inner = Arc::new(ServerInner::new(test_config()));
+        let mut spec = JobSpec::new("sec71_pwc", flatwalk_bench::Mode::Quick);
+        spec.submit_key = Some(spec.content_key());
+        let (first, resumed) = inner.submit(spec.clone(), None).expect("accepted");
+        assert!(!resumed);
+        let (second, resumed) = inner.submit(spec, None).expect("deduped");
+        assert!(resumed);
+        assert_eq!(first.id, second.id);
+        assert_eq!(inner.counters.jobs_deduped.load(Ordering::Relaxed), 1);
+        assert_eq!(inner.counters.jobs_submitted.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn predicted_overload_sheds_deadlined_submits() {
+        let inner = Arc::new(ServerInner::new(test_config()));
+        // Pretend completed jobs took 10s each; with 2 workers, one
+        // queued job predicts a 5s wait.
+        inner
+            .ewma_job_nanos
+            .store(10_000_000_000, Ordering::Relaxed);
+        let (job, _) = inner
+            .submit(JobSpec::new("sec71_pwc", flatwalk_bench::Mode::Quick), None)
+            .expect("no deadline, no shed");
+        assert_eq!(job.id, 1);
+        let mut tight = JobSpec::new("sec71_pwc", flatwalk_bench::Mode::Quick);
+        tight.deadline_ms = Some(100);
+        let err = inner.submit(tight, None).expect_err("predicted wait 5s");
+        assert_eq!(err.0, "overloaded");
+        assert!(err.1.contains("deadline"), "{}", err.1);
+        assert_eq!(inner.counters.shed_deadline.load(Ordering::Relaxed), 1);
+
+        let slo = Arc::new(ServerInner::new(ServerConfig {
+            slo_ms: 50,
+            ..test_config()
+        }));
+        slo.ewma_job_nanos.store(10_000_000_000, Ordering::Relaxed);
+        slo.submit(JobSpec::new("sec71_pwc", flatwalk_bench::Mode::Quick), None)
+            .expect("empty queue predicts zero wait");
+        let err = slo
+            .submit(JobSpec::new("sec71_pwc", flatwalk_bench::Mode::Quick), None)
+            .expect_err("one queued job predicts 5s > 50ms SLO");
+        assert_eq!(err.0, "overloaded");
+        assert!(err.1.contains("SLO"), "{}", err.1);
+        assert_eq!(slo.counters.shed_slo.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn finalize_lost_fails_remaining_cells_and_completes() {
+        let inner = Arc::new(ServerInner::new(test_config()));
+        let (job, _) = inner
+            .submit(JobSpec::new("sec71_pwc", flatwalk_bench::Mode::Quick), None)
+            .expect("accepted");
+        // Exhaust the budget: first loss requeues, second finalizes.
+        inner.requeue_or_fail(&job);
+        assert_eq!(job.state.load(Ordering::Relaxed), QUEUED);
+        assert_eq!(inner.counters.jobs_requeued.load(Ordering::Relaxed), 1);
+        inner.requeue_or_fail(&job);
+        assert_eq!(job.state.load(Ordering::Relaxed), DONE);
+        assert_eq!(inner.counters.jobs_lost.load(Ordering::Relaxed), 1);
+        assert_eq!(job.failed_cells.load(Ordering::Relaxed), job.cell_count());
+        let result = inner.result_line(job.id);
+        assert!(result.contains("worker lost"), "{result}");
     }
 }

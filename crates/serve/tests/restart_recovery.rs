@@ -1,0 +1,211 @@
+//! Crash-recovery end-to-end tests: a real `flatwalk-serve` process
+//! with a persistent store, killed with SIGKILL (no drain, no
+//! cleanup), restarted on the same directory.
+//!
+//! The durability claims under test:
+//!
+//! - results computed before the kill are served from the store after
+//!   the restart, **byte-identical** and with **zero re-execution**;
+//! - an entry corrupted on disk while the server is down is
+//!   quarantined by the recovery scan, and its cell transparently
+//!   re-executes to the same bytes.
+
+use std::io::{BufRead, BufReader};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+
+use flatwalk_obs::{json, Json};
+use flatwalk_serve::client::Connection;
+use flatwalk_serve::proto::JobSpec;
+
+/// A spawned server process and the address it announced.
+struct ServerProc {
+    child: Child,
+    addr: String,
+}
+
+impl ServerProc {
+    fn start(store: &Path) -> ServerProc {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_flatwalk-serve"))
+            .args(["--port", "0", "--workers", "2"])
+            .arg("--store")
+            .arg(store)
+            .stdout(Stdio::piped())
+            .stderr(Stdio::inherit())
+            .spawn()
+            .expect("spawn flatwalk-serve");
+        let stdout = child.stdout.take().expect("piped stdout");
+        let mut lines = BufReader::new(stdout).lines();
+        let addr = loop {
+            let line = lines
+                .next()
+                .expect("server announces its address before EOF")
+                .expect("read server stdout");
+            if let Some(addr) = line.strip_prefix("listening on ") {
+                break addr.to_string();
+            }
+        };
+        // Drain the rest of stdout in the background so the server
+        // never blocks on a full pipe.
+        std::thread::spawn(move || for _ in lines {});
+        ServerProc { child, addr }
+    }
+
+    fn connect(&self) -> Connection {
+        Connection::connect_tcp(&self.addr).expect("connect to spawned server")
+    }
+
+    /// SIGKILL — no drain, no atexit, nothing.
+    fn kill9(mut self) {
+        self.child.kill().expect("kill -9 the server");
+        self.child.wait().expect("reap");
+    }
+}
+
+fn small_spec() -> JobSpec {
+    let mut spec = JobSpec::new("sec71_pwc", flatwalk_bench::Mode::Quick);
+    spec.warmup_ops = Some(500);
+    spec.measure_ops = Some(2500);
+    spec.footprint_divisor = Some(512);
+    spec
+}
+
+/// Streams a submit; returns `(reports, cached_flags)` index-ordered.
+fn submit(conn: &mut Connection, spec: &JobSpec) -> (Vec<String>, Vec<bool>) {
+    conn.send(&spec.to_request_line(true)).expect("send submit");
+    let mut reports = Vec::new();
+    let mut cached = Vec::new();
+    loop {
+        let line = conn.recv_line().expect("read").expect("stream open");
+        let v = json::parse(&line).expect("event parses");
+        assert_eq!(v.get("ok"), Some(&Json::Bool(true)), "event: {line}");
+        match v.get("event") {
+            Some(Json::Str(e)) if e == "cell" => {
+                let record = v.get("record").expect("cell has record");
+                assert_eq!(
+                    record.get("status"),
+                    Some(&Json::Str("ok".into())),
+                    "cell failed: {record}"
+                );
+                reports.push(record.get("report").expect("report").to_string());
+                cached.push(record.get("cached") == Some(&Json::Bool(true)));
+            }
+            Some(Json::Str(e)) if e == "done" => break,
+            _ => {}
+        }
+    }
+    (reports, cached)
+}
+
+/// The `server` object from a `metrics` reply.
+fn server_metrics(conn: &mut Connection) -> Json {
+    let reply = conn.request(r#"{"op":"metrics"}"#).expect("metrics");
+    let v = json::parse(&reply).expect("metrics parses");
+    v.get("server").expect("server object").clone()
+}
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("flatwalk-restart-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn sigkill_then_restart_serves_byte_identical_results_without_reexecution() {
+    let store = fresh_dir("recover");
+
+    // First lifetime: compute and persist.
+    let first = ServerProc::start(&store);
+    let mut conn = first.connect();
+    let (cold_reports, cold_cached) = submit(&mut conn, &small_spec());
+    assert!(!cold_reports.is_empty());
+    assert!(
+        cold_cached.iter().all(|&c| !c),
+        "first lifetime computes everything"
+    );
+    // The done event was received, so every cell was written through
+    // (fsync + rename) before its record streamed. Now die hard.
+    first.kill9();
+
+    // Second lifetime, same directory: everything served from disk.
+    let second = ServerProc::start(&store);
+    let mut conn = second.connect();
+    let (warm_reports, warm_cached) = submit(&mut conn, &small_spec());
+    assert_eq!(warm_reports, cold_reports, "byte-identical across kill -9");
+    assert!(
+        warm_cached.iter().all(|&c| c),
+        "every cell served from the store: {warm_cached:?}"
+    );
+    let server = server_metrics(&mut conn);
+    assert_eq!(
+        server.get("cells_executed").and_then(Json::as_u64),
+        Some(0),
+        "zero re-execution after restart: {server}"
+    );
+    let recovered = server
+        .get("store")
+        .and_then(|s| s.get("recovered"))
+        .and_then(Json::as_u64)
+        .expect("store metrics present");
+    assert_eq!(recovered, cold_reports.len() as u64);
+    second.kill9();
+    let _ = std::fs::remove_dir_all(&store);
+}
+
+#[test]
+fn corrupted_entry_is_quarantined_and_reexecuted_to_the_same_bytes() {
+    let store = fresh_dir("quarantine");
+
+    let first = ServerProc::start(&store);
+    let mut conn = first.connect();
+    let (cold_reports, _) = submit(&mut conn, &small_spec());
+    first.kill9();
+
+    // Flip bytes in one persisted entry while the server is down.
+    let mut entries: Vec<PathBuf> = Vec::new();
+    for shard in std::fs::read_dir(store.join("objects")).expect("objects dir") {
+        for entry in std::fs::read_dir(shard.expect("shard").path()).expect("shard dir") {
+            entries.push(entry.expect("entry").path());
+        }
+    }
+    assert_eq!(entries.len(), cold_reports.len(), "one file per cell");
+    entries.sort();
+    let victim = &entries[0];
+    let mut bytes = std::fs::read(victim).expect("read entry");
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0xFF;
+    std::fs::write(victim, &bytes).expect("corrupt entry");
+
+    // The recovery scan must quarantine it; the resubmit re-executes
+    // that one cell and still returns the original bytes.
+    let second = ServerProc::start(&store);
+    let mut conn = second.connect();
+    let (warm_reports, _) = submit(&mut conn, &small_spec());
+    assert_eq!(
+        warm_reports, cold_reports,
+        "corruption never changes replies"
+    );
+    let server = server_metrics(&mut conn);
+    let store_stats = server.get("store").expect("store metrics");
+    assert_eq!(
+        store_stats.get("quarantined").and_then(Json::as_u64),
+        Some(1),
+        "{store_stats}"
+    );
+    assert_eq!(
+        store_stats.get("recovered").and_then(Json::as_u64),
+        Some(cold_reports.len() as u64 - 1),
+        "{store_stats}"
+    );
+    assert_eq!(
+        server.get("cells_executed").and_then(Json::as_u64),
+        Some(1),
+        "exactly the corrupted cell re-executed: {server}"
+    );
+    assert!(
+        store.join("quarantine").read_dir().expect("dir").count() >= 1,
+        "corrupt bytes preserved for inspection"
+    );
+    second.kill9();
+    let _ = std::fs::remove_dir_all(&store);
+}

@@ -237,6 +237,7 @@ fn sim_error(run: &EngineRun<'_>, va: VirtAddr, stream_pos: u64, source: WalkErr
         va,
         stream_pos,
         source,
+        detail: None,
     }
 }
 
@@ -284,6 +285,15 @@ pub fn run_single<B: EngineBackend>(
         }
         let mut op = 0u64;
         while op < ops {
+            // Between-spans interrupt poll: deadline/cancel trips land
+            // here, never inside a span, so completed spans keep their
+            // byte-identical effects.
+            if let Err(reason) = crate::runner::span_checkpoint() {
+                let va = va_buf.first().copied().unwrap_or(VirtAddr::new(0));
+                let mut err = sim_error(run, va, stream_pos, WalkError::Cancelled);
+                err.detail = Some(reason);
+                return Err(err);
+            }
             if let Some(n) = run.context_switch_interval {
                 if op > 0 && op.is_multiple_of(n) {
                     backend.context_switch();
@@ -394,6 +404,20 @@ pub fn run_multicore<B: EngineBackend>(
             }
         }
         for _ in 0..ops {
+            // One interrupt poll per round (never inside one): the
+            // cores' shared-LLC interleaving is untouched on the
+            // non-interrupted path.
+            if let Err(reason) = crate::runner::span_checkpoint() {
+                return Err(SimError {
+                    scheme,
+                    workload: cores.first().map(|c| c.workload).unwrap_or("").to_string(),
+                    core: None,
+                    va: va_buf.first().copied().unwrap_or(VirtAddr::new(0)),
+                    stream_pos,
+                    source: WalkError::Cancelled,
+                    detail: Some(reason),
+                });
+            }
             for (i, core) in cores.iter_mut().enumerate() {
                 while next_event[i] < core.events.len()
                     && core.events[next_event[i]].0 == stream_pos
@@ -418,6 +442,7 @@ pub fn run_multicore<B: EngineBackend>(
                         va: va_buf[0],
                         stream_pos,
                         source: e,
+                        detail: None,
                     })?;
                 #[cfg(debug_assertions)]
                 if let Some(reference) = reference {

@@ -26,6 +26,9 @@ pub struct SimError {
     pub stream_pos: u64,
     /// Why the walk failed.
     pub source: WalkError,
+    /// Extra context for interrupts (`WalkError::Cancelled`): whether
+    /// the owner's cancel flag or the cell deadline stopped the run.
+    pub detail: Option<&'static str>,
 }
 
 impl std::fmt::Display for SimError {
@@ -35,6 +38,9 @@ impl std::fmt::Display for SimError {
             "{} on {}: access #{} to {} failed: {}",
             self.scheme, self.workload, self.stream_pos, self.va, self.source
         )?;
+        if let Some(detail) = self.detail {
+            write!(f, " ({detail})")?;
+        }
         if let Some(core) = self.core {
             write!(f, " (core {core})")?;
         }
@@ -62,6 +68,7 @@ mod tests {
             va: VirtAddr::new(0x1000),
             stream_pos: 41,
             source: WalkError::NotMapped { at: Level::L4 },
+            detail: None,
         };
         let text = e.to_string();
         assert!(text.contains("FPT"), "{text}");

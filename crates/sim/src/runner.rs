@@ -26,7 +26,9 @@
 //! only — stdout carries nothing but the experiment's own output — and
 //! only when stderr is a terminal or `FLATWALK_PROGRESS=1` forces it.
 
+use std::cell::RefCell;
 use std::io::{IsTerminal, Write};
+use std::marker::PhantomData;
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
@@ -87,10 +89,13 @@ impl CellOutcome {
 /// A cooperative cancellation flag shared between a batch's owner and
 /// its workers. Once [`cancel`](CancelFlag::cancel)led, every
 /// not-yet-started cell completes immediately as
-/// [`CellOutcome::Failed`] with a `"cancelled"` error — a running
-/// attempt is never interrupted (pre-empting the deterministic
-/// simulator would forfeit byte-identical replay of its finished
-/// cells). Used by `flatwalk-serve` to cut a forced shutdown short.
+/// [`CellOutcome::Failed`] with a `"cancelled"` error, and a *running*
+/// attempt stops at its next engine batch boundary (the engine polls
+/// [`span_checkpoint`] between spans — never inside one, so every
+/// span's state transitions stay byte-identical to an uninterrupted
+/// run; the interrupted cell simply reports `Failed` instead of a
+/// partial result). Used by `flatwalk-serve` for forced shutdown, job
+/// deadlines, and stall recovery.
 #[derive(Debug, Clone, Default)]
 pub struct CancelFlag(Arc<AtomicBool>);
 
@@ -120,16 +125,125 @@ fn cell_retries() -> u32 {
         .unwrap_or(1)
 }
 
-/// Soft per-cell wall-clock deadline: `FLATWALK_CELL_DEADLINE_SECS`
-/// (default 300). The deadline gates *retries* only — a running attempt
-/// is never interrupted (the simulator is single-threaded per cell and
-/// deterministic; pre-empting it would forfeit determinism).
+/// Per-cell wall-clock deadline: `FLATWALK_CELL_DEADLINE_SECS`
+/// (default 300). A running attempt that crosses the deadline is
+/// cancelled cooperatively at its next engine batch boundary (see
+/// [`span_checkpoint`]) and the deadline also gates retries, so a
+/// deadline-exceeded cell fails promptly instead of only being
+/// reported late.
 fn cell_deadline() -> Duration {
     let secs = std::env::var("FLATWALK_CELL_DEADLINE_SECS")
         .ok()
         .and_then(|v| v.trim().parse().ok())
         .unwrap_or(300);
     Duration::from_secs(secs)
+}
+
+/// The interrupt state one in-flight cell attempt is guarded by:
+/// everything [`span_checkpoint`] consults between engine spans.
+#[derive(Debug, Clone)]
+struct AttemptGuard {
+    /// Absolute wall-clock deadline (cell start + `cell_deadline()`).
+    deadline: Instant,
+    /// Cooperative cancellation from the cell's owner (a serve job's
+    /// flag installed via [`scoped_cancel`]), if any.
+    cancel: Option<CancelFlag>,
+    /// Injected per-span wall delay (`slow` fault profile), if any.
+    slow: Option<Duration>,
+}
+
+thread_local! {
+    /// The attempt guard armed by [`run_cell_guarded`] for the cell
+    /// currently executing on this thread, if any. Cells run wholly on
+    /// one worker thread, so a thread-local (not a task context) is the
+    /// right scope — and costs one TLS read per engine span.
+    static ATTEMPT_GUARD: RefCell<Option<AttemptGuard>> = const { RefCell::new(None) };
+
+    /// Stack of scoped cancel flags (mirrors `flatwalk_faults`'
+    /// scoped-plan stack): the innermost flag guards every cell attempt
+    /// started inside the scope.
+    static SCOPED_CANCEL: RefCell<Vec<CancelFlag>> = const { RefCell::new(Vec::new()) };
+}
+
+/// RAII guard for a scoped per-job [`CancelFlag`] (see
+/// [`scoped_cancel`]). Restores the previous resolution when dropped.
+/// Not `Send`: the scope must end on the thread that opened it.
+#[must_use = "the scope ends when this guard is dropped"]
+#[derive(Debug)]
+pub struct ScopedCancel {
+    _not_send: PhantomData<*const ()>,
+}
+
+impl Drop for ScopedCancel {
+    fn drop(&mut self) {
+        SCOPED_CANCEL.with(|s| {
+            s.borrow_mut().pop();
+        });
+    }
+}
+
+/// Installs `flag` as the ambient cancel source for every cell attempt
+/// started on this thread until the returned guard is dropped. Scopes
+/// nest; the innermost wins. `flatwalk-serve` wraps each served cell's
+/// execution in a scope carrying the owning job's flag, so cancelling
+/// the job interrupts the running cell at its next batch boundary.
+pub fn scoped_cancel(flag: CancelFlag) -> ScopedCancel {
+    SCOPED_CANCEL.with(|s| s.borrow_mut().push(flag));
+    ScopedCancel {
+        _not_send: PhantomData,
+    }
+}
+
+/// The innermost scoped cancel flag on this thread, if any.
+fn ambient_cancel() -> Option<CancelFlag> {
+    SCOPED_CANCEL.with(|s| s.borrow().last().cloned())
+}
+
+/// Arms [`ATTEMPT_GUARD`] for the dynamic extent of one cell attempt;
+/// disarms on drop (including unwinds out of `catch_unwind`).
+struct ArmedAttempt;
+
+impl ArmedAttempt {
+    fn arm(guard: AttemptGuard) -> Self {
+        ATTEMPT_GUARD.with(|g| *g.borrow_mut() = Some(guard));
+        ArmedAttempt
+    }
+}
+
+impl Drop for ArmedAttempt {
+    fn drop(&mut self) {
+        ATTEMPT_GUARD.with(|g| *g.borrow_mut() = None);
+    }
+}
+
+/// The engine's between-spans poll point. Called by
+/// `engine::run_single` before each batched span and by
+/// `engine::run_multicore` before each round; outside a guarded cell
+/// attempt it is a no-op returning `Ok(())`.
+///
+/// Applies the active fault plan's injected slow-cell delay (pure wall
+/// time — no modeled quantity changes), then reports whether the
+/// attempt should stop: the owner's [`CancelFlag`] fired, or the cell's
+/// wall-clock deadline passed. The engine converts an `Err` into a
+/// structured `WalkError::Cancelled` failure for this cell only — spans
+/// already completed keep their byte-identical effects.
+pub fn span_checkpoint() -> Result<(), &'static str> {
+    ATTEMPT_GUARD.with(|g| {
+        let guard = g.borrow();
+        let Some(guard) = guard.as_ref() else {
+            return Ok(());
+        };
+        if let Some(delay) = guard.slow {
+            std::thread::sleep(delay);
+        }
+        if guard.cancel.as_ref().is_some_and(CancelFlag::is_cancelled) {
+            return Err("cancelled by owner");
+        }
+        if Instant::now() >= guard.deadline {
+            return Err("cell deadline exceeded");
+        }
+        Ok(())
+    })
 }
 
 /// One independent experiment cell: a single native simulation.
@@ -542,11 +656,13 @@ pub fn run_cells_timed(label: &'static str, cells: Vec<Cell>, threads: usize) ->
     run_cells_timed_cancellable(label, cells, threads, None)
 }
 
-/// Like [`run_cells_timed`] but checks a [`CancelFlag`] between cells:
-/// once cancelled, every not-yet-started cell completes immediately as
-/// [`CellOutcome::Failed`] with a `"cancelled"` error while already
-/// running attempts finish normally (preserving their byte-identical
-/// reports and cache fills).
+/// Like [`run_cells_timed`] but checks a [`CancelFlag`] between cells
+/// *and* between engine batch spans: once cancelled, every
+/// not-yet-started cell completes immediately as
+/// [`CellOutcome::Failed`] with a `"cancelled"` error, and already
+/// running attempts stop at their next batch boundary (completed spans
+/// keep their byte-identical effects; the interrupted cell reports
+/// `Failed`, never a partial result).
 pub fn run_cells_timed_cancellable(
     label: &'static str,
     cells: Vec<Cell>,
@@ -568,6 +684,9 @@ pub fn run_cells_timed_cancellable(
                     retries: 0,
                 };
             }
+            // Running attempts also observe the flag — at the next
+            // engine batch boundary, via the scoped ambient cancel.
+            let _cancel_scope = cancel.map(|c| scoped_cancel(c.clone()));
             run_cell_guarded(index, total, &cell)
         },
     )
@@ -591,6 +710,10 @@ fn run_cell_guarded(index: usize, total: usize, cell: &Cell) -> CellOutcome {
     let max_retries = cell_retries();
     let deadline = cell_deadline();
     let started = Instant::now();
+    let cancel = ambient_cancel();
+    let slow = plan
+        .as_deref()
+        .and_then(|p| p.slow_span_delay(index, total));
     let mut retries = 0u32;
     loop {
         setup::begin_cell_timing();
@@ -598,6 +721,14 @@ fn run_cell_guarded(index: usize, total: usize, cell: &Cell) -> CellOutcome {
         // poison check, build, and run (retries show up as repeated
         // `cell;cell.attempt` closes under one `cell`).
         let _attempt_span = flatwalk_obs::span::enter("cell.attempt");
+        // Armed for exactly this attempt: the engine polls
+        // `span_checkpoint` between spans, so a cancelled or
+        // deadline-exceeded attempt stops at the next batch boundary.
+        let armed = ArmedAttempt::arm(AttemptGuard {
+            deadline: started + deadline,
+            cancel: cancel.clone(),
+            slow,
+        });
         let attempt = std::panic::catch_unwind(AssertUnwindSafe(|| {
             if let Some(plan) = plan.as_deref() {
                 if plan.poisons(index, total) {
@@ -609,6 +740,7 @@ fn run_cell_guarded(index: usize, total: usize, cell: &Cell) -> CellOutcome {
             }
             cell.try_run()
         }));
+        drop(armed);
         let error = match attempt {
             Ok(Ok(report)) => {
                 let (setup_nanos, run_nanos) = setup::cell_timing();
@@ -623,6 +755,15 @@ fn run_cell_guarded(index: usize, total: usize, cell: &Cell) -> CellOutcome {
             Ok(Err(e)) => e.to_string(),
             Err(payload) => panic_message(payload.as_ref()),
         };
+        // Never retry a cancelled attempt: the owner asked the cell to
+        // stop, so burning the remaining budget re-running it would
+        // defeat the interruption.
+        if cancel.as_ref().is_some_and(CancelFlag::is_cancelled) {
+            return CellOutcome::Failed {
+                error: format!("cancelled mid-run: cell {index} of {total}: {error}"),
+                retries,
+            };
+        }
         if retries >= max_retries || started.elapsed() >= deadline {
             return CellOutcome::Failed { error, retries };
         }
@@ -812,6 +953,49 @@ mod tests {
                 CellOutcome::Ok { .. } => panic!("cell {i} ran despite cancellation"),
             }
         }
+    }
+
+    #[test]
+    fn cancel_interrupts_running_cell_at_batch_boundary() {
+        // A `slow` fault plan stretches the victim cell to hundreds of
+        // milliseconds of wall time (≥ 20 ms per engine span); a cancel
+        // fired shortly after start must interrupt it mid-run at a span
+        // boundary instead of letting it finish.
+        let opts = SimOptions::small_test();
+        let cell = Cell::new(
+            flatwalk_workloads::WorkloadSpec::by_name("gups")
+                .expect("gups workload exists")
+                .scaled_down(1 << 13),
+            TranslationConfig::baseline(),
+            FragmentationScenario::NONE,
+            opts,
+        );
+        let plan = flatwalk_faults::FaultPlan::new(0, flatwalk_faults::FaultProfile::Slow);
+        assert!(plan.slow_span_delay(0, 1).is_some(), "cell 0 is the victim");
+        let _plan_scope = flatwalk_faults::scoped(Some(plan));
+        let flag = CancelFlag::new();
+        let _cancel_scope = scoped_cancel(flag.clone());
+        let canceller = {
+            let flag = flag.clone();
+            std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(30));
+                flag.cancel();
+            })
+        };
+        let outcome = run_cell_outcome(0, 1, &cell);
+        canceller.join().expect("canceller thread");
+        match outcome {
+            CellOutcome::Failed { error, retries } => {
+                assert!(error.contains("cancelled"), "{error}");
+                assert_eq!(retries, 0, "a cancelled attempt is never retried");
+            }
+            CellOutcome::Ok { .. } => panic!("cell outran a 30 ms cancel despite slow faults"),
+        }
+    }
+
+    #[test]
+    fn span_checkpoint_is_a_noop_outside_a_guarded_attempt() {
+        assert!(span_checkpoint().is_ok());
     }
 
     #[test]

@@ -1,0 +1,105 @@
+#!/usr/bin/env sh
+# Crash-safety smoke: the whole robustness story, end to end, with real
+# processes and real SIGKILL.
+#
+#  1. serve --chaos --store: a client-injected worker panic is detected
+#     by the supervisor, the worker respawned, the job requeued, and
+#     the job still completes with zero failed cells.
+#  2. kill -9 the server; restart on the same store directory; the same
+#     submit is answered byte-identically from disk with zero cells
+#     re-executed.
+#  3. a submit against the dead server's address fails fast with the
+#     client's connection exit code (3) after its retry budget.
+#
+# Builds on `cargo build --release -p flatwalk-serve` artifacts.
+# Run from the repository root: sh scripts/chaos_smoke.sh
+
+set -eu
+
+SERVE=./target/release/flatwalk-serve
+CLIENT=./target/release/flatwalk-client
+STORE=$(mktemp -d "${TMPDIR:-/tmp}/flatwalk-chaos-store.XXXXXX")
+OUT=$(mktemp -d "${TMPDIR:-/tmp}/flatwalk-chaos-out.XXXXXX")
+SERVE_PID=""
+
+cleanup() {
+    [ -n "$SERVE_PID" ] && kill -9 "$SERVE_PID" 2>/dev/null || true
+    rm -rf "$STORE" "$OUT"
+}
+trap cleanup EXIT INT TERM
+
+# Starts the server against $STORE and sets SERVE_PID/ADDR.
+start_server() {
+    : > "$OUT/serve.txt"
+    FLATWALK_PROGRESS=0 "$SERVE" --port 0 --workers 2 --chaos \
+        --store "$STORE" >> "$OUT/serve.txt" 2>&1 &
+    SERVE_PID=$!
+    ADDR=""
+    i=0
+    while [ $i -lt 100 ]; do
+        ADDR=$(sed -n 's/^listening on //p' "$OUT/serve.txt" | head -n1)
+        [ -n "$ADDR" ] && break
+        sleep 0.1
+        i=$((i + 1))
+    done
+    test -n "$ADDR" || { echo "server never announced its port" >&2; exit 1; }
+}
+
+metric() {
+    python3 -c "import json,sys; print(json.load(open(sys.argv[1]))['server'].get(sys.argv[2], 0))" "$@"
+}
+
+echo "== chaos 1: injected worker panic -> supervisor recovery =="
+start_server
+"$CLIENT" --connect "$ADDR" submit sec71_pwc --mode quick \
+    --chaos panic_worker --retries 2 --json "$OUT/panic.json" > /dev/null
+"$CLIENT" --connect "$ADDR" metrics > "$OUT/metrics1.json"
+for counter in worker_panics workers_respawned jobs_requeued; do
+    n=$(metric "$OUT/metrics1.json" "$counter")
+    test "$n" -ge 1 || { echo "$counter = $n, expected >= 1" >&2; exit 1; }
+done
+test "$(metric "$OUT/metrics1.json" jobs_lost)" -eq 0 || {
+    echo "recovered job must not be counted lost" >&2; exit 1; }
+python3 - "$OUT/panic.json" <<'EOF'
+import json, sys
+report = json.load(open(sys.argv[1]))
+bad = [c for c in report['cells'] if c['status'] == 'failed']
+assert not bad, f"cells failed despite requeue: {bad}"
+print(f"  recovered: {len(report['cells'])} cells ok after worker panic")
+EOF
+
+echo "== chaos 2: kill -9, restart on the same store, byte-identical =="
+kill -9 "$SERVE_PID"
+wait "$SERVE_PID" 2>/dev/null || true
+DEAD_ADDR=$ADDR
+start_server
+grep -q "entries recovered" "$OUT/serve.txt" || {
+    echo "restart did not report a recovery scan" >&2; exit 1; }
+"$CLIENT" --connect "$ADDR" submit sec71_pwc --mode quick \
+    --json "$OUT/warm.json" > /dev/null
+"$CLIENT" --connect "$ADDR" metrics > "$OUT/metrics2.json"
+test "$(metric "$OUT/metrics2.json" cells_executed)" -eq 0 || {
+    echo "restarted server re-executed cells it had on disk" >&2; exit 1; }
+python3 - "$OUT/panic.json" "$OUT/warm.json" <<'EOF'
+import json, sys
+cold = json.load(open(sys.argv[1]))
+warm = json.load(open(sys.argv[2]))
+assert [c['report'] for c in cold['cells']] == [c['report'] for c in warm['cells']], \
+    "reports drifted across kill -9"
+assert all(c['cached'] for c in warm['cells']), "restart must serve from the store"
+print(f"  durable: {len(warm['cells'])} cells byte-identical across kill -9")
+EOF
+
+echo "== chaos 3: dead server -> fast connection failure (exit 3) =="
+set +e
+"$CLIENT" --connect "$DEAD_ADDR" submit sec71_pwc --mode quick \
+    --retries 2 --backoff-ms 10 > /dev/null 2>&1
+status=$?
+set -e
+test "$status" -eq 3 || { echo "expected exit 3 (connection), got $status" >&2; exit 1; }
+echo "  refused: client gave up with exit code 3 after its retry budget"
+
+"$CLIENT" --connect "$ADDR" shutdown > /dev/null
+wait "$SERVE_PID"
+SERVE_PID=""
+echo "chaos smoke OK"

@@ -21,6 +21,7 @@ crates/sync/src/prefetch.rs
 crates/sim/src/setup.rs
 crates/sim/src/runner.rs
 crates/serve/src/rcache.rs
+crates/serve/src/store.rs
 "
 
 status=0

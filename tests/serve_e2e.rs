@@ -34,6 +34,11 @@ fn test_server(workers: usize, queue_depth: usize) -> server::ServerHandle {
         job_threads: 0,
         queue_depth,
         cache_bytes: 64 << 20,
+        store_dir: None,
+        slo_ms: 0,
+        job_retries: 1,
+        stall_secs: 0,
+        chaos: true,
     };
     server::spawn(config).expect("bind an ephemeral loopback port")
 }
