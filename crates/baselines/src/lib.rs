@@ -12,10 +12,44 @@
 
 mod asap;
 mod ech;
+mod mitosis;
 mod pom;
 mod scheme;
+mod victima;
 
 pub use asap::AsapScheme;
 pub use ech::EchScheme;
+pub use mitosis::MitosisScheme;
 pub use pom::PomTlbScheme;
 pub use scheme::{Scheme, SchemeSimulation, SchemeWalk, WalkCtx};
+pub use victima::VictimaScheme;
+
+use flatwalk_sim::{Cell, RivalKind, SimError, SimReport};
+
+/// The [`flatwalk_sim::RivalRunner`] for this crate's rival schemes:
+/// grid builders hand this to [`Cell::rival`] so rival cells run
+/// through the same runner/cache machinery as native cells.
+///
+/// # Errors
+///
+/// Returns the underlying [`SimError`] for an untranslatable access.
+pub fn run_rival(cell: &Cell, kind: RivalKind) -> Result<SimReport, SimError> {
+    match kind {
+        RivalKind::Victima => SchemeSimulation::build(
+            cell.workload.clone(),
+            VictimaScheme::new(64 << 10, cell.opts.pwc.clone()),
+            &cell.opts,
+        )
+        .try_run(),
+        RivalKind::Mitosis { replicate } => SchemeSimulation::build(
+            cell.workload.clone(),
+            MitosisScheme::new(
+                cell.opts.hierarchy.numa.clone(),
+                replicate,
+                cell.opts.pwc.clone(),
+            ),
+            &cell.opts,
+        )
+        .try_run(),
+    }
+}

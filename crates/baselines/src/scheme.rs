@@ -103,7 +103,11 @@ impl<S: Scheme> SchemeSimulation<S> {
             AddressSpaceSpec::new(flatwalk_pt::Layout::conventional4(), spec.footprint)
                 .with_scenario(opts.scenario)
                 .with_nf_threshold(None);
-        let space = setup::frozen_native_space(&space_spec, opts.phys_mem_bytes);
+        let space = setup::frozen_native_space(
+            &space_spec,
+            opts.phys_mem_bytes,
+            opts.hierarchy.numa.signature(),
+        );
         let tlb = TlbSystem::new(opts.tlb.clone());
         // Honor the same prioritization knobs as the native engine so
         // ablation sweeps compare like against like.

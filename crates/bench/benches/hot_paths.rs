@@ -387,11 +387,11 @@ fn bench_setup_cache(c: &mut Criterion) {
         })
     });
     // Warm the cache once, outside the measured loop.
-    let _warm = setup::frozen_native_space(&spec, phys);
+    let _warm = setup::frozen_native_space(&spec, phys, 0);
     g.bench_function("space_build_cached", |b| {
         b.iter(|| {
             std::hint::black_box(
-                setup::frozen_native_space(&spec, phys)
+                setup::frozen_native_space(&spec, phys, 0)
                     .build_stats()
                     .small_data_pages,
             )

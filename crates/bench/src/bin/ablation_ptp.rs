@@ -13,6 +13,11 @@ fn main() {
         mode.banner()
     );
 
+    if flatwalk_bench::run_scheme_filtered("ablation_ptp", || grids::ablation_ptp(mode, &opts)) {
+        flatwalk_bench::finish("ablation_ptp");
+        return;
+    }
+
     let suite = grids::ablation_ptp_suite(mode);
     let biases = grids::ABLATION_PTP_BIASES;
     let thresholds = grids::ABLATION_PTP_THRESHOLDS;

@@ -11,6 +11,11 @@ fn main() {
     let opts = mode.server_options();
     println!("Figure 1 — headline effects ({})", mode.banner());
 
+    if flatwalk_bench::run_scheme_filtered("fig01", || grids::fig01(mode, &opts)) {
+        flatwalk_bench::finish("fig01_headline");
+        return;
+    }
+
     let per_spec = grids::fig01_configs().len();
     let all = run_cells("fig01", grids::fig01(mode, &opts).cells);
 

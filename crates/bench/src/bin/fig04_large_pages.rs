@@ -14,6 +14,11 @@ fn main() {
         mode.banner()
     );
 
+    if flatwalk_bench::run_scheme_filtered("fig04", || grids::fig04(mode, &opts)) {
+        flatwalk_bench::finish("fig04_large_pages");
+        return;
+    }
+
     let suite = grids::fig04_suite();
     let configs = grids::fig04_configs();
     let scenarios = ["50% LP", "100% LP"];

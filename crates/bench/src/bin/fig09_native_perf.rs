@@ -44,6 +44,11 @@ fn main() {
         mode.banner()
     );
 
+    if flatwalk_bench::run_scheme_filtered("fig09:native", || grids::fig09_native(mode, &opts)) {
+        flatwalk_bench::finish("fig09_native_perf");
+        return;
+    }
+
     let suite = grids::fig09_suite(mode);
     let ours = TranslationConfig::fig9_set();
     let schemes = ["ASAP", "ECH", "CSALT"];

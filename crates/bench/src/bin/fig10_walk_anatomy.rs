@@ -15,6 +15,11 @@ fn main() {
         mode.banner()
     );
 
+    if flatwalk_bench::run_scheme_filtered("fig10", || grids::fig10(mode, &opts)) {
+        flatwalk_bench::finish("fig10_walk_anatomy");
+        return;
+    }
+
     let suite = WorkloadSpec::suite();
     let configs = TranslationConfig::fig9_set();
 

@@ -9,6 +9,11 @@ fn main() {
     let opts = mode.server_options();
     println!("§7.1 — PWC sweep on GUPS ({})", mode.banner());
 
+    if flatwalk_bench::run_scheme_filtered("sec71_pwc", || grids::sec71_pwc(mode, &opts)) {
+        flatwalk_bench::finish("sec71_pwc_sweep");
+        return;
+    }
+
     // The whole sweep is one batch: every point varies only its
     // SimOptions (PWC geometry) or config, which ride in the cell.
     let grid = grids::sec71_pwc(mode, &opts);

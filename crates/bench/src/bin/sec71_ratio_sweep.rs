@@ -9,6 +9,11 @@ fn main() {
     let opts = mode.server_options();
     println!("§7.1 — PT:LLC ratio sweep ({})", mode.banner());
 
+    if flatwalk_bench::run_scheme_filtered("sec71_ratio", || grids::sec71_ratio(mode, &opts)) {
+        flatwalk_bench::finish("sec71_ratio_sweep");
+        return;
+    }
+
     let suite = grids::sec71_ratio_suite(mode);
     let llc_full = opts.hierarchy.l3.size_bytes;
 

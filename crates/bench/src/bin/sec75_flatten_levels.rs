@@ -17,6 +17,11 @@ fn main() {
     let opts = mode.server_options();
     println!("§7.5 — flattening other levels ({})", mode.banner());
 
+    if flatwalk_bench::run_scheme_filtered("sec75:native", || grids::sec75_native(mode, &opts)) {
+        flatwalk_bench::finish("sec75_flatten_levels");
+        return;
+    }
+
     let suite = grids::sec75_suite(mode);
     let native_configs = grids::sec75_native_configs();
 

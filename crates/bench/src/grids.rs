@@ -12,10 +12,11 @@
 //! Binaries keep their presentation logic (tables, normalization,
 //! paper-reference footers) and call these builders for the cells.
 
+use flatwalk_mem::{Interconnect, NumaTopology};
 use flatwalk_os::FragmentationScenario;
 use flatwalk_pt::Layout;
 use flatwalk_sim::runner::Cell;
-use flatwalk_sim::{SimOptions, TranslationConfig};
+use flatwalk_sim::{RivalKind, SimOptions, TranslationConfig};
 use flatwalk_tlb::PwcConfig;
 use flatwalk_workloads::WorkloadSpec;
 
@@ -46,6 +47,26 @@ impl Grid {
     /// Whether the grid has no cells.
     pub fn is_empty(&self) -> bool {
         self.cells.is_empty()
+    }
+
+    /// Keeps only the cells whose label contains `needle`
+    /// (case-insensitive) — the `--scheme <name>` filter. Label/cell
+    /// alignment is preserved; declaration order of the survivors is
+    /// unchanged, so their reports stay byte-identical to the same
+    /// cells inside the unfiltered run (poison-fault positions shift,
+    /// which is why `--faults` and `--scheme` are rejected together by
+    /// the binaries' shared parsing).
+    pub fn retain_matching(&mut self, needle: &str) {
+        let needle = needle.to_ascii_lowercase();
+        let keep: Vec<bool> = self
+            .labels
+            .iter()
+            .map(|l| l.to_ascii_lowercase().contains(&needle))
+            .collect();
+        let mut k = keep.iter();
+        self.labels.retain(|_| *k.next().unwrap());
+        let mut k = keep.iter();
+        self.cells.retain(|_| *k.next().unwrap());
     }
 }
 
@@ -108,6 +129,11 @@ pub const GRIDS: &[GridDef] = &[
         name: "ablation_ptp",
         about: "PTP eviction-bias and phase-threshold ablation",
         build: ablation_ptp,
+    },
+    GridDef {
+        name: "numa_rivals",
+        about: "Rival schemes × NUMA topologies (FPT+PTP, NUMA-Base, Mitosis, Victima)",
+        build: numa_rivals,
     },
 ];
 
@@ -494,6 +520,86 @@ pub fn ablation_ptp(mode: Mode, opts: &SimOptions) -> Grid {
     grid
 }
 
+/// The NUMA topologies the rival grid sweeps, with display labels. The
+/// 1-node entry is the identity topology — its cells must report
+/// exactly what the pre-NUMA simulator reported.
+pub fn numa_topologies() -> [(&'static str, NumaTopology); 3] {
+    [
+        ("1-node", NumaTopology::single()),
+        ("2-node", NumaTopology::nodes(2)),
+        (
+            "4-node-ring",
+            NumaTopology::nodes(4).with_interconnect(Interconnect::Ring),
+        ),
+    ]
+}
+
+/// The rival-scheme columns of the NUMA grid: display label plus the
+/// [`RivalKind`] the runner dispatches on (`None` = the native
+/// simulator's FPT+PTP column).
+pub fn numa_rival_columns() -> [(&'static str, Option<RivalKind>); 4] {
+    [
+        ("FPT+PTP", None),
+        ("NUMA-Base", Some(RivalKind::Mitosis { replicate: false })),
+        ("Mitosis", Some(RivalKind::Mitosis { replicate: true })),
+        ("Victima", Some(RivalKind::Victima)),
+    ]
+}
+
+/// The NUMA-rival workload suite for a mode.
+pub fn numa_rivals_suite(mode: Mode) -> Vec<WorkloadSpec> {
+    if mode == Mode::Quick {
+        vec![WorkloadSpec::gups(), WorkloadSpec::xsbench()]
+    } else {
+        vec![
+            WorkloadSpec::gups(),
+            WorkloadSpec::random_access(),
+            WorkloadSpec::xsbench(),
+            WorkloadSpec::graph500(),
+            WorkloadSpec::hashjoin(),
+        ]
+    }
+}
+
+/// Cross-scheme × topology grid (see `numa_rivals` binary): per
+/// topology, the native FPT+PTP column then the rival columns
+/// (NUMA-Base, Mitosis, Victima), each over the suite at 0 % LP.
+/// Rival cells run through [`flatwalk_baselines::run_rival`], so the
+/// server serves them with the same cache/retry machinery as native
+/// cells.
+pub fn numa_rivals(mode: Mode, opts: &SimOptions) -> Grid {
+    let suite = numa_rivals_suite(mode);
+    let scenario = FragmentationScenario::NONE;
+    let mut grid = Grid::default();
+    for (tlabel, topo) in numa_topologies() {
+        let mut o = opts.clone();
+        o.hierarchy = o.hierarchy.with_numa(topo.clone());
+        for (slabel, kind) in numa_rival_columns() {
+            for w in &suite {
+                let label = format!("{tlabel}/{slabel}/{}", w.name);
+                let cell = match kind {
+                    None => Cell::new(
+                        w.clone(),
+                        TranslationConfig::flattened_prioritized(),
+                        scenario,
+                        o.clone(),
+                    ),
+                    Some(kind) => Cell::rival(
+                        w.clone(),
+                        TranslationConfig::baseline(),
+                        scenario,
+                        o.clone(),
+                        kind,
+                        flatwalk_baselines::run_rival,
+                    ),
+                };
+                grid.push(label, cell);
+            }
+        }
+    }
+    grid
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -536,6 +642,37 @@ mod tests {
         assert_eq!(grid.labels[0], "base, L3-PSC=1");
         assert_eq!(grid.labels[5], "FPT (stock PSC)");
         assert_eq!(grid.labels[8], "base, L2-PSC=4096");
+    }
+
+    #[test]
+    fn numa_rivals_shape_and_topologies() {
+        let opts = Mode::Quick.server_options();
+        let grid = numa_rivals(Mode::Quick, &opts);
+        // 3 topologies × 4 columns × 2 quick workloads.
+        assert_eq!(grid.len(), 24);
+        assert_eq!(grid.labels[0], "1-node/FPT+PTP/gups");
+        assert!(grid.cells[0].rival.is_none(), "native column");
+        assert!(grid.cells[2].rival.is_some(), "rival columns carry runners");
+        // The 1-node block runs on the identity topology; the later
+        // blocks carry distinct topology signatures into the cells.
+        assert!(grid.cells[0].opts.hierarchy.numa.is_single());
+        let sig2 = grid.cells[8].opts.hierarchy.numa.signature();
+        let sig4 = grid.cells[16].opts.hierarchy.numa.signature();
+        assert_ne!(sig2, sig4);
+        assert_ne!(grid.cells[0].opts.hierarchy.numa.signature(), sig2);
+    }
+
+    #[test]
+    fn retain_matching_filters_labels_and_cells_together() {
+        let opts = Mode::Quick.server_options();
+        let mut grid = numa_rivals(Mode::Quick, &opts);
+        grid.retain_matching("victima");
+        assert_eq!(grid.len(), 6, "3 topologies × 2 quick workloads");
+        assert_eq!(grid.labels.len(), grid.cells.len());
+        assert!(grid.labels.iter().all(|l| l.contains("Victima")));
+        assert!(grid.cells.iter().all(|c| c.rival.is_some()));
+        grid.retain_matching("no-such-scheme");
+        assert!(grid.is_empty());
     }
 
     #[test]

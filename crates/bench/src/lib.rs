@@ -80,7 +80,14 @@ pub fn failed_cells() -> usize {
 /// grid cell failed. Experiment binaries call this as their last
 /// statement so a faulted grid still renders every healthy cell and
 /// the full report before the failure is surfaced to CI.
+///
+/// The `FLATWALK_TRACE` sink is torn down first: the tracer lives in a
+/// process-wide static whose destructor never runs at exit, so without
+/// an explicit [`flatwalk_obs::trace::uninstall`] the tail of its
+/// `BufWriter` — up to 8 KiB of trailing records, which for low-volume
+/// channels like `numa` can be the whole file — would be lost.
 pub fn finish(experiment: &str) {
+    flatwalk_obs::trace::uninstall();
     emit::publish_run_telemetry();
     emit::finish(experiment);
     let failed = failed_cells();
@@ -173,6 +180,83 @@ impl Mode {
     pub fn banner(self) -> String {
         format!("mode: {:?} (use --quick / --std / --paper to change)", self)
     }
+}
+
+/// The `--scheme <name>` cell filter shared by the grid binaries:
+/// when present, binaries keep only the cells whose label mentions the
+/// scheme (case-insensitive substring, via
+/// [`grids::Grid::retain_matching`]), so one column — `Victima`,
+/// `Mitosis`, a config label — can be re-run in isolation. Combining
+/// it with `--faults` is a usage error (exit 2): the fault plan keys
+/// on a cell's `(index, total)` grid position, which filtering shifts,
+/// so the combination would silently fault different cells than the
+/// full run.
+pub fn scheme_filter() -> Option<String> {
+    let mut args = std::env::args();
+    let mut filter = None;
+    let mut faults = false;
+    while let Some(a) = args.next() {
+        if a == "--scheme" {
+            filter = args.next();
+        } else if let Some(v) = a.strip_prefix("--scheme=") {
+            filter = Some(v.to_string());
+        } else if a == "--faults" || a.starts_with("--faults=") {
+            faults = true;
+        }
+    }
+    if filter.is_some() && faults {
+        eprintln!("--scheme cannot be combined with --faults: fault plans key on grid positions, which filtering shifts");
+        std::process::exit(2);
+    }
+    filter
+}
+
+/// Applies [`scheme_filter`] to a built grid, announcing the filter on
+/// stdout. An empty result is a usage error (exit 2): a typoed scheme
+/// name should not masquerade as a clean zero-cell run.
+pub fn apply_scheme_filter(label: &str, grid: &mut grids::Grid) {
+    let Some(filter) = scheme_filter() else {
+        return;
+    };
+    let before = grid.len();
+    grid.retain_matching(&filter);
+    if grid.is_empty() {
+        eprintln!("--scheme {filter}: no matching cells in {label} ({before} total)");
+        std::process::exit(2);
+    }
+    println!("scheme filter: {filter} ({} of {before} cells)", grid.len());
+}
+
+/// Shared `--scheme` entry point for the grid binaries: returns false
+/// (and builds nothing) when the flag is absent, letting the binary
+/// run its normal full-grid path. When present, builds the grid,
+/// filters it, runs the survivors, and prints the generic per-cell
+/// table — a binary's full-grid presentation (normalized columns,
+/// geomeans against sibling cells) needs the whole grid, so a
+/// filtered calibration run reports raw per-cell numbers instead.
+/// The caller should `finish` and return immediately on true.
+pub fn run_scheme_filtered(label: &'static str, build: impl FnOnce() -> grids::Grid) -> bool {
+    if scheme_filter().is_none() {
+        return false;
+    }
+    let mut grid = build();
+    apply_scheme_filter(label, &mut grid);
+    let labels = grid.labels.clone();
+    let reports = run_cells(label, grid.cells);
+    let rows: Vec<Vec<String>> = labels
+        .iter()
+        .zip(&reports)
+        .map(|(l, r)| {
+            vec![
+                l.clone(),
+                format!("{:.4}", r.ipc()),
+                format!("{:.2}", r.walk.accesses_per_walk()),
+                format!("{:.1}", r.walk.latency_per_walk()),
+            ]
+        })
+        .collect();
+    print_table(&["cell", "IPC", "acc/walk", "walk-lat"], &rows);
+    true
 }
 
 /// Worker-thread count for this invocation: `--threads N` from the

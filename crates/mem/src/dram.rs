@@ -1,6 +1,8 @@
-//! A fixed-latency main-memory model.
+//! A fixed-latency main-memory model with NUMA home-node resolution.
 
-use flatwalk_types::AccessKind;
+use flatwalk_types::{AccessKind, PhysAddr};
+
+use crate::numa::{NumaStats, NumaTopology};
 
 /// Statistics for off-chip accesses, split by access kind.
 ///
@@ -27,39 +29,70 @@ impl DramStats {
     }
 }
 
-/// Fixed-latency DRAM.
+/// Fixed-latency DRAM, resolved per NUMA home node.
 ///
-/// `latency` is the *total* load-to-use latency of an access that misses
-/// the entire cache hierarchy (Table 1 models DDR4-2400; at 2 GHz this is
-/// on the order of 200 cycles, Table 3's mobile part uses 90 ns ≈ 270
-/// cycles at 3 GHz).
+/// `latency` is the *total* load-to-use latency of a local access that
+/// misses the entire cache hierarchy (Table 1 models DDR4-2400; at 2 GHz
+/// this is on the order of 200 cycles, Table 3's mobile part uses 90 ns ≈
+/// 270 cycles at 3 GHz). Under a multi-node [`NumaTopology`] the address's
+/// home node may override that latency and remote requesters pay the
+/// interconnect hop penalty on top; under the single-node identity
+/// topology every access costs exactly `latency`, as before NUMA existed.
 #[derive(Debug, Clone)]
 pub struct DramModel {
     latency: u64,
+    topology: NumaTopology,
     stats: DramStats,
+    numa: NumaStats,
 }
 
 impl DramModel {
-    /// Creates a DRAM model with the given total access latency in cycles.
+    /// Creates a single-node DRAM model with the given total access
+    /// latency in cycles.
     pub fn new(latency: u64) -> Self {
+        Self::with_topology(latency, NumaTopology::single())
+    }
+
+    /// Creates a DRAM model whose accesses resolve against `topology`.
+    pub fn with_topology(latency: u64, topology: NumaTopology) -> Self {
+        let numa = NumaStats {
+            nodes: topology.node_count(),
+            ..NumaStats::default()
+        };
         DramModel {
             latency,
+            topology,
             stats: DramStats::default(),
+            numa,
         }
     }
 
-    /// Total access latency in cycles.
+    /// Base (local, homogeneous) access latency in cycles.
     pub fn latency(&self) -> u64 {
         self.latency
     }
 
-    /// Records one access and returns its latency.
-    pub fn access(&mut self, kind: AccessKind) -> u64 {
+    /// The topology accesses resolve against.
+    pub fn topology(&self) -> &NumaTopology {
+        &self.topology
+    }
+
+    /// Records one access to `pa` issued from node `from_node` and
+    /// returns its latency.
+    pub fn access(&mut self, kind: AccessKind, pa: PhysAddr, from_node: u32) -> u64 {
         match kind {
             AccessKind::Data => self.stats.data_accesses += 1,
             AccessKind::PageTable => self.stats.page_table_accesses += 1,
         }
-        self.latency
+        if self.topology.is_single() {
+            // Identity fast path: no home-node arithmetic, no per-node
+            // tallies — bit-for-bit the pre-NUMA model.
+            return self.latency;
+        }
+        let home = self.topology.home_node(pa);
+        let hops = self.topology.hops(from_node, home);
+        self.numa.record(home, hops);
+        self.topology.access_latency(self.latency, from_node, home)
     }
 
     /// Accumulated statistics.
@@ -67,22 +100,33 @@ impl DramModel {
         &self.stats
     }
 
+    /// Accumulated per-node placement statistics.
+    pub fn numa_stats(&self) -> &NumaStats {
+        &self.numa
+    }
+
     /// Clears statistics.
     pub fn reset_stats(&mut self) {
         self.stats = DramStats::default();
+        self.numa = NumaStats {
+            nodes: self.topology.node_count(),
+            ..NumaStats::default()
+        };
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::numa::pin_to_node;
 
     #[test]
     fn counts_by_kind() {
         let mut d = DramModel::new(200);
-        assert_eq!(d.access(AccessKind::Data), 200);
-        assert_eq!(d.access(AccessKind::PageTable), 200);
-        assert_eq!(d.access(AccessKind::PageTable), 200);
+        let pa = PhysAddr::new(0x1000);
+        assert_eq!(d.access(AccessKind::Data, pa, 0), 200);
+        assert_eq!(d.access(AccessKind::PageTable, pa, 0), 200);
+        assert_eq!(d.access(AccessKind::PageTable, pa, 0), 200);
         assert_eq!(d.stats().data_accesses, 1);
         assert_eq!(d.stats().page_table_accesses, 2);
         assert_eq!(d.stats().total(), 3);
@@ -102,5 +146,39 @@ mod tests {
         });
         assert_eq!(a.data_accesses, 11);
         assert_eq!(a.page_table_accesses, 22);
+    }
+
+    #[test]
+    fn single_node_records_no_numa_tallies() {
+        let mut d = DramModel::new(200);
+        d.access(AccessKind::Data, PhysAddr::new(0x40_0000), 0);
+        assert_eq!(d.numa_stats().local() + d.numa_stats().remote(), 0);
+        assert!(!d.numa_stats().multi_node());
+    }
+
+    #[test]
+    fn remote_access_pays_hops_and_counts_at_home() {
+        let topo = NumaTopology::nodes(2).with_hop_latency(90);
+        let mut d = DramModel::with_topology(200, topo);
+        // Block 0 homes at node 0: local from node 0, remote from 1.
+        let pa = PhysAddr::new(0x1000);
+        assert_eq!(d.access(AccessKind::Data, pa, 0), 200);
+        assert_eq!(d.access(AccessKind::Data, pa, 1), 290);
+        let n = d.numa_stats();
+        assert_eq!(n.per_node[0].local, 1);
+        assert_eq!(n.per_node[0].remote, 1);
+        assert_eq!(n.per_node[0].hops, 1);
+        assert_eq!(n.per_node[1].local + n.per_node[1].remote, 0);
+    }
+
+    #[test]
+    fn pinned_addresses_are_local_to_their_node() {
+        let topo = NumaTopology::nodes(2).with_hop_latency(90);
+        let mut d = DramModel::with_topology(200, topo);
+        let pa = PhysAddr::new(2 << 20); // would interleave to node 1
+        let pinned = pin_to_node(pa, 0);
+        assert_eq!(d.access(AccessKind::PageTable, pinned, 0), 200);
+        assert_eq!(d.numa_stats().per_node[0].local, 1);
+        assert_eq!(d.numa_stats().remote(), 0);
     }
 }

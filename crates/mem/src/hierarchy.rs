@@ -5,6 +5,7 @@ use std::rc::Rc;
 
 use flatwalk_types::{AccessKind, OwnerId, PhysAddr};
 
+use crate::numa::{NumaStats, NumaTopology};
 use crate::{Cache, CacheConfig, CacheStats, DramModel, DramStats, EnergyBreakdown, EnergyModel};
 
 /// A last-level cache that may be shared between cores.
@@ -19,8 +20,11 @@ pub struct HierarchyConfig {
     pub l2: CacheConfig,
     /// Last-level cache.
     pub l3: CacheConfig,
-    /// Total latency of an access served by DRAM, in cycles.
+    /// Total latency of a local access served by DRAM, in cycles.
     pub dram_latency: u64,
+    /// Memory-node topology. [`NumaTopology::single`] (the default in
+    /// every preset) is the exact identity of the pre-NUMA model.
+    pub numa: NumaTopology,
 }
 
 impl HierarchyConfig {
@@ -35,6 +39,7 @@ impl HierarchyConfig {
             l2: CacheConfig::new("L2", 256 << 10, 8, 12).with_pt_priority(true),
             l3: CacheConfig::new("L3", 16 << 20, 8, 42).with_pt_priority(true),
             dram_latency: 200,
+            numa: NumaTopology::single(),
         }
     }
 
@@ -47,6 +52,7 @@ impl HierarchyConfig {
             l2: CacheConfig::new("L2", 512 << 10, 8, 10).with_pt_priority(true),
             l3: CacheConfig::new("L3", 2 << 20, 16, 30).with_pt_priority(true),
             dram_latency: 270,
+            numa: NumaTopology::single(),
         }
     }
 
@@ -72,6 +78,12 @@ impl HierarchyConfig {
     pub fn with_priority_prob(mut self, prob: f64) -> Self {
         self.l2.priority_prob = prob.clamp(0.0, 1.0);
         self.l3.priority_prob = prob.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Replaces the memory-node topology.
+    pub fn with_numa(mut self, numa: NumaTopology) -> Self {
+        self.numa = numa;
         self
     }
 }
@@ -109,6 +121,9 @@ pub struct HierarchyStats {
     pub l3: CacheStats,
     /// DRAM statistics.
     pub dram: DramStats,
+    /// Per-node placement statistics (the *whole* shared DRAM when
+    /// shared; all-zero under the single-node identity topology).
+    pub numa: NumaStats,
 }
 
 /// A core's view of the memory system: private L1/L2, possibly-shared L3,
@@ -128,13 +143,18 @@ pub struct MemoryHierarchy {
     l3: SharedL3,
     dram: Rc<RefCell<DramModel>>,
     priority_active: bool,
+    /// The NUMA node this core issues from (0 on single-node systems).
+    node: u32,
 }
 
 impl MemoryHierarchy {
     /// Builds a hierarchy with a private (unshared) LLC.
     pub fn new(cfg: HierarchyConfig) -> Self {
         let l3 = Rc::new(RefCell::new(Cache::new(cfg.l3.clone())));
-        let dram = Rc::new(RefCell::new(DramModel::new(cfg.dram_latency)));
+        let dram = Rc::new(RefCell::new(DramModel::with_topology(
+            cfg.dram_latency,
+            cfg.numa.clone(),
+        )));
         Self::with_shared_l3(cfg, l3, dram)
     }
 
@@ -152,12 +172,25 @@ impl MemoryHierarchy {
             dram,
             cfg,
             priority_active: false,
+            node: 0,
         }
     }
 
     /// The configuration this hierarchy was built with.
     pub fn config(&self) -> &HierarchyConfig {
         &self.cfg
+    }
+
+    /// Assigns this core's NUMA node (multicore drivers place cores
+    /// round-robin across the topology's nodes). A no-op identity on
+    /// single-node topologies, where node 0 is the only node.
+    pub fn set_node(&mut self, node: u32) {
+        self.node = node % self.cfg.numa.node_count().max(1);
+    }
+
+    /// The NUMA node this core issues from.
+    pub fn node(&self) -> u32 {
+        self.node
     }
 
     /// A structurally independent copy: private levels cloned, and the
@@ -174,6 +207,7 @@ impl MemoryHierarchy {
             l3: Rc::new(RefCell::new(self.l3.borrow().clone())),
             dram: Rc::new(RefCell::new(self.dram.borrow().clone())),
             priority_active: self.priority_active,
+            node: self.node,
         }
     }
 
@@ -239,7 +273,7 @@ impl MemoryHierarchy {
                 latency: self.cfg.l3.latency,
             };
         }
-        let latency = self.dram.borrow_mut().access(kind);
+        let latency = self.dram.borrow_mut().access(kind, pa, self.node);
         l3.fill_after_miss(line, kind, owner, pr);
         drop(l3);
         self.l2.fill_after_miss(line, kind, owner, pr);
@@ -248,6 +282,40 @@ impl MemoryHierarchy {
             level: HitLevel::Dram,
             latency,
         }
+    }
+
+    /// Probes the L2 *only* for the line holding `pa`, returning its
+    /// latency on a hit and filling nothing on a miss.
+    ///
+    /// Victima's cache-resident TLB entries live directly in the L2
+    /// (MICRO 2023): its lookups bypass the L1 and must not allocate on
+    /// a miss — the subsequent walk decides whether to install.
+    pub fn probe_l2_resident(&mut self, pa: PhysAddr, _owner: OwnerId) -> Option<u64> {
+        let line = pa.line();
+        if self.l2.probe(line, AccessKind::PageTable) {
+            Some(self.cfg.l2.latency)
+        } else {
+            None
+        }
+    }
+
+    /// Installs the line holding `pa` directly into the L2 (no L1 fill,
+    /// no lower-level traffic), with page-table replacement priority
+    /// whenever the prioritization phase is active. Victima's insertion
+    /// path after a costly walk.
+    pub fn install_l2_resident(&mut self, pa: PhysAddr, owner: OwnerId) {
+        let line = pa.line();
+        self.l2
+            .fill_after_miss(line, AccessKind::PageTable, owner, self.priority_active);
+    }
+
+    /// Performs one direct DRAM access for `pa`, bypassing every cache
+    /// level (no probes, no fills), and returns its latency. Mitosis
+    /// replica-maintenance writes use this: keeping (nodes − 1) remote
+    /// page-table copies coherent costs off-chip traffic but should not
+    /// perturb this core's cache contents.
+    pub fn dram_write(&mut self, pa: PhysAddr, kind: AccessKind) -> u64 {
+        self.dram.borrow_mut().access(kind, pa, self.node)
     }
 
     /// Returns whether the line holding `pa` is resident at any level,
@@ -264,6 +332,7 @@ impl MemoryHierarchy {
             l2: *self.l2.stats(),
             l3: *self.l3.borrow().stats(),
             dram: *self.dram.borrow().stats(),
+            numa: *self.dram.borrow().numa_stats(),
         }
     }
 
@@ -293,6 +362,7 @@ mod tests {
             l2: CacheConfig::new("L2", 4 << 10, 4, 12).with_pt_priority(true),
             l3: CacheConfig::new("L3", 16 << 10, 8, 42).with_pt_priority(true),
             dram_latency: 200,
+            numa: NumaTopology::single(),
         }
     }
 

@@ -35,6 +35,7 @@ mod cache;
 mod dram;
 mod energy;
 mod hierarchy;
+pub mod numa;
 
 pub use cache::{Cache, CacheConfig, CacheStats, Eviction};
 pub use dram::{DramModel, DramStats};
@@ -42,3 +43,4 @@ pub use energy::{EnergyBreakdown, EnergyModel};
 pub use hierarchy::{
     AccessOutcome, HierarchyConfig, HierarchyStats, HitLevel, MemoryHierarchy, SharedL3,
 };
+pub use numa::{pin_to_node, Interconnect, NodeNumaStats, NumaStats, NumaTopology, MAX_NODES};

@@ -23,6 +23,18 @@ use std::collections::{BTreeMap, BTreeSet};
 use crate::json::{self, Json};
 use crate::span::SpanAgg;
 
+/// Accumulated NUMA traffic for one node across a trace (`numa`
+/// channel records, one per node per multi-node cell).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NumaAgg {
+    /// DRAM accesses resolved on the node itself.
+    pub local: u64,
+    /// DRAM accesses this node served for remote requesters.
+    pub remote: u64,
+    /// Interconnect hops those remote accesses travelled.
+    pub hops: u64,
+}
+
 /// The serving-level columns of the depth × level matrix, in hierarchy
 /// order.
 pub const LEVELS: [&str; 4] = ["L1", "L2", "L3", "DRAM"];
@@ -58,6 +70,9 @@ pub struct TraceSummary {
     pub depth_level: BTreeMap<u64, BTreeMap<String, u64>>,
     /// Span attribution: stack path → accumulated count and wall time.
     pub spans: BTreeMap<String, SpanAgg>,
+    /// NUMA traffic per node (`numa` channel); empty for single-node
+    /// runs, which never emit the channel.
+    pub numa: BTreeMap<u64, NumaAgg>,
 }
 
 impl TraceSummary {
@@ -155,6 +170,26 @@ impl TraceSummary {
             out.push_str(&format!("psc steps skipped per walk: {skips}\n"));
         }
 
+        if !self.numa.is_empty() {
+            let local: u64 = self.numa.values().map(|a| a.local).sum();
+            let remote: u64 = self.numa.values().map(|a| a.remote).sum();
+            let hops: u64 = self.numa.values().map(|a| a.hops).sum();
+            out.push_str(&format!(
+                "\nnuma traffic ({} nodes): local {local}  remote {remote}  hops {hops}\n",
+                self.numa.len()
+            ));
+            out.push_str(&format!(
+                "  {:<6}{:>10}{:>10}{:>10}\n",
+                "node", "local", "remote", "hops"
+            ));
+            for (node, agg) in &self.numa {
+                out.push_str(&format!(
+                    "  {:<6}{:>10}{:>10}{:>10}\n",
+                    node, agg.local, agg.remote, agg.hops
+                ));
+            }
+        }
+
         if !self.spans.is_empty() {
             out.push_str("\nspan time attribution (inclusive)\n");
             let width = self.spans.keys().map(|k| k.len()).max().unwrap_or(4).max(4);
@@ -214,6 +249,19 @@ impl TraceSummary {
                 })
                 .collect(),
         );
+        let numa = Json::Array(
+            self.numa
+                .iter()
+                .map(|(node, agg)| {
+                    let mut o = Json::obj();
+                    o.push("node", *node)
+                        .push("local", agg.local)
+                        .push("remote", agg.remote)
+                        .push("hops", agg.hops);
+                    o
+                })
+                .collect(),
+        );
         let mut o = Json::obj();
         o.push("schema", "flatwalk-trace-v1")
             .push("events", events)
@@ -229,7 +277,8 @@ impl TraceSummary {
             .push("psc_skips", skips)
             .push("depth_level", matrix)
             .push("step_totals", totals)
-            .push("spans", spans);
+            .push("spans", spans)
+            .push("numa", numa);
         o
     }
 }
@@ -264,6 +313,7 @@ pub fn analyze<'a>(lines: impl IntoIterator<Item = &'a str>) -> TraceSummary {
         match event.as_str() {
             "walk" => ingest_walk(&mut s, &v),
             "span" => ingest_span(&mut s, &v),
+            "numa" => ingest_numa(&mut s, &v),
             _ => {}
         }
     }
@@ -308,6 +358,14 @@ fn ingest_walk(s: &mut TraceSummary, v: &Json) {
     }
 }
 
+fn ingest_numa(s: &mut TraceSummary, v: &Json) {
+    let num = |key: &str| v.get(key).and_then(Json::as_u64).unwrap_or(0);
+    let agg = s.numa.entry(num("node")).or_default();
+    agg.local += num("local");
+    agg.remote += num("remote");
+    agg.hops += num("hops");
+}
+
 fn ingest_span(s: &mut TraceSummary, v: &Json) {
     let path = match v.get("path") {
         Some(Json::Str(p)) => p.clone(),
@@ -332,6 +390,9 @@ mod tests {
 {"event":"span","cell":"gups/Base","name":"engine.measure","path":"cell;engine.measure","depth":2,"nanos":5000}
 {"event":"span","cell":"gups/Base","name":"cell","path":"cell","depth":1,"nanos":9000}
 {"event":"span","cell":"gups/FPT","name":"engine.measure","path":"cell;engine.measure","depth":2,"nanos":3000}
+{"event":"numa","cell":"gups/Base","node":0,"local":120,"remote":8,"hops":8}
+{"event":"numa","cell":"gups/Base","node":1,"local":90,"remote":30,"hops":42}
+{"event":"numa","cell":"gups/FPT","node":0,"local":10,"remote":2,"hops":2}
 not json at all
 "#;
 
@@ -372,6 +433,26 @@ not json at all
         assert_eq!(s.spans["cell;engine.measure"].count, 2);
         assert_eq!(s.spans["cell;engine.measure"].nanos, 8000);
         assert_eq!(s.spans["cell"].nanos, 9000);
+
+        // NUMA records aggregate per node across cells.
+        assert_eq!(s.events.get("numa"), Some(&3));
+        assert_eq!(s.numa.len(), 2);
+        assert_eq!(
+            s.numa[&0],
+            NumaAgg {
+                local: 130,
+                remote: 10,
+                hops: 10
+            }
+        );
+        assert_eq!(
+            s.numa[&1],
+            NumaAgg {
+                local: 90,
+                remote: 30,
+                hops: 42
+            }
+        );
     }
 
     #[test]
@@ -381,6 +462,7 @@ not json at all
         assert!(text.contains("walk depth x serving level"));
         assert!(text.contains("single-step L1 hits: 2 (50.0%)"));
         assert!(text.contains("span time attribution"));
+        assert!(text.contains("numa traffic (2 nodes): local 220  remote 40  hops 52"));
 
         let j = s.to_json();
         let round = json::parse(&j.to_string()).unwrap();
@@ -398,6 +480,11 @@ not json at all
                 .as_u64(),
             Some(5)
         );
+
+        let numa = round.get("numa").unwrap().as_array().unwrap();
+        assert_eq!(numa.len(), 2);
+        assert_eq!(numa[1].get("node").unwrap().as_u64(), Some(1));
+        assert_eq!(numa[1].get("hops").unwrap().as_u64(), Some(42));
 
         let folded = crate::span::fold_text(&s.span_snapshot());
         // cell self-time = 9000 - 5000 (only the gups/Base child is

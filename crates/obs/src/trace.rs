@@ -10,7 +10,7 @@
 //! Enable the JSONL sink with
 //! `FLATWALK_TRACE=<channels>:<path>` where `<channels>` is a
 //! comma-separated subset of `walks`, `phase`, `repl`, `faults`,
-//! `serve`, `spans` — e.g. `FLATWALK_TRACE=walks,phase:/tmp/trace.jsonl`. Each record is one
+//! `serve`, `spans`, `numa` — e.g. `FLATWALK_TRACE=walks,phase:/tmp/trace.jsonl`. Each record is one
 //! JSON object per line; see [`JsonlTracer`] for the schema. Tests
 //! install collecting tracers programmatically via [`install`].
 //!
@@ -43,6 +43,9 @@ pub struct Channels {
     /// Hierarchical profiling spans ([`crate::span`]): one record per
     /// closed span.
     pub spans: bool,
+    /// Per-node NUMA placement summaries (one record per node per
+    /// multi-node cell).
+    pub numa: bool,
 }
 
 impl Channels {
@@ -55,6 +58,7 @@ impl Channels {
             faults: true,
             serve: true,
             spans: true,
+            numa: true,
         }
     }
 
@@ -70,6 +74,7 @@ impl Channels {
                 "faults" => ch.faults = true,
                 "serve" => ch.serve = true,
                 "spans" => ch.spans = true,
+                "numa" => ch.numa = true,
                 _ => return None,
             }
         }
@@ -83,6 +88,7 @@ impl Channels {
             | (self.faults as u8) << 3
             | (self.serve as u8) << 4
             | (self.spans as u8) << 5
+            | (self.numa as u8) << 6
     }
 }
 
@@ -181,6 +187,20 @@ pub struct SpanRecord<'a> {
     pub nanos: u64,
 }
 
+/// One per-node NUMA placement summary (emitted once per node at the
+/// end of a multi-node cell).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NumaRecord {
+    /// Home node these tallies belong to.
+    pub node: u32,
+    /// DRAM accesses served locally at this node.
+    pub local: u64,
+    /// DRAM accesses homed here but issued from another node.
+    pub remote: u64,
+    /// Interconnect hops those remote accesses paid in total.
+    pub hops: u64,
+}
+
 /// A trace event consumer. All methods default to no-ops so sinks
 /// subscribe to only the channels they care about.
 pub trait Tracer: Send + Sync {
@@ -196,6 +216,8 @@ pub trait Tracer: Send + Sync {
     fn serve(&self, _cell: &str, _record: &ServeRecord<'_>) {}
     /// One closed profiling span.
     fn span(&self, _cell: &str, _record: &SpanRecord<'_>) {}
+    /// One per-node NUMA placement summary.
+    fn numa(&self, _cell: &str, _record: &NumaRecord) {}
     /// Flushes any buffered records; called by [`uninstall`] before the
     /// sink is dropped.
     fn flush(&self) {}
@@ -281,6 +303,12 @@ pub fn spans_enabled() -> bool {
     CHANNELS.load(Ordering::Relaxed) & 32 != 0
 }
 
+/// Whether per-node NUMA summaries are being traced (one relaxed load).
+#[inline]
+pub fn numa_enabled() -> bool {
+    CHANNELS.load(Ordering::Relaxed) & 64 != 0
+}
+
 /// Whether any channel is being traced.
 #[inline]
 pub fn any_enabled() -> bool {
@@ -355,7 +383,7 @@ pub fn init_from_env() {
             Err(e) => eprintln!("FLATWALK_TRACE: cannot open {path:?}: {e}"),
         },
         None => eprintln!(
-            "FLATWALK_TRACE: expected <channels>:<path> with channels from walks,phase,repl,faults,serve,spans; got {spec:?}"
+            "FLATWALK_TRACE: expected <channels>:<path> with channels from walks,phase,repl,faults,serve,spans,numa; got {spec:?}"
         ),
     }
 }
@@ -436,6 +464,16 @@ pub fn emit_serve(op: &str, job: u64, detail: &str) {
     }
     let record = ServeRecord { op, job, detail };
     with_sink(|t, cell| t.serve(cell, &record));
+}
+
+/// Emits one per-node NUMA summary record. Guards internally on
+/// [`numa_enabled`] — the summaries are emitted once per cell, far off
+/// any hot path.
+pub fn emit_numa(record: &NumaRecord) {
+    if !numa_enabled() {
+        return;
+    }
+    with_sink(|t, cell| t.numa(cell, record));
 }
 
 /// A line-per-record JSON sink.
@@ -567,6 +605,17 @@ impl Tracer for JsonlTracer {
         self.write_line(&o);
     }
 
+    fn numa(&self, cell: &str, record: &NumaRecord) {
+        let mut o = Json::obj();
+        o.push("event", "numa")
+            .push("cell", cell)
+            .push("node", u64::from(record.node))
+            .push("local", record.local)
+            .push("remote", record.remote)
+            .push("hops", record.hops);
+        self.write_line(&o);
+    }
+
     fn flush(&self) {
         let mut out = self.out.lock().unwrap_or_else(|e| e.into_inner());
         if out.flush().is_err() {
@@ -589,8 +638,15 @@ mod tests {
             })
         );
         assert_eq!(
-            Channels::parse("walks,phase,repl,faults,serve,spans"),
+            Channels::parse("walks,phase,repl,faults,serve,spans,numa"),
             Some(Channels::all())
+        );
+        assert_eq!(
+            Channels::parse("numa"),
+            Some(Channels {
+                numa: true,
+                ..Default::default()
+            })
         );
         assert_eq!(
             Channels::parse("spans"),

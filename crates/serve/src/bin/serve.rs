@@ -190,6 +190,9 @@ fn main() -> ExitCode {
         std::thread::sleep(Duration::from_millis(50));
     }
     handle.wait();
+    // The trace sink lives in a static that is never dropped at exit;
+    // flush it explicitly or the BufWriter's tail is lost.
+    flatwalk_obs::trace::uninstall();
     println!("flatwalk-serve: drained, exiting");
     ExitCode::SUCCESS
 }

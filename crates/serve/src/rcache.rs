@@ -68,6 +68,13 @@ pub fn cell_key(cell: &Cell, plan_signature: u64, index: usize, total: usize) ->
         "{:?}|{:?}|{:?}|{:?}|{:#018x}",
         cell.workload, cell.config, cell.scenario, cell.opts, plan_signature
     );
+    // Rival cells run a different computation under the same
+    // workload/config/options: fold the kind (pure data — the runner fn
+    // is determined by it) into the key. Native cells keep their
+    // pre-rival keys byte-identical.
+    if let Some((kind, _)) = cell.rival {
+        key.push_str(&format!("|rival:{kind:?}"));
+    }
     if plan_signature != 0 {
         key.push_str(&format!("|{index}/{total}"));
     }
@@ -255,6 +262,36 @@ mod tests {
             cell_key(&grid.cells[1], 0, 0, 9),
             cell_key(c, 0, 0, 9),
             "different cell content, different key"
+        );
+    }
+
+    #[test]
+    fn rival_kind_folds_into_keys() {
+        use flatwalk_bench::Mode;
+        use flatwalk_sim::RivalKind;
+        fn dummy(
+            _cell: &Cell,
+            _kind: RivalKind,
+        ) -> Result<flatwalk_sim::SimReport, flatwalk_sim::SimError> {
+            unreachable!("key test never runs the cell")
+        }
+        let grid = flatwalk_bench::grids::sec71_pwc(Mode::Quick, &Mode::Quick.server_options());
+        let native = grid.cells[0].clone();
+        let mut victima = native.clone();
+        victima.rival = Some((RivalKind::Victima, dummy));
+        let mut mitosis = native.clone();
+        mitosis.rival = Some((RivalKind::Mitosis { replicate: true }, dummy));
+        let mut numa_base = native.clone();
+        numa_base.rival = Some((RivalKind::Mitosis { replicate: false }, dummy));
+        let native_key = cell_key(&native, 0, 0, 9);
+        let victima_key = cell_key(&victima, 0, 0, 9);
+        let mitosis_key = cell_key(&mitosis, 0, 0, 9);
+        assert_ne!(native_key, victima_key);
+        assert_ne!(victima_key, mitosis_key);
+        assert_ne!(mitosis_key, cell_key(&numa_base, 0, 0, 9));
+        assert!(
+            !native_key.contains("rival"),
+            "native keys stay byte-identical to pre-rival keys"
         );
     }
 

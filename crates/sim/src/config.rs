@@ -5,6 +5,22 @@ use flatwalk_os::FragmentationScenario;
 use flatwalk_pt::Layout;
 use flatwalk_tlb::{PwcConfig, TlbSystemConfig};
 
+/// A rival translation scheme selected for a cell, as pure data (the
+/// runner dispatches to a scheme-crate entry point; keeping the kind
+/// data-only lets result caches key on it without a dependency cycle).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RivalKind {
+    /// Victima (MICRO 2023): TLB entries spilled into the L2 cache.
+    Victima,
+    /// Mitosis (ASPLOS 2020): per-node page-table replication.
+    /// `replicate: false` is the NUMA baseline column — same topology,
+    /// no replicas.
+    Mitosis {
+        /// Whether page tables are actually replicated per node.
+        replicate: bool,
+    },
+}
+
 /// Which of the paper's techniques a run enables — the columns of
 /// Fig. 9/12.
 #[derive(Debug, Clone, PartialEq)]

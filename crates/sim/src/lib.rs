@@ -39,7 +39,7 @@ pub mod runner;
 pub mod setup;
 mod virt;
 
-pub use config::{SimOptions, TranslationConfig};
+pub use config::{RivalKind, SimOptions, TranslationConfig};
 pub use error::SimError;
 pub use multicore::{
     all_mixes, alone_ipcs, mean_weighted_speedup, multicore_options, table2_mixes, Mix,
@@ -47,4 +47,5 @@ pub use multicore::{
 };
 pub use native::NativeSimulation;
 pub use report::SimReport;
+pub use runner::{Cell, RivalRunner};
 pub use virt::{VirtConfig, VirtualizedSimulation};

@@ -211,6 +211,7 @@ impl MulticoreSimulation {
             opts.scenario,
             opts.footprint_divisor,
             opts.phys_mem_bytes,
+            opts.hierarchy.numa.signature(),
         );
         Self::build_with_spaces(mix, config, opts, spaces)
     }
@@ -263,11 +264,14 @@ impl MulticoreSimulation {
                     opts.phase_window,
                     opts.phase_threshold,
                 ));
-                let hier = MemoryHierarchy::with_shared_l3(
+                let mut hier = MemoryHierarchy::with_shared_l3(
                     hier_cfg.clone(),
                     std::rc::Rc::clone(&l3),
                     std::rc::Rc::clone(&dram),
                 );
+                // Cores spread round-robin across the memory nodes (a
+                // no-op on the single-node identity topology).
+                hier.set_node(i as u32);
                 let stream = AccessStream::replay(
                     spec.clone(),
                     space.spec().base_va,

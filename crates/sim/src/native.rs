@@ -75,7 +75,11 @@ impl NativeSimulation {
         let space_spec = AddressSpaceSpec::new(config.layout.clone(), spec.footprint)
             .with_scenario(opts.scenario)
             .with_nf_threshold(config.nf_threshold);
-        let space = setup::frozen_native_space(&space_spec, opts.phys_mem_bytes);
+        let space = setup::frozen_native_space(
+            &space_spec,
+            opts.phys_mem_bytes,
+            opts.hierarchy.numa.signature(),
+        );
         let ops = opts.warmup_ops + opts.measure_ops;
         let stream = AccessStream::replay(
             spec.clone(),
@@ -140,7 +144,11 @@ impl NativeSimulation {
         let space_spec = AddressSpaceSpec::new(config.layout.clone(), spec.footprint)
             .with_scenario(opts.scenario)
             .with_nf_threshold(config.nf_threshold);
-        let space = setup::frozen_native_space(&space_spec, opts.phys_mem_bytes);
+        let space = setup::frozen_native_space(
+            &space_spec,
+            opts.phys_mem_bytes,
+            opts.hierarchy.numa.signature(),
+        );
         stream.rebase(space.spec().base_va);
         let sim = Self::assemble(spec, config, Arc::new(opts.clone()), space, stream);
         setup::record_setup_time(start.elapsed());
@@ -290,6 +298,52 @@ mod tests {
             base.walk.latency_per_walk()
         );
         assert!(ptp.speedup_vs(&base) > 1.0);
+    }
+
+    #[test]
+    fn explicit_single_node_topology_is_the_identity() {
+        // The 1-node NUMA topology must be invisible end to end: a run
+        // with an explicit single() topology produces the exact same
+        // report (JSON and all) as a run with the default options.
+        let spec = WorkloadSpec::gups().scaled_mib(128);
+        let default_opts = SimOptions::small_test();
+        let mut explicit_opts = SimOptions::small_test();
+        explicit_opts.hierarchy = explicit_opts
+            .hierarchy
+            .with_numa(flatwalk_mem::NumaTopology::single());
+        let a =
+            NativeSimulation::build(spec.clone(), TranslationConfig::flattened(), &default_opts)
+                .run();
+        let b = NativeSimulation::build(spec, TranslationConfig::flattened(), &explicit_opts).run();
+        assert_eq!(a.to_json().to_string(), b.to_json().to_string());
+        assert!(!a.to_json().to_string().contains("numa"));
+    }
+
+    #[test]
+    fn multi_node_topology_changes_timing_and_reports_placement() {
+        let spec = WorkloadSpec::gups().scaled_mib(128);
+        let single = SimOptions::small_test();
+        let mut two = SimOptions::small_test();
+        two.hierarchy = two
+            .hierarchy
+            .with_numa(flatwalk_mem::NumaTopology::nodes(2));
+        let a = NativeSimulation::build(spec.clone(), TranslationConfig::baseline(), &single).run();
+        let b = NativeSimulation::build(spec, TranslationConfig::baseline(), &two).run();
+        assert!(b.hier.numa.multi_node());
+        assert!(
+            b.hier.numa.local() + b.hier.numa.remote() > 0,
+            "DRAM traffic is attributed to nodes"
+        );
+        assert!(
+            b.hier.numa.remote() > 0,
+            "interleaved 2-node memory serves remote lines"
+        );
+        assert!(
+            b.cycles > a.cycles,
+            "remote hops cost cycles ({} vs {})",
+            b.cycles,
+            a.cycles
+        );
     }
 
     #[test]

@@ -135,6 +135,19 @@ impl SimReport {
             .gauge("energy.dram_nj", self.energy.dram_nj)
             .add("energy.dram_accesses", self.energy.dram_accesses);
         self.census.record_metrics(&mut m);
+        if self.hier.numa.multi_node() {
+            m.add("numa.local", self.hier.numa.local())
+                .add("numa.remote", self.hier.numa.remote())
+                .add("numa.hops", self.hier.numa.hops());
+            for (i, n) in self.hier.numa.per_node[..self.hier.numa.nodes as usize]
+                .iter()
+                .enumerate()
+            {
+                m.add(&format!("numa.node{i}.local"), n.local)
+                    .add(&format!("numa.node{i}.remote"), n.remote)
+                    .add(&format!("numa.node{i}.hops"), n.hops);
+            }
+        }
         if self.faults.any() {
             m.add("faults.shootdowns", self.faults.shootdowns)
                 .add("faults.mid_run_fallbacks", self.faults.mid_run_fallbacks)
@@ -222,6 +235,27 @@ impl SimReport {
         dram.push("data_accesses", self.hier.dram.data_accesses)
             .push("page_table_accesses", self.hier.dram.page_table_accesses);
         hier.push("dram", dram);
+        // Only multi-node runs carry a `numa` object — single-node
+        // reports stay byte-identical to the pre-NUMA schema.
+        if self.hier.numa.multi_node() {
+            let mut numa = Json::obj();
+            numa.push("nodes", u64::from(self.hier.numa.nodes))
+                .push("local", self.hier.numa.local())
+                .push("remote", self.hier.numa.remote())
+                .push("hops", self.hier.numa.hops());
+            let per_node: Vec<Json> = self.hier.numa.per_node[..self.hier.numa.nodes as usize]
+                .iter()
+                .map(|n| {
+                    let mut o = Json::obj();
+                    o.push("local", n.local)
+                        .push("remote", n.remote)
+                        .push("hops", n.hops);
+                    o
+                })
+                .collect();
+            numa.push("per_node", Json::Array(per_node));
+            hier.push("numa", numa);
+        }
 
         let mut energy = Json::obj();
         energy
@@ -344,5 +378,41 @@ mod tests {
         assert_eq!(walk.get("latency_overflow").unwrap().as_u64(), Some(0));
         assert_eq!(walk.get("latency_p50").unwrap().as_u64(), Some(5));
         assert_eq!(walk.get("latency_p999").unwrap().as_u64(), Some(5));
+    }
+
+    #[test]
+    fn single_node_reports_carry_no_numa_keys() {
+        // The identity guarantee's report half: a 1-node run must emit
+        // exactly the pre-NUMA schema — no numa metrics, no numa JSON.
+        let r = report(100, 200);
+        assert!(!r.hier.numa.multi_node());
+        let m = r.metrics();
+        assert!(m.iter().all(|(k, _)| !k.contains("numa")));
+        assert!(!r.to_json().to_string().contains("numa"));
+    }
+
+    #[test]
+    fn multi_node_reports_expose_numa_counters_and_json() {
+        let mut r = report(100, 200);
+        r.hier.numa.nodes = 2;
+        r.hier.numa.record(0, 0); // local on node 0
+        r.hier.numa.record(1, 1); // remote, 1 hop, homed on node 1
+        let m = r.metrics();
+        assert_eq!(m.counter_value("numa.local"), 1);
+        assert_eq!(m.counter_value("numa.remote"), 1);
+        assert_eq!(m.counter_value("numa.hops"), 1);
+        assert_eq!(m.counter_value("numa.node0.local"), 1);
+        assert_eq!(m.counter_value("numa.node1.remote"), 1);
+        let parsed = flatwalk_obs::json::parse(&r.to_json().to_string()).unwrap();
+        let numa = parsed.get("hier").unwrap().get("numa").unwrap();
+        assert_eq!(numa.get("nodes").unwrap().as_u64(), Some(2));
+        assert_eq!(numa.get("local").unwrap().as_u64(), Some(1));
+        assert_eq!(numa.get("remote").unwrap().as_u64(), Some(1));
+        assert_eq!(numa.get("hops").unwrap().as_u64(), Some(1));
+        assert_eq!(
+            numa.get("per_node").unwrap().as_array().unwrap().len(),
+            2,
+            "per-node array is sized to the topology"
+        );
     }
 }

@@ -39,7 +39,7 @@ use flatwalk_sync::{OnceSlot, StealQueues, TakeSlot};
 use flatwalk_workloads::WorkloadSpec;
 
 use crate::setup::{self, setup_stats, SetupStats};
-use crate::{NativeSimulation, SimOptions, SimReport, TranslationConfig};
+use crate::{NativeSimulation, RivalKind, SimOptions, SimReport, TranslationConfig};
 
 /// How one cell of a grid ended: its report, or a structured failure
 /// record. Each cell runs inside its own fault domain
@@ -246,6 +246,12 @@ pub fn span_checkpoint() -> Result<(), &'static str> {
     })
 }
 
+/// Entry point a rival-scheme crate supplies to run one cell under a
+/// [`RivalKind`]. A plain `fn` pointer: `Copy`/`Debug` like the rest of
+/// the cell, and `flatwalk_sim` stays free of a dependency on the
+/// scheme implementations (they depend on *us*).
+pub type RivalRunner = fn(&Cell, RivalKind) -> Result<SimReport, crate::SimError>;
+
 /// One independent experiment cell: a single native simulation.
 #[derive(Debug, Clone)]
 pub struct Cell {
@@ -258,6 +264,10 @@ pub struct Cell {
     /// Remaining simulation options (scenario applied, shared by
     /// reference count — workers never clone the nested configs).
     pub opts: Arc<SimOptions>,
+    /// Rival scheme to run instead of the native simulation, if any.
+    /// The kind is data (result caches fold it into their keys); the
+    /// runner function is supplied by the scheme crate at grid build.
+    pub rival: Option<(RivalKind, RivalRunner)>,
 }
 
 impl Cell {
@@ -273,12 +283,47 @@ impl Cell {
             config,
             scenario,
             opts: Arc::new(opts.with_scenario(scenario)),
+            rival: None,
         }
+    }
+
+    /// Creates a cell that runs a rival scheme through `runner` instead
+    /// of the native simulation (same workload/options machinery, same
+    /// result caching).
+    pub fn rival(
+        workload: WorkloadSpec,
+        config: TranslationConfig,
+        scenario: FragmentationScenario,
+        opts: SimOptions,
+        kind: RivalKind,
+        runner: RivalRunner,
+    ) -> Self {
+        let mut cell = Cell::new(workload, config, scenario, opts);
+        cell.rival = Some((kind, runner));
+        cell
     }
 
     /// Simulated operations this cell executes (warm-up + measured).
     pub fn sim_ops(&self) -> u64 {
         self.opts.warmup_ops + self.opts.measure_ops
+    }
+
+    /// Emits this cell's per-node NUMA placement summary onto the
+    /// `numa` trace channel (no-op when the channel is off or the cell
+    /// ran on the single-node identity topology).
+    fn emit_numa_trace(report: &SimReport) {
+        if !flatwalk_obs::trace::numa_enabled() || !report.hier.numa.multi_node() {
+            return;
+        }
+        let nodes = report.hier.numa.nodes as usize;
+        for (i, n) in report.hier.numa.per_node[..nodes].iter().enumerate() {
+            flatwalk_obs::trace::emit_numa(&flatwalk_obs::trace::NumaRecord {
+                node: i as u32,
+                local: n.local,
+                remote: n.remote,
+                hops: n.hops,
+            });
+        }
     }
 
     /// Builds and runs the simulation. The immutable setup artifacts
@@ -287,23 +332,24 @@ impl Cell {
     /// mutable state is constructed locally, so this is safe to call
     /// from any worker thread.
     pub fn run(&self) -> SimReport {
-        NativeSimulation::build_shared(
-            self.workload.clone(),
-            self.config.clone(),
-            Arc::clone(&self.opts),
-        )
-        .run()
+        self.try_run().unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Like [`Cell::run`] but surfaces an untranslatable access as a
     /// structured [`SimError`](crate::SimError) instead of panicking.
     pub fn try_run(&self) -> Result<SimReport, crate::SimError> {
-        NativeSimulation::build_shared(
-            self.workload.clone(),
-            self.config.clone(),
-            Arc::clone(&self.opts),
-        )
-        .try_run()
+        let report = if let Some((kind, run)) = self.rival {
+            run(self, kind)?
+        } else {
+            NativeSimulation::build_shared(
+                self.workload.clone(),
+                self.config.clone(),
+                Arc::clone(&self.opts),
+            )
+            .try_run()?
+        };
+        Self::emit_numa_trace(&report);
+        Ok(report)
     }
 }
 

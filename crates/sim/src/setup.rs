@@ -64,10 +64,15 @@ struct NativeKey {
     /// [`flatwalk_faults::signature_active`] at build time: snapshots
     /// built under different fault plans (or none) never alias.
     faults_sig: u64,
+    /// [`flatwalk_mem::NumaTopology::signature`] of the requesting
+    /// configuration: topologies with different node placement never
+    /// share a snapshot (the single-node identity signature keys all
+    /// pre-NUMA cells exactly as before).
+    numa_sig: u64,
 }
 
 impl NativeKey {
-    fn new(spec: &AddressSpaceSpec, phys_mem_bytes: u64) -> Self {
+    fn new(spec: &AddressSpaceSpec, phys_mem_bytes: u64, numa_sig: u64) -> Self {
         NativeKey {
             layout: spec.layout.clone(),
             base_va: spec.base_va,
@@ -76,6 +81,7 @@ impl NativeKey {
             nf_threshold: spec.nf_threshold,
             phys_mem_bytes,
             faults_sig: flatwalk_faults::signature_active(),
+            numa_sig,
         }
     }
 }
@@ -101,6 +107,7 @@ struct MulticoreKey {
     footprint_divisor: u64,
     phys_mem_bytes: u64,
     faults_sig: u64,
+    numa_sig: u64,
 }
 
 /// Cache key for a generated access-stream prefix. Offsets are
@@ -362,13 +369,17 @@ fn build_native(spec: &AddressSpaceSpec, phys_mem_bytes: u64) -> Arc<FrozenSpace
 ///
 /// Panics if the space cannot be built (physical memory too small for
 /// the footprint).
-pub fn frozen_native_space(spec: &AddressSpaceSpec, phys_mem_bytes: u64) -> Arc<FrozenSpace> {
+pub fn frozen_native_space(
+    spec: &AddressSpaceSpec,
+    phys_mem_bytes: u64,
+    numa_sig: u64,
+) -> Arc<FrozenSpace> {
     if !cache_enabled() {
         return build_native(spec, phys_mem_bytes);
     }
     get_or_build(
         &caches().native,
-        NativeKey::new(spec, phys_mem_bytes),
+        NativeKey::new(spec, phys_mem_bytes, numa_sig),
         || build_native(spec, phys_mem_bytes),
     )
 }
@@ -412,12 +423,13 @@ pub fn frozen_virt_space(
     host_layout: &Layout,
     host_scenario: FragmentationScenario,
     phys_mem_bytes: u64,
+    numa_sig: u64,
 ) -> Arc<FrozenVirtSpace> {
     if !cache_enabled() {
         return build_virt(guest_spec, host_layout, host_scenario, phys_mem_bytes);
     }
     let key = VirtKey {
-        guest: NativeKey::new(guest_spec, phys_mem_bytes),
+        guest: NativeKey::new(guest_spec, phys_mem_bytes, numa_sig),
         host_layout: host_layout.clone(),
         host_scenario_bits: host_scenario.large_page_fraction.to_bits(),
     };
@@ -488,6 +500,7 @@ pub fn frozen_multicore_spaces(
     scenario: FragmentationScenario,
     footprint_divisor: u64,
     phys_mem_bytes: u64,
+    numa_sig: u64,
 ) -> Arc<Vec<Arc<FrozenSpace>>> {
     if !cache_enabled() {
         return build_multicore(
@@ -507,6 +520,7 @@ pub fn frozen_multicore_spaces(
         footprint_divisor,
         phys_mem_bytes,
         faults_sig: flatwalk_faults::signature_active(),
+        numa_sig,
     };
     get_or_build(&caches().multicore, key, || {
         build_multicore(
@@ -568,8 +582,8 @@ mod tests {
         let _guard = override_lock();
         set_cache_override(Some(true));
         let spec = test_spec(0x7000_0000_0000);
-        let a = frozen_native_space(&spec, 1 << 30);
-        let b = frozen_native_space(&spec, 1 << 30);
+        let a = frozen_native_space(&spec, 1 << 30, 0);
+        let b = frozen_native_space(&spec, 1 << 30, 0);
         assert!(Arc::ptr_eq(&a, &b), "identical keys must share the Arc");
         set_cache_override(None);
     }
@@ -578,10 +592,11 @@ mod tests {
     fn different_keys_build_distinct_snapshots() {
         let _guard = override_lock();
         set_cache_override(Some(true));
-        let a = frozen_native_space(&test_spec(0x7100_0000_0000), 1 << 30);
+        let a = frozen_native_space(&test_spec(0x7100_0000_0000), 1 << 30, 0);
         let b = frozen_native_space(
             &test_spec(0x7100_0000_0000).with_scenario(FragmentationScenario::FULL),
             1 << 30,
+            0,
         );
         assert!(!Arc::ptr_eq(&a, &b));
         assert_ne!(
@@ -596,9 +611,9 @@ mod tests {
         let _guard = override_lock();
         set_cache_override(Some(true));
         let spec = test_spec(0x7200_0000_0000);
-        let cached = frozen_native_space(&spec, 1 << 30);
+        let cached = frozen_native_space(&spec, 1 << 30, 0);
         set_cache_override(Some(false));
-        let fresh = frozen_native_space(&spec, 1 << 30);
+        let fresh = frozen_native_space(&spec, 1 << 30, 0);
         assert!(!Arc::ptr_eq(&cached, &fresh));
         assert_eq!(
             cached.store().materialized_frames(),
@@ -618,8 +633,8 @@ mod tests {
         set_cache_override(Some(true));
         let before = setup_stats();
         let spec = test_spec(0x7300_0000_0000);
-        let _a = frozen_native_space(&spec, 1 << 30);
-        let _b = frozen_native_space(&spec, 1 << 30);
+        let _a = frozen_native_space(&spec, 1 << 30, 0);
+        let _b = frozen_native_space(&spec, 1 << 30, 0);
         // Other tests may bump the global counters concurrently, so the
         // assertion is a lower bound contributed by the two calls above.
         let delta = setup_stats().since(&before);
@@ -633,8 +648,8 @@ mod tests {
         let _guard = override_lock();
         set_cache_override(Some(true));
         let before = setup_stats();
-        let _a = frozen_native_space(&test_spec(0x7600_0000_0000), 1 << 30);
-        let _b = frozen_native_space(&test_spec(0x7700_0000_0000), 1 << 30);
+        let _a = frozen_native_space(&test_spec(0x7600_0000_0000), 1 << 30, 0);
+        let _b = frozen_native_space(&test_spec(0x7700_0000_0000), 1 << 30, 0);
         let evicted = clear_setup_cache();
         assert!(evicted >= 2, "both fresh entries must be dropped");
         let delta = setup_stats().since(&before);
@@ -644,7 +659,7 @@ mod tests {
         );
         // The cleared keys rebuild as misses, not hits.
         let miss_base = setup_stats();
-        let _a2 = frozen_native_space(&test_spec(0x7600_0000_0000), 1 << 30);
+        let _a2 = frozen_native_space(&test_spec(0x7600_0000_0000), 1 << 30, 0);
         assert!(setup_stats().since(&miss_base).misses >= 1);
         set_cache_override(None);
     }
@@ -655,8 +670,8 @@ mod tests {
         set_cache_override(Some(false));
         assert!(!cache_enabled());
         let spec = test_spec(0x7400_0000_0000);
-        let a = frozen_native_space(&spec, 1 << 30);
-        let b = frozen_native_space(&spec, 1 << 30);
+        let a = frozen_native_space(&spec, 1 << 30, 0);
+        let b = frozen_native_space(&spec, 1 << 30, 0);
         assert!(!Arc::ptr_eq(&a, &b), "disabled cache must not share");
         set_cache_override(None);
     }
@@ -679,6 +694,20 @@ mod tests {
     }
 
     #[test]
+    fn numa_signature_separates_cache_keys() {
+        let _guard = override_lock();
+        set_cache_override(Some(true));
+        let spec = test_spec(0x7800_0000_0000);
+        let a = frozen_native_space(&spec, 1 << 30, 0);
+        let b = frozen_native_space(&spec, 1 << 30, 0x1234);
+        assert!(
+            !Arc::ptr_eq(&a, &b),
+            "different topology signatures must not share a snapshot"
+        );
+        set_cache_override(None);
+    }
+
+    #[test]
     fn multicore_bundle_is_shared_and_ordered() {
         let _guard = override_lock();
         set_cache_override(Some(true));
@@ -690,6 +719,7 @@ mod tests {
             FragmentationScenario::NONE,
             1024,
             2 << 30,
+            0,
         );
         let b = frozen_multicore_spaces(
             parts,
@@ -698,6 +728,7 @@ mod tests {
             FragmentationScenario::NONE,
             1024,
             2 << 30,
+            0,
         );
         assert!(Arc::ptr_eq(&a, &b));
         assert_eq!(a.len(), 4);

@@ -243,6 +243,7 @@ impl VirtualizedSimulation {
             &host_layout,
             host_scenario,
             opts.phys_mem_bytes,
+            opts.hierarchy.numa.signature(),
         );
         let ops = opts.warmup_ops + opts.measure_ops;
         let stream = AccessStream::replay(

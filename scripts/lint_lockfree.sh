@@ -22,6 +22,8 @@ crates/sim/src/setup.rs
 crates/sim/src/runner.rs
 crates/serve/src/rcache.rs
 crates/serve/src/store.rs
+crates/mem/src/numa.rs
+crates/mem/src/dram.rs
 "
 
 status=0

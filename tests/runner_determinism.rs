@@ -143,7 +143,11 @@ fn shared_frozen_space_matches_fresh_builds() {
     let space_spec = AddressSpaceSpec::new(configs[0].layout.clone(), scaled.footprint)
         .with_scenario(opts.scenario)
         .with_nf_threshold(configs[0].nf_threshold);
-    let shared = setup::frozen_native_space(&space_spec, opts.phys_mem_bytes);
+    let shared = setup::frozen_native_space(
+        &space_spec,
+        opts.phys_mem_bytes,
+        opts.hierarchy.numa.signature(),
+    );
     let via_shared: Vec<String> = configs
         .iter()
         .map(|cfg| {
